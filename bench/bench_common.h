@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared harness for the figure-reproduction benchmarks.
+ *
+ * Scale note (also see DESIGN.md): the paper's evaluation uses 24-192 GB
+ * embedding tables on a 256 GB host; this repository runs on whatever
+ * host executes it, so each figure measures *real* executions at sizes
+ * scaled to fit local DRAM and extends the series to the paper's sizes
+ * with the calibrated roofline model (rows labelled `modeled`). Shapes
+ * -- who wins, slopes, crossovers -- are preserved; absolute numbers
+ * are host-specific.
+ */
+
+#ifndef LAZYDP_BENCH_BENCH_COMMON_H
+#define LAZYDP_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/factory.h"
+#include "data/synthetic_dataset.h"
+#include "nn/model_config.h"
+#include "sim/cost_model.h"
+#include "sim/energy_model.h"
+#include "train/algorithm.h"
+
+namespace lazydp {
+namespace bench {
+
+/** One measured configuration. */
+struct RunSpec
+{
+    std::string algo = "sgd";     //!< factory algorithm name
+    ModelConfig model;            //!< model shape
+    AccessConfig access;          //!< table-access distribution
+    std::size_t batch = 2048;
+    std::uint64_t iters = 2;      //!< measured iterations
+    std::uint64_t warmup = 1;     //!< untimed warmup iterations
+    bool warmHistory = true;      //!< steady-state HistoryTable ages
+    TrainHyper hyper;
+    std::uint64_t dataSeed = 0xDA7A;
+    std::uint64_t modelSeed = 1;
+};
+
+/** Measured outcome of a RunSpec. */
+struct RunStats
+{
+    StageTimer timer;             //!< measured iterations only
+    std::uint64_t iters = 0;
+    double finalizeSeconds = 0.0; //!< one-time LazyDP flush (excluded)
+
+    /** @return mean seconds per measured iteration. */
+    double
+    secondsPerIter() const
+    {
+        return iters == 0 ? 0.0
+                          : timer.totalSeconds() /
+                                static_cast<double>(iters);
+    }
+};
+
+/**
+ * Execute a spec: build model + dataset, warm up, measure.
+ *
+ * LazyDP variants optionally get a steady-state HistoryTable so the
+ * measured per-iteration pending-noise volume matches long-running
+ * training rather than a cold start.
+ */
+RunStats runMeasured(const RunSpec &spec);
+
+/** Expected unique rows gathered per table per iteration. */
+double expectedUniqueRows(std::uint64_t rows, std::size_t batch,
+                          std::size_t pooling);
+
+/** Steady-state expected pending-noise delay (rows / unique-per-iter). */
+double expectedDelay(const ModelConfig &model, std::size_t batch);
+
+/**
+ * Modeled per-iteration seconds for an eager DP-SGD at a target table
+ * size, reusing a measured run's size-independent stages.
+ */
+double modeledEagerSeconds(const RunStats &measured,
+                           const ModelConfig &measured_model,
+                           std::uint64_t target_table_bytes,
+                           std::size_t batch);
+
+/** Modeled per-iteration seconds for LazyDP at any table size. */
+double modeledLazySeconds(const RunStats &measured,
+                          const ModelConfig &model, std::size_t batch,
+                          bool use_ans, std::uint64_t target_table_bytes);
+
+/** Shared "dataset config from model config" helper. */
+DatasetConfig datasetFor(const ModelConfig &model,
+                         const AccessConfig &access, std::size_t batch,
+                         std::uint64_t seed);
+
+/** Print the standard scale-note preamble for a figure bench. */
+void printPreamble(const std::string &figure, const std::string &what);
+
+} // namespace bench
+} // namespace lazydp
+
+#endif // LAZYDP_BENCH_BENCH_COMMON_H

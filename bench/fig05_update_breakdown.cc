@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Paper Figure 5: latency breakdown of the DP-SGD model-update stage
+ * (noise sampling / noisy gradient generation / noisy gradient update /
+ * else) as table size grows, plus the update stage's latency growth.
+ *
+ * Expected shape: noise sampling + noisy gradient update dominate
+ * (83%+ of the update at the largest size), and absolute update latency
+ * grows linearly with table size.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace lazydp;
+using namespace lazydp::bench;
+
+int
+main()
+{
+    printPreamble("Figure 5",
+                  "DP-SGD(F) model-update latency breakdown vs size");
+
+    const std::uint64_t sizes[] = {24ull << 20, 96ull << 20,
+                                   384ull << 20, 960ull << 20};
+
+    TablePrinter table(
+        "Figure 5: model update breakdown (DP-SGD(F), batch 2048)");
+    table.setHeader({"table size", "mode", "update s/iter",
+                     "noise sampling", "noisy grad gen",
+                     "noisy grad update", "else", "vs smallest"});
+
+    double smallest_update = 0.0;
+    for (const std::uint64_t bytes : sizes) {
+        RunSpec spec;
+        spec.algo = "dpsgd-f";
+        spec.model = ModelConfig::mlperfBench(bytes);
+        spec.batch = 2048;
+        spec.iters = 3;
+        spec.warmup = 1;
+        const RunStats s = runMeasured(spec);
+        const double it = static_cast<double>(s.iters);
+
+        const double ns = s.timer.seconds(Stage::NoiseSampling) / it;
+        const double ngg = s.timer.seconds(Stage::NoisyGradGen) / it;
+        const double ngu = s.timer.seconds(Stage::NoisyGradUpdate) / it;
+        const double other =
+            (s.timer.seconds(Stage::GradCoalesce) +
+             s.timer.seconds(Stage::Else)) /
+            it;
+        const double update = ns + ngg + ngu + other;
+        if (smallest_update == 0.0)
+            smallest_update = update;
+
+        auto pct = [&](double x) {
+            return TablePrinter::num(100.0 * x / update, 1) + "%";
+        };
+        table.addRow({humanBytes(bytes), "measured",
+                      TablePrinter::num(update, 4), pct(ns), pct(ngg),
+                      pct(ngu), pct(other),
+                      TablePrinter::num(update / smallest_update, 1)});
+    }
+
+    // Modeled fractions at the paper's default 96 GB.
+    {
+        CostModel cm(MachineSpec::calibratedHost());
+        const auto model = ModelConfig::mlperfBench(96ull << 30);
+        const auto touched = static_cast<std::uint64_t>(
+            expectedUniqueRows(model.rowsPerTable, 2048, model.pooling) *
+            26.0);
+        const auto upd =
+            cm.eagerUpdate(96ull << 30, touched, model.embedDim);
+        auto pct = [&](double x) {
+            return TablePrinter::num(100.0 * x / upd.total(), 1) + "%";
+        };
+        table.addRow({"96.0 GB (paper)", "modeled",
+                      TablePrinter::num(upd.total(), 2),
+                      pct(upd.noiseSampling), pct(upd.noisyGradGen),
+                      pct(upd.noisyGradUpdate), "0.0%",
+                      TablePrinter::num(upd.total() / smallest_update,
+                                        1)});
+    }
+
+    table.print(std::cout);
+    std::printf("\nPaper anchor: noise sampling + noisy gradient update "
+                "= 83.1%% of model update at 96 GB.\n");
+    return 0;
+}

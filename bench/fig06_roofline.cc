@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Paper Figure 6: effective AVX throughput of a load -> N-compute-ops
+ * -> store streaming kernel as N sweeps 0..124. Small N is memory
+ * bound (the noisy-gradient-update regime, N=2); large N is compute
+ * bound (the Box-Muller noise-sampling regime, N~101).
+ *
+ * Implemented with google-benchmark: each N is one benchmark, GFLOPS
+ * reported as a counter; a summary table with the two paper anchor
+ * points is printed at the end.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "tensor/aligned_buffer.h"
+#include "tensor/simd_kernels.h"
+
+namespace {
+
+// Working set must exceed the LLC so small-N kernels hit DRAM.
+constexpr std::size_t kElems = 48u << 20; // 192 MB per buffer
+
+lazydp::AlignedBuffer<float> &
+srcBuffer()
+{
+    static lazydp::AlignedBuffer<float> buf(kElems);
+    return buf;
+}
+
+lazydp::AlignedBuffer<float> &
+dstBuffer()
+{
+    static lazydp::AlignedBuffer<float> buf(kElems);
+    return buf;
+}
+
+void
+BM_StreamWithOps(benchmark::State &state)
+{
+    const int n_ops = static_cast<int>(state.range(0));
+    auto &src = srcBuffer();
+    auto &dst = dstBuffer();
+    std::size_t flops = 0;
+    constexpr std::size_t kBlocks = 64;
+    for (auto _ : state) {
+        // socket-level, matching the paper's methodology
+        std::size_t local = 0;
+#pragma omp parallel for schedule(static) reduction(+ : local)
+        for (std::size_t b = 0; b < kBlocks; ++b) {
+            local += lazydp::simd::streamWithOps(
+                dst.data() + b * (kElems / kBlocks),
+                src.data() + b * (kElems / kBlocks), kElems / kBlocks,
+                n_ops);
+        }
+        flops += local;
+        benchmark::ClobberMemory();
+    }
+    state.counters["GFLOPS"] = benchmark::Counter(
+        static_cast<double>(flops) / 1e9, benchmark::Counter::kIsRate);
+    state.counters["GB/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kElems * 8.0 / 1e9,
+        benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_StreamWithOps)
+    ->DenseRange(0, 124, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinWarmUpTime(0.05)
+    ->MinTime(0.12);
+
+int
+main(int argc, char **argv)
+{
+    std::printf("\n################################################\n");
+    std::printf("# Figure 6 -- AVX roofline: GFLOPS vs N compute ops\n");
+    std::printf("# per loaded vector. N=2 ~ noisy gradient update\n");
+    std::printf("# (memory bound); N=101 ~ Box-Muller noise sampling\n");
+    std::printf("# (compute bound, 81%% of peak in the paper).\n");
+    std::printf("# AVX2 path active: %s\n",
+                lazydp::simd::avx2Enabled() ? "yes" : "no");
+    std::printf("################################################\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Paper Figure 13(a): sensitivity to embedding-table size
+ * (24/48/96/192 GB in the paper). SGD and LazyDP stay flat; DP-SGD(F)
+ * grows linearly and goes OOM at 192 GB on the paper's 256 GB host
+ * (table + dense noisy-gradient tensor no longer fit).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace lazydp;
+using namespace lazydp::bench;
+
+int
+main()
+{
+    printPreamble("Figure 13(a)", "sensitivity to table size");
+
+    // paper sizes / 100 measured; paper sizes modeled
+    const std::uint64_t real_sizes[] = {240ull << 20, 480ull << 20,
+                                        960ull << 20, 1920ull << 20};
+    const std::uint64_t paper_sizes[] = {24ull << 30, 48ull << 30,
+                                         96ull << 30, 192ull << 30};
+    const char *algos[] = {"sgd", "lazydp", "dpsgd-f"};
+
+    TablePrinter table(
+        "Figure 13(a): training time vs table size (normalized to SGD "
+        "at smallest size)");
+    table.setHeader({"table size", "algo", "mode", "sec/iter",
+                     "vs SGD"});
+
+    double ref = 0.0;
+    RunStats f_stats;
+    RunStats lazy_stats;
+    ModelConfig last_model;
+    for (const std::uint64_t bytes : real_sizes) {
+        for (const char *algo : algos) {
+            RunSpec spec;
+            spec.algo = algo;
+            spec.model = ModelConfig::mlperfBench(bytes);
+            spec.batch = 2048;
+            spec.iters = 3;
+            spec.warmup = 1;
+            const RunStats s = runMeasured(spec);
+            if (ref == 0.0 && std::string(algo) == "sgd")
+                ref = s.secondsPerIter();
+            if (std::string(algo) == "dpsgd-f")
+                f_stats = s;
+            if (std::string(algo) == "lazydp")
+                lazy_stats = s;
+            last_model = spec.model;
+            table.addRow({humanBytes(bytes), algo, "measured",
+                          TablePrinter::num(s.secondsPerIter(), 4),
+                          TablePrinter::num(s.secondsPerIter() / ref,
+                                            1)});
+        }
+    }
+
+    // Paper-size rows: SGD & LazyDP size-independent; DP-SGD(F) linear
+    // until it exceeds the paper host's 256 GB (table + dense noisy
+    // gradient = 2x table bytes).
+    for (const std::uint64_t bytes : paper_sizes) {
+        const double lazy_sec = modeledLazySeconds(
+            lazy_stats, last_model, 2048, true, bytes);
+        table.addRow({humanBytes(bytes), "lazydp", "modeled",
+                      TablePrinter::num(lazy_sec, 4),
+                      TablePrinter::num(lazy_sec / ref, 1)});
+        if (2 * bytes > 256ull << 30) {
+            table.addRow({humanBytes(bytes), "dpsgd-f", "modeled",
+                          "OOM", "OOM (2x table > 256 GB host)"});
+        } else {
+            const double sec = modeledEagerSeconds(f_stats, last_model,
+                                                   bytes, 2048);
+            table.addRow({humanBytes(bytes), "dpsgd-f", "modeled",
+                          TablePrinter::num(sec, 4),
+                          TablePrinter::num(sec / ref, 1)});
+        }
+    }
+
+    table.print(std::cout);
+    std::printf("\nPaper anchors: SGD/LazyDP flat (~1x / ~2.1-2.3x); "
+                "DP-SGD(F) 68x -> 129x -> 259x -> OOM.\n");
+    return 0;
+}

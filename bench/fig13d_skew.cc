@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Paper Figure 13(d): robustness to training-dataset access skew --
+ * uniform (Random) plus Criteo-derived Low/Medium/High skews where 90%
+ * of accesses hit 36%/10%/0.6% of table rows. DP-SGD(F) is oblivious
+ * to locality (the dense update dominates everything); LazyDP stays
+ * within a small factor of SGD at every skew.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace lazydp;
+using namespace lazydp::bench;
+
+int
+main()
+{
+    const std::uint64_t table_bytes = 960ull << 20;
+    printPreamble("Figure 13(d)", "sensitivity to dataset skew");
+
+    struct Case
+    {
+        const char *label;
+        AccessConfig access;
+    };
+    const Case cases[] = {
+        {"Random", AccessConfig::uniform()},
+        {"Low", AccessConfig::criteoLow()},
+        {"Medium", AccessConfig::criteoMedium()},
+        {"High", AccessConfig::criteoHigh()},
+    };
+    const char *algos[] = {"sgd", "lazydp", "dpsgd-f"};
+
+    TablePrinter table("Figure 13(d): training time vs skew "
+                       "(normalized to SGD on Random)");
+    table.setHeader(
+        {"dataset", "algo", "sec/iter", "vs SGD(Random)", "lazydp ovh"});
+
+    double ref = 0.0;
+    for (const auto &c : cases) {
+        for (const char *algo : algos) {
+            RunSpec spec;
+            spec.algo = algo;
+            spec.model = ModelConfig::mlperfBench(table_bytes);
+            spec.access = c.access;
+            spec.batch = 2048;
+            spec.iters = 3;
+            spec.warmup = 1;
+            const RunStats s = runMeasured(spec);
+            const double sec = s.secondsPerIter();
+            if (ref == 0.0 && std::string(algo) == "sgd")
+                ref = sec;
+            std::string ovh = "-";
+            if (std::string(algo) == "lazydp") {
+                ovh = TablePrinter::num(
+                          100.0 * s.timer.seconds(Stage::LazyOverhead) /
+                              s.timer.totalSeconds(),
+                          1) +
+                      "%";
+            }
+            table.addRow({c.label, algo, TablePrinter::num(sec, 4),
+                          TablePrinter::num(sec / ref, 1), ovh});
+        }
+    }
+
+    table.print(std::cout);
+    std::printf("\nPaper anchors: DP-SGD(F) ~260x at every skew "
+                "(bottleneck is locality-independent); LazyDP "
+                "1.9-2.2x; LazyDP overhead always < 14%%.\n");
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Paper Section 4.2 / 6 ablation: how much the "heavily optimized
+ * baseline" matters. The paper reports its tuned noise + update stage
+ * is 8.2x faster than stock PyTorch operators (13.4x end-to-end
+ * with threading). Here: naive single-thread std::mt19937 +
+ * std::normal_distribution versus scalar Box-Muller versus the
+ * vectorized Philox/AVX2 kernel, single- and multi-threaded, plus the
+ * streaming update kernel.
+ *
+ * google-benchmark binary; each row reports samples/s or GB/s.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "rng/noise_provider.h"
+#include "tensor/aligned_buffer.h"
+#include "tensor/simd_kernels.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+constexpr std::size_t kRows = 1u << 15;
+constexpr std::size_t kDim = 128;
+constexpr std::size_t kElems = kRows * kDim; // 16 MB of noise
+
+lazydp::AlignedBuffer<float> &
+buffer()
+{
+    static lazydp::AlignedBuffer<float> buf(kElems);
+    return buf;
+}
+
+/** Stock-library baseline: mt19937 + std::normal_distribution. */
+void
+BM_NoiseNaiveStdlib(benchmark::State &state)
+{
+    std::mt19937 rng(42);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    auto &buf = buffer();
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kElems; ++i)
+            buf[i] = dist(rng);
+        benchmark::ClobberMemory();
+    }
+    state.counters["Msamples/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kElems / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+/** Scalar Philox Box-Muller (libm transcendentals). */
+void
+BM_NoiseScalarBoxMuller(benchmark::State &state)
+{
+    lazydp::NoiseProvider np(42, lazydp::GaussianKernel::Scalar);
+    auto &buf = buffer();
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < kRows; ++r)
+            np.rowNoise(1, 0, r, 1.0f, 1.0f, buf.data() + r * kDim,
+                        kDim, false);
+        benchmark::ClobberMemory();
+    }
+    state.counters["Msamples/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kElems / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+/** Vectorized AVX2 Philox Box-Muller, single thread. */
+void
+BM_NoiseAvx2(benchmark::State &state)
+{
+    lazydp::NoiseProvider np(42, lazydp::GaussianKernel::Auto);
+    auto &buf = buffer();
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < kRows; ++r)
+            np.rowNoise(1, 0, r, 1.0f, 1.0f, buf.data() + r * kDim,
+                        kDim, false);
+        benchmark::ClobberMemory();
+    }
+    state.counters["Msamples/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kElems / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+/** Vectorized + OpenMP across all cores (the production path). */
+void
+BM_NoiseAvx2Parallel(benchmark::State &state)
+{
+    lazydp::NoiseProvider np(42, lazydp::GaussianKernel::Auto);
+    auto &buf = buffer();
+    for (auto _ : state) {
+#pragma omp parallel for schedule(static)
+        for (std::size_t r = 0; r < kRows; ++r)
+            np.rowNoise(1, 0, r, 1.0f, 1.0f, buf.data() + r * kDim,
+                        kDim, false);
+        benchmark::ClobberMemory();
+    }
+    state.counters["Msamples/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * kElems / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+/** Streaming model-update kernel (N=2), single thread. */
+void
+BM_StreamingUpdate(benchmark::State &state)
+{
+    static lazydp::Tensor weights(1u << 14, 512);
+    static lazydp::Tensor update(1u << 14, 512);
+    for (auto _ : state) {
+        lazydp::simd::axpy(weights.data(), update.data(),
+                           weights.size(), -0.01f);
+        benchmark::ClobberMemory();
+    }
+    state.counters["GB/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * weights.size() * 4.0 *
+            3.0 / 1e9,
+        benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_NoiseNaiveStdlib)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_NoiseScalarBoxMuller)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_NoiseAvx2)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_NoiseAvx2Parallel)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+BENCHMARK(BM_StreamingUpdate)->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+int
+main(int argc, char **argv)
+{
+    std::printf("\n################################################\n");
+    std::printf("# Optimized-baseline ablation (paper Sections 4.2/6):\n");
+    std::printf("# naive stdlib noise vs scalar Box-Muller vs AVX2\n");
+    std::printf("# Philox vs AVX2+OpenMP; paper reports its tuned\n");
+    std::printf("# baseline as 8.2x (13.4x threaded) over stock ops.\n");
+    std::printf("################################################\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

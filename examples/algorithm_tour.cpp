@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tour of every training engine in the library on one workload:
+ * throughput comparison plus a live demonstration of the paper's
+ * central correctness claim -- LazyDP (w/o ANS) reproduces the eager
+ * DP-SGD model bit-for-bit (up to float summation order), while EANA
+ * visibly deviates on never-accessed rows.
+ *
+ *   $ ./algorithm_tour
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/factory.h"
+#include "data/data_loader.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+namespace {
+
+std::unique_ptr<DlrmModel>
+trainedModel(const std::string &algo_name, const ModelConfig &cfg,
+             const DatasetConfig &data_cfg, std::uint64_t steps,
+             double *ms_per_step)
+{
+    auto model = std::make_unique<DlrmModel>(cfg, 5);
+    SyntheticDataset dataset(data_cfg);
+    SequentialLoader loader(dataset);
+    TrainHyper hyper;
+    hyper.lr = 0.05f;
+    hyper.clipNorm = 1.0f;
+    hyper.noiseMultiplier = 1.0f;
+    hyper.noiseSeed = 0xCAFE;
+    auto algo = makeAlgorithm(algo_name, *model, hyper);
+    Trainer trainer(*algo, loader);
+    const TrainResult r = trainer.run(steps);
+    if (ms_per_step != nullptr)
+        *ms_per_step = 1e3 * r.secondsPerIteration();
+    return model;
+}
+
+double
+maxTableDiff(DlrmModel &a, DlrmModel &b)
+{
+    double diff = 0.0;
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        for (std::size_t i = 0; i < wa.size(); ++i)
+            diff = std::max(diff, std::abs(static_cast<double>(
+                                      wa.data()[i] - wb.data()[i])));
+    }
+    return diff;
+}
+
+} // namespace
+
+int
+main()
+{
+    ModelConfig cfg = ModelConfig::tiny();
+    cfg.rowsPerTable = 2048;
+    DatasetConfig data_cfg;
+    data_cfg.numDense = cfg.numDense;
+    data_cfg.numTables = cfg.numTables;
+    data_cfg.rowsPerTable = cfg.rowsPerTable;
+    data_cfg.pooling = cfg.pooling;
+    data_cfg.batchSize = 128;
+    const std::uint64_t steps = 40;
+
+    std::printf("running every engine for %llu steps on the same "
+                "dataset (batch %zu)...\n\n",
+                static_cast<unsigned long long>(steps),
+                data_cfg.batchSize);
+    std::printf("%-14s %12s\n", "algo", "ms/step");
+
+    std::unique_ptr<DlrmModel> eager;
+    std::unique_ptr<DlrmModel> lazy_noans;
+    std::unique_ptr<DlrmModel> eana;
+    for (const auto &name : algorithmNames()) {
+        double ms = 0.0;
+        auto model = trainedModel(name, cfg, data_cfg, steps, &ms);
+        std::printf("%-14s %12.2f\n", name.c_str(), ms);
+        if (name == "dpsgd-b")
+            eager = std::move(model);
+        if (name == "lazydp-noans")
+            lazy_noans = std::move(model);
+        if (name == "eana")
+            eana = std::move(model);
+    }
+
+    std::printf("\nequivalence check (max |weight diff| over all "
+                "embedding tables):\n");
+    std::printf("  LazyDP(w/o ANS) vs DP-SGD(B): %.2e  <- identical "
+                "noise, identical model\n",
+                maxTableDiff(*lazy_noans, *eager));
+    std::printf("  EANA            vs DP-SGD(B): %.2e  <- diverges: "
+                "unaccessed rows never noised\n",
+                maxTableDiff(*eana, *eager));
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Criteo-style private CTR training.
+ *
+ * The workload the paper's introduction motivates: a DLRM over 26
+ * categorical features whose embedding-table accesses follow the
+ * highly skewed distribution of real ad-click logs (90% of accesses on
+ * 0.6% of rows -- the paper's "high skew" Criteo variant). Trains the
+ * same model with non-private SGD and with LazyDP and compares
+ * throughput, loss, and the resulting privacy budget; also demonstrates
+ * why EANA's shortcut is dangerous exactly here (skew concentrates its
+ * noise on hot rows, leaving cold rows observable).
+ *
+ *   $ ./criteo_ctr [table_mb] [steps]
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/factory.h"
+#include "core/lazydp.h"
+#include "data/data_loader.h"
+#include "dp/accountant.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+namespace {
+
+struct Outcome
+{
+    double msPerStep;
+    double firstLoss;
+    double lastLoss;
+};
+
+Outcome
+trainWith(const std::string &algo_name, const ModelConfig &cfg,
+          const DatasetConfig &data_cfg, std::uint64_t steps)
+{
+    DlrmModel model(cfg, 42);
+    SyntheticDataset dataset(data_cfg);
+    SequentialLoader loader(dataset);
+    TrainHyper hyper;
+    hyper.lr = 0.1f;
+    hyper.clipNorm = 1.0f;
+    hyper.noiseMultiplier = 1.1f;
+    auto algo = makeAlgorithm(algo_name, model, hyper);
+    Trainer trainer(*algo, loader);
+    const TrainResult r = trainer.run(steps);
+    return {1e3 * r.secondsPerIteration(), r.losses.front(),
+            r.losses.back()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t table_mb =
+        argc > 1 ? parseU64(argv[1]) : 192;
+    const std::uint64_t steps = argc > 2 ? parseU64(argv[2]) : 30;
+
+    ModelConfig cfg = ModelConfig::mlperfBench(table_mb << 20);
+    DatasetConfig data_cfg;
+    data_cfg.numDense = cfg.numDense;
+    data_cfg.numTables = cfg.numTables;
+    data_cfg.rowsPerTable = cfg.rowsPerTable;
+    data_cfg.pooling = cfg.pooling;
+    data_cfg.batchSize = 1024;
+    data_cfg.access = AccessConfig::criteoHigh();
+
+    std::printf("Criteo-style CTR model: 26 tables x %llu rows x 128 "
+                "dims (%s), high-skew accesses\n",
+                static_cast<unsigned long long>(cfg.rowsPerTable),
+                humanBytes(cfg.tableBytes()).c_str());
+
+    const Outcome sgd = trainWith("sgd", cfg, data_cfg, steps);
+    const Outcome lazy = trainWith("lazydp", cfg, data_cfg, steps);
+    const Outcome eager = trainWith("dpsgd-f", cfg, data_cfg, steps);
+
+    std::printf("\n%-10s %14s %12s %12s\n", "algo", "ms/step",
+                "loss(first)", "loss(last)");
+    auto row = [&](const char *name, const Outcome &o) {
+        std::printf("%-10s %14.1f %12.4f %12.4f\n", name, o.msPerStep,
+                    o.firstLoss, o.lastLoss);
+    };
+    row("SGD", sgd);
+    row("LazyDP", lazy);
+    row("DP-SGD(F)", eager);
+    std::printf("\nLazyDP slowdown vs SGD: %.2fx | speedup vs eager "
+                "DP-SGD(F): %.2fx\n",
+                lazy.msPerStep / sgd.msPerStep,
+                eager.msPerStep / lazy.msPerStep);
+
+    // privacy budget of the LazyDP run (identical accounting to eager
+    // DP-SGD; this is the whole point)
+    RdpAccountant acc(1.1, 1024.0 / 10e6); // batch over a 10M-user pool
+    acc.addSteps(steps);
+    std::printf("privacy after %llu steps over a 10M-example "
+                "population: epsilon = %.4f at delta = 1e-6\n",
+                static_cast<unsigned long long>(steps),
+                acc.epsilon(1e-6));
+
+    std::printf("\nwhy not EANA here? with 90%% of accesses on 0.6%% "
+                "of rows, EANA leaves >99%% of rows noise-free each "
+                "step, revealing which features never occur in the "
+                "data. LazyDP noises every row (lazily) and stays "
+                "within the DP-SGD guarantee.\n");
+    return 0;
+}

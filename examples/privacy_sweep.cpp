@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Privacy-utility sweep: trains the same model at several noise
+ * multipliers and reports final loss vs the (epsilon, delta) budget --
+ * the trade-off practitioners tune (cf. Denison et al., whose analysis
+ * the paper builds on).
+ *
+ *   $ ./privacy_sweep [steps]
+ */
+
+#include <cstdio>
+
+#include "core/lazydp.h"
+#include "data/data_loader.h"
+#include "dp/accountant.h"
+#include "common/string_util.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t steps = argc > 1 ? parseU64(argv[1]) : 200;
+    const float sigmas[] = {0.5f, 1.0f, 2.0f, 4.0f};
+    const std::uint64_t population = 500000;
+    const std::size_t batch = 512;
+
+    ModelConfig cfg = ModelConfig::tiny();
+    cfg.rowsPerTable = 8192;
+
+    std::printf("privacy-utility sweep: %llu LazyDP steps, batch %zu, "
+                "population %llu, delta = 1e-5\n\n",
+                static_cast<unsigned long long>(steps), batch,
+                static_cast<unsigned long long>(population));
+    std::printf("%8s %12s %12s %14s\n", "sigma", "loss(first)",
+                "loss(last)", "epsilon");
+
+    for (const float sigma : sigmas) {
+        DlrmModel model(cfg, 3);
+        DatasetConfig data_cfg;
+        data_cfg.numDense = cfg.numDense;
+        data_cfg.numTables = cfg.numTables;
+        data_cfg.rowsPerTable = cfg.rowsPerTable;
+        data_cfg.pooling = cfg.pooling;
+        data_cfg.batchSize = batch;
+        SyntheticDataset dataset(data_cfg);
+        PoissonLoader loader(dataset, population, batch, 11);
+
+        LazyDpOptions options;
+        options.noiseMultiplier = sigma;
+        options.maxGradientNorm = 1.0f;
+        options.lr = 0.1f;
+        auto algo = makePrivate(model, options);
+        Trainer trainer(*algo, loader);
+        const TrainResult r = trainer.run(steps);
+
+        RdpAccountant acc(sigma, loader.samplingRate());
+        acc.addSteps(steps);
+        std::printf("%8.1f %12.4f %12.4f %14.4f\n", sigma,
+                    r.losses.front(), r.losses.back(),
+                    acc.epsilon(1e-5));
+    }
+
+    std::printf("\nreading: larger sigma -> smaller epsilon (more "
+                "privacy) but noisier training; LazyDP changes the "
+                "speed of this sweep, never its outcome.\n");
+    return 0;
+}

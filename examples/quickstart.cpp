@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: train a small DLRM privately with LazyDP in ~30 lines.
+ *
+ * Mirrors the paper's Figure 9(a) user interface: build a model and a
+ * data loader, wrap them with makePrivate(), train, and read off the
+ * privacy budget.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/lazydp.h"
+#include "data/data_loader.h"
+#include "dp/accountant.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+int
+main()
+{
+    // 1. A small recommendation model: 3 embedding tables, 2 MLPs.
+    ModelConfig cfg = ModelConfig::tiny();
+    cfg.rowsPerTable = 4096;
+    DlrmModel model(cfg, /*seed=*/1);
+
+    // 2. A synthetic CTR dataset with Poisson subsampling (the sampling
+    //    assumption under which the RDP accountant is valid).
+    DatasetConfig data_cfg;
+    data_cfg.numDense = cfg.numDense;
+    data_cfg.numTables = cfg.numTables;
+    data_cfg.rowsPerTable = cfg.rowsPerTable;
+    data_cfg.pooling = cfg.pooling;
+    data_cfg.batchSize = 256;
+    SyntheticDataset dataset(data_cfg);
+    const std::uint64_t population = 100000;
+    PoissonLoader loader(dataset, population, /*expected_batch=*/256,
+                         /*seed=*/7);
+
+    // 3. Make it private (Figure 9(a)).
+    LazyDpOptions options;
+    options.noiseMultiplier = 1.1f;
+    options.maxGradientNorm = 1.0f;
+    options.lr = 0.1f;
+    options.lotSize = 256; // fixed normalization under Poisson sampling
+    auto private_algo = makePrivate(model, options);
+
+    // 4. Train.
+    const std::uint64_t steps = 150;
+    Trainer trainer(*private_algo, loader);
+    const TrainResult result = trainer.run(steps);
+
+    // 5. Report.
+    std::printf("trained %llu private steps in %.2f s (%.1f ms/step)\n",
+                static_cast<unsigned long long>(result.iterations),
+                result.wallSeconds,
+                1e3 * result.secondsPerIteration());
+    std::printf("loss: first %.4f -> last %.4f\n", result.losses.front(),
+                result.losses.back());
+
+    RdpAccountant accountant(options.noiseMultiplier,
+                             loader.samplingRate());
+    accountant.addSteps(steps);
+    int order = 0;
+    const double eps = accountant.epsilon(1e-5, &order);
+    std::printf("privacy: (epsilon = %.3f, delta = 1e-5) at RDP order "
+                "%d\n",
+                eps, order);
+    std::printf("the trained model is identical in distribution to one "
+                "trained with eager DP-SGD.\n");
+    return 0;
+}

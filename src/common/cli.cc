@@ -1,0 +1,84 @@
+#include "common/cli.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lazydp {
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+{
+    auto is_known = [&](const std::string &key) {
+        return std::find(known.begin(), known.end(), key) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string key = arg.substr(2);
+        std::string value;
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        if (!is_known(key)) {
+            std::string hint;
+            for (const auto &k : known)
+                hint += " --" + k;
+            fatal("unknown flag '--", key, "'; accepted flags:", hint);
+        }
+        values_[key] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+CliArgs::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::uint64_t
+CliArgs::getU64(const std::string &key, std::uint64_t def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : parseU64(it->second);
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : parseDouble(it->second);
+}
+
+bool
+CliArgs::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    if (it->second.empty() || it->second == "true" || it->second == "1")
+        return true;
+    if (it->second == "false" || it->second == "0")
+        return false;
+    fatal("flag '--", key, "' expects a boolean, got '", it->second,
+          "'");
+}
+
+} // namespace lazydp

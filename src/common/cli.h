@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and examples.
+ *
+ * Supports `--key=value` and `--key value` forms plus `--flag`
+ * booleans; unknown flags are fatal (typos should not silently pick
+ * defaults in an experiment driver).
+ */
+
+#ifndef LAZYDP_COMMON_CLI_H
+#define LAZYDP_COMMON_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lazydp {
+
+/** Parsed command line with typed, defaulted accessors. */
+class CliArgs
+{
+  public:
+    /**
+     * @param argc / @p argv main()'s arguments
+     * @param known the set of accepted flag names (without "--")
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &known);
+
+    /** @return true if the flag was given (with or without a value). */
+    bool has(const std::string &key) const;
+
+    /** @return string value or @p def. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** @return unsigned integer value or @p def; fatal on garbage. */
+    std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
+
+    /** @return double value or @p def; fatal on garbage. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** @return boolean: present without value or "=true"/"=1". */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** @return positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_CLI_H

@@ -1,0 +1,36 @@
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace lazydp {
+
+namespace {
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        f.fma = (ecx & bit_FMA) != 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        f.avx2 = (ebx & bit_AVX2) != 0;
+        f.avx512f = (ebx & bit_AVX512F) != 0;
+    }
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures features = detect();
+    return features;
+}
+
+} // namespace lazydp

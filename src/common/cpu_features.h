@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Host CPU feature detection (AVX2 / AVX-512F / FMA).
+ *
+ * The SIMD noise kernels select a code path at startup based on these
+ * flags; tests use them to skip ISA-specific cases on older hosts.
+ */
+
+#ifndef LAZYDP_COMMON_CPU_FEATURES_H
+#define LAZYDP_COMMON_CPU_FEATURES_H
+
+namespace lazydp {
+
+/** Feature flags of the executing CPU. */
+struct CpuFeatures
+{
+    bool avx2 = false;    //!< AVX2 (256-bit integer + FP)
+    bool avx512f = false; //!< AVX-512 Foundation
+    bool fma = false;     //!< fused multiply-add
+};
+
+/** @return cached feature flags of this host (queried once via cpuid). */
+const CpuFeatures &cpuFeatures();
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_CPU_FEATURES_H

@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lazydp {
+
+namespace {
+
+std::atomic<bool> throw_mode{false};
+
+} // namespace
+
+void
+setLogThrowMode(bool throw_instead_of_abort)
+{
+    throw_mode.store(throw_instead_of_abort);
+}
+
+bool
+logThrowMode()
+{
+    return throw_mode.load();
+}
+
+namespace detail {
+
+void
+panicImpl(const std::string &msg)
+{
+    if (throw_mode.load())
+        throw std::runtime_error("panic: " + msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    if (throw_mode.load())
+        throw std::runtime_error("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace detail
+
+} // namespace lazydp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Severity model follows the gem5 coding style:
+ *  - panic(): an internal invariant was violated (a LazyDP bug);
+ *    aborts so a debugger / core dump can capture state.
+ *  - fatal(): the user asked for something impossible (bad config);
+ *    exits with status 1.
+ *  - warn(): something is off but execution can continue.
+ *  - inform(): plain status messages.
+ */
+
+#ifndef LAZYDP_COMMON_LOGGING_H
+#define LAZYDP_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace lazydp {
+
+namespace detail {
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report an internal bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unusable user configuration and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a recoverable anomaly. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Test hook: when set, panic()/fatal() throw std::runtime_error instead
+ * of terminating, so death-path behaviour can be unit tested without
+ * gtest death tests.
+ */
+void setLogThrowMode(bool throw_instead_of_abort);
+
+/** @return true if throw mode is active (see setLogThrowMode). */
+bool logThrowMode();
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_LOGGING_H

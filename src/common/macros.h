@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Small utility macros shared across the LazyDP code base.
+ */
+
+#ifndef LAZYDP_COMMON_MACROS_H
+#define LAZYDP_COMMON_MACROS_H
+
+#include "common/logging.h"
+
+/**
+ * Assertion that stays enabled in release builds.
+ *
+ * The training kernels are always built with -O3; standard assert()
+ * would silently disappear, so invariants that guard correctness of
+ * the privacy mechanism use LAZYDP_ASSERT instead.
+ */
+#define LAZYDP_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::lazydp::panic("assertion failed: " #cond " | " __VA_ARGS__);\
+        }                                                                 \
+    } while (0)
+
+/** Marks a code path that must be unreachable. */
+#define LAZYDP_UNREACHABLE(msg) ::lazydp::panic("unreachable: " msg)
+
+#endif // LAZYDP_COMMON_MACROS_H

@@ -1,0 +1,152 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+void
+RunningStat::reset()
+{
+    n_ = 0;
+    mean_ = m2_ = m3_ = m4_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStat::push(double x)
+{
+    // Welford / Pebay update of the first four central moments.
+    const double n1 = static_cast<double>(n_);
+    ++n_;
+    const double n = static_cast<double>(n_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) +
+           6.0 * delta_n2 * m2_ - 4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::pushAll(const float *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        push(static_cast<double>(data[i]));
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::excessKurtosis() const
+{
+    if (n_ < 4 || m2_ == 0.0)
+        return 0.0;
+    const double n = static_cast<double>(n_);
+    return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+double
+RunningStat::skewness() const
+{
+    if (n_ < 3 || m2_ == 0.0)
+        return 0.0;
+    const double n = static_cast<double>(n_);
+    return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0),
+      underflow_(0),
+      overflow_(0),
+      total_(0)
+{
+    LAZYDP_ASSERT(hi > lo && bins > 0, "degenerate histogram");
+}
+
+void
+Histogram::push(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::chiSquared(const std::vector<double> &expected_probs) const
+{
+    LAZYDP_ASSERT(expected_probs.size() == counts_.size(),
+                  "probability vector must match bin count");
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double expected =
+            expected_probs[i] * static_cast<double>(total_);
+        if (expected <= 0.0)
+            continue;
+        const double diff = static_cast<double>(counts_[i]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    return chi2;
+}
+
+double
+quantile(std::vector<double> v, double q)
+{
+    LAZYDP_ASSERT(!v.empty(), "quantile of empty vector");
+    LAZYDP_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= v.size())
+        return v.back();
+    return v[idx] * (1.0 - frac) + v[idx + 1] * frac;
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace lazydp

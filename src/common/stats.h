@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Streaming statistics helpers used by tests (distribution checks on the
+ * Gaussian samplers) and by benches (run-to-run variation).
+ */
+
+#ifndef LAZYDP_COMMON_STATS_H
+#define LAZYDP_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lazydp {
+
+/**
+ * Welford-style running mean / variance / extrema accumulator.
+ *
+ * Numerically stable for the billions of noise samples pushed through it
+ * by the RNG distribution tests.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() { reset(); }
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Accumulate one sample. */
+    void push(double x);
+
+    /** Accumulate a batch of samples. */
+    void pushAll(const float *data, std::size_t n);
+
+    /** @return number of samples pushed. */
+    std::size_t count() const { return n_; }
+
+    /** @return sample mean (0 if empty). */
+    double mean() const { return mean_; }
+
+    /** @return unbiased sample variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample seen. */
+    double min() const { return min_; }
+
+    /** @return largest sample seen. */
+    double max() const { return max_; }
+
+    /**
+     * Excess-kurtosis estimate; ~0 for a Gaussian.  Used by the
+     * distribution property tests to reject non-normal samplers.
+     */
+    double excessKurtosis() const;
+
+    /** Skewness estimate; ~0 for symmetric distributions. */
+    double skewness() const;
+
+  private:
+    std::size_t n_;
+    double mean_;
+    double m2_;
+    double m3_;
+    double m4_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-bin histogram over a closed interval.
+ *
+ * Samples outside the interval land in saturating under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the tracked interval
+     * @param hi upper edge of the tracked interval
+     * @param bins number of equal-width bins
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Accumulate one sample. */
+    void push(double x);
+
+    /** @return count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** @return count of samples below the tracked interval. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** @return count of samples above the tracked interval. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return total samples pushed. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return center x-value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /**
+     * Chi-squared statistic of the observed counts against expected
+     * per-bin probabilities @p expected_probs (same length as bins()).
+     */
+    double chiSquared(const std::vector<double> &expected_probs) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_;
+    std::uint64_t overflow_;
+    std::uint64_t total_;
+};
+
+/** @return the @p q quantile (0..1) of @p v; @p v is copied and sorted. */
+double quantile(std::vector<double> v, double q);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_STATS_H

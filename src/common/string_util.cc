@@ -1,0 +1,91 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace lazydp {
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    int unit = 0;
+    while (v >= 1000.0 && unit < 4) {
+        v /= 1000.0;
+        ++unit;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[unit]);
+    return buf;
+}
+
+std::string
+humanSeconds(double seconds)
+{
+    char buf[32];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    return buf;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &s)
+{
+    try {
+        std::size_t pos = 0;
+        const auto v = std::stoull(s, &pos);
+        if (pos != s.size())
+            fatal("trailing characters in integer: '", s, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("not an integer: '", s, "'");
+    } catch (const std::out_of_range &) {
+        fatal("integer out of range: '", s, "'");
+    }
+}
+
+double
+parseDouble(const std::string &s)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size())
+            fatal("trailing characters in number: '", s, "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        fatal("not a number: '", s, "'");
+    } catch (const std::out_of_range &) {
+        fatal("number out of range: '", s, "'");
+    }
+}
+
+} // namespace lazydp

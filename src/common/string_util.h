@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string-formatting helpers for reports and logs.
+ */
+
+#ifndef LAZYDP_COMMON_STRING_UTIL_H
+#define LAZYDP_COMMON_STRING_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazydp {
+
+/** Format a byte count human-readably, e.g. "96.0 GB", "213.0 KB". */
+std::string humanBytes(std::uint64_t bytes);
+
+/** Format seconds adaptively (ns / us / ms / s). */
+std::string humanSeconds(double seconds);
+
+/** Split @p s on @p sep, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Parse a non-negative integer; calls fatal() on malformed input. */
+std::uint64_t parseU64(const std::string &s);
+
+/** Parse a double; calls fatal() on malformed input. */
+double parseDouble(const std::string &s);
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_STRING_UTIL_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Column-aligned table printing for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one of the paper's figures by printing
+ * the same rows/series the figure plots; TablePrinter renders those rows
+ * both as an aligned console table and (optionally) as CSV.
+ */
+
+#ifndef LAZYDP_COMMON_TABLE_PRINTER_H
+#define LAZYDP_COMMON_TABLE_PRINTER_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lazydp {
+
+/** Builds and renders a simple text table. */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render as an aligned console table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_TABLE_PRINTER_H

@@ -1,0 +1,93 @@
+#include "common/timer.h"
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Forward:            return "Fwd";
+      case Stage::BackwardPerExample: return "Bwd(per-example)";
+      case Stage::BackwardPerBatch:   return "Bwd(per-batch)";
+      case Stage::GradCoalesce:       return "Gradient coalescing";
+      case Stage::NoiseSampling:      return "Noise sampling";
+      case Stage::NoisyGradGen:       return "Noisy gradient generation";
+      case Stage::NoisyGradUpdate:    return "Noisy gradient update";
+      case Stage::LazyOverhead:       return "LazyDP overhead";
+      case Stage::Else:               return "Else";
+      default: break;
+    }
+    LAZYDP_UNREACHABLE("bad Stage value");
+}
+
+StageTimer::StageTimer()
+    : acc_(static_cast<std::size_t>(Stage::NumStages), 0.0),
+      running_(Stage::Else),
+      active_(false)
+{
+}
+
+void
+StageTimer::reset()
+{
+    acc_.assign(static_cast<std::size_t>(Stage::NumStages), 0.0);
+    active_ = false;
+}
+
+void
+StageTimer::start(Stage s)
+{
+    LAZYDP_ASSERT(!active_, "StageTimer regions must not nest");
+    running_ = s;
+    active_ = true;
+    clock_.reset();
+}
+
+void
+StageTimer::stop()
+{
+    LAZYDP_ASSERT(active_, "StageTimer::stop without start");
+    acc_[static_cast<std::size_t>(running_)] += clock_.seconds();
+    active_ = false;
+}
+
+void
+StageTimer::add(Stage s, double seconds)
+{
+    acc_[static_cast<std::size_t>(s)] += seconds;
+}
+
+double
+StageTimer::seconds(Stage s) const
+{
+    return acc_[static_cast<std::size_t>(s)];
+}
+
+double
+StageTimer::totalSeconds() const
+{
+    double total = 0.0;
+    for (double v : acc_)
+        total += v;
+    return total;
+}
+
+std::map<std::string, double>
+StageTimer::breakdown() const
+{
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < acc_.size(); ++i)
+        out[stageName(static_cast<Stage>(i))] = acc_[i];
+    return out;
+}
+
+void
+StageTimer::merge(const StageTimer &other)
+{
+    for (std::size_t i = 0; i < acc_.size(); ++i)
+        acc_[i] += other.acc_[i];
+}
+
+} // namespace lazydp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wall-clock timing utilities, including the per-stage accounting the
+ * paper's figures are built from (Fwd / Bwd / model-update substages).
+ */
+
+#ifndef LAZYDP_COMMON_TIMER_H
+#define LAZYDP_COMMON_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lazydp {
+
+/** Monotonic wall-clock stopwatch with nanosecond resolution. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return nanoseconds elapsed since construction or last reset(). */
+    std::uint64_t
+    nanoseconds() const
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Named training stages used for latency breakdowns.
+ *
+ * These mirror the stages of Figures 3, 5, 10 and 11 in the paper.
+ */
+enum class Stage : std::uint8_t
+{
+    Forward = 0,          //!< forward propagation
+    BackwardPerExample,   //!< per-example weight-gradient derivation
+    BackwardPerBatch,     //!< per-batch weight-gradient derivation
+    GradCoalesce,         //!< duplicate-index coalescing of sparse grads
+    NoiseSampling,        //!< Gaussian noise generation
+    NoisyGradGen,         //!< merging gradient and noise tensors
+    NoisyGradUpdate,      //!< applying the noisy gradient to the model
+    LazyOverhead,         //!< HistoryTable upkeep, next-batch dedup, ANS std
+    Else,                 //!< everything not attributed above
+    NumStages
+};
+
+/** @return a short human-readable stage name. */
+const char *stageName(Stage s);
+
+/**
+ * Accumulates wall time per Stage across many training iterations.
+ *
+ * The trainer brackets each region with start()/stop(); benches read
+ * totals to print the paper's breakdown figures.
+ */
+class StageTimer
+{
+  public:
+    StageTimer();
+
+    /** Zero all accumulated stage times. */
+    void reset();
+
+    /** Begin attributing time to stage @p s (no nesting allowed). */
+    void start(Stage s);
+
+    /** Stop the currently running stage. */
+    void stop();
+
+    /** Add @p seconds to stage @p s directly (for modeled latencies). */
+    void add(Stage s, double seconds);
+
+    /** @return accumulated seconds for stage @p s. */
+    double seconds(Stage s) const;
+
+    /** @return sum of all stage times in seconds. */
+    double totalSeconds() const;
+
+    /** @return map of stage-name -> seconds for reporting. */
+    std::map<std::string, double> breakdown() const;
+
+    /** Accumulate another timer's totals into this one. */
+    void merge(const StageTimer &other);
+
+  private:
+    std::vector<double> acc_;
+    WallTimer clock_;
+    Stage running_;
+    bool active_;
+};
+
+/** RAII guard that times a region into a StageTimer. */
+class ScopedStage
+{
+  public:
+    ScopedStage(StageTimer &timer, Stage s) : timer_(timer)
+    {
+        timer_.start(s);
+    }
+    ~ScopedStage() { timer_.stop(); }
+
+    ScopedStage(const ScopedStage &) = delete;
+    ScopedStage &operator=(const ScopedStage &) = delete;
+
+  private:
+    StageTimer &timer_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_TIMER_H

@@ -1,0 +1,44 @@
+#include "core/factory.h"
+
+#include "common/logging.h"
+#include "core/lazydp.h"
+#include "dp/dp_sgd_b.h"
+#include "dp/dp_sgd_f.h"
+#include "dp/dp_sgd_r.h"
+#include "dp/eana.h"
+#include "train/sgd.h"
+
+namespace lazydp {
+
+std::unique_ptr<Algorithm>
+makeAlgorithm(const std::string &name, DlrmModel &model,
+              const TrainHyper &hyper)
+{
+    if (name == "sgd")
+        return std::make_unique<SgdAlgorithm>(model, hyper);
+    if (name == "dpsgd-b")
+        return std::make_unique<DpSgdB>(model, hyper);
+    if (name == "dpsgd-r")
+        return std::make_unique<DpSgdR>(model, hyper);
+    if (name == "dpsgd-f")
+        return std::make_unique<DpSgdF>(model, hyper);
+    if (name == "eana")
+        return std::make_unique<EanaAlgorithm>(model, hyper);
+    if (name == "lazydp")
+        return std::make_unique<LazyDpAlgorithm>(model, hyper, true);
+    if (name == "lazydp-noans")
+        return std::make_unique<LazyDpAlgorithm>(model, hyper, false);
+    fatal("unknown algorithm '", name, "'");
+}
+
+const std::vector<std::string> &
+algorithmNames()
+{
+    static const std::vector<std::string> names = {
+        "sgd",    "dpsgd-b", "dpsgd-r",      "dpsgd-f",
+        "eana",   "lazydp",  "lazydp-noans",
+    };
+    return names;
+}
+
+} // namespace lazydp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Name-keyed algorithm factory used by the benches and examples.
+ */
+
+#ifndef LAZYDP_CORE_FACTORY_H
+#define LAZYDP_CORE_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dlrm.h"
+#include "train/algorithm.h"
+
+namespace lazydp {
+
+/**
+ * Instantiate a training algorithm by name.
+ *
+ * Recognized names: "sgd", "dpsgd-b", "dpsgd-r", "dpsgd-f", "eana",
+ * "lazydp", "lazydp-noans". fatal() on unknown names.
+ */
+std::unique_ptr<Algorithm> makeAlgorithm(const std::string &name,
+                                         DlrmModel &model,
+                                         const TrainHyper &hyper);
+
+/** @return all recognized algorithm names. */
+const std::vector<std::string> &algorithmNames();
+
+} // namespace lazydp
+
+#endif // LAZYDP_CORE_FACTORY_H

@@ -1,0 +1,92 @@
+#include "core/history_table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+HistoryTable::HistoryTable(std::size_t num_tables,
+                           std::uint64_t rows_per_table)
+    : rowsPerTable_(rows_per_table)
+{
+    LAZYDP_ASSERT(num_tables > 0 && rows_per_table > 0,
+                  "degenerate history table");
+    entries_.resize(num_tables);
+    for (auto &t : entries_)
+        t.assign(rows_per_table, 0);
+}
+
+HistoryTable::HistoryTable(const std::vector<std::uint64_t> &rows)
+    : rowsPerTable_(0)
+{
+    LAZYDP_ASSERT(!rows.empty(), "degenerate history table");
+    entries_.resize(rows.size());
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+        LAZYDP_ASSERT(rows[t] > 0, "table with zero rows");
+        entries_[t].assign(rows[t], 0);
+        rowsPerTable_ = std::max<std::uint64_t>(rowsPerTable_, rows[t]);
+    }
+}
+
+void
+HistoryTable::delaysAndRenew(std::size_t table,
+                             std::span<const std::uint32_t> rows,
+                             std::uint64_t iter,
+                             std::vector<std::uint32_t> &delays)
+{
+    LAZYDP_ASSERT(table < entries_.size(), "table out of range");
+    LAZYDP_ASSERT(iter < (1ull << 32), "iteration id exceeds 32 bits");
+    auto &h = entries_[table];
+    delays.resize(rows.size());
+    const auto it32 = static_cast<std::uint32_t>(iter);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint32_t row = rows[i];
+        LAZYDP_ASSERT(row < h.size(), "row out of range");
+        LAZYDP_ASSERT(h[row] <= it32, "history ahead of current iteration");
+        delays[i] = it32 - h[row];
+        h[row] = it32;
+    }
+}
+
+void
+HistoryTable::delays(std::size_t table,
+                     std::span<const std::uint32_t> rows,
+                     std::uint64_t iter,
+                     std::vector<std::uint32_t> &delays) const
+{
+    LAZYDP_ASSERT(table < entries_.size(), "table out of range");
+    LAZYDP_ASSERT(iter < (1ull << 32), "iteration id exceeds 32 bits");
+    const auto &h = entries_[table];
+    delays.resize(rows.size());
+    const auto it32 = static_cast<std::uint32_t>(iter);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint32_t row = rows[i];
+        LAZYDP_ASSERT(row < h.size(), "row out of range");
+        LAZYDP_ASSERT(h[row] <= it32, "history ahead of current iteration");
+        delays[i] = it32 - h[row];
+    }
+}
+
+void
+HistoryTable::renewAll(std::size_t table,
+                       std::span<const std::uint32_t> rows,
+                       std::uint64_t iter)
+{
+    LAZYDP_ASSERT(table < entries_.size(), "table out of range");
+    auto &h = entries_[table];
+    const auto it32 = static_cast<std::uint32_t>(iter);
+    for (const std::uint32_t row : rows)
+        h[row] = it32;
+}
+
+std::uint64_t
+HistoryTable::bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : entries_)
+        total += t.size() * sizeof(std::uint32_t);
+    return total;
+}
+
+} // namespace lazydp

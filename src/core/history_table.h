@@ -1,0 +1,110 @@
+/**
+ * @file
+ * HistoryTable (paper Section 5.2.1, Algorithm 1 lines 1-2 and 13-16).
+ *
+ * Tracks, per embedding row, the most recent iteration whose noise has
+ * been applied. The naive alternative -- a per-row counter of pending
+ * noise updates incremented every iteration -- would itself generate
+ * dense write traffic; storing the last-updated iteration id instead
+ * means writes happen only for the sparsely accessed rows, and the
+ * pending count is recovered as (current_iter - stored_iter).
+ *
+ * Memory: 4 bytes per embedding row (~751 MB for the paper's 96 GB
+ * model, <1% of model size; Section 7.2).
+ */
+
+#ifndef LAZYDP_CORE_HISTORY_TABLE_H
+#define LAZYDP_CORE_HISTORY_TABLE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lazydp {
+
+/** Per-row last-noise-update iteration ids for all embedding tables. */
+class HistoryTable
+{
+  public:
+    /**
+     * @param num_tables embedding table count
+     * @param rows_per_table rows in each table (uniform)
+     */
+    HistoryTable(std::size_t num_tables, std::uint64_t rows_per_table);
+
+    /** Heterogeneous variant: one row count per table. */
+    explicit HistoryTable(const std::vector<std::uint64_t> &rows);
+
+    /** @return last noised iteration of (table, row); 0 = never. */
+    std::uint32_t
+    lastNoised(std::size_t table, std::uint64_t row) const
+    {
+        return entries_[table][row];
+    }
+
+    /**
+     * For each row in @p rows: delays[i] = iter - H[row], then renew
+     * H[row] = iter (Algorithm 1 lines 13-16).
+     *
+     * @param rows unique row ids about to be accessed next iteration
+     * @param iter current iteration id
+     * @param delays output, resized to rows.size()
+     */
+    void delaysAndRenew(std::size_t table,
+                        std::span<const std::uint32_t> rows,
+                        std::uint64_t iter,
+                        std::vector<std::uint32_t> &delays);
+
+    /** Read-only half of delaysAndRenew (Fig 11 instrumentation). */
+    void delays(std::size_t table, std::span<const std::uint32_t> rows,
+                std::uint64_t iter,
+                std::vector<std::uint32_t> &delays) const;
+
+    /** Write half of delaysAndRenew: H[row] = iter for all rows. */
+    void renewAll(std::size_t table, std::span<const std::uint32_t> rows,
+                  std::uint64_t iter);
+
+    /** Renew a single row without reading (used by the final flush). */
+    void
+    renew(std::size_t table, std::uint64_t row, std::uint64_t iter)
+    {
+        entries_[table][row] = static_cast<std::uint32_t>(iter);
+    }
+
+    std::size_t numTables() const { return entries_.size(); }
+
+    /** @return rows tracked for table @p t. */
+    std::uint64_t
+    rowsForTable(std::size_t t) const
+    {
+        return entries_[t].size();
+    }
+
+    /** @return uniform row count (largest table for hetero configs). */
+    std::uint64_t rowsPerTable() const { return rowsPerTable_; }
+
+    /** @return raw entries of table @p t (checkpointing). */
+    std::span<const std::uint32_t>
+    entries(std::size_t t) const
+    {
+        return {entries_[t].data(), entries_[t].size()};
+    }
+
+    /** @return mutable raw entries of table @p t (checkpoint load). */
+    std::span<std::uint32_t>
+    entriesMutable(std::size_t t)
+    {
+        return {entries_[t].data(), entries_[t].size()};
+    }
+
+    /** @return metadata footprint in bytes (4 B per row). */
+    std::uint64_t bytes() const;
+
+  private:
+    std::uint64_t rowsPerTable_;
+    std::vector<std::vector<std::uint32_t>> entries_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_CORE_HISTORY_TABLE_H

@@ -1,0 +1,361 @@
+#include "core/lazydp.h"
+
+#include <algorithm>
+#include <vector>
+#include <cmath>
+
+#include "common/macros.h"
+#include "rng/xoshiro.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+LazyDpAlgorithm::LazyDpAlgorithm(DlrmModel &model, const TrainHyper &hyper,
+                                 bool use_ans)
+    : DpEngineBase(model, hyper),
+      useAns_(use_ans),
+      history_([&] {
+          std::vector<std::uint64_t> rows(model.config().numTables);
+          for (std::size_t t = 0; t < rows.size(); ++t)
+              rows[t] = model.config().rowsForTable(t);
+          return rows;
+      }())
+{
+    if (hyper.weightDecay != 0.0f) {
+        std::vector<std::uint64_t> rows(model.config().numTables);
+        for (std::size_t t = 0; t < rows.size(); ++t)
+            rows[t] = model.config().rowsForTable(t);
+        decayed_ = std::make_unique<HistoryTable>(rows);
+    }
+}
+
+double
+LazyDpAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
+                      const MiniBatch *next, StageTimer &timer)
+{
+    const std::size_t batch = cur.batchSize;
+    lastBatchSize_ = batch;
+    const double loss = forwardAndLoss(cur, timer);
+
+    // Clipping machinery identical to DP-SGD(F): ghost-norm pass, then
+    // a reweighted per-batch backward (Algorithm 1 lines 8-10).
+    timer.start(Stage::BackwardPerExample);
+    normSq_.assign(batch, 0.0);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
+    clipScales(normSq_, hyper_.clipNorm, scales_);
+    timer.stop();
+
+    timer.start(Stage::BackwardPerBatch);
+    scaleRows(dLogits_, scales_);
+    model_.backward(dLogits_);
+    timer.stop();
+
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        lazyTableUpdate(iter, t, cur, next, batch, timer);
+
+    // Dense MLP layers: identical DP protection to DP-SGD(F).
+    noisyMlpUpdate(iter, batch, timer);
+    return loss;
+}
+
+void
+LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
+                                 const MiniBatch &cur,
+                                 const MiniBatch *next, std::size_t batch,
+                                 StageTimer &timer)
+{
+    EmbeddingTable &tbl = model_.tables()[t];
+    const std::size_t dim = tbl.dim();
+    const auto table_id = static_cast<std::uint32_t>(t);
+
+    // Coalesce this iteration's clipped sparse gradient.
+    timer.start(Stage::GradCoalesce);
+    SparseGrad &grad = sparseGrads_[t];
+    model_.embeddingBackward(cur, t, grad);
+    timer.stop();
+
+    // LazyDP bookkeeping (the 15% overhead of Figure 11): deduplicate
+    // the next iteration's accesses, derive delayed-update counts from
+    // the HistoryTable and renew it (Algorithm 1 lines 11-16).
+    timer.start(Stage::LazyOverhead);
+    if (next != nullptr) {
+        // Sub-timed for the Figure 11 overhead breakdown: (1) dedup of
+        // the next batch's indices, (2) HistoryTable read + delay
+        // derivation (the ANS stddev inputs), (3) HistoryTable renewal.
+        WallTimer sub;
+        uniqueRows(next->tableIndices(t), nextUnique_);
+        overhead_.dedupSeconds += sub.seconds();
+        sub.reset();
+        history_.delays(t, nextUnique_, iter, delays_);
+        if (decayed_ != nullptr) {
+            decayed_->delays(t, nextUnique_, iter, decayDelays_);
+        }
+        overhead_.historyReadSeconds += sub.seconds();
+        sub.reset();
+        history_.renewAll(t, nextUnique_, iter);
+        if (decayed_ != nullptr)
+            decayed_->renewAll(t, nextUnique_, iter);
+        overhead_.historyWriteSeconds += sub.seconds();
+    } else {
+        nextUnique_.clear();
+        delays_.clear();
+        decayDelays_.clear();
+    }
+    timer.stop();
+
+    // Noise sampling for ONLY the rows about to be accessed
+    // (Algorithm 1 lines 17-18 / procedure NoiseSampling).
+    timer.start(Stage::NoiseSampling);
+    if (!nextUnique_.empty()) {
+        if (noiseVals_.rows() < nextUnique_.size() ||
+            noiseVals_.cols() != dim) {
+            noiseVals_.resize(nextUnique_.size(), dim);
+        }
+        const float sigma = noiseStddev();
+#pragma omp parallel for schedule(static)
+        for (std::size_t i = 0; i < nextUnique_.size(); ++i) {
+            float *dst = noiseVals_.data() + i * dim;
+            std::fill(dst, dst + dim, 0.0f);
+            if (delays_[i] == 0)
+                continue; // noised this very iteration already
+            const std::uint64_t from = iter - delays_[i] + 1;
+            if (decayed_ == nullptr) {
+                if (useAns_) {
+                    noise_.aggregatedRowNoise(from, iter, table_id,
+                                              nextUnique_[i], sigma,
+                                              1.0f, dst, dim);
+                } else {
+                    noise_.accumulateRowNoise(from, iter, table_id,
+                                              nextUnique_[i], sigma,
+                                              1.0f, dst, dim);
+                }
+            } else {
+                // Deferred decay: pending noises pick up the geometric
+                // weights an eager engine would have applied.
+                const float alpha = decayAlpha();
+                if (useAns_) {
+                    noise_.aggregatedGeometricRowNoise(
+                        from, iter, table_id, nextUnique_[i], alpha,
+                        sigma, 1.0f, dst, dim);
+                } else {
+                    noise_.geometricRowNoise(from, iter, table_id,
+                                             nextUnique_[i], alpha,
+                                             sigma, 1.0f, dst, dim);
+                }
+            }
+        }
+    }
+    timer.stop();
+
+    // Merge sparse gradient and sparse noise into one update list
+    // (Algorithm 1 lines 19-20). Both row lists are sorted.
+    timer.start(Stage::NoisyGradGen);
+    mergedRows_.clear();
+    mergedRows_.reserve(grad.rows.size() + nextUnique_.size());
+    {
+        std::size_t gi = 0, ni = 0;
+        while (gi < grad.rows.size() || ni < nextUnique_.size()) {
+            std::uint32_t row;
+            if (ni >= nextUnique_.size() ||
+                (gi < grad.rows.size() &&
+                 grad.rows[gi] <= nextUnique_[ni])) {
+                row = grad.rows[gi];
+            } else {
+                row = nextUnique_[ni];
+            }
+            mergedRows_.push_back(row);
+            if (gi < grad.rows.size() && grad.rows[gi] == row)
+                ++gi;
+            if (ni < nextUnique_.size() && nextUnique_[ni] == row)
+                ++ni;
+        }
+    }
+    if (mergedVals_.rows() < mergedRows_.size() ||
+        mergedVals_.cols() != dim) {
+        mergedVals_.resize(std::max<std::size_t>(mergedRows_.size(), 1),
+                           dim);
+    }
+    {
+        std::size_t gi = 0, ni = 0;
+        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
+            float *dst = mergedVals_.data() + m * dim;
+            const std::uint32_t row = mergedRows_[m];
+            bool wrote = false;
+            if (gi < grad.rows.size() && grad.rows[gi] == row) {
+                std::memcpy(dst, grad.values.data() + gi * dim,
+                            dim * sizeof(float));
+                wrote = true;
+                ++gi;
+            }
+            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
+                const float *nv = noiseVals_.data() + ni * dim;
+                if (wrote)
+                    simd::add(dst, dst, nv, dim);
+                else
+                    std::memcpy(dst, nv, dim * sizeof(float));
+                ++ni;
+            }
+        }
+    }
+    timer.stop();
+
+    // Sparse model update (Algorithm 1 lines 21-25): orders of
+    // magnitude less memory traffic than the dense eager update.
+    timer.start(Stage::NoisyGradUpdate);
+    const float step_scale = hyper_.lr / normDenominator(batch);
+    if (decayed_ == nullptr) {
+        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
+            simd::axpy(tbl.rowPtr(mergedRows_[m]),
+                       mergedVals_.data() + m * dim, dim, -step_scale);
+        }
+    } else {
+        // With deferred decay: each merged row is first scaled by
+        // alpha^(pending decay steps), then receives its (already
+        // geometrically weighted) noise plus this iteration's gradient.
+        const float alpha = decayAlpha();
+        std::size_t gi = 0, ni = 0;
+        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
+            const std::uint32_t row = mergedRows_[m];
+            std::uint64_t decay_steps = 0;
+            bool in_next = false;
+            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
+                decay_steps = decayDelays_[ni];
+                in_next = true;
+                ++ni;
+            }
+            const bool in_grad =
+                gi < grad.rows.size() && grad.rows[gi] == row;
+            if (in_grad) {
+                // accessed this iteration: one more decay step covers
+                // iteration `iter` itself (the gradient is not decayed,
+                // matching the eager ordering w <- a*w - lr/B*(g+n))
+                if (!in_next) {
+                    // not flushed now; its single-step decay happens
+                    // here and is recorded in the decay table
+                    decay_steps = iter - decayed_->lastNoised(t, row);
+                    decayed_->renew(t, row, iter);
+                }
+                ++gi;
+            }
+            if (decay_steps > 0) {
+                simd::scale(tbl.rowPtr(row), dim,
+                            std::pow(alpha,
+                                     static_cast<float>(decay_steps)));
+            }
+            simd::axpy(tbl.rowPtr(row), mergedVals_.data() + m * dim,
+                       dim, -step_scale);
+        }
+    }
+    timer.stop();
+}
+
+void
+LazyDpAlgorithm::finalize(std::uint64_t last_iter, StageTimer &timer)
+{
+    if (last_iter == 0)
+        return;
+    // One dense catch-up sweep: every row receives its pending noise so
+    // the released model equals the eager DP-SGD model. Amortized over
+    // the whole training run; attributed to Else (not a per-iteration
+    // stage of the paper's figures).
+    timer.start(Stage::Else);
+    const float sigma = noiseStddev();
+    // The per-iteration noise scaling used throughout training.
+    const float step_scale =
+        hyper_.lr /
+        normDenominator(lastBatchSize_ == 0 ? 1 : lastBatchSize_);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        EmbeddingTable &tbl = model_.tables()[t];
+        const std::size_t dim = tbl.dim();
+        const auto table_id = static_cast<std::uint32_t>(t);
+#pragma omp parallel for schedule(static)
+        for (std::uint64_t r = 0; r < tbl.rows(); ++r) {
+            const std::uint32_t last = history_.lastNoised(t, r);
+            if (decayed_ != nullptr) {
+                const std::uint32_t last_decay =
+                    decayed_->lastNoised(t, r);
+                if (last_decay < last_iter) {
+                    simd::scale(
+                        tbl.rowPtr(r), dim,
+                        std::pow(decayAlpha(),
+                                 static_cast<float>(last_iter -
+                                                    last_decay)));
+                    decayed_->renew(t, r, last_iter);
+                }
+            }
+            if (last >= last_iter)
+                continue;
+            if (decayed_ == nullptr) {
+                if (useAns_) {
+                    noise_.aggregatedRowNoise(last + 1, last_iter,
+                                              table_id, r, sigma,
+                                              -step_scale,
+                                              tbl.rowPtr(r), dim);
+                } else {
+                    noise_.accumulateRowNoise(last + 1, last_iter,
+                                              table_id, r, sigma,
+                                              -step_scale,
+                                              tbl.rowPtr(r), dim);
+                }
+            } else {
+                if (useAns_) {
+                    noise_.aggregatedGeometricRowNoise(
+                        last + 1, last_iter, table_id, r, decayAlpha(),
+                        sigma, -step_scale, tbl.rowPtr(r), dim);
+                } else {
+                    noise_.geometricRowNoise(last + 1, last_iter,
+                                             table_id, r, decayAlpha(),
+                                             sigma, -step_scale,
+                                             tbl.rowPtr(r), dim);
+                }
+            }
+            history_.renew(t, r, last_iter);
+        }
+    }
+    timer.stop();
+}
+
+void
+LazyDpAlgorithm::warmStartHistory(std::uint64_t start_iter,
+                                  double expected_delay,
+                                  std::uint64_t seed)
+{
+    LAZYDP_ASSERT(expected_delay >= 1.0, "expected delay below one");
+    Xoshiro256 rng(seed);
+    const double p = 1.0 / expected_delay;
+    const double log1mp = std::log1p(-std::min(p, 0.999999));
+    for (std::size_t t = 0; t < history_.numTables(); ++t) {
+        for (std::uint64_t r = 0; r < history_.rowsForTable(t); ++r) {
+            // age ~ 1 + Geometric(p): stationary gap since the last
+            // lazy noise flush under uniform accesses
+            const double u = std::max(rng.nextDouble(), 1e-12);
+            auto age = static_cast<std::uint64_t>(
+                           1.0 + std::log(u) / log1mp);
+            age = std::min(age, start_iter);
+            history_.renew(t, r, start_iter - age);
+        }
+    }
+}
+
+std::uint64_t
+LazyDpAlgorithm::metadataBytes() const
+{
+    return history_.bytes();
+}
+
+std::unique_ptr<LazyDpAlgorithm>
+makePrivate(DlrmModel &model, const LazyDpOptions &options)
+{
+    TrainHyper hyper;
+    hyper.lr = options.lr;
+    hyper.clipNorm = options.maxGradientNorm;
+    hyper.noiseMultiplier = options.noiseMultiplier;
+    hyper.noiseSeed = options.noiseSeed;
+    hyper.lotSize = options.lotSize;
+    hyper.kernel = options.kernel;
+    return std::make_unique<LazyDpAlgorithm>(model, hyper,
+                                             options.useAns);
+}
+
+} // namespace lazydp

@@ -1,0 +1,153 @@
+#include "data/access_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+AccessConfig
+AccessConfig::criteoLow()
+{
+    // 90% of accesses on 36% of table entries (paper Section 7.3).
+    AccessConfig c;
+    c.pattern = AccessPattern::HotCold;
+    c.hotFrac = 0.36;
+    c.hotMass = 0.90;
+    return c;
+}
+
+AccessConfig
+AccessConfig::criteoMedium()
+{
+    // 90% of accesses on 10% of table entries.
+    AccessConfig c;
+    c.pattern = AccessPattern::HotCold;
+    c.hotFrac = 0.10;
+    c.hotMass = 0.90;
+    return c;
+}
+
+AccessConfig
+AccessConfig::criteoHigh()
+{
+    // 90% of accesses on 0.6% of table entries.
+    AccessConfig c;
+    c.pattern = AccessPattern::HotCold;
+    c.hotFrac = 0.006;
+    c.hotMass = 0.90;
+    return c;
+}
+
+AccessConfig
+AccessConfig::uniform()
+{
+    return AccessConfig{};
+}
+
+namespace {
+
+// Helpers for Hörmann/Devroye rejection-inversion Zipf sampling.
+
+/** H(x) = integral of x^-s, generalized to be continuous at s == 1. */
+double
+zipfH(double x, double s)
+{
+    const double log_x = std::log(x);
+    if (std::abs(1.0 - s) < 1e-12)
+        return log_x;
+    return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+}
+
+/** Inverse of zipfH. */
+double
+zipfHinv(double x, double s)
+{
+    if (std::abs(1.0 - s) < 1e-12)
+        return std::exp(x);
+    return std::exp(std::log1p(x * (1.0 - s)) / (1.0 - s));
+}
+
+/** h(x) = x^-s. */
+double
+zipfh(double x, double s)
+{
+    return std::exp(-s * std::log(x));
+}
+
+} // namespace
+
+AccessGenerator::AccessGenerator(const AccessConfig &config,
+                                 std::uint64_t rows)
+    : config_(config), rows_(rows)
+{
+    LAZYDP_ASSERT(rows_ > 0, "table must have at least one row");
+    LAZYDP_ASSERT(rows_ <= (1ull << 32), "row indices are 32-bit");
+
+    switch (config_.pattern) {
+      case AccessPattern::Uniform:
+        break;
+      case AccessPattern::HotCold:
+        LAZYDP_ASSERT(config_.hotFrac > 0.0 && config_.hotFrac <= 1.0,
+                      "hotFrac must be in (0, 1]");
+        LAZYDP_ASSERT(config_.hotMass >= 0.0 && config_.hotMass <= 1.0,
+                      "hotMass must be in [0, 1]");
+        hotRows_ = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   config_.hotFrac * static_cast<double>(rows_)));
+        hotRows_ = std::min(hotRows_, rows_);
+        break;
+      case AccessPattern::Zipf: {
+        LAZYDP_ASSERT(config_.zipfS > 0.0, "zipf exponent must be > 0");
+        const double s = config_.zipfS;
+        const double n = static_cast<double>(rows_);
+        zipfHxm_ = zipfH(n + 0.5, s);
+        zipfHx0_ = zipfH(1.5, s) - 1.0;
+        zipfC_ = 2.0 - zipfHinv(zipfH(2.5, s) - zipfh(2.0, s), s);
+        break;
+      }
+    }
+}
+
+std::uint32_t
+AccessGenerator::draw(Xoshiro256 &rng) const
+{
+    switch (config_.pattern) {
+      case AccessPattern::Uniform:
+        return static_cast<std::uint32_t>(rng.nextBelow(rows_));
+      case AccessPattern::HotCold: {
+        // Hot rows occupy [0, hotRows_); a permutation is unnecessary
+        // because row identity is symmetric in every consumer.
+        const double u = rng.nextDouble();
+        if (u < config_.hotMass || hotRows_ == rows_)
+            return static_cast<std::uint32_t>(rng.nextBelow(hotRows_));
+        return static_cast<std::uint32_t>(
+            hotRows_ + rng.nextBelow(rows_ - hotRows_));
+      }
+      case AccessPattern::Zipf:
+        return drawZipf(rng);
+    }
+    LAZYDP_UNREACHABLE("bad AccessPattern");
+}
+
+std::uint32_t
+AccessGenerator::drawZipf(Xoshiro256 &rng) const
+{
+    const double s = config_.zipfS;
+    const double n = static_cast<double>(rows_);
+    // Hörmann & Derflinger rejection-inversion; expected < 1.1 trials.
+    for (;;) {
+        const double u =
+            zipfHxm_ + rng.nextDouble() * (zipfHx0_ - zipfHxm_);
+        const double x = zipfHinv(u, s);
+        double k = std::floor(x + 0.5);
+        k = std::clamp(k, 1.0, n);
+        if (k - x <= zipfC_ || u >= zipfH(k + 0.5, s) - zipfh(k, s)) {
+            // ranks are 1-based; rank 1 is the hottest row
+            return static_cast<std::uint32_t>(k - 1.0);
+        }
+    }
+}
+
+} // namespace lazydp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Embedding-table access-pattern generators.
+ *
+ * The paper's default workload draws table indices uniformly (Section 6)
+ * and its Figure 13(d) sensitivity study uses Criteo-derived datasets
+ * where 90% of accesses concentrate on 36% / 10% / 0.6% of the rows
+ * (low / medium / high skew). HotCold reproduces those skew CDFs
+ * directly; Zipf gives a smooth power-law alternative reported for real
+ * RecSys traffic.
+ */
+
+#ifndef LAZYDP_DATA_ACCESS_GENERATOR_H
+#define LAZYDP_DATA_ACCESS_GENERATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace lazydp {
+
+/** Supported access-pattern families. */
+enum class AccessPattern
+{
+    Uniform, //!< every row equally likely (paper default)
+    HotCold, //!< hotFrac of rows receive hotMass of accesses
+    Zipf     //!< power-law with exponent s
+};
+
+/** Configuration of an access-pattern generator. */
+struct AccessConfig
+{
+    AccessPattern pattern = AccessPattern::Uniform;
+
+    /** HotCold: fraction of rows that are hot (e.g. 0.006). */
+    double hotFrac = 0.1;
+
+    /** HotCold: fraction of accesses that hit hot rows (e.g. 0.9). */
+    double hotMass = 0.9;
+
+    /** Zipf: exponent (s > 0, s != 1 handled; s == 1 approximated). */
+    double zipfS = 1.05;
+
+    /** @return the paper's low-skew Criteo dataset (90% -> 36%). */
+    static AccessConfig criteoLow();
+
+    /** @return the paper's medium-skew Criteo dataset (90% -> 10%). */
+    static AccessConfig criteoMedium();
+
+    /** @return the paper's high-skew Criteo dataset (90% -> 0.6%). */
+    static AccessConfig criteoHigh();
+
+    /** @return the paper's default uniform pattern. */
+    static AccessConfig uniform();
+};
+
+/**
+ * Draws row indices in [0, rows) following an AccessConfig.
+ *
+ * Stateless with respect to the RNG: the caller passes the generator so
+ * batch construction can be a pure function of the iteration id.
+ */
+class AccessGenerator
+{
+  public:
+    /**
+     * @param config pattern family and parameters
+     * @param rows number of rows in the target table
+     */
+    AccessGenerator(const AccessConfig &config, std::uint64_t rows);
+
+    /** @return one row index drawn from the configured distribution. */
+    std::uint32_t draw(Xoshiro256 &rng) const;
+
+    /** @return number of rows this generator spans. */
+    std::uint64_t rows() const { return rows_; }
+
+    /** @return the configuration. */
+    const AccessConfig &config() const { return config_; }
+
+  private:
+    std::uint32_t drawZipf(Xoshiro256 &rng) const;
+
+    AccessConfig config_;
+    std::uint64_t rows_;
+
+    // HotCold precomputation
+    std::uint64_t hotRows_ = 0;
+
+    // Zipf rejection-sampling constants (Devroye's method)
+    double zipfHxm_ = 0.0;
+    double zipfHx0_ = 0.0;
+    double zipfC_ = 0.0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DATA_ACCESS_GENERATOR_H

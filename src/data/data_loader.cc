@@ -1,0 +1,65 @@
+#include "data/data_loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+PoissonLoader::PoissonLoader(const SyntheticDataset &dataset,
+                             std::uint64_t population,
+                             std::size_t expected_batch, std::uint64_t seed)
+    : dataset_(dataset),
+      population_(population),
+      q_(static_cast<double>(expected_batch) /
+         static_cast<double>(population)),
+      rng_(seed)
+{
+    LAZYDP_ASSERT(population > 0, "population must be positive");
+    LAZYDP_ASSERT(q_ > 0.0 && q_ <= 1.0,
+                  "expected batch larger than population");
+}
+
+MiniBatch
+PoissonLoader::next()
+{
+    // Draw the included-example count ~ Binomial(population, q) via a
+    // normal approximation when the population is large (q*N >> 1 in
+    // every configuration we run), clamped to at least one example.
+    const double mean = q_ * static_cast<double>(population_);
+    const double stddev = std::sqrt(mean * (1.0 - q_));
+    // Box-Muller on two uniforms from the loader RNG.
+    const double u1 = std::max(rng_.nextDouble(), 1e-12);
+    const double u2 = rng_.nextDouble();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    const double size_f = mean + stddev * z;
+    const auto size = static_cast<std::size_t>(
+        std::clamp(size_f, 1.0, static_cast<double>(population_)));
+
+    // Batch content: deterministic per iteration, truncated/extended to
+    // the Poisson-sampled size by regenerating with a derived config.
+    MiniBatch base = dataset_.batch(iter_);
+    ++iter_;
+    if (size == base.batchSize)
+        return base;
+
+    MiniBatch out;
+    out.resize(size, base.numTables, base.pooling, base.dense.cols());
+    for (std::size_t e = 0; e < size; ++e) {
+        const std::size_t src = e % base.batchSize;
+        for (std::size_t d = 0; d < base.dense.cols(); ++d)
+            out.dense.at(e, d) = base.dense.at(src, d);
+        out.labels[e] = base.labels[src];
+        for (std::size_t t = 0; t < base.numTables; ++t) {
+            auto dst_idx = out.tableIndices(t);
+            auto src_idx = base.exampleIndices(t, src);
+            for (std::size_t s = 0; s < base.pooling; ++s)
+                dst_idx[e * base.pooling + s] = src_idx[s];
+        }
+    }
+    return out;
+}
+
+} // namespace lazydp

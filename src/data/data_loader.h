@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Mini-batch loaders.
+ *
+ * SequentialLoader streams batch(0), batch(1), ... from a dataset.
+ * PoissonLoader performs Opacus-style Poisson subsampling over a virtual
+ * example population: each example is included independently with
+ * probability q, which is the sampling assumption under which the RDP
+ * accountant's guarantees hold. The RecSys throughput benches use the
+ * sequential loader (fixed batch size, matching the paper's methodology);
+ * the privacy examples use the Poisson loader.
+ */
+
+#ifndef LAZYDP_DATA_DATA_LOADER_H
+#define LAZYDP_DATA_DATA_LOADER_H
+
+#include <cstdint>
+
+#include "data/minibatch.h"
+#include "data/synthetic_dataset.h"
+#include "rng/xoshiro.h"
+
+namespace lazydp {
+
+/** Abstract mini-batch source. */
+class DataLoader
+{
+  public:
+    virtual ~DataLoader() = default;
+
+    /** Produce the next mini-batch. */
+    virtual MiniBatch next() = 0;
+
+    /** @return number of batches produced so far. */
+    virtual std::uint64_t produced() const = 0;
+};
+
+/** Streams the dataset's deterministic batches in iteration order. */
+class SequentialLoader : public DataLoader
+{
+  public:
+    explicit SequentialLoader(const SyntheticDataset &dataset)
+        : dataset_(dataset)
+    {
+    }
+
+    MiniBatch
+    next() override
+    {
+        return dataset_.batch(iter_++);
+    }
+
+    std::uint64_t produced() const override { return iter_; }
+
+  private:
+    const SyntheticDataset &dataset_;
+    std::uint64_t iter_ = 0;
+};
+
+/**
+ * Poisson-subsampling loader: emits batches whose size is
+ * Binomial(population, q), with q = expected_batch / population.
+ */
+class PoissonLoader : public DataLoader
+{
+  public:
+    /**
+     * @param dataset batch content source
+     * @param population virtual number of training examples N
+     * @param expected_batch target E[batch] = q * N
+     * @param seed sampling seed (independent of dataset seed)
+     */
+    PoissonLoader(const SyntheticDataset &dataset, std::uint64_t population,
+                  std::size_t expected_batch, std::uint64_t seed);
+
+    MiniBatch next() override;
+
+    std::uint64_t produced() const override { return iter_; }
+
+    /** @return the per-example sampling probability q. */
+    double samplingRate() const { return q_; }
+
+  private:
+    const SyntheticDataset &dataset_;
+    std::uint64_t population_;
+    double q_;
+    Xoshiro256 rng_;
+    std::uint64_t iter_ = 0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DATA_DATA_LOADER_H

@@ -1,0 +1,37 @@
+#include "data/input_queue.h"
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+void
+InputQueue::push(MiniBatch &&mb)
+{
+    LAZYDP_ASSERT(size_ < 2, "InputQueue capacity is two mini-batches");
+    slots_[(first_ + size_) % 2] = std::move(mb);
+    ++size_;
+}
+
+const MiniBatch &
+InputQueue::head() const
+{
+    LAZYDP_ASSERT(size_ > 0, "head() of empty InputQueue");
+    return slots_[first_];
+}
+
+const MiniBatch &
+InputQueue::tail() const
+{
+    LAZYDP_ASSERT(size_ > 0, "tail() of empty InputQueue");
+    return slots_[(first_ + size_ - 1) % 2];
+}
+
+void
+InputQueue::pop()
+{
+    LAZYDP_ASSERT(size_ > 0, "pop() of empty InputQueue");
+    first_ = (first_ + 1) % 2;
+    --size_;
+}
+
+} // namespace lazydp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-entry mini-batch lookahead queue (paper Algorithm 1, lines 3-5).
+ *
+ * LazyDP must know which embedding rows the *next* iteration will gather
+ * so it can flush their pending noise first. The queue holds the current
+ * mini-batch at the head and the next mini-batch at the tail; exactly
+ * one new batch is fetched per iteration, identical to the baseline
+ * loaders' I/O volume.
+ */
+
+#ifndef LAZYDP_DATA_INPUT_QUEUE_H
+#define LAZYDP_DATA_INPUT_QUEUE_H
+
+#include <array>
+#include <cstddef>
+
+#include "data/minibatch.h"
+
+namespace lazydp {
+
+/** Fixed-capacity (2) queue of mini-batches with head/tail access. */
+class InputQueue
+{
+  public:
+    InputQueue() = default;
+
+    /** @return true when no batches are queued. */
+    bool empty() const { return size_ == 0; }
+
+    /** @return number of queued batches (0..2). */
+    std::size_t size() const { return size_; }
+
+    /**
+     * Append a batch; the queue must not already be full.
+     * The batch is moved in (mini-batches own large buffers).
+     */
+    void push(MiniBatch &&mb);
+
+    /** @return the current iteration's batch (oldest). */
+    const MiniBatch &head() const;
+
+    /** @return the next iteration's batch (newest). */
+    const MiniBatch &tail() const;
+
+    /** Drop the head batch. */
+    void pop();
+
+  private:
+    std::array<MiniBatch, 2> slots_;
+    std::size_t first_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DATA_INPUT_QUEUE_H

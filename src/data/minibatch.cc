@@ -1,0 +1,43 @@
+#include "data/minibatch.h"
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+void
+MiniBatch::resize(std::size_t batch, std::size_t num_tables,
+                  std::size_t pooling_factor, std::size_t num_dense)
+{
+    batchSize = batch;
+    numTables = num_tables;
+    pooling = pooling_factor;
+    dense.resize(batch, num_dense);
+    labels.assign(batch, 0.0f);
+    indices.assign(num_tables * batch * pooling_factor, 0);
+}
+
+std::span<const std::uint32_t>
+MiniBatch::tableIndices(std::size_t t) const
+{
+    LAZYDP_ASSERT(t < numTables, "table index out of range");
+    const std::size_t per_table = batchSize * pooling;
+    return {indices.data() + t * per_table, per_table};
+}
+
+std::span<std::uint32_t>
+MiniBatch::tableIndices(std::size_t t)
+{
+    LAZYDP_ASSERT(t < numTables, "table index out of range");
+    const std::size_t per_table = batchSize * pooling;
+    return {indices.data() + t * per_table, per_table};
+}
+
+std::span<const std::uint32_t>
+MiniBatch::exampleIndices(std::size_t t, std::size_t e) const
+{
+    LAZYDP_ASSERT(t < numTables && e < batchSize, "index out of range");
+    const std::size_t per_table = batchSize * pooling;
+    return {indices.data() + t * per_table + e * pooling, pooling};
+}
+
+} // namespace lazydp

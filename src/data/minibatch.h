@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Training mini-batch layout for DLRM-style models.
+ *
+ * A batch carries dense features, per-table sparse index lists with a
+ * fixed pooling factor (lookups per table per example, as in MLPerf
+ * DLRM), and binary labels.
+ */
+
+#ifndef LAZYDP_DATA_MINIBATCH_H
+#define LAZYDP_DATA_MINIBATCH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/** One training mini-batch. */
+struct MiniBatch
+{
+    std::size_t batchSize = 0;  //!< number of examples
+    std::size_t numTables = 0;  //!< number of embedding tables
+    std::size_t pooling = 1;    //!< lookups per table per example
+
+    Tensor dense;               //!< (batchSize x numDense) features
+    std::vector<float> labels;  //!< binary click labels, length batchSize
+
+    /**
+     * Sparse indices, layout [table][example][slot]:
+     * index of (t, e, s) lives at
+     * indices[(t * batchSize + e) * pooling + s].
+     */
+    std::vector<std::uint32_t> indices;
+
+    /** Allocate storage for the given shape. */
+    void resize(std::size_t batch, std::size_t num_tables,
+                std::size_t pooling_factor, std::size_t num_dense);
+
+    /** @return all indices of table @p t (batchSize * pooling entries). */
+    std::span<const std::uint32_t> tableIndices(std::size_t t) const;
+
+    /** @return mutable indices of table @p t. */
+    std::span<std::uint32_t> tableIndices(std::size_t t);
+
+    /** @return indices of (table @p t, example @p e) (pooling entries). */
+    std::span<const std::uint32_t>
+    exampleIndices(std::size_t t, std::size_t e) const;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DATA_MINIBATCH_H

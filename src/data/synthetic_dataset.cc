@@ -1,0 +1,86 @@
+#include "data/synthetic_dataset.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+namespace {
+
+/** Mix two 64-bit values into one stream seed (splitmix-style). */
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+SyntheticDataset::SyntheticDataset(const DatasetConfig &config)
+    : config_(config)
+{
+    LAZYDP_ASSERT(config_.batchSize > 0, "batch size must be positive");
+    LAZYDP_ASSERT(config_.numTables > 0, "need at least one table");
+    generators_.reserve(config_.numTables);
+    LAZYDP_ASSERT(config_.rowsPerTableVec.empty() ||
+                      config_.rowsPerTableVec.size() == config_.numTables,
+                  "rowsPerTableVec size mismatch");
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        const std::uint64_t rows = config_.rowsPerTableVec.empty()
+                                       ? config_.rowsPerTable
+                                       : config_.rowsPerTableVec[t];
+        generators_.emplace_back(config_.access, rows);
+    }
+
+    // Planted logistic model over dense features: fixed unit-ish weights
+    // so the label depends on the inputs and loss can actually decrease.
+    Xoshiro256 wrng(mixSeed(config_.seed, 0xFEEDFACEull));
+    labelWeights_.resize(config_.numDense);
+    for (auto &w : labelWeights_)
+        w = static_cast<float>(wrng.nextDouble() * 2.0 - 1.0);
+}
+
+void
+SyntheticDataset::fillBatch(std::uint64_t iter, MiniBatch &out) const
+{
+    out.resize(config_.batchSize, config_.numTables, config_.pooling,
+               config_.numDense);
+
+    // One RNG per (dataset, iteration): the pure-function property.
+    Xoshiro256 rng(mixSeed(config_.seed, iter));
+
+    for (std::size_t e = 0; e < config_.batchSize; ++e) {
+        float logit = 0.0f;
+        for (std::size_t d = 0; d < config_.numDense; ++d) {
+            // approximately standard-normal dense features (sum of
+            // uniforms; exact normality is irrelevant here)
+            const float v = static_cast<float>(
+                (rng.nextDouble() + rng.nextDouble() + rng.nextDouble()) *
+                    2.0 - 3.0);
+            out.dense.at(e, d) = v;
+            logit += labelWeights_[d] * v;
+        }
+        const double p = 1.0 / (1.0 + std::exp(-logit));
+        out.labels[e] = rng.nextDouble() < p ? 1.0f : 0.0f;
+    }
+
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        auto idx = out.tableIndices(t);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = generators_[t].draw(rng);
+    }
+}
+
+MiniBatch
+SyntheticDataset::batch(std::uint64_t iter) const
+{
+    MiniBatch mb;
+    fillBatch(iter, mb);
+    return mb;
+}
+
+} // namespace lazydp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic synthetic click-through datasets.
+ *
+ * Substitutes the paper's workloads:
+ *  - MLPerf DLRM default: uniform table accesses (Section 6);
+ *  - Kaggle Criteo DAC: hot/cold skewed accesses matching the
+ *    low/medium/high skew CDFs of Section 7.3.
+ *
+ * Batches are *pure functions of the iteration id*: batch(i) always
+ * returns the same contents for a given dataset seed. This gives the
+ * LazyDP input queue a consistent view of "the next mini-batch" and
+ * makes every experiment reproducible bit-for-bit.
+ *
+ * Labels are drawn from a planted logistic model over the dense
+ * features so training has a real signal to descend on.
+ */
+
+#ifndef LAZYDP_DATA_SYNTHETIC_DATASET_H
+#define LAZYDP_DATA_SYNTHETIC_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "data/access_generator.h"
+#include "data/minibatch.h"
+
+namespace lazydp {
+
+/** Shape and distribution of a synthetic dataset. */
+struct DatasetConfig
+{
+    std::size_t numDense = 13;      //!< dense features (Criteo: 13)
+    std::size_t numTables = 26;     //!< sparse features (Criteo: 26)
+    std::uint64_t rowsPerTable = 1u << 16; //!< rows per embedding table
+
+    /** Optional per-table rows (empty = uniform rowsPerTable). */
+    std::vector<std::uint64_t> rowsPerTableVec;
+    std::size_t pooling = 1;        //!< lookups per table per example
+    std::size_t batchSize = 2048;   //!< examples per mini-batch
+    AccessConfig access;            //!< table-access distribution
+    std::uint64_t seed = 0x5EED;    //!< dataset seed
+};
+
+/** Deterministic synthetic dataset (see file comment). */
+class SyntheticDataset
+{
+  public:
+    /** @param config dataset shape and distributions. */
+    explicit SyntheticDataset(const DatasetConfig &config);
+
+    /** Materialize mini-batch @p iter into @p out (pure function). */
+    void fillBatch(std::uint64_t iter, MiniBatch &out) const;
+
+    /** Convenience: allocate and fill a fresh mini-batch. */
+    MiniBatch batch(std::uint64_t iter) const;
+
+    /** @return dataset configuration. */
+    const DatasetConfig &config() const { return config_; }
+
+  private:
+    DatasetConfig config_;
+    std::vector<AccessGenerator> generators_; // one per table
+    std::vector<float> labelWeights_;         // planted logistic model
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DATA_SYNTHETIC_DATASET_H

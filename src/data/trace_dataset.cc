@@ -1,0 +1,144 @@
+#include "data/trace_dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace lazydp {
+
+TraceDataset::TraceDataset(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace '", path, "'");
+
+    std::string header;
+    if (!std::getline(is, header))
+        fatal("trace '", path, "' is empty");
+    {
+        std::istringstream hs(header);
+        std::string hash, tag, ver;
+        hs >> hash >> tag >> ver;
+        if (hash != "#" || tag != "lazydp-trace" || ver != "v1")
+            fatal("trace '", path, "' has an unrecognized header");
+        std::string field;
+        while (hs >> field) {
+            const auto eq = field.find('=');
+            if (eq == std::string::npos)
+                fatal("malformed trace header field '", field, "'");
+            const std::string key = field.substr(0, eq);
+            const auto value =
+                static_cast<std::size_t>(std::stoull(field.substr(eq + 1)));
+            if (key == "dense")
+                numDense_ = value;
+            else if (key == "tables")
+                numTables_ = value;
+            else if (key == "pooling")
+                pooling_ = value;
+            else
+                fatal("unknown trace header key '", key, "'");
+        }
+    }
+    if (numDense_ == 0 || numTables_ == 0 || pooling_ == 0)
+        fatal("trace '", path, "' header missing dense/tables/pooling");
+
+    std::string line;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        float label = 0.0f;
+        char sep = 0;
+        if (!(ls >> label >> sep) || sep != '|')
+            fatal("trace line ", line_no, ": expected '<label> |'");
+        labels_.push_back(label);
+        for (std::size_t d = 0; d < numDense_; ++d) {
+            float v = 0.0f;
+            if (!(ls >> v))
+                fatal("trace line ", line_no, ": short dense vector");
+            dense_.push_back(v);
+        }
+        if (!(ls >> sep) || sep != '|')
+            fatal("trace line ", line_no, ": expected second '|'");
+        for (std::size_t k = 0; k < numTables_ * pooling_; ++k) {
+            std::uint32_t idx = 0;
+            if (!(ls >> idx))
+                fatal("trace line ", line_no, ": short index list");
+            indices_.push_back(idx);
+        }
+    }
+    if (labels_.empty())
+        fatal("trace '", path, "' contains no examples");
+}
+
+void
+TraceDataset::fillBatch(std::uint64_t iter, std::size_t batch,
+                        MiniBatch &out) const
+{
+    LAZYDP_ASSERT(batch > 0, "batch must be positive");
+    out.resize(batch, numTables_, pooling_, numDense_);
+    const std::size_t n = labels_.size();
+    for (std::size_t e = 0; e < batch; ++e) {
+        const std::size_t src =
+            static_cast<std::size_t>((iter * batch + e) % n);
+        out.labels[e] = labels_[src];
+        for (std::size_t d = 0; d < numDense_; ++d)
+            out.dense.at(e, d) = dense_[src * numDense_ + d];
+        for (std::size_t t = 0; t < numTables_; ++t) {
+            auto dst = out.tableIndices(t);
+            for (std::size_t s = 0; s < pooling_; ++s) {
+                dst[e * pooling_ + s] =
+                    indices_[(src * numTables_ + t) * pooling_ + s];
+            }
+        }
+    }
+}
+
+MiniBatch
+TraceDataset::batch(std::uint64_t iter, std::size_t batch) const
+{
+    MiniBatch mb;
+    fillBatch(iter, batch, mb);
+    return mb;
+}
+
+void
+TraceDataset::record(const SyntheticDataset &dataset,
+                     std::size_t examples, const std::string &path)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    const DatasetConfig &cfg = dataset.config();
+    os << "# lazydp-trace v1 dense=" << cfg.numDense
+       << " tables=" << cfg.numTables << " pooling=" << cfg.pooling
+       << "\n";
+
+    MiniBatch mb;
+    std::size_t written = 0;
+    for (std::uint64_t iter = 0; written < examples; ++iter) {
+        dataset.fillBatch(iter, mb);
+        for (std::size_t e = 0;
+             e < mb.batchSize && written < examples; ++e, ++written) {
+            os << mb.labels[e] << " |";
+            for (std::size_t d = 0; d < cfg.numDense; ++d)
+                os << ' ' << mb.dense.at(e, d);
+            os << " |";
+            for (std::size_t t = 0; t < cfg.numTables; ++t) {
+                auto idx = mb.exampleIndices(t, e);
+                for (auto v : idx)
+                    os << ' ' << v;
+            }
+            os << '\n';
+        }
+    }
+    if (!os)
+        fatal("trace write to '", path, "' failed");
+}
+
+} // namespace lazydp

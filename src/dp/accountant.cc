@@ -1,0 +1,102 @@
+#include "dp/accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+namespace {
+
+/** log(a + b) given log a and log b, stable. */
+double
+logAdd(double log_a, double log_b)
+{
+    if (log_a == -std::numeric_limits<double>::infinity())
+        return log_b;
+    if (log_b == -std::numeric_limits<double>::infinity())
+        return log_a;
+    const double hi = std::max(log_a, log_b);
+    const double lo = std::min(log_a, log_b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+/** log of binomial coefficient C(n, k). */
+double
+logBinom(int n, int k)
+{
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+           std::lgamma(n - k + 1.0);
+}
+
+} // namespace
+
+RdpAccountant::RdpAccountant(double noise_multiplier, double sampling_rate)
+    : sigma_(noise_multiplier), q_(sampling_rate)
+{
+    LAZYDP_ASSERT(sigma_ > 0.0, "noise multiplier must be positive");
+    LAZYDP_ASSERT(q_ > 0.0 && q_ <= 1.0, "sampling rate in (0, 1]");
+}
+
+double
+RdpAccountant::rdpAtOrder(int alpha) const
+{
+    LAZYDP_ASSERT(alpha >= 2, "integer RDP orders start at 2");
+
+    if (q_ >= 1.0) {
+        // Plain Gaussian mechanism: RDP(alpha) = alpha / (2 sigma^2).
+        return static_cast<double>(alpha) / (2.0 * sigma_ * sigma_);
+    }
+
+    // log E_{k~Binom(alpha, q)} [ exp(k(k-1) / (2 sigma^2)) ]
+    // summed in log space:
+    //   log sum_k [ C(alpha,k) q^k (1-q)^(alpha-k) e^{k(k-1)/(2s^2)} ]
+    const double log_q = std::log(q_);
+    const double log_1mq = std::log1p(-q_);
+    double log_sum = -std::numeric_limits<double>::infinity();
+    for (int k = 0; k <= alpha; ++k) {
+        const double term =
+            logBinom(alpha, k) + k * log_q + (alpha - k) * log_1mq +
+            static_cast<double>(k) * (k - 1.0) / (2.0 * sigma_ * sigma_);
+        log_sum = logAdd(log_sum, term);
+    }
+    return log_sum / (alpha - 1.0);
+}
+
+double
+RdpAccountant::epsilon(double delta, int *best_order) const
+{
+    LAZYDP_ASSERT(delta > 0.0 && delta < 1.0, "delta in (0, 1)");
+    double best = std::numeric_limits<double>::infinity();
+    int best_a = 0;
+    for (int alpha : defaultOrders()) {
+        const double rdp = static_cast<double>(steps_) * rdpAtOrder(alpha);
+        const double eps = rdp + std::log(1.0 / delta) / (alpha - 1.0);
+        if (eps < best) {
+            best = eps;
+            best_a = alpha;
+        }
+    }
+    if (best_order != nullptr)
+        *best_order = best_a;
+    return best;
+}
+
+const std::vector<int> &
+RdpAccountant::defaultOrders()
+{
+    static const std::vector<int> orders = [] {
+        std::vector<int> v;
+        for (int a = 2; a <= 64; ++a)
+            v.push_back(a);
+        for (int a = 68; a <= 256; a += 4)
+            v.push_back(a);
+        for (int a = 272; a <= 1024; a += 16)
+            v.push_back(a);
+        return v;
+    }();
+    return orders;
+}
+
+} // namespace lazydp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Renyi differential privacy (RDP) accountant for the subsampled
+ * Gaussian mechanism -- the standard way (Abadi et al., Mironov et al.)
+ * to convert "T iterations of DP-SGD with sampling rate q and noise
+ * multiplier sigma" into an (epsilon, delta) guarantee.
+ *
+ * The examples use this to report the privacy budget of a training run;
+ * LazyDP consumes exactly the same per-iteration mechanism as DP-SGD,
+ * so the accounting is shared by every engine.
+ */
+
+#ifndef LAZYDP_DP_ACCOUNTANT_H
+#define LAZYDP_DP_ACCOUNTANT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lazydp {
+
+/** RDP accountant over integer Renyi orders. */
+class RdpAccountant
+{
+  public:
+    /**
+     * @param noise_multiplier sigma (noise stddev / clip norm)
+     * @param sampling_rate q, each example's per-iteration inclusion
+     *        probability (Poisson subsampling)
+     */
+    RdpAccountant(double noise_multiplier, double sampling_rate);
+
+    /** Account for @p steps more iterations. */
+    void addSteps(std::uint64_t steps) { steps_ += steps; }
+
+    /** @return total accounted iterations. */
+    std::uint64_t steps() const { return steps_; }
+
+    /**
+     * @return the (epsilon, best_order) pair for target @p delta using
+     * the standard RDP->DP conversion
+     * eps = min_alpha [ rdp(alpha) + log(1/delta) / (alpha - 1) ].
+     */
+    double epsilon(double delta, int *best_order = nullptr) const;
+
+    /**
+     * RDP of the subsampled Gaussian at integer order @p alpha for ONE
+     * step (Mironov et al., "R\'enyi DP of the Sampled Gaussian
+     * Mechanism", Sec. 3.3 binomial expansion; exact for q < 1,
+     * alpha integer >= 2).
+     */
+    double rdpAtOrder(int alpha) const;
+
+    /** Orders scanned by epsilon(). */
+    static const std::vector<int> &defaultOrders();
+
+  private:
+    double sigma_;
+    double q_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_ACCOUNTANT_H

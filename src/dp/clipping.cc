@@ -1,0 +1,55 @@
+#include "dp/clipping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+void
+clipScales(const std::vector<double> &norm_sq, float clip_norm,
+           std::vector<float> &out)
+{
+    LAZYDP_ASSERT(clip_norm > 0.0f, "clip norm must be positive");
+    out.resize(norm_sq.size());
+    const double c = clip_norm;
+    for (std::size_t e = 0; e < norm_sq.size(); ++e) {
+        const double norm = std::sqrt(norm_sq[e]);
+        out[e] = norm > c ? static_cast<float>(c / norm) : 1.0f;
+    }
+}
+
+void
+scaleRows(Tensor &t, const std::vector<float> &scales)
+{
+    LAZYDP_ASSERT(t.rows() == scales.size(), "scale count != rows");
+    for (std::size_t r = 0; r < t.rows(); ++r)
+        simd::scale(t.data() + r * t.cols(), t.cols(), scales[r]);
+}
+
+void
+reduceScaledRows(const Tensor &rows, const std::vector<float> &scales,
+                 Tensor &out)
+{
+    const std::size_t batch = rows.rows();
+    const std::size_t params = rows.cols();
+    LAZYDP_ASSERT(scales.size() == batch, "scale count != rows");
+    LAZYDP_ASSERT(out.size() == params, "output size != param count");
+    out.zero();
+    const std::size_t block = 1u << 14;
+    const std::size_t n_blocks = (params + block - 1) / block;
+#pragma omp parallel for schedule(static)
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+        const std::size_t lo = b * block;
+        const std::size_t len = std::min(block, params - lo);
+        float *dst = out.data() + lo;
+        for (std::size_t e = 0; e < batch; ++e) {
+            simd::axpy(dst, rows.data() + e * params + lo, len,
+                       scales[e]);
+        }
+    }
+}
+
+} // namespace lazydp

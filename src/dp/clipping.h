@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-example L2 gradient clipping (paper Section 2.4, step 2).
+ */
+
+#ifndef LAZYDP_DP_CLIPPING_H
+#define LAZYDP_DP_CLIPPING_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/**
+ * Clip factors from squared per-example gradient norms:
+ * scale_e = min(1, C / ||g_e||).
+ *
+ * @param norm_sq per-example squared L2 norms
+ * @param clip_norm the threshold C (> 0)
+ * @param out resized and filled with the factors
+ */
+void clipScales(const std::vector<double> &norm_sq, float clip_norm,
+                std::vector<float> &out);
+
+/**
+ * Multiply each row of @p t by @p scales[row].
+ *
+ * Applied to the per-example loss gradient, this reweights the whole
+ * subsequent backward pass -- the DP-SGD(R/F) clipping mechanism.
+ */
+void scaleRows(Tensor &t, const std::vector<float> &scales);
+
+/**
+ * out[j] = sum_e scales[e] * rows(e, j) -- the clip-and-reduce of
+ * materialized per-example gradients (DP-SGD(B)). Parallel over
+ * parameter blocks.
+ *
+ * @param rows (batch x P) per-example gradients
+ * @param scales per-example clip factors
+ * @param out (1 x P) or (r x c) tensor with r*c == P, overwritten
+ */
+void reduceScaledRows(const Tensor &rows,
+                      const std::vector<float> &scales, Tensor &out);
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_CLIPPING_H

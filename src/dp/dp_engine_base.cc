@@ -1,0 +1,104 @@
+#include "dp/dp_engine_base.h"
+
+#include "common/macros.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+DpEngineBase::DpEngineBase(DlrmModel &model, const TrainHyper &hyper)
+    : model_(model), hyper_(hyper), noise_(hyper.noiseSeed, hyper.kernel)
+{
+    sparseGrads_.resize(model.config().numTables);
+    LAZYDP_ASSERT(model.config().numTables +
+                          model.bottomMlp().layers().size() +
+                          model.topMlp().layers().size() <
+                      NoiseProvider::kMaxTables,
+                  "too many tables+layers for the noise counter layout");
+}
+
+std::uint32_t
+DpEngineBase::mlpPseudoTable(std::size_t mlp_index) const
+{
+    // Embedding tables occupy ids [0, numTables); MLP layers follow.
+    return static_cast<std::uint32_t>(model_.config().numTables +
+                                      mlp_index);
+}
+
+double
+DpEngineBase::forwardAndLoss(const MiniBatch &cur, StageTimer &timer)
+{
+    timer.start(Stage::Forward);
+    model_.forward(cur, logits_);
+    timer.stop();
+
+    timer.start(Stage::Else);
+    const double loss = BceWithLogitsLoss::forward(logits_, cur.labels);
+    if (dLogits_.rows() != cur.batchSize || dLogits_.cols() != 1)
+        dLogits_.resize(cur.batchSize, 1);
+    BceWithLogitsLoss::backwardPerExample(logits_, cur.labels, dLogits_);
+    timer.stop();
+    return loss;
+}
+
+void
+DpEngineBase::noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
+                             StageTimer &timer)
+{
+    const float sigma = noiseStddev();
+    const float step = hyper_.lr / normDenominator(batch);
+
+    std::size_t mlp_index = 0;
+    auto update_mlp = [&](Mlp &mlp) {
+        for (auto &layer : mlp.layers()) {
+            timer.start(Stage::NoiseSampling);
+            addDenseParamNoise(noise_, iter, mlpPseudoTable(mlp_index),
+                               sigma, 1.0f, layer.weightGrad().data(),
+                               layer.weightGrad().size());
+            // biases share the layer's pseudo-table in a disjoint
+            // row range
+            addDenseParamNoise(noise_, iter, mlpPseudoTable(mlp_index),
+                               sigma, 1.0f, layer.biasGrad().data(),
+                               layer.biasGrad().size(),
+                               /*row_offset=*/1ull << 40);
+            timer.stop();
+
+            timer.start(Stage::NoisyGradUpdate);
+            layer.apply(step, decayAlpha());
+            timer.stop();
+            ++mlp_index;
+        }
+    };
+    update_mlp(model_.bottomMlp());
+    update_mlp(model_.topMlp());
+}
+
+void
+DpEngineBase::denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
+                                    const SparseGrad &grad,
+                                    std::size_t batch, StageTimer &timer)
+{
+    EmbeddingTable &tbl = model_.tables()[table];
+    if (denseScratch_.rows() != tbl.rows() ||
+        denseScratch_.cols() != tbl.dim()) {
+        denseScratch_.resize(tbl.rows(), tbl.dim());
+    }
+
+    // (1) compute-bound: one Gaussian per element of the entire table
+    timer.start(Stage::NoiseSampling);
+    fillDenseTableNoise(noise_, iter, table, noiseStddev(), denseScratch_);
+    timer.stop();
+
+    // (2) merge the sparse clipped gradient into the dense tensor
+    timer.start(Stage::NoisyGradGen);
+    addSparseIntoDense(grad, denseScratch_);
+    timer.stop();
+
+    // (3) memory-bound: stream the whole table through the optimizer
+    timer.start(Stage::NoisyGradUpdate);
+    streamingTableUpdate(tbl.weights(), denseScratch_,
+                         hyper_.lr / normDenominator(batch),
+                         decayAlpha());
+    timer.stop();
+}
+
+} // namespace lazydp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared machinery of the differentially private training engines.
+ *
+ * Semantics implemented here (Abadi et al.):
+ *   g_tilde = (1/B) * ( sum_e clip_C(g_e) + N(0, sigma^2 C^2 I) )
+ *   theta  -= eta * g_tilde
+ *
+ * Engines keep gradients *unaveraged* through backward and fold the
+ * 1/B into the final update scale, matching Algorithm 1 of the paper
+ * (noise is scaled by 1/B at generation / update time).
+ *
+ * Every engine draws noise from the keyed NoiseProvider so the exact
+ * same Gaussian destined for (iteration, table, row) is produced no
+ * matter which engine -- the basis of the equivalence tests.
+ */
+
+#ifndef LAZYDP_DP_DP_ENGINE_BASE_H
+#define LAZYDP_DP_DP_ENGINE_BASE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/clipping.h"
+#include "dp/noise_ops.h"
+#include "nn/dlrm.h"
+#include "nn/loss.h"
+#include "rng/noise_provider.h"
+#include "train/algorithm.h"
+
+namespace lazydp {
+
+/** Base class for DP-SGD(B/R/F), EANA and LazyDP. */
+class DpEngineBase : public Algorithm
+{
+  public:
+    /**
+     * @param model model to train (not owned)
+     * @param hyper DP hyperparameters
+     */
+    DpEngineBase(DlrmModel &model, const TrainHyper &hyper);
+
+    /** @return the keyed noise source (tests inspect determinism). */
+    const NoiseProvider &noiseProvider() const { return noise_; }
+
+  protected:
+    /** Provider pseudo-table id of MLP layer @p mlp_index. */
+    std::uint32_t mlpPseudoTable(std::size_t mlp_index) const;
+
+    /**
+     * Forward + loss + per-example (unscaled) logit gradients.
+     * Fills logits_ and dLogits_; attributes Stage::Forward/Else.
+     *
+     * @return batch mean loss
+     */
+    double forwardAndLoss(const MiniBatch &cur, StageTimer &timer);
+
+    /**
+     * Noisy update of every MLP layer: assumes each layer's batch
+     * gradients already hold sum_e clip(g_e); adds N(0, sigma^2 C^2)
+     * and applies with step lr/B.
+     */
+    void noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
+                        StageTimer &timer);
+
+    /**
+     * Eager dense noisy update of one embedding table (DP-SGD(B/R/F)):
+     * noise for EVERY row + sparse clipped gradient, streamed into the
+     * weights (paper Figure 4(b)). Stages: NoiseSampling, NoisyGradGen,
+     * NoisyGradUpdate.
+     *
+     * @param grad coalesced clipped gradient of this table
+     */
+    void denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
+                               const SparseGrad &grad, std::size_t batch,
+                               StageTimer &timer);
+
+    /** sigma * C: the per-iteration noise stddev. */
+    float
+    noiseStddev() const
+    {
+        return hyper_.noiseMultiplier * hyper_.clipNorm;
+    }
+
+    /** Per-step multiplicative decay alpha = 1 - lr * lambda. */
+    float
+    decayAlpha() const
+    {
+        return 1.0f - hyper_.lr * hyper_.weightDecay;
+    }
+
+    /**
+     * DP normalization denominator: the fixed lot size when set
+     * (Poisson sampling), else the realized batch size.
+     */
+    float
+    normDenominator(std::size_t realized_batch) const
+    {
+        return static_cast<float>(
+            hyper_.lotSize != 0 ? hyper_.lotSize : realized_batch);
+    }
+
+    DlrmModel &model_;
+    TrainHyper hyper_;
+    NoiseProvider noise_;
+
+    Tensor logits_;
+    Tensor dLogits_;
+    std::vector<double> normSq_;
+    std::vector<float> scales_;
+    std::vector<SparseGrad> sparseGrads_;
+    Tensor denseScratch_; // rows x dim dense noisy-gradient staging
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_DP_ENGINE_BASE_H

@@ -1,0 +1,78 @@
+#include "dp/dp_sgd_b.h"
+
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+double
+DpSgdB::step(std::uint64_t iter, const MiniBatch &cur,
+             const MiniBatch *next, StageTimer &timer)
+{
+    (void)next;
+    const std::size_t batch = cur.batchSize;
+    const double loss = forwardAndLoss(cur, timer);
+
+    // Per-example gradient derivation: materialize every MLP layer's
+    // per-example weight gradients (the memory-capacity bottleneck of
+    // Section 2.5) and derive per-example norms from the materialized
+    // tensors plus the per-example embedding gradients.
+    timer.start(Stage::BackwardPerExample);
+    model_.backwardPerExample(dLogits_, topGrads_, bottomGrads_);
+
+    normSq_.assign(batch, 0.0);
+    auto add_norms = [&](const PerExampleGrads &grads) {
+        for (const auto &w : grads.w) {
+#pragma omp parallel for schedule(static)
+            for (std::size_t e = 0; e < batch; ++e) {
+                normSq_[e] += simd::squaredNorm(
+                    w.data() + e * w.cols(), w.cols());
+            }
+        }
+        for (const auto &b : grads.b) {
+#pragma omp parallel for schedule(static)
+            for (std::size_t e = 0; e < batch; ++e) {
+                normSq_[e] += simd::squaredNorm(
+                    b.data() + e * b.cols(), b.cols());
+            }
+        }
+    };
+    add_norms(topGrads_);
+    add_norms(bottomGrads_);
+    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
+
+    // Clip + reduce the materialized per-example grads into the batch
+    // gradients: w_grad = sum_e scale_e * dW_e.
+    clipScales(normSq_, hyper_.clipNorm, scales_);
+
+    auto reduce = [&](Mlp &mlp, const PerExampleGrads &grads) {
+        auto &layers = mlp.layers();
+        for (std::size_t li = 0; li < layers.size(); ++li) {
+            reduceScaledRows(grads.w[li], scales_,
+                             layers[li].weightGrad());
+            reduceScaledRows(grads.b[li], scales_,
+                             layers[li].biasGrad());
+        }
+    };
+    reduce(model_.topMlp(), topGrads_);
+    reduce(model_.bottomMlp(), bottomGrads_);
+
+    // Embedding: clip by scaling each example's pooled gradient row.
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        scaleRows(model_.embOutGradMutable(t), scales_);
+    timer.stop();
+
+    timer.start(Stage::GradCoalesce);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+    timer.stop();
+
+    // Model update: dense noisy update of every table + noisy MLP step.
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
+                              sparseGrads_[t], batch, timer);
+    }
+    noisyMlpUpdate(iter, batch, timer);
+    return loss;
+}
+
+} // namespace lazydp

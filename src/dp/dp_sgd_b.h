@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DP-SGD(B): the original Abadi et al. algorithm as implemented by
+ * stock Opacus -- per-example weight gradients are fully materialized
+ * for every MLP layer (batch-size-times the model's memory), clipped,
+ * reduced, noised, and applied with a dense embedding-table update.
+ *
+ * This is the paper's baseline "DP-SGD(B)" series in Figures 3 and 5.
+ */
+
+#ifndef LAZYDP_DP_DP_SGD_B_H
+#define LAZYDP_DP_DP_SGD_B_H
+
+#include "dp/dp_engine_base.h"
+
+namespace lazydp {
+
+/** Memory-hungry original DP-SGD. */
+class DpSgdB : public DpEngineBase
+{
+  public:
+    DpSgdB(DlrmModel &model, const TrainHyper &hyper)
+        : DpEngineBase(model, hyper)
+    {
+    }
+
+    std::string name() const override { return "DP-SGD(B)"; }
+
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, StageTimer &timer) override;
+
+    /** @return bytes held by materialized per-example grads last step. */
+    std::uint64_t
+    perExampleBytes() const
+    {
+        return topGrads_.bytes() + bottomGrads_.bytes();
+    }
+
+  private:
+    PerExampleGrads topGrads_;
+    PerExampleGrads bottomGrads_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_DP_SGD_B_H

@@ -1,0 +1,41 @@
+#include "dp/dp_sgd_f.h"
+
+namespace lazydp {
+
+double
+DpSgdF::step(std::uint64_t iter, const MiniBatch &cur,
+             const MiniBatch *next, StageTimer &timer)
+{
+    (void)next;
+    const std::size_t batch = cur.batchSize;
+    const double loss = forwardAndLoss(cur, timer);
+
+    // Pass 1: activation-gradient backward with ghost-norm
+    // accumulation; parameter gradients are skipped entirely.
+    timer.start(Stage::BackwardPerExample);
+    normSq_.assign(batch, 0.0);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
+    clipScales(normSq_, hyper_.clipNorm, scales_);
+    timer.stop();
+
+    // Pass 2: reweighted per-batch backward.
+    timer.start(Stage::BackwardPerBatch);
+    scaleRows(dLogits_, scales_);
+    model_.backward(dLogits_);
+    timer.stop();
+
+    timer.start(Stage::GradCoalesce);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+    timer.stop();
+
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
+                              sparseGrads_[t], batch, timer);
+    }
+    noisyMlpUpdate(iter, batch, timer);
+    return loss;
+}
+
+} // namespace lazydp

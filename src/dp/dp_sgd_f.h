@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DP-SGD(F): fast DP-SGD for RecSys (Denison et al.).
+ *
+ * Exploits that DLRM consists of embedding and linear layers only, so
+ * each example's gradient norm is computable during standard
+ * backpropagation via ghost norms -- no per-example materialization at
+ * all. The clipped batch gradient then comes from one reweighted
+ * backward pass. The fastest eager baseline; the paper's primary
+ * comparison point for LazyDP (Section 7).
+ */
+
+#ifndef LAZYDP_DP_DP_SGD_F_H
+#define LAZYDP_DP_DP_SGD_F_H
+
+#include "dp/dp_engine_base.h"
+
+namespace lazydp {
+
+/** Ghost-norm fast DP-SGD. */
+class DpSgdF : public DpEngineBase
+{
+  public:
+    DpSgdF(DlrmModel &model, const TrainHyper &hyper)
+        : DpEngineBase(model, hyper)
+    {
+    }
+
+    std::string name() const override { return "DP-SGD(F)"; }
+
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, StageTimer &timer) override;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_DP_SGD_F_H

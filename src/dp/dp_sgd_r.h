@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DP-SGD(R): reweighted DP-SGD (Lee & Kifer, PoPETs'21).
+ *
+ * Pass 1 materializes per-example gradients only transiently (layer by
+ * layer, into a reused scratch buffer) to obtain per-example norms --
+ * trading recomputation for the B-times memory of DP-SGD(B). Pass 2
+ * reweights each example's loss gradient by its clip factor and runs a
+ * standard per-batch backward, which yields exactly
+ * sum_e clip_C(g_e) for every parameter. Mathematically identical to
+ * DP-SGD(B) (Section 2.5 of the paper).
+ */
+
+#ifndef LAZYDP_DP_DP_SGD_R_H
+#define LAZYDP_DP_DP_SGD_R_H
+
+#include "dp/dp_engine_base.h"
+
+namespace lazydp {
+
+/** Reweighted two-pass DP-SGD. */
+class DpSgdR : public DpEngineBase
+{
+  public:
+    DpSgdR(DlrmModel &model, const TrainHyper &hyper)
+        : DpEngineBase(model, hyper)
+    {
+    }
+
+    std::string name() const override { return "DP-SGD(R)"; }
+
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, StageTimer &timer) override;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_DP_SGD_R_H

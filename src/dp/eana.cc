@@ -1,0 +1,56 @@
+#include "dp/eana.h"
+
+namespace lazydp {
+
+double
+EanaAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
+                    const MiniBatch *next, StageTimer &timer)
+{
+    (void)next;
+    const std::size_t batch = cur.batchSize;
+    const double loss = forwardAndLoss(cur, timer);
+
+    // Clipping machinery identical to DP-SGD(F).
+    timer.start(Stage::BackwardPerExample);
+    normSq_.assign(batch, 0.0);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
+    clipScales(normSq_, hyper_.clipNorm, scales_);
+    timer.stop();
+
+    timer.start(Stage::BackwardPerBatch);
+    scaleRows(dLogits_, scales_);
+    model_.backward(dLogits_);
+    timer.stop();
+
+    timer.start(Stage::GradCoalesce);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+    timer.stop();
+
+    // EANA's defining shortcut: noise ONLY on the accessed rows, so the
+    // table update stays sparse.
+    const float step_scale = hyper_.lr / normDenominator(batch);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        SparseGrad &grad = sparseGrads_[t];
+        EmbeddingTable &tbl = model_.tables()[t];
+        const std::size_t dim = tbl.dim();
+
+        timer.start(Stage::NoiseSampling);
+        for (std::size_t i = 0; i < grad.rows.size(); ++i) {
+            noise_.rowNoise(iter, static_cast<std::uint32_t>(t),
+                            grad.rows[i], noiseStddev(), 1.0f,
+                            grad.values.data() + i * dim, dim,
+                            /*accumulate=*/true);
+        }
+        timer.stop();
+
+        timer.start(Stage::NoisyGradUpdate);
+        tbl.applySparse(grad, step_scale);
+        timer.stop();
+    }
+    noisyMlpUpdate(iter, batch, timer);
+    return loss;
+}
+
+} // namespace lazydp

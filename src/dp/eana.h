@@ -1,0 +1,42 @@
+/**
+ * @file
+ * EANA (Ning et al., RecSys'22): the prior high-performance private
+ * RecSys trainer the paper compares against in Section 7.4.
+ *
+ * EANA modifies DP-SGD to add noise only to the embedding rows
+ * *accessed in the current iteration*, making the table update sparse
+ * and fast -- but weakening privacy: a row that is never accessed is
+ * never noised, revealing that no training example contained that
+ * feature, and the protection degrades further under skewed access
+ * patterns. LazyDP matches EANA's performance shape while keeping the
+ * full DP-SGD guarantee.
+ */
+
+#ifndef LAZYDP_DP_EANA_H
+#define LAZYDP_DP_EANA_H
+
+#include "dp/dp_engine_base.h"
+
+namespace lazydp {
+
+/** EANA: noise on accessed rows only (weaker privacy, high speed). */
+class EanaAlgorithm : public DpEngineBase
+{
+  public:
+    EanaAlgorithm(DlrmModel &model, const TrainHyper &hyper)
+        : DpEngineBase(model, hyper)
+    {
+        if (hyper.weightDecay != 0.0f)
+            fatal("EANA does not implement weight decay (its sparse "
+                  "update cannot decay unaccessed rows)");
+    }
+
+    std::string name() const override { return "EANA"; }
+
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, StageTimer &timer) override;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_EANA_H

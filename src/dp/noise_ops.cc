@@ -1,0 +1,77 @@
+#include "dp/noise_ops.h"
+
+#include "common/macros.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+void
+fillDenseTableNoise(const NoiseProvider &np, std::uint64_t iter,
+                    std::uint32_t table, float sigma, Tensor &noise)
+{
+    const std::size_t rows = noise.rows();
+    const std::size_t dim = noise.cols();
+    // Keyed streams make every row independent -- embarrassingly
+    // parallel, exactly like the paper's optimized torch.normal().
+#pragma omp parallel for schedule(static)
+    for (std::size_t r = 0; r < rows; ++r) {
+        np.rowNoise(iter, table, r, sigma, 1.0f, noise.data() + r * dim,
+                    dim, /*accumulate=*/false);
+    }
+}
+
+void
+addSparseIntoDense(const SparseGrad &grad, Tensor &dense)
+{
+    const std::size_t dim = dense.cols();
+    LAZYDP_ASSERT(grad.values.cols() == dim, "sparse/dense dim mismatch");
+    for (std::size_t i = 0; i < grad.rows.size(); ++i) {
+        simd::add(dense.data() + grad.rows[i] * dim,
+                  dense.data() + grad.rows[i] * dim,
+                  grad.values.data() + i * dim, dim);
+    }
+}
+
+void
+streamingTableUpdate(Tensor &weights, const Tensor &update, float scale,
+                     float decay)
+{
+    LAZYDP_ASSERT(weights.rows() == update.rows() &&
+                      weights.cols() == update.cols(),
+                  "update tensor shape mismatch");
+    const std::size_t n = weights.size();
+    const std::size_t block = 1u << 16;
+#pragma omp parallel for schedule(static)
+    for (std::size_t b = 0; b < (n + block - 1) / block; ++b) {
+        const std::size_t lo = b * block;
+        const std::size_t len = std::min(block, n - lo);
+        if (decay == 1.0f) {
+            simd::axpy(weights.data() + lo, update.data() + lo, len,
+                       -scale);
+        } else {
+            // w = decay * w - scale * update (weight decay folded into
+            // the same streaming pass)
+            simd::axpby(weights.data() + lo, update.data() + lo, len,
+                        -scale, decay);
+        }
+    }
+}
+
+void
+addDenseParamNoise(const NoiseProvider &np, std::uint64_t iter,
+                   std::uint32_t pseudo_table, float sigma, float scale,
+                   float *dst, std::size_t n, std::uint64_t row_offset)
+{
+    // Chunk the flat array into provider pseudo-rows of kMaxDim.
+    const std::size_t chunk = NoiseProvider::kMaxDim;
+    const std::size_t n_chunks = (n + chunk - 1) / chunk;
+#pragma omp parallel for schedule(static)
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t len = std::min(chunk, n - lo);
+        np.rowNoise(iter, pseudo_table, row_offset + c, sigma, scale,
+                    dst + lo, len, /*accumulate=*/true);
+    }
+}
+
+} // namespace lazydp

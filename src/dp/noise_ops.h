@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bulk noise/update kernels shared by the DP engines.
+ *
+ * These are the two operators the paper's Section 4.3 roofline analysis
+ * targets: dense keyed noise generation over an entire embedding table
+ * (compute-bound) and the streaming noisy-gradient model update
+ * (memory-bound). Both are OpenMP-parallel, mirroring the paper's
+ * "heavily optimized" TBB/OpenMP baseline (Section 6).
+ */
+
+#ifndef LAZYDP_DP_NOISE_OPS_H
+#define LAZYDP_DP_NOISE_OPS_H
+
+#include <cstdint>
+
+#include "nn/embedding.h"
+#include "rng/noise_provider.h"
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/**
+ * Overwrite @p noise (rows x dim) with keyed per-row Gaussian noise for
+ * @p iter: row r gets the (iter, table, r) stream. Parallel over rows.
+ *
+ * This is the DP-SGD(B/R/F) *noise sampling* stage for one table.
+ */
+void fillDenseTableNoise(const NoiseProvider &np, std::uint64_t iter,
+                         std::uint32_t table, float sigma, Tensor &noise);
+
+/**
+ * Scatter-add a coalesced sparse gradient into the dense noise tensor
+ * (the *noisy gradient generation* stage).
+ */
+void addSparseIntoDense(const SparseGrad &grad, Tensor &dense);
+
+/**
+ * weights -= scale * update, streaming over the whole table (the
+ * *noisy gradient update* stage; N=2 ops per element, memory-bound).
+ * Parallel over row blocks.
+ */
+void streamingTableUpdate(Tensor &weights, const Tensor &update,
+                          float scale, float decay = 1.0f);
+
+/**
+ * Accumulate keyed noise over an arbitrary flat parameter array
+ * (MLP weights/biases), chunking into pseudo-rows of the provider.
+ *
+ * @param pseudo_table provider table id reserved for this tensor
+ * @param dst dst[i] += scale * z_i, z ~ N(0, sigma^2)
+ */
+void addDenseParamNoise(const NoiseProvider &np, std::uint64_t iter,
+                        std::uint32_t pseudo_table, float sigma,
+                        float scale, float *dst, std::size_t n,
+                        std::uint64_t row_offset = 0);
+
+} // namespace lazydp
+
+#endif // LAZYDP_DP_NOISE_OPS_H

@@ -1,0 +1,190 @@
+#include "io/checkpoint.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "io/serialize.h"
+
+namespace lazydp {
+namespace io {
+
+namespace {
+
+constexpr std::uint32_t kModelMagic = 0x4C445031;    // "LDP1"
+constexpr std::uint32_t kTrainingMagic = 0x4C445432; // "LDT2"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeModelBody(BinaryWriter &w, const DlrmModel &model)
+{
+    const ModelConfig &cfg = model.config();
+    w.writeString(cfg.name);
+    w.writeU64(cfg.numTables);
+    w.writeU64(cfg.embedDim);
+    for (std::size_t t = 0; t < cfg.numTables; ++t)
+        w.writeU64(cfg.rowsForTable(t));
+
+    for (const auto &table : model.tables()) {
+        w.writeF32Array(
+            {table.weights().data(), table.weights().size()});
+    }
+    auto write_mlp = [&](const Mlp &mlp) {
+        w.writeU64(mlp.layers().size());
+        for (const auto &layer : mlp.layers()) {
+            w.writeF32Array(
+                {layer.weight().data(), layer.weight().size()});
+            w.writeF32Array({layer.bias().data(), layer.bias().size()});
+        }
+    };
+    write_mlp(model.bottomMlp());
+    write_mlp(model.topMlp());
+}
+
+void
+readModelBody(BinaryReader &r, DlrmModel &model)
+{
+    const ModelConfig &cfg = model.config();
+    const std::string name = r.readString();
+    if (r.readU64() != cfg.numTables)
+        fatal("checkpoint '", name, "': table count mismatch");
+    if (r.readU64() != cfg.embedDim)
+        fatal("checkpoint '", name, "': embedding dim mismatch");
+    for (std::size_t t = 0; t < cfg.numTables; ++t) {
+        if (r.readU64() != cfg.rowsForTable(t))
+            fatal("checkpoint '", name, "': table ", t,
+                  " row count mismatch");
+    }
+
+    for (auto &table : model.tables()) {
+        r.readF32Array(
+            {table.weights().data(), table.weights().size()});
+    }
+    auto read_mlp = [&](Mlp &mlp) {
+        if (r.readU64() != mlp.layers().size())
+            fatal("checkpoint '", name, "': MLP layer count mismatch");
+        for (auto &layer : mlp.layers()) {
+            r.readF32Array(
+                {layer.weight().data(), layer.weight().size()});
+            r.readF32Array({layer.bias().data(), layer.bias().size()});
+        }
+    };
+    read_mlp(model.bottomMlp());
+    read_mlp(model.topMlp());
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    return os;
+}
+
+std::ifstream
+openIn(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return is;
+}
+
+} // namespace
+
+void
+saveModel(const std::string &path, const DlrmModel &model)
+{
+    auto os = openOut(path);
+    BinaryWriter w(os);
+    w.writeU32(kModelMagic);
+    w.writeU32(kVersion);
+    writeModelBody(w, model);
+}
+
+void
+loadModel(const std::string &path, DlrmModel &model)
+{
+    auto is = openIn(path);
+    BinaryReader r(is);
+    if (r.readU32() != kModelMagic)
+        fatal("'", path, "' is not a LazyDP model checkpoint");
+    if (r.readU32() != kVersion)
+        fatal("'", path, "' has an unsupported checkpoint version");
+    readModelBody(r, model);
+}
+
+void
+saveTraining(const std::string &path, const DlrmModel &model,
+             const LazyDpAlgorithm &algo, std::uint64_t next_iter)
+{
+    auto os = openOut(path);
+    BinaryWriter w(os);
+    w.writeU32(kTrainingMagic);
+    w.writeU32(kVersion);
+    w.writeU64(next_iter);
+    w.writeU64(algo.noiseProvider().seed());
+    w.writeU32(algo.ansEnabled() ? 1 : 0);
+    writeModelBody(w, model);
+
+    const HistoryTable &history = algo.historyTable();
+    w.writeU64(history.numTables());
+    for (std::size_t t = 0; t < history.numTables(); ++t)
+        w.writeU32Array(history.entries(t));
+
+    // deferred-decay table (present only when weight decay is on)
+    const HistoryTable *decay = algo.decayTable();
+    w.writeU32(decay != nullptr ? 1 : 0);
+    if (decay != nullptr) {
+        for (std::size_t t = 0; t < decay->numTables(); ++t)
+            w.writeU32Array(decay->entries(t));
+    }
+}
+
+ResumeInfo
+loadTraining(const std::string &path, DlrmModel &model,
+             LazyDpAlgorithm &algo)
+{
+    auto is = openIn(path);
+    BinaryReader r(is);
+    if (r.readU32() != kTrainingMagic)
+        fatal("'", path, "' is not a LazyDP training checkpoint");
+    if (r.readU32() != kVersion)
+        fatal("'", path, "' has an unsupported checkpoint version");
+
+    ResumeInfo info;
+    info.nextIter = r.readU64();
+    info.noiseSeed = r.readU64();
+    const bool ans = r.readU32() != 0;
+    if (info.noiseSeed != algo.noiseProvider().seed()) {
+        fatal("checkpoint noise seed ", info.noiseSeed,
+              " != algorithm seed ", algo.noiseProvider().seed(),
+              " -- resuming would regenerate different deferred noise");
+    }
+    if (ans != algo.ansEnabled())
+        warn("checkpoint ANS mode differs; resuming is still valid "
+             "(distributionally) but not bit-identical");
+
+    readModelBody(r, model);
+
+    HistoryTable &history = algo.historyTableMutable();
+    if (r.readU64() != history.numTables())
+        fatal("checkpoint history table count mismatch");
+    for (std::size_t t = 0; t < history.numTables(); ++t)
+        r.readU32Array(history.entriesMutable(t));
+
+    const bool has_decay = r.readU32() != 0;
+    HistoryTable *decay = algo.decayTableMutable();
+    if (has_decay != (decay != nullptr)) {
+        fatal("checkpoint weight-decay mode differs from the resuming "
+              "algorithm's configuration");
+    }
+    if (has_decay) {
+        for (std::size_t t = 0; t < decay->numTables(); ++t)
+            r.readU32Array(decay->entriesMutable(t));
+    }
+    return info;
+}
+
+} // namespace io
+} // namespace lazydp

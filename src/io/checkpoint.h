@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Training checkpoints.
+ *
+ * Checkpointing interacts with LazyDP in a way eager DP-SGD never has
+ * to think about: at any instant mid-training, most embedding rows have
+ * *pending* noise that exists only implicitly (HistoryTable entry +
+ * keyed noise streams). Two valid strategies:
+ *
+ *  - `saveTraining` persists the model AND the HistoryTable plus the
+ *    noise seed and iteration counter, so a resumed run regenerates the
+ *    exact same deferred noise. Cheap (no flush), and a resumed run is
+ *    bit-identical to an uninterrupted one (tested).
+ *
+ *  - For *releasing* a model (DP boundary!), callers must finalize()
+ *    first so the pending noise is applied; a checkpoint of a
+ *    non-finalized model is NOT a private artifact and must be treated
+ *    like the training state itself.
+ */
+
+#ifndef LAZYDP_IO_CHECKPOINT_H
+#define LAZYDP_IO_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/lazydp.h"
+#include "nn/dlrm.h"
+
+namespace lazydp {
+namespace io {
+
+/** Save model weights only (for released / finalized models). */
+void saveModel(const std::string &path, const DlrmModel &model);
+
+/**
+ * Load weights into an existing model; the model's configuration must
+ * match the checkpoint (validated via shape fields, fatal() otherwise).
+ */
+void loadModel(const std::string &path, DlrmModel &model);
+
+/**
+ * Save a full LazyDP training state: weights + HistoryTable +
+ * iteration counter + noise seed.
+ */
+void saveTraining(const std::string &path, const DlrmModel &model,
+                  const LazyDpAlgorithm &algo, std::uint64_t next_iter);
+
+/** Result of loadTraining. */
+struct ResumeInfo
+{
+    std::uint64_t nextIter = 0;   //!< iteration to continue from
+    std::uint64_t noiseSeed = 0;  //!< seed the run was using
+};
+
+/**
+ * Restore a LazyDP training state saved by saveTraining. The model and
+ * algorithm must be constructed with the same configuration (the
+ * caller re-creates them; weights and history are overwritten).
+ */
+ResumeInfo loadTraining(const std::string &path, DlrmModel &model,
+                        LazyDpAlgorithm &algo);
+
+} // namespace io
+} // namespace lazydp
+
+#endif // LAZYDP_IO_CHECKPOINT_H

@@ -1,0 +1,143 @@
+#include "io/serialize.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace lazydp {
+namespace io {
+
+// This code assumes a little-endian host (x86/ARM64 in practice); the
+// static_assert documents the portability boundary.
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint format requires a little-endian host");
+
+void
+BinaryWriter::writeRaw(const void *data, std::size_t bytes)
+{
+    os_.write(static_cast<const char *>(data),
+              static_cast<std::streamsize>(bytes));
+    if (!os_)
+        fatal("checkpoint write failed");
+}
+
+void
+BinaryWriter::writeU32(std::uint32_t v)
+{
+    writeRaw(&v, sizeof(v));
+}
+
+void
+BinaryWriter::writeU64(std::uint64_t v)
+{
+    writeRaw(&v, sizeof(v));
+}
+
+void
+BinaryWriter::writeF32(float v)
+{
+    writeRaw(&v, sizeof(v));
+}
+
+void
+BinaryWriter::writeString(const std::string &s)
+{
+    writeU64(s.size());
+    writeRaw(s.data(), s.size());
+}
+
+void
+BinaryWriter::writeF32Array(std::span<const float> data)
+{
+    writeU64(data.size());
+    writeRaw(data.data(), data.size() * sizeof(float));
+}
+
+void
+BinaryWriter::writeU32Array(std::span<const std::uint32_t> data)
+{
+    writeU64(data.size());
+    writeRaw(data.data(), data.size() * sizeof(std::uint32_t));
+}
+
+void
+BinaryWriter::writeU64Array(std::span<const std::uint64_t> data)
+{
+    writeU64(data.size());
+    writeRaw(data.data(), data.size() * sizeof(std::uint64_t));
+}
+
+void
+BinaryReader::readRaw(void *data, std::size_t bytes)
+{
+    is_.read(static_cast<char *>(data),
+             static_cast<std::streamsize>(bytes));
+    if (static_cast<std::size_t>(is_.gcount()) != bytes)
+        fatal("checkpoint truncated (wanted ", bytes, " bytes)");
+}
+
+std::uint32_t
+BinaryReader::readU32()
+{
+    std::uint32_t v = 0;
+    readRaw(&v, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+BinaryReader::readU64()
+{
+    std::uint64_t v = 0;
+    readRaw(&v, sizeof(v));
+    return v;
+}
+
+float
+BinaryReader::readF32()
+{
+    float v = 0.0f;
+    readRaw(&v, sizeof(v));
+    return v;
+}
+
+std::string
+BinaryReader::readString()
+{
+    const std::uint64_t n = readU64();
+    if (n > (1u << 20))
+        fatal("checkpoint string too long: ", n);
+    std::string s(n, '\0');
+    readRaw(s.data(), n);
+    return s;
+}
+
+void
+BinaryReader::readF32Array(std::span<float> data)
+{
+    const std::uint64_t n = readU64();
+    if (n != data.size())
+        fatal("checkpoint array length ", n, " != expected ",
+              data.size());
+    readRaw(data.data(), data.size() * sizeof(float));
+}
+
+void
+BinaryReader::readU32Array(std::span<std::uint32_t> data)
+{
+    const std::uint64_t n = readU64();
+    if (n != data.size())
+        fatal("checkpoint array length ", n, " != expected ",
+              data.size());
+    readRaw(data.data(), data.size() * sizeof(std::uint32_t));
+}
+
+std::uint64_t
+BinaryReader::readLength()
+{
+    return readU64();
+}
+
+} // namespace io
+} // namespace lazydp

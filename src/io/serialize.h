@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal little-endian binary (de)serialization for checkpoints.
+ *
+ * Format building blocks only -- framing/versioning lives in
+ * checkpoint.cc. All integers are fixed-width little-endian; float
+ * arrays are raw IEEE-754 bit patterns.
+ */
+
+#ifndef LAZYDP_IO_SERIALIZE_H
+#define LAZYDP_IO_SERIALIZE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace lazydp {
+namespace io {
+
+/** Thin writer over a std::ostream; fatal() on stream failure. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(std::ostream &os) : os_(os) {}
+
+    void writeU32(std::uint32_t v);
+    void writeU64(std::uint64_t v);
+    void writeF32(float v);
+    void writeString(const std::string &s);
+    void writeF32Array(std::span<const float> data);
+    void writeU32Array(std::span<const std::uint32_t> data);
+    void writeU64Array(std::span<const std::uint64_t> data);
+
+  private:
+    void writeRaw(const void *data, std::size_t bytes);
+    std::ostream &os_;
+};
+
+/** Thin reader over a std::istream; fatal() on short reads. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::istream &is) : is_(is) {}
+
+    std::uint32_t readU32();
+    std::uint64_t readU64();
+    float readF32();
+    std::string readString();
+
+    /** Reads exactly data.size() floats into @p data. */
+    void readF32Array(std::span<float> data);
+    void readU32Array(std::span<std::uint32_t> data);
+
+    /** @return length prefix of the next array without consuming data. */
+    std::uint64_t readLength();
+
+  private:
+    void readRaw(void *data, std::size_t bytes);
+    std::istream &is_;
+};
+
+} // namespace io
+} // namespace lazydp
+
+#endif // LAZYDP_IO_SERIALIZE_H

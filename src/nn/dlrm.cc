@@ -1,0 +1,232 @@
+#include "nn/dlrm.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+DlrmModel::DlrmModel(const ModelConfig &config, std::uint64_t seed)
+    : config_(config),
+      bottom_(config.bottomDims, seed),
+      interaction_(config.numTables + 1, config.embedDim),
+      top_(config.fullTopDims(), seed + 0x709ull)
+{
+    config_.validate();
+    tables_.reserve(config_.numTables);
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        tables_.emplace_back(config_.rowsForTable(t), config_.embedDim);
+        tables_.back().initUniform(seed + 0xE000 + t);
+    }
+    embOut_.resize(config_.numTables);
+    dEmbOut_.resize(config_.numTables);
+}
+
+void
+DlrmModel::forward(const MiniBatch &mb, Tensor &logits)
+{
+    LAZYDP_ASSERT(mb.numTables == config_.numTables,
+                  "batch table count != model");
+    LAZYDP_ASSERT(mb.dense.cols() == config_.numDense,
+                  "batch dense width != model");
+    const std::size_t batch = mb.batchSize;
+    lastBatch_ = batch;
+
+    if (bottomOut_.rows() != batch ||
+        bottomOut_.cols() != config_.embedDim) {
+        bottomOut_.resize(batch, config_.embedDim);
+    }
+    bottom_.forward(mb.dense, bottomOut_);
+
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        Tensor &out = embOut_[t];
+        if (out.rows() != batch || out.cols() != config_.embedDim)
+            out.resize(batch, config_.embedDim);
+        tables_[t].forward(mb.tableIndices(t), batch, mb.pooling, out);
+    }
+
+    if (interOut_.rows() != batch ||
+        interOut_.cols() != interaction_.outputDim()) {
+        interOut_.resize(batch, interaction_.outputDim());
+    }
+    std::vector<const Tensor *> inputs;
+    inputs.reserve(config_.numTables + 1);
+    inputs.push_back(&bottomOut_);
+    for (auto &e : embOut_)
+        inputs.push_back(&e);
+    interaction_.forward(inputs, interOut_);
+
+    top_.forward(interOut_, logits);
+}
+
+namespace {
+
+/** Prepare backward scratch shapes shared by both backward variants. */
+void
+prepareGradBuffers(std::size_t batch, std::size_t inter_dim,
+                   std::size_t embed_dim, std::size_t num_tables,
+                   Tensor &d_inter, Tensor &d_bottom,
+                   std::vector<Tensor> &d_emb)
+{
+    if (d_inter.rows() != batch || d_inter.cols() != inter_dim)
+        d_inter.resize(batch, inter_dim);
+    if (d_bottom.rows() != batch || d_bottom.cols() != embed_dim)
+        d_bottom.resize(batch, embed_dim);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+        if (d_emb[t].rows() != batch || d_emb[t].cols() != embed_dim)
+            d_emb[t].resize(batch, embed_dim);
+    }
+}
+
+} // namespace
+
+void
+DlrmModel::backward(const Tensor &d_logits,
+                    std::vector<double> *ghost_norm_sq,
+                    bool skip_param_grads)
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, dInterOut_, dBottomOut_,
+                       dEmbOut_);
+
+    top_.backward(d_logits, &dInterOut_, ghost_norm_sq, skip_param_grads);
+
+    std::vector<Tensor *> d_inputs;
+    d_inputs.reserve(config_.numTables + 1);
+    d_inputs.push_back(&dBottomOut_);
+    for (auto &t : dEmbOut_)
+        d_inputs.push_back(&t);
+    interaction_.backward(dInterOut_, d_inputs);
+
+    bottom_.backward(dBottomOut_, nullptr, ghost_norm_sq,
+                     skip_param_grads);
+}
+
+void
+DlrmModel::backwardNormsOnly(const Tensor &d_logits,
+                             std::vector<double> &norm_sq)
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, dInterOut_, dBottomOut_,
+                       dEmbOut_);
+
+    top_.backwardNormsOnly(d_logits, &dInterOut_, norm_sq);
+
+    std::vector<Tensor *> d_inputs;
+    d_inputs.reserve(config_.numTables + 1);
+    d_inputs.push_back(&dBottomOut_);
+    for (auto &t : dEmbOut_)
+        d_inputs.push_back(&t);
+    interaction_.backward(dInterOut_, d_inputs);
+
+    bottom_.backwardNormsOnly(dBottomOut_, nullptr, norm_sq);
+}
+
+void
+DlrmModel::backwardPerExample(const Tensor &d_logits,
+                              PerExampleGrads &top_grads,
+                              PerExampleGrads &bottom_grads)
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, dInterOut_, dBottomOut_,
+                       dEmbOut_);
+
+    top_.backwardPerExample(d_logits, &dInterOut_, top_grads);
+
+    std::vector<Tensor *> d_inputs;
+    d_inputs.reserve(config_.numTables + 1);
+    d_inputs.push_back(&dBottomOut_);
+    for (auto &t : dEmbOut_)
+        d_inputs.push_back(&t);
+    interaction_.backward(dInterOut_, d_inputs);
+
+    bottom_.backwardPerExample(dBottomOut_, nullptr, bottom_grads);
+}
+
+void
+DlrmModel::accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
+                                          std::vector<double> &out) const
+{
+    const std::size_t batch = mb.batchSize;
+    LAZYDP_ASSERT(out.size() == batch, "ghost-norm accumulator length");
+
+    // For an example whose pooled gradient is g_e, a row gathered with
+    // multiplicity m receives gradient m * g_e; the squared norm of the
+    // example's full table gradient is therefore
+    // (sum over unique rows m^2) * ||g_e||^2.
+    std::unordered_map<std::uint32_t, std::uint32_t> mult;
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        const Tensor &d_out = dEmbOut_[t];
+        for (std::size_t e = 0; e < batch; ++e) {
+            auto idx = mb.exampleIndices(t, e);
+            double m2_sum;
+            if (mb.pooling == 1) {
+                m2_sum = 1.0;
+            } else {
+                mult.clear();
+                for (auto row : idx)
+                    ++mult[row];
+                m2_sum = 0.0;
+                for (const auto &[row, m] : mult)
+                    m2_sum += static_cast<double>(m) *
+                              static_cast<double>(m);
+            }
+            const double g2 = simd::squaredNorm(
+                d_out.data() + e * config_.embedDim, config_.embedDim);
+            out[e] += m2_sum * g2;
+        }
+    }
+}
+
+const Tensor &
+DlrmModel::embOutGrad(std::size_t t) const
+{
+    LAZYDP_ASSERT(t < dEmbOut_.size(), "table index out of range");
+    return dEmbOut_[t];
+}
+
+Tensor &
+DlrmModel::embOutGradMutable(std::size_t t)
+{
+    LAZYDP_ASSERT(t < dEmbOut_.size(), "table index out of range");
+    return dEmbOut_[t];
+}
+
+void
+DlrmModel::embeddingBackward(const MiniBatch &mb, std::size_t t,
+                             SparseGrad &grad) const
+{
+    tables_[t].backward(mb.tableIndices(t), mb.batchSize, mb.pooling,
+                        dEmbOut_[t], grad);
+}
+
+void
+DlrmModel::applyMlps(float lr)
+{
+    bottom_.apply(lr);
+    top_.apply(lr);
+}
+
+std::size_t
+DlrmModel::mlpParamCount() const
+{
+    return bottom_.paramCount() + top_.paramCount();
+}
+
+std::uint64_t
+DlrmModel::tableBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tables_)
+        total += t.bytes();
+    return total;
+}
+
+} // namespace lazydp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The DLRM recommendation model (Figure 1 of the paper): bottom MLP
+ * over dense features, embedding tables over sparse features, dot
+ * feature interaction, top MLP producing a CTR logit.
+ *
+ * The model exposes exactly the hooks the SGD / DP-SGD(B/R/F) / EANA /
+ * LazyDP engines need:
+ *   - forward() caching all activations;
+ *   - backward() from per-example logit gradients, filling per-layer
+ *     MLP batch gradients and per-table pooled-embedding gradients,
+ *     optionally accumulating per-example ghost norms;
+ *   - backwardPerExample() materializing per-example MLP gradients;
+ *   - sparse embedding backward/apply helpers.
+ */
+
+#ifndef LAZYDP_NN_DLRM_H
+#define LAZYDP_NN_DLRM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/minibatch.h"
+#include "nn/embedding.h"
+#include "nn/interaction.h"
+#include "nn/mlp.h"
+#include "nn/model_config.h"
+
+namespace lazydp {
+
+/** DLRM model; see file comment. */
+class DlrmModel
+{
+  public:
+    /**
+     * @param config validated model shape
+     * @param seed weight-initialization seed
+     */
+    DlrmModel(const ModelConfig &config, std::uint64_t seed);
+
+    /**
+     * Forward pass over a mini-batch.
+     *
+     * @param mb input batch (must match the config's shape)
+     * @param logits (batch x 1) output scores
+     */
+    void forward(const MiniBatch &mb, Tensor &logits);
+
+    /**
+     * Backward from per-example logit gradients.
+     *
+     * Fills every MLP layer's batch weight/bias gradient and, for each
+     * table, the pooled-output gradient (readable via embOutGrad()).
+     *
+     * @param d_logits (batch x 1), one row per example (callers encode
+     *        1/B averaging or per-example clip factors into these rows)
+     * @param ghost_norm_sq when non-null, accumulates each example's
+     *        squared MLP gradient norm (ghost norms; embedding terms
+     *        are added separately via accumulateEmbeddingGhostNormSq)
+     */
+    void backward(const Tensor &d_logits,
+                  std::vector<double> *ghost_norm_sq = nullptr,
+                  bool skip_param_grads = false);
+
+    /**
+     * DP-SGD(R)'s norm pass: per-example MLP gradients are materialized
+     * layer-by-layer into scratch (then discarded) to accumulate
+     * per-example squared norms; no batch parameter gradients are
+     * produced. Pooled-embedding gradients are produced as usual.
+     */
+    void backwardNormsOnly(const Tensor &d_logits,
+                           std::vector<double> &norm_sq);
+
+    /**
+     * Backward materializing per-example MLP gradients (DP-SGD(B)).
+     * Pooled-embedding gradients are produced as in backward().
+     *
+     * @param d_logits per-example logit gradients
+     * @param top_grads per-example grads of the top MLP
+     * @param bottom_grads per-example grads of the bottom MLP
+     */
+    void backwardPerExample(const Tensor &d_logits,
+                            PerExampleGrads &top_grads,
+                            PerExampleGrads &bottom_grads);
+
+    /**
+     * Add each example's squared embedding-gradient norm (all tables)
+     * into @p out. Exact, accounting for duplicate indices within an
+     * example (multiplicity m contributes m^2 * ||g_e||^2).
+     *
+     * Requires backward() (or backwardPerExample()) to have run.
+     */
+    void accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
+                                        std::vector<double> &out) const;
+
+    /** @return pooled-output gradient of table @p t (batch x dim). */
+    const Tensor &embOutGrad(std::size_t t) const;
+
+    /**
+     * Mutable pooled-output gradient (DP-SGD(B) scales each example's
+     * row by its clip factor in place before coalescing).
+     */
+    Tensor &embOutGradMutable(std::size_t t);
+
+    /** Coalesce the sparse gradient of table @p t from embOutGrad. */
+    void embeddingBackward(const MiniBatch &mb, std::size_t t,
+                           SparseGrad &grad) const;
+
+    /** SGD step on both MLPs with the stored batch gradients. */
+    void applyMlps(float lr);
+
+    /** @return the embedding tables. */
+    std::vector<EmbeddingTable> &tables() { return tables_; }
+    const std::vector<EmbeddingTable> &tables() const { return tables_; }
+
+    Mlp &bottomMlp() { return bottom_; }
+    Mlp &topMlp() { return top_; }
+    const Mlp &bottomMlp() const { return bottom_; }
+    const Mlp &topMlp() const { return top_; }
+
+    const ModelConfig &config() const { return config_; }
+
+    /** @return total dense (MLP) parameter count. */
+    std::size_t mlpParamCount() const;
+
+    /** @return total embedding-table bytes. */
+    std::uint64_t tableBytes() const;
+
+  private:
+    ModelConfig config_;
+    Mlp bottom_;
+    std::vector<EmbeddingTable> tables_;
+    DotInteraction interaction_;
+    Mlp top_;
+
+    // Forward caches
+    Tensor bottomOut_;               // (batch x embedDim)
+    std::vector<Tensor> embOut_;     // per table (batch x embedDim)
+    Tensor interOut_;                // (batch x interactionDim)
+
+    // Backward caches
+    Tensor dInterOut_;               // (batch x interactionDim)
+    Tensor dBottomOut_;              // (batch x embedDim)
+    std::vector<Tensor> dEmbOut_;    // per table (batch x embedDim)
+    std::size_t lastBatch_ = 0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_DLRM_H

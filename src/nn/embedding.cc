@@ -1,0 +1,100 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "rng/xoshiro.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+EmbeddingTable::EmbeddingTable(std::uint64_t rows, std::size_t dim)
+    : rows_(rows), dim_(dim), weights_(rows, dim)
+{
+    LAZYDP_ASSERT(rows > 0 && dim > 0, "degenerate embedding table");
+}
+
+void
+EmbeddingTable::initUniform(std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+    float *w = weights_.data();
+    const std::size_t n = weights_.size();
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = (2.0f * rng.nextFloat() - 1.0f) * scale;
+}
+
+void
+EmbeddingTable::forward(std::span<const std::uint32_t> indices,
+                        std::size_t batch, std::size_t pooling,
+                        Tensor &out) const
+{
+    LAZYDP_ASSERT(indices.size() == batch * pooling,
+                  "index count != batch * pooling");
+    LAZYDP_ASSERT(out.rows() == batch && out.cols() == dim_,
+                  "embedding output shape mismatch");
+    out.zero();
+    for (std::size_t e = 0; e < batch; ++e) {
+        float *dst = out.data() + e * dim_;
+        for (std::size_t s = 0; s < pooling; ++s) {
+            const std::uint32_t row = indices[e * pooling + s];
+            LAZYDP_ASSERT(row < rows_, "embedding row out of range");
+            simd::axpy(dst, rowPtr(row), dim_, 1.0f);
+        }
+    }
+}
+
+void
+EmbeddingTable::backward(std::span<const std::uint32_t> indices,
+                         std::size_t batch, std::size_t pooling,
+                         const Tensor &d_out, SparseGrad &grad) const
+{
+    LAZYDP_ASSERT(indices.size() == batch * pooling,
+                  "index count != batch * pooling");
+    LAZYDP_ASSERT(d_out.rows() == batch && d_out.cols() == dim_,
+                  "embedding output-grad shape mismatch");
+
+    uniqueRows(indices, grad.rows);
+    grad.values.resize(grad.rows.size(), dim_);
+
+    // Sum-pooling distributes the pooled gradient unchanged to each
+    // gathered row; duplicates within an example accumulate twice, as
+    // autograd would.
+    for (std::size_t e = 0; e < batch; ++e) {
+        const float *src = d_out.data() + e * dim_;
+        for (std::size_t s = 0; s < pooling; ++s) {
+            const std::uint32_t row = indices[e * pooling + s];
+            const auto it = std::lower_bound(grad.rows.begin(),
+                                             grad.rows.end(), row);
+            const auto slot =
+                static_cast<std::size_t>(it - grad.rows.begin());
+            simd::axpy(grad.values.data() + slot * dim_, src, dim_, 1.0f);
+        }
+    }
+}
+
+void
+EmbeddingTable::applySparse(const SparseGrad &grad, float lr)
+{
+    LAZYDP_ASSERT(grad.values.rows() == grad.rows.size() &&
+                      grad.values.cols() == dim_,
+                  "sparse gradient shape mismatch");
+    for (std::size_t i = 0; i < grad.rows.size(); ++i) {
+        LAZYDP_ASSERT(grad.rows[i] < rows_, "sparse grad row out of range");
+        simd::axpy(rowPtr(grad.rows[i]), grad.values.data() + i * dim_,
+                   dim_, -lr);
+    }
+}
+
+void
+uniqueRows(std::span<const std::uint32_t> indices,
+           std::vector<std::uint32_t> &out)
+{
+    out.assign(indices.begin(), indices.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+} // namespace lazydp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Embedding-bag layer: the sparse half of a DLRM model and the object
+ * of the paper's entire optimization effort.
+ *
+ * Forward gathers `pooling` rows per example and sum-pools them;
+ * backward produces *sparse* row gradients (each accessed row's gradient
+ * is the pooled output gradient of the examples that touched it).
+ * Non-private SGD applies those sparse gradients directly; DP-SGD must
+ * additionally touch every row with Gaussian noise, which is the dense
+ * traffic LazyDP eliminates.
+ */
+
+#ifndef LAZYDP_NN_EMBEDDING_H
+#define LAZYDP_NN_EMBEDDING_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/**
+ * Coalesced sparse gradient of one embedding table.
+ *
+ * `rows[i]` is a table row id (strictly increasing, no duplicates) and
+ * `values.row(i)` its summed gradient. Produced by
+ * EmbeddingTable::backward, consumed by the optimizers.
+ */
+struct SparseGrad
+{
+    std::vector<std::uint32_t> rows; //!< sorted unique row ids
+    Tensor values;                   //!< (rows.size() x dim) gradients
+
+    /** Reset to empty without releasing capacity of `rows`. */
+    void
+    clear()
+    {
+        rows.clear();
+    }
+};
+
+/** One embedding table with sum pooling. */
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param rows number of embedding vectors
+     * @param dim embedding dimension
+     */
+    EmbeddingTable(std::uint64_t rows, std::size_t dim);
+
+    /** Initialize weights uniformly in [-1/sqrt(dim), 1/sqrt(dim)]. */
+    void initUniform(std::uint64_t seed);
+
+    /**
+     * Sum-pool lookup.
+     *
+     * @param indices batch*pooling row ids, layout [example][slot]
+     * @param batch number of examples
+     * @param pooling lookups per example
+     * @param out (batch x dim) pooled embeddings (overwritten)
+     */
+    void forward(std::span<const std::uint32_t> indices, std::size_t batch,
+                 std::size_t pooling, Tensor &out) const;
+
+    /**
+     * Sparse backward: coalesce per-row gradients from the pooled
+     * output gradient.
+     *
+     * @param indices same layout as forward
+     * @param d_out (batch x dim) gradient of the pooled output
+     * @param grad output: sorted, duplicate-free row gradients
+     */
+    void backward(std::span<const std::uint32_t> indices, std::size_t batch,
+                  std::size_t pooling, const Tensor &d_out,
+                  SparseGrad &grad) const;
+
+    /** w[row] -= lr * g for every row of the sparse gradient. */
+    void applySparse(const SparseGrad &grad, float lr);
+
+    std::uint64_t rows() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+
+    /** @return mutable raw weight row (used by the DP optimizers). */
+    float *
+    rowPtr(std::uint64_t r)
+    {
+        return weights_.data() + r * dim_;
+    }
+
+    /** @return const raw weight row. */
+    const float *
+    rowPtr(std::uint64_t r) const
+    {
+        return weights_.data() + r * dim_;
+    }
+
+    /** @return the full weight matrix (rows x dim). */
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+
+    /** @return table size in bytes (the paper's "model size" metric). */
+    std::uint64_t
+    bytes() const
+    {
+        return rows_ * static_cast<std::uint64_t>(dim_) * sizeof(float);
+    }
+
+  private:
+    std::uint64_t rows_;
+    std::size_t dim_;
+    Tensor weights_;
+};
+
+/**
+ * Deduplicate and sort row ids.
+ *
+ * Shared helper: the optimizers (and LazyDP's lookahead) repeatedly
+ * need the unique accessed-row set of a minibatch.
+ *
+ * @param indices any sequence of row ids
+ * @param out cleared and filled with the sorted unique ids
+ */
+void uniqueRows(std::span<const std::uint32_t> indices,
+                std::vector<std::uint32_t> &out);
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_EMBEDDING_H

@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+double
+BceWithLogitsLoss::forward(const Tensor &logits,
+                           const std::vector<float> &labels)
+{
+    const std::size_t batch = logits.rows();
+    LAZYDP_ASSERT(logits.cols() == 1, "loss expects (batch x 1) logits");
+    LAZYDP_ASSERT(labels.size() == batch, "label count mismatch");
+
+    // loss = max(z, 0) - z*y + log(1 + exp(-|z|))
+    double total = 0.0;
+    for (std::size_t e = 0; e < batch; ++e) {
+        const double z = logits.at(e, 0);
+        const double y = labels[e];
+        total += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
+    }
+    return total / static_cast<double>(batch);
+}
+
+void
+BceWithLogitsLoss::backwardPerExample(const Tensor &logits,
+                                      const std::vector<float> &labels,
+                                      Tensor &d_logits)
+{
+    const std::size_t batch = logits.rows();
+    LAZYDP_ASSERT(logits.cols() == 1, "loss expects (batch x 1) logits");
+    LAZYDP_ASSERT(labels.size() == batch, "label count mismatch");
+    LAZYDP_ASSERT(d_logits.rows() == batch && d_logits.cols() == 1,
+                  "d_logits shape");
+
+    for (std::size_t e = 0; e < batch; ++e) {
+        const double z = logits.at(e, 0);
+        const double s = 1.0 / (1.0 + std::exp(-z));
+        d_logits.at(e, 0) = static_cast<float>(s - labels[e]);
+    }
+}
+
+} // namespace lazydp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary cross-entropy with logits for CTR prediction.
+ */
+
+#ifndef LAZYDP_NN_LOSS_H
+#define LAZYDP_NN_LOSS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/** Numerically stable BCE-with-logits loss. */
+class BceWithLogitsLoss
+{
+  public:
+    /**
+     * @param logits (batch x 1) raw scores
+     * @param labels length-batch 0/1 targets
+     * @return mean loss over the batch
+     */
+    static double forward(const Tensor &logits,
+                          const std::vector<float> &labels);
+
+    /**
+     * Per-example logit gradients, *not* divided by the batch size:
+     * d_e = sigmoid(z_e) - y_e.
+     *
+     * SGD divides by B once; the DP engines instead clip these
+     * per-example contributions first (Section 2.4).
+     *
+     * @param logits (batch x 1) raw scores
+     * @param labels targets
+     * @param d_logits (batch x 1) output
+     */
+    static void backwardPerExample(const Tensor &logits,
+                                   const std::vector<float> &labels,
+                                   Tensor &d_logits);
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_LOSS_H

@@ -1,0 +1,281 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "rng/xoshiro.h"
+#include "tensor/matmul.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+std::uint64_t
+PerExampleGrads::bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : w)
+        total += t.size() * sizeof(float);
+    for (const auto &t : b)
+        total += t.size() * sizeof(float);
+    return total;
+}
+
+LinearLayer::LinearLayer(std::size_t in, std::size_t out)
+    : in_(in), out_(out), w_(out, in), b_(1, out), w_grad_(out, in),
+      b_grad_(1, out)
+{
+    LAZYDP_ASSERT(in > 0 && out > 0, "degenerate linear layer");
+}
+
+void
+LinearLayer::initUniform(std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    const float bound = 1.0f / std::sqrt(static_cast<float>(in_));
+    for (std::size_t i = 0; i < w_.size(); ++i)
+        w_.data()[i] = (2.0f * rng.nextFloat() - 1.0f) * bound;
+    for (std::size_t i = 0; i < b_.size(); ++i)
+        b_.data()[i] = (2.0f * rng.nextFloat() - 1.0f) * bound;
+}
+
+void
+LinearLayer::forward(const Tensor &x, Tensor &y)
+{
+    LAZYDP_ASSERT(x.cols() == in_, "linear forward input width");
+    if (x_cache_.rows() != x.rows() || x_cache_.cols() != x.cols())
+        x_cache_.resize(x.rows(), x.cols());
+    x_cache_.copyFrom(x);
+    matmulABt(x, w_, y);
+    addRowBias(y, b_);
+}
+
+void
+LinearLayer::backward(const Tensor &d_y, Tensor *d_x,
+                      bool skip_param_grads)
+{
+    const std::size_t batch = d_y.rows();
+    LAZYDP_ASSERT(d_y.cols() == out_, "linear backward grad width");
+    LAZYDP_ASSERT(x_cache_.rows() == batch,
+                  "backward batch != cached forward batch");
+
+    if (d_x != nullptr) {
+        LAZYDP_ASSERT(d_x->rows() == batch && d_x->cols() == in_,
+                      "linear d_x shape");
+        // dX = dY * W
+        matmulAB(d_y, w_, *d_x);
+    }
+
+    if (skip_param_grads)
+        return;
+    // dW = dY^T X, db = column sums of dY
+    matmulAtB(d_y, x_cache_, w_grad_);
+    reduceRows(d_y, b_grad_);
+}
+
+void
+LinearLayer::accumulateGhostNormSq(const Tensor &d_y,
+                                   std::vector<double> &out) const
+{
+    const std::size_t batch = d_y.rows();
+    LAZYDP_ASSERT(out.size() == batch, "ghost-norm accumulator length");
+    LAZYDP_ASSERT(x_cache_.rows() == batch, "ghost norm needs forward cache");
+    for (std::size_t e = 0; e < batch; ++e) {
+        const double g2 =
+            simd::squaredNorm(d_y.data() + e * out_, out_);
+        const double a2 =
+            simd::squaredNorm(x_cache_.data() + e * in_, in_);
+        out[e] += g2 * a2 + g2; // weight term + bias term
+    }
+}
+
+void
+LinearLayer::perExampleGrads(const Tensor &d_y, Tensor &w_grads,
+                             Tensor &b_grads) const
+{
+    const std::size_t batch = d_y.rows();
+    LAZYDP_ASSERT(x_cache_.rows() == batch,
+                  "per-example grads need forward cache");
+    w_grads.resizeNoShrink(batch, out_ * in_);
+    b_grads.resizeNoShrink(batch, out_);
+
+#pragma omp parallel for schedule(static)
+    for (std::size_t e = 0; e < batch; ++e) {
+        const float *g = d_y.data() + e * out_;
+        const float *a = x_cache_.data() + e * in_;
+        float *wg = w_grads.data() + e * out_ * in_;
+        for (std::size_t o = 0; o < out_; ++o) {
+            // row o of dW_e = g[o] * a
+            float *dst = wg + o * in_;
+            const float go = g[o];
+            for (std::size_t i = 0; i < in_; ++i)
+                dst[i] = go * a[i];
+        }
+        std::memcpy(b_grads.data() + e * out_, g, out_ * sizeof(float));
+    }
+}
+
+void
+LinearLayer::apply(float lr, float decay)
+{
+    if (decay == 1.0f) {
+        simd::axpy(w_.data(), w_grad_.data(), w_.size(), -lr);
+        simd::axpy(b_.data(), b_grad_.data(), b_.size(), -lr);
+    } else {
+        simd::axpby(w_.data(), w_grad_.data(), w_.size(), -lr, decay);
+        simd::axpby(b_.data(), b_grad_.data(), b_.size(), -lr, decay);
+    }
+}
+
+Mlp::Mlp(const std::vector<std::size_t> &dims, std::uint64_t seed)
+    : dims_(dims)
+{
+    LAZYDP_ASSERT(dims.size() >= 2, "MLP needs at least one layer");
+    layers_.reserve(dims.size() - 1);
+    for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+        layers_.emplace_back(dims[l], dims[l + 1]);
+        layers_.back().initUniform(seed + 0x1000 * (l + 1));
+    }
+    z_cache_.resize(layers_.size());
+    grad_scratch_.resize(layers_.size());
+}
+
+void
+Mlp::forward(const Tensor &x, Tensor &y)
+{
+    LAZYDP_ASSERT(x.cols() == dims_.front(), "MLP input width");
+    const std::size_t batch = x.rows();
+
+    const Tensor *cur = &x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Tensor &z = z_cache_[l];
+        if (z.rows() != batch || z.cols() != layers_[l].outDim())
+            z.resize(batch, layers_[l].outDim());
+        layers_[l].forward(*cur, z);
+        if (l + 1 < layers_.size()) {
+            // ReLU in place on a copy kept as the next layer's input;
+            // we keep z pre-activation for the backward mask, so apply
+            // ReLU into the next buffer.
+            simd::reluForward(z.data(), z.data(), z.size());
+        }
+        cur = &z;
+    }
+    if (y.rows() != batch || y.cols() != dims_.back())
+        y.resize(batch, dims_.back());
+    y.copyFrom(z_cache_.back());
+}
+
+template <typename LayerHook>
+void
+Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook)
+{
+    const std::size_t batch = d_y.rows();
+    LAZYDP_ASSERT(d_y.cols() == dims_.back(), "MLP upstream grad width");
+
+    const Tensor *cur_grad = &d_y;
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+        LinearLayer &layer = layers_[li];
+        Tensor *dst = nullptr;
+        if (li > 0) {
+            Tensor &scratch = grad_scratch_[li];
+            if (scratch.rows() != batch ||
+                scratch.cols() != layer.inDim()) {
+                scratch.resize(batch, layer.inDim());
+            }
+            dst = &scratch;
+        } else {
+            dst = d_x; // may be nullptr (skip input grads)
+        }
+
+        hook(layer, *cur_grad, dst);
+
+        if (li > 0) {
+            // The scratch now holds gradients wrt the *post-ReLU*
+            // activation of layer li-1; mask through the ReLU. The
+            // cached z of layer li-1 already had ReLU applied in
+            // place, and relu'(x) as a mask of (post-relu > 0) equals
+            // the mask of (pre-relu > 0) except at exactly 0 where both
+            // are 0 -- identical gradients.
+            const Tensor &activated = z_cache_[li - 1];
+            simd::reluBackward(dst->data(), activated.data(), dst->data(),
+                               dst->size());
+            cur_grad = dst;
+        }
+    }
+}
+
+void
+Mlp::backward(const Tensor &d_y, Tensor *d_x,
+              std::vector<double> *ghost_norm_sq, bool skip_param_grads)
+{
+    backwardImpl(d_y, d_x,
+                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
+                     if (ghost_norm_sq != nullptr)
+                         layer.accumulateGhostNormSq(g, *ghost_norm_sq);
+                     layer.backward(g, dx, skip_param_grads);
+                 });
+}
+
+void
+Mlp::backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
+                       std::vector<double> &norm_sq)
+{
+    const std::size_t batch = d_y.rows();
+    LAZYDP_ASSERT(norm_sq.size() == batch, "norm accumulator length");
+    Tensor &w_scratch = norm_scratch_w_;
+    Tensor &b_scratch = norm_scratch_b_;
+    backwardImpl(d_y, d_x,
+                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
+                     layer.perExampleGrads(g, w_scratch, b_scratch);
+#pragma omp parallel for schedule(static)
+                     for (std::size_t e = 0; e < batch; ++e) {
+                         norm_sq[e] += simd::squaredNorm(
+                             w_scratch.data() + e * w_scratch.cols(),
+                             w_scratch.cols());
+                         norm_sq[e] += simd::squaredNorm(
+                             b_scratch.data() + e * b_scratch.cols(),
+                             b_scratch.cols());
+                     }
+                     if (dx != nullptr)
+                         matmulAB(g, layer.weight(), *dx);
+                 });
+}
+
+void
+Mlp::backwardPerExample(const Tensor &d_y, Tensor *d_x,
+                        PerExampleGrads &grads)
+{
+    grads.w.resize(layers_.size());
+    grads.b.resize(layers_.size());
+    // Layers are visited in reverse; map to per-layer slots by pointer
+    // arithmetic on the layers_ vector.
+    backwardImpl(d_y, d_x,
+                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
+                     const auto li = static_cast<std::size_t>(
+                         &layer - layers_.data());
+                     layer.perExampleGrads(g, grads.w[li], grads.b[li]);
+                     // Input gradients still require the batch backward
+                     // (dX = dY W); weight gradients are not needed here.
+                     if (dx != nullptr)
+                         matmulAB(g, layer.weight(), *dx);
+                 });
+}
+
+void
+Mlp::apply(float lr, float decay)
+{
+    for (auto &layer : layers_)
+        layer.apply(lr, decay);
+}
+
+std::size_t
+Mlp::paramCount() const
+{
+    std::size_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer.paramCount();
+    return n;
+}
+
+// Explicit instantiation not needed; backwardImpl is used only in this TU.
+
+} // namespace lazydp

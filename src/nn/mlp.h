@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Linear layers and MLP stacks with the hooks DP-SGD needs.
+ *
+ * Besides the usual forward/backward, each layer retains its input
+ * activations so the DP engines can derive per-example weight gradients
+ * (DP-SGD(B)), per-example gradient *norms* without materialization
+ * (ghost norms, DP-SGD(F)), and reweighted batch gradients (DP-SGD(R)).
+ */
+
+#ifndef LAZYDP_NN_MLP_H
+#define LAZYDP_NN_MLP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/**
+ * Materialized per-example gradients of an MLP (one entry per layer).
+ *
+ * This is DP-SGD(B)'s memory-capacity burden: batch-size-times larger
+ * than the model itself (Section 2.5 of the paper).
+ */
+struct PerExampleGrads
+{
+    std::vector<Tensor> w; //!< per layer: (batch x out*in), row e = vec(dW_e)
+    std::vector<Tensor> b; //!< per layer: (batch x out), row e = db_e
+
+    /** @return total bytes held (for OOM accounting in benches). */
+    std::uint64_t bytes() const;
+};
+
+/** Fully connected layer y = x W^T + b with cached activations. */
+class LinearLayer
+{
+  public:
+    /**
+     * @param in input features
+     * @param out output features
+     */
+    LinearLayer(std::size_t in, std::size_t out);
+
+    /** Kaiming-uniform style weight init. */
+    void initUniform(std::uint64_t seed);
+
+    /** y = x W^T + b; caches x for backward. */
+    void forward(const Tensor &x, Tensor &y);
+
+    /**
+     * Per-batch backward: fills the layer's weight/bias gradients
+     * (mean over examples is NOT applied here; callers divide once).
+     *
+     * @param d_y (batch x out) upstream gradient
+     * @param d_x (batch x in) output: gradient wrt input (nullptr to
+     *        skip input-gradient derivation for the first layer)
+     *
+     * DP-SGD(R)'s per-example reweighting is applied upstream, by
+     * scaling the rows of the loss gradient, so plain backward here
+     * yields the reweighted sums for every parameter including the
+     * embedding tables.
+     */
+    void backward(const Tensor &d_y, Tensor *d_x,
+                  bool skip_param_grads = false);
+
+    /**
+     * Ghost norms: out[e] += ||dW_e||_F^2 + ||db_e||^2 computed as
+     * ||g_e||^2 * ||a_e||^2 + ||g_e||^2 without forming dW_e
+     * (exact for linear layers; Denison et al.).
+     *
+     * Uses the cached input of the last forward.
+     *
+     * @param d_y (batch x out) upstream gradient
+     * @param out accumulator, length batch
+     */
+    void accumulateGhostNormSq(const Tensor &d_y,
+                               std::vector<double> &out) const;
+
+    /**
+     * Materialized per-example gradients (DP-SGD(B) path):
+     * dW_e = g_e (x) a_e, db_e = g_e.
+     *
+     * @param d_y (batch x out) upstream gradient
+     * @param w_grads output (batch x (out*in))
+     * @param b_grads output (batch x out)
+     */
+    void perExampleGrads(const Tensor &d_y, Tensor &w_grads,
+                         Tensor &b_grads) const;
+
+    /** w = decay*w - lr*w_grad; b = decay*b - lr*b_grad. */
+    void apply(float lr, float decay = 1.0f);
+
+    Tensor &weightGrad() { return w_grad_; }
+    Tensor &biasGrad() { return b_grad_; }
+    const Tensor &weightGrad() const { return w_grad_; }
+    const Tensor &biasGrad() const { return b_grad_; }
+
+    Tensor &weight() { return w_; }
+    const Tensor &weight() const { return w_; }
+    Tensor &bias() { return b_; }
+    const Tensor &bias() const { return b_; }
+
+    /** @return cached input of the last forward. */
+    const Tensor &input() const { return x_cache_; }
+
+    std::size_t inDim() const { return in_; }
+    std::size_t outDim() const { return out_; }
+
+    /** @return number of trainable parameters. */
+    std::size_t paramCount() const { return in_ * out_ + out_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Tensor w_;       // (out x in)
+    Tensor b_;       // (1 x out)
+    Tensor w_grad_;  // (out x in)
+    Tensor b_grad_;  // (1 x out)
+    Tensor x_cache_; // (batch x in)
+};
+
+/** MLP: alternating LinearLayer and ReLU (no activation after last). */
+class Mlp
+{
+  public:
+    /**
+     * @param dims layer widths, e.g. {13, 512, 256, 128}
+     * @param seed weight-init seed
+     */
+    Mlp(const std::vector<std::size_t> &dims, std::uint64_t seed);
+
+    /** Forward through all layers; caches activations. */
+    void forward(const Tensor &x, Tensor &y);
+
+    /**
+     * Backward through all layers, filling per-layer batch gradients.
+     *
+     * @param d_y upstream gradient of the MLP output
+     * @param d_x gradient wrt the MLP input (nullptr to skip)
+     * @param ghost_norm_sq when non-null, each layer accumulates its
+     *        per-example squared gradient norms into it (DP-SGD(F))
+     */
+    void backward(const Tensor &d_y, Tensor *d_x,
+                  std::vector<double> *ghost_norm_sq = nullptr,
+                  bool skip_param_grads = false);
+
+    /**
+     * DP-SGD(R)'s first pass: walk the layers, *materialize* each
+     * layer's per-example gradients into a reusable scratch pair just
+     * long enough to accumulate per-example squared norms, then discard
+     * (Lee & Kifer). Batch parameter gradients are not produced.
+     *
+     * @param d_y upstream gradient of the MLP output
+     * @param d_x gradient wrt the MLP input (nullptr to skip)
+     * @param norm_sq accumulator, length batch
+     */
+    void backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
+                           std::vector<double> &norm_sq);
+
+    /**
+     * Backward that additionally materializes per-example gradients of
+     * every layer (DP-SGD(B)). Batch gradients are not produced.
+     */
+    void backwardPerExample(const Tensor &d_y, Tensor *d_x,
+                            PerExampleGrads &grads);
+
+    /** SGD step on all layers (optional multiplicative decay). */
+    void apply(float lr, float decay = 1.0f);
+
+    /** @return the layers (DP engines iterate them). */
+    std::vector<LinearLayer> &layers() { return layers_; }
+    const std::vector<LinearLayer> &layers() const { return layers_; }
+
+    std::size_t inDim() const { return dims_.front(); }
+    std::size_t outDim() const { return dims_.back(); }
+
+    /** @return total trainable parameters. */
+    std::size_t paramCount() const;
+
+  private:
+    /**
+     * Shared backward skeleton: walks layers in reverse, applying ReLU
+     * masks, invoking @p layer_hook (per-batch or per-example gradient
+     * derivation) for each layer.
+     */
+    template <typename LayerHook>
+    void backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook);
+
+    std::vector<std::size_t> dims_;
+    std::vector<LinearLayer> layers_;
+    // Cached post-linear (pre-ReLU) outputs per layer for ReLU backward.
+    std::vector<Tensor> z_cache_;
+    // Scratch gradient buffers between layers.
+    std::vector<Tensor> grad_scratch_;
+    // Persistent per-example scratch for backwardNormsOnly (avoids a
+    // ~1 GB realloc + page-fault storm per iteration at batch 2048).
+    Tensor norm_scratch_w_;
+    Tensor norm_scratch_b_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_MLP_H

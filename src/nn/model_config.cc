@@ -1,0 +1,209 @@
+#include "nn/model_config.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lazydp {
+
+std::uint64_t
+ModelConfig::rowsForTable(std::size_t t) const
+{
+    if (rowsPerTableVec.empty())
+        return rowsPerTable;
+    return rowsPerTableVec[t];
+}
+
+std::uint64_t
+ModelConfig::maxTableRows() const
+{
+    std::uint64_t rows = 0;
+    for (std::size_t t = 0; t < numTables; ++t)
+        rows = std::max(rows, rowsForTable(t));
+    return rows;
+}
+
+std::uint64_t
+ModelConfig::totalRows() const
+{
+    std::uint64_t rows = 0;
+    for (std::size_t t = 0; t < numTables; ++t)
+        rows += rowsForTable(t);
+    return rows;
+}
+
+std::uint64_t
+ModelConfig::tableBytes() const
+{
+    return totalRows() * embedDim * sizeof(float);
+}
+
+std::size_t
+ModelConfig::interactionDim() const
+{
+    const std::size_t n = numTables + 1;
+    return embedDim + n * (n - 1) / 2;
+}
+
+std::vector<std::size_t>
+ModelConfig::fullTopDims() const
+{
+    std::vector<std::size_t> dims;
+    dims.reserve(topDims.size() + 1);
+    dims.push_back(interactionDim());
+    dims.insert(dims.end(), topDims.begin(), topDims.end());
+    return dims;
+}
+
+void
+ModelConfig::validate() const
+{
+    if (bottomDims.size() < 2)
+        fatal("model '", name, "': bottom MLP needs >= 2 dims");
+    if (bottomDims.front() != numDense)
+        fatal("model '", name, "': bottom MLP input != numDense");
+    if (bottomDims.back() != embedDim)
+        fatal("model '", name, "': bottom MLP output != embedDim");
+    if (topDims.empty() || topDims.back() != 1)
+        fatal("model '", name, "': top MLP must end in width 1");
+    if (rowsPerTable == 0 || numTables == 0 || embedDim == 0)
+        fatal("model '", name, "': degenerate embedding shape");
+    if (pooling == 0)
+        fatal("model '", name, "': pooling must be >= 1");
+    if (!rowsPerTableVec.empty() && rowsPerTableVec.size() != numTables)
+        fatal("model '", name, "': rowsPerTableVec size != numTables");
+    for (std::size_t t = 0; t < numTables; ++t) {
+        if (rowsForTable(t) == 0)
+            fatal("model '", name, "': table ", t, " has zero rows");
+    }
+}
+
+namespace {
+
+/** Rows per table so numTables tables of embedDim floats total bytes. */
+std::uint64_t
+rowsFor(std::uint64_t total_bytes, std::size_t num_tables,
+        std::size_t embed_dim)
+{
+    const std::uint64_t per_row =
+        static_cast<std::uint64_t>(embed_dim) * sizeof(float);
+    const std::uint64_t rows =
+        total_bytes / (per_row * static_cast<std::uint64_t>(num_tables));
+    return rows == 0 ? 1 : rows;
+}
+
+} // namespace
+
+ModelConfig
+ModelConfig::mlperfDlrm(std::uint64_t total_table_bytes)
+{
+    ModelConfig c;
+    c.name = "mlperf-dlrm";
+    c.numDense = 13;
+    c.numTables = 26;
+    c.embedDim = 128;
+    c.pooling = 1;
+    c.rowsPerTable = rowsFor(total_table_bytes, c.numTables, c.embedDim);
+    c.bottomDims = {13, 512, 256, 128};
+    c.topDims = {1024, 1024, 512, 256, 1};
+    return c;
+}
+
+ModelConfig
+ModelConfig::mlperfBench(std::uint64_t total_table_bytes)
+{
+    ModelConfig c = mlperfDlrm(total_table_bytes);
+    c.name = "mlperf-bench";
+    c.bottomDims = {13, 128, 128};
+    c.topDims = {256, 128, 1};
+    return c;
+}
+
+ModelConfig
+ModelConfig::rmc1(std::uint64_t total_table_bytes)
+{
+    // DeepRecSys RMC1: embedding-lookup heavy -- few tables, many
+    // lookups per table.
+    ModelConfig c;
+    c.name = "rmc1";
+    c.numDense = 13;
+    c.numTables = 8;
+    c.embedDim = 64;
+    c.pooling = 20;
+    c.rowsPerTable = rowsFor(total_table_bytes, c.numTables, c.embedDim);
+    c.bottomDims = {13, 256, 128, 64};
+    c.topDims = {256, 64, 1};
+    return c;
+}
+
+ModelConfig
+ModelConfig::rmc2(std::uint64_t total_table_bytes)
+{
+    // RMC2: many tables, moderate pooling.
+    ModelConfig c;
+    c.name = "rmc2";
+    c.numDense = 13;
+    c.numTables = 40;
+    c.embedDim = 64;
+    c.pooling = 4;
+    c.rowsPerTable = rowsFor(total_table_bytes, c.numTables, c.embedDim);
+    c.bottomDims = {13, 256, 128, 64};
+    c.topDims = {512, 128, 1};
+    return c;
+}
+
+ModelConfig
+ModelConfig::rmc3(std::uint64_t total_table_bytes)
+{
+    // RMC3: capacity-dominated -- few huge tables, single lookup.
+    ModelConfig c;
+    c.name = "rmc3";
+    c.numDense = 13;
+    c.numTables = 4;
+    c.embedDim = 64;
+    c.pooling = 1;
+    c.rowsPerTable = rowsFor(total_table_bytes, c.numTables, c.embedDim);
+    c.bottomDims = {13, 128, 64};
+    c.topDims = {128, 64, 1};
+    return c;
+}
+
+ModelConfig
+ModelConfig::mlperfHetero(std::uint64_t total_table_bytes)
+{
+    ModelConfig c = mlperfBench(total_table_bytes);
+    c.name = "mlperf-hetero";
+    // power-law table sizes: table t gets a share proportional to
+    // 1 / (t + 1), normalized to the byte budget
+    double denom = 0.0;
+    for (std::size_t t = 0; t < c.numTables; ++t)
+        denom += 1.0 / static_cast<double>(t + 1);
+    const double total_rows = static_cast<double>(
+        total_table_bytes / (c.embedDim * sizeof(float)));
+    c.rowsPerTableVec.resize(c.numTables);
+    for (std::size_t t = 0; t < c.numTables; ++t) {
+        const double share =
+            (1.0 / static_cast<double>(t + 1)) / denom;
+        c.rowsPerTableVec[t] = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(share * total_rows));
+    }
+    c.rowsPerTable = c.rowsPerTableVec.front();
+    return c;
+}
+
+ModelConfig
+ModelConfig::tiny()
+{
+    ModelConfig c;
+    c.name = "tiny";
+    c.numDense = 4;
+    c.numTables = 3;
+    c.embedDim = 8;
+    c.pooling = 2;
+    c.rowsPerTable = 64;
+    c.bottomDims = {4, 16, 8};
+    c.topDims = {8, 1};
+    return c;
+}
+
+} // namespace lazydp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RecSys model configurations used by the paper's evaluation.
+ *
+ * The paper's default is the MLPerf (v2.1) DLRM: 8 MLP layers, 26
+ * embedding tables, 128-dim embeddings, 96 GB total (Section 6). Its
+ * Figure 13(c) additionally studies RMC1/RMC2/RMC3 from DeepRecSys
+ * (Gupta et al., HPCA 2020).
+ *
+ * Because this repository runs on a single host with 21 GB of DRAM,
+ * each preset takes a `scale_divisor` that shrinks the *row count* of
+ * every table (exactly how the paper itself scales 96 GB down to 96 MB
+ * in Section 4). All other shape parameters are unchanged, so per-row
+ * behaviour (noise per element, pooling, MLP work) is preserved and
+ * table-size sweeps remain apples-to-apples.
+ */
+
+#ifndef LAZYDP_NN_MODEL_CONFIG_H
+#define LAZYDP_NN_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazydp {
+
+/** Full shape description of a DLRM-style model. */
+struct ModelConfig
+{
+    std::string name = "custom";
+
+    std::size_t numDense = 13;   //!< dense input features
+    std::size_t numTables = 26;  //!< embedding tables
+    std::uint64_t rowsPerTable = 1u << 16;
+
+    /**
+     * Optional per-table row counts (real DLRMs have wildly different
+     * cardinalities per categorical feature). Empty means every table
+     * has rowsPerTable rows; otherwise must have numTables entries.
+     */
+    std::vector<std::uint64_t> rowsPerTableVec;
+
+    std::size_t embedDim = 128;  //!< embedding dimension
+    std::size_t pooling = 1;     //!< lookups per table per example
+
+    /** Bottom MLP widths, first == numDense, last == embedDim. */
+    std::vector<std::size_t> bottomDims;
+
+    /** Top MLP hidden widths + output (input width is derived). */
+    std::vector<std::size_t> topDims;
+
+    /** @return row count of table @p t (uniform or per-table). */
+    std::uint64_t rowsForTable(std::size_t t) const;
+
+    /** @return the largest table's row count. */
+    std::uint64_t maxTableRows() const;
+
+    /** @return total embedding rows across tables. */
+    std::uint64_t totalRows() const;
+
+    /** @return total embedding-table bytes (the paper's model size). */
+    std::uint64_t tableBytes() const;
+
+    /** @return the top MLP's input width (interaction output). */
+    std::size_t interactionDim() const;
+
+    /** @return full top-MLP dims including the derived input width. */
+    std::vector<std::size_t> fullTopDims() const;
+
+    /** Validate internal consistency (fatal() on error). */
+    void validate() const;
+
+    /**
+     * MLPerf DLRM (paper default), scaled so all 26 tables total
+     * roughly @p total_table_bytes. The true MLP stacks
+     * (13-512-256-128 bottom, 479-1024-1024-512-256-1 top) are kept.
+     */
+    static ModelConfig mlperfDlrm(std::uint64_t total_table_bytes);
+
+    /**
+     * MLPerf DLRM with slimmed MLPs (13-128-128 / 479-256-128-1) for
+     * benchmark runs where MLP GEMM time would otherwise dominate the
+     * wall-clock budget without changing the embedding-table story.
+     */
+    static ModelConfig mlperfBench(std::uint64_t total_table_bytes);
+
+    /**
+     * DeepRecSys-style RMC1: few small tables, high pooling
+     * (embedding-dominated compute, small capacity).
+     */
+    static ModelConfig rmc1(std::uint64_t total_table_bytes);
+
+    /** RMC2: many tables, moderate pooling. */
+    static ModelConfig rmc2(std::uint64_t total_table_bytes);
+
+    /** RMC3: few very large tables, pooling 1 (capacity-dominated). */
+    static ModelConfig rmc3(std::uint64_t total_table_bytes);
+
+    /**
+     * MLPerf-style DLRM with *heterogeneous* table sizes following a
+     * power-law (a few huge tables, a long tail of small ones), summing
+     * to roughly @p total_table_bytes. Closer to production models than
+     * the uniform presets.
+     */
+    static ModelConfig mlperfHetero(std::uint64_t total_table_bytes);
+
+    /** Tiny config for unit tests (runs in milliseconds). */
+    static ModelConfig tiny();
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_MODEL_CONFIG_H

@@ -1,0 +1,116 @@
+#include "rng/avx_math.h"
+
+#if defined(__AVX2__)
+
+namespace lazydp {
+namespace avxm {
+
+__m256
+logPs(__m256 x)
+{
+    // Cephes logf adapted to AVX2 (cf. avx_mathfun): decompose
+    // x = m * 2^e with m in [sqrt(1/2), sqrt(2)), evaluate a degree-9
+    // minimax polynomial on m-1, then recombine with e*ln2.
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 half = _mm256_set1_ps(0.5f);
+
+    __m256i xi = _mm256_castps_si256(x);
+    // exponent field, unbiased by 126 so mantissa lands in [0.5, 1)
+    __m256i emm0 = _mm256_srli_epi32(xi, 23);
+    emm0 = _mm256_sub_epi32(emm0, _mm256_set1_epi32(126));
+    __m256 e = _mm256_cvtepi32_ps(emm0);
+
+    // keep mantissa, force exponent of 0.5
+    xi = _mm256_and_si256(xi, _mm256_set1_epi32(0x007FFFFF));
+    xi = _mm256_or_si256(xi, _mm256_set1_epi32(0x3F000000));
+    x = _mm256_castsi256_ps(xi);
+
+    // if x < sqrt(0.5): e -= 1, x = 2x - 1 ; else x = x - 1
+    const __m256 sqrt_half = _mm256_set1_ps(0.707106781186547524f);
+    __m256 mask = _mm256_cmp_ps(x, sqrt_half, _CMP_LT_OQ);
+    __m256 tmp = _mm256_and_ps(x, mask);
+    x = _mm256_sub_ps(x, one);
+    e = _mm256_sub_ps(e, _mm256_and_ps(one, mask));
+    x = _mm256_add_ps(x, tmp);
+
+    const __m256 z = _mm256_mul_ps(x, x);
+
+    __m256 y = _mm256_set1_ps(7.0376836292e-2f);
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.1514610310e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.1676998740e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.2420140846e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.4249322787e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.6668057665e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(2.0000714765e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-2.4999993993e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(3.3333331174e-1f));
+    y = _mm256_mul_ps(y, x);
+    y = _mm256_mul_ps(y, z);
+
+    y = _mm256_fmadd_ps(e, _mm256_set1_ps(-2.12194440e-4f), y);
+    y = _mm256_fnmadd_ps(half, z, y);
+    x = _mm256_add_ps(x, y);
+    x = _mm256_fmadd_ps(e, _mm256_set1_ps(0.693359375f), x);
+    return x;
+}
+
+void
+sinCos2PiPs(__m256 u, __m256 &s, __m256 &c)
+{
+    // theta = 2*pi*u = (pi/2)*k + phi with k = round(4u) and
+    // phi in [-pi/4, pi/4]; evaluate the Cephes sin/cos kernels on phi
+    // and rotate by quadrant k mod 4.
+    const __m256 four = _mm256_set1_ps(4.0f);
+    const __m256 t = _mm256_mul_ps(u, four);
+    const __m256 kf = _mm256_round_ps(
+        t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256i k = _mm256_cvtps_epi32(kf);
+
+    // phi = (t - k) * (pi/2), split the constant for extra precision
+    const __m256 r = _mm256_sub_ps(t, kf);
+    const __m256 pio2_hi = _mm256_set1_ps(1.5707963267948966f);
+    const __m256 phi = _mm256_mul_ps(r, pio2_hi);
+
+    const __m256 phi2 = _mm256_mul_ps(phi, phi);
+
+    // sin kernel on [-pi/4, pi/4]
+    __m256 sp = _mm256_set1_ps(-1.9515295891e-4f);
+    sp = _mm256_fmadd_ps(sp, phi2, _mm256_set1_ps(8.3321608736e-3f));
+    sp = _mm256_fmadd_ps(sp, phi2, _mm256_set1_ps(-1.6666654611e-1f));
+    __m256 sin_phi = _mm256_fmadd_ps(_mm256_mul_ps(sp, phi2), phi, phi);
+
+    // cos kernel on [-pi/4, pi/4]
+    __m256 cp = _mm256_set1_ps(2.443315711809948e-5f);
+    cp = _mm256_fmadd_ps(cp, phi2, _mm256_set1_ps(-1.388731625493765e-3f));
+    cp = _mm256_fmadd_ps(cp, phi2, _mm256_set1_ps(4.166664568298827e-2f));
+    __m256 cos_phi = _mm256_mul_ps(cp, _mm256_mul_ps(phi2, phi2));
+    cos_phi = _mm256_fnmadd_ps(_mm256_set1_ps(0.5f), phi2, cos_phi);
+    cos_phi = _mm256_add_ps(cos_phi, _mm256_set1_ps(1.0f));
+
+    // quadrant selection: q = k & 3
+    const __m256i q = _mm256_and_si256(k, _mm256_set1_epi32(3));
+    const __m256i q1 = _mm256_cmpeq_epi32(q, _mm256_set1_epi32(1));
+    const __m256i q2 = _mm256_cmpeq_epi32(q, _mm256_set1_epi32(2));
+    const __m256i q3 = _mm256_cmpeq_epi32(q, _mm256_set1_epi32(3));
+    const __m256 swap =
+        _mm256_castsi256_ps(_mm256_or_si256(q1, q3)); // use cofunction
+    const __m256 sin_neg =
+        _mm256_castsi256_ps(_mm256_or_si256(q2, q3)); // sin sign flip
+    const __m256 cos_neg =
+        _mm256_castsi256_ps(_mm256_or_si256(q1, q2)); // cos sign flip
+
+    __m256 sin_base = _mm256_blendv_ps(sin_phi, cos_phi, swap);
+    __m256 cos_base = _mm256_blendv_ps(cos_phi, sin_phi, swap);
+
+    const __m256 signbit = _mm256_set1_ps(-0.0f);
+    sin_base = _mm256_xor_ps(sin_base, _mm256_and_ps(sin_neg, signbit));
+    cos_base = _mm256_xor_ps(cos_base, _mm256_and_ps(cos_neg, signbit));
+
+    s = sin_base;
+    c = cos_base;
+}
+
+} // namespace avxm
+} // namespace lazydp
+
+#endif // __AVX2__

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Box-Muller Gaussian sampling on top of Philox counters.
+ *
+ * This is the kernel the paper identifies as the compute-bound half of
+ * DP-SGD's model-update bottleneck: each pair of output samples costs a
+ * logarithm, a square root and a sin/cos evaluation (~101 vector ops per
+ * 8-wide vector in the AVX2 path).
+ *
+ * Determinism contract: for a fixed (seed, counter, kernel) the output
+ * is bit-stable. The Scalar and Avx2 kernels consume identical counter
+ * blocks and differ only by libm-vs-polynomial rounding (|diff| < 1e-5
+ * per sample), so distributions are identical across kernels.
+ */
+
+#ifndef LAZYDP_RNG_GAUSSIAN_H
+#define LAZYDP_RNG_GAUSSIAN_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/philox.h"
+
+namespace lazydp {
+
+/** Which Box-Muller implementation to run. */
+enum class GaussianKernel
+{
+    Auto,   //!< Avx2 when available, else Scalar
+    Scalar, //!< libm log/sin/cos per sample
+    Avx2    //!< 8-wide vectorized philox + polynomial transcendentals
+};
+
+/** @return the concrete kernel Auto resolves to on this host. */
+GaussianKernel resolveGaussianKernel(GaussianKernel k);
+
+namespace gaussian_detail {
+
+/**
+ * Core keyed generator: writes (or accumulates) `scale * z` for
+ * `dim` samples into @p dst, where z ~ N(0, sigma^2) and sample 4b+j
+ * is derived from Philox block (ctr_hi, lo_base + b).
+ *
+ * @param accumulate when true, dst[i] += value; else dst[i] = value.
+ */
+void fillKeyed(const Philox4x32 &philox, std::uint64_t ctr_hi,
+               std::uint64_t lo_base, float *dst, std::size_t dim,
+               float sigma, float scale, bool accumulate,
+               GaussianKernel kernel);
+
+} // namespace gaussian_detail
+
+/**
+ * Sequential bulk Gaussian stream.
+ *
+ * Used by the eager DP-SGD baselines to fill table-sized dense noise
+ * tensors; consumes consecutive Philox counters.
+ */
+class GaussianSampler
+{
+  public:
+    /**
+     * @param seed Philox key
+     * @param stream independent-stream selector (lands in ctr_hi)
+     * @param kernel implementation selection
+     */
+    explicit GaussianSampler(std::uint64_t seed, std::uint64_t stream = 0,
+                             GaussianKernel kernel = GaussianKernel::Auto);
+
+    /** dst[i] = z_i with z ~ N(0, sigma^2), advancing the stream. */
+    void fill(float *dst, std::size_t n, float sigma);
+
+    /** dst[i] += scale * z_i with z ~ N(0, sigma^2). */
+    void accumulate(float *dst, std::size_t n, float sigma, float scale);
+
+    /** @return kernel actually in use (Auto resolved). */
+    GaussianKernel kernel() const { return kernel_; }
+
+  private:
+    Philox4x32 philox_;
+    std::uint64_t hi_;
+    std::uint64_t lo_;
+    GaussianKernel kernel_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_RNG_GAUSSIAN_H

@@ -1,0 +1,52 @@
+#include "rng/philox.h"
+
+namespace lazydp {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u; // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u; // sqrt(3) - 1
+
+inline void
+mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t &hi,
+        std::uint32_t &lo)
+{
+    const std::uint64_t p =
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+    hi = static_cast<std::uint32_t>(p >> 32);
+    lo = static_cast<std::uint32_t>(p);
+}
+
+} // namespace
+
+Philox4x32::Block
+Philox4x32::block(std::uint64_t ctr_hi, std::uint64_t ctr_lo) const
+{
+    std::uint32_t c0 = static_cast<std::uint32_t>(ctr_lo);
+    std::uint32_t c1 = static_cast<std::uint32_t>(ctr_lo >> 32);
+    std::uint32_t c2 = static_cast<std::uint32_t>(ctr_hi);
+    std::uint32_t c3 = static_cast<std::uint32_t>(ctr_hi >> 32);
+    std::uint32_t k0 = key0_;
+    std::uint32_t k1 = key1_;
+
+    for (int round = 0; round < 10; ++round) {
+        std::uint32_t hi0, lo0, hi1, lo1;
+        mulhilo(kPhiloxM0, c0, hi0, lo0);
+        mulhilo(kPhiloxM1, c2, hi1, lo1);
+        const std::uint32_t n0 = hi1 ^ c1 ^ k0;
+        const std::uint32_t n1 = lo1;
+        const std::uint32_t n2 = hi0 ^ c3 ^ k1;
+        const std::uint32_t n3 = lo0;
+        c0 = n0;
+        c1 = n1;
+        c2 = n2;
+        c3 = n3;
+        k0 += kPhiloxW0;
+        k1 += kPhiloxW1;
+    }
+    return {c0, c1, c2, c3};
+}
+
+} // namespace lazydp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * xoshiro256++ generator for bulk, non-reproducibility-critical
+ * randomness (workload/index generation, weight init).
+ *
+ * Reference: Blackman & Vigna, "Scrambled Linear Pseudorandom Number
+ * Generators" (2019).
+ */
+
+#ifndef LAZYDP_RNG_XOSHIRO_H
+#define LAZYDP_RNG_XOSHIRO_H
+
+#include <cstdint>
+
+namespace lazydp {
+
+/** xoshiro256++ PRNG; satisfies UniformRandomBitGenerator. */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via SplitMix64 expansion of @p seed. */
+    explicit Xoshiro256(std::uint64_t seed);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** @return next 64-bit value. */
+    result_type operator()();
+
+    /** @return uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+    }
+
+    /** @return uniform integer in [0, n). */
+    std::uint64_t
+    nextBelow(std::uint64_t n)
+    {
+        // 128-bit multiply trick (Lemire); bias is negligible for the
+        // table sizes involved and irrelevant to DP (workload gen only).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_RNG_XOSHIRO_H

@@ -1,0 +1,78 @@
+#include "sim/cost_model.h"
+
+namespace lazydp {
+
+ModeledUpdate
+CostModel::eagerUpdate(std::uint64_t total_table_bytes,
+                       std::uint64_t touched_rows,
+                       std::size_t embed_dim) const
+{
+    ModeledUpdate m;
+    const double elems =
+        static_cast<double>(total_table_bytes) / sizeof(float);
+    m.noiseSampling = elems / spec_.gaussianRate;
+    // Sparse scatter of the clipped gradient into the dense tensor:
+    // read+write of touched rows.
+    m.noisyGradGen = static_cast<double>(touched_rows) *
+                     static_cast<double>(embed_dim) * sizeof(float) *
+                     2.0 / spec_.memBandwidth;
+    // Streaming update: read update tensor, read weights, write weights.
+    m.noisyGradUpdate =
+        static_cast<double>(total_table_bytes) * 3.0 / spec_.memBandwidth;
+    return m;
+}
+
+ModeledUpdate
+CostModel::lazyUpdate(std::uint64_t touched_rows, std::size_t embed_dim,
+                      bool use_ans,
+                      std::uint64_t total_table_elems) const
+{
+    ModeledUpdate m;
+    const double row_bytes =
+        static_cast<double>(embed_dim) * sizeof(float);
+    // Noise is sampled only for rows about to be accessed.
+    if (use_ans) {
+        m.noiseSampling = static_cast<double>(touched_rows) *
+                          static_cast<double>(embed_dim) /
+                          spec_.gaussianRate;
+    } else {
+        // Without ANS every deferred draw is still sampled; in steady
+        // state the expected sampling volume per iteration equals the
+        // eager volume (each row accrues one pending draw per
+        // iteration), which is why lazy-without-ANS stays slow
+        // (Figure 8).
+        m.noiseSampling =
+            static_cast<double>(total_table_elems) / spec_.gaussianRate;
+    }
+    // Merge + sparse update traffic: ~2x touched rows (grad + noise),
+    // read+write each.
+    m.noisyGradGen = static_cast<double>(touched_rows) * row_bytes * 2.0 /
+                     spec_.memBandwidth;
+    m.noisyGradUpdate = static_cast<double>(touched_rows) * row_bytes *
+                        2.0 * 2.0 / spec_.memBandwidth;
+    return m;
+}
+
+double
+CostModel::extrapolateEagerSeconds(const StageTimer &measured,
+                                   std::uint64_t measured_iters,
+                                   std::uint64_t target_table_bytes,
+                                   std::uint64_t touched_rows,
+                                   std::size_t embed_dim) const
+{
+    const double iters = static_cast<double>(measured_iters);
+    // Size-independent stages carried over from the measurement.
+    const double fixed =
+        (measured.seconds(Stage::Forward) +
+         measured.seconds(Stage::BackwardPerExample) +
+         measured.seconds(Stage::BackwardPerBatch) +
+         measured.seconds(Stage::GradCoalesce) +
+         measured.seconds(Stage::LazyOverhead) +
+         measured.seconds(Stage::Else)) /
+        iters;
+    const ModeledUpdate upd =
+        eagerUpdate(target_table_bytes, touched_rows, embed_dim);
+    return fixed + upd.total();
+}
+
+} // namespace lazydp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Analytical roofline cost model for DP-SGD's model-update stage.
+ *
+ * Purpose: the paper evaluates table sizes up to 192 GB; this host has
+ * 21 GB of DRAM. The benches therefore measure real executions at every
+ * size that fits and use this model -- calibrated against those same
+ * real executions -- to extend each figure's series to the paper's full
+ * sizes. Modeled rows are always labelled `modeled` in bench output.
+ *
+ * Model (per training iteration, per table of E elements / S bytes):
+ *   noise sampling  : E / gaussianRate                 (compute bound)
+ *   noisy grad gen  : touched_bytes / memBandwidth     (sparse scatter)
+ *   noisy update    : 3 * S / memBandwidth             (stream r+r+w)
+ * All other stages (fwd, bwd, coalesce) are size-independent and taken
+ * from a measured run at a feasible size.
+ */
+
+#ifndef LAZYDP_SIM_COST_MODEL_H
+#define LAZYDP_SIM_COST_MODEL_H
+
+#include <cstdint>
+
+#include "common/timer.h"
+#include "nn/model_config.h"
+#include "sim/machine_spec.h"
+
+namespace lazydp {
+
+/** Stage-level latency predictions (seconds per iteration). */
+struct ModeledUpdate
+{
+    double noiseSampling = 0.0;
+    double noisyGradGen = 0.0;
+    double noisyGradUpdate = 0.0;
+
+    double
+    total() const
+    {
+        return noiseSampling + noisyGradGen + noisyGradUpdate;
+    }
+};
+
+/** Roofline cost model over a MachineSpec. */
+class CostModel
+{
+  public:
+    explicit CostModel(const MachineSpec &spec) : spec_(spec) {}
+
+    /**
+     * Model-update cost of ONE eager DP-SGD iteration over all tables.
+     *
+     * @param total_table_bytes sum of all embedding-table bytes
+     * @param touched_rows rows receiving gradient (batch*pooling*tables)
+     * @param embed_dim embedding dimension
+     */
+    ModeledUpdate eagerUpdate(std::uint64_t total_table_bytes,
+                              std::uint64_t touched_rows,
+                              std::size_t embed_dim) const;
+
+    /**
+     * Model-update cost of ONE LazyDP iteration: noise and update touch
+     * only ~2x the accessed rows (current grads + next lookahead).
+     *
+     * @param use_ans with ANS, one draw per pending row; without, the
+     *        expected number of pending draws equals one full table's
+     *        worth per iteration in steady state (total samples remain
+     *        E per iteration on average)
+     * @param total_table_elems total embedding elements (for w/o-ANS
+     *        steady-state sampling volume)
+     */
+    ModeledUpdate lazyUpdate(std::uint64_t touched_rows,
+                             std::size_t embed_dim, bool use_ans,
+                             std::uint64_t total_table_elems) const;
+
+    /**
+     * Extend a measured per-iteration time to a larger table size:
+     * replaces the measured update-stage seconds with modeled ones.
+     *
+     * @param measured measured stage times at a feasible size
+     * @param measured_table_bytes table bytes of the measured run
+     * @param target_table_bytes table bytes to extrapolate to
+     * @param touched_rows gradient rows per iteration
+     * @param embed_dim embedding dimension
+     * @return predicted per-iteration seconds at the target size
+     */
+    double extrapolateEagerSeconds(const StageTimer &measured,
+                                   std::uint64_t measured_iters,
+                                   std::uint64_t target_table_bytes,
+                                   std::uint64_t touched_rows,
+                                   std::size_t embed_dim) const;
+
+    const MachineSpec &spec() const { return spec_; }
+
+  private:
+    MachineSpec spec_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SIM_COST_MODEL_H

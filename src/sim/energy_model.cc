@@ -1,0 +1,37 @@
+#include "sim/energy_model.h"
+
+namespace lazydp {
+
+double
+EnergyModel::stageWatts(Stage s) const
+{
+    switch (s) {
+      case Stage::Forward:
+      case Stage::BackwardPerExample:
+      case Stage::BackwardPerBatch:
+      case Stage::NoiseSampling:
+        return spec_.computeWatts;
+      case Stage::GradCoalesce:
+      case Stage::NoisyGradGen:
+      case Stage::NoisyGradUpdate:
+        return spec_.memoryWatts;
+      case Stage::LazyOverhead:
+      case Stage::Else:
+      default:
+        return spec_.baseWatts;
+    }
+}
+
+double
+EnergyModel::joules(const StageTimer &timer) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Stage::NumStages); ++i) {
+        const auto s = static_cast<Stage>(i);
+        total += timer.seconds(s) * stageWatts(s);
+    }
+    return total;
+}
+
+} // namespace lazydp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stage-based energy model (paper Figure 12 substitution).
+ *
+ * The paper measures wall power with pcm-power / nvidia-smi and
+ * multiplies by training time. This host exposes no power counters, so
+ * energy is modeled as sum over stages of stage_time * stage_power,
+ * with compute-bound stages billed at the compute power level and
+ * memory-bound stages at the memory power level. Because DP-SGD's
+ * energy gap is dominated by its 100-300x time gap (power varies by
+ * <2x), the figure's shape is preserved under this substitution.
+ */
+
+#ifndef LAZYDP_SIM_ENERGY_MODEL_H
+#define LAZYDP_SIM_ENERGY_MODEL_H
+
+#include "common/timer.h"
+#include "sim/machine_spec.h"
+
+namespace lazydp {
+
+/** Maps a StageTimer breakdown to joules via a MachineSpec. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const MachineSpec &spec) : spec_(spec) {}
+
+    /** @return power level (watts) billed to stage @p s. */
+    double stageWatts(Stage s) const;
+
+    /** @return modeled energy of the whole run (joules). */
+    double joules(const StageTimer &timer) const;
+
+  private:
+    MachineSpec spec_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SIM_ENERGY_MODEL_H

@@ -1,0 +1,89 @@
+#include "sim/machine_spec.h"
+
+#include <cstddef>
+
+#include "common/timer.h"
+#include "rng/noise_provider.h"
+#include "tensor/simd_kernels.h"
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+MachineSpec
+MachineSpec::paperXeon()
+{
+    return MachineSpec{};
+}
+
+namespace {
+
+MachineSpec
+measureHost()
+{
+    MachineSpec spec;
+
+    // Working set large enough to defeat the LLC (~256 MB).
+    const std::size_t n = 64u << 20;
+    Tensor a(1, n);
+    Tensor b(1, n);
+
+    // Memory bandwidth: y += c*x streams 3 words per element
+    // (read x, read y, write y).
+    {
+        WallTimer t;
+        const int reps = 3;
+        for (int r = 0; r < reps; ++r) {
+#pragma omp parallel for schedule(static)
+            for (std::size_t blk = 0; blk < 64; ++blk) {
+                const std::size_t lo = blk * (n / 64);
+                simd::axpy(a.data() + lo, b.data() + lo, n / 64, 0.5f);
+            }
+        }
+        const double secs = t.seconds();
+        spec.memBandwidth =
+            static_cast<double>(n) * sizeof(float) * 3.0 * reps / secs;
+    }
+
+    // Gaussian sampling rate with the production keyed kernel.
+    {
+        NoiseProvider np(0xCA11B, GaussianKernel::Auto);
+        const std::size_t rows = n / 128;
+        WallTimer t;
+#pragma omp parallel for schedule(static)
+        for (std::size_t r = 0; r < rows; ++r) {
+            np.rowNoise(1, 0, r, 1.0f, 1.0f, a.data() + r * 128, 128,
+                        false);
+        }
+        spec.gaussianRate = static_cast<double>(n) / t.seconds();
+    }
+
+    // Effective AVX peak: the Figure 6 kernel at large N.
+    {
+        const int n_ops = 100;
+        const std::size_t m = 4u << 20;
+        WallTimer t;
+        std::size_t flops = 0;
+#pragma omp parallel for schedule(static) reduction(+ : flops)
+        for (std::size_t blk = 0; blk < 16; ++blk) {
+            const std::size_t lo = blk * (m / 16);
+            flops += simd::streamWithOps(a.data() + lo, b.data() + lo,
+                                         m / 16, n_ops);
+        }
+        spec.avxPeakFlops = static_cast<double>(flops) / t.seconds();
+    }
+
+    // Power figures stay at the paper-class defaults; this host has no
+    // power counters (pcm-power substitution, see DESIGN.md).
+    return spec;
+}
+
+} // namespace
+
+const MachineSpec &
+MachineSpec::calibratedHost()
+{
+    static const MachineSpec spec = measureHost();
+    return spec;
+}
+
+} // namespace lazydp

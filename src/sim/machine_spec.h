@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Training-machine performance/power description.
+ *
+ * Substitutes the paper's measured testbed (Xeon E5-2698v4, 68 GB/s
+ * DDR4, V100): the cost and energy models consume either the paper's
+ * published figures or numbers *calibrated on this host* by running the
+ * actual noise-sampling and streaming-update kernels.
+ */
+
+#ifndef LAZYDP_SIM_MACHINE_SPEC_H
+#define LAZYDP_SIM_MACHINE_SPEC_H
+
+#include <cstdint>
+
+namespace lazydp {
+
+/** Performance and power envelope of a training machine. */
+struct MachineSpec
+{
+    /** Sustained memory bandwidth for streaming updates (bytes/s). */
+    double memBandwidth = 68e9;
+
+    /** Gaussian noise-sampling throughput (samples/s, all cores). */
+    double gaussianRate = 2e9;
+
+    /** Peak effective AVX throughput (FLOPS, all cores). */
+    double avxPeakFlops = 265e9;
+
+    /** Package power while compute-bound (watts). */
+    double computeWatts = 135.0;
+
+    /** Package power while memory-bound (watts). */
+    double memoryWatts = 110.0;
+
+    /** Idle/other power (watts). */
+    double baseWatts = 60.0;
+
+    /**
+     * The paper's testbed (Section 6): Xeon E5-2698v4 with 68 GB/s
+     * DDR4; AVX peak from Figure 6 (~265 GFLOPS effective ceiling);
+     * gaussianRate derived from the 215 GFLOPS @ ~101 flops/sample
+     * observation (~2.1e9 samples/s).
+     */
+    static MachineSpec paperXeon();
+
+    /**
+     * Measure this host: runs the repository's own Box-Muller kernel
+     * and streaming-update kernel over a cache-busting working set.
+     * Cached after the first call.
+     */
+    static const MachineSpec &calibratedHost();
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SIM_MACHINE_SPEC_H

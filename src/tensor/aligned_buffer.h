@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cache-line / SIMD aligned heap buffer.
+ *
+ * All model weights, gradients and noise staging areas live in these
+ * buffers so the AVX kernels can use aligned loads and the streaming
+ * update kernels see the same access behaviour the paper measures.
+ */
+
+#ifndef LAZYDP_TENSOR_ALIGNED_BUFFER_H
+#define LAZYDP_TENSOR_ALIGNED_BUFFER_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+/** Alignment used by every numeric buffer (one cache line / ZMM lane). */
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/**
+ * Owning, 64-byte aligned array of trivially copyable elements.
+ *
+ * Move-only. Contents are zero-initialized on allocation.
+ */
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer only holds trivially copyable types");
+
+  public:
+    AlignedBuffer() = default;
+
+    /** Allocate @p n zero-initialized elements. */
+    explicit AlignedBuffer(std::size_t n) { allocate(n); }
+
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {
+    }
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { release(); }
+
+    /** Reallocate to @p n zero-initialized elements. */
+    void
+    allocate(std::size_t n)
+    {
+        release();
+        if (n == 0)
+            return;
+        // Round the byte size up to a multiple of the alignment, as
+        // required by std::aligned_alloc.
+        std::size_t bytes = n * sizeof(T);
+        bytes = (bytes + kBufferAlignment - 1) / kBufferAlignment *
+                kBufferAlignment;
+        data_ = static_cast<T *>(std::aligned_alloc(kBufferAlignment, bytes));
+        if (data_ == nullptr)
+            throw std::bad_alloc();
+        std::memset(data_, 0, bytes);
+        size_ = n;
+    }
+
+    /** Zero the whole buffer. */
+    void
+    zero()
+    {
+        if (data_)
+            std::memset(data_, 0, size_ * sizeof(T));
+    }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return data_[i];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return data_[i];
+    }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+  private:
+    void
+    release()
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TENSOR_ALIGNED_BUFFER_H

@@ -1,0 +1,105 @@
+#include "tensor/matmul.h"
+
+#include "common/macros.h"
+#include "tensor/simd_kernels.h"
+
+// The DLRM GEMMs are embarrassingly parallel across output rows; the
+// paper's baseline is tuned with TBB/OpenMP (Section 6), so these
+// kernels thread the same way.
+
+namespace lazydp {
+
+void
+matmulABt(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    LAZYDP_ASSERT(b.cols() == k, "matmulABt inner-dim mismatch");
+    LAZYDP_ASSERT(c.rows() == m && c.cols() == n, "matmulABt out shape");
+
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double v = simd::dot(arow, b.data() + j * k, k);
+            const float fv = static_cast<float>(v);
+            crow[j] = accumulate ? crow[j] + fv : fv;
+        }
+    }
+}
+
+void
+matmulAB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    LAZYDP_ASSERT(b.rows() == k, "matmulAB inner-dim mismatch");
+    LAZYDP_ASSERT(c.rows() == m && c.cols() == n, "matmulAB out shape");
+
+    if (!accumulate)
+        c.zero();
+    // i-k-j loop order: the inner loop is an axpy over contiguous rows
+    // of B and C, which vectorizes well; rows of C are independent.
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.data() + i * n;
+        const float *arow = a.data() + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            simd::axpy(crow, b.data() + kk * n, n, av);
+        }
+    }
+}
+
+void
+matmulAtB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+{
+    const std::size_t k = a.rows();
+    const std::size_t m = a.cols();
+    const std::size_t n = b.cols();
+    LAZYDP_ASSERT(b.rows() == k, "matmulAtB inner-dim mismatch");
+    LAZYDP_ASSERT(c.rows() == m && c.cols() == n, "matmulAtB out shape");
+
+    if (!accumulate)
+        c.zero();
+    // parallelize over output rows i (each accumulates its own row of
+    // C); the column walk over A is strided but race-free
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.data() + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = a.data()[kk * m + i];
+            if (av == 0.0f)
+                continue;
+            simd::axpy(crow, b.data() + kk * n, n, av);
+        }
+    }
+}
+
+void
+addRowBias(Tensor &x, const Tensor &bias)
+{
+    LAZYDP_ASSERT(bias.rows() == 1 && bias.cols() == x.cols(),
+                  "addRowBias shape mismatch");
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        simd::add(x.data() + r * x.cols(), x.data() + r * x.cols(),
+                  bias.data(), x.cols());
+}
+
+void
+reduceRows(const Tensor &dy, Tensor &bias_grad)
+{
+    LAZYDP_ASSERT(bias_grad.rows() == 1 && bias_grad.cols() == dy.cols(),
+                  "reduceRows shape mismatch");
+    bias_grad.zero();
+    for (std::size_t r = 0; r < dy.rows(); ++r)
+        simd::add(bias_grad.data(), bias_grad.data(),
+                  dy.data() + r * dy.cols(), dy.cols());
+}
+
+} // namespace lazydp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small GEMM kernels for the DLRM MLP layers.
+ *
+ * The MLP sizes in the paper's configurations are modest (<=1024 wide),
+ * so a register-blocked loop with AVX2 FMA is sufficient; the training
+ * bottleneck the paper studies is the embedding table, not the GEMM.
+ */
+
+#ifndef LAZYDP_TENSOR_MATMUL_H
+#define LAZYDP_TENSOR_MATMUL_H
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace lazydp {
+
+/**
+ * C = A * B^T.
+ *
+ * A is (m x k), B is (n x k) — i.e. B is stored row-major with rows of
+ * length k, matching a Linear layer whose weight is (out x in) applied
+ * to activations (batch x in).
+ *
+ * @param accumulate when true, adds into C instead of overwriting.
+ */
+void matmulABt(const Tensor &a, const Tensor &b, Tensor &c,
+               bool accumulate = false);
+
+/**
+ * C = A * B.
+ *
+ * A is (m x k), B is (k x n). Used for backward data:
+ * dX = dY (batch x out) * W (out x in).
+ *
+ * @param accumulate when true, adds into C instead of overwriting.
+ */
+void matmulAB(const Tensor &a, const Tensor &b, Tensor &c,
+              bool accumulate = false);
+
+/**
+ * C = A^T * B.
+ *
+ * A is (k x m), B is (k x n). Used for weight gradients:
+ * dW = dY^T (out x batch) * X (batch x in) expressed as
+ * matmulAtB(dY, X, dW).
+ *
+ * @param accumulate when true, adds into C instead of overwriting.
+ */
+void matmulAtB(const Tensor &a, const Tensor &b, Tensor &c,
+               bool accumulate = false);
+
+/** y[r] += bias for every row r of (batch x dim) tensor. */
+void addRowBias(Tensor &x, const Tensor &bias);
+
+/** bias_grad[c] = sum_r dy(r, c). */
+void reduceRows(const Tensor &dy, Tensor &bias_grad);
+
+} // namespace lazydp
+
+#endif // LAZYDP_TENSOR_MATMUL_H

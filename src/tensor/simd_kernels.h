@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Vectorized element-wise kernels.
+ *
+ * These are the data-streaming primitives whose compute-vs-memory
+ * balance the paper characterizes in Section 4.3: the noisy gradient
+ * update is `axpy`-shaped (N=2 ops per element, memory bound), while
+ * Box-Muller noise sampling performs ~101 vector ops per element
+ * (compute bound). `streamWithOps` reproduces the Figure 6 roofline
+ * microbenchmark directly.
+ *
+ * All kernels have scalar fallbacks and AVX2 fast paths selected at
+ * runtime; results are element-wise identical across paths except where
+ * noted (floating-point reassociation in reductions).
+ */
+
+#ifndef LAZYDP_TENSOR_SIMD_KERNELS_H
+#define LAZYDP_TENSOR_SIMD_KERNELS_H
+
+#include <cstddef>
+
+namespace lazydp {
+namespace simd {
+
+/** dst[i] = v */
+void fill(float *dst, std::size_t n, float v);
+
+/** y[i] += a * x[i]  — the SGD/noisy model-update kernel (N=2). */
+void axpy(float *y, const float *x, std::size_t n, float a);
+
+/** y[i] = a * x[i] + b * y[i] */
+void axpby(float *y, const float *x, std::size_t n, float a, float b);
+
+/** dst[i] = a[i] + b[i] */
+void add(float *dst, const float *a, const float *b, std::size_t n);
+
+/** dst[i] *= a */
+void scale(float *dst, std::size_t n, float a);
+
+/** @return sum_i a[i] * b[i] (double accumulation). */
+double dot(const float *a, const float *b, std::size_t n);
+
+/** @return sum_i x[i]^2 (double accumulation). */
+double squaredNorm(const float *x, std::size_t n);
+
+/** dst[i] = max(x[i], 0) — ReLU forward. */
+void reluForward(float *dst, const float *x, std::size_t n);
+
+/** dx[i] = x[i] > 0 ? dy[i] : 0 — ReLU backward. */
+void reluBackward(float *dx, const float *x, const float *dy, std::size_t n);
+
+/**
+ * Roofline microbenchmark kernel (paper Figure 6).
+ *
+ * For each element: load x[i], apply @p n_ops dependent arithmetic
+ * operations (alternating multiply/add so neither constant folding nor
+ * FMA contraction collapses the chain), store to dst[i]. With
+ * n_ops == 2 this behaves like the noisy gradient update; with
+ * n_ops == 101 it matches the per-element cost profile of Box-Muller
+ * noise sampling.
+ *
+ * @return flop count performed (n * n_ops), for GFLOPS reporting.
+ */
+std::size_t streamWithOps(float *dst, const float *x, std::size_t n,
+                          int n_ops);
+
+/** @return true if the AVX2 fast paths are compiled in and selected. */
+bool avx2Enabled();
+
+} // namespace simd
+} // namespace lazydp
+
+#endif // LAZYDP_TENSOR_SIMD_KERNELS_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal dense 2-D float tensor.
+ *
+ * Deliberately small: row-major storage, aligned, with just the
+ * operations the DLRM training stack needs. Higher-rank shapes are
+ * expressed as (rows, cols) views by the layers themselves.
+ */
+
+#ifndef LAZYDP_TENSOR_TENSOR_H
+#define LAZYDP_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/aligned_buffer.h"
+
+namespace lazydp {
+
+/** Row-major 2-D float matrix with 64-byte aligned storage. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-filled @p rows x @p cols matrix. */
+    Tensor(std::size_t rows, std::size_t cols);
+
+    /** Reallocate (contents reset to zero). */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /**
+     * Reshape without shrinking the allocation: if the current buffer
+     * already holds rows*cols elements, only the dimensions change and
+     * existing contents are left stale (callers overwrite). Avoids
+     * realloc thrash for per-layer scratch buffers that alternate
+     * between shapes every backward pass.
+     */
+    void resizeNoShrink(std::size_t rows, std::size_t cols);
+
+    /** Zero all elements without reallocating. */
+    void zero() { buf_.zero(); }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return rows_ * cols_; }
+
+    float *data() { return buf_.data(); }
+    const float *data() const { return buf_.data(); }
+
+    /** @return mutable view of row @p r. */
+    std::span<float>
+    row(std::size_t r)
+    {
+        return {buf_.data() + r * cols_, cols_};
+    }
+
+    /** @return read-only view of row @p r. */
+    std::span<const float>
+    row(std::size_t r) const
+    {
+        return {buf_.data() + r * cols_, cols_};
+    }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        return buf_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        return buf_[r * cols_ + c];
+    }
+
+    /** Element-wise copy from @p other (shapes must match). */
+    void copyFrom(const Tensor &other);
+
+    /** Fill every element with @p v. */
+    void fill(float v);
+
+    /** @return sum of squares of all elements (double accumulation). */
+    double squaredNorm() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    AlignedBuffer<float> buf_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TENSOR_TENSOR_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The uniform training-algorithm interface.
+ *
+ * Every optimizer in the repository -- non-private SGD, the eager
+ * DP-SGD(B/R/F) baselines, EANA, and LazyDP -- implements Algorithm, so
+ * the Trainer and every benchmark treat them interchangeably and time
+ * them with the same StageTimer stages (the stages of the paper's
+ * Figures 3, 5, 10, 11).
+ */
+
+#ifndef LAZYDP_TRAIN_ALGORITHM_H
+#define LAZYDP_TRAIN_ALGORITHM_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/timer.h"
+#include "data/minibatch.h"
+#include "rng/gaussian.h"
+
+namespace lazydp {
+
+/** Hyperparameters shared by all training algorithms. */
+struct TrainHyper
+{
+    float lr = 0.05f;             //!< learning rate (eta)
+    float clipNorm = 1.0f;        //!< max per-example grad norm (C)
+    float noiseMultiplier = 1.0f; //!< DP noise multiplier (sigma)
+    std::uint64_t noiseSeed = 0xD9; //!< privacy-noise seed
+
+    /**
+     * Optional L2 weight decay (lambda): each step multiplies weights
+     * by alpha = 1 - lr*lambda before the gradient/noise update.
+     * Supported by DP-SGD(B/R/F) (dense decay pass) and LazyDP
+     * (deferred multiplicatively, see core/lazydp.h); SGD and EANA
+     * reject it.
+     */
+    float weightDecay = 0.0f;
+
+    /**
+     * Fixed normalization denominator for DP updates (Abadi et al.'s
+     * lot size L). Under Poisson subsampling the realized batch size
+     * varies per step, but the mechanism must divide by the FIXED
+     * expected size or the noise scale would leak the realized count.
+     * 0 (default) divides by the realized batch size, which is correct
+     * for fixed-size sequential loading.
+     */
+    std::size_t lotSize = 0;
+    GaussianKernel kernel = GaussianKernel::Auto; //!< noise kernel
+};
+
+/** One training algorithm bound to a model. */
+class Algorithm
+{
+  public:
+    virtual ~Algorithm() = default;
+
+    /** @return short display name, e.g. "DP-SGD(F)". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute one training iteration.
+     *
+     * Iterations are numbered from 1 by the caller, monotonically.
+     *
+     * @param iter 1-based global iteration id (keys the noise streams)
+     * @param cur this iteration's mini-batch
+     * @param next the following iteration's mini-batch, or nullptr on
+     *        the final iteration; only LazyDP consumes it (lookahead)
+     * @param timer stage-attribution sink
+     * @return the batch training loss (pre-update)
+     */
+    virtual double step(std::uint64_t iter, const MiniBatch &cur,
+                        const MiniBatch *next, StageTimer &timer) = 0;
+
+    /**
+     * Complete any deferred work after the final step so the model
+     * reaches its releasable state (LazyDP flushes all pending noise
+     * here; eager algorithms need nothing).
+     *
+     * @param last_iter id of the last executed iteration
+     * @param timer stage-attribution sink
+     */
+    virtual void
+    finalize(std::uint64_t last_iter, StageTimer &timer)
+    {
+        (void)last_iter;
+        (void)timer;
+    }
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TRAIN_ALGORITHM_H

@@ -1,0 +1,58 @@
+#include "train/sgd.h"
+
+#include "common/logging.h"
+#include "tensor/simd_kernels.h"
+
+namespace lazydp {
+
+SgdAlgorithm::SgdAlgorithm(DlrmModel &model, const TrainHyper &hyper)
+    : model_(model), hyper_(hyper)
+{
+    if (hyper.weightDecay != 0.0f)
+        fatal("SGD baseline does not implement weight decay");
+    sparseGrads_.resize(model.config().numTables);
+}
+
+double
+SgdAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
+                   const MiniBatch *next, StageTimer &timer)
+{
+    (void)iter;
+    (void)next;
+    const std::size_t batch = cur.batchSize;
+
+    timer.start(Stage::Forward);
+    model_.forward(cur, logits_);
+    timer.stop();
+
+    timer.start(Stage::Else);
+    const double loss = BceWithLogitsLoss::forward(logits_, cur.labels);
+    if (dLogits_.rows() != batch || dLogits_.cols() != 1)
+        dLogits_.resize(batch, 1);
+    BceWithLogitsLoss::backwardPerExample(logits_, cur.labels, dLogits_);
+    // per-batch averaging folded into the loss gradient
+    simd::scale(dLogits_.data(), dLogits_.size(),
+                1.0f / static_cast<float>(batch));
+    timer.stop();
+
+    timer.start(Stage::BackwardPerBatch);
+    model_.backward(dLogits_);
+    timer.stop();
+
+    timer.start(Stage::GradCoalesce);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+    timer.stop();
+
+    // Sparse model update: the entire point of non-private embedding
+    // training -- touch only gathered rows.
+    timer.start(Stage::NoisyGradUpdate);
+    model_.applyMlps(hyper_.lr);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+        model_.tables()[t].applySparse(sparseGrads_[t], hyper_.lr);
+    timer.stop();
+
+    return loss;
+}
+
+} // namespace lazydp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Non-private SGD baseline (paper Figure 2(b)).
+ *
+ * Derives the per-batch gradient in one backward pass and applies
+ * *sparse* embedding updates: only rows gathered during forward are
+ * touched. This is the flat line every DP scheme is compared against.
+ */
+
+#ifndef LAZYDP_TRAIN_SGD_H
+#define LAZYDP_TRAIN_SGD_H
+
+#include <vector>
+
+#include "nn/dlrm.h"
+#include "nn/loss.h"
+#include "train/algorithm.h"
+
+namespace lazydp {
+
+/** Plain mini-batch SGD on a DlrmModel. */
+class SgdAlgorithm : public Algorithm
+{
+  public:
+    /**
+     * @param model model to train (not owned)
+     * @param hyper learning rate (DP fields unused)
+     */
+    SgdAlgorithm(DlrmModel &model, const TrainHyper &hyper);
+
+    std::string name() const override { return "SGD"; }
+
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, StageTimer &timer) override;
+
+  private:
+    DlrmModel &model_;
+    TrainHyper hyper_;
+    Tensor logits_;
+    Tensor dLogits_;
+    std::vector<SparseGrad> sparseGrads_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TRAIN_SGD_H

@@ -1,0 +1,49 @@
+#include "train/trainer.h"
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+Trainer::Trainer(Algorithm &algorithm, DataLoader &loader)
+    : algorithm_(algorithm), loader_(loader)
+{
+}
+
+TrainResult
+Trainer::run(std::uint64_t iterations, bool record_losses)
+{
+    TrainResult result;
+    if (iterations == 0)
+        return result;
+
+    WallTimer wall;
+    InputQueue queue;
+    // Bootstrap: load the first mini-batch (Algorithm 1, line 5).
+    queue.push(loader_.next());
+
+    for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+        // One new batch per iteration (line 7); on the final iteration
+        // there is no next batch to preview.
+        const bool has_next = iter < iterations;
+        if (has_next)
+            queue.push(loader_.next());
+
+        const MiniBatch &cur = queue.head();
+        const MiniBatch *next = has_next ? &queue.tail() : nullptr;
+
+        const double loss =
+            algorithm_.step(iter, cur, next, result.timer);
+        if (record_losses)
+            result.losses.push_back(loss);
+
+        queue.pop();
+    }
+
+    algorithm_.finalize(iterations, result.timer);
+
+    result.wallSeconds = wall.seconds();
+    result.iterations = iterations;
+    return result;
+}
+
+} // namespace lazydp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Stage-timed training loop.
+ *
+ * Owns the mini-batch lookahead (InputQueue) so every algorithm sees
+ * the same data flow the paper describes: one new batch fetched per
+ * iteration, with the next batch visible to algorithms that want it
+ * (LazyDP's Algorithm 1, lines 6-7).
+ */
+
+#ifndef LAZYDP_TRAIN_TRAINER_H
+#define LAZYDP_TRAIN_TRAINER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timer.h"
+#include "data/data_loader.h"
+#include "data/input_queue.h"
+#include "train/algorithm.h"
+
+namespace lazydp {
+
+/** Result of a training run. */
+struct TrainResult
+{
+    StageTimer timer;            //!< per-stage accumulated time
+    std::vector<double> losses;  //!< per-iteration training loss
+    double wallSeconds = 0.0;    //!< end-to-end wall time
+    std::uint64_t iterations = 0;
+
+    /** @return average seconds per iteration. */
+    double
+    secondsPerIteration() const
+    {
+        return iterations == 0 ? 0.0
+                               : wallSeconds /
+                                     static_cast<double>(iterations);
+    }
+};
+
+/** Drives an Algorithm over a loader for a fixed iteration count. */
+class Trainer
+{
+  public:
+    /**
+     * @param algorithm algorithm under test (not owned)
+     * @param loader mini-batch source (not owned)
+     */
+    Trainer(Algorithm &algorithm, DataLoader &loader);
+
+    /**
+     * Run @p iterations training steps plus the algorithm's finalize.
+     *
+     * @param iterations number of optimizer steps
+     * @param record_losses keep the loss trajectory (default on; benches
+     *        may disable to avoid the allocation)
+     */
+    TrainResult run(std::uint64_t iterations, bool record_losses = true);
+
+  private:
+    Algorithm &algorithm_;
+    DataLoader &loader_;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TRAIN_TRAINER_H

@@ -1,0 +1,93 @@
+/** @file Unit tests for the CLI flag parser. */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/logging.h"
+
+namespace lazydp {
+namespace {
+
+const std::vector<std::string> kKnown = {"algo", "iters", "sigma",
+                                         "verbose", "csv"};
+
+CliArgs
+parse(std::initializer_list<const char *> argv_tail)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), argv_tail);
+    return CliArgs(static_cast<int>(argv.size()), argv.data(), kKnown);
+}
+
+TEST(CliTest, EqualsForm)
+{
+    const auto args = parse({"--algo=lazydp", "--iters=42"});
+    EXPECT_EQ(args.getString("algo", "x"), "lazydp");
+    EXPECT_EQ(args.getU64("iters", 0), 42u);
+}
+
+TEST(CliTest, SpaceForm)
+{
+    const auto args = parse({"--algo", "sgd", "--sigma", "1.5"});
+    EXPECT_EQ(args.getString("algo", "x"), "sgd");
+    EXPECT_DOUBLE_EQ(args.getDouble("sigma", 0.0), 1.5);
+}
+
+TEST(CliTest, DefaultsWhenAbsent)
+{
+    const auto args = parse({});
+    EXPECT_EQ(args.getString("algo", "default"), "default");
+    EXPECT_EQ(args.getU64("iters", 7), 7u);
+    EXPECT_FALSE(args.has("sigma"));
+}
+
+TEST(CliTest, BooleanForms)
+{
+    EXPECT_TRUE(parse({"--verbose"}).getBool("verbose", false));
+    EXPECT_TRUE(parse({"--verbose=true"}).getBool("verbose", false));
+    EXPECT_TRUE(parse({"--verbose=1"}).getBool("verbose", false));
+    EXPECT_FALSE(parse({"--verbose=false"}).getBool("verbose", true));
+    EXPECT_FALSE(parse({"--verbose=0"}).getBool("verbose", true));
+    EXPECT_TRUE(parse({}).getBool("verbose", true));
+}
+
+TEST(CliTest, GarbageBooleanIsFatal)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(parse({"--verbose=maybe"}).getBool("verbose", false),
+                 std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(CliTest, UnknownFlagIsFatal)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(parse({"--tyop=1"}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(CliTest, PositionalArgsCollected)
+{
+    const auto args = parse({"file1.txt", "--algo=sgd", "file2.txt"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "file1.txt");
+    EXPECT_EQ(args.positional()[1], "file2.txt");
+}
+
+TEST(CliTest, MalformedNumberIsFatal)
+{
+    setLogThrowMode(true);
+    const auto args = parse({"--iters=abc"});
+    EXPECT_THROW(args.getU64("iters", 0), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(CliTest, BoolFlagBeforeAnotherFlagTakesNoValue)
+{
+    const auto args = parse({"--csv", "--algo=sgd"});
+    EXPECT_TRUE(args.getBool("csv", false));
+    EXPECT_EQ(args.getString("algo", ""), "sgd");
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,80 @@
+/** @file Unit tests for the logging/error-reporting facility. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace lazydp {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowMode(true); }
+    void TearDown() override { setLogThrowMode(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsInThrowMode)
+{
+    EXPECT_THROW(panic("boom"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, FatalThrowsInThrowMode)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+}
+
+TEST_F(LoggingTest, PanicMessageContainsArguments)
+{
+    try {
+        panic("value was ", 42, " not ", 7);
+        FAIL() << "panic returned";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42 not 7"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(LAZYDP_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST_F(LoggingTest, AssertThrowsOnFalseCondition)
+{
+    EXPECT_THROW(LAZYDP_ASSERT(1 + 1 == 3, "math broke"),
+                 std::runtime_error);
+}
+
+TEST_F(LoggingTest, AssertMessageNamesCondition)
+{
+    try {
+        int x = 5;
+        LAZYDP_ASSERT(x < 0, "x must be negative, got ", x);
+        FAIL() << "assert passed";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("x < 0"), std::string::npos);
+        EXPECT_NE(msg.find("got 5"), std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+}
+
+TEST_F(LoggingTest, ThrowModeQueryReflectsState)
+{
+    EXPECT_TRUE(logThrowMode());
+    setLogThrowMode(false);
+    EXPECT_FALSE(logThrowMode());
+    setLogThrowMode(true);
+}
+
+} // namespace
+} // namespace lazydp

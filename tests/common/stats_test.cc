@@ -1,0 +1,122 @@
+/** @file Unit tests for RunningStat / Histogram / quantile. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "rng/xoshiro.h"
+
+namespace lazydp {
+namespace {
+
+TEST(RunningStatTest, MeanAndVarianceOfKnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // sample variance of the classic sequence is 32/7
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, EmptyAndSingleSampleEdgeCases)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.push(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, UniformSamplesMatchTheory)
+{
+    // U(0,1): mean 1/2, var 1/12, excess kurtosis -1.2, skewness 0.
+    RunningStat s;
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 200000; ++i)
+        s.push(rng.nextDouble());
+    EXPECT_NEAR(s.mean(), 0.5, 0.005);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+    EXPECT_NEAR(s.excessKurtosis(), -1.2, 0.05);
+    EXPECT_NEAR(s.skewness(), 0.0, 0.05);
+}
+
+TEST(RunningStatTest, PushAllMatchesPush)
+{
+    const float vals[] = {1.0f, 2.0f, 3.0f, 4.0f};
+    RunningStat a;
+    RunningStat b;
+    a.pushAll(vals, 4);
+    for (float v : vals)
+        b.push(v);
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_DOUBLE_EQ(a.variance(), b.variance());
+}
+
+TEST(HistogramTest, BinsAndOverflowCounts)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.push(i + 0.5);
+    h.push(-1.0);
+    h.push(42.0);
+    EXPECT_EQ(h.total(), 12u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 1u) << "bin " << b;
+}
+
+TEST(HistogramTest, BinCentersAreMidpoints)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.125);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 0.875);
+}
+
+TEST(HistogramTest, ChiSquaredNearZeroForExactMatch)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (int b = 0; b < 4; ++b)
+        for (int i = 0; i < 250; ++i)
+            h.push(b + 0.5);
+    const double chi2 = h.chiSquared({0.25, 0.25, 0.25, 0.25});
+    EXPECT_NEAR(chi2, 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ChiSquaredLargeForMismatch)
+{
+    Histogram h(0.0, 2.0, 2);
+    for (int i = 0; i < 1000; ++i)
+        h.push(0.5); // everything in bin 0
+    EXPECT_GT(h.chiSquared({0.5, 0.5}), 100.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenValues)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(NormalCdfTest, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normalCdf(-1.96), 0.025, 1e-3);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,63 @@
+/** @file Unit tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lazydp {
+namespace {
+
+TEST(HumanBytesTest, ScalesUnits)
+{
+    EXPECT_EQ(humanBytes(512), "512.0 B");
+    EXPECT_EQ(humanBytes(96ull * 1000 * 1000 * 1000), "96.0 GB");
+    EXPECT_EQ(humanBytes(213 * 1000), "213.0 KB");
+}
+
+TEST(HumanSecondsTest, ScalesUnits)
+{
+    EXPECT_EQ(humanSeconds(2.5e-9), "2.5 ns");
+    EXPECT_EQ(humanSeconds(3.2e-6), "3.2 us");
+    EXPECT_EQ(humanSeconds(0.015), "15.0 ms");
+    EXPECT_EQ(humanSeconds(2.0), "2.00 s");
+}
+
+TEST(SplitTest, SplitsAndDropsEmpty)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, EmptyStringYieldsNothing)
+{
+    EXPECT_TRUE(split("", ':').empty());
+}
+
+TEST(ParseU64Test, ParsesValidIntegers)
+{
+    EXPECT_EQ(parseU64("0"), 0u);
+    EXPECT_EQ(parseU64("123456789"), 123456789u);
+}
+
+TEST(ParseU64Test, RejectsGarbage)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(parseU64("12abc"), std::runtime_error);
+    EXPECT_THROW(parseU64("abc"), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("3.5"), 3.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e3"), -1000.0);
+    setLogThrowMode(true);
+    EXPECT_THROW(parseDouble("1.2.3"), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

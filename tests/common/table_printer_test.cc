@@ -1,0 +1,71 @@
+/** @file Unit tests for TablePrinter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace lazydp {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows)
+{
+    TablePrinter tp("Demo");
+    tp.setHeader({"algo", "time"});
+    tp.addRow({"SGD", "1.00"});
+    tp.addRow({"LazyDP", "2.20"});
+    std::ostringstream os;
+    tp.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("algo"), std::string::npos);
+    EXPECT_NE(out.find("LazyDP"), std::string::npos);
+    EXPECT_EQ(tp.rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutputIsCommaSeparated)
+{
+    TablePrinter tp("X");
+    tp.setHeader({"a", "b"});
+    tp.addRow({"1", "2"});
+    std::ostringstream os;
+    tp.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, RowWidthMismatchPanics)
+{
+    setLogThrowMode(true);
+    TablePrinter tp("X");
+    tp.setHeader({"a", "b"});
+    EXPECT_THROW(tp.addRow({"only-one"}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::num(119.0, 1), "119.0");
+}
+
+TEST(TablePrinterTest, ColumnsAlignToWidestCell)
+{
+    TablePrinter tp("X");
+    tp.setHeader({"h", "i"});
+    tp.addRow({"a-very-long-cell", "x"});
+    std::ostringstream os;
+    tp.print(os);
+    // Header row must be padded at least as wide as the longest cell.
+    const std::string out = os.str();
+    const auto header_pos = out.find("h ");
+    ASSERT_NE(header_pos, std::string::npos);
+    const auto newline = out.find('\n', header_pos);
+    EXPECT_GE(newline - header_pos,
+              std::string("a-very-long-cell").size());
+}
+
+} // namespace
+} // namespace lazydp

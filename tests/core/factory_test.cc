@@ -1,0 +1,47 @@
+/** @file Tests for the algorithm factory. */
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+
+namespace lazydp {
+namespace {
+
+TEST(FactoryTest, BuildsEveryRegisteredAlgorithm)
+{
+    auto mc = ModelConfig::tiny();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    for (const auto &name : algorithmNames()) {
+        SCOPED_TRACE(name);
+        auto algo = makeAlgorithm(name, model, hyper);
+        ASSERT_NE(algo, nullptr);
+        EXPECT_FALSE(algo->name().empty());
+    }
+}
+
+TEST(FactoryTest, NamesMapToExpectedDisplayNames)
+{
+    auto mc = ModelConfig::tiny();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    EXPECT_EQ(makeAlgorithm("sgd", model, hyper)->name(), "SGD");
+    EXPECT_EQ(makeAlgorithm("dpsgd-f", model, hyper)->name(),
+              "DP-SGD(F)");
+    EXPECT_EQ(makeAlgorithm("eana", model, hyper)->name(), "EANA");
+    EXPECT_EQ(makeAlgorithm("lazydp", model, hyper)->name(), "LazyDP");
+}
+
+TEST(FactoryTest, UnknownNameFails)
+{
+    setLogThrowMode(true);
+    auto mc = ModelConfig::tiny();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    EXPECT_THROW(makeAlgorithm("adam", model, hyper),
+                 std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,97 @@
+/** @file Unit tests for the HistoryTable. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/history_table.h"
+
+namespace lazydp {
+namespace {
+
+TEST(HistoryTableTest, StartsAtZero)
+{
+    HistoryTable h(2, 10);
+    for (std::size_t t = 0; t < 2; ++t)
+        for (std::uint64_t r = 0; r < 10; ++r)
+            EXPECT_EQ(h.lastNoised(t, r), 0u);
+}
+
+TEST(HistoryTableTest, DelaysAreIterationGaps)
+{
+    HistoryTable h(1, 10);
+    const std::uint32_t rows1[] = {2, 5};
+    std::vector<std::uint32_t> delays;
+    h.delaysAndRenew(0, {rows1, 2}, 3, delays);
+    EXPECT_EQ(delays, (std::vector<std::uint32_t>{3, 3}));
+
+    // row 2 touched again at iter 7 -> delay 4; row 8 first time -> 7
+    const std::uint32_t rows2[] = {2, 8};
+    h.delaysAndRenew(0, {rows2, 2}, 7, delays);
+    EXPECT_EQ(delays, (std::vector<std::uint32_t>{4, 7}));
+}
+
+TEST(HistoryTableTest, RenewWritesThrough)
+{
+    HistoryTable h(1, 4);
+    h.renew(0, 2, 9);
+    EXPECT_EQ(h.lastNoised(0, 2), 9u);
+    std::vector<std::uint32_t> delays;
+    const std::uint32_t rows[] = {2};
+    h.delaysAndRenew(0, {rows, 1}, 12, delays);
+    EXPECT_EQ(delays[0], 3u);
+}
+
+TEST(HistoryTableTest, TablesAreIndependent)
+{
+    HistoryTable h(2, 4);
+    std::vector<std::uint32_t> delays;
+    const std::uint32_t rows[] = {1};
+    h.delaysAndRenew(0, {rows, 1}, 5, delays);
+    EXPECT_EQ(h.lastNoised(0, 1), 5u);
+    EXPECT_EQ(h.lastNoised(1, 1), 0u);
+}
+
+TEST(HistoryTableTest, ConsecutiveAccessGivesDelayOne)
+{
+    HistoryTable h(1, 4);
+    std::vector<std::uint32_t> delays;
+    const std::uint32_t rows[] = {0};
+    h.delaysAndRenew(0, {rows, 1}, 1, delays);
+    h.delaysAndRenew(0, {rows, 1}, 2, delays);
+    EXPECT_EQ(delays[0], 1u);
+}
+
+TEST(HistoryTableTest, BytesAre4PerRow)
+{
+    HistoryTable h(26, 1000);
+    EXPECT_EQ(h.bytes(), 26u * 1000u * 4u);
+}
+
+TEST(HistoryTableTest, PaperScaleMetadataFootprint)
+{
+    // Paper Section 7.2: 96 GB model = 26 tables x ~7.2M rows x 128 dim
+    // -> HistoryTable ~751 MB.
+    const std::uint64_t rows =
+        96ull * 1000 * 1000 * 1000 / (26ull * 128 * 4);
+    HistoryTable h(1, 1); // do not allocate 751 MB in a unit test
+    const double expected_mb =
+        26.0 * static_cast<double>(rows) * 4.0 / 1e6;
+    EXPECT_NEAR(expected_mb, 751.0, 40.0);
+    (void)h;
+}
+
+TEST(HistoryTableTest, RegressionPanicsOnTimeTravel)
+{
+    setLogThrowMode(true);
+    HistoryTable h(1, 4);
+    std::vector<std::uint32_t> delays;
+    const std::uint32_t rows[] = {0};
+    h.delaysAndRenew(0, {rows, 1}, 10, delays);
+    // a smaller iteration id would mean the trainer went backwards
+    EXPECT_THROW(h.delaysAndRenew(0, {rows, 1}, 9, delays),
+                 std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,282 @@
+/**
+ * @file LazyDP correctness tests.
+ *
+ * The flagship property (paper Section 5.2.1): with the keyed noise
+ * provider, LazyDP *without ANS* plus a final flush applies exactly the
+ * same noise values as eager DP-SGD -- so the final models must match
+ * to floating-point reassociation tolerance. With ANS the noise values
+ * differ but their distribution is identical (Theorem 5.1), which the
+ * statistical tests check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/lazydp.h"
+#include "data/synthetic_dataset.h"
+#include "dp/dp_sgd_b.h"
+#include "dp/dp_sgd_f.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+testModel()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 96;
+    return mc;
+}
+
+DatasetConfig
+testData(const ModelConfig &mc, std::size_t batch = 8)
+{
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = batch;
+    dc.seed = 999;
+    return dc;
+}
+
+TrainHyper
+testHyper()
+{
+    TrainHyper h;
+    h.lr = 0.1f;
+    h.clipNorm = 0.5f;
+    h.noiseMultiplier = 1.1f;
+    h.noiseSeed = 0xACE;
+    return h;
+}
+
+double
+maxTableDiff(DlrmModel &a, DlrmModel &b)
+{
+    double diff = 0.0;
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        for (std::size_t i = 0; i < wa.size(); ++i)
+            diff = std::max(diff, std::abs(static_cast<double>(
+                                      wa.data()[i] - wb.data()[i])));
+    }
+    return diff;
+}
+
+class IterSweepTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IterSweepTest, LazyNoAnsExactlyMatchesEagerDpSgd)
+{
+    const std::uint64_t iters = GetParam();
+    const auto mc = testModel();
+    DlrmModel eager_model(mc, 3);
+    DlrmModel lazy_model(mc, 3);
+
+    SyntheticDataset ds(testData(mc));
+    {
+        SequentialLoader loader(ds);
+        DpSgdB eager(eager_model, testHyper());
+        Trainer(eager, loader).run(iters);
+    }
+    {
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(lazy_model, testHyper(), /*use_ans=*/false);
+        Trainer(lazy, loader).run(iters);
+    }
+    EXPECT_LT(maxTableDiff(eager_model, lazy_model), 5e-4)
+        << "iters=" << iters;
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, IterSweepTest,
+                         ::testing::Values(1, 2, 5, 12, 30));
+
+TEST(LazyDpTest, LazyNoAnsMatchesFastBaselineToo)
+{
+    const auto mc = testModel();
+    DlrmModel fast_model(mc, 3);
+    DlrmModel lazy_model(mc, 3);
+    SyntheticDataset ds(testData(mc));
+    {
+        SequentialLoader loader(ds);
+        DpSgdF fast(fast_model, testHyper());
+        Trainer(fast, loader).run(8);
+    }
+    {
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(lazy_model, testHyper(), false);
+        Trainer(lazy, loader).run(8);
+    }
+    EXPECT_LT(maxTableDiff(fast_model, lazy_model), 5e-4);
+}
+
+TEST(LazyDpTest, WithoutFinalizeModelsDiffer)
+{
+    // Confirms the final flush is load-bearing: running the lazy steps
+    // without finalize leaves pending noise unapplied.
+    const auto mc = testModel();
+    DlrmModel eager_model(mc, 3);
+    DlrmModel lazy_model(mc, 3);
+    SyntheticDataset ds(testData(mc));
+    const std::uint64_t iters = 5;
+    {
+        SequentialLoader loader(ds);
+        DpSgdB eager(eager_model, testHyper());
+        Trainer(eager, loader).run(iters);
+    }
+    {
+        // manual loop WITHOUT finalize
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(lazy_model, testHyper(), false);
+        StageTimer timer;
+        InputQueue q;
+        q.push(loader.next());
+        for (std::uint64_t it = 1; it <= iters; ++it) {
+            const bool has_next = it < iters;
+            if (has_next)
+                q.push(loader.next());
+            lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
+                      timer);
+            q.pop();
+        }
+    }
+    EXPECT_GT(maxTableDiff(eager_model, lazy_model), 1e-4);
+}
+
+TEST(LazyDpTest, FinalizeIsIdempotentViaHistory)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    SyntheticDataset ds(testData(mc));
+    SequentialLoader loader(ds);
+    LazyDpAlgorithm lazy(model, testHyper(), false);
+    Trainer(lazy, loader).run(4);
+
+    Tensor snapshot(mc.rowsPerTable, mc.embedDim);
+    snapshot.copyFrom(model.tables()[0].weights());
+    StageTimer timer;
+    lazy.finalize(4, timer); // second flush must be a no-op
+    const Tensor &after = model.tables()[0].weights();
+    for (std::size_t i = 0; i < after.size(); ++i)
+        EXPECT_EQ(after.data()[i], snapshot.data()[i]);
+}
+
+TEST(LazyDpTest, AnsMatchesEagerInDistribution)
+{
+    // With ANS the bits differ, but over many rows the deviation from
+    // the eager model must look like N(0, ...) with matching variance:
+    // compare empirical variance of (lazy_ans - no_noise_baseline)
+    // against (eager - no_noise_baseline).
+    auto mc = testModel();
+    mc.rowsPerTable = 512;
+    const std::uint64_t iters = 10;
+
+    auto run = [&](bool use_ans, std::uint64_t seed) {
+        auto model = std::make_unique<DlrmModel>(mc, 3);
+        SyntheticDataset ds(testData(mc));
+        SequentialLoader loader(ds);
+        auto h = testHyper();
+        h.noiseSeed = seed;
+        LazyDpAlgorithm lazy(*model, h, use_ans);
+        Trainer(lazy, loader).run(iters);
+        return model;
+    };
+    auto ans_model = run(true, 0xACE);
+    auto noans_model = run(false, 0xACE);
+
+    // aggregate variance of the table weights must match closely
+    RunningStat s_ans, s_noans;
+    for (std::size_t t = 0; t < mc.numTables; ++t) {
+        s_ans.pushAll(ans_model->tables()[t].weights().data(),
+                      ans_model->tables()[t].weights().size());
+        s_noans.pushAll(noans_model->tables()[t].weights().data(),
+                        noans_model->tables()[t].weights().size());
+    }
+    EXPECT_NEAR(s_ans.mean(), s_noans.mean(), 0.005);
+    EXPECT_NEAR(s_ans.variance() / s_noans.variance(), 1.0, 0.1);
+}
+
+TEST(LazyDpTest, EveryRowNoisedAfterFinalize)
+{
+    // After a full run, no table row may remain at its initial value
+    // (all rows receive noise eventually -- DP-SGD semantics, unlike
+    // EANA).
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+
+    SyntheticDataset ds(testData(mc));
+    SequentialLoader loader(ds);
+    LazyDpAlgorithm lazy(model, testHyper(), true);
+    Trainer(lazy, loader).run(3);
+
+    const Tensor &after = model.tables()[0].weights();
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < after.size(); ++i)
+        changed += after.data()[i] != before.data()[i];
+    EXPECT_GT(changed, after.size() * 99 / 100);
+}
+
+TEST(LazyDpTest, HistoryTableTracksNextAccesses)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    SyntheticDataset ds(testData(mc, 4));
+    SequentialLoader loader(ds);
+    LazyDpAlgorithm lazy(model, testHyper(), true);
+
+    StageTimer timer;
+    MiniBatch b1 = loader.next();
+    MiniBatch b2 = loader.next();
+    lazy.step(1, b1, &b2, timer);
+
+    // rows of b2 (the lookahead) must be marked noised-at-iteration-1
+    std::vector<std::uint32_t> next_rows;
+    uniqueRows(b2.tableIndices(0), next_rows);
+    for (auto r : next_rows)
+        EXPECT_EQ(lazy.historyTable().lastNoised(0, r), 1u);
+}
+
+TEST(LazyDpTest, MetadataBytesMatchHistoryTable)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    LazyDpAlgorithm lazy(model, testHyper(), true);
+    EXPECT_EQ(lazy.metadataBytes(),
+              mc.numTables * mc.rowsPerTable * sizeof(std::uint32_t));
+}
+
+TEST(LazyDpTest, NameReflectsAnsFlag)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    LazyDpAlgorithm with(model, testHyper(), true);
+    LazyDpAlgorithm without(model, testHyper(), false);
+    EXPECT_EQ(with.name(), "LazyDP");
+    EXPECT_EQ(without.name(), "LazyDP(w/o ANS)");
+}
+
+TEST(MakePrivateTest, FacadeBuildsConfiguredEngine)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    LazyDpOptions opts;
+    opts.noiseMultiplier = 1.1f;
+    opts.maxGradientNorm = 1.0f;
+    opts.useAns = false;
+    auto algo = makePrivate(model, opts);
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), "LazyDP(w/o ANS)");
+    EXPECT_FALSE(algo->ansEnabled());
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,97 @@
+/** @file Tests for the benchmark warm-start of the HistoryTable. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/lazydp.h"
+#include "data/synthetic_dataset.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+testModel()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 4096;
+    return mc;
+}
+
+TEST(WarmStartTest, AgesFollowRequestedMean)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    LazyDpAlgorithm lazy(model, hyper, true);
+
+    const std::uint64_t start = 400;
+    const double expected_delay = 24.0;
+    lazy.warmStartHistory(start, expected_delay, 9);
+
+    RunningStat ages;
+    for (std::size_t t = 0; t < mc.numTables; ++t) {
+        for (std::uint64_t r = 0; r < mc.rowsPerTable; ++r) {
+            const std::uint32_t h = lazy.historyTable().lastNoised(t, r);
+            ASSERT_LE(h, start);
+            ages.push(static_cast<double>(start - h));
+        }
+    }
+    EXPECT_NEAR(ages.mean(), expected_delay, 2.0);
+    EXPECT_GE(ages.min(), 0.0);
+}
+
+TEST(WarmStartTest, TrainingContinuesFromWarmState)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    LazyDpAlgorithm lazy(model, hyper, true);
+    lazy.warmStartHistory(100, 8.0, 3);
+
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 16;
+    SyntheticDataset ds(dc);
+
+    StageTimer timer;
+    MiniBatch b1 = ds.batch(0);
+    MiniBatch b2 = ds.batch(1);
+    // iteration ids must continue past the warm-start point
+    EXPECT_NO_THROW(lazy.step(101, b1, &b2, timer));
+    // accessed-next rows are renewed to 101
+    std::vector<std::uint32_t> rows;
+    uniqueRows(b2.tableIndices(0), rows);
+    for (auto r : rows)
+        EXPECT_EQ(lazy.historyTable().lastNoised(0, r), 101u);
+}
+
+TEST(WarmStartTest, StepBeforeWarmPointPanics)
+{
+    setLogThrowMode(true);
+    const auto mc = testModel();
+    DlrmModel model(mc, 1);
+    TrainHyper hyper;
+    LazyDpAlgorithm lazy(model, hyper, true);
+    lazy.warmStartHistory(100, 8.0, 3);
+
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 16;
+    SyntheticDataset ds(dc);
+    StageTimer timer;
+    MiniBatch b1 = ds.batch(0);
+    MiniBatch b2 = ds.batch(1);
+    // iteration 50 < warm-start ages -> history would be "ahead"
+    EXPECT_THROW(lazy.step(50, b1, &b2, timer), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,133 @@
+/**
+ * @file Distribution tests for the access-pattern generators, including
+ * the paper's skew CDF targets (90% of accesses on 36%/10%/0.6% rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/access_generator.h"
+
+namespace lazydp {
+namespace {
+
+TEST(AccessGeneratorTest, UniformCoversRangeEvenly)
+{
+    const std::uint64_t rows = 64;
+    AccessGenerator gen(AccessConfig::uniform(), rows);
+    Xoshiro256 rng(1);
+    std::vector<int> counts(rows, 0);
+    const int draws = 64000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[gen.draw(rng)];
+    for (auto c : counts)
+        EXPECT_NEAR(c, draws / static_cast<int>(rows), 250);
+}
+
+struct SkewCase
+{
+    AccessConfig config;
+    double expect_hot_frac; // fraction of rows receiving 90% of mass
+};
+
+class SkewTest : public ::testing::TestWithParam<SkewCase>
+{
+};
+
+TEST_P(SkewTest, HotMassLandsOnHotRows)
+{
+    const auto &[config, hot_frac] = GetParam();
+    const std::uint64_t rows = 100000;
+    AccessGenerator gen(config, rows);
+    Xoshiro256 rng(2);
+    const auto hot_limit =
+        static_cast<std::uint32_t>(hot_frac * rows);
+    const int draws = 400000;
+    int hot_hits = 0;
+    for (int i = 0; i < draws; ++i)
+        hot_hits += gen.draw(rng) < hot_limit;
+    EXPECT_NEAR(static_cast<double>(hot_hits) / draws, 0.90, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CriteoSkews, SkewTest,
+    ::testing::Values(SkewCase{AccessConfig::criteoLow(), 0.36},
+                      SkewCase{AccessConfig::criteoMedium(), 0.10},
+                      SkewCase{AccessConfig::criteoHigh(), 0.006}));
+
+TEST(AccessGeneratorTest, ZipfRanksAreMonotonicallyPopular)
+{
+    AccessConfig cfg;
+    cfg.pattern = AccessPattern::Zipf;
+    cfg.zipfS = 1.2;
+    AccessGenerator gen(cfg, 1000);
+    Xoshiro256 rng(3);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 500000; ++i)
+        ++counts[gen.draw(rng)];
+    // rank 0 most popular, and decreasing over coarse buckets
+    EXPECT_GT(counts[0], counts[9]);
+    int head = 0, tail = 0;
+    for (int i = 0; i < 10; ++i)
+        head += counts[i];
+    for (int i = 990; i < 1000; ++i)
+        tail += counts[i];
+    EXPECT_GT(head, 20 * std::max(tail, 1));
+}
+
+TEST(AccessGeneratorTest, ZipfRatioMatchesExponent)
+{
+    // P(1)/P(2) = 2^s for a Zipf(s) distribution.
+    AccessConfig cfg;
+    cfg.pattern = AccessPattern::Zipf;
+    cfg.zipfS = 1.5;
+    AccessGenerator gen(cfg, 10000);
+    Xoshiro256 rng(4);
+    int c0 = 0, c1 = 0;
+    for (int i = 0; i < 2000000; ++i) {
+        const auto r = gen.draw(rng);
+        c0 += r == 0;
+        c1 += r == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(c0) / c1, std::pow(2.0, 1.5), 0.15);
+}
+
+TEST(AccessGeneratorTest, AllDrawsInRange)
+{
+    for (auto cfg : {AccessConfig::uniform(), AccessConfig::criteoHigh()}) {
+        AccessGenerator gen(cfg, 17);
+        Xoshiro256 rng(5);
+        for (int i = 0; i < 10000; ++i)
+            EXPECT_LT(gen.draw(rng), 17u);
+    }
+}
+
+TEST(AccessGeneratorTest, SingleRowTableAlwaysReturnsZero)
+{
+    AccessGenerator gen(AccessConfig::criteoHigh(), 1);
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(gen.draw(rng), 0u);
+}
+
+TEST(AccessGeneratorTest, HotColdDegenerateFullHot)
+{
+    AccessConfig cfg;
+    cfg.pattern = AccessPattern::HotCold;
+    cfg.hotFrac = 1.0;
+    cfg.hotMass = 0.9;
+    AccessGenerator gen(cfg, 100);
+    Xoshiro256 rng(7);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[gen.draw(rng)];
+    // degenerates to uniform
+    for (auto c : counts)
+        EXPECT_NEAR(c, 1000, 250);
+}
+
+} // namespace
+} // namespace lazydp

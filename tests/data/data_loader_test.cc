@@ -1,0 +1,71 @@
+/** @file Tests for the sequential and Poisson loaders. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "data/data_loader.h"
+
+namespace lazydp {
+namespace {
+
+DatasetConfig
+smallConfig()
+{
+    DatasetConfig cfg;
+    cfg.numDense = 2;
+    cfg.numTables = 2;
+    cfg.rowsPerTable = 50;
+    cfg.batchSize = 32;
+    return cfg;
+}
+
+TEST(SequentialLoaderTest, StreamsDatasetBatchesInOrder)
+{
+    SyntheticDataset ds(smallConfig());
+    SequentialLoader loader(ds);
+    const MiniBatch b0 = loader.next();
+    const MiniBatch b1 = loader.next();
+    EXPECT_EQ(b0.indices, ds.batch(0).indices);
+    EXPECT_EQ(b1.indices, ds.batch(1).indices);
+    EXPECT_EQ(loader.produced(), 2u);
+}
+
+TEST(PoissonLoaderTest, BatchSizesVaryAroundExpectation)
+{
+    SyntheticDataset ds(smallConfig());
+    PoissonLoader loader(ds, /*population=*/100000,
+                         /*expected_batch=*/256, /*seed=*/7);
+    EXPECT_NEAR(loader.samplingRate(), 256.0 / 100000.0, 1e-12);
+
+    RunningStat sizes;
+    for (int i = 0; i < 300; ++i)
+        sizes.push(static_cast<double>(loader.next().batchSize));
+    EXPECT_NEAR(sizes.mean(), 256.0, 5.0);
+    // Binomial stddev = sqrt(Nq(1-q)) ~ 16
+    EXPECT_GT(sizes.stddev(), 8.0);
+    EXPECT_LT(sizes.stddev(), 32.0);
+}
+
+TEST(PoissonLoaderTest, BatchContentShapesStayConsistent)
+{
+    SyntheticDataset ds(smallConfig());
+    PoissonLoader loader(ds, 10000, 64, 3);
+    for (int i = 0; i < 10; ++i) {
+        const MiniBatch mb = loader.next();
+        EXPECT_EQ(mb.numTables, 2u);
+        EXPECT_EQ(mb.dense.rows(), mb.batchSize);
+        EXPECT_EQ(mb.labels.size(), mb.batchSize);
+        EXPECT_EQ(mb.indices.size(), 2u * mb.batchSize * mb.pooling);
+    }
+}
+
+TEST(PoissonLoaderTest, RejectsExpectationAbovePopulation)
+{
+    setLogThrowMode(true);
+    SyntheticDataset ds(smallConfig());
+    EXPECT_THROW(PoissonLoader(ds, 10, 100, 1), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,81 @@
+/** @file Unit tests for the two-entry InputQueue. */
+
+#include <gtest/gtest.h>
+
+#include "data/input_queue.h"
+
+namespace lazydp {
+namespace {
+
+MiniBatch
+taggedBatch(std::uint32_t tag)
+{
+    MiniBatch mb;
+    mb.resize(1, 1, 1, 1);
+    mb.indices[0] = tag;
+    return mb;
+}
+
+TEST(InputQueueTest, StartsEmpty)
+{
+    InputQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(InputQueueTest, HeadAndTailTrackOrder)
+{
+    InputQueue q;
+    q.push(taggedBatch(1));
+    EXPECT_EQ(q.head().indices[0], 1u);
+    EXPECT_EQ(q.tail().indices[0], 1u);
+    q.push(taggedBatch(2));
+    EXPECT_EQ(q.head().indices[0], 1u);
+    EXPECT_EQ(q.tail().indices[0], 2u);
+}
+
+TEST(InputQueueTest, PopAdvancesHead)
+{
+    InputQueue q;
+    q.push(taggedBatch(1));
+    q.push(taggedBatch(2));
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.head().indices[0], 2u);
+}
+
+TEST(InputQueueTest, SteadyStatePushPopCycles)
+{
+    // The trainer's pattern: push next, use head/tail, pop.
+    InputQueue q;
+    q.push(taggedBatch(0));
+    for (std::uint32_t it = 1; it < 50; ++it) {
+        q.push(taggedBatch(it));
+        EXPECT_EQ(q.head().indices[0], it - 1);
+        EXPECT_EQ(q.tail().indices[0], it);
+        q.pop();
+    }
+}
+
+TEST(InputQueueTest, OverfillPanics)
+{
+    setLogThrowMode(true);
+    InputQueue q;
+    q.push(taggedBatch(1));
+    q.push(taggedBatch(2));
+    EXPECT_THROW(q.push(taggedBatch(3)), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(InputQueueTest, EmptyAccessPanics)
+{
+    setLogThrowMode(true);
+    InputQueue q;
+    EXPECT_THROW(q.head(), std::runtime_error);
+    EXPECT_THROW(q.tail(), std::runtime_error);
+    EXPECT_THROW(q.pop(), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,66 @@
+/** @file Unit tests for MiniBatch layout. */
+
+#include <gtest/gtest.h>
+
+#include "data/minibatch.h"
+
+namespace lazydp {
+namespace {
+
+TEST(MiniBatchTest, ResizeAllocatesAllFields)
+{
+    MiniBatch mb;
+    mb.resize(8, 3, 2, 5);
+    EXPECT_EQ(mb.batchSize, 8u);
+    EXPECT_EQ(mb.numTables, 3u);
+    EXPECT_EQ(mb.pooling, 2u);
+    EXPECT_EQ(mb.dense.rows(), 8u);
+    EXPECT_EQ(mb.dense.cols(), 5u);
+    EXPECT_EQ(mb.labels.size(), 8u);
+    EXPECT_EQ(mb.indices.size(), 3u * 8u * 2u);
+}
+
+TEST(MiniBatchTest, TableIndicesViewsAreDisjoint)
+{
+    MiniBatch mb;
+    mb.resize(4, 2, 3, 1);
+    auto t0 = mb.tableIndices(0);
+    auto t1 = mb.tableIndices(1);
+    EXPECT_EQ(t0.size(), 12u);
+    EXPECT_EQ(t1.size(), 12u);
+    EXPECT_EQ(t0.data() + 12, t1.data());
+}
+
+TEST(MiniBatchTest, ExampleIndicesSliceCorrectly)
+{
+    MiniBatch mb;
+    mb.resize(4, 2, 3, 1);
+    // fill with a recognizable pattern
+    for (std::size_t i = 0; i < mb.indices.size(); ++i)
+        mb.indices[i] = static_cast<std::uint32_t>(i);
+    auto e = mb.exampleIndices(1, 2); // table 1, example 2
+    ASSERT_EQ(e.size(), 3u);
+    // offset = table 1 * (4*3) + example 2 * 3 = 12 + 6 = 18
+    EXPECT_EQ(e[0], 18u);
+    EXPECT_EQ(e[2], 20u);
+}
+
+TEST(MiniBatchTest, MutableViewWritesThrough)
+{
+    MiniBatch mb;
+    mb.resize(2, 1, 1, 1);
+    mb.tableIndices(0)[1] = 42;
+    EXPECT_EQ(mb.indices[1], 42u);
+}
+
+TEST(MiniBatchTest, OutOfRangeTablePanics)
+{
+    setLogThrowMode(true);
+    MiniBatch mb;
+    mb.resize(2, 2, 1, 1);
+    EXPECT_THROW(mb.tableIndices(2), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

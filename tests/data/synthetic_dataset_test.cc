@@ -1,0 +1,126 @@
+/** @file Tests for the deterministic synthetic dataset. */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_dataset.h"
+
+namespace lazydp {
+namespace {
+
+DatasetConfig
+smallConfig()
+{
+    DatasetConfig cfg;
+    cfg.numDense = 4;
+    cfg.numTables = 3;
+    cfg.rowsPerTable = 100;
+    cfg.pooling = 2;
+    cfg.batchSize = 16;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(SyntheticDatasetTest, BatchIsPureFunctionOfIteration)
+{
+    SyntheticDataset ds(smallConfig());
+    const MiniBatch a = ds.batch(5);
+    const MiniBatch b = ds.batch(5);
+    EXPECT_EQ(a.indices, b.indices);
+    EXPECT_EQ(a.labels, b.labels);
+    for (std::size_t i = 0; i < a.dense.size(); ++i)
+        EXPECT_EQ(a.dense.data()[i], b.dense.data()[i]);
+}
+
+TEST(SyntheticDatasetTest, DifferentIterationsDiffer)
+{
+    SyntheticDataset ds(smallConfig());
+    const MiniBatch a = ds.batch(1);
+    const MiniBatch b = ds.batch(2);
+    EXPECT_NE(a.indices, b.indices);
+}
+
+TEST(SyntheticDatasetTest, DifferentSeedsDiffer)
+{
+    auto cfg1 = smallConfig();
+    auto cfg2 = smallConfig();
+    cfg2.seed = 100;
+    SyntheticDataset a(cfg1);
+    SyntheticDataset b(cfg2);
+    EXPECT_NE(a.batch(0).indices, b.batch(0).indices);
+}
+
+TEST(SyntheticDatasetTest, ShapesMatchConfig)
+{
+    SyntheticDataset ds(smallConfig());
+    const MiniBatch mb = ds.batch(0);
+    EXPECT_EQ(mb.batchSize, 16u);
+    EXPECT_EQ(mb.numTables, 3u);
+    EXPECT_EQ(mb.pooling, 2u);
+    EXPECT_EQ(mb.dense.cols(), 4u);
+}
+
+TEST(SyntheticDatasetTest, IndicesWithinTableRange)
+{
+    SyntheticDataset ds(smallConfig());
+    for (std::uint64_t it = 0; it < 20; ++it) {
+        const MiniBatch mb = ds.batch(it);
+        for (auto idx : mb.indices)
+            EXPECT_LT(idx, 100u);
+    }
+}
+
+TEST(SyntheticDatasetTest, LabelsAreBinaryAndMixed)
+{
+    auto cfg = smallConfig();
+    cfg.batchSize = 512;
+    SyntheticDataset ds(cfg);
+    int ones = 0;
+    const MiniBatch mb = ds.batch(0);
+    for (float y : mb.labels) {
+        EXPECT_TRUE(y == 0.0f || y == 1.0f);
+        ones += y == 1.0f;
+    }
+    // planted logistic model should produce both classes
+    EXPECT_GT(ones, 32);
+    EXPECT_LT(ones, 480);
+}
+
+TEST(SyntheticDatasetTest, LabelsCorrelateWithDenseFeatures)
+{
+    // The planted model makes labels predictable from dense features:
+    // examples with higher planted-logit must be labeled 1 more often.
+    auto cfg = smallConfig();
+    cfg.batchSize = 4096;
+    SyntheticDataset ds(cfg);
+    const MiniBatch mb = ds.batch(0);
+    // proxy: correlation between label and each feature summed -- at
+    // least one feature must show non-trivial correlation
+    double best = 0.0;
+    for (std::size_t d = 0; d < cfg.numDense; ++d) {
+        double cov = 0.0, mean_x = 0.0, mean_y = 0.0;
+        for (std::size_t e = 0; e < cfg.batchSize; ++e) {
+            mean_x += mb.dense.at(e, d);
+            mean_y += mb.labels[e];
+        }
+        mean_x /= cfg.batchSize;
+        mean_y /= cfg.batchSize;
+        for (std::size_t e = 0; e < cfg.batchSize; ++e)
+            cov += (mb.dense.at(e, d) - mean_x) *
+                   (mb.labels[e] - mean_y);
+        best = std::max(best, std::abs(cov / cfg.batchSize));
+    }
+    EXPECT_GT(best, 0.02);
+}
+
+TEST(SyntheticDatasetTest, FillBatchReusesStorage)
+{
+    SyntheticDataset ds(smallConfig());
+    MiniBatch mb;
+    ds.fillBatch(0, mb);
+    const auto *ptr = mb.indices.data();
+    ds.fillBatch(1, mb); // same shape -> no reallocation of indices
+    EXPECT_EQ(mb.indices.data(), ptr);
+}
+
+} // namespace
+} // namespace lazydp

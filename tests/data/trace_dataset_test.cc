@@ -1,0 +1,142 @@
+/** @file Record/replay tests for trace-driven workloads. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "data/trace_dataset.h"
+
+namespace lazydp {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "lazydp_trace_" +
+                std::to_string(::getpid()) + ".txt";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static DatasetConfig
+    config()
+    {
+        DatasetConfig dc;
+        dc.numDense = 3;
+        dc.numTables = 2;
+        dc.rowsPerTable = 50;
+        dc.pooling = 2;
+        dc.batchSize = 4;
+        dc.seed = 5;
+        return dc;
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceTest, RecordReplayRoundTrip)
+{
+    SyntheticDataset ds(config());
+    TraceDataset::record(ds, /*examples=*/12, path_);
+    TraceDataset trace(path_);
+
+    EXPECT_EQ(trace.examples(), 12u);
+    EXPECT_EQ(trace.numDense(), 3u);
+    EXPECT_EQ(trace.numTables(), 2u);
+    EXPECT_EQ(trace.pooling(), 2u);
+
+    // replayed batch 0 == recorded batch 0 (indices exactly, dense to
+    // text-format precision)
+    const MiniBatch orig = ds.batch(0);
+    const MiniBatch replay = trace.batch(0, 4);
+    EXPECT_EQ(orig.indices, replay.indices);
+    EXPECT_EQ(orig.labels, replay.labels);
+    for (std::size_t i = 0; i < orig.dense.size(); ++i)
+        EXPECT_NEAR(orig.dense.data()[i], replay.dense.data()[i], 1e-4);
+}
+
+TEST_F(TraceTest, WrapsAroundAtEpochBoundary)
+{
+    SyntheticDataset ds(config());
+    TraceDataset::record(ds, 6, path_);
+    TraceDataset trace(path_);
+    // batch of 4 starting at iter 1 covers examples 4,5,0,1
+    const MiniBatch wrapped = trace.batch(1, 4);
+    const MiniBatch first = trace.batch(0, 4);
+    // example 2 of `wrapped` (global index 6 % 6 = 0) equals example 0
+    EXPECT_EQ(wrapped.labels[2], first.labels[0]);
+    for (std::size_t t = 0; t < 2; ++t) {
+        auto w = wrapped.exampleIndices(t, 2);
+        auto f = first.exampleIndices(t, 0);
+        for (std::size_t s = 0; s < 2; ++s)
+            EXPECT_EQ(w[s], f[s]);
+    }
+}
+
+TEST_F(TraceTest, LoaderStreamsBatches)
+{
+    SyntheticDataset ds(config());
+    TraceDataset::record(ds, 8, path_);
+    TraceDataset trace(path_);
+    TraceLoader loader(trace, 4);
+    const MiniBatch b0 = loader.next();
+    const MiniBatch b1 = loader.next();
+    EXPECT_EQ(loader.produced(), 2u);
+    EXPECT_EQ(b0.batchSize, 4u);
+    EXPECT_NE(b0.indices, b1.indices);
+}
+
+TEST_F(TraceTest, MalformedHeaderIsFatal)
+{
+    setLogThrowMode(true);
+    {
+        std::ofstream os(path_);
+        os << "# not-a-trace v9\n";
+    }
+    EXPECT_THROW(TraceDataset{path_}, std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(TraceTest, ShortLineIsFatal)
+{
+    setLogThrowMode(true);
+    {
+        std::ofstream os(path_);
+        os << "# lazydp-trace v1 dense=3 tables=2 pooling=2\n";
+        os << "1 | 0.5 0.5 0.5 | 1 2 3\n"; // only 3 of 4 indices
+    }
+    EXPECT_THROW(TraceDataset{path_}, std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(TraceTest, MissingFileIsFatal)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(TraceDataset{"/nonexistent/trace.txt"},
+                 std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(TraceTest, CommentsAndBlankLinesSkipped)
+{
+    {
+        std::ofstream os(path_);
+        os << "# lazydp-trace v1 dense=1 tables=1 pooling=1\n";
+        os << "\n# a comment\n";
+        os << "1 | 0.25 | 7\n";
+    }
+    TraceDataset trace(path_);
+    EXPECT_EQ(trace.examples(), 1u);
+    const MiniBatch mb = trace.batch(0, 1);
+    EXPECT_EQ(mb.labels[0], 1.0f);
+    EXPECT_EQ(mb.tableIndices(0)[0], 7u);
+}
+
+} // namespace
+} // namespace lazydp

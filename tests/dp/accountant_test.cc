@@ -1,0 +1,111 @@
+/** @file Tests for the RDP accountant. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dp/accountant.h"
+
+namespace lazydp {
+namespace {
+
+TEST(AccountantTest, PlainGaussianRdpIsAlphaOver2Sigma2)
+{
+    // q = 1 reduces to the Gaussian mechanism: RDP(a) = a / (2 s^2).
+    RdpAccountant acc(2.0, 1.0);
+    for (int a : {2, 4, 8, 32})
+        EXPECT_NEAR(acc.rdpAtOrder(a), a / (2.0 * 4.0), 1e-9);
+}
+
+TEST(AccountantTest, SubsamplingNeverHurts)
+{
+    // RDP with q < 1 must be <= RDP with q = 1 at every order.
+    RdpAccountant sub(1.1, 0.01);
+    RdpAccountant full(1.1, 1.0);
+    for (int a : {2, 3, 4, 8, 16, 64})
+        EXPECT_LE(sub.rdpAtOrder(a), full.rdpAtOrder(a) + 1e-12);
+}
+
+TEST(AccountantTest, EpsilonGrowsWithSteps)
+{
+    RdpAccountant acc(1.0, 0.01);
+    acc.addSteps(100);
+    const double e100 = acc.epsilon(1e-5);
+    acc.addSteps(900);
+    const double e1000 = acc.epsilon(1e-5);
+    EXPECT_GT(e1000, e100);
+    EXPECT_EQ(acc.steps(), 1000u);
+}
+
+TEST(AccountantTest, MoreNoiseGivesLessEpsilon)
+{
+    RdpAccountant low(0.8, 0.01);
+    RdpAccountant high(2.0, 0.01);
+    low.addSteps(1000);
+    high.addSteps(1000);
+    EXPECT_GT(low.epsilon(1e-5), high.epsilon(1e-5));
+}
+
+TEST(AccountantTest, SmallerDeltaCostsMoreEpsilon)
+{
+    RdpAccountant acc(1.1, 0.02);
+    acc.addSteps(500);
+    EXPECT_GT(acc.epsilon(1e-8), acc.epsilon(1e-4));
+}
+
+TEST(AccountantTest, GaussianMechanismClosedFormAnchor)
+{
+    // For q=1, T=1: eps(a) = a/(2s^2) + log(1/delta)/(a-1); the
+    // analytic optimum over continuous a is
+    // sqrt(2 log(1/delta)) / s + 1/(2 s^2) approximately. With s=4,
+    // delta=1e-5: ~1.23. Integer-order scan should be within 5%.
+    RdpAccountant acc(4.0, 1.0);
+    acc.addSteps(1);
+    const double analytic =
+        std::sqrt(2.0 * std::log(1e5)) / 4.0 + 1.0 / (2.0 * 16.0);
+    EXPECT_NEAR(acc.epsilon(1e-5), analytic, 0.05 * analytic);
+}
+
+TEST(AccountantTest, KnownRegimeMagnitude)
+{
+    // Classic DP-SGD setting: sigma=1.1, q=256/60000, one epoch's
+    // worth of steps per epoch over 10 epochs ~ 2343 steps.
+    // Published epsilon (Opacus tutorial-scale) is in the low single
+    // digits; assert the right ballpark rather than an exact value.
+    RdpAccountant acc(1.1, 256.0 / 60000.0);
+    acc.addSteps(2343);
+    const double eps = acc.epsilon(1e-5);
+    EXPECT_GT(eps, 0.5);
+    EXPECT_LT(eps, 3.0);
+}
+
+TEST(AccountantTest, BestOrderIsReported)
+{
+    RdpAccountant acc(1.1, 0.01);
+    acc.addSteps(100);
+    int order = 0;
+    acc.epsilon(1e-5, &order);
+    EXPECT_GE(order, 2);
+}
+
+TEST(AccountantTest, RejectsBadParameters)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(RdpAccountant(0.0, 0.5), std::runtime_error);
+    EXPECT_THROW(RdpAccountant(1.0, 0.0), std::runtime_error);
+    EXPECT_THROW(RdpAccountant(1.0, 1.5), std::runtime_error);
+    RdpAccountant acc(1.0, 0.5);
+    EXPECT_THROW(acc.epsilon(0.0), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(AccountantTest, ZeroStepsGivesTinyEpsilon)
+{
+    RdpAccountant acc(1.0, 0.01);
+    // no steps: eps = min_a log(1/delta)/(a-1), small for large orders
+    EXPECT_LT(acc.epsilon(1e-5), 0.05);
+}
+
+} // namespace
+} // namespace lazydp

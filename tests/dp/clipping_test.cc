@@ -1,0 +1,75 @@
+/** @file Tests for per-example clipping helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/clipping.h"
+
+namespace lazydp {
+namespace {
+
+TEST(ClipScalesTest, BelowThresholdIsUnscaled)
+{
+    std::vector<float> out;
+    clipScales({0.25, 0.81}, 1.0f, out); // norms 0.5 and 0.9
+    EXPECT_EQ(out[0], 1.0f);
+    EXPECT_EQ(out[1], 1.0f);
+}
+
+TEST(ClipScalesTest, AboveThresholdScalesToC)
+{
+    std::vector<float> out;
+    clipScales({4.0, 100.0}, 1.0f, out); // norms 2 and 10
+    EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+    EXPECT_NEAR(out[1], 0.1f, 1e-6f);
+}
+
+TEST(ClipScalesTest, ClippedNormEqualsC)
+{
+    // property: scale_e * norm_e == min(norm_e, C)
+    const std::vector<double> norms_sq{0.01, 1.0, 4.0, 25.0, 1e6};
+    const float c = 1.5f;
+    std::vector<float> out;
+    clipScales(norms_sq, c, out);
+    for (std::size_t e = 0; e < norms_sq.size(); ++e) {
+        const double norm = std::sqrt(norms_sq[e]);
+        EXPECT_NEAR(out[e] * norm, std::min(norm, double(c)), 1e-5);
+    }
+}
+
+TEST(ClipScalesTest, ZeroNormSafe)
+{
+    std::vector<float> out;
+    clipScales({0.0}, 1.0f, out);
+    EXPECT_EQ(out[0], 1.0f);
+}
+
+TEST(ClipScalesTest, NonPositiveClipPanics)
+{
+    setLogThrowMode(true);
+    std::vector<float> out;
+    EXPECT_THROW(clipScales({1.0}, 0.0f, out), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(ScaleRowsTest, ScalesEachRowIndependently)
+{
+    Tensor t(3, 2);
+    t.fill(2.0f);
+    scaleRows(t, {0.5f, 1.0f, 2.0f});
+    EXPECT_EQ(t.at(0, 0), 1.0f);
+    EXPECT_EQ(t.at(1, 1), 2.0f);
+    EXPECT_EQ(t.at(2, 0), 4.0f);
+}
+
+TEST(ScaleRowsTest, MismatchedLengthPanics)
+{
+    setLogThrowMode(true);
+    Tensor t(3, 2);
+    EXPECT_THROW(scaleRows(t, {1.0f}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,268 @@
+/**
+ * @file Equivalence and behaviour tests for the eager DP engines.
+ *
+ * The paper's baselines DP-SGD(B), DP-SGD(R) and DP-SGD(F) are three
+ * implementations of the same mathematical algorithm (Section 2.5);
+ * with the keyed noise provider they must produce (near-)identical
+ * models from identical inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_dataset.h"
+#include "dp/dp_sgd_b.h"
+#include "dp/dp_sgd_f.h"
+#include "dp/dp_sgd_r.h"
+#include "dp/eana.h"
+#include "train/sgd.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+testModel()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 128;
+    return mc;
+}
+
+DatasetConfig
+testData(const ModelConfig &mc, std::size_t batch = 8)
+{
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = batch;
+    dc.seed = 4242;
+    return dc;
+}
+
+TrainHyper
+testHyper()
+{
+    TrainHyper h;
+    h.lr = 0.1f;
+    h.clipNorm = 0.7f;
+    h.noiseMultiplier = 1.3f;
+    h.noiseSeed = 0xBEEF;
+    return h;
+}
+
+/** Max |a - b| over two models' full parameter sets. */
+double
+maxModelDiff(DlrmModel &a, DlrmModel &b)
+{
+    double diff = 0.0;
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        for (std::size_t i = 0; i < wa.size(); ++i)
+            diff = std::max(diff, std::abs(static_cast<double>(
+                                      wa.data()[i] - wb.data()[i])));
+    }
+    auto mlp_diff = [&](Mlp &ma, Mlp &mb) {
+        for (std::size_t l = 0; l < ma.layers().size(); ++l) {
+            const Tensor &wa = ma.layers()[l].weight();
+            const Tensor &wb = mb.layers()[l].weight();
+            for (std::size_t i = 0; i < wa.size(); ++i)
+                diff = std::max(diff, std::abs(static_cast<double>(
+                                          wa.data()[i] - wb.data()[i])));
+        }
+    };
+    mlp_diff(a.bottomMlp(), b.bottomMlp());
+    mlp_diff(a.topMlp(), b.topMlp());
+    return diff;
+}
+
+/** Run an engine for @p iters over the deterministic dataset. */
+template <typename Engine>
+void
+runEngine(DlrmModel &model, const TrainHyper &hyper, std::uint64_t iters,
+          std::size_t batch)
+{
+    SyntheticDataset ds(testData(model.config(), batch));
+    SequentialLoader loader(ds);
+    Engine engine(model, hyper);
+    Trainer trainer(engine, loader);
+    trainer.run(iters);
+}
+
+TEST(DpEngineEquivalence, RewightedEqualsOriginal)
+{
+    // DP-SGD(R) must produce the same model as DP-SGD(B): same clip
+    // factors, same reweighted sums, same keyed noise.
+    const auto mc = testModel();
+    DlrmModel ma(mc, 7);
+    DlrmModel mb(mc, 7);
+    runEngine<DpSgdB>(ma, testHyper(), 6, 8);
+    runEngine<DpSgdR>(mb, testHyper(), 6, 8);
+    EXPECT_LT(maxModelDiff(ma, mb), 2e-4);
+}
+
+TEST(DpEngineEquivalence, FastEqualsOriginal)
+{
+    const auto mc = testModel();
+    DlrmModel ma(mc, 7);
+    DlrmModel mb(mc, 7);
+    runEngine<DpSgdB>(ma, testHyper(), 6, 8);
+    runEngine<DpSgdF>(mb, testHyper(), 6, 8);
+    EXPECT_LT(maxModelDiff(ma, mb), 2e-4);
+}
+
+TEST(DpEngineEquivalence, DifferentSeedsDiverge)
+{
+    const auto mc = testModel();
+    DlrmModel ma(mc, 7);
+    DlrmModel mb(mc, 7);
+    auto h1 = testHyper();
+    auto h2 = testHyper();
+    h2.noiseSeed = 0xF00D;
+    runEngine<DpSgdF>(ma, h1, 3, 8);
+    runEngine<DpSgdF>(mb, h2, 3, 8);
+    EXPECT_GT(maxModelDiff(ma, mb), 1e-5);
+}
+
+TEST(DpEngineBehaviour, DenseNoiseTouchesEveryRow)
+{
+    // After one DP-SGD(F) step, rows never accessed must still have
+    // moved (noise) -- the exact property EANA violates.
+    const auto mc = testModel();
+    DlrmModel model(mc, 7);
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+
+    runEngine<DpSgdF>(model, testHyper(), 1, 4);
+
+    std::size_t changed = 0;
+    const Tensor &after = model.tables()[0].weights();
+    for (std::size_t i = 0; i < after.size(); ++i)
+        changed += after.data()[i] != before.data()[i];
+    // every element noised (probability of a zero-noise tie ~ 0)
+    EXPECT_GT(changed, after.size() * 99 / 100);
+}
+
+TEST(DpEngineBehaviour, EanaLeavesUnaccessedRowsUntouched)
+{
+    // EANA's privacy weakness, asserted directly (paper Section 2.5).
+    const auto mc = testModel();
+    DlrmModel model(mc, 7);
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+
+    SyntheticDataset ds(testData(mc, 4));
+    const MiniBatch mb = ds.batch(0);
+    SequentialLoader loader(ds);
+    EanaAlgorithm eana(model, testHyper());
+    Trainer trainer(eana, loader);
+    trainer.run(1);
+
+    std::vector<std::uint32_t> accessed;
+    uniqueRows(mb.tableIndices(0), accessed);
+
+    const Tensor &after = model.tables()[0].weights();
+    for (std::uint32_t r = 0; r < mc.rowsPerTable; ++r) {
+        const bool was_accessed =
+            std::binary_search(accessed.begin(), accessed.end(), r);
+        bool changed = false;
+        for (std::size_t d = 0; d < mc.embedDim; ++d)
+            changed |= after.at(r, d) != before.at(r, d);
+        if (was_accessed)
+            EXPECT_TRUE(changed) << "accessed row " << r << " static";
+        else
+            EXPECT_FALSE(changed) << "untouched row " << r << " moved";
+    }
+}
+
+TEST(DpEngineBehaviour, ClippingBoundsUpdateMagnitude)
+{
+    // With sigma = 0 the embedding update is the clipped gradient sum:
+    // per-iteration update norm <= lr * C (batch normalization makes it
+    // <= lr * C since sum of B clipped grads / B <= C).
+    auto mc = testModel();
+    DlrmModel model(mc, 7);
+    auto h = testHyper();
+    h.noiseMultiplier = 0.0f;
+    h.clipNorm = 0.05f;
+    h.lr = 1.0f;
+
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+    runEngine<DpSgdF>(model, h, 1, 8);
+
+    // total update norm across the whole model is bounded by lr * C
+    double upd_sq = 0.0;
+    const Tensor &after = model.tables()[0].weights();
+    for (std::size_t i = 0; i < after.size(); ++i) {
+        const double d = after.data()[i] - before.data()[i];
+        upd_sq += d * d;
+    }
+    EXPECT_LE(std::sqrt(upd_sq), 1.0 * 0.05 + 1e-5);
+}
+
+TEST(DpEngineBehaviour, SgdOnlyTouchesAccessedRows)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 7);
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+
+    SyntheticDataset ds(testData(mc, 4));
+    const MiniBatch mb = ds.batch(0);
+    SequentialLoader loader(ds);
+    TrainHyper h = testHyper();
+    SgdAlgorithm sgd(model, h);
+    Trainer trainer(sgd, loader);
+    trainer.run(1);
+
+    std::vector<std::uint32_t> accessed;
+    uniqueRows(mb.tableIndices(0), accessed);
+    const Tensor &after = model.tables()[0].weights();
+    for (std::uint32_t r = 0; r < mc.rowsPerTable; ++r) {
+        if (std::binary_search(accessed.begin(), accessed.end(), r))
+            continue;
+        for (std::size_t d = 0; d < mc.embedDim; ++d)
+            EXPECT_EQ(after.at(r, d), before.at(r, d));
+    }
+}
+
+TEST(DpEngineBehaviour, PerExampleBytesScaleWithBatch)
+{
+    const auto mc = testModel();
+    DlrmModel m4(mc, 7);
+    DlrmModel m8(mc, 7);
+    SyntheticDataset ds4(testData(mc, 4));
+    SyntheticDataset ds8(testData(mc, 8));
+    SequentialLoader l4(ds4);
+    SequentialLoader l8(ds8);
+    DpSgdB e4(m4, testHyper());
+    DpSgdB e8(m8, testHyper());
+    Trainer(e4, l4).run(1);
+    Trainer(e8, l8).run(1);
+    EXPECT_EQ(e8.perExampleBytes(), 2 * e4.perExampleBytes());
+}
+
+class BatchSweepTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BatchSweepTest, FastEqualsReweightedAcrossBatchSizes)
+{
+    const auto mc = testModel();
+    DlrmModel ma(mc, 11);
+    DlrmModel mb(mc, 11);
+    runEngine<DpSgdR>(ma, testHyper(), 3, GetParam());
+    runEngine<DpSgdF>(mb, testHyper(), 3, GetParam());
+    EXPECT_LT(maxModelDiff(ma, mb), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweepTest,
+                         ::testing::Values(1, 2, 5, 16, 32));
+
+} // namespace
+} // namespace lazydp

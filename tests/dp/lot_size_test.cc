@@ -1,0 +1,155 @@
+/**
+ * @file Tests for fixed lot-size normalization (the Abadi et al. /
+ * Opacus convention under Poisson subsampling): the update scale must
+ * come from the FIXED expected lot size, never the realized batch
+ * size, or the noise magnitude itself would leak how many examples
+ * were sampled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lazydp.h"
+#include "data/synthetic_dataset.h"
+#include "dp/dp_sgd_f.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+testModel()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    return mc;
+}
+
+MiniBatch
+batchOfSize(const ModelConfig &mc, std::size_t batch, std::uint64_t it)
+{
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = batch;
+    dc.seed = 99;
+    SyntheticDataset ds(dc);
+    return ds.batch(it);
+}
+
+/** Row of table 0 that neither batch size's first batch accesses. */
+std::uint32_t
+commonColdRow(const ModelConfig &mc)
+{
+    std::vector<std::uint32_t> a8, a24;
+    uniqueRows(batchOfSize(mc, 8, 0).tableIndices(0), a8);
+    uniqueRows(batchOfSize(mc, 24, 0).tableIndices(0), a24);
+    for (std::uint32_t r = 0; r < mc.rowsPerTable; ++r) {
+        if (!std::binary_search(a8.begin(), a8.end(), r) &&
+            !std::binary_search(a24.begin(), a24.end(), r)) {
+            return r;
+        }
+    }
+    return 0; // cannot happen at these sizes
+}
+
+/**
+ * Noise displacement of row @p cold_row (cold in both batch sizes)
+ * after one step. The keyed noise vector of (iter 1, table 0, row) is
+ * identical across runs, so any displacement difference is purely the
+ * normalization scale.
+ */
+double
+coldRowDisplacement(std::size_t realized_batch, std::size_t lot_size,
+                    std::uint64_t noise_seed, std::uint32_t cold_row)
+{
+    const auto mc = testModel();
+    DlrmModel model(mc, 3);
+    TrainHyper h;
+    h.lr = 1.0f;
+    h.clipNorm = 1.0f;
+    h.noiseMultiplier = 1.0f;
+    h.noiseSeed = noise_seed;
+    h.lotSize = lot_size;
+
+    Tensor before(mc.rowsPerTable, mc.embedDim);
+    before.copyFrom(model.tables()[0].weights());
+
+    MiniBatch mb = batchOfSize(mc, realized_batch, 0);
+    DpSgdF engine(model, h);
+    StageTimer timer;
+    engine.step(1, mb, nullptr, timer);
+
+    const Tensor &after = model.tables()[0].weights();
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < mc.embedDim; ++c) {
+        const double d = after.at(cold_row, c) - before.at(cold_row, c);
+        d2 += d * d;
+    }
+    return std::sqrt(d2);
+}
+
+TEST(LotSizeTest, NoiseScaleIndependentOfRealizedBatch)
+{
+    // with a fixed lot size the injected noise magnitude must be
+    // IDENTICAL regardless of how many examples were actually sampled
+    const std::uint32_t row = commonColdRow(testModel());
+    const double d8 = coldRowDisplacement(8, 32, 0x10, row);
+    const double d24 = coldRowDisplacement(24, 32, 0x10, row);
+    ASSERT_GT(d8, 0.0);
+    EXPECT_NEAR(d8, d24, 1e-9);
+}
+
+TEST(LotSizeTest, WithoutLotSizeNoiseLeaksBatchSize)
+{
+    // the failure mode the option exists to prevent: realized-batch
+    // normalization makes the noise magnitude a function of the count
+    const std::uint32_t row = commonColdRow(testModel());
+    const double d8 = coldRowDisplacement(8, 0, 0x10, row);
+    const double d24 = coldRowDisplacement(24, 0, 0x10, row);
+    ASSERT_GT(d8, 0.0);
+    // displacement scales as 1/B: ratio should be ~3
+    EXPECT_NEAR(d8 / d24, 3.0, 0.01);
+}
+
+TEST(LotSizeTest, LazyEquivalenceHoldsUnderLotSize)
+{
+    const auto mc = testModel();
+    TrainHyper h;
+    h.noiseSeed = 0x22;
+    h.lotSize = 16;
+
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 8; // realized != lot
+    dc.seed = 5;
+
+    DlrmModel eager_model(mc, 3);
+    DlrmModel lazy_model(mc, 3);
+    SyntheticDataset ds(dc);
+    {
+        SequentialLoader loader(ds);
+        DpSgdF eager(eager_model, h);
+        Trainer(eager, loader).run(6);
+    }
+    {
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(lazy_model, h, /*use_ans=*/false);
+        Trainer(lazy, loader).run(6);
+    }
+    for (std::size_t t = 0; t < mc.numTables; ++t) {
+        const Tensor &we = eager_model.tables()[t].weights();
+        const Tensor &wl = lazy_model.tables()[t].weights();
+        for (std::size_t i = 0; i < we.size(); ++i)
+            EXPECT_NEAR(we.data()[i], wl.data()[i], 1e-4);
+    }
+}
+
+} // namespace
+} // namespace lazydp

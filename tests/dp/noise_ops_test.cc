@@ -1,0 +1,97 @@
+/** @file Tests for the dense noise/update kernels. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dp/noise_ops.h"
+
+namespace lazydp {
+namespace {
+
+TEST(FillDenseTableNoiseTest, EveryRowGetsItsKeyedStream)
+{
+    NoiseProvider np(5);
+    Tensor noise(16, 8);
+    fillDenseTableNoise(np, 3, 2, 1.0f, noise);
+    for (std::size_t r = 0; r < 16; ++r) {
+        std::vector<float> ref(8, 0.0f);
+        np.rowNoise(3, 2, r, 1.0f, 1.0f, ref.data(), 8, false);
+        for (std::size_t d = 0; d < 8; ++d)
+            EXPECT_EQ(noise.at(r, d), ref[d]) << r << "," << d;
+    }
+}
+
+TEST(FillDenseTableNoiseTest, MomentsMatchSigma)
+{
+    NoiseProvider np(6);
+    Tensor noise(2048, 64);
+    fillDenseTableNoise(np, 1, 0, 2.0f, noise);
+    RunningStat st;
+    st.pushAll(noise.data(), noise.size());
+    EXPECT_NEAR(st.mean(), 0.0, 0.02);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.02);
+}
+
+TEST(AddSparseIntoDenseTest, ScattersRows)
+{
+    Tensor dense(4, 2);
+    dense.fill(1.0f);
+    SparseGrad grad;
+    grad.rows = {1, 3};
+    grad.values.resize(2, 2);
+    grad.values.at(0, 0) = 10.0f;
+    grad.values.at(1, 1) = 20.0f;
+    addSparseIntoDense(grad, dense);
+    EXPECT_EQ(dense.at(0, 0), 1.0f);
+    EXPECT_EQ(dense.at(1, 0), 11.0f);
+    EXPECT_EQ(dense.at(3, 1), 21.0f);
+}
+
+TEST(StreamingTableUpdateTest, AppliesScaledSubtraction)
+{
+    Tensor w(8, 4);
+    w.fill(1.0f);
+    Tensor upd(8, 4);
+    upd.fill(2.0f);
+    streamingTableUpdate(w, upd, 0.25f);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(w.data()[i], 0.5f, 1e-6f);
+}
+
+TEST(StreamingTableUpdateTest, LargeTensorAllElementsTouched)
+{
+    // exceeds one parallel block (1<<16 elements)
+    Tensor w(1 << 12, 64);
+    Tensor upd(1 << 12, 64);
+    upd.fill(1.0f);
+    streamingTableUpdate(w, upd, 1.0f);
+    for (std::size_t i = 0; i < w.size(); i += 997)
+        EXPECT_EQ(w.data()[i], -1.0f);
+    EXPECT_EQ(w.data()[w.size() - 1], -1.0f);
+}
+
+TEST(AddDenseParamNoiseTest, MatchesChunkedRowNoise)
+{
+    NoiseProvider np(9);
+    const std::size_t n = NoiseProvider::kMaxDim + 100; // 2 chunks
+    std::vector<float> out(n, 0.0f);
+    addDenseParamNoise(np, 2, 7, 1.0f, 1.0f, out.data(), n);
+
+    std::vector<float> ref(n, 0.0f);
+    np.rowNoise(2, 7, 0, 1.0f, 1.0f, ref.data(), NoiseProvider::kMaxDim);
+    np.rowNoise(2, 7, 1, 1.0f, 1.0f, ref.data() + NoiseProvider::kMaxDim,
+                100);
+    EXPECT_EQ(out, ref);
+}
+
+TEST(AddDenseParamNoiseTest, RowOffsetSeparatesStreams)
+{
+    NoiseProvider np(9);
+    std::vector<float> a(64, 0.0f), b(64, 0.0f);
+    addDenseParamNoise(np, 2, 7, 1.0f, 1.0f, a.data(), 64, 0);
+    addDenseParamNoise(np, 2, 7, 1.0f, 1.0f, b.data(), 64, 1ull << 40);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,160 @@
+/**
+ * @file Heterogeneous-table tests: production DLRMs mix huge and tiny
+ * tables; every invariant (equivalence, lazy accounting, metadata
+ * sizing) must hold when tables differ in row count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lazydp.h"
+#include "data/synthetic_dataset.h"
+#include "dp/dp_sgd_f.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+heteroConfig()
+{
+    auto mc = ModelConfig::tiny();
+    mc.name = "hetero-test";
+    mc.rowsPerTableVec = {200, 17, 64}; // numTables == 3
+    mc.rowsPerTable = 200;
+    return mc;
+}
+
+DatasetConfig
+heteroData(const ModelConfig &mc)
+{
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.rowsPerTableVec = mc.rowsPerTableVec;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 8;
+    dc.seed = 2024;
+    return dc;
+}
+
+TEST(HeteroTest, ConfigArithmetic)
+{
+    const auto mc = heteroConfig();
+    mc.validate();
+    EXPECT_EQ(mc.rowsForTable(0), 200u);
+    EXPECT_EQ(mc.rowsForTable(1), 17u);
+    EXPECT_EQ(mc.totalRows(), 281u);
+    EXPECT_EQ(mc.maxTableRows(), 200u);
+    EXPECT_EQ(mc.tableBytes(), 281u * mc.embedDim * 4);
+}
+
+TEST(HeteroTest, ValidateRejectsWrongVecLength)
+{
+    setLogThrowMode(true);
+    auto mc = heteroConfig();
+    mc.rowsPerTableVec.pop_back();
+    EXPECT_THROW(mc.validate(), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(HeteroTest, ModelBuildsTablesWithPerTableRows)
+{
+    DlrmModel model(heteroConfig(), 1);
+    EXPECT_EQ(model.tables()[0].rows(), 200u);
+    EXPECT_EQ(model.tables()[1].rows(), 17u);
+    EXPECT_EQ(model.tables()[2].rows(), 64u);
+}
+
+TEST(HeteroTest, DatasetRespectsPerTableRanges)
+{
+    SyntheticDataset ds(heteroData(heteroConfig()));
+    for (std::uint64_t it = 0; it < 20; ++it) {
+        const MiniBatch mb = ds.batch(it);
+        for (auto idx : mb.tableIndices(1))
+            EXPECT_LT(idx, 17u);
+        for (auto idx : mb.tableIndices(2))
+            EXPECT_LT(idx, 64u);
+    }
+}
+
+TEST(HeteroTest, HistoryTableSizesFollowTables)
+{
+    DlrmModel model(heteroConfig(), 1);
+    TrainHyper hyper;
+    LazyDpAlgorithm lazy(model, hyper, true);
+    const HistoryTable &h = lazy.historyTable();
+    EXPECT_EQ(h.rowsForTable(0), 200u);
+    EXPECT_EQ(h.rowsForTable(1), 17u);
+    EXPECT_EQ(h.bytes(), 281u * 4u);
+}
+
+TEST(HeteroTest, LazyNoAnsEqualsEagerOnHeteroTables)
+{
+    const auto mc = heteroConfig();
+    TrainHyper hyper;
+    hyper.noiseSeed = 0x44;
+    DlrmModel eager_model(mc, 9);
+    DlrmModel lazy_model(mc, 9);
+    SyntheticDataset ds(heteroData(mc));
+    {
+        SequentialLoader loader(ds);
+        DpSgdF eager(eager_model, hyper);
+        Trainer(eager, loader).run(8);
+    }
+    {
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(lazy_model, hyper, /*use_ans=*/false);
+        Trainer(lazy, loader).run(8);
+    }
+    for (std::size_t t = 0; t < mc.numTables; ++t) {
+        const Tensor &we = eager_model.tables()[t].weights();
+        const Tensor &wl = lazy_model.tables()[t].weights();
+        for (std::size_t i = 0; i < we.size(); ++i)
+            EXPECT_NEAR(we.data()[i], wl.data()[i], 1e-3)
+                << "table " << t;
+    }
+}
+
+TEST(HeteroTest, MlperfHeteroPresetIsPowerLaw)
+{
+    const auto mc = ModelConfig::mlperfHetero(96ull << 20);
+    mc.validate();
+    EXPECT_EQ(mc.rowsPerTableVec.size(), mc.numTables);
+    // strictly non-increasing table sizes, first much larger than last
+    for (std::size_t t = 1; t < mc.numTables; ++t)
+        EXPECT_LE(mc.rowsForTable(t), mc.rowsForTable(t - 1));
+    EXPECT_GT(mc.rowsForTable(0),
+              10 * mc.rowsForTable(mc.numTables - 1));
+    // total stays near the requested budget
+    EXPECT_NEAR(static_cast<double>(mc.tableBytes()),
+                static_cast<double>(96ull << 20),
+                0.05 * static_cast<double>(96ull << 20));
+}
+
+TEST(HeteroTest, TrainingRunsOnHeteroPreset)
+{
+    const auto mc = ModelConfig::mlperfHetero(2u << 20);
+    DlrmModel model(mc, 2);
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.rowsPerTableVec = mc.rowsPerTableVec;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 16;
+    SyntheticDataset ds(dc);
+    SequentialLoader loader(ds);
+    TrainHyper hyper;
+    LazyDpAlgorithm lazy(model, hyper, true);
+    Trainer trainer(lazy, loader);
+    const TrainResult r = trainer.run(3);
+    EXPECT_EQ(r.iterations, 3u);
+    for (double l : r.losses)
+        EXPECT_TRUE(std::isfinite(l));
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,205 @@
+/**
+ * @file Checkpoint tests, including the resume-equivalence property:
+ * a LazyDP run checkpointed and resumed must produce exactly the same
+ * model as an uninterrupted run (keyed noise + persisted HistoryTable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/synthetic_dataset.h"
+#include "io/checkpoint.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "lazydp_ckpt_" +
+                std::to_string(::getpid()) + ".bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static ModelConfig
+    modelConfig()
+    {
+        auto mc = ModelConfig::tiny();
+        mc.rowsPerTable = 64;
+        return mc;
+    }
+
+    static DatasetConfig
+    dataConfig()
+    {
+        const auto mc = modelConfig();
+        DatasetConfig dc;
+        dc.numDense = mc.numDense;
+        dc.numTables = mc.numTables;
+        dc.rowsPerTable = mc.rowsPerTable;
+        dc.pooling = mc.pooling;
+        dc.batchSize = 8;
+        dc.seed = 77;
+        return dc;
+    }
+
+    static TrainHyper
+    hyper()
+    {
+        TrainHyper h;
+        h.noiseSeed = 0xC4C4;
+        return h;
+    }
+
+    std::string path_;
+};
+
+TEST_F(CheckpointTest, ModelWeightsRoundTrip)
+{
+    DlrmModel a(modelConfig(), 3);
+    io::saveModel(path_, a);
+    DlrmModel b(modelConfig(), 99); // different init
+    io::loadModel(path_, b);
+
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        for (std::size_t i = 0; i < wa.size(); ++i)
+            EXPECT_EQ(wa.data()[i], wb.data()[i]);
+    }
+    const Tensor &la = a.topMlp().layers()[0].weight();
+    const Tensor &lb = b.topMlp().layers()[0].weight();
+    for (std::size_t i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la.data()[i], lb.data()[i]);
+}
+
+TEST_F(CheckpointTest, ShapeMismatchIsRejected)
+{
+    setLogThrowMode(true);
+    DlrmModel a(modelConfig(), 3);
+    io::saveModel(path_, a);
+    auto other = modelConfig();
+    other.rowsPerTable = 128;
+    DlrmModel b(other, 3);
+    EXPECT_THROW(io::loadModel(path_, b), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(CheckpointTest, WrongMagicIsRejected)
+{
+    setLogThrowMode(true);
+    DlrmModel a(modelConfig(), 3);
+    LazyDpAlgorithm lazy(a, hyper(), true);
+    io::saveTraining(path_, a, lazy, 1);
+    DlrmModel b(modelConfig(), 3);
+    // loading a training checkpoint as a model checkpoint must fail
+    EXPECT_THROW(io::loadModel(path_, b), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(CheckpointTest, ResumedRunEqualsUninterruptedRun)
+{
+    const std::uint64_t total_iters = 12;
+    const std::uint64_t split = 5;
+
+    // Reference: straight-through run.
+    DlrmModel ref_model(modelConfig(), 3);
+    {
+        SyntheticDataset ds(dataConfig());
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(ref_model, hyper(), /*use_ans=*/false);
+        Trainer(lazy, loader).run(total_iters);
+    }
+
+    // Interrupted run: train `split` iterations (no finalize!), save,
+    // reload into fresh objects, continue, finalize at the end.
+    DlrmModel part_model(modelConfig(), 3);
+    {
+        SyntheticDataset ds(dataConfig());
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(part_model, hyper(), false);
+        StageTimer timer;
+        InputQueue q;
+        q.push(loader.next());
+        for (std::uint64_t it = 1; it <= split; ++it) {
+            q.push(loader.next());
+            lazy.step(it, q.head(), &q.tail(), timer);
+            q.pop();
+        }
+        io::saveTraining(path_, part_model, lazy, split + 1);
+        // q.head() now holds the batch for iteration split+1; the
+        // resumed loader regenerates it deterministically.
+    }
+
+    DlrmModel resumed_model(modelConfig(), 3);
+    {
+        LazyDpAlgorithm lazy(resumed_model, hyper(), false);
+        const io::ResumeInfo info =
+            io::loadTraining(path_, resumed_model, lazy);
+        ASSERT_EQ(info.nextIter, split + 1);
+
+        SyntheticDataset ds(dataConfig());
+        StageTimer timer;
+        InputQueue q;
+        q.push(ds.batch(info.nextIter - 1));
+        for (std::uint64_t it = info.nextIter; it <= total_iters; ++it) {
+            const bool has_next = it < total_iters;
+            if (has_next)
+                q.push(ds.batch(it));
+            lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
+                      timer);
+            q.pop();
+        }
+        lazy.finalize(total_iters, timer);
+    }
+
+    for (std::size_t t = 0; t < ref_model.tables().size(); ++t) {
+        const Tensor &wr = ref_model.tables()[t].weights();
+        const Tensor &ws = resumed_model.tables()[t].weights();
+        for (std::size_t i = 0; i < wr.size(); ++i)
+            EXPECT_NEAR(wr.data()[i], ws.data()[i], 1e-6)
+                << "table " << t << " elem " << i;
+    }
+}
+
+TEST_F(CheckpointTest, SeedMismatchOnResumeIsFatal)
+{
+    setLogThrowMode(true);
+    DlrmModel a(modelConfig(), 3);
+    LazyDpAlgorithm lazy_a(a, hyper(), true);
+    io::saveTraining(path_, a, lazy_a, 4);
+
+    DlrmModel b(modelConfig(), 3);
+    TrainHyper other = hyper();
+    other.noiseSeed = 0xBAD;
+    LazyDpAlgorithm lazy_b(b, other, true);
+    EXPECT_THROW(io::loadTraining(path_, b, lazy_b),
+                 std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(CheckpointTest, HistoryTableSurvivesRoundTrip)
+{
+    DlrmModel a(modelConfig(), 3);
+    LazyDpAlgorithm lazy_a(a, hyper(), true);
+    lazy_a.historyTableMutable().renew(0, 5, 17);
+    lazy_a.historyTableMutable().renew(1, 2, 9);
+    io::saveTraining(path_, a, lazy_a, 20);
+
+    DlrmModel b(modelConfig(), 3);
+    LazyDpAlgorithm lazy_b(b, hyper(), true);
+    io::loadTraining(path_, b, lazy_b);
+    EXPECT_EQ(lazy_b.historyTable().lastNoised(0, 5), 17u);
+    EXPECT_EQ(lazy_b.historyTable().lastNoised(1, 2), 9u);
+    EXPECT_EQ(lazy_b.historyTable().lastNoised(0, 0), 0u);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,91 @@
+/** @file Round-trip tests for the binary serialization primitives. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "io/serialize.h"
+
+namespace lazydp {
+namespace {
+
+TEST(SerializeTest, ScalarsRoundTrip)
+{
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeU32(0xDEADBEEF);
+    w.writeU64(0x0123456789ABCDEFull);
+    w.writeF32(3.14159f);
+    w.writeString("lazydp");
+
+    io::BinaryReader r(ss);
+    EXPECT_EQ(r.readU32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.readU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.readF32(), 3.14159f);
+    EXPECT_EQ(r.readString(), "lazydp");
+}
+
+TEST(SerializeTest, ArraysRoundTrip)
+{
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    const float f[] = {1.0f, -2.5f, 3e-7f};
+    const std::uint32_t u[] = {7, 8, 9, 10};
+    w.writeF32Array({f, 3});
+    w.writeU32Array({u, 4});
+
+    io::BinaryReader r(ss);
+    float f_out[3];
+    std::uint32_t u_out[4];
+    r.readF32Array({f_out, 3});
+    r.readU32Array({u_out, 4});
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(f_out[i], f[i]);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(u_out[i], u[i]);
+}
+
+TEST(SerializeTest, TruncatedStreamFails)
+{
+    setLogThrowMode(true);
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeU32(1);
+    io::BinaryReader r(ss);
+    EXPECT_EQ(r.readU32(), 1u);
+    EXPECT_THROW(r.readU64(), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(SerializeTest, ArrayLengthMismatchFails)
+{
+    setLogThrowMode(true);
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    const float f[] = {1.0f, 2.0f};
+    w.writeF32Array({f, 2});
+    io::BinaryReader r(ss);
+    float out[3];
+    EXPECT_THROW(r.readF32Array({out, 3}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(SerializeTest, SpecialFloatValuesPreserved)
+{
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeF32(0.0f);
+    w.writeF32(-0.0f);
+    w.writeF32(1e-38f);
+    io::BinaryReader r(ss);
+    EXPECT_EQ(r.readF32(), 0.0f);
+    const float neg_zero = r.readF32();
+    EXPECT_EQ(neg_zero, 0.0f);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_EQ(r.readF32(), 1e-38f);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,152 @@
+/** @file Unit tests for the embedding-bag layer. */
+
+#include <gtest/gtest.h>
+
+#include "nn/embedding.h"
+
+namespace lazydp {
+namespace {
+
+TEST(UniqueRowsTest, SortsAndDeduplicates)
+{
+    const std::uint32_t idx[] = {5, 1, 5, 3, 1, 1};
+    std::vector<std::uint32_t> out;
+    uniqueRows({idx, 6}, out);
+    EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(UniqueRowsTest, EmptyInput)
+{
+    std::vector<std::uint32_t> out{9};
+    uniqueRows({}, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(EmbeddingTest, ForwardSumsPooledRows)
+{
+    EmbeddingTable tbl(4, 2);
+    // row r = (r, 10r)
+    for (std::uint64_t r = 0; r < 4; ++r) {
+        tbl.rowPtr(r)[0] = static_cast<float>(r);
+        tbl.rowPtr(r)[1] = static_cast<float>(10 * r);
+    }
+    const std::uint32_t idx[] = {1, 3, 2, 2}; // example0: {1,3}, ex1: {2,2}
+    Tensor out(2, 2);
+    tbl.forward({idx, 4}, 2, 2, out);
+    EXPECT_EQ(out.at(0, 0), 4.0f);  // 1 + 3
+    EXPECT_EQ(out.at(0, 1), 40.0f);
+    EXPECT_EQ(out.at(1, 0), 4.0f);  // 2 + 2
+    EXPECT_EQ(out.at(1, 1), 40.0f);
+}
+
+TEST(EmbeddingTest, BackwardCoalescesDuplicates)
+{
+    EmbeddingTable tbl(5, 2);
+    const std::uint32_t idx[] = {1, 3, 2, 2};
+    Tensor d_out(2, 2);
+    d_out.at(0, 0) = 1.0f;
+    d_out.at(0, 1) = 2.0f;
+    d_out.at(1, 0) = 10.0f;
+    d_out.at(1, 1) = 20.0f;
+    SparseGrad grad;
+    tbl.backward({idx, 4}, 2, 2, d_out, grad);
+
+    ASSERT_EQ(grad.rows, (std::vector<std::uint32_t>{1, 2, 3}));
+    // row 1: d_out ex0 once
+    EXPECT_EQ(grad.values.at(0, 0), 1.0f);
+    // row 2: d_out ex1 twice (duplicate within example)
+    EXPECT_EQ(grad.values.at(1, 0), 20.0f);
+    EXPECT_EQ(grad.values.at(1, 1), 40.0f);
+    // row 3: d_out ex0 once
+    EXPECT_EQ(grad.values.at(2, 1), 2.0f);
+}
+
+TEST(EmbeddingTest, BackwardAccumulatesAcrossExamples)
+{
+    EmbeddingTable tbl(3, 1);
+    const std::uint32_t idx[] = {0, 0}; // both examples hit row 0
+    Tensor d_out(2, 1);
+    d_out.at(0, 0) = 1.5f;
+    d_out.at(1, 0) = 2.5f;
+    SparseGrad grad;
+    tbl.backward({idx, 2}, 2, 1, d_out, grad);
+    ASSERT_EQ(grad.rows.size(), 1u);
+    EXPECT_EQ(grad.values.at(0, 0), 4.0f);
+}
+
+TEST(EmbeddingTest, ApplySparseUpdatesOnlyListedRows)
+{
+    EmbeddingTable tbl(4, 2);
+    tbl.weights().fill(1.0f);
+    SparseGrad grad;
+    grad.rows = {1, 3};
+    grad.values.resize(2, 2);
+    grad.values.fill(2.0f);
+    tbl.applySparse(grad, 0.5f);
+    EXPECT_EQ(tbl.rowPtr(0)[0], 1.0f); // untouched
+    EXPECT_EQ(tbl.rowPtr(1)[0], 0.0f); // 1 - 0.5*2
+    EXPECT_EQ(tbl.rowPtr(2)[0], 1.0f); // untouched
+    EXPECT_EQ(tbl.rowPtr(3)[1], 0.0f);
+}
+
+TEST(EmbeddingTest, InitUniformBoundedByInvSqrtDim)
+{
+    EmbeddingTable tbl(100, 16);
+    tbl.initUniform(3);
+    const float bound = 0.25f; // 1/sqrt(16)
+    bool any_nonzero = false;
+    for (std::uint64_t r = 0; r < 100; ++r) {
+        for (std::size_t d = 0; d < 16; ++d) {
+            EXPECT_LE(std::abs(tbl.rowPtr(r)[d]), bound);
+            any_nonzero |= tbl.rowPtr(r)[d] != 0.0f;
+        }
+    }
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingTest, BytesReportsTableFootprint)
+{
+    EmbeddingTable tbl(1000, 128);
+    EXPECT_EQ(tbl.bytes(), 1000u * 128u * 4u);
+}
+
+TEST(EmbeddingTest, ForwardBackwardRoundTripGradCheck)
+{
+    // numerical gradient check of the pooled-sum lookup
+    EmbeddingTable tbl(6, 3);
+    tbl.initUniform(11);
+    const std::uint32_t idx[] = {2, 4, 0};
+    Tensor out(1, 3);
+    tbl.forward({idx, 3}, 1, 3, out);
+
+    Tensor d_out(1, 3);
+    d_out.at(0, 0) = 0.3f;
+    d_out.at(0, 1) = -0.7f;
+    d_out.at(0, 2) = 1.1f;
+    SparseGrad grad;
+    tbl.backward({idx, 3}, 1, 3, d_out, grad);
+
+    // loss = <out, d_out>; perturb each touched weight and compare
+    const float eps = 1e-3f;
+    for (std::size_t gi = 0; gi < grad.rows.size(); ++gi) {
+        for (std::size_t d = 0; d < 3; ++d) {
+            float &w = tbl.rowPtr(grad.rows[gi])[d];
+            const float orig = w;
+            w = orig + eps;
+            Tensor out_p(1, 3);
+            tbl.forward({idx, 3}, 1, 3, out_p);
+            w = orig - eps;
+            Tensor out_m(1, 3);
+            tbl.forward({idx, 3}, 1, 3, out_m);
+            w = orig;
+            double num = 0.0;
+            for (std::size_t c = 0; c < 3; ++c)
+                num += (out_p.at(0, c) - out_m.at(0, c)) * d_out.at(0, c);
+            num /= 2.0 * eps;
+            EXPECT_NEAR(grad.values.at(gi, d), num, 1e-2);
+        }
+    }
+}
+
+} // namespace
+} // namespace lazydp

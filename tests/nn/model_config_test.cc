@@ -1,0 +1,87 @@
+/** @file Tests for the model-configuration presets. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "nn/model_config.h"
+
+namespace lazydp {
+namespace {
+
+TEST(ModelConfigTest, MlperfShapeMatchesPaper)
+{
+    const auto cfg = ModelConfig::mlperfDlrm(96ull << 20);
+    EXPECT_EQ(cfg.numTables, 26u);
+    EXPECT_EQ(cfg.embedDim, 128u);
+    EXPECT_EQ(cfg.numDense, 13u);
+    // 8 MLP layers total (3 bottom + 5 top), as in MLPerf DLRM
+    EXPECT_EQ(cfg.bottomDims.size() - 1 + cfg.topDims.size(), 8u);
+    cfg.validate();
+}
+
+TEST(ModelConfigTest, TableBytesHitsTarget)
+{
+    const std::uint64_t target = 96ull << 20;
+    const auto cfg = ModelConfig::mlperfDlrm(target);
+    // rounding to whole rows keeps us within one row per table
+    const std::uint64_t per_row = cfg.embedDim * 4;
+    EXPECT_LE(cfg.tableBytes(), target);
+    EXPECT_GE(cfg.tableBytes(), target - cfg.numTables * per_row);
+}
+
+TEST(ModelConfigTest, InteractionDimFormula)
+{
+    const auto cfg = ModelConfig::mlperfDlrm(1 << 20);
+    // 27 vectors -> 351 pairs + 128 passthrough = 479 (paper's top MLP
+    // input width)
+    EXPECT_EQ(cfg.interactionDim(), 479u);
+    EXPECT_EQ(cfg.fullTopDims().front(), 479u);
+}
+
+TEST(ModelConfigTest, AllPresetsValidate)
+{
+    for (auto cfg :
+         {ModelConfig::mlperfDlrm(1 << 22), ModelConfig::mlperfBench(1 << 22),
+          ModelConfig::rmc1(1 << 22), ModelConfig::rmc2(1 << 22),
+          ModelConfig::rmc3(1 << 22), ModelConfig::tiny()}) {
+        SCOPED_TRACE(cfg.name);
+        cfg.validate();
+        EXPECT_GT(cfg.rowsPerTable, 0u);
+    }
+}
+
+TEST(ModelConfigTest, RmcVariantsDifferStructurally)
+{
+    const auto r1 = ModelConfig::rmc1(1 << 22);
+    const auto r2 = ModelConfig::rmc2(1 << 22);
+    const auto r3 = ModelConfig::rmc3(1 << 22);
+    EXPECT_GT(r1.pooling, r3.pooling);   // RMC1 is lookup-heavy
+    EXPECT_GT(r2.numTables, r1.numTables); // RMC2 has many tables
+    EXPECT_GT(r3.rowsPerTable, r1.rowsPerTable); // RMC3 has big tables
+}
+
+TEST(ModelConfigTest, ValidateCatchesBadShapes)
+{
+    setLogThrowMode(true);
+    auto cfg = ModelConfig::tiny();
+    cfg.bottomDims.back() = cfg.embedDim + 1;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = ModelConfig::tiny();
+    cfg.topDims.back() = 2;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+    cfg = ModelConfig::tiny();
+    cfg.pooling = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(ModelConfigTest, TinyRunsAreActuallyTiny)
+{
+    const auto cfg = ModelConfig::tiny();
+    EXPECT_LT(cfg.tableBytes(), 100u << 10);
+}
+
+} // namespace
+} // namespace lazydp

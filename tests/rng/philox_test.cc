@@ -1,0 +1,112 @@
+/** @file Unit tests for the Philox4x32-10 generator. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "rng/philox.h"
+
+namespace lazydp {
+namespace {
+
+TEST(PhiloxTest, DeterministicForSameSeedAndCounter)
+{
+    Philox4x32 a(0x1234);
+    Philox4x32 b(0x1234);
+    EXPECT_EQ(a.block(5, 9), b.block(5, 9));
+}
+
+TEST(PhiloxTest, DifferentCountersGiveDifferentBlocks)
+{
+    Philox4x32 p(42);
+    EXPECT_NE(p.block(0, 0), p.block(0, 1));
+    EXPECT_NE(p.block(0, 0), p.block(1, 0));
+}
+
+TEST(PhiloxTest, DifferentSeedsGiveDifferentBlocks)
+{
+    Philox4x32 a(1);
+    Philox4x32 b(2);
+    EXPECT_NE(a.block(0, 0), b.block(0, 0));
+}
+
+TEST(PhiloxTest, KnownAnswerZeroKeyZeroCounter)
+{
+    // Reference value from the Random123 distribution
+    // (philox4x32-10, key = {0,0}, counter = {0,0,0,0}).
+    Philox4x32 p(0);
+    const auto blk = p.block(0, 0);
+    EXPECT_EQ(blk[0], 0x6627e8d5u);
+    EXPECT_EQ(blk[1], 0xe169c58du);
+    EXPECT_EQ(blk[2], 0xbc57ac4cu);
+    EXPECT_EQ(blk[3], 0x9b00dbd8u);
+}
+
+TEST(PhiloxTest, SeedRoundTrips)
+{
+    Philox4x32 p(0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(p.seed(), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(PhiloxStreamTest, SequentialValuesComeFromConsecutiveBlocks)
+{
+    Philox4x32 p(7);
+    PhiloxStream s(7, /*stream=*/3);
+    const auto b0 = p.block(3, 0);
+    const auto b1 = p.block(3, 1);
+    EXPECT_EQ(s(), b0[0]);
+    EXPECT_EQ(s(), b0[1]);
+    EXPECT_EQ(s(), b0[2]);
+    EXPECT_EQ(s(), b0[3]);
+    EXPECT_EQ(s(), b1[0]);
+}
+
+TEST(PhiloxStreamTest, IndependentStreamsDiffer)
+{
+    PhiloxStream a(7, 0);
+    PhiloxStream b(7, 1);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= (a() != b());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(PhiloxStreamTest, UniformsAreInOpenUnitInterval)
+{
+    PhiloxStream s(99);
+    for (int i = 0; i < 10000; ++i) {
+        const float u = s.nextUniform();
+        EXPECT_GT(u, 0.0f);
+        EXPECT_LT(u, 1.0f);
+    }
+}
+
+TEST(PhiloxStreamTest, UniformMomentsMatchTheory)
+{
+    PhiloxStream s(1234);
+    RunningStat st;
+    for (int i = 0; i < 300000; ++i)
+        st.push(s.nextUniform());
+    EXPECT_NEAR(st.mean(), 0.5, 0.005);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(PhiloxTest, OutputBitsLookBalanced)
+{
+    // Count set bits over many blocks; should be very close to 50%.
+    Philox4x32 p(0xABCDEF);
+    std::uint64_t ones = 0;
+    const int blocks = 4096;
+    for (int i = 0; i < blocks; ++i) {
+        const auto blk = p.block(0, i);
+        for (auto w : blk)
+            ones += __builtin_popcount(w);
+    }
+    const double frac =
+        static_cast<double>(ones) / (blocks * 4.0 * 32.0);
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace lazydp

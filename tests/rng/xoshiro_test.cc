@@ -1,0 +1,69 @@
+/** @file Unit tests for xoshiro256++. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "rng/xoshiro.h"
+
+namespace lazydp {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSameSeed)
+{
+    Xoshiro256 a(5);
+    Xoshiro256 b(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge)
+{
+    Xoshiro256 a(5);
+    Xoshiro256 b(6);
+    int diffs = 0;
+    for (int i = 0; i < 100; ++i)
+        diffs += a() != b();
+    EXPECT_GT(diffs, 90);
+}
+
+TEST(XoshiroTest, DoublesInHalfOpenUnitInterval)
+{
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(XoshiroTest, NextBelowIsInRange)
+{
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(37), 37u);
+}
+
+TEST(XoshiroTest, NextBelowIsRoughlyUniform)
+{
+    Xoshiro256 rng(3);
+    const std::uint64_t n = 16;
+    std::vector<int> counts(n, 0);
+    const int draws = 160000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBelow(n)];
+    for (auto c : counts)
+        EXPECT_NEAR(c, draws / static_cast<int>(n), draws / 100);
+}
+
+TEST(XoshiroTest, FloatMomentsMatchUniform)
+{
+    Xoshiro256 rng(4);
+    RunningStat st;
+    for (int i = 0; i < 200000; ++i)
+        st.push(rng.nextFloat());
+    EXPECT_NEAR(st.mean(), 0.5, 0.005);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.002);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,101 @@
+/** @file Tests for the roofline cost model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+
+namespace lazydp {
+namespace {
+
+MachineSpec
+fixedSpec()
+{
+    MachineSpec s;
+    s.memBandwidth = 100e9;  // 100 GB/s
+    s.gaussianRate = 1e9;    // 1 Gsamples/s
+    return s;
+}
+
+TEST(CostModelTest, EagerCostIsLinearInTableSize)
+{
+    CostModel cm(fixedSpec());
+    const auto small = cm.eagerUpdate(1ull << 30, 1000, 128);
+    const auto large = cm.eagerUpdate(1ull << 33, 1000, 128);
+    EXPECT_NEAR(large.noiseSampling / small.noiseSampling, 8.0, 1e-9);
+    EXPECT_NEAR(large.noisyGradUpdate / small.noisyGradUpdate, 8.0,
+                1e-9);
+    // sparse scatter does not grow with the table
+    EXPECT_DOUBLE_EQ(large.noisyGradGen, small.noisyGradGen);
+}
+
+TEST(CostModelTest, EagerNumbersMatchHandComputation)
+{
+    CostModel cm(fixedSpec());
+    const std::uint64_t bytes = 4ull * 1000 * 128; // 1000 rows x 128
+    const auto m = cm.eagerUpdate(bytes, 10, 128);
+    EXPECT_NEAR(m.noiseSampling, 1000.0 * 128 / 1e9, 1e-12);
+    EXPECT_NEAR(m.noisyGradUpdate, bytes * 3.0 / 100e9, 1e-12);
+    EXPECT_NEAR(m.noisyGradGen, 10.0 * 128 * 4 * 2 / 100e9, 1e-12);
+}
+
+TEST(CostModelTest, LazyCostIndependentOfTableSize)
+{
+    CostModel cm(fixedSpec());
+    const auto a = cm.lazyUpdate(1000, 128, true, 1ull << 28);
+    const auto b = cm.lazyUpdate(1000, 128, true, 1ull << 34);
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+TEST(CostModelTest, LazyWithAnsBeatsWithoutAns)
+{
+    CostModel cm(fixedSpec());
+    const std::uint64_t elems = 1ull << 30;
+    const auto with = cm.lazyUpdate(1000, 128, true, elems);
+    const auto without = cm.lazyUpdate(1000, 128, false, elems);
+    EXPECT_LT(with.noiseSampling, without.noiseSampling / 100.0);
+}
+
+TEST(CostModelTest, LazyBeatsEagerAtScale)
+{
+    CostModel cm(fixedSpec());
+    const std::uint64_t table_bytes = 96ull << 30;
+    const auto eager = cm.eagerUpdate(table_bytes, 2048 * 26, 128);
+    const auto lazy =
+        cm.lazyUpdate(2048 * 26, 128, true, table_bytes / 4);
+    // two orders of magnitude or more, as in the paper
+    EXPECT_GT(eager.total() / lazy.total(), 100.0);
+}
+
+TEST(CostModelTest, ExtrapolationAddsFixedStages)
+{
+    CostModel cm(fixedSpec());
+    StageTimer measured;
+    measured.add(Stage::Forward, 2.0);           // 2 s over 10 iters
+    measured.add(Stage::BackwardPerBatch, 3.0);
+    measured.add(Stage::NoiseSampling, 100.0);   // replaced by model
+    const double secs = cm.extrapolateEagerSeconds(
+        measured, 10, /*target=*/1ull << 30, 1000, 128);
+    const auto upd = cm.eagerUpdate(1ull << 30, 1000, 128);
+    EXPECT_NEAR(secs, 0.5 + upd.total(), 1e-9);
+}
+
+TEST(MachineSpecTest, PaperXeonHasDocumentedNumbers)
+{
+    const auto spec = MachineSpec::paperXeon();
+    EXPECT_NEAR(spec.memBandwidth, 68e9, 1e6);
+    EXPECT_GT(spec.gaussianRate, 1e8);
+}
+
+TEST(MachineSpecTest, HostCalibrationProducesSaneNumbers)
+{
+    const auto &spec = MachineSpec::calibratedHost();
+    // any machine this century: 1-2000 GB/s, 0.01-1000 Gsamples/s
+    EXPECT_GT(spec.memBandwidth, 1e9);
+    EXPECT_LT(spec.memBandwidth, 2e12);
+    EXPECT_GT(spec.gaussianRate, 1e7);
+    EXPECT_LT(spec.gaussianRate, 1e12);
+    EXPECT_GT(spec.avxPeakFlops, 1e9);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,57 @@
+/** @file Tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy_model.h"
+
+namespace lazydp {
+namespace {
+
+MachineSpec
+fixedSpec()
+{
+    MachineSpec s;
+    s.computeWatts = 100.0;
+    s.memoryWatts = 80.0;
+    s.baseWatts = 50.0;
+    return s;
+}
+
+TEST(EnergyModelTest, StagePowerMapping)
+{
+    EnergyModel em(fixedSpec());
+    EXPECT_DOUBLE_EQ(em.stageWatts(Stage::NoiseSampling), 100.0);
+    EXPECT_DOUBLE_EQ(em.stageWatts(Stage::NoisyGradUpdate), 80.0);
+    EXPECT_DOUBLE_EQ(em.stageWatts(Stage::Else), 50.0);
+    EXPECT_DOUBLE_EQ(em.stageWatts(Stage::Forward), 100.0);
+}
+
+TEST(EnergyModelTest, JoulesAreTimeWeightedPower)
+{
+    EnergyModel em(fixedSpec());
+    StageTimer t;
+    t.add(Stage::NoiseSampling, 2.0);   // 200 J
+    t.add(Stage::NoisyGradUpdate, 1.0); // 80 J
+    t.add(Stage::Else, 4.0);            // 200 J
+    EXPECT_DOUBLE_EQ(em.joules(t), 480.0);
+}
+
+TEST(EnergyModelTest, ZeroTimeZeroEnergy)
+{
+    EnergyModel em(fixedSpec());
+    StageTimer t;
+    EXPECT_DOUBLE_EQ(em.joules(t), 0.0);
+}
+
+TEST(EnergyModelTest, FasterRunUsesLessEnergy)
+{
+    // the paper's core energy argument: same power class, less time
+    EnergyModel em(fixedSpec());
+    StageTimer slow, fast;
+    slow.add(Stage::NoiseSampling, 100.0);
+    fast.add(Stage::NoiseSampling, 1.0);
+    EXPECT_GT(em.joules(slow), 90.0 * em.joules(fast));
+}
+
+} // namespace
+} // namespace lazydp

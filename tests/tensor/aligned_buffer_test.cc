@@ -1,0 +1,72 @@
+/** @file Unit tests for AlignedBuffer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tensor/aligned_buffer.h"
+
+namespace lazydp {
+namespace {
+
+TEST(AlignedBufferTest, AllocationIsAlignedAndZeroed)
+{
+    AlignedBuffer<float> buf(1000);
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  kBufferAlignment,
+              0u);
+    for (float v : buf)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AlignedBufferTest, OddSizesRoundUpInternally)
+{
+    // sizes not divisible by the alignment must still work
+    for (std::size_t n : {1u, 3u, 17u, 63u, 65u}) {
+        AlignedBuffer<float> buf(n);
+        EXPECT_EQ(buf.size(), n);
+        buf[n - 1] = 1.0f;
+        EXPECT_EQ(buf[n - 1], 1.0f);
+    }
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership)
+{
+    AlignedBuffer<int> a(10);
+    a[3] = 42;
+    int *ptr = a.data();
+    AlignedBuffer<int> b(std::move(a));
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_EQ(b[3], 42);
+    EXPECT_EQ(a.data(), nullptr);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBufferTest, MoveAssignReleasesOld)
+{
+    AlignedBuffer<int> a(4);
+    AlignedBuffer<int> b(8);
+    b = std::move(a);
+    EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(AlignedBufferTest, ZeroResetsContents)
+{
+    AlignedBuffer<float> buf(16);
+    buf[5] = 3.5f;
+    buf.zero();
+    EXPECT_EQ(buf[5], 0.0f);
+}
+
+TEST(AlignedBufferTest, EmptyBufferIsSafe)
+{
+    AlignedBuffer<float> buf;
+    EXPECT_TRUE(buf.empty());
+    buf.zero(); // no-op, must not crash
+    AlignedBuffer<float> moved(std::move(buf));
+    EXPECT_TRUE(moved.empty());
+}
+
+} // namespace
+} // namespace lazydp

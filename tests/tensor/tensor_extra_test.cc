@@ -1,0 +1,92 @@
+/** @file Tests for resizeNoShrink and the scaled-reduction kernel. */
+
+#include <gtest/gtest.h>
+
+#include "dp/clipping.h"
+#include "rng/xoshiro.h"
+#include "tensor/tensor.h"
+
+namespace lazydp {
+namespace {
+
+TEST(ResizeNoShrinkTest, KeepsBufferWhenCapacitySuffices)
+{
+    Tensor t(8, 8);
+    const float *ptr = t.data();
+    t.resizeNoShrink(4, 16); // same element count
+    EXPECT_EQ(t.data(), ptr);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.cols(), 16u);
+    t.resizeNoShrink(2, 8); // smaller
+    EXPECT_EQ(t.data(), ptr);
+}
+
+TEST(ResizeNoShrinkTest, GrowsWhenNeeded)
+{
+    Tensor t(2, 2);
+    t.resizeNoShrink(8, 8);
+    EXPECT_EQ(t.rows(), 8u);
+    EXPECT_EQ(t.size(), 64u);
+    // grown buffer is zeroed (fresh allocation path)
+    EXPECT_EQ(t.at(7, 7), 0.0f);
+}
+
+TEST(ResizeNoShrinkTest, AlternatingShapesDoNotThrash)
+{
+    Tensor t(16, 16);
+    const float *ptr = t.data();
+    for (int i = 0; i < 10; ++i) {
+        t.resizeNoShrink(4, 64);
+        t.resizeNoShrink(16, 16);
+        t.resizeNoShrink(2, 100);
+    }
+    EXPECT_EQ(t.data(), ptr);
+}
+
+TEST(ReduceScaledRowsTest, MatchesSerialReference)
+{
+    const std::size_t batch = 16;
+    const std::size_t params = 40000; // exceeds one parallel block
+    Tensor rows(batch, params);
+    Xoshiro256 rng(3);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows.data()[i] = 2.0f * rng.nextFloat() - 1.0f;
+    std::vector<float> scales(batch);
+    for (auto &s : scales)
+        s = rng.nextFloat();
+
+    Tensor out(1, params);
+    reduceScaledRows(rows, scales, out);
+
+    for (std::size_t j = 0; j < params; j += 997) {
+        double ref = 0.0;
+        for (std::size_t e = 0; e < batch; ++e)
+            ref += static_cast<double>(scales[e]) * rows.at(e, j);
+        EXPECT_NEAR(out.data()[j], ref, 1e-4) << "j=" << j;
+    }
+}
+
+TEST(ReduceScaledRowsTest, ZeroScalesGiveZero)
+{
+    Tensor rows(4, 32);
+    rows.fill(5.0f);
+    Tensor out(1, 32);
+    out.fill(9.0f);
+    reduceScaledRows(rows, {0.0f, 0.0f, 0.0f, 0.0f}, out);
+    for (std::size_t j = 0; j < 32; ++j)
+        EXPECT_EQ(out.data()[j], 0.0f);
+}
+
+TEST(ReduceScaledRowsTest, ShapedOutputAccepted)
+{
+    // out may be any (r x c) with r*c == params (e.g. a weight matrix)
+    Tensor rows(2, 12);
+    rows.fill(1.0f);
+    Tensor out(3, 4);
+    reduceScaledRows(rows, {1.0f, 2.0f}, out);
+    for (std::size_t j = 0; j < 12; ++j)
+        EXPECT_EQ(out.data()[j], 3.0f);
+}
+
+} // namespace
+} // namespace lazydp

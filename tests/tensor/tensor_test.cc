@@ -1,0 +1,71 @@
+/** @file Unit tests for Tensor. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace lazydp {
+namespace {
+
+TEST(TensorTest, ShapeAndRowAccess)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    t.at(1, 2) = 7.0f;
+    auto row = t.row(1);
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_EQ(row[2], 7.0f);
+}
+
+TEST(TensorTest, FillAndZero)
+{
+    Tensor t(2, 2);
+    t.fill(3.0f);
+    EXPECT_EQ(t.at(1, 1), 3.0f);
+    t.zero();
+    EXPECT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(TensorTest, CopyFromMatchesExactly)
+{
+    Tensor a(2, 3);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(i);
+    Tensor b(2, 3);
+    b.copyFrom(a);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(b.data()[i], static_cast<float>(i));
+}
+
+TEST(TensorTest, CopyFromShapeMismatchPanics)
+{
+    setLogThrowMode(true);
+    Tensor a(2, 3);
+    Tensor b(3, 2);
+    EXPECT_THROW(b.copyFrom(a), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(TensorTest, SquaredNorm)
+{
+    Tensor t(1, 4);
+    t.data()[0] = 1.0f;
+    t.data()[1] = 2.0f;
+    t.data()[2] = 2.0f;
+    EXPECT_DOUBLE_EQ(t.squaredNorm(), 9.0);
+}
+
+TEST(TensorTest, ResizeZeroesContents)
+{
+    Tensor t(2, 2);
+    t.fill(5.0f);
+    t.resize(4, 4);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.at(3, 3), 0.0f);
+}
+
+} // namespace
+} // namespace lazydp

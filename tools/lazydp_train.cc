@@ -1,0 +1,185 @@
+/**
+ * @file
+ * lazydp_train — the command-line training driver.
+ *
+ * One binary to run any engine on any model preset / dataset skew /
+ * scale, print a stage breakdown and (for DP engines) the privacy
+ * budget, and optionally checkpoint. This is the entry point a user
+ * who just cloned the repository is expected to reach for.
+ *
+ * Examples:
+ *   lazydp_train --algo=lazydp --model=mlperf --table-mb=960 \
+ *                --batch=2048 --iters=20 --sigma=1.1 --clip=1.0
+ *   lazydp_train --algo=dpsgd-f --model=rmc1 --skew=high --iters=10
+ *   lazydp_train --algo=lazydp --weight-decay=0.05 --save=ckpt.bin
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "core/lazydp.h"
+#include "data/data_loader.h"
+#include "dp/accountant.h"
+#include "io/checkpoint.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+namespace {
+
+ModelConfig
+modelFor(const std::string &name, std::uint64_t table_bytes)
+{
+    if (name == "mlperf")
+        return ModelConfig::mlperfBench(table_bytes);
+    if (name == "mlperf-full")
+        return ModelConfig::mlperfDlrm(table_bytes);
+    if (name == "mlperf-hetero")
+        return ModelConfig::mlperfHetero(table_bytes);
+    if (name == "rmc1")
+        return ModelConfig::rmc1(table_bytes);
+    if (name == "rmc2")
+        return ModelConfig::rmc2(table_bytes);
+    if (name == "rmc3")
+        return ModelConfig::rmc3(table_bytes);
+    if (name == "tiny")
+        return ModelConfig::tiny();
+    fatal("unknown model '", name,
+          "' (mlperf, mlperf-full, mlperf-hetero, rmc1-3, tiny)");
+}
+
+AccessConfig
+accessFor(const std::string &name)
+{
+    if (name == "uniform")
+        return AccessConfig::uniform();
+    if (name == "low")
+        return AccessConfig::criteoLow();
+    if (name == "medium")
+        return AccessConfig::criteoMedium();
+    if (name == "high")
+        return AccessConfig::criteoHigh();
+    fatal("unknown skew '", name, "' (uniform, low, medium, high)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"algo", "model", "table-mb", "batch", "iters",
+                        "pooling", "lr", "sigma", "clip", "weight-decay",
+                        "skew", "seed", "population", "delta", "save",
+                        "csv", "help"});
+    if (args.has("help")) {
+        std::printf(
+            "lazydp_train --algo=<%s>\n"
+            "  --model=mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|rmc3|"
+            "tiny\n"
+            "  --table-mb=N --batch=N --iters=N --pooling=N\n"
+            "  --lr=F --sigma=F --clip=F --weight-decay=F\n"
+            "  --skew=uniform|low|medium|high --seed=N\n"
+            "  --population=N --delta=F (privacy accounting)\n"
+            "  --save=PATH (LazyDP training checkpoint)  --csv\n",
+            "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
+        return 0;
+    }
+
+    const std::string algo_name = args.getString("algo", "lazydp");
+    const std::uint64_t table_mb = args.getU64("table-mb", 96);
+    ModelConfig model_cfg =
+        modelFor(args.getString("model", "mlperf"), table_mb << 20);
+    if (args.has("pooling"))
+        model_cfg.pooling = args.getU64("pooling", model_cfg.pooling);
+
+    const std::size_t batch = args.getU64("batch", 1024);
+    const std::uint64_t iters = args.getU64("iters", 20);
+    const std::uint64_t seed = args.getU64("seed", 1);
+
+    TrainHyper hyper;
+    hyper.lr = static_cast<float>(args.getDouble("lr", 0.05));
+    hyper.noiseMultiplier =
+        static_cast<float>(args.getDouble("sigma", 1.0));
+    hyper.clipNorm = static_cast<float>(args.getDouble("clip", 1.0));
+    hyper.weightDecay =
+        static_cast<float>(args.getDouble("weight-decay", 0.0));
+    hyper.noiseSeed = seed * 0x9E3779B9u + 7;
+
+    DlrmModel model(model_cfg, seed);
+    DatasetConfig data_cfg;
+    data_cfg.numDense = model_cfg.numDense;
+    data_cfg.numTables = model_cfg.numTables;
+    data_cfg.rowsPerTable = model_cfg.rowsPerTable;
+    data_cfg.rowsPerTableVec = model_cfg.rowsPerTableVec;
+    data_cfg.pooling = model_cfg.pooling;
+    data_cfg.batchSize = batch;
+    data_cfg.access = accessFor(args.getString("skew", "uniform"));
+    data_cfg.seed = seed + 0xDA7A;
+    SyntheticDataset dataset(data_cfg);
+    SequentialLoader loader(dataset);
+
+    auto algo = makeAlgorithm(algo_name, model, hyper);
+    inform("training ", algo->name(), " on ", model_cfg.name, " (",
+           humanBytes(model.tableBytes()), " tables, batch ", batch,
+           ", ", iters, " iters)");
+
+    Trainer trainer(*algo, loader);
+    const TrainResult result = trainer.run(iters);
+
+    TablePrinter table("Result: " + algo->name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"sec/iter",
+                  TablePrinter::num(result.secondsPerIteration(), 4)});
+    table.addRow({"total wall s",
+                  TablePrinter::num(result.wallSeconds, 2)});
+    table.addRow({"loss first",
+                  TablePrinter::num(result.losses.front(), 4)});
+    table.addRow({"loss last",
+                  TablePrinter::num(result.losses.back(), 4)});
+    for (const auto &[stage, secs] : result.timer.breakdown()) {
+        if (secs <= 0.0)
+            continue;
+        table.addRow(
+            {"stage: " + stage,
+             TablePrinter::num(secs / static_cast<double>(iters), 4)});
+    }
+    if (args.getBool("csv", false))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+
+    // Privacy accounting for the DP engines.
+    if (algo_name != "sgd") {
+        const std::uint64_t population =
+            args.getU64("population", 10'000'000);
+        const double delta = args.getDouble("delta", 1e-6);
+        RdpAccountant acc(hyper.noiseMultiplier,
+                          static_cast<double>(batch) /
+                              static_cast<double>(population));
+        acc.addSteps(iters);
+        inform("privacy: epsilon = ", acc.epsilon(delta),
+               " at delta = ", delta, " (population ", population,
+               ", Poisson-sampling assumption)");
+        if (algo_name == "eana")
+            warn("EANA's guarantee is weaker than this accounting "
+                 "suggests for skewed data (see paper Section 7.4)");
+    }
+
+    if (args.has("save")) {
+        const std::string path = args.getString("save", "");
+        if (auto *lazy = dynamic_cast<LazyDpAlgorithm *>(algo.get())) {
+            io::saveTraining(path, model, *lazy, iters + 1);
+            inform("saved LazyDP training checkpoint to ", path);
+        } else {
+            io::saveModel(path, model);
+            inform("saved model weights to ", path);
+        }
+    }
+    return 0;
+}
