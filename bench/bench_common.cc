@@ -55,6 +55,10 @@ runMeasured(const RunSpec &spec)
         datasetFor(spec.model, spec.access, spec.batch, spec.dataSeed));
     auto algo = makeAlgorithm(spec.algo, model, spec.hyper);
 
+    ThreadPool pool(spec.threads == 0 ? hardwareThreads()
+                                      : spec.threads);
+    ExecContext exec(&pool);
+
     std::uint64_t start_iter = 0;
     if (spec.warmHistory) {
         if (auto *lazy = dynamic_cast<LazyDpAlgorithm *>(algo.get())) {
@@ -78,13 +82,13 @@ runMeasured(const RunSpec &spec)
         StageTimer &timer =
             k <= spec.warmup ? warmup_timer : stats.timer;
         algo->step(start_iter + k, queue.head(),
-                   has_next ? &queue.tail() : nullptr, timer);
+                   has_next ? &queue.tail() : nullptr, exec, timer);
         queue.pop();
     }
 
     WallTimer fin;
     StageTimer fin_timer;
-    algo->finalize(start_iter + total, fin_timer);
+    algo->finalize(start_iter + total, exec, fin_timer);
     stats.finalizeSeconds = fin.seconds();
     stats.iters = spec.iters;
     return stats;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/factory.h"
 #include "data/synthetic_dataset.h"
@@ -42,6 +43,13 @@ struct RunSpec
     TrainHyper hyper;
     std::uint64_t dataSeed = 0xDA7A;
     std::uint64_t modelSeed = 1;
+
+    /**
+     * Execution width for every step/finalize (1 = serial; 0 = all
+     * hardware threads). Thread count changes wall time only, never
+     * the trained model.
+     */
+    std::size_t threads = 1;
 };
 
 /** Measured outcome of a RunSpec. */

@@ -7,31 +7,103 @@
  * Expected shape: DP-SGD(F) orders of magnitude above SGD (growing
  * with table size); LazyDP(w/o ANS) in between (memory bottleneck gone,
  * sampling bottleneck remains); LazyDP within ~2-3x of SGD.
+ *
+ * Threading: `--threads=N` runs every measurement on an N-wide pool
+ * (and, for N > 1, also measures the LazyDP@2048 configuration at one
+ * thread to report the multi-core speedup). `--thread-sweep=1,2,4,8`
+ * replaces the batch sweep with a LazyDP/DP-SGD(F) scaling table; the
+ * trained model is bit-identical at every width, so the sweep measures
+ * pure execution scaling.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/cli.h"
 #include "common/string_util.h"
 
 using namespace lazydp;
 using namespace lazydp::bench;
 
-int
-main()
+namespace {
+
+RunSpec
+specFor(const char *algo, std::size_t batch, std::uint64_t table_bytes,
+        std::size_t threads)
 {
-    const std::uint64_t table_bytes = 960ull << 20;
+    RunSpec spec;
+    spec.algo = algo;
+    spec.model = ModelConfig::mlperfBench(table_bytes);
+    spec.batch = batch;
+    spec.iters = 3;
+    spec.warmup = 1;
+    spec.threads = threads;
+    return spec;
+}
+
+void
+runThreadSweep(const std::vector<std::size_t> &counts,
+               std::uint64_t table_bytes)
+{
+    TablePrinter table("Figure 10 thread sweep: sec/iter vs pool width "
+                       "(batch 2048)");
+    table.setHeader(
+        {"algo", "threads", "sec/iter", "speedup vs 1st"});
+    for (const char *algo : {"lazydp", "lazydp-noans", "dpsgd-f"}) {
+        double base = 0.0;
+        for (const std::size_t t : counts) {
+            const RunStats stats =
+                runMeasured(specFor(algo, 2048, table_bytes, t));
+            const double sec = stats.secondsPerIter();
+            if (base == 0.0)
+                base = sec;
+            table.addRow({algo, std::to_string(t),
+                          TablePrinter::num(sec, 4),
+                          TablePrinter::num(base / sec, 2) + "x"});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"threads", "thread-sweep", "table-mb", "help"});
+    if (args.has("help")) {
+        std::printf("fig10_end_to_end [--threads=N] "
+                    "[--thread-sweep=1,2,4,8] [--table-mb=N]\n");
+        return 0;
+    }
+    const std::size_t threads = args.getThreads(1);
+    const std::uint64_t table_bytes = args.getU64("table-mb", 960) << 20;
+
     printPreamble("Figure 10",
                   "end-to-end time: SGD / LazyDP / LazyDP(w/o ANS) / "
                   "DP-SGD(F) x batch size");
+
+    if (args.has("thread-sweep")) {
+        std::vector<std::size_t> counts;
+        for (const auto &tok :
+             split(args.getString("thread-sweep", ""), ','))
+            counts.push_back(parseU64(tok));
+        if (counts.empty()) // bare --thread-sweep: default widths
+            counts = {1, 2, 4, 8};
+        runThreadSweep(counts, table_bytes);
+        return 0;
+    }
 
     const char *algos[] = {"sgd", "lazydp", "lazydp-noans", "dpsgd-f"};
     const std::size_t batches[] = {1024, 2048, 4096};
 
     TablePrinter table("Figure 10: training time, " +
-                       humanBytes(table_bytes) +
-                       " tables (normalized to SGD@2048)");
+                       humanBytes(table_bytes) + " tables, " +
+                       std::to_string(threads) +
+                       " threads (normalized to SGD@2048)");
     table.setHeader({"algo", "batch", "mode", "sec/iter", "vs SGD@2048"});
 
     // First pass: measure SGD@2048 for the normalization base.
@@ -47,12 +119,7 @@ main()
 
     for (const char *algo : algos) {
         for (const std::size_t batch : batches) {
-            RunSpec spec;
-            spec.algo = algo;
-            spec.model = ModelConfig::mlperfBench(table_bytes);
-            spec.batch = batch;
-            spec.iters = 3;
-            spec.warmup = 1;
+            RunSpec spec = specFor(algo, batch, table_bytes, threads);
             Cell cell{algo, batch, runMeasured(spec), spec.model};
             if (cell.algo == "sgd" && batch == 2048)
                 ref = cell.stats.secondsPerIter();
@@ -88,6 +155,22 @@ main()
     }
 
     table.print(std::cout);
+
+    if (threads > 1) {
+        // Scaling check: the same LazyDP configuration on one thread.
+        const RunStats serial =
+            runMeasured(specFor("lazydp", 2048, table_bytes, 1));
+        double multi = 0.0;
+        for (const auto &cell : cells) {
+            if (cell.algo == "lazydp" && cell.batch == 2048)
+                multi = cell.stats.secondsPerIter();
+        }
+        std::printf("\nLazyDP@2048 threads=%zu speedup over threads=1: "
+                    "%.2fx (%.4fs -> %.4fs per iter)\n",
+                    threads, serial.secondsPerIter() / multi,
+                    serial.secondsPerIter(), multi);
+    }
+
     std::printf("\nPaper anchors: DP-SGD(F) 166-375x SGD; LazyDP(w/o "
                 "ANS) ~72%% faster than DP-SGD(F) but still 97-218x "
                 "SGD; LazyDP 1.96-2.42x SGD (85-155x speedup).\n");

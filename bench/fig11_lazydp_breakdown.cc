@@ -12,7 +12,9 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "common/cli.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/lazydp.h"
 #include "data/input_queue.h"
 
@@ -20,10 +22,22 @@ using namespace lazydp;
 using namespace lazydp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t table_bytes = 960ull << 20;
-    printPreamble("Figure 11", "LazyDP latency breakdown (batch 2048)");
+    const CliArgs args(argc, argv, {"threads", "table-mb", "help"});
+    if (args.has("help")) {
+        std::printf("fig11_lazydp_breakdown [--threads=N] "
+                    "[--table-mb=N]\n");
+        return 0;
+    }
+    const std::size_t threads = args.getThreads(1);
+    ThreadPool pool(threads);
+    ExecContext exec(&pool);
+
+    const std::uint64_t table_bytes = args.getU64("table-mb", 960) << 20;
+    printPreamble("Figure 11", "LazyDP latency breakdown (batch 2048, " +
+                                   std::to_string(threads) +
+                                   " threads)");
 
     // Run LazyDP directly (not via the factory) to read the overhead
     // sub-stage counters.
@@ -42,7 +56,7 @@ main()
     const std::uint64_t warmup = 1, iters = 3;
     for (std::uint64_t k = 1; k <= warmup + iters; ++k) {
         queue.push(dataset.batch(k));
-        lazy.step(4096 + k, queue.head(), &queue.tail(),
+        lazy.step(4096 + k, queue.head(), &queue.tail(), exec,
                   k <= warmup ? warm : timer);
         queue.pop();
     }

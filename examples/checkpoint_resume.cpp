@@ -100,7 +100,8 @@ main()
         q.push(loader.next());
         for (std::uint64_t it = 1; it <= split; ++it) {
             q.push(loader.next());
-            lazy.step(it, q.head(), &q.tail(), timer);
+            lazy.step(it, q.head(), &q.tail(), ExecContext::serial(),
+                      timer);
             q.pop();
         }
         io::saveTraining(ckpt_path, part_model, lazy, split + 1);
@@ -124,10 +125,10 @@ main()
             if (has_next)
                 q.push(trace.batch(it, batch));
             lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
-                      timer);
+                      ExecContext::serial(), timer);
             q.pop();
         }
-        lazy.finalize(total_iters, timer);
+        lazy.finalize(total_iters, ExecContext::serial(), timer);
     }
 
     const double diff = maxDiff(ref_model, resumed_model);

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace lazydp {
 
@@ -79,6 +80,14 @@ CliArgs::getBool(const std::string &key, bool def) const
         return false;
     fatal("flag '--", key, "' expects a boolean, got '", it->second,
           "'");
+}
+
+std::size_t
+CliArgs::getThreads(std::uint64_t def) const
+{
+    const std::uint64_t requested = getU64("threads", def);
+    return requested == 0 ? hardwareThreads()
+                          : static_cast<std::size_t>(requested);
 }
 
 } // namespace lazydp

@@ -10,6 +10,7 @@
 #ifndef LAZYDP_COMMON_CLI_H
 #define LAZYDP_COMMON_CLI_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -43,6 +44,13 @@ class CliArgs
 
     /** @return boolean: present without value or "=true"/"=1". */
     bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Shared `--threads` handling for every tool and bench: reads the
+     * "threads" flag (@p def when absent) and resolves 0 to the
+     * hardware thread count. Fatal on 0 results or garbage.
+     */
+    std::size_t getThreads(std::uint64_t def = 1) const;
 
     /** @return positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const

@@ -1,0 +1,195 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace lazydp {
+
+namespace {
+
+/** Set while a thread executes inside ThreadPool::run (workers AND the
+ *  dispatching caller), to flatten accidental nested dispatch. */
+thread_local bool tls_in_pool = false;
+
+/** Exception-safe scope for tls_in_pool. */
+struct InPoolScope
+{
+    InPoolScope() { tls_in_pool = true; }
+    ~InPoolScope() { tls_in_pool = false; }
+};
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = threads == 0 ? 1 : threads;
+    workers_.reserve(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *task = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            task = task_;
+            count = taskCount_;
+        }
+        try {
+            InPoolScope scope;
+            for (;;) {
+                const std::size_t i =
+                    cursor_.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                (*task)(i);
+            }
+        } catch (...) {
+            // Abandon unclaimed tasks and surface the first throw to
+            // the dispatching caller.
+            cursor_.store(count, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu_);
+            if (error_ == nullptr)
+                error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::run(std::size_t num_tasks,
+                const std::function<void(std::size_t)> &task)
+{
+    if (num_tasks == 0)
+        return;
+    // Serial fallbacks: a width-1 pool, a single task, or dispatch from
+    // inside a running task (nested parallelism is flattened).
+    if (workers_.empty() || num_tasks == 1 || tls_in_pool) {
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            task(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        task_ = &task;
+        taskCount_ = num_tasks;
+        cursor_.store(0, std::memory_order_relaxed);
+        pending_ = workers_.size();
+        error_ = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is a full participant. A throw here must NOT unwind
+    // past the drain below: workers may still be inside the closure
+    // whose captures live in the caller's dying stack frame.
+    try {
+        InPoolScope scope;
+        for (;;) {
+            const std::size_t i =
+                cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= num_tasks)
+                break;
+            task(i);
+        }
+    } catch (...) {
+        cursor_.store(num_tasks, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (error_ == nullptr)
+            error_ = std::current_exception();
+    }
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        task_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error != nullptr)
+        std::rethrow_exception(error);
+}
+
+ExecContext &
+ExecContext::serial()
+{
+    static ExecContext ctx;
+    return ctx;
+}
+
+void
+parallelFor(ExecContext &exec, std::size_t n,
+            const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t width = std::min(exec.threads(), n);
+    if (width <= 1 || exec.pool == nullptr) {
+        body(0, n);
+        return;
+    }
+    exec.pool->run(width, [&](std::size_t chunk) {
+        const auto [lo, hi] = shardBounds(n, width, chunk);
+        if (lo < hi)
+            body(lo, hi);
+    });
+}
+
+void
+parallelForShards(
+    ExecContext &exec, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &body)
+{
+    const std::size_t shards = shardCount(n, grain);
+    if (shards == 0)
+        return;
+    if (shards == 1 || exec.threads() <= 1 || exec.pool == nullptr) {
+        for (std::size_t s = 0; s < shards; ++s) {
+            const auto [lo, hi] = grainBounds(n, grain, s);
+            body(s, lo, hi);
+        }
+        return;
+    }
+    exec.pool->run(shards, [&](std::size_t s) {
+        const auto [lo, hi] = grainBounds(n, grain, s);
+        body(s, lo, hi);
+    });
+}
+
+} // namespace lazydp

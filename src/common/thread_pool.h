@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The repository-wide parallel execution layer.
+ *
+ * One threading model for every hot path: a persistent pool of worker
+ * threads plus two static-partition loop primitives. No work stealing,
+ * no nested parallelism -- the paper's kernels (dense noise sweeps,
+ * streaming table updates, sparse LazyDP updates, DLRM GEMMs) are all
+ * embarrassingly parallel over rows or blocks, so a fixed partition is
+ * both the fastest schedule and the only deterministic one.
+ *
+ * Determinism contract: parallelForShards computes shard boundaries
+ * from the iteration count and grain ONLY -- never from the thread
+ * count -- and every index is processed exactly once by exactly one
+ * shard. A loop whose shards write disjoint locations (or accumulate
+ * into per-shard slots merged in shard order afterwards) therefore
+ * produces bit-identical results at any thread count, which is what
+ * keeps the keyed-noise equivalence guarantee (LazyDP == eager DP-SGD
+ * on the final model) intact under `--threads N`.
+ *
+ * parallelFor splits [0, n) into one contiguous chunk per thread; use
+ * it when each index owns its outputs outright (per-example loops,
+ * per-row GEMM loops). Use parallelForShards when downstream code
+ * depends on the partition geometry (per-shard reductions).
+ */
+
+#ifndef LAZYDP_COMMON_THREAD_POOL_H
+#define LAZYDP_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lazydp {
+
+/** @return the host's hardware thread count (>= 1). */
+std::size_t hardwareThreads();
+
+/**
+ * Fixed-size pool of persistent worker threads.
+ *
+ * The calling thread participates in every dispatch, so a pool built
+ * with `threads == n` runs loop bodies on n OS threads total (n-1
+ * workers + caller). Construction with threads <= 1 spawns nothing and
+ * run() degenerates to a serial loop.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total execution width (workers + caller). */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return total execution width (>= 1). */
+    std::size_t threads() const { return workers_.size() + 1; }
+
+    /**
+     * Execute task(i) for every i in [0, num_tasks) across the pool;
+     * returns once all tasks have finished. Tasks are claimed through
+     * an atomic cursor, so completion ORDER is unspecified -- callers
+     * must make tasks write disjoint outputs.
+     *
+     * Re-entrant dispatch from inside a task body runs serially on the
+     * calling worker (nested parallelism is deliberately flattened).
+     *
+     * If a task throws, remaining unclaimed tasks are abandoned, the
+     * dispatch drains (no thread is left inside the closure), and the
+     * first exception is rethrown to the caller.
+     */
+    void run(std::size_t num_tasks,
+             const std::function<void(std::size_t)> &task);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::size_t taskCount_ = 0;
+    std::atomic<std::size_t> cursor_{0};
+    std::size_t pending_ = 0;    //!< workers still inside the dispatch
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::exception_ptr error_;   //!< first throw of the dispatch
+};
+
+/**
+ * Execution context threaded through Algorithm::step/finalize and every
+ * parallel kernel beneath them. A null pool means serial execution --
+ * the context is then just "one thread" and costs nothing to consult.
+ */
+struct ExecContext
+{
+    ExecContext() = default;
+    explicit ExecContext(ThreadPool *p) : pool(p) {}
+
+    ThreadPool *pool = nullptr; //!< not owned; nullptr = serial
+
+    /** @return execution width this context dispatches onto. */
+    std::size_t
+    threads() const
+    {
+        return pool == nullptr ? 1 : pool->threads();
+    }
+
+    /** @return the shared serial (single-thread) context. */
+    static ExecContext &serial();
+};
+
+/**
+ * Run body(lo, hi) over a static partition of [0, n): one contiguous
+ * chunk per thread. Chunk boundaries depend on the thread count, so use
+ * this only when each index's outputs are independent of the partition
+ * (disjoint writes; any per-index arithmetic stays within the index).
+ */
+void parallelFor(ExecContext &exec, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)> &body);
+
+/** @return number of fixed shards for @p n items at @p grain. */
+inline std::size_t
+shardCount(std::size_t n, std::size_t grain)
+{
+    if (n == 0)
+        return 0;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    return (n + g - 1) / g;
+}
+
+/**
+ * Boundaries of chunk @p chunk in a balanced split of [0, n) into
+ * @p num_chunks parts: the first n % num_chunks chunks get one extra
+ * element. Used by parallelFor to hand each thread one chunk.
+ */
+inline std::pair<std::size_t, std::size_t>
+shardBounds(std::size_t n, std::size_t num_chunks, std::size_t chunk)
+{
+    const std::size_t base = n / num_chunks;
+    const std::size_t rem = n % num_chunks;
+    const std::size_t lo =
+        chunk * base + (chunk < rem ? chunk : rem);
+    const std::size_t hi = lo + base + (chunk < rem ? 1 : 0);
+    return {lo, hi};
+}
+
+/**
+ * Boundaries of shard @p shard at fixed @p grain: exactly
+ * [shard*grain, min(n, (shard+1)*grain)). Depends only on (n, grain,
+ * shard) -- NOT on the thread count -- which is what makes sharded
+ * loops deterministic: grain-aligned starts also keep SIMD kernels
+ * that process fixed-size sample groups (e.g. the 8-block AVX2
+ * Box-Muller path) on the same group boundaries the serial sweep uses.
+ */
+inline std::pair<std::size_t, std::size_t>
+grainBounds(std::size_t n, std::size_t grain, std::size_t shard)
+{
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t lo = shard * g;
+    const std::size_t hi = lo + g < n ? lo + g : n;
+    return {lo, hi};
+}
+
+/**
+ * Run body(shard, lo, hi) for every shard of [0, n) with boundaries
+ * fixed by (n, grain) alone (see grainBounds). Shards execute
+ * concurrently in unspecified order; per-shard results indexed by
+ * `shard` can be merged in shard order afterwards for a deterministic
+ * reduction. The serial fallback iterates the SAME shards in order, so
+ * results never depend on the execution width.
+ *
+ * @param grain shard size (the last shard may be shorter)
+ */
+void parallelForShards(
+    ExecContext &exec, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &body);
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_THREAD_POOL_H

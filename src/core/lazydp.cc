@@ -31,31 +31,32 @@ LazyDpAlgorithm::LazyDpAlgorithm(DlrmModel &model, const TrainHyper &hyper,
 
 double
 LazyDpAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
-                      const MiniBatch *next, StageTimer &timer)
+                      const MiniBatch *next, ExecContext &exec,
+                      StageTimer &timer)
 {
     const std::size_t batch = cur.batchSize;
     lastBatchSize_ = batch;
-    const double loss = forwardAndLoss(cur, timer);
+    const double loss = forwardAndLoss(cur, exec, timer);
 
     // Clipping machinery identical to DP-SGD(F): ghost-norm pass, then
     // a reweighted per-batch backward (Algorithm 1 lines 8-10).
     timer.start(Stage::BackwardPerExample);
     normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
     model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
     clipScales(normSq_, hyper_.clipNorm, scales_);
     timer.stop();
 
     timer.start(Stage::BackwardPerBatch);
     scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_);
+    model_.backward(dLogits_, nullptr, false, exec);
     timer.stop();
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        lazyTableUpdate(iter, t, cur, next, batch, timer);
+        lazyTableUpdate(iter, t, cur, next, batch, exec, timer);
 
     // Dense MLP layers: identical DP protection to DP-SGD(F).
-    noisyMlpUpdate(iter, batch, timer);
+    noisyMlpUpdate(iter, batch, exec, timer);
     return loss;
 }
 
@@ -63,8 +64,13 @@ void
 LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
                                  const MiniBatch &cur,
                                  const MiniBatch *next, std::size_t batch,
-                                 StageTimer &timer)
+                                 ExecContext &exec, StageTimer &timer)
 {
+    // Rows per shard for the row-parallel phases below: small enough to
+    // spread a few thousand touched rows across a pool, large enough to
+    // amortize dispatch. Fixed, so shard boundaries never depend on the
+    // thread count.
+    constexpr std::size_t kRowGrain = 64;
     EmbeddingTable &tbl = model_.tables()[t];
     const std::size_t dim = tbl.dim();
     const auto table_id = static_cast<std::uint32_t>(t);
@@ -113,46 +119,58 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
             noiseVals_.resize(nextUnique_.size(), dim);
         }
         const float sigma = noiseStddev();
-#pragma omp parallel for schedule(static)
-        for (std::size_t i = 0; i < nextUnique_.size(); ++i) {
-            float *dst = noiseVals_.data() + i * dim;
-            std::fill(dst, dst + dim, 0.0f);
-            if (delays_[i] == 0)
-                continue; // noised this very iteration already
-            const std::uint64_t from = iter - delays_[i] + 1;
-            if (decayed_ == nullptr) {
-                if (useAns_) {
-                    noise_.aggregatedRowNoise(from, iter, table_id,
-                                              nextUnique_[i], sigma,
-                                              1.0f, dst, dim);
-                } else {
-                    noise_.accumulateRowNoise(from, iter, table_id,
-                                              nextUnique_[i], sigma,
-                                              1.0f, dst, dim);
+        // Sharded by destination row: every row's draws are keyed by
+        // (iteration, table, row), so any shard order yields the same
+        // values (the paper's ANS compute bottleneck, spread across
+        // cores).
+        parallelForShards(
+            exec, nextUnique_.size(), kRowGrain,
+            [&](std::size_t, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    float *dst = noiseVals_.data() + i * dim;
+                    std::fill(dst, dst + dim, 0.0f);
+                    if (delays_[i] == 0)
+                        continue; // noised this very iteration already
+                    const std::uint64_t from = iter - delays_[i] + 1;
+                    if (decayed_ == nullptr) {
+                        if (useAns_) {
+                            noise_.aggregatedRowNoise(
+                                from, iter, table_id, nextUnique_[i],
+                                sigma, 1.0f, dst, dim);
+                        } else {
+                            noise_.accumulateRowNoise(
+                                from, iter, table_id, nextUnique_[i],
+                                sigma, 1.0f, dst, dim);
+                        }
+                    } else {
+                        // Deferred decay: pending noises pick up the
+                        // geometric weights an eager engine would have
+                        // applied.
+                        const float alpha = decayAlpha();
+                        if (useAns_) {
+                            noise_.aggregatedGeometricRowNoise(
+                                from, iter, table_id, nextUnique_[i],
+                                alpha, sigma, 1.0f, dst, dim);
+                        } else {
+                            noise_.geometricRowNoise(
+                                from, iter, table_id, nextUnique_[i],
+                                alpha, sigma, 1.0f, dst, dim);
+                        }
+                    }
                 }
-            } else {
-                // Deferred decay: pending noises pick up the geometric
-                // weights an eager engine would have applied.
-                const float alpha = decayAlpha();
-                if (useAns_) {
-                    noise_.aggregatedGeometricRowNoise(
-                        from, iter, table_id, nextUnique_[i], alpha,
-                        sigma, 1.0f, dst, dim);
-                } else {
-                    noise_.geometricRowNoise(from, iter, table_id,
-                                             nextUnique_[i], alpha,
-                                             sigma, 1.0f, dst, dim);
-                }
-            }
-        }
+            });
     }
     timer.stop();
 
     // Merge sparse gradient and sparse noise into one update list
-    // (Algorithm 1 lines 19-20). Both row lists are sorted.
+    // (Algorithm 1 lines 19-20). Both row lists are sorted. The serial
+    // two-pointer walk only builds row ids + source indices; the value
+    // materialization and the model update below are then row-parallel.
     timer.start(Stage::NoisyGradGen);
     mergedRows_.clear();
     mergedRows_.reserve(grad.rows.size() + nextUnique_.size());
+    mergedGradIdx_.clear();
+    mergedNextIdx_.clear();
     {
         std::size_t gi = 0, ni = 0;
         while (gi < grad.rows.size() || ni < nextUnique_.size()) {
@@ -165,10 +183,20 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
                 row = nextUnique_[ni];
             }
             mergedRows_.push_back(row);
-            if (gi < grad.rows.size() && grad.rows[gi] == row)
+            if (gi < grad.rows.size() && grad.rows[gi] == row) {
+                mergedGradIdx_.push_back(
+                    static_cast<std::uint32_t>(gi));
                 ++gi;
-            if (ni < nextUnique_.size() && nextUnique_[ni] == row)
+            } else {
+                mergedGradIdx_.push_back(kNoSource);
+            }
+            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
+                mergedNextIdx_.push_back(
+                    static_cast<std::uint32_t>(ni));
                 ++ni;
+            } else {
+                mergedNextIdx_.push_back(kNoSource);
+            }
         }
     }
     if (mergedVals_.rows() < mergedRows_.size() ||
@@ -176,89 +204,93 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
         mergedVals_.resize(std::max<std::size_t>(mergedRows_.size(), 1),
                            dim);
     }
-    {
-        std::size_t gi = 0, ni = 0;
-        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
-            float *dst = mergedVals_.data() + m * dim;
-            const std::uint32_t row = mergedRows_[m];
-            bool wrote = false;
-            if (gi < grad.rows.size() && grad.rows[gi] == row) {
-                std::memcpy(dst, grad.values.data() + gi * dim,
-                            dim * sizeof(float));
-                wrote = true;
-                ++gi;
+    parallelForShards(
+        exec, mergedRows_.size(), kRowGrain,
+        [&](std::size_t, std::size_t mlo, std::size_t mhi) {
+            for (std::size_t m = mlo; m < mhi; ++m) {
+                float *dst = mergedVals_.data() + m * dim;
+                const std::uint32_t gi = mergedGradIdx_[m];
+                const std::uint32_t ni = mergedNextIdx_[m];
+                if (gi != kNoSource) {
+                    std::memcpy(dst, grad.values.data() + gi * dim,
+                                dim * sizeof(float));
+                    if (ni != kNoSource) {
+                        simd::add(dst, dst,
+                                  noiseVals_.data() + ni * dim, dim);
+                    }
+                } else {
+                    std::memcpy(dst, noiseVals_.data() + ni * dim,
+                                dim * sizeof(float));
+                }
             }
-            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
-                const float *nv = noiseVals_.data() + ni * dim;
-                if (wrote)
-                    simd::add(dst, dst, nv, dim);
-                else
-                    std::memcpy(dst, nv, dim * sizeof(float));
-                ++ni;
-            }
-        }
-    }
+        });
     timer.stop();
 
     // Sparse model update (Algorithm 1 lines 21-25): orders of
     // magnitude less memory traffic than the dense eager update.
+    // Merged rows are unique, so shards touch disjoint weight rows.
     timer.start(Stage::NoisyGradUpdate);
     const float step_scale = hyper_.lr / normDenominator(batch);
     if (decayed_ == nullptr) {
-        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
-            simd::axpy(tbl.rowPtr(mergedRows_[m]),
-                       mergedVals_.data() + m * dim, dim, -step_scale);
-        }
+        parallelForShards(
+            exec, mergedRows_.size(), kRowGrain,
+            [&](std::size_t, std::size_t mlo, std::size_t mhi) {
+                for (std::size_t m = mlo; m < mhi; ++m) {
+                    simd::axpy(tbl.rowPtr(mergedRows_[m]),
+                               mergedVals_.data() + m * dim, dim,
+                               -step_scale);
+                }
+            });
     } else {
         // With deferred decay: each merged row is first scaled by
         // alpha^(pending decay steps), then receives its (already
         // geometrically weighted) noise plus this iteration's gradient.
         const float alpha = decayAlpha();
-        std::size_t gi = 0, ni = 0;
-        for (std::size_t m = 0; m < mergedRows_.size(); ++m) {
-            const std::uint32_t row = mergedRows_[m];
-            std::uint64_t decay_steps = 0;
-            bool in_next = false;
-            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
-                decay_steps = decayDelays_[ni];
-                in_next = true;
-                ++ni;
-            }
-            const bool in_grad =
-                gi < grad.rows.size() && grad.rows[gi] == row;
-            if (in_grad) {
-                // accessed this iteration: one more decay step covers
-                // iteration `iter` itself (the gradient is not decayed,
-                // matching the eager ordering w <- a*w - lr/B*(g+n))
-                if (!in_next) {
-                    // not flushed now; its single-step decay happens
-                    // here and is recorded in the decay table
-                    decay_steps = iter - decayed_->lastNoised(t, row);
-                    decayed_->renew(t, row, iter);
+        parallelForShards(
+            exec, mergedRows_.size(), kRowGrain,
+            [&](std::size_t, std::size_t mlo, std::size_t mhi) {
+                for (std::size_t m = mlo; m < mhi; ++m) {
+                    const std::uint32_t row = mergedRows_[m];
+                    const bool in_next = mergedNextIdx_[m] != kNoSource;
+                    const bool in_grad = mergedGradIdx_[m] != kNoSource;
+                    std::uint64_t decay_steps =
+                        in_next ? decayDelays_[mergedNextIdx_[m]] : 0;
+                    if (in_grad && !in_next) {
+                        // accessed this iteration but not flushed now:
+                        // its single-step decay happens here and is
+                        // recorded in the decay table (the gradient is
+                        // not decayed, matching the eager ordering
+                        // w <- a*w - lr/B*(g+n))
+                        decay_steps =
+                            iter - decayed_->lastNoised(t, row);
+                        decayed_->renew(t, row, iter);
+                    }
+                    if (decay_steps > 0) {
+                        simd::scale(
+                            tbl.rowPtr(row), dim,
+                            std::pow(alpha, static_cast<float>(
+                                                decay_steps)));
+                    }
+                    simd::axpy(tbl.rowPtr(row),
+                               mergedVals_.data() + m * dim, dim,
+                               -step_scale);
                 }
-                ++gi;
-            }
-            if (decay_steps > 0) {
-                simd::scale(tbl.rowPtr(row), dim,
-                            std::pow(alpha,
-                                     static_cast<float>(decay_steps)));
-            }
-            simd::axpy(tbl.rowPtr(row), mergedVals_.data() + m * dim,
-                       dim, -step_scale);
-        }
+            });
     }
     timer.stop();
 }
 
 void
-LazyDpAlgorithm::finalize(std::uint64_t last_iter, StageTimer &timer)
+LazyDpAlgorithm::finalize(std::uint64_t last_iter, ExecContext &exec,
+                          StageTimer &timer)
 {
     if (last_iter == 0)
         return;
     // One dense catch-up sweep: every row receives its pending noise so
     // the released model equals the eager DP-SGD model. Amortized over
     // the whole training run; attributed to Else (not a per-iteration
-    // stage of the paper's figures).
+    // stage of the paper's figures). Sharded by embedding row: each
+    // row's flush touches only its own weights and HistoryTable entry.
     timer.start(Stage::Else);
     const float sigma = noiseStddev();
     // The per-iteration noise scaling used throughout training.
@@ -269,49 +301,51 @@ LazyDpAlgorithm::finalize(std::uint64_t last_iter, StageTimer &timer)
         EmbeddingTable &tbl = model_.tables()[t];
         const std::size_t dim = tbl.dim();
         const auto table_id = static_cast<std::uint32_t>(t);
-#pragma omp parallel for schedule(static)
-        for (std::uint64_t r = 0; r < tbl.rows(); ++r) {
-            const std::uint32_t last = history_.lastNoised(t, r);
-            if (decayed_ != nullptr) {
-                const std::uint32_t last_decay =
-                    decayed_->lastNoised(t, r);
-                if (last_decay < last_iter) {
-                    simd::scale(
-                        tbl.rowPtr(r), dim,
-                        std::pow(decayAlpha(),
-                                 static_cast<float>(last_iter -
-                                                    last_decay)));
-                    decayed_->renew(t, r, last_iter);
+        parallelForShards(
+            exec, tbl.rows(), 4096,
+            [&](std::size_t, std::size_t rlo, std::size_t rhi) {
+                for (std::uint64_t r = rlo; r < rhi; ++r) {
+                    const std::uint32_t last = history_.lastNoised(t, r);
+                    if (decayed_ != nullptr) {
+                        const std::uint32_t last_decay =
+                            decayed_->lastNoised(t, r);
+                        if (last_decay < last_iter) {
+                            simd::scale(
+                                tbl.rowPtr(r), dim,
+                                std::pow(decayAlpha(),
+                                         static_cast<float>(
+                                             last_iter - last_decay)));
+                            decayed_->renew(t, r, last_iter);
+                        }
+                    }
+                    if (last >= last_iter)
+                        continue;
+                    if (decayed_ == nullptr) {
+                        if (useAns_) {
+                            noise_.aggregatedRowNoise(
+                                last + 1, last_iter, table_id, r, sigma,
+                                -step_scale, tbl.rowPtr(r), dim);
+                        } else {
+                            noise_.accumulateRowNoise(
+                                last + 1, last_iter, table_id, r, sigma,
+                                -step_scale, tbl.rowPtr(r), dim);
+                        }
+                    } else {
+                        if (useAns_) {
+                            noise_.aggregatedGeometricRowNoise(
+                                last + 1, last_iter, table_id, r,
+                                decayAlpha(), sigma, -step_scale,
+                                tbl.rowPtr(r), dim);
+                        } else {
+                            noise_.geometricRowNoise(
+                                last + 1, last_iter, table_id, r,
+                                decayAlpha(), sigma, -step_scale,
+                                tbl.rowPtr(r), dim);
+                        }
+                    }
+                    history_.renew(t, r, last_iter);
                 }
-            }
-            if (last >= last_iter)
-                continue;
-            if (decayed_ == nullptr) {
-                if (useAns_) {
-                    noise_.aggregatedRowNoise(last + 1, last_iter,
-                                              table_id, r, sigma,
-                                              -step_scale,
-                                              tbl.rowPtr(r), dim);
-                } else {
-                    noise_.accumulateRowNoise(last + 1, last_iter,
-                                              table_id, r, sigma,
-                                              -step_scale,
-                                              tbl.rowPtr(r), dim);
-                }
-            } else {
-                if (useAns_) {
-                    noise_.aggregatedGeometricRowNoise(
-                        last + 1, last_iter, table_id, r, decayAlpha(),
-                        sigma, -step_scale, tbl.rowPtr(r), dim);
-                } else {
-                    noise_.geometricRowNoise(last + 1, last_iter,
-                                             table_id, r, decayAlpha(),
-                                             sigma, -step_scale,
-                                             tbl.rowPtr(r), dim);
-                }
-            }
-            history_.renew(t, r, last_iter);
-        }
+            });
     }
     timer.stop();
 }

@@ -64,14 +64,16 @@ class LazyDpAlgorithm : public DpEngineBase
     }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 
     /**
      * Apply every pending noise update through @p last_iter (one dense
-     * sweep, once per training run) so the final model matches eager
-     * DP-SGD exactly.
+     * sweep, once per training run, sharded by embedding row) so the
+     * final model matches eager DP-SGD exactly.
      */
-    void finalize(std::uint64_t last_iter, StageTimer &timer) override;
+    void finalize(std::uint64_t last_iter, ExecContext &exec,
+                  StageTimer &timer) override;
 
     /** @return the metadata structure (tests & overhead bench). */
     const HistoryTable &historyTable() const { return history_; }
@@ -121,11 +123,16 @@ class LazyDpAlgorithm : public DpEngineBase
     /**
      * Sample (lazily aggregated) noise for the rows about to be
      * accessed, merge with this iteration's clipped sparse gradient,
-     * and apply the combined sparse update to table @p t.
+     * and apply the combined sparse update to table @p t. Noise
+     * sampling, merge materialization and the row updates are sharded
+     * by embedding row over @p exec; rows are unique within each list,
+     * so shards write disjoint rows and the result is identical at any
+     * thread count.
      */
     void lazyTableUpdate(std::uint64_t iter, std::size_t t,
                          const MiniBatch &cur, const MiniBatch *next,
-                         std::size_t batch, StageTimer &timer);
+                         std::size_t batch, ExecContext &exec,
+                         StageTimer &timer);
 
     bool useAns_;
     HistoryTable history_;
@@ -148,6 +155,12 @@ class LazyDpAlgorithm : public DpEngineBase
     Tensor noiseVals_;   // (|nextUnique| x dim)
     std::vector<std::uint32_t> mergedRows_;
     Tensor mergedVals_;  // (|merged| x dim)
+    // Per-merged-row source indices (kNoSource = absent), precomputed
+    // during the serial merge so value fill + row update parallelize.
+    std::vector<std::uint32_t> mergedGradIdx_;
+    std::vector<std::uint32_t> mergedNextIdx_;
+
+    static constexpr std::uint32_t kNoSource = 0xFFFFFFFFu;
 };
 
 /** Options of the make-private facade (mirrors paper Figure 9(a)). */

@@ -31,25 +31,26 @@ scaleRows(Tensor &t, const std::vector<float> &scales)
 
 void
 reduceScaledRows(const Tensor &rows, const std::vector<float> &scales,
-                 Tensor &out)
+                 Tensor &out, ExecContext &exec)
 {
     const std::size_t batch = rows.rows();
     const std::size_t params = rows.cols();
     LAZYDP_ASSERT(scales.size() == batch, "scale count != rows");
     LAZYDP_ASSERT(out.size() == params, "output size != param count");
     out.zero();
-    const std::size_t block = 1u << 14;
-    const std::size_t n_blocks = (params + block - 1) / block;
-#pragma omp parallel for schedule(static)
-    for (std::size_t b = 0; b < n_blocks; ++b) {
-        const std::size_t lo = b * block;
-        const std::size_t len = std::min(block, params - lo);
-        float *dst = out.data() + lo;
-        for (std::size_t e = 0; e < batch; ++e) {
-            simd::axpy(dst, rows.data() + e * params + lo, len,
-                       scales[e]);
-        }
-    }
+    // Fixed 16K-parameter shards: each output element's sum runs over e
+    // in order inside one shard, so the reduction is deterministic at
+    // any thread count.
+    parallelForShards(
+        exec, params, 1u << 14,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+            const std::size_t len = hi - lo;
+            float *dst = out.data() + lo;
+            for (std::size_t e = 0; e < batch; ++e) {
+                simd::axpy(dst, rows.data() + e * params + lo, len,
+                           scales[e]);
+            }
+        });
 }
 
 } // namespace lazydp

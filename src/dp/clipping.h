@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -41,7 +42,8 @@ void scaleRows(Tensor &t, const std::vector<float> &scales);
  * @param out (1 x P) or (r x c) tensor with r*c == P, overwritten
  */
 void reduceScaledRows(const Tensor &rows,
-                      const std::vector<float> &scales, Tensor &out);
+                      const std::vector<float> &scales, Tensor &out,
+                      ExecContext &exec = ExecContext::serial());
 
 } // namespace lazydp
 

@@ -25,10 +25,11 @@ DpEngineBase::mlpPseudoTable(std::size_t mlp_index) const
 }
 
 double
-DpEngineBase::forwardAndLoss(const MiniBatch &cur, StageTimer &timer)
+DpEngineBase::forwardAndLoss(const MiniBatch &cur, ExecContext &exec,
+                             StageTimer &timer)
 {
     timer.start(Stage::Forward);
-    model_.forward(cur, logits_);
+    model_.forward(cur, logits_, exec);
     timer.stop();
 
     timer.start(Stage::Else);
@@ -42,7 +43,7 @@ DpEngineBase::forwardAndLoss(const MiniBatch &cur, StageTimer &timer)
 
 void
 DpEngineBase::noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
-                             StageTimer &timer)
+                             ExecContext &exec, StageTimer &timer)
 {
     const float sigma = noiseStddev();
     const float step = hyper_.lr / normDenominator(batch);
@@ -53,13 +54,13 @@ DpEngineBase::noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
             timer.start(Stage::NoiseSampling);
             addDenseParamNoise(noise_, iter, mlpPseudoTable(mlp_index),
                                sigma, 1.0f, layer.weightGrad().data(),
-                               layer.weightGrad().size());
+                               layer.weightGrad().size(), 0, exec);
             // biases share the layer's pseudo-table in a disjoint
             // row range
             addDenseParamNoise(noise_, iter, mlpPseudoTable(mlp_index),
                                sigma, 1.0f, layer.biasGrad().data(),
                                layer.biasGrad().size(),
-                               /*row_offset=*/1ull << 40);
+                               /*row_offset=*/1ull << 40, exec);
             timer.stop();
 
             timer.start(Stage::NoisyGradUpdate);
@@ -75,7 +76,8 @@ DpEngineBase::noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
 void
 DpEngineBase::denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
                                     const SparseGrad &grad,
-                                    std::size_t batch, StageTimer &timer)
+                                    std::size_t batch, ExecContext &exec,
+                                    StageTimer &timer)
 {
     EmbeddingTable &tbl = model_.tables()[table];
     if (denseScratch_.rows() != tbl.rows() ||
@@ -85,7 +87,8 @@ DpEngineBase::denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
 
     // (1) compute-bound: one Gaussian per element of the entire table
     timer.start(Stage::NoiseSampling);
-    fillDenseTableNoise(noise_, iter, table, noiseStddev(), denseScratch_);
+    fillDenseTableNoise(noise_, iter, table, noiseStddev(), denseScratch_,
+                        exec);
     timer.stop();
 
     // (2) merge the sparse clipped gradient into the dense tensor
@@ -97,7 +100,7 @@ DpEngineBase::denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
     timer.start(Stage::NoisyGradUpdate);
     streamingTableUpdate(tbl.weights(), denseScratch_,
                          hyper_.lr / normDenominator(batch),
-                         decayAlpha());
+                         decayAlpha(), exec);
     timer.stop();
 }
 

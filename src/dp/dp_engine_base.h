@@ -53,7 +53,8 @@ class DpEngineBase : public Algorithm
      *
      * @return batch mean loss
      */
-    double forwardAndLoss(const MiniBatch &cur, StageTimer &timer);
+    double forwardAndLoss(const MiniBatch &cur, ExecContext &exec,
+                          StageTimer &timer);
 
     /**
      * Noisy update of every MLP layer: assumes each layer's batch
@@ -61,7 +62,7 @@ class DpEngineBase : public Algorithm
      * and applies with step lr/B.
      */
     void noisyMlpUpdate(std::uint64_t iter, std::size_t batch,
-                        StageTimer &timer);
+                        ExecContext &exec, StageTimer &timer);
 
     /**
      * Eager dense noisy update of one embedding table (DP-SGD(B/R/F)):
@@ -73,7 +74,7 @@ class DpEngineBase : public Algorithm
      */
     void denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
                                const SparseGrad &grad, std::size_t batch,
-                               StageTimer &timer);
+                               ExecContext &exec, StageTimer &timer);
 
     /** sigma * C: the per-iteration noise stddev. */
     float

@@ -6,34 +6,36 @@ namespace lazydp {
 
 double
 DpSgdB::step(std::uint64_t iter, const MiniBatch &cur,
-             const MiniBatch *next, StageTimer &timer)
+             const MiniBatch *next, ExecContext &exec, StageTimer &timer)
 {
     (void)next;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, timer);
+    const double loss = forwardAndLoss(cur, exec, timer);
 
     // Per-example gradient derivation: materialize every MLP layer's
     // per-example weight gradients (the memory-capacity bottleneck of
     // Section 2.5) and derive per-example norms from the materialized
     // tensors plus the per-example embedding gradients.
     timer.start(Stage::BackwardPerExample);
-    model_.backwardPerExample(dLogits_, topGrads_, bottomGrads_);
+    model_.backwardPerExample(dLogits_, topGrads_, bottomGrads_, exec);
 
     normSq_.assign(batch, 0.0);
     auto add_norms = [&](const PerExampleGrads &grads) {
         for (const auto &w : grads.w) {
-#pragma omp parallel for schedule(static)
-            for (std::size_t e = 0; e < batch; ++e) {
-                normSq_[e] += simd::squaredNorm(
-                    w.data() + e * w.cols(), w.cols());
-            }
+            parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t e = lo; e < hi; ++e) {
+                    normSq_[e] += simd::squaredNorm(
+                        w.data() + e * w.cols(), w.cols());
+                }
+            });
         }
         for (const auto &b : grads.b) {
-#pragma omp parallel for schedule(static)
-            for (std::size_t e = 0; e < batch; ++e) {
-                normSq_[e] += simd::squaredNorm(
-                    b.data() + e * b.cols(), b.cols());
-            }
+            parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t e = lo; e < hi; ++e) {
+                    normSq_[e] += simd::squaredNorm(
+                        b.data() + e * b.cols(), b.cols());
+                }
+            });
         }
     };
     add_norms(topGrads_);
@@ -48,9 +50,9 @@ DpSgdB::step(std::uint64_t iter, const MiniBatch &cur,
         auto &layers = mlp.layers();
         for (std::size_t li = 0; li < layers.size(); ++li) {
             reduceScaledRows(grads.w[li], scales_,
-                             layers[li].weightGrad());
+                             layers[li].weightGrad(), exec);
             reduceScaledRows(grads.b[li], scales_,
-                             layers[li].biasGrad());
+                             layers[li].biasGrad(), exec);
         }
     };
     reduce(model_.topMlp(), topGrads_);
@@ -69,9 +71,9 @@ DpSgdB::step(std::uint64_t iter, const MiniBatch &cur,
     // Model update: dense noisy update of every table + noisy MLP step.
     for (std::size_t t = 0; t < model_.config().numTables; ++t) {
         denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
-                              sparseGrads_[t], batch, timer);
+                              sparseGrads_[t], batch, exec, timer);
     }
-    noisyMlpUpdate(iter, batch, timer);
+    noisyMlpUpdate(iter, batch, exec, timer);
     return loss;
 }
 

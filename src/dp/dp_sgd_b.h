@@ -27,7 +27,8 @@ class DpSgdB : public DpEngineBase
     std::string name() const override { return "DP-SGD(B)"; }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 
     /** @return bytes held by materialized per-example grads last step. */
     std::uint64_t

@@ -4,17 +4,17 @@ namespace lazydp {
 
 double
 DpSgdF::step(std::uint64_t iter, const MiniBatch &cur,
-             const MiniBatch *next, StageTimer &timer)
+             const MiniBatch *next, ExecContext &exec, StageTimer &timer)
 {
     (void)next;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, timer);
+    const double loss = forwardAndLoss(cur, exec, timer);
 
     // Pass 1: activation-gradient backward with ghost-norm
     // accumulation; parameter gradients are skipped entirely.
     timer.start(Stage::BackwardPerExample);
     normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
     model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
     clipScales(normSq_, hyper_.clipNorm, scales_);
     timer.stop();
@@ -22,7 +22,7 @@ DpSgdF::step(std::uint64_t iter, const MiniBatch &cur,
     // Pass 2: reweighted per-batch backward.
     timer.start(Stage::BackwardPerBatch);
     scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_);
+    model_.backward(dLogits_, nullptr, false, exec);
     timer.stop();
 
     timer.start(Stage::GradCoalesce);
@@ -32,9 +32,9 @@ DpSgdF::step(std::uint64_t iter, const MiniBatch &cur,
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t) {
         denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
-                              sparseGrads_[t], batch, timer);
+                              sparseGrads_[t], batch, exec, timer);
     }
-    noisyMlpUpdate(iter, batch, timer);
+    noisyMlpUpdate(iter, batch, exec, timer);
     return loss;
 }
 

@@ -29,7 +29,8 @@ class DpSgdF : public DpEngineBase
     std::string name() const override { return "DP-SGD(F)"; }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 };
 
 } // namespace lazydp

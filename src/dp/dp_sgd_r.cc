@@ -4,16 +4,16 @@ namespace lazydp {
 
 double
 DpSgdR::step(std::uint64_t iter, const MiniBatch &cur,
-             const MiniBatch *next, StageTimer &timer)
+             const MiniBatch *next, ExecContext &exec, StageTimer &timer)
 {
     (void)next;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, timer);
+    const double loss = forwardAndLoss(cur, exec, timer);
 
     // Pass 1: per-example norms via transient materialization.
     timer.start(Stage::BackwardPerExample);
     normSq_.assign(batch, 0.0);
-    model_.backwardNormsOnly(dLogits_, normSq_);
+    model_.backwardNormsOnly(dLogits_, normSq_, exec);
     model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
     clipScales(normSq_, hyper_.clipNorm, scales_);
     timer.stop();
@@ -23,7 +23,7 @@ DpSgdR::step(std::uint64_t iter, const MiniBatch &cur,
     // including the embedding tables.
     timer.start(Stage::BackwardPerBatch);
     scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_);
+    model_.backward(dLogits_, nullptr, false, exec);
     timer.stop();
 
     timer.start(Stage::GradCoalesce);
@@ -33,9 +33,9 @@ DpSgdR::step(std::uint64_t iter, const MiniBatch &cur,
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t) {
         denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
-                              sparseGrads_[t], batch, timer);
+                              sparseGrads_[t], batch, exec, timer);
     }
-    noisyMlpUpdate(iter, batch, timer);
+    noisyMlpUpdate(iter, batch, exec, timer);
     return loss;
 }
 

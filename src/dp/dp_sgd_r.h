@@ -30,7 +30,8 @@ class DpSgdR : public DpEngineBase
     std::string name() const override { return "DP-SGD(R)"; }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 };
 
 } // namespace lazydp

@@ -4,23 +4,24 @@ namespace lazydp {
 
 double
 EanaAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
-                    const MiniBatch *next, StageTimer &timer)
+                    const MiniBatch *next, ExecContext &exec,
+                    StageTimer &timer)
 {
     (void)next;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, timer);
+    const double loss = forwardAndLoss(cur, exec, timer);
 
     // Clipping machinery identical to DP-SGD(F).
     timer.start(Stage::BackwardPerExample);
     normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true);
+    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
     model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
     clipScales(normSq_, hyper_.clipNorm, scales_);
     timer.stop();
 
     timer.start(Stage::BackwardPerBatch);
     scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_);
+    model_.backward(dLogits_, nullptr, false, exec);
     timer.stop();
 
     timer.start(Stage::GradCoalesce);
@@ -36,20 +37,20 @@ EanaAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
         EmbeddingTable &tbl = model_.tables()[t];
         const std::size_t dim = tbl.dim();
 
+        // Coalesced rows are unique, so the batched fill scatters into
+        // disjoint value rows from every pool thread.
         timer.start(Stage::NoiseSampling);
-        for (std::size_t i = 0; i < grad.rows.size(); ++i) {
-            noise_.rowNoise(iter, static_cast<std::uint32_t>(t),
-                            grad.rows[i], noiseStddev(), 1.0f,
-                            grad.values.data() + i * dim, dim,
-                            /*accumulate=*/true);
-        }
+        noise_.rowNoiseBatch(iter, static_cast<std::uint32_t>(t),
+                             grad.rows, noiseStddev(), 1.0f,
+                             grad.values.data(), dim,
+                             /*accumulate=*/true, exec);
         timer.stop();
 
         timer.start(Stage::NoisyGradUpdate);
         tbl.applySparse(grad, step_scale);
         timer.stop();
     }
-    noisyMlpUpdate(iter, batch, timer);
+    noisyMlpUpdate(iter, batch, exec, timer);
     return loss;
 }
 

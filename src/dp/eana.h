@@ -34,7 +34,8 @@ class EanaAlgorithm : public DpEngineBase
     std::string name() const override { return "EANA"; }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 };
 
 } // namespace lazydp

@@ -7,17 +7,20 @@ namespace lazydp {
 
 void
 fillDenseTableNoise(const NoiseProvider &np, std::uint64_t iter,
-                    std::uint32_t table, float sigma, Tensor &noise)
+                    std::uint32_t table, float sigma, Tensor &noise,
+                    ExecContext &exec)
 {
     const std::size_t rows = noise.rows();
     const std::size_t dim = noise.cols();
     // Keyed streams make every row independent -- embarrassingly
     // parallel, exactly like the paper's optimized torch.normal().
-#pragma omp parallel for schedule(static)
-    for (std::size_t r = 0; r < rows; ++r) {
-        np.rowNoise(iter, table, r, sigma, 1.0f, noise.data() + r * dim,
-                    dim, /*accumulate=*/false);
-    }
+    parallelFor(exec, rows, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            np.rowNoise(iter, table, r, sigma, 1.0f,
+                        noise.data() + r * dim, dim,
+                        /*accumulate=*/false);
+        }
+    });
 }
 
 void
@@ -34,44 +37,56 @@ addSparseIntoDense(const SparseGrad &grad, Tensor &dense)
 
 void
 streamingTableUpdate(Tensor &weights, const Tensor &update, float scale,
-                     float decay)
+                     float decay, ExecContext &exec)
 {
     LAZYDP_ASSERT(weights.rows() == update.rows() &&
                       weights.cols() == update.cols(),
                   "update tensor shape mismatch");
     const std::size_t n = weights.size();
-    const std::size_t block = 1u << 16;
-#pragma omp parallel for schedule(static)
-    for (std::size_t b = 0; b < (n + block - 1) / block; ++b) {
-        const std::size_t lo = b * block;
-        const std::size_t len = std::min(block, n - lo);
-        if (decay == 1.0f) {
-            simd::axpy(weights.data() + lo, update.data() + lo, len,
-                       -scale);
-        } else {
-            // w = decay * w - scale * update (weight decay folded into
-            // the same streaming pass)
-            simd::axpby(weights.data() + lo, update.data() + lo, len,
-                        -scale, decay);
-        }
-    }
+    // Fixed 64K-element shards: boundaries depend on n only, so the
+    // streamed result is identical at any thread count.
+    parallelForShards(
+        exec, n, 1u << 16,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+            const std::size_t len = hi - lo;
+            if (decay == 1.0f) {
+                simd::axpy(weights.data() + lo, update.data() + lo, len,
+                           -scale);
+            } else {
+                // w = decay * w - scale * update (weight decay folded
+                // into the same streaming pass)
+                simd::axpby(weights.data() + lo, update.data() + lo, len,
+                            -scale, decay);
+            }
+        });
 }
 
 void
 addDenseParamNoise(const NoiseProvider &np, std::uint64_t iter,
                    std::uint32_t pseudo_table, float sigma, float scale,
-                   float *dst, std::size_t n, std::uint64_t row_offset)
+                   float *dst, std::size_t n, std::uint64_t row_offset,
+                   ExecContext &exec)
 {
-    // Chunk the flat array into provider pseudo-rows of kMaxDim.
+    // Chunk the flat array into provider pseudo-rows of kMaxDim; every
+    // chunk owns a disjoint output range and a keyed counter, so the
+    // chunks can run in any order on any thread.
     const std::size_t chunk = NoiseProvider::kMaxDim;
     const std::size_t n_chunks = (n + chunk - 1) / chunk;
-#pragma omp parallel for schedule(static)
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-        const std::size_t lo = c * chunk;
-        const std::size_t len = std::min(chunk, n - lo);
-        np.rowNoise(iter, pseudo_table, row_offset + c, sigma, scale,
-                    dst + lo, len, /*accumulate=*/true);
+    if (n_chunks == 1) {
+        // One pseudo-row (biases, small layers): parallelize inside the
+        // fill instead of across chunks -- bit-identical either way.
+        np.rowNoiseParallel(iter, pseudo_table, row_offset, sigma, scale,
+                            dst, n, /*accumulate=*/true, exec);
+        return;
     }
+    parallelFor(exec, n_chunks, [&](std::size_t clo, std::size_t chi) {
+        for (std::size_t c = clo; c < chi; ++c) {
+            const std::size_t lo = c * chunk;
+            const std::size_t len = std::min(chunk, n - lo);
+            np.rowNoise(iter, pseudo_table, row_offset + c, sigma, scale,
+                        dst + lo, len, /*accumulate=*/true);
+        }
+    });
 }
 
 } // namespace lazydp

@@ -5,8 +5,10 @@
  * These are the two operators the paper's Section 4.3 roofline analysis
  * targets: dense keyed noise generation over an entire embedding table
  * (compute-bound) and the streaming noisy-gradient model update
- * (memory-bound). Both are OpenMP-parallel, mirroring the paper's
- * "heavily optimized" TBB/OpenMP baseline (Section 6).
+ * (memory-bound). Both run on the repository thread pool (ExecContext),
+ * mirroring the paper's "heavily optimized" TBB/OpenMP baseline
+ * (Section 6); shard boundaries are fixed, so output is bit-identical
+ * at any thread count.
  */
 
 #ifndef LAZYDP_DP_NOISE_OPS_H
@@ -14,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/thread_pool.h"
 #include "nn/embedding.h"
 #include "rng/noise_provider.h"
 #include "tensor/tensor.h"
@@ -27,7 +30,8 @@ namespace lazydp {
  * This is the DP-SGD(B/R/F) *noise sampling* stage for one table.
  */
 void fillDenseTableNoise(const NoiseProvider &np, std::uint64_t iter,
-                         std::uint32_t table, float sigma, Tensor &noise);
+                         std::uint32_t table, float sigma, Tensor &noise,
+                         ExecContext &exec = ExecContext::serial());
 
 /**
  * Scatter-add a coalesced sparse gradient into the dense noise tensor
@@ -41,7 +45,8 @@ void addSparseIntoDense(const SparseGrad &grad, Tensor &dense);
  * Parallel over row blocks.
  */
 void streamingTableUpdate(Tensor &weights, const Tensor &update,
-                          float scale, float decay = 1.0f);
+                          float scale, float decay = 1.0f,
+                          ExecContext &exec = ExecContext::serial());
 
 /**
  * Accumulate keyed noise over an arbitrary flat parameter array
@@ -53,7 +58,8 @@ void streamingTableUpdate(Tensor &weights, const Tensor &update,
 void addDenseParamNoise(const NoiseProvider &np, std::uint64_t iter,
                         std::uint32_t pseudo_table, float sigma,
                         float scale, float *dst, std::size_t n,
-                        std::uint64_t row_offset = 0);
+                        std::uint64_t row_offset = 0,
+                        ExecContext &exec = ExecContext::serial());
 
 } // namespace lazydp
 

@@ -24,7 +24,8 @@ DlrmModel::DlrmModel(const ModelConfig &config, std::uint64_t seed)
 }
 
 void
-DlrmModel::forward(const MiniBatch &mb, Tensor &logits)
+DlrmModel::forward(const MiniBatch &mb, Tensor &logits,
+                   ExecContext &exec)
 {
     LAZYDP_ASSERT(mb.numTables == config_.numTables,
                   "batch table count != model");
@@ -37,7 +38,7 @@ DlrmModel::forward(const MiniBatch &mb, Tensor &logits)
         bottomOut_.cols() != config_.embedDim) {
         bottomOut_.resize(batch, config_.embedDim);
     }
-    bottom_.forward(mb.dense, bottomOut_);
+    bottom_.forward(mb.dense, bottomOut_, exec);
 
     for (std::size_t t = 0; t < config_.numTables; ++t) {
         Tensor &out = embOut_[t];
@@ -55,9 +56,9 @@ DlrmModel::forward(const MiniBatch &mb, Tensor &logits)
     inputs.push_back(&bottomOut_);
     for (auto &e : embOut_)
         inputs.push_back(&e);
-    interaction_.forward(inputs, interOut_);
+    interaction_.forward(inputs, interOut_, exec);
 
-    top_.forward(interOut_, logits);
+    top_.forward(interOut_, logits, exec);
 }
 
 namespace {
@@ -84,7 +85,7 @@ prepareGradBuffers(std::size_t batch, std::size_t inter_dim,
 void
 DlrmModel::backward(const Tensor &d_logits,
                     std::vector<double> *ghost_norm_sq,
-                    bool skip_param_grads)
+                    bool skip_param_grads, ExecContext &exec)
 {
     const std::size_t batch = d_logits.rows();
     LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
@@ -92,22 +93,24 @@ DlrmModel::backward(const Tensor &d_logits,
                        config_.numTables, dInterOut_, dBottomOut_,
                        dEmbOut_);
 
-    top_.backward(d_logits, &dInterOut_, ghost_norm_sq, skip_param_grads);
+    top_.backward(d_logits, &dInterOut_, ghost_norm_sq, skip_param_grads,
+                  exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
     d_inputs.push_back(&dBottomOut_);
     for (auto &t : dEmbOut_)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs);
+    interaction_.backward(dInterOut_, d_inputs, exec);
 
     bottom_.backward(dBottomOut_, nullptr, ghost_norm_sq,
-                     skip_param_grads);
+                     skip_param_grads, exec);
 }
 
 void
 DlrmModel::backwardNormsOnly(const Tensor &d_logits,
-                             std::vector<double> &norm_sq)
+                             std::vector<double> &norm_sq,
+                             ExecContext &exec)
 {
     const std::size_t batch = d_logits.rows();
     LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
@@ -115,22 +118,23 @@ DlrmModel::backwardNormsOnly(const Tensor &d_logits,
                        config_.numTables, dInterOut_, dBottomOut_,
                        dEmbOut_);
 
-    top_.backwardNormsOnly(d_logits, &dInterOut_, norm_sq);
+    top_.backwardNormsOnly(d_logits, &dInterOut_, norm_sq, exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
     d_inputs.push_back(&dBottomOut_);
     for (auto &t : dEmbOut_)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs);
+    interaction_.backward(dInterOut_, d_inputs, exec);
 
-    bottom_.backwardNormsOnly(dBottomOut_, nullptr, norm_sq);
+    bottom_.backwardNormsOnly(dBottomOut_, nullptr, norm_sq, exec);
 }
 
 void
 DlrmModel::backwardPerExample(const Tensor &d_logits,
                               PerExampleGrads &top_grads,
-                              PerExampleGrads &bottom_grads)
+                              PerExampleGrads &bottom_grads,
+                              ExecContext &exec)
 {
     const std::size_t batch = d_logits.rows();
     LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
@@ -138,16 +142,16 @@ DlrmModel::backwardPerExample(const Tensor &d_logits,
                        config_.numTables, dInterOut_, dBottomOut_,
                        dEmbOut_);
 
-    top_.backwardPerExample(d_logits, &dInterOut_, top_grads);
+    top_.backwardPerExample(d_logits, &dInterOut_, top_grads, exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
     d_inputs.push_back(&dBottomOut_);
     for (auto &t : dEmbOut_)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs);
+    interaction_.backward(dInterOut_, d_inputs, exec);
 
-    bottom_.backwardPerExample(dBottomOut_, nullptr, bottom_grads);
+    bottom_.backwardPerExample(dBottomOut_, nullptr, bottom_grads, exec);
 }
 
 void

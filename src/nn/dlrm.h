@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/minibatch.h"
 #include "nn/embedding.h"
 #include "nn/interaction.h"
@@ -44,8 +45,10 @@ class DlrmModel
      *
      * @param mb input batch (must match the config's shape)
      * @param logits (batch x 1) output scores
+     * @param exec execution context for the GEMM/interaction kernels
      */
-    void forward(const MiniBatch &mb, Tensor &logits);
+    void forward(const MiniBatch &mb, Tensor &logits,
+                 ExecContext &exec = ExecContext::serial());
 
     /**
      * Backward from per-example logit gradients.
@@ -61,7 +64,8 @@ class DlrmModel
      */
     void backward(const Tensor &d_logits,
                   std::vector<double> *ghost_norm_sq = nullptr,
-                  bool skip_param_grads = false);
+                  bool skip_param_grads = false,
+                  ExecContext &exec = ExecContext::serial());
 
     /**
      * DP-SGD(R)'s norm pass: per-example MLP gradients are materialized
@@ -70,7 +74,8 @@ class DlrmModel
      * produced. Pooled-embedding gradients are produced as usual.
      */
     void backwardNormsOnly(const Tensor &d_logits,
-                           std::vector<double> &norm_sq);
+                           std::vector<double> &norm_sq,
+                           ExecContext &exec = ExecContext::serial());
 
     /**
      * Backward materializing per-example MLP gradients (DP-SGD(B)).
@@ -82,7 +87,8 @@ class DlrmModel
      */
     void backwardPerExample(const Tensor &d_logits,
                             PerExampleGrads &top_grads,
-                            PerExampleGrads &bottom_grads);
+                            PerExampleGrads &bottom_grads,
+                            ExecContext &exec = ExecContext::serial());
 
     /**
      * Add each example's squared embedding-gradient norm (all tables)

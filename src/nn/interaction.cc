@@ -21,7 +21,7 @@ DotInteraction::outputDim() const
 
 void
 DotInteraction::forward(const std::vector<const Tensor *> &inputs,
-                        Tensor &out)
+                        Tensor &out, ExecContext &exec)
 {
     LAZYDP_ASSERT(inputs.size() == numInputs_, "interaction input count");
     const std::size_t batch = inputs[0]->rows();
@@ -42,25 +42,27 @@ DotInteraction::forward(const std::vector<const Tensor *> &inputs,
         }
     }
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t e = 0; e < batch; ++e) {
-        float *dst = out.data() + e * outputDim();
-        const float *feats = cache_.data() + e * numInputs_ * dim_;
-        // pass-through of the dense (bottom MLP) vector
-        std::memcpy(dst, feats, dim_ * sizeof(float));
-        std::size_t k = dim_;
-        for (std::size_t i = 0; i < numInputs_; ++i) {
-            for (std::size_t j = i + 1; j < numInputs_; ++j) {
-                dst[k++] = static_cast<float>(
-                    simd::dot(feats + i * dim_, feats + j * dim_, dim_));
+    parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+            float *dst = out.data() + e * outputDim();
+            const float *feats = cache_.data() + e * numInputs_ * dim_;
+            // pass-through of the dense (bottom MLP) vector
+            std::memcpy(dst, feats, dim_ * sizeof(float));
+            std::size_t k = dim_;
+            for (std::size_t i = 0; i < numInputs_; ++i) {
+                for (std::size_t j = i + 1; j < numInputs_; ++j) {
+                    dst[k++] = static_cast<float>(simd::dot(
+                        feats + i * dim_, feats + j * dim_, dim_));
+                }
             }
         }
-    }
+    });
 }
 
 void
 DotInteraction::backward(const Tensor &d_out,
-                         const std::vector<Tensor *> &d_inputs) const
+                         const std::vector<Tensor *> &d_inputs,
+                         ExecContext &exec) const
 {
     LAZYDP_ASSERT(d_inputs.size() == numInputs_, "interaction grad count");
     const std::size_t batch = d_out.rows();
@@ -74,27 +76,28 @@ DotInteraction::backward(const Tensor &d_out,
         t->zero();
     }
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t e = 0; e < batch; ++e) {
-        const float *g = d_out.data() + e * outputDim();
-        const float *feats = cache_.data() + e * numInputs_ * dim_;
-        // pass-through gradient into input 0
-        simd::add(d_inputs[0]->data() + e * dim_,
-                  d_inputs[0]->data() + e * dim_, g, dim_);
-        std::size_t k = dim_;
-        for (std::size_t i = 0; i < numInputs_; ++i) {
-            for (std::size_t j = i + 1; j < numInputs_; ++j) {
-                const float gk = g[k++];
-                if (gk == 0.0f)
-                    continue;
-                // d z_i += g * z_j ; d z_j += g * z_i
-                simd::axpy(d_inputs[i]->data() + e * dim_,
-                           feats + j * dim_, dim_, gk);
-                simd::axpy(d_inputs[j]->data() + e * dim_,
-                           feats + i * dim_, dim_, gk);
+    parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+            const float *g = d_out.data() + e * outputDim();
+            const float *feats = cache_.data() + e * numInputs_ * dim_;
+            // pass-through gradient into input 0
+            simd::add(d_inputs[0]->data() + e * dim_,
+                      d_inputs[0]->data() + e * dim_, g, dim_);
+            std::size_t k = dim_;
+            for (std::size_t i = 0; i < numInputs_; ++i) {
+                for (std::size_t j = i + 1; j < numInputs_; ++j) {
+                    const float gk = g[k++];
+                    if (gk == 0.0f)
+                        continue;
+                    // d z_i += g * z_j ; d z_j += g * z_i
+                    simd::axpy(d_inputs[i]->data() + e * dim_,
+                               feats + j * dim_, dim_, gk);
+                    simd::axpy(d_inputs[j]->data() + e * dim_,
+                               feats + i * dim_, dim_, gk);
+                }
             }
         }
-    }
+    });
 }
 
 } // namespace lazydp

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -38,7 +39,8 @@ class DotInteraction
      *        must be the bottom-MLP output (it is passed through)
      * @param out (batch x outputDim()) result
      */
-    void forward(const std::vector<const Tensor *> &inputs, Tensor &out);
+    void forward(const std::vector<const Tensor *> &inputs, Tensor &out,
+                 ExecContext &exec = ExecContext::serial());
 
     /**
      * Backward.
@@ -48,7 +50,8 @@ class DotInteraction
      *        with the gradient wrt each input
      */
     void backward(const Tensor &d_out,
-                  const std::vector<Tensor *> &d_inputs) const;
+                  const std::vector<Tensor *> &d_inputs,
+                  ExecContext &exec = ExecContext::serial()) const;
 
     std::size_t numInputs() const { return numInputs_; }
     std::size_t dim() const { return dim_; }

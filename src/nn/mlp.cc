@@ -39,19 +39,19 @@ LinearLayer::initUniform(std::uint64_t seed)
 }
 
 void
-LinearLayer::forward(const Tensor &x, Tensor &y)
+LinearLayer::forward(const Tensor &x, Tensor &y, ExecContext &exec)
 {
     LAZYDP_ASSERT(x.cols() == in_, "linear forward input width");
     if (x_cache_.rows() != x.rows() || x_cache_.cols() != x.cols())
         x_cache_.resize(x.rows(), x.cols());
     x_cache_.copyFrom(x);
-    matmulABt(x, w_, y);
+    matmulABt(x, w_, y, false, exec);
     addRowBias(y, b_);
 }
 
 void
 LinearLayer::backward(const Tensor &d_y, Tensor *d_x,
-                      bool skip_param_grads)
+                      bool skip_param_grads, ExecContext &exec)
 {
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(d_y.cols() == out_, "linear backward grad width");
@@ -62,13 +62,13 @@ LinearLayer::backward(const Tensor &d_y, Tensor *d_x,
         LAZYDP_ASSERT(d_x->rows() == batch && d_x->cols() == in_,
                       "linear d_x shape");
         // dX = dY * W
-        matmulAB(d_y, w_, *d_x);
+        matmulAB(d_y, w_, *d_x, false, exec);
     }
 
     if (skip_param_grads)
         return;
     // dW = dY^T X, db = column sums of dY
-    matmulAtB(d_y, x_cache_, w_grad_);
+    matmulAtB(d_y, x_cache_, w_grad_, false, exec);
     reduceRows(d_y, b_grad_);
 }
 
@@ -90,7 +90,7 @@ LinearLayer::accumulateGhostNormSq(const Tensor &d_y,
 
 void
 LinearLayer::perExampleGrads(const Tensor &d_y, Tensor &w_grads,
-                             Tensor &b_grads) const
+                             Tensor &b_grads, ExecContext &exec) const
 {
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(x_cache_.rows() == batch,
@@ -98,20 +98,22 @@ LinearLayer::perExampleGrads(const Tensor &d_y, Tensor &w_grads,
     w_grads.resizeNoShrink(batch, out_ * in_);
     b_grads.resizeNoShrink(batch, out_);
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t e = 0; e < batch; ++e) {
-        const float *g = d_y.data() + e * out_;
-        const float *a = x_cache_.data() + e * in_;
-        float *wg = w_grads.data() + e * out_ * in_;
-        for (std::size_t o = 0; o < out_; ++o) {
-            // row o of dW_e = g[o] * a
-            float *dst = wg + o * in_;
-            const float go = g[o];
-            for (std::size_t i = 0; i < in_; ++i)
-                dst[i] = go * a[i];
+    parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t e = lo; e < hi; ++e) {
+            const float *g = d_y.data() + e * out_;
+            const float *a = x_cache_.data() + e * in_;
+            float *wg = w_grads.data() + e * out_ * in_;
+            for (std::size_t o = 0; o < out_; ++o) {
+                // row o of dW_e = g[o] * a
+                float *dst = wg + o * in_;
+                const float go = g[o];
+                for (std::size_t i = 0; i < in_; ++i)
+                    dst[i] = go * a[i];
+            }
+            std::memcpy(b_grads.data() + e * out_, g,
+                        out_ * sizeof(float));
         }
-        std::memcpy(b_grads.data() + e * out_, g, out_ * sizeof(float));
-    }
+    });
 }
 
 void
@@ -140,7 +142,7 @@ Mlp::Mlp(const std::vector<std::size_t> &dims, std::uint64_t seed)
 }
 
 void
-Mlp::forward(const Tensor &x, Tensor &y)
+Mlp::forward(const Tensor &x, Tensor &y, ExecContext &exec)
 {
     LAZYDP_ASSERT(x.cols() == dims_.front(), "MLP input width");
     const std::size_t batch = x.rows();
@@ -150,7 +152,7 @@ Mlp::forward(const Tensor &x, Tensor &y)
         Tensor &z = z_cache_[l];
         if (z.rows() != batch || z.cols() != layers_[l].outDim())
             z.resize(batch, layers_[l].outDim());
-        layers_[l].forward(*cur, z);
+        layers_[l].forward(*cur, z, exec);
         if (l + 1 < layers_.size()) {
             // ReLU in place on a copy kept as the next layer's input;
             // we keep z pre-activation for the backward mask, so apply
@@ -205,19 +207,20 @@ Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook)
 
 void
 Mlp::backward(const Tensor &d_y, Tensor *d_x,
-              std::vector<double> *ghost_norm_sq, bool skip_param_grads)
+              std::vector<double> *ghost_norm_sq, bool skip_param_grads,
+              ExecContext &exec)
 {
     backwardImpl(d_y, d_x,
                  [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
                      if (ghost_norm_sq != nullptr)
                          layer.accumulateGhostNormSq(g, *ghost_norm_sq);
-                     layer.backward(g, dx, skip_param_grads);
+                     layer.backward(g, dx, skip_param_grads, exec);
                  });
 }
 
 void
 Mlp::backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
-                       std::vector<double> &norm_sq)
+                       std::vector<double> &norm_sq, ExecContext &exec)
 {
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(norm_sq.size() == batch, "norm accumulator length");
@@ -225,24 +228,26 @@ Mlp::backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
     Tensor &b_scratch = norm_scratch_b_;
     backwardImpl(d_y, d_x,
                  [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
-                     layer.perExampleGrads(g, w_scratch, b_scratch);
-#pragma omp parallel for schedule(static)
-                     for (std::size_t e = 0; e < batch; ++e) {
-                         norm_sq[e] += simd::squaredNorm(
-                             w_scratch.data() + e * w_scratch.cols(),
-                             w_scratch.cols());
-                         norm_sq[e] += simd::squaredNorm(
-                             b_scratch.data() + e * b_scratch.cols(),
-                             b_scratch.cols());
-                     }
+                     layer.perExampleGrads(g, w_scratch, b_scratch, exec);
+                     parallelFor(exec, batch,
+                                 [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t e = lo; e < hi; ++e) {
+                             norm_sq[e] += simd::squaredNorm(
+                                 w_scratch.data() + e * w_scratch.cols(),
+                                 w_scratch.cols());
+                             norm_sq[e] += simd::squaredNorm(
+                                 b_scratch.data() + e * b_scratch.cols(),
+                                 b_scratch.cols());
+                         }
+                     });
                      if (dx != nullptr)
-                         matmulAB(g, layer.weight(), *dx);
+                         matmulAB(g, layer.weight(), *dx, false, exec);
                  });
 }
 
 void
 Mlp::backwardPerExample(const Tensor &d_y, Tensor *d_x,
-                        PerExampleGrads &grads)
+                        PerExampleGrads &grads, ExecContext &exec)
 {
     grads.w.resize(layers_.size());
     grads.b.resize(layers_.size());
@@ -252,11 +257,12 @@ Mlp::backwardPerExample(const Tensor &d_y, Tensor *d_x,
                  [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
                      const auto li = static_cast<std::size_t>(
                          &layer - layers_.data());
-                     layer.perExampleGrads(g, grads.w[li], grads.b[li]);
+                     layer.perExampleGrads(g, grads.w[li], grads.b[li],
+                                           exec);
                      // Input gradients still require the batch backward
                      // (dX = dY W); weight gradients are not needed here.
                      if (dx != nullptr)
-                         matmulAB(g, layer.weight(), *dx);
+                         matmulAB(g, layer.weight(), *dx, false, exec);
                  });
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -47,7 +48,8 @@ class LinearLayer
     void initUniform(std::uint64_t seed);
 
     /** y = x W^T + b; caches x for backward. */
-    void forward(const Tensor &x, Tensor &y);
+    void forward(const Tensor &x, Tensor &y,
+                 ExecContext &exec = ExecContext::serial());
 
     /**
      * Per-batch backward: fills the layer's weight/bias gradients
@@ -63,7 +65,8 @@ class LinearLayer
      * embedding tables.
      */
     void backward(const Tensor &d_y, Tensor *d_x,
-                  bool skip_param_grads = false);
+                  bool skip_param_grads = false,
+                  ExecContext &exec = ExecContext::serial());
 
     /**
      * Ghost norms: out[e] += ||dW_e||_F^2 + ||db_e||^2 computed as
@@ -87,7 +90,8 @@ class LinearLayer
      * @param b_grads output (batch x out)
      */
     void perExampleGrads(const Tensor &d_y, Tensor &w_grads,
-                         Tensor &b_grads) const;
+                         Tensor &b_grads,
+                         ExecContext &exec = ExecContext::serial()) const;
 
     /** w = decay*w - lr*w_grad; b = decay*b - lr*b_grad. */
     void apply(float lr, float decay = 1.0f);
@@ -132,7 +136,8 @@ class Mlp
     Mlp(const std::vector<std::size_t> &dims, std::uint64_t seed);
 
     /** Forward through all layers; caches activations. */
-    void forward(const Tensor &x, Tensor &y);
+    void forward(const Tensor &x, Tensor &y,
+                 ExecContext &exec = ExecContext::serial());
 
     /**
      * Backward through all layers, filling per-layer batch gradients.
@@ -144,7 +149,8 @@ class Mlp
      */
     void backward(const Tensor &d_y, Tensor *d_x,
                   std::vector<double> *ghost_norm_sq = nullptr,
-                  bool skip_param_grads = false);
+                  bool skip_param_grads = false,
+                  ExecContext &exec = ExecContext::serial());
 
     /**
      * DP-SGD(R)'s first pass: walk the layers, *materialize* each
@@ -157,14 +163,16 @@ class Mlp
      * @param norm_sq accumulator, length batch
      */
     void backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
-                           std::vector<double> &norm_sq);
+                           std::vector<double> &norm_sq,
+                           ExecContext &exec = ExecContext::serial());
 
     /**
      * Backward that additionally materializes per-example gradients of
      * every layer (DP-SGD(B)). Batch gradients are not produced.
      */
     void backwardPerExample(const Tensor &d_y, Tensor *d_x,
-                            PerExampleGrads &grads);
+                            PerExampleGrads &grads,
+                            ExecContext &exec = ExecContext::serial());
 
     /** SGD step on all layers (optional multiplicative decay). */
     void apply(float lr, float decay = 1.0f);

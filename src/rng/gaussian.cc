@@ -239,6 +239,27 @@ fillKeyed(const Philox4x32 &philox, std::uint64_t ctr_hi,
     }
 }
 
+void
+fillKeyedParallel(const Philox4x32 &philox, std::uint64_t ctr_hi,
+                  std::uint64_t lo_base, float *dst, std::size_t dim,
+                  float sigma, float scale, bool accumulate,
+                  GaussianKernel kernel, ExecContext &exec)
+{
+    // Shard on Philox-block boundaries (4 samples each) so every shard
+    // consumes exactly the counters the serial path would have used for
+    // its output range. Grain: 2048 blocks = 8192 samples per shard.
+    const std::size_t blocks = (dim + 3) / 4;
+    parallelForShards(
+        exec, blocks, 2048,
+        [&](std::size_t, std::size_t blo, std::size_t bhi) {
+            const std::size_t sample_lo = 4 * blo;
+            const std::size_t sample_hi = std::min(dim, 4 * bhi);
+            fillKeyed(philox, ctr_hi, lo_base + blo, dst + sample_lo,
+                      sample_hi - sample_lo, sigma, scale, accumulate,
+                      kernel);
+        });
+}
+
 } // namespace gaussian_detail
 
 GaussianSampler::GaussianSampler(std::uint64_t seed, std::uint64_t stream,
@@ -253,6 +274,15 @@ GaussianSampler::fill(float *dst, std::size_t n, float sigma)
 {
     gaussian_detail::fillKeyed(philox_, hi_, lo_, dst, n, sigma, 1.0f,
                                false, kernel_);
+    lo_ += (n + 3) / 4;
+}
+
+void
+GaussianSampler::fill(float *dst, std::size_t n, float sigma,
+                      ExecContext &exec)
+{
+    gaussian_detail::fillKeyedParallel(philox_, hi_, lo_, dst, n, sigma,
+                                       1.0f, false, kernel_, exec);
     lo_ += (n + 3) / 4;
 }
 

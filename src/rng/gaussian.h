@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/thread_pool.h"
 #include "rng/philox.h"
 
 namespace lazydp {
@@ -48,6 +49,17 @@ void fillKeyed(const Philox4x32 &philox, std::uint64_t ctr_hi,
                float sigma, float scale, bool accumulate,
                GaussianKernel kernel);
 
+/**
+ * Pool-parallel fillKeyed for bulk fills: the counter range is sharded
+ * on 4-sample Philox-block boundaries with a fixed grain, so the
+ * output is bit-identical to the serial fillKeyed at any thread count
+ * (every sample is derived from its keyed counter, not draw order).
+ */
+void fillKeyedParallel(const Philox4x32 &philox, std::uint64_t ctr_hi,
+                       std::uint64_t lo_base, float *dst, std::size_t dim,
+                       float sigma, float scale, bool accumulate,
+                       GaussianKernel kernel, ExecContext &exec);
+
 } // namespace gaussian_detail
 
 /**
@@ -69,6 +81,13 @@ class GaussianSampler
 
     /** dst[i] = z_i with z ~ N(0, sigma^2), advancing the stream. */
     void fill(float *dst, std::size_t n, float sigma);
+
+    /**
+     * Parallel bulk fill: same output and stream advance as fill() --
+     * counters are keyed by block index, so sharding the range across
+     * @p exec changes nothing but wall time.
+     */
+    void fill(float *dst, std::size_t n, float sigma, ExecContext &exec);
 
     /** dst[i] += scale * z_i with z ~ N(0, sigma^2). */
     void accumulate(float *dst, std::size_t n, float sigma, float scale);

@@ -40,6 +40,34 @@ NoiseProvider::rowNoise(std::uint64_t iter, std::uint32_t table,
 }
 
 void
+NoiseProvider::rowNoiseParallel(std::uint64_t iter, std::uint32_t table,
+                                std::uint64_t row, float sigma,
+                                float scale, float *dst, std::size_t dim,
+                                bool accumulate, ExecContext &exec) const
+{
+    LAZYDP_ASSERT(dim <= kMaxDim, "embedding dim exceeds counter layout");
+    std::uint64_t hi, lo;
+    composeCounter(/*domain=*/0, iter, table, row, hi, lo);
+    gaussian_detail::fillKeyedParallel(philox_, hi, lo, dst, dim, sigma,
+                                       scale, accumulate, kernel_, exec);
+}
+
+void
+NoiseProvider::rowNoiseBatch(std::uint64_t iter, std::uint32_t table,
+                             std::span<const std::uint32_t> rows,
+                             float sigma, float scale, float *dst,
+                             std::size_t dim, bool accumulate,
+                             ExecContext &exec) const
+{
+    parallelFor(exec, rows.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            rowNoise(iter, table, rows[i], sigma, scale, dst + i * dim,
+                     dim, accumulate);
+        }
+    });
+}
+
+void
 NoiseProvider::accumulateRowNoise(std::uint64_t iter_from,
                                   std::uint64_t iter_to, std::uint32_t table,
                                   std::uint64_t row, float sigma, float scale,

@@ -22,7 +22,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
+#include "common/thread_pool.h"
 #include "rng/gaussian.h"
 #include "rng/philox.h"
 
@@ -54,6 +56,31 @@ class NoiseProvider
     void rowNoise(std::uint64_t iter, std::uint32_t table,
                   std::uint64_t row, float sigma, float scale, float *dst,
                   std::size_t dim, bool accumulate = true) const;
+
+    /**
+     * Pool-parallel rowNoise: identical output (bit-for-bit; the fill
+     * is sharded on Philox block boundaries), wall time divided by
+     * @p exec. Worth it for dims large enough to amortize dispatch --
+     * the single-pseudo-row MLP tensors of addDenseParamNoise.
+     */
+    void rowNoiseParallel(std::uint64_t iter, std::uint32_t table,
+                          std::uint64_t row, float sigma, float scale,
+                          float *dst, std::size_t dim, bool accumulate,
+                          ExecContext &exec) const;
+
+    /**
+     * Batched keyed fill: for each i, dst + i*dim receives the
+     * (@p iter, @p table, rows[i]) stream -- exactly the values
+     * rowNoise would produce row by row, but sharded across @p exec.
+     * Rows must be unique when the destination rows alias per-row
+     * output (they are after coalescing), since shards write
+     * concurrently.
+     */
+    void rowNoiseBatch(std::uint64_t iter, std::uint32_t table,
+                       std::span<const std::uint32_t> rows, float sigma,
+                       float scale, float *dst, std::size_t dim,
+                       bool accumulate = true,
+                       ExecContext &exec = ExecContext::serial()) const;
 
     /**
      * Accumulate the per-iteration noises of iterations

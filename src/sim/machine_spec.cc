@@ -1,7 +1,9 @@
 #include "sim/machine_spec.h"
 
 #include <cstddef>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "rng/noise_provider.h"
 #include "tensor/simd_kernels.h"
@@ -22,6 +24,12 @@ measureHost()
 {
     MachineSpec spec;
 
+    // Calibration wants the machine's full throughput, independent of
+    // whatever --threads the caller picked for training: use a local
+    // pool at hardware width.
+    ThreadPool pool(hardwareThreads());
+    ExecContext exec(&pool);
+
     // Working set large enough to defeat the LLC (~256 MB).
     const std::size_t n = 64u << 20;
     Tensor a(1, n);
@@ -33,11 +41,12 @@ measureHost()
         WallTimer t;
         const int reps = 3;
         for (int r = 0; r < reps; ++r) {
-#pragma omp parallel for schedule(static)
-            for (std::size_t blk = 0; blk < 64; ++blk) {
-                const std::size_t lo = blk * (n / 64);
-                simd::axpy(a.data() + lo, b.data() + lo, n / 64, 0.5f);
-            }
+            parallelForShards(
+                exec, n, n / 64,
+                [&](std::size_t, std::size_t lo, std::size_t hi) {
+                    simd::axpy(a.data() + lo, b.data() + lo, hi - lo,
+                               0.5f);
+                });
         }
         const double secs = t.seconds();
         spec.memBandwidth =
@@ -49,11 +58,12 @@ measureHost()
         NoiseProvider np(0xCA11B, GaussianKernel::Auto);
         const std::size_t rows = n / 128;
         WallTimer t;
-#pragma omp parallel for schedule(static)
-        for (std::size_t r = 0; r < rows; ++r) {
-            np.rowNoise(1, 0, r, 1.0f, 1.0f, a.data() + r * 128, 128,
-                        false);
-        }
+        parallelFor(exec, rows, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+                np.rowNoise(1, 0, r, 1.0f, 1.0f, a.data() + r * 128,
+                            128, false);
+            }
+        });
         spec.gaussianRate = static_cast<double>(n) / t.seconds();
     }
 
@@ -62,13 +72,18 @@ measureHost()
         const int n_ops = 100;
         const std::size_t m = 4u << 20;
         WallTimer t;
+        // Per-shard flop counts merged after the barrier (integer sums,
+        // but the ordered merge keeps the pattern uniform).
+        std::vector<std::size_t> flops_per(16, 0);
+        parallelForShards(
+            exec, m, m / 16,
+            [&](std::size_t s, std::size_t lo, std::size_t hi) {
+                flops_per[s] = simd::streamWithOps(
+                    a.data() + lo, b.data() + lo, hi - lo, n_ops);
+            });
         std::size_t flops = 0;
-#pragma omp parallel for schedule(static) reduction(+ : flops)
-        for (std::size_t blk = 0; blk < 16; ++blk) {
-            const std::size_t lo = blk * (m / 16);
-            flops += simd::streamWithOps(a.data() + lo, b.data() + lo,
-                                         m / 16, n_ops);
-        }
+        for (const std::size_t f : flops_per)
+            flops += f;
         spec.avxPeakFlops = static_cast<double>(flops) / t.seconds();
     }
 

@@ -3,14 +3,15 @@
 #include "common/macros.h"
 #include "tensor/simd_kernels.h"
 
-// The DLRM GEMMs are embarrassingly parallel across output rows; the
-// paper's baseline is tuned with TBB/OpenMP (Section 6), so these
-// kernels thread the same way.
+// The DLRM GEMMs are embarrassingly parallel across output rows; each
+// row's accumulation stays within one thread, so the results are
+// bit-identical at any thread count (only the row partition changes).
 
 namespace lazydp {
 
 void
-matmulABt(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+matmulABt(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate,
+          ExecContext &exec)
 {
     const std::size_t m = a.rows();
     const std::size_t k = a.cols();
@@ -18,20 +19,22 @@ matmulABt(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
     LAZYDP_ASSERT(b.cols() == k, "matmulABt inner-dim mismatch");
     LAZYDP_ASSERT(c.rows() == m && c.cols() == n, "matmulABt out shape");
 
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a.data() + i * k;
-        float *crow = c.data() + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const double v = simd::dot(arow, b.data() + j * k, k);
-            const float fv = static_cast<float>(v);
-            crow[j] = accumulate ? crow[j] + fv : fv;
+    parallelFor(exec, m, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const float *arow = a.data() + i * k;
+            float *crow = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double v = simd::dot(arow, b.data() + j * k, k);
+                const float fv = static_cast<float>(v);
+                crow[j] = accumulate ? crow[j] + fv : fv;
+            }
         }
-    }
+    });
 }
 
 void
-matmulAB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+matmulAB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate,
+         ExecContext &exec)
 {
     const std::size_t m = a.rows();
     const std::size_t k = a.cols();
@@ -43,21 +46,23 @@ matmulAB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
         c.zero();
     // i-k-j loop order: the inner loop is an axpy over contiguous rows
     // of B and C, which vectorizes well; rows of C are independent.
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) {
-        float *crow = c.data() + i * n;
-        const float *arow = a.data() + i * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f)
-                continue;
-            simd::axpy(crow, b.data() + kk * n, n, av);
+    parallelFor(exec, m, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            float *crow = c.data() + i * n;
+            const float *arow = a.data() + i * k;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = arow[kk];
+                if (av == 0.0f)
+                    continue;
+                simd::axpy(crow, b.data() + kk * n, n, av);
+            }
         }
-    }
+    });
 }
 
 void
-matmulAtB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
+matmulAtB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate,
+          ExecContext &exec)
 {
     const std::size_t k = a.rows();
     const std::size_t m = a.cols();
@@ -69,16 +74,17 @@ matmulAtB(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate)
         c.zero();
     // parallelize over output rows i (each accumulates its own row of
     // C); the column walk over A is strided but race-free
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < m; ++i) {
-        float *crow = c.data() + i * n;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = a.data()[kk * m + i];
-            if (av == 0.0f)
-                continue;
-            simd::axpy(crow, b.data() + kk * n, n, av);
+    parallelFor(exec, m, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            float *crow = c.data() + i * n;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = a.data()[kk * m + i];
+                if (av == 0.0f)
+                    continue;
+                simd::axpy(crow, b.data() + kk * n, n, av);
+            }
         }
-    }
+    });
 }
 
 void

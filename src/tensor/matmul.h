@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "common/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -24,9 +25,11 @@ namespace lazydp {
  * to activations (batch x in).
  *
  * @param accumulate when true, adds into C instead of overwriting.
+ * @param exec rows of C are partitioned across the context's threads
  */
 void matmulABt(const Tensor &a, const Tensor &b, Tensor &c,
-               bool accumulate = false);
+               bool accumulate = false,
+               ExecContext &exec = ExecContext::serial());
 
 /**
  * C = A * B.
@@ -37,7 +40,8 @@ void matmulABt(const Tensor &a, const Tensor &b, Tensor &c,
  * @param accumulate when true, adds into C instead of overwriting.
  */
 void matmulAB(const Tensor &a, const Tensor &b, Tensor &c,
-              bool accumulate = false);
+              bool accumulate = false,
+              ExecContext &exec = ExecContext::serial());
 
 /**
  * C = A^T * B.
@@ -49,7 +53,8 @@ void matmulAB(const Tensor &a, const Tensor &b, Tensor &c,
  * @param accumulate when true, adds into C instead of overwriting.
  */
 void matmulAtB(const Tensor &a, const Tensor &b, Tensor &c,
-               bool accumulate = false);
+               bool accumulate = false,
+               ExecContext &exec = ExecContext::serial());
 
 /** y[r] += bias for every row r of (batch x dim) tensor. */
 void addRowBias(Tensor &x, const Tensor &bias);

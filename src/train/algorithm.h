@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "data/minibatch.h"
 #include "rng/gaussian.h"
@@ -68,11 +69,15 @@ class Algorithm
      * @param cur this iteration's mini-batch
      * @param next the following iteration's mini-batch, or nullptr on
      *        the final iteration; only LazyDP consumes it (lookahead)
+     * @param exec execution context for the step's parallel kernels;
+     *        thread count must not change the final model (keyed noise
+     *        + fixed shard boundaries keep updates bit-identical)
      * @param timer stage-attribution sink
      * @return the batch training loss (pre-update)
      */
     virtual double step(std::uint64_t iter, const MiniBatch &cur,
-                        const MiniBatch *next, StageTimer &timer) = 0;
+                        const MiniBatch *next, ExecContext &exec,
+                        StageTimer &timer) = 0;
 
     /**
      * Complete any deferred work after the final step so the model
@@ -80,12 +85,15 @@ class Algorithm
      * here; eager algorithms need nothing).
      *
      * @param last_iter id of the last executed iteration
+     * @param exec execution context for the flush sweep
      * @param timer stage-attribution sink
      */
     virtual void
-    finalize(std::uint64_t last_iter, StageTimer &timer)
+    finalize(std::uint64_t last_iter, ExecContext &exec,
+             StageTimer &timer)
     {
         (void)last_iter;
+        (void)exec;
         (void)timer;
     }
 };

@@ -15,14 +15,15 @@ SgdAlgorithm::SgdAlgorithm(DlrmModel &model, const TrainHyper &hyper)
 
 double
 SgdAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
-                   const MiniBatch *next, StageTimer &timer)
+                   const MiniBatch *next, ExecContext &exec,
+                   StageTimer &timer)
 {
     (void)iter;
     (void)next;
     const std::size_t batch = cur.batchSize;
 
     timer.start(Stage::Forward);
-    model_.forward(cur, logits_);
+    model_.forward(cur, logits_, exec);
     timer.stop();
 
     timer.start(Stage::Else);
@@ -36,7 +37,7 @@ SgdAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
     timer.stop();
 
     timer.start(Stage::BackwardPerBatch);
-    model_.backward(dLogits_);
+    model_.backward(dLogits_, nullptr, false, exec);
     timer.stop();
 
     timer.start(Stage::GradCoalesce);

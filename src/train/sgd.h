@@ -31,7 +31,8 @@ class SgdAlgorithm : public Algorithm
     std::string name() const override { return "SGD"; }
 
     double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, StageTimer &timer) override;
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer) override;
 
   private:
     DlrmModel &model_;

@@ -4,8 +4,10 @@
 
 namespace lazydp {
 
-Trainer::Trainer(Algorithm &algorithm, DataLoader &loader)
-    : algorithm_(algorithm), loader_(loader)
+Trainer::Trainer(Algorithm &algorithm, DataLoader &loader,
+                 ExecContext *exec)
+    : algorithm_(algorithm), loader_(loader),
+      exec_(exec != nullptr ? exec : &ExecContext::serial())
 {
 }
 
@@ -32,14 +34,14 @@ Trainer::run(std::uint64_t iterations, bool record_losses)
         const MiniBatch *next = has_next ? &queue.tail() : nullptr;
 
         const double loss =
-            algorithm_.step(iter, cur, next, result.timer);
+            algorithm_.step(iter, cur, next, *exec_, result.timer);
         if (record_losses)
             result.losses.push_back(loss);
 
         queue.pop();
     }
 
-    algorithm_.finalize(iterations, result.timer);
+    algorithm_.finalize(iterations, *exec_, result.timer);
 
     result.wallSeconds = wall.seconds();
     result.iterations = iterations;

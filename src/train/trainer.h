@@ -46,8 +46,11 @@ class Trainer
     /**
      * @param algorithm algorithm under test (not owned)
      * @param loader mini-batch source (not owned)
+     * @param exec execution context handed to every step/finalize
+     *        (not owned; nullptr = serial)
      */
-    Trainer(Algorithm &algorithm, DataLoader &loader);
+    Trainer(Algorithm &algorithm, DataLoader &loader,
+            ExecContext *exec = nullptr);
 
     /**
      * Run @p iterations training steps plus the algorithm's finalize.
@@ -61,6 +64,7 @@ class Trainer
   private:
     Algorithm &algorithm_;
     DataLoader &loader_;
+    ExecContext *exec_;
 };
 
 } // namespace lazydp

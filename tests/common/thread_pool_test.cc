@@ -1,0 +1,242 @@
+/**
+ * @file Thread pool + ExecContext: shard boundary math, loop coverage
+ * at several widths, determinism of sharded reductions, and the
+ * nested-dispatch flattening guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace lazydp {
+namespace {
+
+TEST(ShardMathTest, ShardCount)
+{
+    EXPECT_EQ(shardCount(0, 16), 0u);
+    EXPECT_EQ(shardCount(1, 16), 1u);
+    EXPECT_EQ(shardCount(16, 16), 1u);
+    EXPECT_EQ(shardCount(17, 16), 2u);
+    EXPECT_EQ(shardCount(32, 16), 2u);
+    EXPECT_EQ(shardCount(33, 16), 3u);
+    // grain 0 is treated as 1
+    EXPECT_EQ(shardCount(5, 0), 5u);
+}
+
+TEST(ShardMathTest, GrainBoundsCoverDisjointly)
+{
+    for (const std::size_t n : {1u, 7u, 16u, 17u, 100u, 1000u}) {
+        for (const std::size_t grain : {1u, 3u, 16u, 64u, 2048u}) {
+            const std::size_t shards = shardCount(n, grain);
+            std::size_t expected_lo = 0;
+            for (std::size_t s = 0; s < shards; ++s) {
+                const auto [lo, hi] = grainBounds(n, grain, s);
+                EXPECT_EQ(lo, expected_lo) << n << "/" << grain;
+                EXPECT_GT(hi, lo);
+                EXPECT_LE(hi - lo, grain);
+                // grain alignment: every shard but the last is exactly
+                // `grain` long and starts at a multiple of it
+                EXPECT_EQ(lo % grain, 0u);
+                if (s + 1 < shards)
+                    EXPECT_EQ(hi - lo, grain);
+                expected_lo = hi;
+            }
+            EXPECT_EQ(expected_lo, n);
+        }
+    }
+}
+
+TEST(ShardMathTest, BalancedChunkBoundsCoverDisjointly)
+{
+    for (const std::size_t n : {1u, 7u, 16u, 100u}) {
+        for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u}) {
+            if (chunks > n)
+                continue;
+            std::size_t expected_lo = 0;
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const auto [lo, hi] = shardBounds(n, chunks, c);
+                EXPECT_EQ(lo, expected_lo);
+                // balanced: sizes differ by at most one
+                EXPECT_GE(hi - lo, n / chunks);
+                EXPECT_LE(hi - lo, n / chunks + 1);
+                expected_lo = hi;
+            }
+            EXPECT_EQ(expected_lo, n);
+        }
+    }
+}
+
+TEST(ThreadPoolTest, WidthOneRunsSerially)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> hits(10, 0);
+    pool.run(10, [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnce)
+{
+    for (const std::size_t width : {2u, 4u, 8u}) {
+        ThreadPool pool(width);
+        EXPECT_EQ(pool.threads(), width);
+        std::vector<std::atomic<int>> hits(997);
+        pool.run(hits.size(), [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 100; ++round) {
+        pool.run(17, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(total.load(), 1700u);
+}
+
+TEST(ThreadPoolTest, NestedDispatchFlattensInsteadOfDeadlocking)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> inner{0};
+    pool.run(8, [&](std::size_t) {
+        // dispatch from inside a task: must run inline, not hang
+        pool.run(3, [&](std::size_t) {
+            inner.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner.load(), 24u);
+}
+
+TEST(ThreadPoolTest, TaskExceptionDrainsAndRethrows)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_THROW(pool.run(64,
+                              [&](std::size_t i) {
+                                  if (i == 13)
+                                      throw std::runtime_error("boom");
+                              }),
+                     std::runtime_error);
+        // The pool must stay usable (no stuck workers, no leaked
+        // in-pool flag degrading later dispatches to serial).
+        std::atomic<std::size_t> done{0};
+        pool.run(32, [&](std::size_t) {
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(done.load(), 32u);
+    }
+}
+
+TEST(ParallelForTest, SerialContextAndPoolAgree)
+{
+    const std::size_t n = 1234;
+    std::vector<int> serial_out(n, 0);
+    parallelFor(ExecContext::serial(), n,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        serial_out[i] = static_cast<int>(i * 3);
+                });
+
+    for (const std::size_t width : {2u, 5u, 8u}) {
+        ThreadPool pool(width);
+        ExecContext exec(&pool);
+        std::vector<int> out(n, 0);
+        parallelFor(exec, n, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                out[i] = static_cast<int>(i * 3);
+        });
+        EXPECT_EQ(out, serial_out) << "width " << width;
+    }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody)
+{
+    ThreadPool pool(4);
+    ExecContext exec(&pool);
+    bool called = false;
+    parallelFor(exec, 0, [&](std::size_t, std::size_t) { called = true; });
+    parallelForShards(exec, 0, 16,
+                      [&](std::size_t, std::size_t, std::size_t) {
+                          called = true;
+                      });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelForShardsTest, ShardIdsMatchBoundsAtAnyWidth)
+{
+    const std::size_t n = 530;
+    const std::size_t grain = 64;
+    for (const std::size_t width : {1u, 2u, 8u}) {
+        ThreadPool pool(width);
+        ExecContext exec(&pool);
+        const std::size_t shards = shardCount(n, grain);
+        std::vector<std::pair<std::size_t, std::size_t>> seen(
+            shards, {~0ull, ~0ull});
+        parallelForShards(exec, n, grain,
+                          [&](std::size_t s, std::size_t lo,
+                              std::size_t hi) { seen[s] = {lo, hi}; });
+        for (std::size_t s = 0; s < shards; ++s)
+            EXPECT_EQ(seen[s], grainBounds(n, grain, s))
+                << "width " << width;
+    }
+}
+
+TEST(ParallelForShardsTest, OrderedMergeIsDeterministicAcrossWidths)
+{
+    // Per-shard float accumulation + ordered merge: the canonical
+    // pattern callers use for deterministic reductions.
+    const std::size_t n = 10007;
+    std::vector<float> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = 0.001f * static_cast<float>(i % 97) - 0.03f;
+
+    auto reduce = [&](ExecContext &exec) {
+        const std::size_t shards = shardCount(n, 128);
+        std::vector<double> partial(shards, 0.0);
+        parallelForShards(exec, n, 128,
+                          [&](std::size_t s, std::size_t lo,
+                              std::size_t hi) {
+                              double acc = 0.0;
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  acc += data[i];
+                              partial[s] = acc;
+                          });
+        double total = 0.0;
+        for (const double p : partial)
+            total += p;
+        return total;
+    };
+
+    const double serial = reduce(ExecContext::serial());
+    for (const std::size_t width : {2u, 3u, 8u}) {
+        ThreadPool pool(width);
+        ExecContext exec(&pool);
+        // bit-for-bit: same shard boundaries, same merge order
+        EXPECT_EQ(reduce(exec), serial) << "width " << width;
+    }
+}
+
+TEST(ExecContextTest, SerialContextReportsOneThread)
+{
+    EXPECT_EQ(ExecContext::serial().threads(), 1u);
+    EXPECT_EQ(ExecContext::serial().pool, nullptr);
+    ThreadPool pool(6);
+    ExecContext exec(&pool);
+    EXPECT_EQ(exec.threads(), 6u);
+}
+
+} // namespace
+} // namespace lazydp

@@ -143,7 +143,7 @@ TEST(LazyDpTest, WithoutFinalizeModelsDiffer)
             if (has_next)
                 q.push(loader.next());
             lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
-                      timer);
+                      ExecContext::serial(), timer);
             q.pop();
         }
     }
@@ -162,7 +162,8 @@ TEST(LazyDpTest, FinalizeIsIdempotentViaHistory)
     Tensor snapshot(mc.rowsPerTable, mc.embedDim);
     snapshot.copyFrom(model.tables()[0].weights());
     StageTimer timer;
-    lazy.finalize(4, timer); // second flush must be a no-op
+    lazy.finalize(4, ExecContext::serial(),
+                  timer); // second flush must be a no-op
     const Tensor &after = model.tables()[0].weights();
     for (std::size_t i = 0; i < after.size(); ++i)
         EXPECT_EQ(after.data()[i], snapshot.data()[i]);
@@ -236,7 +237,7 @@ TEST(LazyDpTest, HistoryTableTracksNextAccesses)
     StageTimer timer;
     MiniBatch b1 = loader.next();
     MiniBatch b2 = loader.next();
-    lazy.step(1, b1, &b2, timer);
+    lazy.step(1, b1, &b2, ExecContext::serial(), timer);
 
     // rows of b2 (the lookahead) must be marked noised-at-iteration-1
     std::vector<std::uint32_t> next_rows;

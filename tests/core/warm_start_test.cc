@@ -61,7 +61,8 @@ TEST(WarmStartTest, TrainingContinuesFromWarmState)
     MiniBatch b1 = ds.batch(0);
     MiniBatch b2 = ds.batch(1);
     // iteration ids must continue past the warm-start point
-    EXPECT_NO_THROW(lazy.step(101, b1, &b2, timer));
+    EXPECT_NO_THROW(
+        lazy.step(101, b1, &b2, ExecContext::serial(), timer));
     // accessed-next rows are renewed to 101
     std::vector<std::uint32_t> rows;
     uniqueRows(b2.tableIndices(0), rows);
@@ -89,7 +90,8 @@ TEST(WarmStartTest, StepBeforeWarmPointPanics)
     MiniBatch b1 = ds.batch(0);
     MiniBatch b2 = ds.batch(1);
     // iteration 50 < warm-start ages -> history would be "ahead"
-    EXPECT_THROW(lazy.step(50, b1, &b2, timer), std::runtime_error);
+    EXPECT_THROW(lazy.step(50, b1, &b2, ExecContext::serial(), timer),
+                 std::runtime_error);
     setLogThrowMode(false);
 }
 

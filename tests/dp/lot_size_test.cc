@@ -81,7 +81,7 @@ coldRowDisplacement(std::size_t realized_batch, std::size_t lot_size,
     MiniBatch mb = batchOfSize(mc, realized_batch, 0);
     DpSgdF engine(model, h);
     StageTimer timer;
-    engine.step(1, mb, nullptr, timer);
+    engine.step(1, mb, nullptr, ExecContext::serial(), timer);
 
     const Tensor &after = model.tables()[0].weights();
     double d2 = 0.0;

@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <memory>
 
+#include "common/thread_pool.h"
+#include "core/factory.h"
 #include "core/lazydp.h"
 #include "data/synthetic_dataset.h"
 #include "dp/dp_sgd_f.h"
@@ -112,6 +116,127 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param.label;
     });
 
+/**
+ * Thread-count invariance: the parallel execution layer shards by
+ * fixed boundaries and all noise is keyed by (iteration, table, row),
+ * so the final model must be BIT-identical for any pool width -- for
+ * LazyDP with and without ANS, for the eager DP-SGD(F) baseline, and
+ * with deferred weight decay in play.
+ */
+class ThreadInvarianceTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+namespace thread_invariance {
+
+DatasetConfig
+datasetConfig(const ModelConfig &mc)
+{
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 8;
+    dc.seed = 4321;
+    dc.access = AccessConfig::criteoHigh(); // skew: uneven shard load
+    return dc;
+}
+
+/** Train `algo` for 12 iterations on `threads` threads. */
+std::unique_ptr<DlrmModel>
+train(const char *algo, const ModelConfig &mc, float weight_decay,
+      std::size_t threads)
+{
+    TrainHyper hyper;
+    hyper.lr = 0.05f;
+    hyper.clipNorm = 0.8f;
+    hyper.noiseMultiplier = 1.0f;
+    hyper.noiseSeed = 0xBEEF;
+    hyper.weightDecay = weight_decay;
+
+    auto model = std::make_unique<DlrmModel>(mc, 17);
+    SyntheticDataset ds(datasetConfig(mc));
+    SequentialLoader loader(ds);
+    auto algorithm = makeAlgorithm(algo, *model, hyper);
+
+    ThreadPool pool(threads);
+    ExecContext exec(&pool);
+    Trainer(*algorithm, loader, &exec).run(12);
+    return model;
+}
+
+void
+expectBitIdentical(const DlrmModel &a, const DlrmModel &b,
+                   std::size_t threads)
+{
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        ASSERT_EQ(wa.size(), wb.size());
+        EXPECT_EQ(std::memcmp(wa.data(), wb.data(),
+                              wa.size() * sizeof(float)),
+                  0)
+            << "table " << t << " differs at " << threads << " threads";
+    }
+    auto check_mlp = [&](const Mlp &ma, const Mlp &mb, const char *which) {
+        for (std::size_t l = 0; l < ma.layers().size(); ++l) {
+            const Tensor &wa = ma.layers()[l].weight();
+            const Tensor &wb = mb.layers()[l].weight();
+            EXPECT_EQ(std::memcmp(wa.data(), wb.data(),
+                                  wa.size() * sizeof(float)),
+                      0)
+                << which << " mlp layer " << l << " differs at "
+                << threads << " threads";
+        }
+    };
+    check_mlp(a.bottomMlp(), b.bottomMlp(), "bottom");
+    check_mlp(a.topMlp(), b.topMlp(), "top");
+}
+
+} // namespace thread_invariance
+
+TEST_P(ThreadInvarianceTest, FinalModelBitIdenticalAcrossThreadCounts)
+{
+    using namespace thread_invariance;
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    mc.pooling = 2;
+
+    const auto reference = train(GetParam(), mc, 0.0f, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+        const auto model = train(GetParam(), mc, 0.0f, threads);
+        expectBitIdentical(*reference, *model, threads);
+    }
+}
+
+TEST_P(ThreadInvarianceTest, DeferredDecayAlsoThreadInvariant)
+{
+    using namespace thread_invariance;
+    if (std::string(GetParam()) == "eana")
+        GTEST_SKIP() << "EANA rejects weight decay";
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    mc.pooling = 2;
+
+    const auto reference = train(GetParam(), mc, 0.1f, 1);
+    const auto model = train(GetParam(), mc, 0.1f, 8);
+    expectBitIdentical(*reference, *model, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ThreadInvarianceTest,
+                         ::testing::Values("lazydp", "lazydp-noans",
+                                           "dpsgd-f", "eana"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &info) {
+                             std::string name = info.param;
+                             for (auto &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
 TEST(HotRowEquivalenceTest, RepeatedlyAccessedRowStaysInSync)
 {
     // Force one row to be in EVERY batch (hot row with delay-1 noise
@@ -151,7 +276,7 @@ TEST(HotRowEquivalenceTest, RepeatedlyAccessedRowStaysInSync)
         StageTimer t;
         for (std::uint64_t it = 1; it <= iters; ++it) {
             MiniBatch cur = make_batch(it - 1);
-            eager.step(it, cur, nullptr, t);
+            eager.step(it, cur, nullptr, ExecContext::serial(), t);
         }
     }
     {
@@ -160,9 +285,10 @@ TEST(HotRowEquivalenceTest, RepeatedlyAccessedRowStaysInSync)
         for (std::uint64_t it = 1; it <= iters; ++it) {
             MiniBatch cur = make_batch(it - 1);
             MiniBatch next = make_batch(it);
-            lazy.step(it, cur, it < iters ? &next : nullptr, t);
+            lazy.step(it, cur, it < iters ? &next : nullptr,
+                      ExecContext::serial(), t);
         }
-        lazy.finalize(iters, t);
+        lazy.finalize(iters, ExecContext::serial(), t);
     }
 
     const Tensor &we = eager_model.tables()[0].weights();

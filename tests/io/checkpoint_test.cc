@@ -130,7 +130,8 @@ TEST_F(CheckpointTest, ResumedRunEqualsUninterruptedRun)
         q.push(loader.next());
         for (std::uint64_t it = 1; it <= split; ++it) {
             q.push(loader.next());
-            lazy.step(it, q.head(), &q.tail(), timer);
+            lazy.step(it, q.head(), &q.tail(), ExecContext::serial(),
+                      timer);
             q.pop();
         }
         io::saveTraining(path_, part_model, lazy, split + 1);
@@ -154,10 +155,10 @@ TEST_F(CheckpointTest, ResumedRunEqualsUninterruptedRun)
             if (has_next)
                 q.push(ds.batch(it));
             lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
-                      timer);
+                      ExecContext::serial(), timer);
             q.pop();
         }
-        lazy.finalize(total_iters, timer);
+        lazy.finalize(total_iters, ExecContext::serial(), timer);
     }
 
     for (std::size_t t = 0; t < ref_model.tables().size(); ++t) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "rng/gaussian.h"
 
 namespace lazydp {
@@ -139,6 +140,32 @@ TEST(GaussianTest, AutoResolvesToConcreteKernel)
 {
     const GaussianKernel k = resolveGaussianKernel(GaussianKernel::Auto);
     EXPECT_NE(k, GaussianKernel::Auto);
+}
+
+TEST_P(GaussianKernelTest, ParallelFillBitIdenticalToSerial)
+{
+    // The pool-parallel bulk fill shards the counter range on Philox
+    // block boundaries; output and stream advance must equal the
+    // serial fill exactly, for every pool width and awkward length.
+    for (const std::size_t n : {31u, 4096u, 100003u}) {
+        GaussianSampler serial(321, 2, GetParam());
+        std::vector<float> want(n, 0.0f);
+        serial.fill(want.data(), n, 1.3f);
+        std::vector<float> want2(n, 0.0f); // second call: advanced lo
+        serial.fill(want2.data(), n, 1.3f);
+
+        for (const std::size_t width : {1u, 2u, 8u}) {
+            ThreadPool pool(width);
+            ExecContext exec(&pool);
+            GaussianSampler par(321, 2, GetParam());
+            std::vector<float> got(n, 0.0f);
+            par.fill(got.data(), n, 1.3f, exec);
+            EXPECT_EQ(got, want) << "n=" << n << " width=" << width;
+            par.fill(got.data(), n, 1.3f, exec);
+            EXPECT_EQ(got, want2)
+                << "stream advance, n=" << n << " width=" << width;
+        }
+    }
 }
 
 TEST(GaussianTest, TailProbabilitiesReasonable)

@@ -20,6 +20,7 @@
 
 #include "common/cli.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/table_printer.h"
 #include "core/factory.h"
 #include "core/lazydp.h"
@@ -76,7 +77,7 @@ main(int argc, char **argv)
                        {"algo", "model", "table-mb", "batch", "iters",
                         "pooling", "lr", "sigma", "clip", "weight-decay",
                         "skew", "seed", "population", "delta", "save",
-                        "csv", "help"});
+                        "csv", "threads", "help"});
     if (args.has("help")) {
         std::printf(
             "lazydp_train --algo=<%s>\n"
@@ -86,6 +87,8 @@ main(int argc, char **argv)
             "  --lr=F --sigma=F --clip=F --weight-decay=F\n"
             "  --skew=uniform|low|medium|high --seed=N\n"
             "  --population=N --delta=F (privacy accounting)\n"
+            "  --threads=N (0 = all hardware threads; the final model\n"
+            "               is bit-identical for every N)\n"
             "  --save=PATH (LazyDP training checkpoint)  --csv\n",
             "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
         return 0;
@@ -124,12 +127,16 @@ main(int argc, char **argv)
     SyntheticDataset dataset(data_cfg);
     SequentialLoader loader(dataset);
 
+    const std::size_t threads = args.getThreads(1);
+    ThreadPool pool(threads);
+    ExecContext exec(&pool);
+
     auto algo = makeAlgorithm(algo_name, model, hyper);
     inform("training ", algo->name(), " on ", model_cfg.name, " (",
            humanBytes(model.tableBytes()), " tables, batch ", batch,
-           ", ", iters, " iters)");
+           ", ", iters, " iters, ", threads, " threads)");
 
-    Trainer trainer(*algo, loader);
+    Trainer trainer(*algo, loader, &exec);
     const TrainResult result = trainer.run(iters);
 
     TablePrinter table("Result: " + algo->name());
