@@ -7,7 +7,7 @@
 #include "common/string_util.h"
 #include "core/lazydp.h"
 #include "data/data_loader.h"
-#include "data/input_queue.h"
+#include "train/trainer.h"
 
 namespace lazydp {
 namespace bench {
@@ -71,26 +71,22 @@ runMeasured(const RunSpec &spec)
         }
     }
 
-    RunStats stats;
-    StageTimer warmup_timer;
-    InputQueue queue;
-    queue.push(dataset.batch(0));
-    const std::uint64_t total = spec.warmup + spec.iters;
-    for (std::uint64_t k = 1; k <= total; ++k) {
-        const bool has_next = true; // benches always preview a batch
-        queue.push(dataset.batch(k));
-        StageTimer &timer =
-            k <= spec.warmup ? warmup_timer : stats.timer;
-        algo->step(start_iter + k, queue.head(),
-                   has_next ? &queue.tail() : nullptr, exec, timer);
-        queue.pop();
-    }
+    SequentialLoader loader(dataset);
+    TrainOptions options;
+    options.pipeline = spec.pipeline;
+    options.recordLosses = false;
+    options.startIter = start_iter;
+    options.warmupIters = spec.warmup;
+    options.previewFinal = true; // benches always preview a batch
+    Trainer trainer(*algo, loader, &exec);
+    const TrainResult result =
+        trainer.run(spec.warmup + spec.iters, options);
 
-    WallTimer fin;
-    StageTimer fin_timer;
-    algo->finalize(start_iter + total, exec, fin_timer);
-    stats.finalizeSeconds = fin.seconds();
+    RunStats stats;
+    stats.timer = result.timer;
     stats.iters = spec.iters;
+    stats.wallSeconds = result.wallSeconds;
+    stats.finalizeSeconds = result.finalizeSeconds;
     return stats;
 }
 

@@ -50,6 +50,13 @@ struct RunSpec
      * the trained model.
      */
     std::size_t threads = 1;
+
+    /**
+     * Run the Trainer's two-stage software pipeline: prepare(i+1) and
+     * the batch-(i+2) prefetch overlap apply(i). Changes wall time
+     * only, never the trained model.
+     */
+    bool pipeline = false;
 };
 
 /** Measured outcome of a RunSpec. */
@@ -57,11 +64,29 @@ struct RunStats
 {
     StageTimer timer;             //!< measured iterations only
     std::uint64_t iters = 0;
+    double wallSeconds = 0.0;     //!< wall time of measured iterations
     double finalizeSeconds = 0.0; //!< one-time LazyDP flush (excluded)
 
-    /** @return mean seconds per measured iteration. */
+    /**
+     * Mean END-TO-END wall seconds per measured iteration (includes
+     * data loading; under the pipeline, overlapped stages count once).
+     */
     double
     secondsPerIter() const
+    {
+        return iters == 0
+                   ? 0.0
+                   : wallSeconds / static_cast<double>(iters);
+    }
+
+    /**
+     * Mean BUSY seconds per iteration: the sum of all timed stages.
+     * Equals wall (minus data loading) on the serial schedule; exceeds
+     * wall under the pipeline, where prepare stages overlap compute --
+     * figures that break time down by stage use this denominator.
+     */
+    double
+    busySecondsPerIter() const
     {
         return iters == 0 ? 0.0
                           : timer.totalSeconds() /

@@ -31,7 +31,7 @@ namespace {
 
 RunSpec
 specFor(const char *algo, std::size_t batch, std::uint64_t table_bytes,
-        std::size_t threads)
+        std::size_t threads, bool pipeline)
 {
     RunSpec spec;
     spec.algo = algo;
@@ -40,12 +40,13 @@ specFor(const char *algo, std::size_t batch, std::uint64_t table_bytes,
     spec.iters = 3;
     spec.warmup = 1;
     spec.threads = threads;
+    spec.pipeline = pipeline;
     return spec;
 }
 
 void
 runThreadSweep(const std::vector<std::size_t> &counts,
-               std::uint64_t table_bytes)
+               std::uint64_t table_bytes, bool pipeline)
 {
     TablePrinter table("Figure 10 thread sweep: sec/iter vs pool width "
                        "(batch 2048)");
@@ -54,8 +55,8 @@ runThreadSweep(const std::vector<std::size_t> &counts,
     for (const char *algo : {"lazydp", "lazydp-noans", "dpsgd-f"}) {
         double base = 0.0;
         for (const std::size_t t : counts) {
-            const RunStats stats =
-                runMeasured(specFor(algo, 2048, table_bytes, t));
+            const RunStats stats = runMeasured(
+                specFor(algo, 2048, table_bytes, t, pipeline));
             const double sec = stats.secondsPerIter();
             if (base == 0.0)
                 base = sec;
@@ -73,13 +74,15 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
-                       {"threads", "thread-sweep", "table-mb", "help"});
+                       {"threads", "thread-sweep", "table-mb",
+                        "pipeline", "help"});
     if (args.has("help")) {
-        std::printf("fig10_end_to_end [--threads=N] "
+        std::printf("fig10_end_to_end [--threads=N] [--pipeline[=on]] "
                     "[--thread-sweep=1,2,4,8] [--table-mb=N]\n");
         return 0;
     }
     const std::size_t threads = args.getThreads(1);
+    const bool pipeline = args.getBool("pipeline", false);
     const std::uint64_t table_bytes = args.getU64("table-mb", 960) << 20;
 
     printPreamble("Figure 10",
@@ -93,18 +96,19 @@ main(int argc, char **argv)
             counts.push_back(parseU64(tok));
         if (counts.empty()) // bare --thread-sweep: default widths
             counts = {1, 2, 4, 8};
-        runThreadSweep(counts, table_bytes);
+        runThreadSweep(counts, table_bytes, pipeline);
         return 0;
     }
 
     const char *algos[] = {"sgd", "lazydp", "lazydp-noans", "dpsgd-f"};
     const std::size_t batches[] = {1024, 2048, 4096};
 
-    TablePrinter table("Figure 10: training time, " +
-                       humanBytes(table_bytes) + " tables, " +
-                       std::to_string(threads) +
-                       " threads (normalized to SGD@2048)");
-    table.setHeader({"algo", "batch", "mode", "sec/iter", "vs SGD@2048"});
+    TablePrinter table(
+        "Figure 10: training time, " + humanBytes(table_bytes) +
+        " tables, " + std::to_string(threads) + " threads, pipeline " +
+        (pipeline ? "on" : "off") + " (normalized to SGD@2048)");
+    table.setHeader({"algo", "batch", "mode", "sec/iter", "busy s/iter",
+                     "vs SGD@2048"});
 
     // First pass: measure SGD@2048 for the normalization base.
     double ref = 0.0;
@@ -119,7 +123,8 @@ main(int argc, char **argv)
 
     for (const char *algo : algos) {
         for (const std::size_t batch : batches) {
-            RunSpec spec = specFor(algo, batch, table_bytes, threads);
+            RunSpec spec =
+                specFor(algo, batch, table_bytes, threads, pipeline);
             Cell cell{algo, batch, runMeasured(spec), spec.model};
             if (cell.algo == "sgd" && batch == 2048)
                 ref = cell.stats.secondsPerIter();
@@ -128,10 +133,11 @@ main(int argc, char **argv)
     }
 
     for (const auto &cell : cells) {
-        table.addRow({cell.algo, std::to_string(cell.batch), "measured",
-                      TablePrinter::num(cell.stats.secondsPerIter(), 4),
-                      TablePrinter::num(
-                          cell.stats.secondsPerIter() / ref, 2)});
+        table.addRow(
+            {cell.algo, std::to_string(cell.batch), "measured",
+             TablePrinter::num(cell.stats.secondsPerIter(), 4),
+             TablePrinter::num(cell.stats.busySecondsPerIter(), 4),
+             TablePrinter::num(cell.stats.secondsPerIter() / ref, 2)});
     }
 
     // Modeled series at the paper's 96 GB scale (batch 2048).
@@ -150,7 +156,7 @@ main(int argc, char **argv)
                                      cell.algo == "lazydp", paper_bytes);
         }
         table.addRow({cell.algo, "2048", "modeled 96GB",
-                      TablePrinter::num(sec, 4),
+                      TablePrinter::num(sec, 4), "-",
                       TablePrinter::num(sec / ref, 2)});
     }
 
@@ -158,8 +164,8 @@ main(int argc, char **argv)
 
     if (threads > 1) {
         // Scaling check: the same LazyDP configuration on one thread.
-        const RunStats serial =
-            runMeasured(specFor("lazydp", 2048, table_bytes, 1));
+        const RunStats serial = runMeasured(
+            specFor("lazydp", 2048, table_bytes, 1, pipeline));
         double multi = 0.0;
         for (const auto &cell : cells) {
             if (cell.algo == "lazydp" && cell.batch == 2048)
@@ -169,6 +175,23 @@ main(int argc, char **argv)
                     "%.2fx (%.4fs -> %.4fs per iter)\n",
                     threads, serial.secondsPerIter() / multi,
                     serial.secondsPerIter(), multi);
+    }
+
+    if (pipeline) {
+        // Pipeline check: the same LazyDP configuration, serial
+        // schedule. The trained model is bit-identical; only the
+        // overlap differs.
+        const RunStats off = runMeasured(
+            specFor("lazydp", 2048, table_bytes, threads, false));
+        double on = 0.0;
+        for (const auto &cell : cells) {
+            if (cell.algo == "lazydp" && cell.batch == 2048)
+                on = cell.stats.secondsPerIter();
+        }
+        std::printf("\nLazyDP@2048 pipeline speedup over off "
+                    "(threads=%zu): %.2fx (%.4fs -> %.4fs per iter)\n",
+                    threads, off.secondsPerIter() / on,
+                    off.secondsPerIter(), on);
     }
 
     std::printf("\nPaper anchors: DP-SGD(F) 166-375x SGD; LazyDP(w/o "

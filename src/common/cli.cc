@@ -74,9 +74,11 @@ CliArgs::getBool(const std::string &key, bool def) const
     const auto it = values_.find(key);
     if (it == values_.end())
         return def;
-    if (it->second.empty() || it->second == "true" || it->second == "1")
+    if (it->second.empty() || it->second == "true" ||
+        it->second == "1" || it->second == "on")
         return true;
-    if (it->second == "false" || it->second == "0")
+    if (it->second == "false" || it->second == "0" ||
+        it->second == "off")
         return false;
     fatal("flag '--", key, "' expects a boolean, got '", it->second,
           "'");

@@ -42,7 +42,7 @@ class CliArgs
     /** @return double value or @p def; fatal on garbage. */
     double getDouble(const std::string &key, double def) const;
 
-    /** @return boolean: present without value or "=true"/"=1". */
+    /** @return boolean: present without value, "=true"/"=1"/"=on". */
     bool getBool(const std::string &key, bool def) const;
 
     /**

@@ -44,6 +44,75 @@ ThreadPool::~ThreadPool()
     wake_.notify_all();
     for (auto &w : workers_)
         w.join();
+
+    {
+        std::lock_guard<std::mutex> lock(asyncMu_);
+        asyncStop_ = true;
+    }
+    asyncWake_.notify_all();
+    if (asyncWorker_.joinable())
+        asyncWorker_.join();
+}
+
+void
+TaskHandle::wait()
+{
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->error != nullptr)
+        std::rethrow_exception(state_->error);
+}
+
+TaskHandle
+ThreadPool::submit(std::function<void()> fn)
+{
+    auto state = std::make_shared<TaskHandle::State>();
+    state->fn = std::move(fn);
+    {
+        std::lock_guard<std::mutex> lock(asyncMu_);
+        if (!asyncStarted_) {
+            asyncStarted_ = true;
+            asyncWorker_ = std::thread([this] { asyncLoop(); });
+        }
+        asyncQueue_.push_back(state);
+    }
+    asyncWake_.notify_one();
+    return TaskHandle(std::move(state));
+}
+
+void
+ThreadPool::asyncLoop()
+{
+    for (;;) {
+        std::shared_ptr<TaskHandle::State> task;
+        {
+            std::unique_lock<std::mutex> lock(asyncMu_);
+            asyncWake_.wait(lock, [&] {
+                return asyncStop_ || !asyncQueue_.empty();
+            });
+            // Drain the whole queue before honoring stop: destruction
+            // must not abandon submitted tasks (a wait() on one would
+            // block forever).
+            if (asyncQueue_.empty())
+                return;
+            task = std::move(asyncQueue_.front());
+            asyncQueue_.pop_front();
+        }
+        try {
+            // Flatten any pool dispatch issued from inside the task:
+            // the loop workers belong to the main thread's compute.
+            InPoolScope scope;
+            task->fn();
+        } catch (...) {
+            task->error = std::current_exception();
+        }
+        task->fn = nullptr; // release captures before signaling
+        {
+            std::lock_guard<std::mutex> lock(task->mu);
+            task->done = true;
+        }
+        task->cv.notify_all();
+    }
 }
 
 void

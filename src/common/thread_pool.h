@@ -31,7 +31,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -41,6 +43,44 @@ namespace lazydp {
 
 /** @return the host's hardware thread count (>= 1). */
 std::size_t hardwareThreads();
+
+/**
+ * Waitable handle to a task submitted with ThreadPool::submit.
+ *
+ * wait() blocks until the task has finished and rethrows the task's
+ * exception (if any); it may be called more than once. A
+ * default-constructed handle is invalid and must not be waited on.
+ */
+class TaskHandle
+{
+  public:
+    TaskHandle() = default;
+
+    /** @return true when this handle refers to a submitted task. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** Block until the task completes; rethrows its exception. */
+    void wait();
+
+    /** Shared completion state (public for the pool's internals). */
+    struct State
+    {
+        std::function<void()> fn;
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::exception_ptr error;
+    };
+
+  private:
+    friend class ThreadPool;
+    explicit TaskHandle(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> state_;
+};
 
 /**
  * Fixed-size pool of persistent worker threads.
@@ -79,8 +119,30 @@ class ThreadPool
     void run(std::size_t num_tasks,
              const std::function<void(std::size_t)> &task);
 
+    /**
+     * Enqueue @p fn on the pool's asynchronous lane and return
+     * immediately. The lane is ONE dedicated thread (spawned lazily on
+     * first use, independent of the loop-dispatch width, so submit works
+     * even on a width-1 pool): submitted tasks execute in submission
+     * order, one at a time, concurrently with the caller -- the software
+     * pipeline primitive the Trainer uses to overlap next-iteration
+     * noise preparation and batch prefetch with the current iteration's
+     * dense compute.
+     *
+     * Tasks run with nested-dispatch flattening active: any
+     * parallelFor / ThreadPool::run issued from inside a submitted task
+     * degenerates to a serial loop instead of racing the main thread's
+     * own dispatches for the loop workers.
+     *
+     * The destructor drains the lane: tasks already submitted all run
+     * to completion before the pool dies. Exceptions are captured and
+     * rethrown from TaskHandle::wait.
+     */
+    TaskHandle submit(std::function<void()> fn);
+
   private:
     void workerLoop();
+    void asyncLoop();
 
     std::vector<std::thread> workers_;
     std::mutex mu_;
@@ -93,6 +155,14 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     bool stop_ = false;
     std::exception_ptr error_;   //!< first throw of the dispatch
+
+    // Asynchronous single-task lane (ThreadPool::submit).
+    std::thread asyncWorker_;
+    std::mutex asyncMu_;
+    std::condition_variable asyncWake_;
+    std::deque<std::shared_ptr<TaskHandle::State>> asyncQueue_;
+    bool asyncStarted_ = false;
+    bool asyncStop_ = false;
 };
 
 /**

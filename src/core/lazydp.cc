@@ -29,11 +29,142 @@ LazyDpAlgorithm::LazyDpAlgorithm(DlrmModel &model, const TrainHyper &hyper,
     }
 }
 
-double
-LazyDpAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
-                      const MiniBatch *next, ExecContext &exec,
-                      StageTimer &timer)
+void
+LazyDpAlgorithm::prepare(std::uint64_t iter, const MiniBatch &cur,
+                         const MiniBatch *next, PreparedStep &out_base,
+                         ExecContext &exec, StageTimer &timer)
 {
+    auto &out = static_cast<LazyDpPrepared &>(out_base);
+    out.iter = iter;
+    out.tables.resize(model_.config().numTables);
+    for (std::size_t t = 0; t < out.tables.size(); ++t)
+        prepareTable(iter, t, cur, next, out.tables[t], exec, timer);
+}
+
+void
+LazyDpAlgorithm::prepareTable(std::uint64_t iter, std::size_t t,
+                              const MiniBatch &cur, const MiniBatch *next,
+                              LazyDpPrepared::TableState &pt,
+                              ExecContext &exec, StageTimer &timer)
+{
+    // Rows per shard for the row-parallel noise fill: small enough to
+    // spread a few thousand touched rows across a pool, large enough to
+    // amortize dispatch. Fixed, so shard boundaries never depend on the
+    // thread count.
+    constexpr std::size_t kRowGrain = 64;
+    const std::size_t dim = model_.tables()[t].dim();
+    const auto table_id = static_cast<std::uint32_t>(t);
+
+    // LazyDP bookkeeping (the 15% overhead of Figure 11): deduplicate
+    // the next iteration's accesses, derive delayed-update counts from
+    // the HistoryTable and renew it (Algorithm 1 lines 11-16).
+    timer.start(Stage::LazyOverhead);
+    if (next != nullptr) {
+        // Sub-timed for the Figure 11 overhead breakdown: (1) dedup of
+        // the next batch's indices, (2) HistoryTable read + delay
+        // derivation (the ANS stddev inputs), (3) HistoryTable renewal.
+        WallTimer sub;
+        uniqueRows(next->tableIndices(t), pt.nextUnique);
+        overhead_.dedupSeconds += sub.seconds();
+        sub.reset();
+        history_.delays(t, pt.nextUnique, iter, delays_);
+        if (decayed_ != nullptr) {
+            decayed_->delays(t, pt.nextUnique, iter, pt.decayDelays);
+        }
+        overhead_.historyReadSeconds += sub.seconds();
+        sub.reset();
+        history_.renewAll(t, pt.nextUnique, iter);
+        if (decayed_ != nullptr)
+            decayed_->renewAll(t, pt.nextUnique, iter);
+        overhead_.historyWriteSeconds += sub.seconds();
+    } else {
+        pt.nextUnique.clear();
+        delays_.clear();
+        pt.decayDelays.clear();
+    }
+
+    // Deferred-decay bookkeeping for the rows accessed THIS iteration
+    // but not about to be noise-flushed: their single-step decay is
+    // read and recorded here so apply() never touches the decay table
+    // (prepare owns all History/decay state -- the pipeline-safety
+    // invariant). The coalesced gradient's row list equals the sorted
+    // unique current-batch indices, so curDecaySteps indexes align
+    // with the SparseGrad built in apply().
+    if (decayed_ != nullptr) {
+        uniqueRows(cur.tableIndices(t), curUnique_);
+        pt.curDecaySteps.assign(curUnique_.size(), 0);
+        for (std::size_t i = 0; i < curUnique_.size(); ++i) {
+            const std::uint32_t row = curUnique_[i];
+            if (std::binary_search(pt.nextUnique.begin(),
+                                   pt.nextUnique.end(), row))
+                continue; // decay covered by decayDelays in apply()
+            pt.curDecaySteps[i] = static_cast<std::uint32_t>(
+                iter - decayed_->lastNoised(t, row));
+            decayed_->renew(t, row, iter);
+        }
+    }
+    timer.stop();
+
+    // Noise sampling for ONLY the rows about to be accessed
+    // (Algorithm 1 lines 17-18 / procedure NoiseSampling).
+    timer.start(Stage::NoiseSampling);
+    if (!pt.nextUnique.empty()) {
+        if (pt.noiseVals.rows() < pt.nextUnique.size() ||
+            pt.noiseVals.cols() != dim) {
+            pt.noiseVals.resize(pt.nextUnique.size(), dim);
+        }
+        const float sigma = noiseStddev();
+        // Sharded by destination row: every row's draws are keyed by
+        // (iteration, table, row), so any shard order -- or the
+        // pipeline's serial execution -- yields the same values (the
+        // paper's ANS compute bottleneck, spread across cores).
+        parallelForShards(
+            exec, pt.nextUnique.size(), kRowGrain,
+            [&](std::size_t, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    float *dst = pt.noiseVals.data() + i * dim;
+                    std::fill(dst, dst + dim, 0.0f);
+                    if (delays_[i] == 0)
+                        continue; // noised this very iteration already
+                    const std::uint64_t from = iter - delays_[i] + 1;
+                    if (decayed_ == nullptr) {
+                        if (useAns_) {
+                            noise_.aggregatedRowNoise(
+                                from, iter, table_id, pt.nextUnique[i],
+                                sigma, 1.0f, dst, dim);
+                        } else {
+                            noise_.accumulateRowNoise(
+                                from, iter, table_id, pt.nextUnique[i],
+                                sigma, 1.0f, dst, dim);
+                        }
+                    } else {
+                        // Deferred decay: pending noises pick up the
+                        // geometric weights an eager engine would have
+                        // applied.
+                        const float alpha = decayAlpha();
+                        if (useAns_) {
+                            noise_.aggregatedGeometricRowNoise(
+                                from, iter, table_id, pt.nextUnique[i],
+                                alpha, sigma, 1.0f, dst, dim);
+                        } else {
+                            noise_.geometricRowNoise(
+                                from, iter, table_id, pt.nextUnique[i],
+                                alpha, sigma, 1.0f, dst, dim);
+                        }
+                    }
+                }
+            });
+    }
+    timer.stop();
+}
+
+double
+LazyDpAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
+                       PreparedStep &prepared, ExecContext &exec,
+                       StageTimer &timer)
+{
+    auto &prep = static_cast<LazyDpPrepared &>(prepared);
+    LAZYDP_ASSERT(prep.iter == iter, "prepared state is for another iter");
     const std::size_t batch = cur.batchSize;
     lastBatchSize_ = batch;
     const double loss = forwardAndLoss(cur, exec, timer);
@@ -53,7 +184,8 @@ LazyDpAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
     timer.stop();
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        lazyTableUpdate(iter, t, cur, next, batch, exec, timer);
+        applyTableUpdate(iter, t, cur, prep.tables[t], batch, exec,
+                         timer);
 
     // Dense MLP layers: identical DP protection to DP-SGD(F).
     noisyMlpUpdate(iter, batch, exec, timer);
@@ -61,19 +193,16 @@ LazyDpAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
 }
 
 void
-LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
-                                 const MiniBatch &cur,
-                                 const MiniBatch *next, std::size_t batch,
-                                 ExecContext &exec, StageTimer &timer)
+LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
+                                  const MiniBatch &cur,
+                                  LazyDpPrepared::TableState &pt,
+                                  std::size_t batch, ExecContext &exec,
+                                  StageTimer &timer)
 {
-    // Rows per shard for the row-parallel phases below: small enough to
-    // spread a few thousand touched rows across a pool, large enough to
-    // amortize dispatch. Fixed, so shard boundaries never depend on the
-    // thread count.
+    (void)iter;
     constexpr std::size_t kRowGrain = 64;
     EmbeddingTable &tbl = model_.tables()[t];
     const std::size_t dim = tbl.dim();
-    const auto table_id = static_cast<std::uint32_t>(t);
 
     // Coalesce this iteration's clipped sparse gradient.
     timer.start(Stage::GradCoalesce);
@@ -81,106 +210,26 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
     model_.embeddingBackward(cur, t, grad);
     timer.stop();
 
-    // LazyDP bookkeeping (the 15% overhead of Figure 11): deduplicate
-    // the next iteration's accesses, derive delayed-update counts from
-    // the HistoryTable and renew it (Algorithm 1 lines 11-16).
-    timer.start(Stage::LazyOverhead);
-    if (next != nullptr) {
-        // Sub-timed for the Figure 11 overhead breakdown: (1) dedup of
-        // the next batch's indices, (2) HistoryTable read + delay
-        // derivation (the ANS stddev inputs), (3) HistoryTable renewal.
-        WallTimer sub;
-        uniqueRows(next->tableIndices(t), nextUnique_);
-        overhead_.dedupSeconds += sub.seconds();
-        sub.reset();
-        history_.delays(t, nextUnique_, iter, delays_);
-        if (decayed_ != nullptr) {
-            decayed_->delays(t, nextUnique_, iter, decayDelays_);
-        }
-        overhead_.historyReadSeconds += sub.seconds();
-        sub.reset();
-        history_.renewAll(t, nextUnique_, iter);
-        if (decayed_ != nullptr)
-            decayed_->renewAll(t, nextUnique_, iter);
-        overhead_.historyWriteSeconds += sub.seconds();
-    } else {
-        nextUnique_.clear();
-        delays_.clear();
-        decayDelays_.clear();
-    }
-    timer.stop();
-
-    // Noise sampling for ONLY the rows about to be accessed
-    // (Algorithm 1 lines 17-18 / procedure NoiseSampling).
-    timer.start(Stage::NoiseSampling);
-    if (!nextUnique_.empty()) {
-        if (noiseVals_.rows() < nextUnique_.size() ||
-            noiseVals_.cols() != dim) {
-            noiseVals_.resize(nextUnique_.size(), dim);
-        }
-        const float sigma = noiseStddev();
-        // Sharded by destination row: every row's draws are keyed by
-        // (iteration, table, row), so any shard order yields the same
-        // values (the paper's ANS compute bottleneck, spread across
-        // cores).
-        parallelForShards(
-            exec, nextUnique_.size(), kRowGrain,
-            [&](std::size_t, std::size_t lo, std::size_t hi) {
-                for (std::size_t i = lo; i < hi; ++i) {
-                    float *dst = noiseVals_.data() + i * dim;
-                    std::fill(dst, dst + dim, 0.0f);
-                    if (delays_[i] == 0)
-                        continue; // noised this very iteration already
-                    const std::uint64_t from = iter - delays_[i] + 1;
-                    if (decayed_ == nullptr) {
-                        if (useAns_) {
-                            noise_.aggregatedRowNoise(
-                                from, iter, table_id, nextUnique_[i],
-                                sigma, 1.0f, dst, dim);
-                        } else {
-                            noise_.accumulateRowNoise(
-                                from, iter, table_id, nextUnique_[i],
-                                sigma, 1.0f, dst, dim);
-                        }
-                    } else {
-                        // Deferred decay: pending noises pick up the
-                        // geometric weights an eager engine would have
-                        // applied.
-                        const float alpha = decayAlpha();
-                        if (useAns_) {
-                            noise_.aggregatedGeometricRowNoise(
-                                from, iter, table_id, nextUnique_[i],
-                                alpha, sigma, 1.0f, dst, dim);
-                        } else {
-                            noise_.geometricRowNoise(
-                                from, iter, table_id, nextUnique_[i],
-                                alpha, sigma, 1.0f, dst, dim);
-                        }
-                    }
-                }
-            });
-    }
-    timer.stop();
-
-    // Merge sparse gradient and sparse noise into one update list
-    // (Algorithm 1 lines 19-20). Both row lists are sorted. The serial
-    // two-pointer walk only builds row ids + source indices; the value
-    // materialization and the model update below are then row-parallel.
+    // Merge sparse gradient and sparse (prepared) noise into one update
+    // list (Algorithm 1 lines 19-20). Both row lists are sorted. The
+    // serial two-pointer walk only builds row ids + source indices; the
+    // value materialization and the model update below are then
+    // row-parallel.
     timer.start(Stage::NoisyGradGen);
     mergedRows_.clear();
-    mergedRows_.reserve(grad.rows.size() + nextUnique_.size());
+    mergedRows_.reserve(grad.rows.size() + pt.nextUnique.size());
     mergedGradIdx_.clear();
     mergedNextIdx_.clear();
     {
         std::size_t gi = 0, ni = 0;
-        while (gi < grad.rows.size() || ni < nextUnique_.size()) {
+        while (gi < grad.rows.size() || ni < pt.nextUnique.size()) {
             std::uint32_t row;
-            if (ni >= nextUnique_.size() ||
+            if (ni >= pt.nextUnique.size() ||
                 (gi < grad.rows.size() &&
-                 grad.rows[gi] <= nextUnique_[ni])) {
+                 grad.rows[gi] <= pt.nextUnique[ni])) {
                 row = grad.rows[gi];
             } else {
-                row = nextUnique_[ni];
+                row = pt.nextUnique[ni];
             }
             mergedRows_.push_back(row);
             if (gi < grad.rows.size() && grad.rows[gi] == row) {
@@ -190,7 +239,7 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
             } else {
                 mergedGradIdx_.push_back(kNoSource);
             }
-            if (ni < nextUnique_.size() && nextUnique_[ni] == row) {
+            if (ni < pt.nextUnique.size() && pt.nextUnique[ni] == row) {
                 mergedNextIdx_.push_back(
                     static_cast<std::uint32_t>(ni));
                 ++ni;
@@ -216,10 +265,10 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
                                 dim * sizeof(float));
                     if (ni != kNoSource) {
                         simd::add(dst, dst,
-                                  noiseVals_.data() + ni * dim, dim);
+                                  pt.noiseVals.data() + ni * dim, dim);
                     }
                 } else {
-                    std::memcpy(dst, noiseVals_.data() + ni * dim,
+                    std::memcpy(dst, pt.noiseVals.data() + ni * dim,
                                 dim * sizeof(float));
                 }
             }
@@ -245,6 +294,14 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
         // With deferred decay: each merged row is first scaled by
         // alpha^(pending decay steps), then receives its (already
         // geometrically weighted) noise plus this iteration's gradient.
+        // All decay-step counts were derived (and the decay table
+        // renewed) in prepare(); a grad-only row's single-step decay
+        // happens here while the gradient itself is not decayed,
+        // matching the eager ordering w <- a*w - lr/B*(g+n).
+        // curDecaySteps was indexed by prepare's own dedup of cur,
+        // which must coincide with the coalesced gradient's row list.
+        LAZYDP_ASSERT(pt.curDecaySteps.size() == grad.rows.size(),
+                      "prepared decay steps diverge from gradient rows");
         const float alpha = decayAlpha();
         parallelForShards(
             exec, mergedRows_.size(), kRowGrain,
@@ -254,17 +311,9 @@ LazyDpAlgorithm::lazyTableUpdate(std::uint64_t iter, std::size_t t,
                     const bool in_next = mergedNextIdx_[m] != kNoSource;
                     const bool in_grad = mergedGradIdx_[m] != kNoSource;
                     std::uint64_t decay_steps =
-                        in_next ? decayDelays_[mergedNextIdx_[m]] : 0;
-                    if (in_grad && !in_next) {
-                        // accessed this iteration but not flushed now:
-                        // its single-step decay happens here and is
-                        // recorded in the decay table (the gradient is
-                        // not decayed, matching the eager ordering
-                        // w <- a*w - lr/B*(g+n))
-                        decay_steps =
-                            iter - decayed_->lastNoised(t, row);
-                        decayed_->renew(t, row, iter);
-                    }
+                        in_next ? pt.decayDelays[mergedNextIdx_[m]] : 0;
+                    if (in_grad && !in_next)
+                        decay_steps = pt.curDecaySteps[mergedGradIdx_[m]];
                     if (decay_steps > 0) {
                         simd::scale(
                             tbl.rowPtr(row), dim,

@@ -45,6 +45,37 @@
 
 namespace lazydp {
 
+/**
+ * LazyDP's prepared state: per embedding table, the deduplicated
+ * next-batch rows, their (lazily aggregated) keyed noise, and -- when
+ * deferred weight decay is active -- the per-row pending decay step
+ * counts. Everything here derives from batch indices, the HistoryTable
+ * and the keyed noise streams; nothing reads model weights, which is
+ * what lets the Trainer compute it one iteration ahead.
+ */
+class LazyDpPrepared : public PreparedStep
+{
+  public:
+    struct TableState
+    {
+        std::vector<std::uint32_t> nextUnique; //!< sorted next-batch rows
+        Tensor noiseVals;                      //!< (|nextUnique| x dim)
+
+        /** Pending decay steps per nextUnique row (decay mode only). */
+        std::vector<std::uint32_t> decayDelays;
+
+        /**
+         * Pending decay steps per coalesced current-batch row (decay
+         * mode only; 0 for rows also in nextUnique, whose decay is
+         * covered by decayDelays). Indexed like the SparseGrad row
+         * list, which equals the sorted unique current-batch indices.
+         */
+        std::vector<std::uint32_t> curDecaySteps;
+    };
+
+    std::vector<TableState> tables;
+};
+
 /** LazyDP training engine. */
 class LazyDpAlgorithm : public DpEngineBase
 {
@@ -63,9 +94,27 @@ class LazyDpAlgorithm : public DpEngineBase
         return useAns_ ? "LazyDP" : "LazyDP(w/o ANS)";
     }
 
-    double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, ExecContext &exec,
-                StageTimer &timer) override;
+    std::unique_ptr<PreparedStep>
+    makePrepared() const override
+    {
+        return std::make_unique<LazyDpPrepared>();
+    }
+
+    /**
+     * The paper's per-iteration lookahead work (Algorithm 1 lines
+     * 11-18), all of it weight-independent: next-batch dedup,
+     * HistoryTable delay reads + renewal, ANS stddev derivation and
+     * keyed noise sampling -- plus ALL deferred-decay bookkeeping, so
+     * the History/decay tables are owned exclusively by prepare() and
+     * apply() never races them under the pipelined schedule.
+     */
+    void prepare(std::uint64_t iter, const MiniBatch &cur,
+                 const MiniBatch *next, PreparedStep &out,
+                 ExecContext &exec, StageTimer &timer) override;
+
+    double apply(std::uint64_t iter, const MiniBatch &cur,
+                 PreparedStep &prepared, ExecContext &exec,
+                 StageTimer &timer) override;
 
     /**
      * Apply every pending noise update through @p last_iter (one dense
@@ -121,18 +170,28 @@ class LazyDpAlgorithm : public DpEngineBase
 
   private:
     /**
-     * Sample (lazily aggregated) noise for the rows about to be
-     * accessed, merge with this iteration's clipped sparse gradient,
-     * and apply the combined sparse update to table @p t. Noise
-     * sampling, merge materialization and the row updates are sharded
-     * by embedding row over @p exec; rows are unique within each list,
-     * so shards write disjoint rows and the result is identical at any
-     * thread count.
+     * Prepare-half of one table's lazy update: dedup the next batch,
+     * read/renew the History (and decay) tables, and sample the keyed
+     * noise into @p pt.
      */
-    void lazyTableUpdate(std::uint64_t iter, std::size_t t,
-                         const MiniBatch &cur, const MiniBatch *next,
-                         std::size_t batch, ExecContext &exec,
-                         StageTimer &timer);
+    void prepareTable(std::uint64_t iter, std::size_t t,
+                      const MiniBatch &cur, const MiniBatch *next,
+                      LazyDpPrepared::TableState &pt, ExecContext &exec,
+                      StageTimer &timer);
+
+    /**
+     * Apply-half of one table's lazy update: coalesce this iteration's
+     * clipped sparse gradient, merge it with the prepared noise, and
+     * apply the combined sparse update to table @p t. Merge
+     * materialization and the row updates are sharded by embedding row
+     * over @p exec; rows are unique within each list, so shards write
+     * disjoint rows and the result is identical at any thread count.
+     */
+    void applyTableUpdate(std::uint64_t iter, std::size_t t,
+                          const MiniBatch &cur,
+                          LazyDpPrepared::TableState &pt,
+                          std::size_t batch, ExecContext &exec,
+                          StageTimer &timer);
 
     bool useAns_;
     HistoryTable history_;
@@ -147,12 +206,14 @@ class LazyDpAlgorithm : public DpEngineBase
      * stays pending.
      */
     std::unique_ptr<HistoryTable> decayed_;
-    std::vector<std::uint32_t> decayDelays_;
 
-    // Per-iteration scratch (reused across tables)
-    std::vector<std::uint32_t> nextUnique_;
+    // prepare()-only scratch. Prepares are serialized (the pipeline
+    // runs one at a time, in iteration order), so reuse across
+    // iterations and tables is race-free.
     std::vector<std::uint32_t> delays_;
-    Tensor noiseVals_;   // (|nextUnique| x dim)
+    std::vector<std::uint32_t> curUnique_;
+
+    // apply()-only scratch (reused across tables)
     std::vector<std::uint32_t> mergedRows_;
     Tensor mergedVals_;  // (|merged| x dim)
     // Per-merged-row source indices (kNoSource = absent), precomputed

@@ -4,11 +4,17 @@
 
 namespace lazydp {
 
+InputQueue::InputQueue(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity)
+{
+    LAZYDP_ASSERT(capacity > 0, "InputQueue capacity must be positive");
+}
+
 void
 InputQueue::push(MiniBatch &&mb)
 {
-    LAZYDP_ASSERT(size_ < 2, "InputQueue capacity is two mini-batches");
-    slots_[(first_ + size_) % 2] = std::move(mb);
+    LAZYDP_ASSERT(size_ < slots_.size(), "push() on a full InputQueue");
+    slots_[(first_ + size_) % slots_.size()] = std::move(mb);
     ++size_;
 }
 
@@ -20,17 +26,24 @@ InputQueue::head() const
 }
 
 const MiniBatch &
+InputQueue::at(std::size_t i) const
+{
+    LAZYDP_ASSERT(i < size_, "at() beyond queued batches");
+    return slots_[(first_ + i) % slots_.size()];
+}
+
+const MiniBatch &
 InputQueue::tail() const
 {
     LAZYDP_ASSERT(size_ > 0, "tail() of empty InputQueue");
-    return slots_[(first_ + size_ - 1) % 2];
+    return slots_[(first_ + size_ - 1) % slots_.size()];
 }
 
 void
 InputQueue::pop()
 {
     LAZYDP_ASSERT(size_ > 0, "pop() of empty InputQueue");
-    first_ = (first_ + 1) % 2;
+    first_ = (first_ + 1) % slots_.size();
     --size_;
 }
 

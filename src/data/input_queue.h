@@ -1,35 +1,52 @@
 /**
  * @file
- * Two-entry mini-batch lookahead queue (paper Algorithm 1, lines 3-5).
+ * Mini-batch lookahead ring (paper Algorithm 1, lines 3-5).
  *
  * LazyDP must know which embedding rows the *next* iteration will gather
  * so it can flush their pending noise first. The queue holds the current
- * mini-batch at the head and the next mini-batch at the tail; exactly
- * one new batch is fetched per iteration, identical to the baseline
- * loaders' I/O volume.
+ * mini-batch at the head and up to capacity-1 upcoming batches behind
+ * it; exactly one new batch is fetched per iteration, identical to the
+ * baseline loaders' I/O volume.
+ *
+ * Depth 2 (the default) is the paper's serial schedule: current +
+ * next. The pipelined Trainer uses depth 3 so the asynchronous
+ * prefetch stage can load batch i+2 while iteration i computes and
+ * batch i+1 is being prepared against.
+ *
+ * Slots never move or reallocate after construction, so references
+ * returned by head()/at()/tail() stay valid across push() of OTHER
+ * slots -- the property the pipelined Trainer relies on when the async
+ * stage pushes while the main thread holds a reference to the head.
  */
 
 #ifndef LAZYDP_DATA_INPUT_QUEUE_H
 #define LAZYDP_DATA_INPUT_QUEUE_H
 
-#include <array>
 #include <cstddef>
+#include <vector>
 
 #include "data/minibatch.h"
 
 namespace lazydp {
 
-/** Fixed-capacity (2) queue of mini-batches with head/tail access. */
+/** Fixed-capacity ring of mini-batches with indexed FIFO access. */
 class InputQueue
 {
   public:
-    InputQueue() = default;
+    /** @param capacity ring depth (>= 1; 2 = the classic lookahead). */
+    explicit InputQueue(std::size_t capacity = 2);
 
     /** @return true when no batches are queued. */
     bool empty() const { return size_ == 0; }
 
-    /** @return number of queued batches (0..2). */
+    /** @return true when all slots are occupied. */
+    bool full() const { return size_ == slots_.size(); }
+
+    /** @return number of queued batches (0..capacity). */
     std::size_t size() const { return size_; }
+
+    /** @return ring depth. */
+    std::size_t capacity() const { return slots_.size(); }
 
     /**
      * Append a batch; the queue must not already be full.
@@ -40,14 +57,17 @@ class InputQueue
     /** @return the current iteration's batch (oldest). */
     const MiniBatch &head() const;
 
-    /** @return the next iteration's batch (newest). */
+    /** @return the @p i-th batch from the head (0 = head). */
+    const MiniBatch &at(std::size_t i) const;
+
+    /** @return the newest queued batch. */
     const MiniBatch &tail() const;
 
     /** Drop the head batch. */
     void pop();
 
   private:
-    std::array<MiniBatch, 2> slots_;
+    std::vector<MiniBatch> slots_;
     std::size_t first_ = 0;
     std::size_t size_ = 0;
 };

@@ -5,10 +5,10 @@
 namespace lazydp {
 
 double
-DpSgdB::step(std::uint64_t iter, const MiniBatch &cur,
-             const MiniBatch *next, ExecContext &exec, StageTimer &timer)
+DpSgdB::apply(std::uint64_t iter, const MiniBatch &cur,
+              PreparedStep &prepared, ExecContext &exec, StageTimer &timer)
 {
-    (void)next;
+    (void)prepared;
     const std::size_t batch = cur.batchSize;
     const double loss = forwardAndLoss(cur, exec, timer);
 

@@ -26,9 +26,10 @@ class DpSgdB : public DpEngineBase
 
     std::string name() const override { return "DP-SGD(B)"; }
 
-    double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, ExecContext &exec,
-                StageTimer &timer) override;
+    /** Eager engine: no lookahead work, the default prepare applies. */
+    double apply(std::uint64_t iter, const MiniBatch &cur,
+                 PreparedStep &prepared, ExecContext &exec,
+                 StageTimer &timer) override;
 
     /** @return bytes held by materialized per-example grads last step. */
     std::uint64_t

@@ -29,9 +29,10 @@ class DpSgdR : public DpEngineBase
 
     std::string name() const override { return "DP-SGD(R)"; }
 
-    double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, ExecContext &exec,
-                StageTimer &timer) override;
+    /** Eager engine: no lookahead work, the default prepare applies. */
+    double apply(std::uint64_t iter, const MiniBatch &cur,
+                 PreparedStep &prepared, ExecContext &exec,
+                 StageTimer &timer) override;
 };
 
 } // namespace lazydp

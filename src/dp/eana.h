@@ -15,9 +15,30 @@
 #ifndef LAZYDP_DP_EANA_H
 #define LAZYDP_DP_EANA_H
 
+#include <vector>
+
 #include "dp/dp_engine_base.h"
+#include "tensor/tensor.h"
 
 namespace lazydp {
+
+/**
+ * EANA's prepared state: per table, the sorted unique rows of the
+ * current batch and their keyed noise -- both derivable from the batch
+ * indices alone, so the whole sampling stage pipelines ahead of the
+ * weight-dependent compute.
+ */
+class EanaPrepared : public PreparedStep
+{
+  public:
+    struct TableState
+    {
+        std::vector<std::uint32_t> rows; //!< sorted unique accessed rows
+        Tensor noise;                    //!< (rows x dim) keyed Gaussians
+    };
+
+    std::vector<TableState> tables;
+};
 
 /** EANA: noise on accessed rows only (weaker privacy, high speed). */
 class EanaAlgorithm : public DpEngineBase
@@ -33,9 +54,25 @@ class EanaAlgorithm : public DpEngineBase
 
     std::string name() const override { return "EANA"; }
 
-    double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, ExecContext &exec,
-                StageTimer &timer) override;
+    std::unique_ptr<PreparedStep>
+    makePrepared() const override
+    {
+        return std::make_unique<EanaPrepared>();
+    }
+
+    /**
+     * Dedup the current batch's indices per table and sample the keyed
+     * row noise (the coalesced row list equals what embeddingBackward
+     * will produce in apply(), so the noise lands row-aligned with the
+     * gradient).
+     */
+    void prepare(std::uint64_t iter, const MiniBatch &cur,
+                 const MiniBatch *next, PreparedStep &out,
+                 ExecContext &exec, StageTimer &timer) override;
+
+    double apply(std::uint64_t iter, const MiniBatch &cur,
+                 PreparedStep &prepared, ExecContext &exec,
+                 StageTimer &timer) override;
 };
 
 } // namespace lazydp

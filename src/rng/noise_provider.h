@@ -15,6 +15,13 @@
  *  - Aggregated noise sampling (ANS, Section 5.2.2) draws from a
  *    domain-separated counter range so a single N(0, k*sigma^2) draw
  *    never reuses randomness from the per-iteration streams.
+ *
+ *  - The provider is stateless after construction (counter-keyed
+ *    Philox, no internal cursor), so every method is safe to call
+ *    concurrently from any thread. The pipelined Trainer exploits
+ *    this: prepare(i+1) samples next-iteration noise on the async lane
+ *    while apply(i) draws MLP noise on the pool, and both read the
+ *    same provider.
  */
 
 #ifndef LAZYDP_RNG_NOISE_PROVIDER_H

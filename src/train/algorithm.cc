@@ -1,0 +1,16 @@
+#include "train/algorithm.h"
+
+namespace lazydp {
+
+double
+Algorithm::step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer)
+{
+    if (stepScratch_ == nullptr)
+        stepScratch_ = makePrepared();
+    prepare(iter, cur, next, *stepScratch_, exec, timer);
+    return apply(iter, cur, *stepScratch_, exec, timer);
+}
+
+} // namespace lazydp

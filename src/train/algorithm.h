@@ -7,12 +7,29 @@
  * the Trainer and every benchmark treat them interchangeably and time
  * them with the same StageTimer stages (the stages of the paper's
  * Figures 3, 5, 10, 11).
+ *
+ * An iteration is split into two stages so the Trainer can software-
+ * pipeline them:
+ *
+ *   prepare(iter)  batch-dependent, model-weight-INDEPENDENT work:
+ *                  next-batch index dedup, HistoryTable delay reads,
+ *                  ANS stddev derivation, keyed Philox noise sampling.
+ *                  Results land in a PreparedStep buffer.
+ *   apply(iter)    model-weight-dependent work: forward/backward,
+ *                  clipping, and the (merged sparse) update, consuming
+ *                  the PreparedStep.
+ *
+ * Because all noise is keyed by (iteration, table, row) and prepares
+ * execute strictly in iteration order, running prepare(i+1) overlapped
+ * with apply(i) yields a bit-identical model to the serial schedule --
+ * see train/trainer.h for the pipeline itself.
  */
 
 #ifndef LAZYDP_TRAIN_ALGORITHM_H
 #define LAZYDP_TRAIN_ALGORITHM_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -51,6 +68,23 @@ struct TrainHyper
     GaussianKernel kernel = GaussianKernel::Auto; //!< noise kernel
 };
 
+/**
+ * Reusable buffer for one iteration's prepared (weight-independent)
+ * state. Engines with real lookahead work subclass it (see
+ * LazyDpAlgorithm / EanaAlgorithm); engines without any use the base
+ * directly, which only records the iteration it was prepared for.
+ *
+ * The Trainer double-buffers two of these per algorithm so prepare(i+1)
+ * can fill one buffer while apply(i) drains the other.
+ */
+class PreparedStep
+{
+  public:
+    virtual ~PreparedStep() = default;
+
+    std::uint64_t iter = 0; //!< iteration this buffer was prepared for
+};
+
 /** One training algorithm bound to a model. */
 class Algorithm
 {
@@ -61,23 +95,68 @@ class Algorithm
     virtual std::string name() const = 0;
 
     /**
-     * Execute one training iteration.
+     * Allocate a prepared-state buffer matching this engine's
+     * prepare(). Callers reuse buffers across iterations; engines with
+     * lookahead state override to return their subclass.
+     */
+    virtual std::unique_ptr<PreparedStep>
+    makePrepared() const
+    {
+        return std::make_unique<PreparedStep>();
+    }
+
+    /**
+     * Stage 1 of an iteration: all batch-dependent work that does NOT
+     * read or write model weights, written into @p out. Safe to run
+     * concurrently with apply() of the PREVIOUS iteration; prepares
+     * must execute in iteration order (engines may carry metadata such
+     * as the HistoryTable forward from one prepare to the next).
      *
-     * Iterations are numbered from 1 by the caller, monotonically.
+     * The default implementation only records @p iter (engines without
+     * lookahead work).
      *
      * @param iter 1-based global iteration id (keys the noise streams)
      * @param cur this iteration's mini-batch
      * @param next the following iteration's mini-batch, or nullptr on
      *        the final iteration; only LazyDP consumes it (lookahead)
-     * @param exec execution context for the step's parallel kernels;
-     *        thread count must not change the final model (keyed noise
-     *        + fixed shard boundaries keep updates bit-identical)
-     * @param timer stage-attribution sink
+     * @param out prepared-state buffer from makePrepared()
+     * @param exec execution context (prepare must be exec-invariant:
+     *        the pipeline runs it serially, the inline path in parallel)
+     * @param timer stage-attribution sink (under the pipeline this is a
+     *        private timer merged into the main one after the overlap)
+     */
+    virtual void
+    prepare(std::uint64_t iter, const MiniBatch &cur,
+            const MiniBatch *next, PreparedStep &out, ExecContext &exec,
+            StageTimer &timer)
+    {
+        (void)cur;
+        (void)next;
+        (void)exec;
+        (void)timer;
+        out.iter = iter;
+    }
+
+    /**
+     * Stage 2 of an iteration: forward/backward, clipping, and the
+     * model update, consuming @p prepared (which must hold this
+     * iteration's prepare output).
+     *
      * @return the batch training loss (pre-update)
      */
-    virtual double step(std::uint64_t iter, const MiniBatch &cur,
-                        const MiniBatch *next, ExecContext &exec,
-                        StageTimer &timer) = 0;
+    virtual double apply(std::uint64_t iter, const MiniBatch &cur,
+                         PreparedStep &prepared, ExecContext &exec,
+                         StageTimer &timer) = 0;
+
+    /**
+     * Execute one full training iteration: prepare() immediately
+     * followed by apply() on the calling thread. This is the serial
+     * (non-pipelined) schedule; iterations are numbered from 1 by the
+     * caller, monotonically.
+     */
+    double step(std::uint64_t iter, const MiniBatch &cur,
+                const MiniBatch *next, ExecContext &exec,
+                StageTimer &timer);
 
     /**
      * Complete any deferred work after the final step so the model
@@ -96,6 +175,9 @@ class Algorithm
         (void)exec;
         (void)timer;
     }
+
+  private:
+    std::unique_ptr<PreparedStep> stepScratch_; //!< step()'s buffer
 };
 
 } // namespace lazydp

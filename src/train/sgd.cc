@@ -14,12 +14,12 @@ SgdAlgorithm::SgdAlgorithm(DlrmModel &model, const TrainHyper &hyper)
 }
 
 double
-SgdAlgorithm::step(std::uint64_t iter, const MiniBatch &cur,
-                   const MiniBatch *next, ExecContext &exec,
-                   StageTimer &timer)
+SgdAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
+                    PreparedStep &prepared, ExecContext &exec,
+                    StageTimer &timer)
 {
     (void)iter;
-    (void)next;
+    (void)prepared;
     const std::size_t batch = cur.batchSize;
 
     timer.start(Stage::Forward);

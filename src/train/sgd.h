@@ -30,9 +30,10 @@ class SgdAlgorithm : public Algorithm
 
     std::string name() const override { return "SGD"; }
 
-    double step(std::uint64_t iter, const MiniBatch &cur,
-                const MiniBatch *next, ExecContext &exec,
-                StageTimer &timer) override;
+    /** No lookahead work: the default (empty) prepare applies. */
+    double apply(std::uint64_t iter, const MiniBatch &cur,
+                 PreparedStep &prepared, ExecContext &exec,
+                 StageTimer &timer) override;
 
   private:
     DlrmModel &model_;

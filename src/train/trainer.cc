@@ -1,5 +1,7 @@
 #include "train/trainer.h"
 
+#include <utility>
+
 #include "common/macros.h"
 
 namespace lazydp {
@@ -12,40 +14,161 @@ Trainer::Trainer(Algorithm &algorithm, DataLoader &loader,
 }
 
 TrainResult
-Trainer::run(std::uint64_t iterations, bool record_losses)
+Trainer::run(std::uint64_t iterations, const TrainOptions &options)
 {
     TrainResult result;
     if (iterations == 0)
         return result;
+    LAZYDP_ASSERT(options.warmupIters < iterations,
+                  "warmup would consume every iteration");
+    if (options.recordLosses)
+        result.losses.reserve(iterations);
 
-    WallTimer wall;
-    InputQueue queue;
+    // The pipeline needs the pool's async lane; without a pool the
+    // serial schedule is the only (and identical-result) option.
+    if (options.pipeline && exec_->pool != nullptr)
+        runPipelined(iterations, options, result);
+    else
+        runSerial(iterations, options, result);
+
+    WallTimer fin;
+    algorithm_.finalize(options.startIter + iterations, *exec_,
+                        result.finalizeTimer);
+    result.finalizeSeconds = fin.seconds();
+    result.iterations = iterations - options.warmupIters;
+    return result;
+}
+
+void
+Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
+                   TrainResult &result)
+{
+    InputQueue queue(2);
     // Bootstrap: load the first mini-batch (Algorithm 1, line 5).
     queue.push(loader_.next());
 
+    WallTimer wall;
     for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
         // One new batch per iteration (line 7); on the final iteration
-        // there is no next batch to preview.
-        const bool has_next = iter < iterations;
+        // there is no next batch to preview unless previewFinal asks
+        // for steady-state lookahead on every step.
+        const bool has_next =
+            iter < iterations || options.previewFinal;
         if (has_next)
             queue.push(loader_.next());
+        if (iter == options.warmupIters + 1)
+            wall.reset();
+        StageTimer &timer = iter <= options.warmupIters
+                                ? result.warmupTimer
+                                : result.timer;
 
-        const MiniBatch &cur = queue.head();
-        const MiniBatch *next = has_next ? &queue.tail() : nullptr;
-
-        const double loss =
-            algorithm_.step(iter, cur, next, *exec_, result.timer);
-        if (record_losses)
+        const double loss = algorithm_.step(
+            options.startIter + iter, queue.head(),
+            has_next ? &queue.at(1) : nullptr, *exec_, timer);
+        if (options.recordLosses)
             result.losses.push_back(loss);
 
         queue.pop();
     }
-
-    algorithm_.finalize(iterations, *exec_, result.timer);
-
     result.wallSeconds = wall.seconds();
-    result.iterations = iterations;
-    return result;
+}
+
+void
+Trainer::runPipelined(std::uint64_t iterations,
+                      const TrainOptions &options, TrainResult &result)
+{
+    // Depth-3 ring: batch i (current), i+1 (being prepared against),
+    // i+2 (being prefetched). Slots are stable, so the head reference
+    // the main thread computes on stays valid while the async lane
+    // pushes the prefetched batch.
+    InputQueue queue(3);
+    queue.push(loader_.next());
+    const bool first_has_next = iterations > 1 || options.previewFinal;
+    if (first_has_next)
+        queue.push(loader_.next());
+
+    // Double-buffered prepared state: apply(i) drains one buffer while
+    // prepare(i+1) fills the other.
+    auto buf_a = algorithm_.makePrepared();
+    auto buf_b = algorithm_.makePrepared();
+    PreparedStep *cur_prep = buf_a.get();
+    PreparedStep *next_prep = buf_b.get();
+
+    // The overlapped prepare times into a private timer (the main
+    // thread concurrently uses the result timers) merged into the
+    // consuming iteration's timer after the join.
+    StageTimer prep_timer;
+
+    {
+        // Nothing to overlap the first prepare with: run it inline.
+        StageTimer &t1 = options.warmupIters >= 1 ? result.warmupTimer
+                                                  : result.timer;
+        algorithm_.prepare(options.startIter + 1, queue.head(),
+                           first_has_next ? &queue.at(1) : nullptr,
+                           *cur_prep, *exec_, t1);
+    }
+
+    WallTimer wall;
+    for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+        if (iter == options.warmupIters + 1)
+            wall.reset();
+        StageTimer &timer = iter <= options.warmupIters
+                                ? result.warmupTimer
+                                : result.timer;
+        const MiniBatch &cur = queue.head();
+
+        // Launch the overlapped stage: prefetch batch iter+2 and
+        // prepare iteration iter+1 against it. Runs serially on the
+        // async lane -- prepare is exec-invariant (keyed noise, fixed
+        // shards), so this changes nothing but wall time.
+        TaskHandle pending;
+        if (iter < iterations) {
+            const bool next_has_next =
+                iter + 1 < iterations || options.previewFinal;
+            prep_timer.reset();
+            const std::uint64_t prep_iter = options.startIter + iter + 1;
+            pending = exec_->pool->submit([this, &queue, next_has_next,
+                                           prep_iter, next_prep,
+                                           &prep_timer] {
+                if (next_has_next)
+                    queue.push(loader_.next());
+                algorithm_.prepare(prep_iter, queue.at(1),
+                                   next_has_next ? &queue.at(2)
+                                                 : nullptr,
+                                   *next_prep, ExecContext::serial(),
+                                   prep_timer);
+            });
+        }
+
+        double loss = 0.0;
+        try {
+            loss = algorithm_.apply(options.startIter + iter, cur,
+                                    *cur_prep, *exec_, timer);
+        } catch (...) {
+            // Drain the async stage before unwinding: its closure
+            // captures this frame's queue and timers.
+            if (pending.valid()) {
+                try {
+                    pending.wait();
+                } catch (...) {
+                }
+            }
+            throw;
+        }
+        if (options.recordLosses)
+            result.losses.push_back(loss);
+
+        if (pending.valid()) {
+            pending.wait();
+            StageTimer &consumer = iter + 1 <= options.warmupIters
+                                       ? result.warmupTimer
+                                       : result.timer;
+            consumer.merge(prep_timer);
+            std::swap(cur_prep, next_prep);
+        }
+        queue.pop();
+    }
+    result.wallSeconds = wall.seconds();
 }
 
 } // namespace lazydp

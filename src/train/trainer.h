@@ -1,11 +1,27 @@
 /**
  * @file
- * Stage-timed training loop.
+ * Stage-timed training loop with an optional two-stage software
+ * pipeline.
  *
  * Owns the mini-batch lookahead (InputQueue) so every algorithm sees
  * the same data flow the paper describes: one new batch fetched per
  * iteration, with the next batch visible to algorithms that want it
  * (LazyDP's Algorithm 1, lines 6-7).
+ *
+ * Pipelined schedule (`TrainOptions::pipeline`): while the main thread
+ * runs the weight-dependent half of iteration i (forward/backward,
+ * clipping, merged sparse update -- Algorithm::apply), the pool's async
+ * lane loads batch i+2 and runs the weight-INDEPENDENT half of
+ * iteration i+1 (next-batch dedup, HistoryTable reads, ANS stddev
+ * derivation, keyed noise sampling -- Algorithm::prepare):
+ *
+ *      main thread      apply(1)   apply(2)   apply(3)  ...
+ *      async lane     load+prep(2) load+prep(3) ...
+ *
+ * Prepares execute strictly in iteration order on one lane, all noise
+ * is keyed by (iteration, table, row), and prepare owns all
+ * HistoryTable state, so the trained model is BIT-identical to the
+ * serial schedule at any thread count.
  */
 
 #ifndef LAZYDP_TRAIN_TRAINER_H
@@ -21,15 +37,60 @@
 
 namespace lazydp {
 
+/** Knobs of one Trainer::run invocation. */
+struct TrainOptions
+{
+    /**
+     * Overlap prepare(i+1) and the batch-(i+2) load with apply(i) on
+     * the pool's async lane. Requires an ExecContext with a pool;
+     * silently falls back to the serial schedule without one. Never
+     * changes the trained model.
+     */
+    bool pipeline = false;
+
+    /** Keep the loss trajectory (benches may disable). */
+    bool recordLosses = true;
+
+    /**
+     * Iteration-id offset: step k of the run executes as global
+     * iteration startIter + k (warm-started HistoryTables require ids
+     * beyond the warm-start point).
+     */
+    std::uint64_t startIter = 0;
+
+    /**
+     * First warmupIters iterations accrue into TrainResult::warmupTimer
+     * instead of timer, and wallSeconds covers only the remainder.
+     */
+    std::uint64_t warmupIters = 0;
+
+    /**
+     * Fetch one extra batch so even the final iteration sees a `next`
+     * (benches measure steady-state lookahead work on every iteration).
+     */
+    bool previewFinal = false;
+};
+
 /** Result of a training run. */
 struct TrainResult
 {
-    StageTimer timer;            //!< per-stage accumulated time
+    StageTimer timer;            //!< measured (post-warmup) stage time
+    StageTimer warmupTimer;      //!< stage time of the warmup iterations
+    StageTimer finalizeTimer;    //!< stage time of Algorithm::finalize
     std::vector<double> losses;  //!< per-iteration training loss
-    double wallSeconds = 0.0;    //!< end-to-end wall time
-    std::uint64_t iterations = 0;
+    double wallSeconds = 0.0;    //!< wall time of the measured iterations
+    double finalizeSeconds = 0.0;//!< wall time of Algorithm::finalize
+    std::uint64_t iterations = 0;//!< measured (post-warmup) iterations
 
-    /** @return average seconds per iteration. */
+    /**
+     * Sum of all measured stage times: total CPU-side work. Equals
+     * wallSeconds (minus untimed data loading) under the serial
+     * schedule; under the pipeline the overlapped prepare stages make
+     * busySeconds EXCEED wallSeconds -- report both.
+     */
+    double busySeconds() const { return timer.totalSeconds(); }
+
+    /** @return average wall seconds per measured iteration. */
     double
     secondsPerIteration() const
     {
@@ -56,12 +117,20 @@ class Trainer
      * Run @p iterations training steps plus the algorithm's finalize.
      *
      * @param iterations number of optimizer steps
-     * @param record_losses keep the loss trajectory (default on; benches
-     *        may disable to avoid the allocation)
+     * @param options schedule / accounting knobs
      */
-    TrainResult run(std::uint64_t iterations, bool record_losses = true);
+    TrainResult run(std::uint64_t iterations,
+                    const TrainOptions &options = {});
 
   private:
+    /** Serial schedule: prepare+apply inline, one batch per iter. */
+    void runSerial(std::uint64_t iterations, const TrainOptions &options,
+                   TrainResult &result);
+
+    /** Pipelined schedule: see the file comment. */
+    void runPipelined(std::uint64_t iterations,
+                      const TrainOptions &options, TrainResult &result);
+
     Algorithm &algorithm_;
     DataLoader &loader_;
     ExecContext *exec_;

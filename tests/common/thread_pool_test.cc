@@ -140,6 +140,112 @@ TEST(ThreadPoolTest, TaskExceptionDrainsAndRethrows)
     }
 }
 
+TEST(SubmitTest, TaskRunsAndWaitJoins)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    TaskHandle h = pool.submit([&] { ran.store(1); });
+    ASSERT_TRUE(h.valid());
+    h.wait();
+    EXPECT_EQ(ran.load(), 1);
+    // wait() is idempotent
+    h.wait();
+}
+
+TEST(SubmitTest, DefaultHandleIsInvalid)
+{
+    TaskHandle h;
+    EXPECT_FALSE(h.valid());
+}
+
+TEST(SubmitTest, WorksOnWidthOnePool)
+{
+    // The async lane is independent of the loop-dispatch width: even a
+    // width-1 pool can overlap a submitted task with the caller.
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    TaskHandle h = pool.submit([&] { ran.store(7); });
+    h.wait();
+    EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(SubmitTest, TasksExecuteInSubmissionOrder)
+{
+    ThreadPool pool(2);
+    std::vector<int> order;
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < 50; ++i)
+        handles.push_back(pool.submit([&order, i] {
+            order.push_back(i); // single async lane: no race
+        }));
+    for (auto &h : handles)
+        h.wait();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SubmitTest, ExceptionRethrownFromWait)
+{
+    ThreadPool pool(2);
+    TaskHandle h =
+        pool.submit([] { throw std::runtime_error("async boom"); });
+    EXPECT_THROW(h.wait(), std::runtime_error);
+    // The lane must stay usable after a throwing task.
+    std::atomic<int> ran{0};
+    TaskHandle ok = pool.submit([&] { ran.store(1); });
+    ok.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(SubmitTest, OverlapsWithMainThreadDispatch)
+{
+    // The pipeline pattern: a submitted task runs while the caller
+    // drives parallelFor dispatches on the same pool.
+    ThreadPool pool(4);
+    ExecContext exec(&pool);
+    std::atomic<int> async_done{0};
+    TaskHandle h = pool.submit([&] { async_done.store(1); });
+    std::atomic<std::size_t> sum{0};
+    for (int round = 0; round < 10; ++round) {
+        parallelFor(exec, 100, [&](std::size_t lo, std::size_t hi) {
+            sum.fetch_add(hi - lo, std::memory_order_relaxed);
+        });
+    }
+    h.wait();
+    EXPECT_EQ(sum.load(), 1000u);
+    EXPECT_EQ(async_done.load(), 1);
+}
+
+TEST(SubmitTest, NestedPoolDispatchFromTaskFlattens)
+{
+    // A submitted task that (accidentally) dispatches onto the pool
+    // must degenerate to a serial loop instead of racing the main
+    // thread's dispatch machinery.
+    ThreadPool pool(4);
+    ExecContext exec(&pool);
+    std::atomic<std::size_t> inner{0};
+    TaskHandle h = pool.submit([&] {
+        parallelFor(exec, 64, [&](std::size_t lo, std::size_t hi) {
+            inner.fetch_add(hi - lo, std::memory_order_relaxed);
+        });
+    });
+    h.wait();
+    EXPECT_EQ(inner.load(), 64u);
+}
+
+TEST(SubmitTest, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        // no wait: destruction must still run every queued task
+    }
+    EXPECT_EQ(ran.load(), 20);
+}
+
 TEST(ParallelForTest, SerialContextAndPoolAgree)
 {
     const std::size_t n = 1234;

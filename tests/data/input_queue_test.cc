@@ -1,4 +1,4 @@
-/** @file Unit tests for the two-entry InputQueue. */
+/** @file Unit tests for the depth-N InputQueue ring. */
 
 #include <gtest/gtest.h>
 
@@ -20,7 +20,9 @@ TEST(InputQueueTest, StartsEmpty)
 {
     InputQueue q;
     EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
     EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 2u); // classic lookahead depth by default
 }
 
 TEST(InputQueueTest, HeadAndTailTrackOrder)
@@ -32,6 +34,7 @@ TEST(InputQueueTest, HeadAndTailTrackOrder)
     q.push(taggedBatch(2));
     EXPECT_EQ(q.head().indices[0], 1u);
     EXPECT_EQ(q.tail().indices[0], 2u);
+    EXPECT_TRUE(q.full());
 }
 
 TEST(InputQueueTest, PopAdvancesHead)
@@ -42,6 +45,19 @@ TEST(InputQueueTest, PopAdvancesHead)
     q.pop();
     EXPECT_EQ(q.size(), 1u);
     EXPECT_EQ(q.head().indices[0], 2u);
+}
+
+TEST(InputQueueTest, AtIndexesFromHead)
+{
+    InputQueue q(3);
+    q.push(taggedBatch(10));
+    q.push(taggedBatch(11));
+    q.push(taggedBatch(12));
+    EXPECT_EQ(q.at(0).indices[0], 10u);
+    EXPECT_EQ(q.at(1).indices[0], 11u);
+    EXPECT_EQ(q.at(2).indices[0], 12u);
+    EXPECT_EQ(&q.at(0), &q.head());
+    EXPECT_EQ(&q.at(2), &q.tail());
 }
 
 TEST(InputQueueTest, SteadyStatePushPopCycles)
@@ -57,6 +73,74 @@ TEST(InputQueueTest, SteadyStatePushPopCycles)
     }
 }
 
+TEST(InputQueueTest, WraparoundAtEveryDepth)
+{
+    // Sustained FIFO cycling must wrap the ring cleanly for any
+    // capacity, with at() always reflecting insertion order.
+    for (const std::size_t cap : {1u, 2u, 3u, 5u}) {
+        InputQueue q(cap);
+        EXPECT_EQ(q.capacity(), cap);
+        std::uint32_t next_push = 0, next_pop = 0;
+        // prefill
+        while (!q.full())
+            q.push(taggedBatch(next_push++));
+        for (int cycle = 0; cycle < 100; ++cycle) {
+            EXPECT_TRUE(q.full());
+            for (std::size_t i = 0; i < cap; ++i)
+                EXPECT_EQ(q.at(i).indices[0],
+                          next_pop + static_cast<std::uint32_t>(i));
+            q.pop();
+            ++next_pop;
+            q.push(taggedBatch(next_push++));
+        }
+    }
+}
+
+TEST(InputQueueTest, DrainAndRefillAcrossWrapPoint)
+{
+    InputQueue q(3);
+    q.push(taggedBatch(1));
+    q.push(taggedBatch(2));
+    q.pop();
+    q.pop();
+    EXPECT_TRUE(q.empty());
+    // first_ now sits mid-ring; a full refill must wrap correctly
+    q.push(taggedBatch(7));
+    q.push(taggedBatch(8));
+    q.push(taggedBatch(9));
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.head().indices[0], 7u);
+    EXPECT_EQ(q.at(1).indices[0], 8u);
+    EXPECT_EQ(q.tail().indices[0], 9u);
+}
+
+TEST(InputQueueTest, PushMovesBatchStorage)
+{
+    // Mini-batches own large buffers; push must move, not copy.
+    InputQueue q(2);
+    MiniBatch mb = taggedBatch(5);
+    const std::uint32_t *storage = mb.indices.data();
+    q.push(std::move(mb));
+    EXPECT_EQ(q.head().indices.data(), storage);
+    EXPECT_EQ(q.head().indices[0], 5u);
+}
+
+TEST(InputQueueTest, SlotsAreStableAcrossPushes)
+{
+    // References obtained before a push of ANOTHER slot stay valid --
+    // the pipelined Trainer holds the head while the async stage
+    // pushes the prefetched batch.
+    InputQueue q(3);
+    q.push(taggedBatch(1));
+    q.push(taggedBatch(2));
+    const MiniBatch &head = q.head();
+    const std::uint32_t *head_storage = head.indices.data();
+    q.push(taggedBatch(3));
+    EXPECT_EQ(&q.head(), &head);
+    EXPECT_EQ(head.indices.data(), head_storage);
+    EXPECT_EQ(head.indices[0], 1u);
+}
+
 TEST(InputQueueTest, OverfillPanics)
 {
     setLogThrowMode(true);
@@ -67,6 +151,17 @@ TEST(InputQueueTest, OverfillPanics)
     setLogThrowMode(false);
 }
 
+TEST(InputQueueTest, OverfillPanicsAtDepthThree)
+{
+    setLogThrowMode(true);
+    InputQueue q(3);
+    q.push(taggedBatch(1));
+    q.push(taggedBatch(2));
+    q.push(taggedBatch(3));
+    EXPECT_THROW(q.push(taggedBatch(4)), std::runtime_error);
+    setLogThrowMode(false);
+}
+
 TEST(InputQueueTest, EmptyAccessPanics)
 {
     setLogThrowMode(true);
@@ -74,6 +169,16 @@ TEST(InputQueueTest, EmptyAccessPanics)
     EXPECT_THROW(q.head(), std::runtime_error);
     EXPECT_THROW(q.tail(), std::runtime_error);
     EXPECT_THROW(q.pop(), std::runtime_error);
+    EXPECT_THROW(q.at(0), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(InputQueueTest, AtBeyondSizePanics)
+{
+    setLogThrowMode(true);
+    InputQueue q(3);
+    q.push(taggedBatch(1));
+    EXPECT_THROW(q.at(1), std::runtime_error);
     setLogThrowMode(false);
 }
 

@@ -152,7 +152,9 @@ TEST(TrainerTest, LossRecordingCanBeDisabled)
     TrainHyper hyper;
     auto algo = makeAlgorithm("sgd", model, hyper);
     Trainer trainer(*algo, loader);
-    const TrainResult result = trainer.run(3, /*record_losses=*/false);
+    TrainOptions options;
+    options.recordLosses = false;
+    const TrainResult result = trainer.run(3, options);
     EXPECT_TRUE(result.losses.empty());
     EXPECT_EQ(result.iterations, 3u);
 }

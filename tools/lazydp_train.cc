@@ -77,7 +77,7 @@ main(int argc, char **argv)
                        {"algo", "model", "table-mb", "batch", "iters",
                         "pooling", "lr", "sigma", "clip", "weight-decay",
                         "skew", "seed", "population", "delta", "save",
-                        "csv", "threads", "help"});
+                        "csv", "threads", "pipeline", "help"});
     if (args.has("help")) {
         std::printf(
             "lazydp_train --algo=<%s>\n"
@@ -89,6 +89,8 @@ main(int argc, char **argv)
             "  --population=N --delta=F (privacy accounting)\n"
             "  --threads=N (0 = all hardware threads; the final model\n"
             "               is bit-identical for every N)\n"
+            "  --pipeline[=on|off] (overlap noise prep + batch prefetch\n"
+            "               with compute; bit-identical model)\n"
             "  --save=PATH (LazyDP training checkpoint)  --csv\n",
             "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
         return 0;
@@ -103,6 +105,8 @@ main(int argc, char **argv)
 
     const std::size_t batch = args.getU64("batch", 1024);
     const std::uint64_t iters = args.getU64("iters", 20);
+    if (iters == 0)
+        fatal("--iters must be positive");
     const std::uint64_t seed = args.getU64("seed", 1);
 
     TrainHyper hyper;
@@ -128,23 +132,37 @@ main(int argc, char **argv)
     SequentialLoader loader(dataset);
 
     const std::size_t threads = args.getThreads(1);
+    const bool pipeline = args.getBool("pipeline", false);
     ThreadPool pool(threads);
     ExecContext exec(&pool);
 
     auto algo = makeAlgorithm(algo_name, model, hyper);
     inform("training ", algo->name(), " on ", model_cfg.name, " (",
            humanBytes(model.tableBytes()), " tables, batch ", batch,
-           ", ", iters, " iters, ", threads, " threads)");
+           ", ", iters, " iters, ", threads, " threads, pipeline ",
+           pipeline ? "on" : "off", ")");
 
     Trainer trainer(*algo, loader, &exec);
-    const TrainResult result = trainer.run(iters);
+    TrainOptions options;
+    options.pipeline = pipeline;
+    const TrainResult result = trainer.run(iters, options);
 
     TablePrinter table("Result: " + algo->name());
     table.setHeader({"metric", "value"});
-    table.addRow({"sec/iter",
+    table.addRow({"sec/iter (wall)",
                   TablePrinter::num(result.secondsPerIteration(), 4)});
+    // Under --pipeline the overlapped prepare stages count into busy
+    // but not wall, so busy/iter can exceed wall/iter.
+    table.addRow({"sec/iter (busy)",
+                  TablePrinter::num(result.busySeconds() /
+                                        static_cast<double>(iters),
+                                    4)});
     table.addRow({"total wall s",
-                  TablePrinter::num(result.wallSeconds, 2)});
+                  TablePrinter::num(result.wallSeconds +
+                                        result.finalizeSeconds,
+                                    2)});
+    table.addRow({"finalize s",
+                  TablePrinter::num(result.finalizeSeconds, 4)});
     table.addRow({"loss first",
                   TablePrinter::num(result.losses.front(), 4)});
     table.addRow({"loss last",
