@@ -57,6 +57,12 @@ struct RunSpec
      * only, never the trained model.
      */
     bool pipeline = false;
+
+    /**
+     * Lot-sharded data-parallel worker replicas (1, 2 or 4). Changes
+     * wall time only, never the trained model.
+     */
+    std::size_t replicas = 1;
 };
 
 /** Measured outcome of a RunSpec. */

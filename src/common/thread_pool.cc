@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/macros.h"
+
 namespace lazydp {
 
 namespace {
@@ -35,6 +37,15 @@ ThreadPool::ThreadPool(std::size_t threads)
         workers_.emplace_back([this] { workerLoop(); });
 }
 
+struct ThreadPool::Lane
+{
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable wake;
+    std::deque<std::shared_ptr<TaskHandle::State>> queue;
+    bool stop = false;
+};
+
 ThreadPool::~ThreadPool()
 {
     {
@@ -45,13 +56,19 @@ ThreadPool::~ThreadPool()
     for (auto &w : workers_)
         w.join();
 
-    {
-        std::lock_guard<std::mutex> lock(asyncMu_);
-        asyncStop_ = true;
+    // No further submits can race this: lanes_ only grows from
+    // submitLane, and the pool's owner is destroying it.
+    for (auto &lane : lanes_) {
+        if (lane == nullptr)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(lane->mu);
+            lane->stop = true;
+        }
+        lane->wake.notify_all();
+        if (lane->worker.joinable())
+            lane->worker.join();
     }
-    asyncWake_.notify_all();
-    if (asyncWorker_.joinable())
-        asyncWorker_.join();
 }
 
 void
@@ -66,37 +83,52 @@ TaskHandle::wait()
 TaskHandle
 ThreadPool::submit(std::function<void()> fn)
 {
+    return submitLane(0, std::move(fn));
+}
+
+TaskHandle
+ThreadPool::submitLane(std::size_t lane_id, std::function<void()> fn)
+{
+    LAZYDP_ASSERT(lane_id < kMaxLanes, "lane id out of range");
     auto state = std::make_shared<TaskHandle::State>();
     state->fn = std::move(fn);
+    Lane *lane;
     {
-        std::lock_guard<std::mutex> lock(asyncMu_);
-        if (!asyncStarted_) {
-            asyncStarted_ = true;
-            asyncWorker_ = std::thread([this] { asyncLoop(); });
+        std::lock_guard<std::mutex> lock(lanesMu_);
+        if (lanes_.size() <= lane_id)
+            lanes_.resize(lane_id + 1);
+        if (lanes_[lane_id] == nullptr) {
+            lanes_[lane_id] = std::make_unique<Lane>();
+            Lane *fresh = lanes_[lane_id].get();
+            fresh->worker = std::thread([this, fresh] { laneLoop(*fresh); });
         }
-        asyncQueue_.push_back(state);
+        lane = lanes_[lane_id].get();
     }
-    asyncWake_.notify_one();
+    {
+        std::lock_guard<std::mutex> lock(lane->mu);
+        lane->queue.push_back(state);
+    }
+    lane->wake.notify_one();
     return TaskHandle(std::move(state));
 }
 
 void
-ThreadPool::asyncLoop()
+ThreadPool::laneLoop(Lane &lane)
 {
     for (;;) {
         std::shared_ptr<TaskHandle::State> task;
         {
-            std::unique_lock<std::mutex> lock(asyncMu_);
-            asyncWake_.wait(lock, [&] {
-                return asyncStop_ || !asyncQueue_.empty();
+            std::unique_lock<std::mutex> lock(lane.mu);
+            lane.wake.wait(lock, [&] {
+                return lane.stop || !lane.queue.empty();
             });
             // Drain the whole queue before honoring stop: destruction
             // must not abandon submitted tasks (a wait() on one would
             // block forever).
-            if (asyncQueue_.empty())
+            if (lane.queue.empty())
                 return;
-            task = std::move(asyncQueue_.front());
-            asyncQueue_.pop_front();
+            task = std::move(lane.queue.front());
+            lane.queue.pop_front();
         }
         try {
             // Flatten any pool dispatch issued from inside the task:

@@ -120,29 +120,43 @@ class ThreadPool
              const std::function<void(std::size_t)> &task);
 
     /**
-     * Enqueue @p fn on the pool's asynchronous lane and return
-     * immediately. The lane is ONE dedicated thread (spawned lazily on
-     * first use, independent of the loop-dispatch width, so submit works
-     * even on a width-1 pool): submitted tasks execute in submission
-     * order, one at a time, concurrently with the caller -- the software
-     * pipeline primitive the Trainer uses to overlap next-iteration
-     * noise preparation and batch prefetch with the current iteration's
-     * dense compute.
+     * Enqueue @p fn on asynchronous lane 0 and return immediately --
+     * shorthand for submitLane(0, fn). Lane 0 is the software-pipeline
+     * primitive the Trainer uses to overlap next-iteration noise
+     * preparation and batch prefetch with the current iteration's dense
+     * compute.
+     */
+    TaskHandle submit(std::function<void()> fn);
+
+    /** Maximum number of asynchronous lanes. */
+    static constexpr std::size_t kMaxLanes = 32;
+
+    /**
+     * Enqueue @p fn on asynchronous lane @p lane (< kMaxLanes) and
+     * return immediately. Each lane is ONE dedicated thread (spawned
+     * lazily on first use, independent of the loop-dispatch width, so
+     * lanes work even on a width-1 pool): tasks on the same lane
+     * execute in submission order, one at a time; distinct lanes run
+     * concurrently with each other and with the caller. Lane 0 carries
+     * the Trainer's pipelined prepare stage; the data-parallel replica
+     * dispatch (train/replica.h) runs worker replicas on lanes 1..N-1.
      *
      * Tasks run with nested-dispatch flattening active: any
      * parallelFor / ThreadPool::run issued from inside a submitted task
      * degenerates to a serial loop instead of racing the main thread's
      * own dispatches for the loop workers.
      *
-     * The destructor drains the lane: tasks already submitted all run
+     * The destructor drains every lane: tasks already submitted all run
      * to completion before the pool dies. Exceptions are captured and
      * rethrown from TaskHandle::wait.
      */
-    TaskHandle submit(std::function<void()> fn);
+    TaskHandle submitLane(std::size_t lane, std::function<void()> fn);
 
   private:
+    struct Lane;
+
     void workerLoop();
-    void asyncLoop();
+    void laneLoop(Lane &lane);
 
     std::vector<std::thread> workers_;
     std::mutex mu_;
@@ -156,13 +170,10 @@ class ThreadPool
     bool stop_ = false;
     std::exception_ptr error_;   //!< first throw of the dispatch
 
-    // Asynchronous single-task lane (ThreadPool::submit).
-    std::thread asyncWorker_;
-    std::mutex asyncMu_;
-    std::condition_variable asyncWake_;
-    std::deque<std::shared_ptr<TaskHandle::State>> asyncQueue_;
-    bool asyncStarted_ = false;
-    bool asyncStop_ = false;
+    // Asynchronous FIFO lanes (ThreadPool::submit / submitLane). Lanes
+    // are created lazily; the vector only grows, under lanesMu_.
+    std::mutex lanesMu_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 /**
@@ -176,6 +187,15 @@ struct ExecContext
     explicit ExecContext(ThreadPool *p) : pool(p) {}
 
     ThreadPool *pool = nullptr; //!< not owned; nullptr = serial
+
+    /**
+     * Data-parallel worker replicas the lot-sharded engines fan their
+     * per-microbatch gradient production across (train/replica.h). Must
+     * be a divisor of kLotShards (1, 2 or 4); 1 = no replication. The
+     * trained model never depends on this value -- replicas only choose
+     * WHERE each fixed microbatch shard executes.
+     */
+    std::size_t replicas = 1;
 
     /** @return execution width this context dispatches onto. */
     std::size_t

@@ -167,21 +167,11 @@ LazyDpAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
     LAZYDP_ASSERT(prep.iter == iter, "prepared state is for another iter");
     const std::size_t batch = cur.batchSize;
     lastBatchSize_ = batch;
-    const double loss = forwardAndLoss(cur, exec, timer);
 
-    // Clipping machinery identical to DP-SGD(F): ghost-norm pass, then
-    // a reweighted per-batch backward (Algorithm 1 lines 8-10).
-    timer.start(Stage::BackwardPerExample);
-    normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
-    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
-    clipScales(normSq_, hyper_.clipNorm, scales_);
-    timer.stop();
-
-    timer.start(Stage::BackwardPerBatch);
-    scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_, nullptr, false, exec);
-    timer.stop();
+    // Lot-sharded clipping machinery identical to DP-SGD(F): per shard,
+    // a ghost-norm pass then a reweighted per-batch backward
+    // (Algorithm 1 lines 8-10), tree-reduced before the sparse update.
+    const double loss = shardedBackward(iter, cur, exec, timer);
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
         applyTableUpdate(iter, t, cur, prep.tables[t], batch, exec,
@@ -204,10 +194,11 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
     EmbeddingTable &tbl = model_.tables()[t];
     const std::size_t dim = tbl.dim();
 
-    // Coalesce this iteration's clipped sparse gradient.
+    // Coalesce this iteration's clipped sparse gradient from the
+    // lot-wide pooled gradients gathered out of the shard workspaces.
     timer.start(Stage::GradCoalesce);
     SparseGrad &grad = sparseGrads_[t];
-    model_.embeddingBackward(cur, t, grad);
+    model_.embeddingBackwardFrom(cur, t, lotEmbGrad_[t], grad);
     timer.stop();
 
     // Merge sparse gradient and sparse (prepared) noise into one update

@@ -1,5 +1,7 @@
 #include "data/minibatch.h"
 
+#include <cstring>
+
 #include "common/macros.h"
 
 namespace lazydp {
@@ -14,6 +16,31 @@ MiniBatch::resize(std::size_t batch, std::size_t num_tables,
     dense.resize(batch, num_dense);
     labels.assign(batch, 0.0f);
     indices.assign(num_tables * batch * pooling_factor, 0);
+}
+
+void
+MiniBatch::slice(std::size_t lo, std::size_t hi, MiniBatch &out) const
+{
+    LAZYDP_ASSERT(lo <= hi && hi <= batchSize, "slice out of range");
+    const std::size_t n = hi - lo;
+    out.batchSize = n;
+    out.numTables = numTables;
+    out.pooling = pooling;
+
+    out.dense.resizeNoShrink(n, dense.cols());
+    std::memcpy(out.dense.data(), dense.data() + lo * dense.cols(),
+                n * dense.cols() * sizeof(float));
+
+    out.labels.resize(n);
+    std::memcpy(out.labels.data(), labels.data() + lo,
+                n * sizeof(float));
+
+    out.indices.resize(numTables * n * pooling);
+    for (std::size_t t = 0; t < numTables; ++t) {
+        std::memcpy(out.indices.data() + t * n * pooling,
+                    indices.data() + (t * batchSize + lo) * pooling,
+                    n * pooling * sizeof(std::uint32_t));
+    }
 }
 
 std::span<const std::uint32_t>

@@ -39,6 +39,20 @@ struct MiniBatch
     void resize(std::size_t batch, std::size_t num_tables,
                 std::size_t pooling_factor, std::size_t num_dense);
 
+    /**
+     * Materialize the examples [lo, hi) of this lot into @p out (dense
+     * rows, labels and every table's index block), preserving the
+     * standard layout so @p out is a self-contained MiniBatch.
+     *
+     * This is the lot-sharding primitive of the data-parallel engines:
+     * example positions within the slice equal their positions within
+     * the lot minus @p lo, so a slice boundary chosen from the lot size
+     * alone is position-stable across runs. @p out 's buffers are
+     * reused without shrinking (slicing every iteration allocates
+     * nothing in steady state).
+     */
+    void slice(std::size_t lo, std::size_t hi, MiniBatch &out) const;
+
     /** @return all indices of table @p t (batchSize * pooling entries). */
     std::span<const std::uint32_t> tableIndices(std::size_t t) const;
 

@@ -24,21 +24,57 @@ DpEngineBase::mlpPseudoTable(std::size_t mlp_index) const
                                       mlp_index);
 }
 
-double
-DpEngineBase::forwardAndLoss(const MiniBatch &cur, ExecContext &exec,
-                             StageTimer &timer)
+void
+DpEngineBase::shardForwardLoss(GradShard &s, ExecContext &exec) const
 {
-    timer.start(Stage::Forward);
-    model_.forward(cur, logits_, exec);
-    timer.stop();
+    s.timer.start(Stage::Forward);
+    model_.forward(s.batch, s.logits, s.ws, exec);
+    s.timer.stop();
 
-    timer.start(Stage::Else);
-    const double loss = BceWithLogitsLoss::forward(logits_, cur.labels);
-    if (dLogits_.rows() != cur.batchSize || dLogits_.cols() != 1)
-        dLogits_.resize(cur.batchSize, 1);
-    BceWithLogitsLoss::backwardPerExample(logits_, cur.labels, dLogits_);
-    timer.stop();
-    return loss;
+    s.timer.start(Stage::Else);
+    s.lossSum = BceWithLogitsLoss::forwardSum(s.logits, s.batch.labels);
+    if (s.dLogits.rows() != s.batch.batchSize || s.dLogits.cols() != 1)
+        s.dLogits.resize(s.batch.batchSize, 1);
+    BceWithLogitsLoss::backwardPerExample(s.logits, s.batch.labels,
+                                          s.dLogits);
+    s.timer.stop();
+}
+
+void
+DpEngineBase::produceShardGrads(std::uint64_t iter, GradShard &s,
+                                ExecContext &exec)
+{
+    // Ghost-clipping flow (DP-SGD(F), EANA, LazyDP): norm pass without
+    // parameter gradients, then a clip-reweighted per-batch backward.
+    (void)iter;
+    shardForwardLoss(s, exec);
+
+    s.timer.start(Stage::BackwardPerExample);
+    s.normSq.assign(s.batch.batchSize, 0.0);
+    model_.backward(s.dLogits, &s.normSq, /*skip_param_grads=*/true,
+                    s.ws, nullptr, exec);
+    model_.accumulateEmbeddingGhostNormSq(s.batch, s.normSq, s.ws);
+    clipScales(s.normSq, hyper_.clipNorm, s.scales);
+    s.timer.stop();
+
+    s.timer.start(Stage::BackwardPerBatch);
+    scaleRows(s.dLogits, s.scales);
+    model_.backward(s.dLogits, nullptr, false, s.ws, &s.sums, exec);
+    s.timer.stop();
+}
+
+double
+DpEngineBase::shardedBackward(std::uint64_t iter, const MiniBatch &cur,
+                              ExecContext &exec, StageTimer &timer)
+{
+    std::array<LotShardState *, kLotShards> view;
+    for (std::size_t s = 0; s < kLotShards; ++s)
+        view[s] = &shards_[s];
+    return shardedLotBackward(
+        model_, cur, view, lotEmbGrad_, exec, timer,
+        [&](std::size_t s, ExecContext &rexec) {
+            produceShardGrads(iter, shards_[s], rexec);
+        });
 }
 
 void

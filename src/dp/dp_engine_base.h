@@ -13,11 +13,24 @@
  * Every engine draws noise from the keyed NoiseProvider so the exact
  * same Gaussian destined for (iteration, table, row) is produced no
  * matter which engine -- the basis of the equivalence tests.
+ *
+ * Lot-sharded gradient production (train/replica.h): every engine's
+ * apply() splits the lot into kLotShards position-stable microbatch
+ * shards; each shard runs forward + loss + per-example clipping +
+ * backward into its OWN workspace and gradient buffers (engine-specific
+ * via produceShardGrads), optionally fanned across worker replicas.
+ * The fixed-tree reduction then merges the per-shard MLP gradient sums
+ * into the layers and gathers the per-example pooled embedding
+ * gradients into lot-wide buffers, after which the engine's single
+ * keyed-noise add and model update run exactly once on the aggregate.
+ * The decomposition never depends on the replica or thread count, so
+ * the trained model is bit-identical at any parallelism setting.
  */
 
 #ifndef LAZYDP_DP_DP_ENGINE_BASE_H
 #define LAZYDP_DP_DP_ENGINE_BASE_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +40,8 @@
 #include "nn/loss.h"
 #include "rng/noise_provider.h"
 #include "train/algorithm.h"
+#include "train/lot_backward.h"
+#include "train/replica.h"
 
 namespace lazydp {
 
@@ -44,17 +59,55 @@ class DpEngineBase : public Algorithm
     const NoiseProvider &noiseProvider() const { return noise_; }
 
   protected:
+    /**
+     * Gradient-production state of ONE microbatch shard of the current
+     * lot: the shared LotShardState plus the DP engines' per-example
+     * clipping scratch. Everything a shard touches while replicas run
+     * concurrently lives here (or in lot-wide buffers at disjoint row
+     * ranges), so shard execution is race-free by construction.
+     */
+    struct GradShard : LotShardState
+    {
+        Tensor logits;              //!< (shard x 1)
+        Tensor dLogits;             //!< (shard x 1) per-example loss grads
+        std::vector<double> normSq; //!< per-example squared grad norms
+        std::vector<float> scales;  //!< per-example clip factors
+        PerExampleGrads topPe;      //!< DP-SGD(B) materialization
+        PerExampleGrads bottomPe;   //!< DP-SGD(B) materialization
+    };
+
     /** Provider pseudo-table id of MLP layer @p mlp_index. */
     std::uint32_t mlpPseudoTable(std::size_t mlp_index) const;
 
     /**
-     * Forward + loss + per-example (unscaled) logit gradients.
-     * Fills logits_ and dLogits_; attributes Stage::Forward/Else.
-     *
-     * @return batch mean loss
+     * Shard stage 1: forward + loss sum + per-example (unscaled) logit
+     * gradients into @p s. Attributes Stage::Forward/Else to s.timer.
      */
-    double forwardAndLoss(const MiniBatch &cur, ExecContext &exec,
-                          StageTimer &timer);
+    void shardForwardLoss(GradShard &s, ExecContext &exec) const;
+
+    /**
+     * Engine-specific shard gradient production: from the shard's
+     * materialized sub-batch to (a) clipped per-layer MLP gradient sums
+     * in s.sums and (b) clipped pooled per-example embedding gradients
+     * in s.ws.dEmbOut. The default implements the ghost-clipping flow
+     * shared by DP-SGD(F), EANA and LazyDP; DP-SGD(B/R) override.
+     *
+     * Must be safe to run concurrently with other shards: only @p s,
+     * read-only model weights, and @p exec may be touched.
+     */
+    virtual void produceShardGrads(std::uint64_t iter, GradShard &s,
+                                   ExecContext &exec);
+
+    /**
+     * The lot-sharded first half of every engine's apply(): the shared
+     * shardedLotBackward orchestration (train/lot_backward.h) driving
+     * this engine's produceShardGrads over shards_, with the pooled
+     * embedding gradients gathered into lotEmbGrad_.
+     *
+     * @return the lot mean loss (tree-reduced shard sums / batch)
+     */
+    double shardedBackward(std::uint64_t iter, const MiniBatch &cur,
+                           ExecContext &exec, StageTimer &timer);
 
     /**
      * Noisy update of every MLP layer: assumes each layer's batch
@@ -105,10 +158,9 @@ class DpEngineBase : public Algorithm
     TrainHyper hyper_;
     NoiseProvider noise_;
 
-    Tensor logits_;
-    Tensor dLogits_;
-    std::vector<double> normSq_;
-    std::vector<float> scales_;
+    std::array<GradShard, kLotShards> shards_;
+    /** Per table: (lot x dim) pooled gradients gathered from shards. */
+    std::vector<Tensor> lotEmbGrad_;
     std::vector<SparseGrad> sparseGrads_;
     Tensor denseScratch_; // rows x dim dense noisy-gradient staging
 };

@@ -31,16 +31,17 @@ class DpSgdB : public DpEngineBase
                  PreparedStep &prepared, ExecContext &exec,
                  StageTimer &timer) override;
 
-    /** @return bytes held by materialized per-example grads last step. */
-    std::uint64_t
-    perExampleBytes() const
-    {
-        return topGrads_.bytes() + bottomGrads_.bytes();
-    }
+    /**
+     * @return bytes held by materialized per-example grads last step
+     * (summed over the lot shards -- the total covers the same examples
+     * the old whole-batch materialization did).
+     */
+    std::uint64_t perExampleBytes() const;
 
-  private:
-    PerExampleGrads topGrads_;
-    PerExampleGrads bottomGrads_;
+  protected:
+    /** Shard flow: full per-example materialization + clip-reduce. */
+    void produceShardGrads(std::uint64_t iter, GradShard &s,
+                           ExecContext &exec) override;
 };
 
 } // namespace lazydp

@@ -8,28 +8,21 @@ DpSgdF::apply(std::uint64_t iter, const MiniBatch &cur,
 {
     (void)prepared;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, exec, timer);
 
-    // Pass 1: activation-gradient backward with ghost-norm
-    // accumulation; parameter gradients are skipped entirely.
-    timer.start(Stage::BackwardPerExample);
-    normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
-    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
-    clipScales(normSq_, hyper_.clipNorm, scales_);
-    timer.stop();
-
-    // Pass 2: reweighted per-batch backward.
-    timer.start(Stage::BackwardPerBatch);
-    scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_, nullptr, false, exec);
-    timer.stop();
+    // Lot-sharded gradient production (ghost-clipping default): per
+    // shard, an activation-gradient backward with ghost-norm
+    // accumulation (parameter gradients skipped), then the reweighted
+    // per-batch backward; shard sums tree-reduce into the layers.
+    const double loss = shardedBackward(iter, cur, exec, timer);
 
     timer.start(Stage::GradCoalesce);
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+        model_.embeddingBackwardFrom(cur, t, lotEmbGrad_[t],
+                                     sparseGrads_[t]);
     timer.stop();
 
+    // Post-reduce model update, once per lot: dense noisy update of
+    // every table + noisy MLP step.
     for (std::size_t t = 0; t < model_.config().numTables; ++t) {
         denseNoisyTableUpdate(iter, static_cast<std::uint32_t>(t),
                               sparseGrads_[t], batch, exec, timer);

@@ -2,33 +2,42 @@
 
 namespace lazydp {
 
+void
+DpSgdR::produceShardGrads(std::uint64_t iter, GradShard &s,
+                          ExecContext &exec)
+{
+    (void)iter;
+    shardForwardLoss(s, exec);
+
+    // Pass 1: per-example norms via transient materialization.
+    s.timer.start(Stage::BackwardPerExample);
+    s.normSq.assign(s.batch.batchSize, 0.0);
+    model_.backwardNormsOnly(s.dLogits, s.normSq, s.ws, exec);
+    model_.accumulateEmbeddingGhostNormSq(s.batch, s.normSq, s.ws);
+    clipScales(s.normSq, hyper_.clipNorm, s.scales);
+    s.timer.stop();
+
+    // Pass 2: reweighted per-batch backward. Scaling the loss-gradient
+    // rows propagates the clip factors to every parameter gradient,
+    // including the embedding tables.
+    s.timer.start(Stage::BackwardPerBatch);
+    scaleRows(s.dLogits, s.scales);
+    model_.backward(s.dLogits, nullptr, false, s.ws, &s.sums, exec);
+    s.timer.stop();
+}
+
 double
 DpSgdR::apply(std::uint64_t iter, const MiniBatch &cur,
               PreparedStep &prepared, ExecContext &exec, StageTimer &timer)
 {
     (void)prepared;
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, exec, timer);
-
-    // Pass 1: per-example norms via transient materialization.
-    timer.start(Stage::BackwardPerExample);
-    normSq_.assign(batch, 0.0);
-    model_.backwardNormsOnly(dLogits_, normSq_, exec);
-    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
-    clipScales(normSq_, hyper_.clipNorm, scales_);
-    timer.stop();
-
-    // Pass 2: reweighted per-batch backward. Scaling the loss-gradient
-    // rows propagates the clip factors to every parameter gradient,
-    // including the embedding tables.
-    timer.start(Stage::BackwardPerBatch);
-    scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_, nullptr, false, exec);
-    timer.stop();
+    const double loss = shardedBackward(iter, cur, exec, timer);
 
     timer.start(Stage::GradCoalesce);
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+        model_.embeddingBackwardFrom(cur, t, lotEmbGrad_[t],
+                                     sparseGrads_[t]);
     timer.stop();
 
     for (std::size_t t = 0; t < model_.config().numTables; ++t) {

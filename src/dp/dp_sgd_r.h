@@ -33,6 +33,12 @@ class DpSgdR : public DpEngineBase
     double apply(std::uint64_t iter, const MiniBatch &cur,
                  PreparedStep &prepared, ExecContext &exec,
                  StageTimer &timer) override;
+
+  protected:
+    /** Shard flow: transient-materialization norm pass, then the
+     *  reweighted per-batch backward. */
+    void produceShardGrads(std::uint64_t iter, GradShard &s,
+                           ExecContext &exec) override;
 };
 
 } // namespace lazydp

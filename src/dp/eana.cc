@@ -47,24 +47,14 @@ EanaAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
     auto &prep = static_cast<EanaPrepared &>(prepared);
     LAZYDP_ASSERT(prep.iter == iter, "prepared state is for another iter");
     const std::size_t batch = cur.batchSize;
-    const double loss = forwardAndLoss(cur, exec, timer);
 
-    // Clipping machinery identical to DP-SGD(F).
-    timer.start(Stage::BackwardPerExample);
-    normSq_.assign(batch, 0.0);
-    model_.backward(dLogits_, &normSq_, /*skip_param_grads=*/true, exec);
-    model_.accumulateEmbeddingGhostNormSq(cur, normSq_);
-    clipScales(normSq_, hyper_.clipNorm, scales_);
-    timer.stop();
-
-    timer.start(Stage::BackwardPerBatch);
-    scaleRows(dLogits_, scales_);
-    model_.backward(dLogits_, nullptr, false, exec);
-    timer.stop();
+    // Lot-sharded clipping machinery identical to DP-SGD(F).
+    const double loss = shardedBackward(iter, cur, exec, timer);
 
     timer.start(Stage::GradCoalesce);
     for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+        model_.embeddingBackwardFrom(cur, t, lotEmbGrad_[t],
+                                     sparseGrads_[t]);
     timer.stop();
 
     // EANA's defining shortcut: noise ONLY on the accessed rows, so the

@@ -19,46 +19,60 @@ DlrmModel::DlrmModel(const ModelConfig &config, std::uint64_t seed)
         tables_.emplace_back(config_.rowsForTable(t), config_.embedDim);
         tables_.back().initUniform(seed + 0xE000 + t);
     }
-    embOut_.resize(config_.numTables);
-    dEmbOut_.resize(config_.numTables);
 }
 
 void
-DlrmModel::forward(const MiniBatch &mb, Tensor &logits,
-                   ExecContext &exec)
+DlrmModel::prepareWorkspace(DlrmWorkspace &ws, std::size_t batch) const
+{
+    if (ws.embOut.size() != config_.numTables) {
+        ws.embOut.resize(config_.numTables);
+        ws.dEmbOut.resize(config_.numTables);
+    }
+    ws.lastBatch = batch;
+}
+
+void
+DlrmModel::forward(const MiniBatch &mb, Tensor &logits, ExecContext &exec)
+{
+    forward(mb, logits, ws_, exec);
+}
+
+void
+DlrmModel::forward(const MiniBatch &mb, Tensor &logits, DlrmWorkspace &ws,
+                   ExecContext &exec) const
 {
     LAZYDP_ASSERT(mb.numTables == config_.numTables,
                   "batch table count != model");
     LAZYDP_ASSERT(mb.dense.cols() == config_.numDense,
                   "batch dense width != model");
     const std::size_t batch = mb.batchSize;
-    lastBatch_ = batch;
+    prepareWorkspace(ws, batch);
 
-    if (bottomOut_.rows() != batch ||
-        bottomOut_.cols() != config_.embedDim) {
-        bottomOut_.resize(batch, config_.embedDim);
+    if (ws.bottomOut.rows() != batch ||
+        ws.bottomOut.cols() != config_.embedDim) {
+        ws.bottomOut.resize(batch, config_.embedDim);
     }
-    bottom_.forward(mb.dense, bottomOut_, exec);
+    bottom_.forward(mb.dense, ws.bottomOut, ws.bottom, exec);
 
     for (std::size_t t = 0; t < config_.numTables; ++t) {
-        Tensor &out = embOut_[t];
+        Tensor &out = ws.embOut[t];
         if (out.rows() != batch || out.cols() != config_.embedDim)
             out.resize(batch, config_.embedDim);
         tables_[t].forward(mb.tableIndices(t), batch, mb.pooling, out);
     }
 
-    if (interOut_.rows() != batch ||
-        interOut_.cols() != interaction_.outputDim()) {
-        interOut_.resize(batch, interaction_.outputDim());
+    if (ws.interOut.rows() != batch ||
+        ws.interOut.cols() != interaction_.outputDim()) {
+        ws.interOut.resize(batch, interaction_.outputDim());
     }
     std::vector<const Tensor *> inputs;
     inputs.reserve(config_.numTables + 1);
-    inputs.push_back(&bottomOut_);
-    for (auto &e : embOut_)
+    inputs.push_back(&ws.bottomOut);
+    for (auto &e : ws.embOut)
         inputs.push_back(&e);
-    interaction_.forward(inputs, interOut_, exec);
+    interaction_.forwardInto(inputs, ws.interOut, ws.interCache, exec);
 
-    top_.forward(interOut_, logits, exec);
+    top_.forward(ws.interOut, logits, ws.top, exec);
 }
 
 namespace {
@@ -87,24 +101,60 @@ DlrmModel::backward(const Tensor &d_logits,
                     std::vector<double> *ghost_norm_sq,
                     bool skip_param_grads, ExecContext &exec)
 {
+    // Classic path: caches from the private workspace, gradients into
+    // the layers' own tensors.
     const std::size_t batch = d_logits.rows();
-    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
+    LAZYDP_ASSERT(batch == ws_.lastBatch,
+                  "backward batch != forward batch");
     prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
-                       config_.numTables, dInterOut_, dBottomOut_,
-                       dEmbOut_);
+                       config_.numTables, ws_.dInterOut, ws_.dBottomOut,
+                       ws_.dEmbOut);
 
-    top_.backward(d_logits, &dInterOut_, ghost_norm_sq, skip_param_grads,
-                  exec);
+    top_.backward(d_logits, &ws_.dInterOut, ghost_norm_sq,
+                  skip_param_grads, ws_.top, exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
-    d_inputs.push_back(&dBottomOut_);
-    for (auto &t : dEmbOut_)
+    d_inputs.push_back(&ws_.dBottomOut);
+    for (auto &t : ws_.dEmbOut)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs, exec);
+    interaction_.backwardFrom(ws_.dInterOut, d_inputs, ws_.interCache,
+                              exec);
 
-    bottom_.backward(dBottomOut_, nullptr, ghost_norm_sq,
-                     skip_param_grads, exec);
+    bottom_.backward(ws_.dBottomOut, nullptr, ghost_norm_sq,
+                     skip_param_grads, ws_.bottom, exec);
+}
+
+void
+DlrmModel::backward(const Tensor &d_logits,
+                    std::vector<double> *ghost_norm_sq,
+                    bool skip_param_grads, DlrmWorkspace &ws,
+                    DlrmGradSums *sums, ExecContext &exec) const
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == ws.lastBatch,
+                  "backward batch != forward batch");
+    LAZYDP_ASSERT(skip_param_grads || sums != nullptr,
+                  "shard backward needs caller-owned grad sums");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, ws.dInterOut, ws.dBottomOut,
+                       ws.dEmbOut);
+
+    top_.backward(d_logits, &ws.dInterOut, ghost_norm_sq,
+                  skip_param_grads, ws.top,
+                  sums != nullptr ? &sums->top : nullptr, exec);
+
+    std::vector<Tensor *> d_inputs;
+    d_inputs.reserve(config_.numTables + 1);
+    d_inputs.push_back(&ws.dBottomOut);
+    for (auto &t : ws.dEmbOut)
+        d_inputs.push_back(&t);
+    interaction_.backwardFrom(ws.dInterOut, d_inputs, ws.interCache,
+                              exec);
+
+    bottom_.backward(ws.dBottomOut, nullptr, ghost_norm_sq,
+                     skip_param_grads, ws.bottom,
+                     sums != nullptr ? &sums->bottom : nullptr, exec);
 }
 
 void
@@ -112,22 +162,34 @@ DlrmModel::backwardNormsOnly(const Tensor &d_logits,
                              std::vector<double> &norm_sq,
                              ExecContext &exec)
 {
-    const std::size_t batch = d_logits.rows();
-    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
-    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
-                       config_.numTables, dInterOut_, dBottomOut_,
-                       dEmbOut_);
+    backwardNormsOnly(d_logits, norm_sq, ws_, exec);
+}
 
-    top_.backwardNormsOnly(d_logits, &dInterOut_, norm_sq, exec);
+void
+DlrmModel::backwardNormsOnly(const Tensor &d_logits,
+                             std::vector<double> &norm_sq,
+                             DlrmWorkspace &ws, ExecContext &exec) const
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == ws.lastBatch,
+                  "backward batch != forward batch");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, ws.dInterOut, ws.dBottomOut,
+                       ws.dEmbOut);
+
+    top_.backwardNormsOnly(d_logits, &ws.dInterOut, norm_sq, ws.top,
+                           exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
-    d_inputs.push_back(&dBottomOut_);
-    for (auto &t : dEmbOut_)
+    d_inputs.push_back(&ws.dBottomOut);
+    for (auto &t : ws.dEmbOut)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs, exec);
+    interaction_.backwardFrom(ws.dInterOut, d_inputs, ws.interCache,
+                              exec);
 
-    bottom_.backwardNormsOnly(dBottomOut_, nullptr, norm_sq, exec);
+    bottom_.backwardNormsOnly(ws.dBottomOut, nullptr, norm_sq, ws.bottom,
+                              exec);
 }
 
 void
@@ -136,27 +198,48 @@ DlrmModel::backwardPerExample(const Tensor &d_logits,
                               PerExampleGrads &bottom_grads,
                               ExecContext &exec)
 {
-    const std::size_t batch = d_logits.rows();
-    LAZYDP_ASSERT(batch == lastBatch_, "backward batch != forward batch");
-    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
-                       config_.numTables, dInterOut_, dBottomOut_,
-                       dEmbOut_);
+    backwardPerExample(d_logits, top_grads, bottom_grads, ws_, exec);
+}
 
-    top_.backwardPerExample(d_logits, &dInterOut_, top_grads, exec);
+void
+DlrmModel::backwardPerExample(const Tensor &d_logits,
+                              PerExampleGrads &top_grads,
+                              PerExampleGrads &bottom_grads,
+                              DlrmWorkspace &ws, ExecContext &exec) const
+{
+    const std::size_t batch = d_logits.rows();
+    LAZYDP_ASSERT(batch == ws.lastBatch,
+                  "backward batch != forward batch");
+    prepareGradBuffers(batch, interaction_.outputDim(), config_.embedDim,
+                       config_.numTables, ws.dInterOut, ws.dBottomOut,
+                       ws.dEmbOut);
+
+    top_.backwardPerExample(d_logits, &ws.dInterOut, top_grads, ws.top,
+                            exec);
 
     std::vector<Tensor *> d_inputs;
     d_inputs.reserve(config_.numTables + 1);
-    d_inputs.push_back(&dBottomOut_);
-    for (auto &t : dEmbOut_)
+    d_inputs.push_back(&ws.dBottomOut);
+    for (auto &t : ws.dEmbOut)
         d_inputs.push_back(&t);
-    interaction_.backward(dInterOut_, d_inputs, exec);
+    interaction_.backwardFrom(ws.dInterOut, d_inputs, ws.interCache,
+                              exec);
 
-    bottom_.backwardPerExample(dBottomOut_, nullptr, bottom_grads, exec);
+    bottom_.backwardPerExample(ws.dBottomOut, nullptr, bottom_grads,
+                               ws.bottom, exec);
 }
 
 void
 DlrmModel::accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
                                           std::vector<double> &out) const
+{
+    accumulateEmbeddingGhostNormSq(mb, out, ws_);
+}
+
+void
+DlrmModel::accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
+                                          std::vector<double> &out,
+                                          const DlrmWorkspace &ws) const
 {
     const std::size_t batch = mb.batchSize;
     LAZYDP_ASSERT(out.size() == batch, "ghost-norm accumulator length");
@@ -167,7 +250,7 @@ DlrmModel::accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
     // (sum over unique rows m^2) * ||g_e||^2.
     std::unordered_map<std::uint32_t, std::uint32_t> mult;
     for (std::size_t t = 0; t < config_.numTables; ++t) {
-        const Tensor &d_out = dEmbOut_[t];
+        const Tensor &d_out = ws.dEmbOut[t];
         for (std::size_t e = 0; e < batch; ++e) {
             auto idx = mb.exampleIndices(t, e);
             double m2_sum;
@@ -192,23 +275,24 @@ DlrmModel::accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
 const Tensor &
 DlrmModel::embOutGrad(std::size_t t) const
 {
-    LAZYDP_ASSERT(t < dEmbOut_.size(), "table index out of range");
-    return dEmbOut_[t];
-}
-
-Tensor &
-DlrmModel::embOutGradMutable(std::size_t t)
-{
-    LAZYDP_ASSERT(t < dEmbOut_.size(), "table index out of range");
-    return dEmbOut_[t];
+    LAZYDP_ASSERT(t < ws_.dEmbOut.size(), "table index out of range");
+    return ws_.dEmbOut[t];
 }
 
 void
 DlrmModel::embeddingBackward(const MiniBatch &mb, std::size_t t,
                              SparseGrad &grad) const
 {
+    embeddingBackwardFrom(mb, t, ws_.dEmbOut[t], grad);
+}
+
+void
+DlrmModel::embeddingBackwardFrom(const MiniBatch &mb, std::size_t t,
+                                 const Tensor &d_out,
+                                 SparseGrad &grad) const
+{
     tables_[t].backward(mb.tableIndices(t), mb.batchSize, mb.pooling,
-                        dEmbOut_[t], grad);
+                        d_out, grad);
 }
 
 void

@@ -30,6 +30,34 @@
 
 namespace lazydp {
 
+/**
+ * Forward/backward activation state of one DLRM pass, hoisted out of
+ * the model so several lot shards can run partial-batch passes
+ * CONCURRENTLY against the same (read-only) weights -- the
+ * data-parallel replica path. The model keeps one private workspace
+ * serving the classic workspace-less entry points.
+ */
+struct DlrmWorkspace
+{
+    MlpWorkspace bottom;         //!< bottom-MLP caches
+    MlpWorkspace top;            //!< top-MLP caches
+    Tensor bottomOut;            //!< (batch x embedDim)
+    std::vector<Tensor> embOut;  //!< per table (batch x embedDim)
+    Tensor interOut;             //!< (batch x interactionDim)
+    Tensor interCache;           //!< interaction input cache
+    Tensor dInterOut;            //!< (batch x interactionDim)
+    Tensor dBottomOut;           //!< (batch x embedDim)
+    std::vector<Tensor> dEmbOut; //!< per table (batch x embedDim)
+    std::size_t lastBatch = 0;   //!< batch of the last forward
+};
+
+/** Caller-owned MLP batch-gradient sums of one partial-batch backward. */
+struct DlrmGradSums
+{
+    MlpGradSums bottom; //!< bottom-MLP per-layer sums
+    MlpGradSums top;    //!< top-MLP per-layer sums
+};
+
 /** DLRM model; see file comment. */
 class DlrmModel
 {
@@ -51,6 +79,17 @@ class DlrmModel
                  ExecContext &exec = ExecContext::serial());
 
     /**
+     * Partial-batch workspace forward: identical math, but every
+     * activation cache lives in the caller's @p ws. Const -- safe to
+     * run concurrently from several lot shards, each with its own
+     * workspace, while nobody mutates the weights. Each output row
+     * depends only on its own example, so the rows a shard produces
+     * are bit-identical to the same examples' rows in a full-lot pass.
+     */
+    void forward(const MiniBatch &mb, Tensor &logits, DlrmWorkspace &ws,
+                 ExecContext &exec) const;
+
+    /**
      * Backward from per-example logit gradients.
      *
      * Fills every MLP layer's batch weight/bias gradient and, for each
@@ -68,6 +107,18 @@ class DlrmModel
                   ExecContext &exec = ExecContext::serial());
 
     /**
+     * Partial-batch workspace backward: MLP batch-gradient sums land in
+     * the caller's @p sums (required unless skip_param_grads), pooled
+     * embedding gradients in ws.dEmbOut. The model's own gradient
+     * tensors stay untouched -- the caller tree-reduces shard sums into
+     * them afterwards.
+     */
+    void backward(const Tensor &d_logits,
+                  std::vector<double> *ghost_norm_sq,
+                  bool skip_param_grads, DlrmWorkspace &ws,
+                  DlrmGradSums *sums, ExecContext &exec) const;
+
+    /**
      * DP-SGD(R)'s norm pass: per-example MLP gradients are materialized
      * layer-by-layer into scratch (then discarded) to accumulate
      * per-example squared norms; no batch parameter gradients are
@@ -76,6 +127,11 @@ class DlrmModel
     void backwardNormsOnly(const Tensor &d_logits,
                            std::vector<double> &norm_sq,
                            ExecContext &exec = ExecContext::serial());
+
+    /** Partial-batch workspace variant of backwardNormsOnly. */
+    void backwardNormsOnly(const Tensor &d_logits,
+                           std::vector<double> &norm_sq,
+                           DlrmWorkspace &ws, ExecContext &exec) const;
 
     /**
      * Backward materializing per-example MLP gradients (DP-SGD(B)).
@@ -90,6 +146,12 @@ class DlrmModel
                             PerExampleGrads &bottom_grads,
                             ExecContext &exec = ExecContext::serial());
 
+    /** Partial-batch workspace variant of backwardPerExample. */
+    void backwardPerExample(const Tensor &d_logits,
+                            PerExampleGrads &top_grads,
+                            PerExampleGrads &bottom_grads,
+                            DlrmWorkspace &ws, ExecContext &exec) const;
+
     /**
      * Add each example's squared embedding-gradient norm (all tables)
      * into @p out. Exact, accounting for duplicate indices within an
@@ -100,18 +162,27 @@ class DlrmModel
     void accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
                                         std::vector<double> &out) const;
 
+    /** Workspace variant: reads pooled grads from @p ws .dEmbOut. */
+    void accumulateEmbeddingGhostNormSq(const MiniBatch &mb,
+                                        std::vector<double> &out,
+                                        const DlrmWorkspace &ws) const;
+
     /** @return pooled-output gradient of table @p t (batch x dim). */
     const Tensor &embOutGrad(std::size_t t) const;
-
-    /**
-     * Mutable pooled-output gradient (DP-SGD(B) scales each example's
-     * row by its clip factor in place before coalescing).
-     */
-    Tensor &embOutGradMutable(std::size_t t);
 
     /** Coalesce the sparse gradient of table @p t from embOutGrad. */
     void embeddingBackward(const MiniBatch &mb, std::size_t t,
                            SparseGrad &grad) const;
+
+    /**
+     * Coalesce the sparse gradient of table @p t from an explicit
+     * pooled-output gradient tensor (batch x dim) -- the post-reduce
+     * path of the lot-sharded engines, whose pooled gradients are
+     * gathered from the shard workspaces rather than the model's own.
+     */
+    void embeddingBackwardFrom(const MiniBatch &mb, std::size_t t,
+                               const Tensor &d_out,
+                               SparseGrad &grad) const;
 
     /** SGD step on both MLPs with the stored batch gradients. */
     void applyMlps(float lr);
@@ -134,22 +205,17 @@ class DlrmModel
     std::uint64_t tableBytes() const;
 
   private:
+    /** Size @p ws 's per-table vectors and record @p batch. */
+    void prepareWorkspace(DlrmWorkspace &ws, std::size_t batch) const;
+
     ModelConfig config_;
     Mlp bottom_;
     std::vector<EmbeddingTable> tables_;
     DotInteraction interaction_;
     Mlp top_;
 
-    // Forward caches
-    Tensor bottomOut_;               // (batch x embedDim)
-    std::vector<Tensor> embOut_;     // per table (batch x embedDim)
-    Tensor interOut_;                // (batch x interactionDim)
-
-    // Backward caches
-    Tensor dInterOut_;               // (batch x interactionDim)
-    Tensor dBottomOut_;              // (batch x embedDim)
-    std::vector<Tensor> dEmbOut_;    // per table (batch x embedDim)
-    std::size_t lastBatch_ = 0;
+    // Workspace backing the classic (workspace-less) entry points.
+    DlrmWorkspace ws_;
 };
 
 } // namespace lazydp

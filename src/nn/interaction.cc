@@ -23,6 +23,14 @@ void
 DotInteraction::forward(const std::vector<const Tensor *> &inputs,
                         Tensor &out, ExecContext &exec)
 {
+    forwardInto(inputs, out, cache_, exec);
+}
+
+void
+DotInteraction::forwardInto(const std::vector<const Tensor *> &inputs,
+                            Tensor &out, Tensor &cache,
+                            ExecContext &exec) const
+{
     LAZYDP_ASSERT(inputs.size() == numInputs_, "interaction input count");
     const std::size_t batch = inputs[0]->rows();
     for (const Tensor *t : inputs) {
@@ -32,11 +40,11 @@ DotInteraction::forward(const std::vector<const Tensor *> &inputs,
     LAZYDP_ASSERT(out.rows() == batch && out.cols() == outputDim(),
                   "interaction output shape");
 
-    if (cache_.rows() != batch || cache_.cols() != numInputs_ * dim_)
-        cache_.resize(batch, numInputs_ * dim_);
+    if (cache.rows() != batch || cache.cols() != numInputs_ * dim_)
+        cache.resize(batch, numInputs_ * dim_);
     for (std::size_t i = 0; i < numInputs_; ++i) {
         for (std::size_t e = 0; e < batch; ++e) {
-            std::memcpy(cache_.data() + (e * numInputs_ + i) * dim_,
+            std::memcpy(cache.data() + (e * numInputs_ + i) * dim_,
                         inputs[i]->data() + e * dim_,
                         dim_ * sizeof(float));
         }
@@ -45,7 +53,7 @@ DotInteraction::forward(const std::vector<const Tensor *> &inputs,
     parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t e = lo; e < hi; ++e) {
             float *dst = out.data() + e * outputDim();
-            const float *feats = cache_.data() + e * numInputs_ * dim_;
+            const float *feats = cache.data() + e * numInputs_ * dim_;
             // pass-through of the dense (bottom MLP) vector
             std::memcpy(dst, feats, dim_ * sizeof(float));
             std::size_t k = dim_;
@@ -64,10 +72,18 @@ DotInteraction::backward(const Tensor &d_out,
                          const std::vector<Tensor *> &d_inputs,
                          ExecContext &exec) const
 {
+    backwardFrom(d_out, d_inputs, cache_, exec);
+}
+
+void
+DotInteraction::backwardFrom(const Tensor &d_out,
+                             const std::vector<Tensor *> &d_inputs,
+                             const Tensor &cache, ExecContext &exec) const
+{
     LAZYDP_ASSERT(d_inputs.size() == numInputs_, "interaction grad count");
     const std::size_t batch = d_out.rows();
     LAZYDP_ASSERT(d_out.cols() == outputDim(), "interaction grad width");
-    LAZYDP_ASSERT(cache_.rows() == batch,
+    LAZYDP_ASSERT(cache.rows() == batch,
                   "interaction backward without forward");
 
     for (Tensor *t : d_inputs) {
@@ -79,7 +95,7 @@ DotInteraction::backward(const Tensor &d_out,
     parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t e = lo; e < hi; ++e) {
             const float *g = d_out.data() + e * outputDim();
-            const float *feats = cache_.data() + e * numInputs_ * dim_;
+            const float *feats = cache.data() + e * numInputs_ * dim_;
             // pass-through gradient into input 0
             simd::add(d_inputs[0]->data() + e * dim_,
                       d_inputs[0]->data() + e * dim_, g, dim_);

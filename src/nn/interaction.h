@@ -43,6 +43,14 @@ class DotInteraction
                  ExecContext &exec = ExecContext::serial());
 
     /**
+     * Workspace forward: the flattened input cache lands in the
+     * caller's @p cache instead of the member -- const, so concurrent
+     * lot shards can each interact with their own workspace.
+     */
+    void forwardInto(const std::vector<const Tensor *> &inputs,
+                     Tensor &out, Tensor &cache, ExecContext &exec) const;
+
+    /**
      * Backward.
      *
      * @param d_out (batch x outputDim()) upstream gradient
@@ -52,6 +60,11 @@ class DotInteraction
     void backward(const Tensor &d_out,
                   const std::vector<Tensor *> &d_inputs,
                   ExecContext &exec = ExecContext::serial()) const;
+
+    /** Workspace backward: reads the caller's @p cache. */
+    void backwardFrom(const Tensor &d_out,
+                      const std::vector<Tensor *> &d_inputs,
+                      const Tensor &cache, ExecContext &exec) const;
 
     std::size_t numInputs() const { return numInputs_; }
     std::size_t dim() const { return dim_; }

@@ -10,6 +10,14 @@ double
 BceWithLogitsLoss::forward(const Tensor &logits,
                            const std::vector<float> &labels)
 {
+    return forwardSum(logits, labels) /
+           static_cast<double>(logits.rows());
+}
+
+double
+BceWithLogitsLoss::forwardSum(const Tensor &logits,
+                              const std::vector<float> &labels)
+{
     const std::size_t batch = logits.rows();
     LAZYDP_ASSERT(logits.cols() == 1, "loss expects (batch x 1) logits");
     LAZYDP_ASSERT(labels.size() == batch, "label count mismatch");
@@ -21,7 +29,7 @@ BceWithLogitsLoss::forward(const Tensor &logits,
         const double y = labels[e];
         total += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
     }
-    return total / static_cast<double>(batch);
+    return total;
 }
 
 void

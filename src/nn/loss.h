@@ -25,6 +25,16 @@ class BceWithLogitsLoss
                           const std::vector<float> &labels);
 
     /**
+     * Un-normalized loss: the SUM of per-example losses (double
+     * accumulation in example order). The lot-sharded engines compute
+     * one sum per microbatch shard and merge them through the fixed
+     * reduction tree before dividing by the lot size once -- forward()
+     * is forwardSum() / batch.
+     */
+    static double forwardSum(const Tensor &logits,
+                             const std::vector<float> &labels);
+
+    /**
      * Per-example logit gradients, *not* divided by the batch size:
      * d_e = sigmoid(z_e) - y_e.
      *

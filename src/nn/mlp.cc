@@ -20,6 +20,30 @@ PerExampleGrads::bytes() const
     return total;
 }
 
+void
+MlpGradSums::ensureShape(const Mlp &mlp)
+{
+    const auto &layers = mlp.layers();
+    w.resize(layers.size());
+    b.resize(layers.size());
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        if (w[li].rows() != layers[li].outDim() ||
+            w[li].cols() != layers[li].inDim())
+            w[li].resize(layers[li].outDim(), layers[li].inDim());
+        if (b[li].rows() != 1 || b[li].cols() != layers[li].outDim())
+            b[li].resize(1, layers[li].outDim());
+    }
+}
+
+void
+MlpGradSums::zero()
+{
+    for (auto &t : w)
+        t.zero();
+    for (auto &t : b)
+        t.zero();
+}
+
 LinearLayer::LinearLayer(std::size_t in, std::size_t out)
     : in_(in), out_(out), w_(out, in), b_(1, out), w_grad_(out, in),
       b_grad_(1, out)
@@ -41,10 +65,17 @@ LinearLayer::initUniform(std::uint64_t seed)
 void
 LinearLayer::forward(const Tensor &x, Tensor &y, ExecContext &exec)
 {
+    forwardInto(x, y, x_cache_, exec);
+}
+
+void
+LinearLayer::forwardInto(const Tensor &x, Tensor &y, Tensor &x_cache,
+                         ExecContext &exec) const
+{
     LAZYDP_ASSERT(x.cols() == in_, "linear forward input width");
-    if (x_cache_.rows() != x.rows() || x_cache_.cols() != x.cols())
-        x_cache_.resize(x.rows(), x.cols());
-    x_cache_.copyFrom(x);
+    if (x_cache.rows() != x.rows() || x_cache.cols() != x.cols())
+        x_cache.resize(x.rows(), x.cols());
+    x_cache.copyFrom(x);
     matmulABt(x, w_, y, false, exec);
     addRowBias(y, b_);
 }
@@ -53,9 +84,19 @@ void
 LinearLayer::backward(const Tensor &d_y, Tensor *d_x,
                       bool skip_param_grads, ExecContext &exec)
 {
+    backwardFrom(d_y, x_cache_, d_x,
+                 skip_param_grads ? nullptr : &w_grad_,
+                 skip_param_grads ? nullptr : &b_grad_, exec);
+}
+
+void
+LinearLayer::backwardFrom(const Tensor &d_y, const Tensor &x_cache,
+                          Tensor *d_x, Tensor *w_grad, Tensor *b_grad,
+                          ExecContext &exec) const
+{
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(d_y.cols() == out_, "linear backward grad width");
-    LAZYDP_ASSERT(x_cache_.rows() == batch,
+    LAZYDP_ASSERT(x_cache.rows() == batch,
                   "backward batch != cached forward batch");
 
     if (d_x != nullptr) {
@@ -65,25 +106,34 @@ LinearLayer::backward(const Tensor &d_y, Tensor *d_x,
         matmulAB(d_y, w_, *d_x, false, exec);
     }
 
-    if (skip_param_grads)
+    if (w_grad == nullptr)
         return;
+    LAZYDP_ASSERT(b_grad != nullptr, "weight/bias grads travel together");
     // dW = dY^T X, db = column sums of dY
-    matmulAtB(d_y, x_cache_, w_grad_, false, exec);
-    reduceRows(d_y, b_grad_);
+    matmulAtB(d_y, x_cache, *w_grad, false, exec);
+    reduceRows(d_y, *b_grad);
 }
 
 void
 LinearLayer::accumulateGhostNormSq(const Tensor &d_y,
                                    std::vector<double> &out) const
 {
+    accumulateGhostNormSqFrom(d_y, x_cache_, out);
+}
+
+void
+LinearLayer::accumulateGhostNormSqFrom(const Tensor &d_y,
+                                       const Tensor &x_cache,
+                                       std::vector<double> &out) const
+{
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(out.size() == batch, "ghost-norm accumulator length");
-    LAZYDP_ASSERT(x_cache_.rows() == batch, "ghost norm needs forward cache");
+    LAZYDP_ASSERT(x_cache.rows() == batch, "ghost norm needs forward cache");
     for (std::size_t e = 0; e < batch; ++e) {
         const double g2 =
             simd::squaredNorm(d_y.data() + e * out_, out_);
         const double a2 =
-            simd::squaredNorm(x_cache_.data() + e * in_, in_);
+            simd::squaredNorm(x_cache.data() + e * in_, in_);
         out[e] += g2 * a2 + g2; // weight term + bias term
     }
 }
@@ -92,8 +142,16 @@ void
 LinearLayer::perExampleGrads(const Tensor &d_y, Tensor &w_grads,
                              Tensor &b_grads, ExecContext &exec) const
 {
+    perExampleGradsFrom(d_y, x_cache_, w_grads, b_grads, exec);
+}
+
+void
+LinearLayer::perExampleGradsFrom(const Tensor &d_y, const Tensor &x_cache,
+                                 Tensor &w_grads, Tensor &b_grads,
+                                 ExecContext &exec) const
+{
     const std::size_t batch = d_y.rows();
-    LAZYDP_ASSERT(x_cache_.rows() == batch,
+    LAZYDP_ASSERT(x_cache.rows() == batch,
                   "per-example grads need forward cache");
     w_grads.resizeNoShrink(batch, out_ * in_);
     b_grads.resizeNoShrink(batch, out_);
@@ -101,7 +159,7 @@ LinearLayer::perExampleGrads(const Tensor &d_y, Tensor &w_grads,
     parallelFor(exec, batch, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t e = lo; e < hi; ++e) {
             const float *g = d_y.data() + e * out_;
-            const float *a = x_cache_.data() + e * in_;
+            const float *a = x_cache.data() + e * in_;
             float *wg = w_grads.data() + e * out_ * in_;
             for (std::size_t o = 0; o < out_; ++o) {
                 // row o of dW_e = g[o] * a
@@ -137,22 +195,38 @@ Mlp::Mlp(const std::vector<std::size_t> &dims, std::uint64_t seed)
         layers_.emplace_back(dims[l], dims[l + 1]);
         layers_.back().initUniform(seed + 0x1000 * (l + 1));
     }
-    z_cache_.resize(layers_.size());
-    grad_scratch_.resize(layers_.size());
+}
+
+void
+Mlp::ensureWorkspace(MlpWorkspace &ws) const
+{
+    if (ws.xCache.size() != layers_.size()) {
+        ws.xCache.resize(layers_.size());
+        ws.zCache.resize(layers_.size());
+        ws.gradScratch.resize(layers_.size());
+    }
 }
 
 void
 Mlp::forward(const Tensor &x, Tensor &y, ExecContext &exec)
 {
+    static_cast<const Mlp &>(*this).forward(x, y, ws_, exec);
+}
+
+void
+Mlp::forward(const Tensor &x, Tensor &y, MlpWorkspace &ws,
+             ExecContext &exec) const
+{
     LAZYDP_ASSERT(x.cols() == dims_.front(), "MLP input width");
+    ensureWorkspace(ws);
     const std::size_t batch = x.rows();
 
     const Tensor *cur = &x;
     for (std::size_t l = 0; l < layers_.size(); ++l) {
-        Tensor &z = z_cache_[l];
+        Tensor &z = ws.zCache[l];
         if (z.rows() != batch || z.cols() != layers_[l].outDim())
             z.resize(batch, layers_[l].outDim());
-        layers_[l].forward(*cur, z, exec);
+        layers_[l].forwardInto(*cur, z, ws.xCache[l], exec);
         if (l + 1 < layers_.size()) {
             // ReLU in place on a copy kept as the next layer's input;
             // we keep z pre-activation for the backward mask, so apply
@@ -163,22 +237,24 @@ Mlp::forward(const Tensor &x, Tensor &y, ExecContext &exec)
     }
     if (y.rows() != batch || y.cols() != dims_.back())
         y.resize(batch, dims_.back());
-    y.copyFrom(z_cache_.back());
+    y.copyFrom(ws.zCache.back());
 }
 
 template <typename LayerHook>
 void
-Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook)
+Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, MlpWorkspace &ws,
+                  LayerHook &&hook) const
 {
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(d_y.cols() == dims_.back(), "MLP upstream grad width");
+    ensureWorkspace(ws);
 
     const Tensor *cur_grad = &d_y;
     for (std::size_t li = layers_.size(); li-- > 0;) {
-        LinearLayer &layer = layers_[li];
+        const LinearLayer &layer = layers_[li];
         Tensor *dst = nullptr;
         if (li > 0) {
-            Tensor &scratch = grad_scratch_[li];
+            Tensor &scratch = ws.gradScratch[li];
             if (scratch.rows() != batch ||
                 scratch.cols() != layer.inDim()) {
                 scratch.resize(batch, layer.inDim());
@@ -188,7 +264,7 @@ Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook)
             dst = d_x; // may be nullptr (skip input grads)
         }
 
-        hook(layer, *cur_grad, dst);
+        hook(li, *cur_grad, dst);
 
         if (li > 0) {
             // The scratch now holds gradients wrt the *post-ReLU*
@@ -197,7 +273,7 @@ Mlp::backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook)
             // place, and relu'(x) as a mask of (post-relu > 0) equals
             // the mask of (pre-relu > 0) except at exactly 0 where both
             // are 0 -- identical gradients.
-            const Tensor &activated = z_cache_[li - 1];
+            const Tensor &activated = ws.zCache[li - 1];
             simd::reluBackward(dst->data(), activated.data(), dst->data(),
                                dst->size());
             cur_grad = dst;
@@ -210,11 +286,48 @@ Mlp::backward(const Tensor &d_y, Tensor *d_x,
               std::vector<double> *ghost_norm_sq, bool skip_param_grads,
               ExecContext &exec)
 {
-    backwardImpl(d_y, d_x,
-                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
+    backward(d_y, d_x, ghost_norm_sq, skip_param_grads, ws_, exec);
+}
+
+void
+Mlp::backward(const Tensor &d_y, Tensor *d_x,
+              std::vector<double> *ghost_norm_sq, bool skip_param_grads,
+              MlpWorkspace &ws, ExecContext &exec)
+{
+    backwardImpl(d_y, d_x, ws,
+                 [&](std::size_t li, const Tensor &g, Tensor *dx) {
+                     LinearLayer &layer = layers_[li];
                      if (ghost_norm_sq != nullptr)
-                         layer.accumulateGhostNormSq(g, *ghost_norm_sq);
-                     layer.backward(g, dx, skip_param_grads, exec);
+                         layer.accumulateGhostNormSqFrom(
+                             g, ws.xCache[li], *ghost_norm_sq);
+                     layer.backwardFrom(
+                         g, ws.xCache[li], dx,
+                         skip_param_grads ? nullptr : &layer.weightGrad(),
+                         skip_param_grads ? nullptr : &layer.biasGrad(),
+                         exec);
+                 });
+}
+
+void
+Mlp::backward(const Tensor &d_y, Tensor *d_x,
+              std::vector<double> *ghost_norm_sq, bool skip_param_grads,
+              MlpWorkspace &ws, MlpGradSums *sums, ExecContext &exec) const
+{
+    if (!skip_param_grads) {
+        LAZYDP_ASSERT(sums != nullptr,
+                      "workspace backward needs caller-owned grad sums");
+        sums->ensureShape(*this);
+    }
+    backwardImpl(d_y, d_x, ws,
+                 [&](std::size_t li, const Tensor &g, Tensor *dx) {
+                     const LinearLayer &layer = layers_[li];
+                     if (ghost_norm_sq != nullptr)
+                         layer.accumulateGhostNormSqFrom(
+                             g, ws.xCache[li], *ghost_norm_sq);
+                     layer.backwardFrom(
+                         g, ws.xCache[li], dx,
+                         skip_param_grads ? nullptr : &sums->w[li],
+                         skip_param_grads ? nullptr : &sums->b[li], exec);
                  });
 }
 
@@ -222,22 +335,31 @@ void
 Mlp::backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
                        std::vector<double> &norm_sq, ExecContext &exec)
 {
+    static_cast<const Mlp &>(*this).backwardNormsOnly(d_y, d_x, norm_sq,
+                                                      ws_, exec);
+}
+
+void
+Mlp::backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
+                       std::vector<double> &norm_sq, MlpWorkspace &ws,
+                       ExecContext &exec) const
+{
     const std::size_t batch = d_y.rows();
     LAZYDP_ASSERT(norm_sq.size() == batch, "norm accumulator length");
-    Tensor &w_scratch = norm_scratch_w_;
-    Tensor &b_scratch = norm_scratch_b_;
-    backwardImpl(d_y, d_x,
-                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
-                     layer.perExampleGrads(g, w_scratch, b_scratch, exec);
+    backwardImpl(d_y, d_x, ws,
+                 [&](std::size_t li, const Tensor &g, Tensor *dx) {
+                     const LinearLayer &layer = layers_[li];
+                     layer.perExampleGradsFrom(g, ws.xCache[li], ws.normW,
+                                               ws.normB, exec);
                      parallelFor(exec, batch,
                                  [&](std::size_t lo, std::size_t hi) {
                          for (std::size_t e = lo; e < hi; ++e) {
                              norm_sq[e] += simd::squaredNorm(
-                                 w_scratch.data() + e * w_scratch.cols(),
-                                 w_scratch.cols());
+                                 ws.normW.data() + e * ws.normW.cols(),
+                                 ws.normW.cols());
                              norm_sq[e] += simd::squaredNorm(
-                                 b_scratch.data() + e * b_scratch.cols(),
-                                 b_scratch.cols());
+                                 ws.normB.data() + e * ws.normB.cols(),
+                                 ws.normB.cols());
                          }
                      });
                      if (dx != nullptr)
@@ -249,16 +371,23 @@ void
 Mlp::backwardPerExample(const Tensor &d_y, Tensor *d_x,
                         PerExampleGrads &grads, ExecContext &exec)
 {
+    static_cast<const Mlp &>(*this).backwardPerExample(d_y, d_x, grads,
+                                                       ws_, exec);
+}
+
+void
+Mlp::backwardPerExample(const Tensor &d_y, Tensor *d_x,
+                        PerExampleGrads &grads, MlpWorkspace &ws,
+                        ExecContext &exec) const
+{
     grads.w.resize(layers_.size());
     grads.b.resize(layers_.size());
-    // Layers are visited in reverse; map to per-layer slots by pointer
-    // arithmetic on the layers_ vector.
-    backwardImpl(d_y, d_x,
-                 [&](LinearLayer &layer, const Tensor &g, Tensor *dx) {
-                     const auto li = static_cast<std::size_t>(
-                         &layer - layers_.data());
-                     layer.perExampleGrads(g, grads.w[li], grads.b[li],
-                                           exec);
+    backwardImpl(d_y, d_x, ws,
+                 [&](std::size_t li, const Tensor &g, Tensor *dx) {
+                     const LinearLayer &layer = layers_[li];
+                     layer.perExampleGradsFrom(g, ws.xCache[li],
+                                               grads.w[li], grads.b[li],
+                                               exec);
                      // Input gradients still require the batch backward
                      // (dX = dY W); weight gradients are not needed here.
                      if (dx != nullptr)
@@ -281,7 +410,5 @@ Mlp::paramCount() const
         n += layer.paramCount();
     return n;
 }
-
-// Explicit instantiation not needed; backwardImpl is used only in this TU.
 
 } // namespace lazydp

@@ -34,6 +34,42 @@ struct PerExampleGrads
     std::uint64_t bytes() const;
 };
 
+/**
+ * Activation / scratch state of one forward+backward pass through an
+ * Mlp. The model formerly cached this inside the layers; hoisting it
+ * into a caller-owned workspace lets several lot shards run
+ * forward/backward CONCURRENTLY against the same (read-only) weights --
+ * the data-parallel replica path. The Mlp keeps one private workspace
+ * for the classic single-caller entry points.
+ */
+struct MlpWorkspace
+{
+    std::vector<Tensor> xCache;      //!< per layer: forward input copy
+    std::vector<Tensor> zCache;      //!< per layer: (post-ReLU) output
+    std::vector<Tensor> gradScratch; //!< inter-layer gradient buffers
+    // Per-example materialization scratch for backwardNormsOnly.
+    Tensor normW;
+    Tensor normB;
+};
+
+/**
+ * Caller-owned per-layer batch-gradient sums (sum over the examples the
+ * caller ran backward on). One lot shard fills one of these; the fixed
+ * tree reduction then merges kLotShards of them into the layers' own
+ * gradient tensors.
+ */
+struct MlpGradSums
+{
+    std::vector<Tensor> w; //!< per layer: (out x in) summed weight grads
+    std::vector<Tensor> b; //!< per layer: (1 x out) summed bias grads
+
+    /** Size both vectors to @p mlp 's layer shapes (idempotent). */
+    void ensureShape(const class Mlp &mlp);
+
+    /** Zero every tensor (used for empty lot shards). */
+    void zero();
+};
+
 /** Fully connected layer y = x W^T + b with cached activations. */
 class LinearLayer
 {
@@ -50,6 +86,14 @@ class LinearLayer
     /** y = x W^T + b; caches x for backward. */
     void forward(const Tensor &x, Tensor &y,
                  ExecContext &exec = ExecContext::serial());
+
+    /**
+     * Workspace forward: like forward() but the input copy lands in the
+     * caller's @p x_cache instead of the layer -- const, so shards may
+     * run it concurrently against shared weights.
+     */
+    void forwardInto(const Tensor &x, Tensor &y, Tensor &x_cache,
+                     ExecContext &exec) const;
 
     /**
      * Per-batch backward: fills the layer's weight/bias gradients
@@ -69,6 +113,16 @@ class LinearLayer
                   ExecContext &exec = ExecContext::serial());
 
     /**
+     * Workspace backward: gradients derive from the caller's
+     * @p x_cache and land in the caller's @p w_grad / @p b_grad (both
+     * nullptr to skip parameter gradients). Const for the same reason
+     * as forwardInto.
+     */
+    void backwardFrom(const Tensor &d_y, const Tensor &x_cache,
+                      Tensor *d_x, Tensor *w_grad, Tensor *b_grad,
+                      ExecContext &exec) const;
+
+    /**
      * Ghost norms: out[e] += ||dW_e||_F^2 + ||db_e||^2 computed as
      * ||g_e||^2 * ||a_e||^2 + ||g_e||^2 without forming dW_e
      * (exact for linear layers; Denison et al.).
@@ -81,6 +135,11 @@ class LinearLayer
     void accumulateGhostNormSq(const Tensor &d_y,
                                std::vector<double> &out) const;
 
+    /** Workspace ghost norms: reads the caller's @p x_cache. */
+    void accumulateGhostNormSqFrom(const Tensor &d_y,
+                                   const Tensor &x_cache,
+                                   std::vector<double> &out) const;
+
     /**
      * Materialized per-example gradients (DP-SGD(B) path):
      * dW_e = g_e (x) a_e, db_e = g_e.
@@ -92,6 +151,11 @@ class LinearLayer
     void perExampleGrads(const Tensor &d_y, Tensor &w_grads,
                          Tensor &b_grads,
                          ExecContext &exec = ExecContext::serial()) const;
+
+    /** Workspace per-example grads: reads the caller's @p x_cache. */
+    void perExampleGradsFrom(const Tensor &d_y, const Tensor &x_cache,
+                             Tensor &w_grads, Tensor &b_grads,
+                             ExecContext &exec) const;
 
     /** w = decay*w - lr*w_grad; b = decay*b - lr*b_grad. */
     void apply(float lr, float decay = 1.0f);
@@ -140,6 +204,15 @@ class Mlp
                  ExecContext &exec = ExecContext::serial());
 
     /**
+     * Workspace forward: activations cache into @p ws instead of the
+     * private workspace. Const -- several lot shards may run
+     * concurrently, each with its own workspace, against the shared
+     * weights.
+     */
+    void forward(const Tensor &x, Tensor &y, MlpWorkspace &ws,
+                 ExecContext &exec) const;
+
+    /**
      * Backward through all layers, filling per-layer batch gradients.
      *
      * @param d_y upstream gradient of the MLP output
@@ -151,6 +224,29 @@ class Mlp
                   std::vector<double> *ghost_norm_sq = nullptr,
                   bool skip_param_grads = false,
                   ExecContext &exec = ExecContext::serial());
+
+    /**
+     * Workspace backward writing the LAYERS' own gradient tensors:
+     * consumes the caches @p ws holds from the matching workspace
+     * forward (the DlrmModel's classic path runs its MLPs through an
+     * explicit workspace).
+     */
+    void backward(const Tensor &d_y, Tensor *d_x,
+                  std::vector<double> *ghost_norm_sq,
+                  bool skip_param_grads, MlpWorkspace &ws,
+                  ExecContext &exec);
+
+    /**
+     * Workspace backward for concurrent lot shards: parameter-gradient
+     * sums land in @p sums (per-layer caller-owned tensors; may be
+     * nullptr only when skip_param_grads). The layers' own gradient
+     * tensors are not touched, so concurrent shard backwards never
+     * race.
+     */
+    void backward(const Tensor &d_y, Tensor *d_x,
+                  std::vector<double> *ghost_norm_sq,
+                  bool skip_param_grads, MlpWorkspace &ws,
+                  MlpGradSums *sums, ExecContext &exec) const;
 
     /**
      * DP-SGD(R)'s first pass: walk the layers, *materialize* each
@@ -166,6 +262,11 @@ class Mlp
                            std::vector<double> &norm_sq,
                            ExecContext &exec = ExecContext::serial());
 
+    /** Workspace variant of backwardNormsOnly (scratch lives in @p ws). */
+    void backwardNormsOnly(const Tensor &d_y, Tensor *d_x,
+                           std::vector<double> &norm_sq, MlpWorkspace &ws,
+                           ExecContext &exec) const;
+
     /**
      * Backward that additionally materializes per-example gradients of
      * every layer (DP-SGD(B)). Batch gradients are not produced.
@@ -173,6 +274,11 @@ class Mlp
     void backwardPerExample(const Tensor &d_y, Tensor *d_x,
                             PerExampleGrads &grads,
                             ExecContext &exec = ExecContext::serial());
+
+    /** Workspace variant of backwardPerExample. */
+    void backwardPerExample(const Tensor &d_y, Tensor *d_x,
+                            PerExampleGrads &grads, MlpWorkspace &ws,
+                            ExecContext &exec) const;
 
     /** SGD step on all layers (optional multiplicative decay). */
     void apply(float lr, float decay = 1.0f);
@@ -188,24 +294,24 @@ class Mlp
     std::size_t paramCount() const;
 
   private:
+    /** Size @p ws 's per-layer vectors to this stack (idempotent). */
+    void ensureWorkspace(MlpWorkspace &ws) const;
+
     /**
      * Shared backward skeleton: walks layers in reverse, applying ReLU
      * masks, invoking @p layer_hook (per-batch or per-example gradient
      * derivation) for each layer.
      */
     template <typename LayerHook>
-    void backwardImpl(const Tensor &d_y, Tensor *d_x, LayerHook &&hook);
+    void backwardImpl(const Tensor &d_y, Tensor *d_x, MlpWorkspace &ws,
+                      LayerHook &&hook) const;
 
     std::vector<std::size_t> dims_;
     std::vector<LinearLayer> layers_;
-    // Cached post-linear (pre-ReLU) outputs per layer for ReLU backward.
-    std::vector<Tensor> z_cache_;
-    // Scratch gradient buffers between layers.
-    std::vector<Tensor> grad_scratch_;
-    // Persistent per-example scratch for backwardNormsOnly (avoids a
-    // ~1 GB realloc + page-fault storm per iteration at batch 2048).
-    Tensor norm_scratch_w_;
-    Tensor norm_scratch_b_;
+    // Workspace backing the classic (workspace-less) entry points.
+    // Persistent so backwardNormsOnly's per-example scratch avoids a
+    // ~1 GB realloc + page-fault storm per iteration at batch 2048.
+    MlpWorkspace ws_;
 };
 
 } // namespace lazydp

@@ -1,0 +1,78 @@
+#include "train/replica.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+void
+runReplicated(ExecContext &exec,
+              const std::function<void(std::size_t, ExecContext &)> &body)
+{
+    const std::size_t replicas = exec.replicas == 0 ? 1 : exec.replicas;
+    LAZYDP_ASSERT(validReplicas(replicas),
+                  "replica count must divide the fixed lot-shard count");
+
+    if (replicas == 1 || exec.pool == nullptr) {
+        for (std::size_t s = 0; s < kLotShards; ++s)
+            body(s, exec);
+        return;
+    }
+
+    const std::size_t per = kLotShards / replicas;
+    std::vector<TaskHandle> pending;
+    pending.reserve(replicas - 1);
+    for (std::size_t r = 1; r < replicas; ++r) {
+        pending.push_back(exec.pool->submitLane(
+            kReplicaLaneBase + r - 1, [&body, r, per] {
+                for (std::size_t s = r * per; s < (r + 1) * per; ++s)
+                    body(s, ExecContext::serial());
+            }));
+    }
+
+    // Whatever happens, EVERY lane must drain before this frame
+    // unwinds: the lane closures capture the caller's stack. Waits are
+    // unconditional; the first exception (caller's own first, then
+    // lanes in lane order) is rethrown only after the join.
+    std::exception_ptr first;
+    try {
+        for (std::size_t s = 0; s < per; ++s)
+            body(s, exec);
+    } catch (...) {
+        first = std::current_exception();
+    }
+    for (auto &h : pending) {
+        try {
+            h.wait();
+        } catch (...) {
+            if (first == nullptr)
+                first = std::current_exception();
+        }
+    }
+    if (first != nullptr)
+        std::rethrow_exception(first);
+}
+
+void
+treeReduce4(const Tensor &q0, const Tensor &q1, const Tensor &q2,
+            const Tensor &q3, Tensor &out, ExecContext &exec)
+{
+    static_assert(kLotShards == 4,
+                  "treeReduce4 mirrors the fixed lot-shard count");
+    const std::size_t n = out.size();
+    LAZYDP_ASSERT(q0.size() == n && q1.size() == n && q2.size() == n &&
+                      q3.size() == n,
+                  "tree-reduce shape mismatch");
+    const float *a = q0.data();
+    const float *b = q1.data();
+    const float *c = q2.data();
+    const float *d = q3.data();
+    float *o = out.data();
+    parallelFor(exec, n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            o[i] = (a[i] + b[i]) + (c[i] + d[i]);
+    });
+}
+
+} // namespace lazydp

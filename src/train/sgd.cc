@@ -21,35 +21,54 @@ SgdAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
     (void)iter;
     (void)prepared;
     const std::size_t batch = cur.batchSize;
+    const std::size_t num_tables = model_.config().numTables;
 
-    timer.start(Stage::Forward);
-    model_.forward(cur, logits_, exec);
-    timer.stop();
+    // Lot-sharded gradient production: per shard, forward + loss +
+    // plain per-batch backward (no clipping), through the shared
+    // orchestration so SGD's dataflow equals the DP engines'.
+    std::array<LotShardState *, kLotShards> view;
+    for (std::size_t s = 0; s < kLotShards; ++s)
+        view[s] = &shards_[s];
+    const double loss = shardedLotBackward(
+        model_, cur, view, lotEmbGrad_, exec, timer,
+        [&](std::size_t s, ExecContext &rexec) {
+            Shard &sh = shards_[s];
+            const std::size_t n = sh.batch.batchSize;
 
-    timer.start(Stage::Else);
-    const double loss = BceWithLogitsLoss::forward(logits_, cur.labels);
-    if (dLogits_.rows() != batch || dLogits_.cols() != 1)
-        dLogits_.resize(batch, 1);
-    BceWithLogitsLoss::backwardPerExample(logits_, cur.labels, dLogits_);
-    // per-batch averaging folded into the loss gradient
-    simd::scale(dLogits_.data(), dLogits_.size(),
-                1.0f / static_cast<float>(batch));
-    timer.stop();
+            sh.timer.start(Stage::Forward);
+            model_.forward(sh.batch, sh.logits, sh.ws, rexec);
+            sh.timer.stop();
 
-    timer.start(Stage::BackwardPerBatch);
-    model_.backward(dLogits_, nullptr, false, exec);
-    timer.stop();
+            sh.timer.start(Stage::Else);
+            sh.lossSum = BceWithLogitsLoss::forwardSum(sh.logits,
+                                                       sh.batch.labels);
+            if (sh.dLogits.rows() != n || sh.dLogits.cols() != 1)
+                sh.dLogits.resize(n, 1);
+            BceWithLogitsLoss::backwardPerExample(
+                sh.logits, sh.batch.labels, sh.dLogits);
+            // per-batch averaging folded into the loss gradient; a
+            // per-example operation, so it commutes with the sharding
+            simd::scale(sh.dLogits.data(), sh.dLogits.size(),
+                        1.0f / static_cast<float>(batch));
+            sh.timer.stop();
+
+            sh.timer.start(Stage::BackwardPerBatch);
+            model_.backward(sh.dLogits, nullptr, false, sh.ws, &sh.sums,
+                            rexec);
+            sh.timer.stop();
+        });
 
     timer.start(Stage::GradCoalesce);
-    for (std::size_t t = 0; t < model_.config().numTables; ++t)
-        model_.embeddingBackward(cur, t, sparseGrads_[t]);
+    for (std::size_t t = 0; t < num_tables; ++t)
+        model_.embeddingBackwardFrom(cur, t, lotEmbGrad_[t],
+                                     sparseGrads_[t]);
     timer.stop();
 
     // Sparse model update: the entire point of non-private embedding
     // training -- touch only gathered rows.
     timer.start(Stage::NoisyGradUpdate);
     model_.applyMlps(hyper_.lr);
-    for (std::size_t t = 0; t < model_.config().numTables; ++t)
+    for (std::size_t t = 0; t < num_tables; ++t)
         model_.tables()[t].applySparse(sparseGrads_[t], hyper_.lr);
     timer.stop();
 

@@ -5,16 +5,24 @@
  * Derives the per-batch gradient in one backward pass and applies
  * *sparse* embedding updates: only rows gathered during forward are
  * touched. This is the flat line every DP scheme is compared against.
+ *
+ * Shares the lot-sharded data-parallel structure of the DP engines
+ * (train/lot_backward.h): the lot splits into the fixed microbatch
+ * shards, each shard's backward fills its own gradient sums, and the
+ * fixed tree reduction merges them -- so SGD too is bit-identical
+ * across replica counts and participates in the replica sweeps.
  */
 
 #ifndef LAZYDP_TRAIN_SGD_H
 #define LAZYDP_TRAIN_SGD_H
 
+#include <array>
 #include <vector>
 
 #include "nn/dlrm.h"
 #include "nn/loss.h"
 #include "train/algorithm.h"
+#include "train/lot_backward.h"
 
 namespace lazydp {
 
@@ -36,10 +44,17 @@ class SgdAlgorithm : public Algorithm
                  StageTimer &timer) override;
 
   private:
+    /** Per-microbatch-shard state (no clipping: plain backward). */
+    struct Shard : LotShardState
+    {
+        Tensor logits;
+        Tensor dLogits;
+    };
+
     DlrmModel &model_;
     TrainHyper hyper_;
-    Tensor logits_;
-    Tensor dLogits_;
+    std::array<Shard, kLotShards> shards_;
+    std::vector<Tensor> lotEmbGrad_;
     std::vector<SparseGrad> sparseGrads_;
 };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "train/replica.h"
 
 namespace lazydp {
 
@@ -21,8 +22,16 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
         return result;
     LAZYDP_ASSERT(options.warmupIters < iterations,
                   "warmup would consume every iteration");
+    LAZYDP_ASSERT(validReplicas(options.replicas),
+                  "TrainOptions::replicas must be 1, 2 or 4");
     if (options.recordLosses)
         result.losses.reserve(iterations);
+
+    // The worker-replica count travels to every step through a per-run
+    // copy of the execution context (replicas are a schedule knob, not
+    // an algorithm parameter).
+    runExec_ = *exec_;
+    runExec_.replicas = options.replicas;
 
     // The pipeline needs the pool's async lane; without a pool the
     // serial schedule is the only (and identical-result) option.
@@ -31,10 +40,12 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
     else
         runSerial(iterations, options, result);
 
-    WallTimer fin;
-    algorithm_.finalize(options.startIter + iterations, *exec_,
-                        result.finalizeTimer);
-    result.finalizeSeconds = fin.seconds();
+    if (options.runFinalize) {
+        WallTimer fin;
+        algorithm_.finalize(options.startIter + iterations, runExec_,
+                            result.finalizeTimer);
+        result.finalizeSeconds = fin.seconds();
+    }
     result.iterations = iterations - options.warmupIters;
     return result;
 }
@@ -64,7 +75,7 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
 
         const double loss = algorithm_.step(
             options.startIter + iter, queue.head(),
-            has_next ? &queue.at(1) : nullptr, *exec_, timer);
+            has_next ? &queue.at(1) : nullptr, runExec_, timer);
         if (options.recordLosses)
             result.losses.push_back(loss);
 
@@ -105,7 +116,7 @@ Trainer::runPipelined(std::uint64_t iterations,
                                                   : result.timer;
         algorithm_.prepare(options.startIter + 1, queue.head(),
                            first_has_next ? &queue.at(1) : nullptr,
-                           *cur_prep, *exec_, t1);
+                           *cur_prep, runExec_, t1);
     }
 
     WallTimer wall;
@@ -143,7 +154,7 @@ Trainer::runPipelined(std::uint64_t iterations,
         double loss = 0.0;
         try {
             loss = algorithm_.apply(options.startIter + iter, cur,
-                                    *cur_prep, *exec_, timer);
+                                    *cur_prep, runExec_, timer);
         } catch (...) {
             // Drain the async stage before unwinding: its closure
             // captures this frame's queue and timers.

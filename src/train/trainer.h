@@ -48,6 +48,27 @@ struct TrainOptions
      */
     bool pipeline = false;
 
+    /**
+     * Lot-sharded data-parallel worker replicas (train/replica.h):
+     * every apply() fans its microbatch-shard gradient production
+     * across this many workers (replica 0 = the main thread, the rest
+     * on dedicated pool lanes) before the deterministic tree reduction
+     * and the single noise-add/update. Must be 1, 2 or 4 (a divisor of
+     * the fixed shard count). Requires a pool to actually run
+     * concurrently; without one the same dataflow executes inline.
+     * Never changes the trained model -- the third orthogonal
+     * parallelism axis next to intra-op threads and the pipeline.
+     */
+    std::size_t replicas = 1;
+
+    /**
+     * Run Algorithm::finalize after the last iteration (default). Off
+     * for checkpoint-segmented training: finalize flushes LazyDP's
+     * pending noise into the weights, which must happen exactly once,
+     * at the true end of training -- not at a mid-run checkpoint.
+     */
+    bool runFinalize = true;
+
     /** Keep the loss trajectory (benches may disable). */
     bool recordLosses = true;
 
@@ -134,6 +155,8 @@ class Trainer
     Algorithm &algorithm_;
     DataLoader &loader_;
     ExecContext *exec_;
+    /** Per-run copy of *exec_ carrying TrainOptions::replicas. */
+    ExecContext runExec_;
 };
 
 } // namespace lazydp

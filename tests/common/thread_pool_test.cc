@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -342,6 +345,112 @@ TEST(ExecContextTest, SerialContextReportsOneThread)
     ThreadPool pool(6);
     ExecContext exec(&pool);
     EXPECT_EQ(exec.threads(), 6u);
+}
+
+TEST(ExecContextTest, ReplicasDefaultToOneAndCopy)
+{
+    ExecContext a;
+    EXPECT_EQ(a.replicas, 1u);
+    a.replicas = 4;
+    ExecContext b = a;
+    EXPECT_EQ(b.replicas, 4u);
+}
+
+TEST(SubmitLaneTest, LanesPreserveSubmissionOrderWithinALane)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::mutex mu;
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+        handles.push_back(pool.submitLane(3, [i, &order, &mu] {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back(i);
+        }));
+    }
+    for (auto &h : handles)
+        h.wait();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SubmitLaneTest, DistinctLanesRunConcurrently)
+{
+    // Lane A blocks until lane B has run: only possible when the lanes
+    // are distinct threads.
+    ThreadPool pool(1);
+    std::atomic<bool> b_ran{false};
+    TaskHandle a = pool.submitLane(1, [&] {
+        while (!b_ran.load())
+            std::this_thread::yield();
+    });
+    TaskHandle b = pool.submitLane(2, [&] { b_ran.store(true); });
+    b.wait();
+    a.wait();
+    EXPECT_TRUE(b_ran.load());
+}
+
+TEST(SubmitLaneTest, SubmitIsLaneZero)
+{
+    // submit() and submitLane(0, ...) share one FIFO thread.
+    ThreadPool pool(2);
+    std::vector<int> order;
+    std::mutex mu;
+    TaskHandle a = pool.submit([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(0);
+    });
+    TaskHandle b = pool.submitLane(0, [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(1);
+    });
+    a.wait();
+    b.wait();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(SubmitLaneTest, LaneExceptionRethrownFromWait)
+{
+    ThreadPool pool(1);
+    TaskHandle h = pool.submitLane(
+        5, [] { throw std::runtime_error("lane boom"); });
+    EXPECT_THROW(h.wait(), std::runtime_error);
+}
+
+TEST(SubmitLaneTest, DestructorDrainsEveryLane)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (std::size_t lane = 0; lane < 6; ++lane) {
+            for (int i = 0; i < 4; ++i)
+                pool.submitLane(lane, [&ran] { ++ran; });
+        }
+        // pool destructor must complete all 24 tasks
+    }
+    EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(SubmitLaneTest, NestedDispatchFromLaneFlattens)
+{
+    ThreadPool pool(4);
+    ExecContext exec(&pool);
+    std::atomic<bool> ok{false};
+    TaskHandle h = pool.submitLane(2, [&] {
+        // parallelFor from a lane thread must degenerate to a serial
+        // loop (the loop workers belong to the main thread's compute).
+        std::vector<int> hits(100, 0);
+        parallelFor(exec, 100, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                ++hits[i];
+        });
+        ok.store(std::count(hits.begin(), hits.end(), 1) == 100);
+    });
+    h.wait();
+    EXPECT_TRUE(ok.load());
 }
 
 } // namespace

@@ -62,5 +62,75 @@ TEST(MiniBatchTest, OutOfRangeTablePanics)
     setLogThrowMode(false);
 }
 
+/** A lot with recognizable per-field patterns for slice checks. */
+MiniBatch
+patternedLot(std::size_t batch, std::size_t tables, std::size_t pooling,
+             std::size_t dense)
+{
+    MiniBatch mb;
+    mb.resize(batch, tables, pooling, dense);
+    for (std::size_t e = 0; e < batch; ++e) {
+        mb.labels[e] = static_cast<float>(e);
+        for (std::size_t d = 0; d < dense; ++d)
+            mb.dense.at(e, d) = static_cast<float>(e * 100 + d);
+    }
+    for (std::size_t i = 0; i < mb.indices.size(); ++i)
+        mb.indices[i] = static_cast<std::uint32_t>(i);
+    return mb;
+}
+
+TEST(MiniBatchSliceTest, SliceMaterializesTheExampleRange)
+{
+    const MiniBatch lot = patternedLot(8, 2, 3, 4);
+    MiniBatch sub;
+    lot.slice(2, 5, sub);
+
+    EXPECT_EQ(sub.batchSize, 3u);
+    EXPECT_EQ(sub.numTables, 2u);
+    EXPECT_EQ(sub.pooling, 3u);
+    for (std::size_t e = 0; e < 3; ++e) {
+        EXPECT_EQ(sub.labels[e], lot.labels[2 + e]);
+        for (std::size_t d = 0; d < 4; ++d)
+            EXPECT_EQ(sub.dense.at(e, d), lot.dense.at(2 + e, d));
+        for (std::size_t t = 0; t < 2; ++t) {
+            auto want = lot.exampleIndices(t, 2 + e);
+            auto got = sub.exampleIndices(t, e);
+            ASSERT_EQ(want.size(), got.size());
+            for (std::size_t s = 0; s < want.size(); ++s)
+                EXPECT_EQ(got[s], want[s]);
+        }
+    }
+}
+
+TEST(MiniBatchSliceTest, FullRangeSliceEqualsTheLot)
+{
+    const MiniBatch lot = patternedLot(5, 3, 2, 2);
+    MiniBatch sub;
+    lot.slice(0, 5, sub);
+    EXPECT_EQ(sub.indices, lot.indices);
+    EXPECT_EQ(sub.labels, lot.labels);
+}
+
+TEST(MiniBatchSliceTest, SliceReusesBuffersAcrossCalls)
+{
+    const MiniBatch lot = patternedLot(8, 2, 2, 3);
+    MiniBatch sub;
+    lot.slice(0, 4, sub);
+    const float *dense_before = sub.dense.data();
+    lot.slice(4, 8, sub); // same shape: must not reallocate
+    EXPECT_EQ(sub.dense.data(), dense_before);
+    EXPECT_EQ(sub.labels[0], 4.0f);
+}
+
+TEST(MiniBatchSliceTest, OutOfRangeSlicePanics)
+{
+    setLogThrowMode(true);
+    const MiniBatch lot = patternedLot(4, 1, 1, 1);
+    MiniBatch sub;
+    EXPECT_THROW(lot.slice(2, 5, sub), std::runtime_error);
+    EXPECT_THROW(lot.slice(3, 2, sub), std::runtime_error);
+    setLogThrowMode(false);
+}
+
 } // namespace
 } // namespace lazydp

@@ -107,5 +107,101 @@ TEST(AccountantTest, ZeroStepsGivesTinyEpsilon)
     EXPECT_LT(acc.epsilon(1e-5), 0.05);
 }
 
+// ----- hardening edge cases -------------------------------------------
+
+TEST(AccountantEdgeTest, ZeroIterationsAtAnyConfiguration)
+{
+    // A run that never stepped must report (near-)zero spent budget no
+    // matter how aggressive the mechanism parameters are.
+    for (const double sigma : {0.5, 1.0, 8.0}) {
+        for (const double q : {0.001, 0.5, 1.0}) {
+            RdpAccountant acc(sigma, q);
+            EXPECT_EQ(acc.steps(), 0u);
+            EXPECT_LT(acc.epsilon(1e-6), 0.05)
+                << "sigma " << sigma << " q " << q;
+            EXPECT_GE(acc.epsilon(1e-6), 0.0);
+        }
+    }
+}
+
+TEST(AccountantEdgeTest, SigmaToInfinityEpsilonVanishes)
+{
+    // sigma -> inf: the mechanism releases pure noise; epsilon must
+    // decay toward the no-signal floor monotonically.
+    double prev = 1e300;
+    for (const double sigma : {1.0, 10.0, 100.0, 1e4, 1e6}) {
+        RdpAccountant acc(sigma, 0.01);
+        acc.addSteps(1000);
+        const double eps = acc.epsilon(1e-6);
+        EXPECT_LT(eps, prev + 1e-12) << "sigma " << sigma;
+        prev = eps;
+    }
+    // at sigma = 1e6 the RDP term is ~0: only the delta conversion
+    // floor remains
+    RdpAccountant huge(1e6, 0.01);
+    huge.addSteps(1000);
+    EXPECT_LT(huge.epsilon(1e-6), 0.06);
+}
+
+TEST(AccountantEdgeTest, EpsilonMonotoneInSteps)
+{
+    // Strict monotonicity along a whole trajectory, not just two
+    // points: every additional lot spends budget.
+    RdpAccountant acc(1.1, 0.01);
+    double prev = acc.epsilon(1e-5);
+    for (int leg = 0; leg < 8; ++leg) {
+        acc.addSteps(250);
+        const double eps = acc.epsilon(1e-5);
+        EXPECT_GT(eps, prev) << "after " << acc.steps() << " steps";
+        prev = eps;
+    }
+}
+
+TEST(AccountantEdgeTest, EpsilonMonotoneInLotSize)
+{
+    // Bigger lots (higher sampling rate q = L/N) must never report a
+    // smaller epsilon at the same step count.
+    const double population = 1e6;
+    double prev = 0.0;
+    for (const double lot : {256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
+        RdpAccountant acc(1.1, lot / population);
+        acc.addSteps(500);
+        const double eps = acc.epsilon(1e-6);
+        EXPECT_GE(eps, prev) << "lot " << lot;
+        prev = eps;
+    }
+}
+
+TEST(AccountantEdgeTest, CompositionMatchesClosedFormGaussian)
+{
+    // q = 1, T steps of the plain Gaussian mechanism: the accountant's
+    // answer must equal the closed-form RDP composition evaluated over
+    // the same integer-order grid,
+    //   eps = min_a [ T * a / (2 sigma^2) + log(1/delta) / (a - 1) ].
+    const double sigma = 4.0;
+    const std::uint64_t steps = 64;
+    const double delta = 1e-6;
+
+    RdpAccountant acc(sigma, 1.0);
+    acc.addSteps(steps);
+
+    double want = 1e300;
+    for (const int a : RdpAccountant::defaultOrders()) {
+        const double rdp = static_cast<double>(steps) * a /
+                           (2.0 * sigma * sigma);
+        want = std::min(want,
+                        rdp + std::log(1.0 / delta) / (a - 1.0));
+    }
+    EXPECT_NEAR(acc.epsilon(delta), want, 1e-9 * want);
+
+    // and per-order composition is exactly linear in T
+    for (const int a : {2, 8, 32}) {
+        EXPECT_NEAR(acc.rdpAtOrder(a) * static_cast<double>(steps),
+                    static_cast<double>(steps) * a /
+                        (2.0 * sigma * sigma),
+                    1e-9);
+    }
+}
+
 } // namespace
 } // namespace lazydp

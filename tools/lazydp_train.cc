@@ -77,7 +77,8 @@ main(int argc, char **argv)
                        {"algo", "model", "table-mb", "batch", "iters",
                         "pooling", "lr", "sigma", "clip", "weight-decay",
                         "skew", "seed", "population", "delta", "save",
-                        "csv", "threads", "pipeline", "help"});
+                        "csv", "threads", "pipeline", "replicas",
+                        "help"});
     if (args.has("help")) {
         std::printf(
             "lazydp_train --algo=<%s>\n"
@@ -91,6 +92,8 @@ main(int argc, char **argv)
             "               is bit-identical for every N)\n"
             "  --pipeline[=on|off] (overlap noise prep + batch prefetch\n"
             "               with compute; bit-identical model)\n"
+            "  --replicas=1|2|4 (lot-sharded data-parallel workers;\n"
+            "               bit-identical model at every count)\n"
             "  --save=PATH (LazyDP training checkpoint)  --csv\n",
             "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
         return 0;
@@ -133,6 +136,7 @@ main(int argc, char **argv)
 
     const std::size_t threads = args.getThreads(1);
     const bool pipeline = args.getBool("pipeline", false);
+    const std::size_t replicas = args.getU64("replicas", 1);
     ThreadPool pool(threads);
     ExecContext exec(&pool);
 
@@ -140,11 +144,12 @@ main(int argc, char **argv)
     inform("training ", algo->name(), " on ", model_cfg.name, " (",
            humanBytes(model.tableBytes()), " tables, batch ", batch,
            ", ", iters, " iters, ", threads, " threads, pipeline ",
-           pipeline ? "on" : "off", ")");
+           pipeline ? "on" : "off", ", replicas ", replicas, ")");
 
     Trainer trainer(*algo, loader, &exec);
     TrainOptions options;
     options.pipeline = pipeline;
+    options.replicas = replicas;
     const TrainResult result = trainer.run(iters, options);
 
     TablePrinter table("Result: " + algo->name());
