@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "core/lazydp.h"
 #include "data/data_loader.h"
+#include "kernels/kernel_registry.h"
 #include "train/trainer.h"
 
 namespace lazydp {
@@ -139,6 +140,8 @@ printPreamble(const std::string &figure, const std::string &what)
     std::printf("# rows marked 'modeled' extend the series to the\n");
     std::printf("# paper's table sizes via the calibrated roofline\n");
     std::printf("# model (see DESIGN.md, Substitutions).\n");
+    std::printf("# kernels: %s (--kernels / LAZYDP_KERNELS)\n",
+                kernelBackendName(activeKernelBackend()));
     std::printf("################################################\n");
     std::fflush(stdout);
 }

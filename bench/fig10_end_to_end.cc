@@ -105,13 +105,14 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
                        {"threads", "thread-sweep", "replica-sweep",
-                        "table-mb", "pipeline", "help"});
+                        "table-mb", "pipeline", "kernels", "help"});
     if (args.has("help")) {
         std::printf("fig10_end_to_end [--threads=N] [--pipeline[=on]] "
                     "[--thread-sweep=1,2,4,8] [--replica-sweep=1,2,4] "
-                    "[--table-mb=N]\n");
+                    "[--table-mb=N] [--kernels=scalar|avx2|auto]\n");
         return 0;
     }
+    args.applyKernels();
     const std::size_t threads = args.getThreads(1);
     const bool pipeline = args.getBool("pipeline", false);
     const std::uint64_t table_bytes = args.getU64("table-mb", 960) << 20;

@@ -27,12 +27,14 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
                        {"threads", "table-mb", "iters", "pipeline",
-                        "help"});
+                        "kernels", "help"});
     if (args.has("help")) {
         std::printf("fig11_lazydp_breakdown [--threads=N] [--iters=N] "
-                    "[--pipeline[=on]] [--table-mb=N]\n");
+                    "[--pipeline[=on]] [--table-mb=N] "
+                    "[--kernels=scalar|avx2|auto]\n");
         return 0;
     }
+    args.applyKernels();
     const std::size_t threads = args.getThreads(1);
     const std::uint64_t iters = args.getU64("iters", 3);
     const bool pipeline = args.getBool("pipeline", false);

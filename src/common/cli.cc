@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "kernels/kernel_registry.h"
 
 namespace lazydp {
 
@@ -90,6 +91,20 @@ CliArgs::getThreads(std::uint64_t def) const
     const std::uint64_t requested = getU64("threads", def);
     return requested == 0 ? hardwareThreads()
                           : static_cast<std::size_t>(requested);
+}
+
+std::string
+CliArgs::applyKernels() const
+{
+    if (has("kernels")) {
+        const std::string value = getString("kernels", "auto");
+        KernelBackend backend = KernelBackend::Auto;
+        if (!parseKernelBackend(value, backend))
+            fatal("flag '--kernels' expects scalar|avx2|auto, got '",
+                  value, "'");
+        setKernelBackend(backend);
+    }
+    return kernelBackendName(activeKernelBackend());
 }
 
 } // namespace lazydp

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "kernels/kernel_registry.h"
 #include "rng/xoshiro.h"
 #include "tensor/simd_kernels.h"
 
@@ -272,14 +273,16 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
     timer.start(Stage::NoisyGradUpdate);
     const float step_scale = hyper_.lr / normDenominator(batch);
     if (decayed_ == nullptr) {
+        // Merged rows are unique and sorted, so each shard hands its
+        // sub-range straight to the no-alias scatter kernel.
+        const KernelTable &kt = kernels();
         parallelForShards(
             exec, mergedRows_.size(), kRowGrain,
             [&](std::size_t, std::size_t mlo, std::size_t mhi) {
-                for (std::size_t m = mlo; m < mhi; ++m) {
-                    simd::axpy(tbl.rowPtr(mergedRows_[m]),
-                               mergedVals_.data() + m * dim, dim,
-                               -step_scale);
-                }
+                kt.scatterAxpyRows(tbl.weights().data(),
+                                   mergedRows_.data() + mlo,
+                                   mergedVals_.data() + mlo * dim,
+                                   mhi - mlo, dim, -step_scale);
             });
     } else {
         // With deferred decay: each merged row is first scaled by

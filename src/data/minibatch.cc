@@ -28,14 +28,16 @@ MiniBatch::slice(std::size_t lo, std::size_t hi, MiniBatch &out) const
     out.pooling = pooling;
 
     out.dense.resizeNoShrink(n, dense.cols());
+    out.labels.resize(n);
+    out.indices.resize(numTables * n * pooling);
+    if (n == 0)
+        return; // empty shard of a ragged/tiny lot: shape-only slice
+                // (memcpy with a null destination is UB even at size 0)
+
     std::memcpy(out.dense.data(), dense.data() + lo * dense.cols(),
                 n * dense.cols() * sizeof(float));
-
-    out.labels.resize(n);
     std::memcpy(out.labels.data(), labels.data() + lo,
                 n * sizeof(float));
-
-    out.indices.resize(numTables * n * pooling);
     for (std::size_t t = 0; t < numTables; ++t) {
         std::memcpy(out.indices.data() + t * n * pooling,
                     indices.data() + (t * batchSize + lo) * pooling,

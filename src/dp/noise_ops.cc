@@ -1,6 +1,7 @@
 #include "dp/noise_ops.h"
 
 #include "common/macros.h"
+#include "kernels/kernel_registry.h"
 #include "tensor/simd_kernels.h"
 
 namespace lazydp {
@@ -28,11 +29,11 @@ addSparseIntoDense(const SparseGrad &grad, Tensor &dense)
 {
     const std::size_t dim = dense.cols();
     LAZYDP_ASSERT(grad.values.cols() == dim, "sparse/dense dim mismatch");
-    for (std::size_t i = 0; i < grad.rows.size(); ++i) {
-        simd::add(dense.data() + grad.rows[i] * dim,
-                  dense.data() + grad.rows[i] * dim,
-                  grad.values.data() + i * dim, dim);
-    }
+    // a == 1.0f makes the scatter's fmadd bit-equal to a plain add, so
+    // this matches the historical per-row simd::add exactly.
+    kernels().scatterAxpyRows(dense.data(), grad.rows.data(),
+                              grad.values.data(), grad.rows.size(), dim,
+                              1.0f);
 }
 
 void

@@ -1,0 +1,135 @@
+#include "kernels/kernel_registry.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "kernels/kernels_internal.h"
+
+namespace lazydp {
+
+namespace {
+
+std::atomic<const KernelTable *> g_active{nullptr};
+
+/** Resolve Auto against this build + CPU. */
+const KernelTable *
+resolveTable(KernelBackend b)
+{
+    using namespace kernels_detail;
+    switch (b) {
+      case KernelBackend::Avx2:
+        return avx2Table(); // may be null: caller handles the fallback
+      case KernelBackend::Scalar:
+        return &scalarTable();
+      case KernelBackend::Auto:
+      default: {
+        const KernelTable *avx2 = avx2Table();
+        return avx2 != nullptr ? avx2 : &scalarTable();
+      }
+    }
+}
+
+/** One-time startup selection from LAZYDP_KERNELS (default auto). */
+const KernelTable *
+initialTable()
+{
+    KernelBackend requested = KernelBackend::Auto;
+    if (const char *env = std::getenv("LAZYDP_KERNELS")) {
+        if (!parseKernelBackend(env, requested)) {
+            warn("LAZYDP_KERNELS='", env,
+                 "' is not scalar|avx2|auto; using auto");
+            requested = KernelBackend::Auto;
+        }
+    }
+    const KernelTable *t = resolveTable(requested);
+    if (t == nullptr) {
+        warn("kernel backend '", kernelBackendName(requested),
+             "' unavailable on this host; falling back to scalar");
+        t = &kernels_detail::scalarTable();
+    }
+    return t;
+}
+
+} // namespace
+
+bool
+parseKernelBackend(const std::string &s, KernelBackend &out)
+{
+    if (s == "auto") {
+        out = KernelBackend::Auto;
+        return true;
+    }
+    if (s == "scalar") {
+        out = KernelBackend::Scalar;
+        return true;
+    }
+    if (s == "avx2") {
+        out = KernelBackend::Avx2;
+        return true;
+    }
+    return false;
+}
+
+const char *
+kernelBackendName(KernelBackend b)
+{
+    switch (b) {
+      case KernelBackend::Scalar:
+        return "scalar";
+      case KernelBackend::Avx2:
+        return "avx2";
+      case KernelBackend::Auto:
+      default:
+        return "auto";
+    }
+}
+
+bool
+kernelBackendAvailable(KernelBackend b)
+{
+    return resolveTable(b) != nullptr;
+}
+
+void
+setKernelBackend(KernelBackend b)
+{
+    const KernelTable *t = resolveTable(b);
+    if (t == nullptr) {
+        warn("kernel backend '", kernelBackendName(b),
+             "' unavailable on this host; falling back to scalar");
+        t = &kernels_detail::scalarTable();
+    }
+    g_active.store(t, std::memory_order_release);
+}
+
+KernelBackend
+activeKernelBackend()
+{
+    return kernels().backend;
+}
+
+const KernelTable &
+kernels()
+{
+    const KernelTable *t = g_active.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        static std::once_flag once;
+        std::call_once(once, [] {
+            const KernelTable *expected = nullptr;
+            g_active.compare_exchange_strong(expected, initialTable(),
+                                             std::memory_order_acq_rel);
+        });
+        t = g_active.load(std::memory_order_acquire);
+    }
+    return *t;
+}
+
+const KernelTable *
+kernelTable(KernelBackend b)
+{
+    return resolveTable(b);
+}
+
+} // namespace lazydp

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "kernels/kernel_registry.h"
 #include "rng/xoshiro.h"
 #include "tensor/simd_kernels.h"
 
@@ -35,14 +36,12 @@ EmbeddingTable::forward(std::span<const std::uint32_t> indices,
                   "index count != batch * pooling");
     LAZYDP_ASSERT(out.rows() == batch && out.cols() == dim_,
                   "embedding output shape mismatch");
-    out.zero();
+    for (const std::uint32_t row : indices)
+        LAZYDP_ASSERT(row < rows_, "embedding row out of range");
+    const KernelTable &kt = kernels();
     for (std::size_t e = 0; e < batch; ++e) {
-        float *dst = out.data() + e * dim_;
-        for (std::size_t s = 0; s < pooling; ++s) {
-            const std::uint32_t row = indices[e * pooling + s];
-            LAZYDP_ASSERT(row < rows_, "embedding row out of range");
-            simd::axpy(dst, rowPtr(row), dim_, 1.0f);
-        }
+        kt.poolRows(out.data() + e * dim_, weights_.data(),
+                    indices.data() + e * pooling, pooling, dim_);
     }
 }
 
@@ -81,11 +80,13 @@ EmbeddingTable::applySparse(const SparseGrad &grad, float lr)
     LAZYDP_ASSERT(grad.values.rows() == grad.rows.size() &&
                       grad.values.cols() == dim_,
                   "sparse gradient shape mismatch");
-    for (std::size_t i = 0; i < grad.rows.size(); ++i) {
-        LAZYDP_ASSERT(grad.rows[i] < rows_, "sparse grad row out of range");
-        simd::axpy(rowPtr(grad.rows[i]), grad.values.data() + i * dim_,
-                   dim_, -lr);
-    }
+    for (const std::uint32_t row : grad.rows)
+        LAZYDP_ASSERT(row < rows_, "sparse grad row out of range");
+    // Coalesced rows are unique, so the scatter kernel's no-alias
+    // contract holds.
+    kernels().scatterAxpyRows(weights_.data(), grad.rows.data(),
+                              grad.values.data(), grad.rows.size(), dim_,
+                              -lr);
 }
 
 void

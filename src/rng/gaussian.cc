@@ -1,14 +1,9 @@
 #include "rng/gaussian.h"
 
-#include <cmath>
+#include <algorithm>
 
-#include "common/cpu_features.h"
 #include "common/macros.h"
-#include "rng/avx_math.h"
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+#include "kernels/kernels_internal.h"
 
 namespace lazydp {
 
@@ -17,226 +12,30 @@ resolveGaussianKernel(GaussianKernel k)
 {
     if (k != GaussianKernel::Auto)
         return k;
-#if defined(__AVX2__)
-    if (cpuFeatures().avx2)
-        return GaussianKernel::Avx2;
-#endif
-    return GaussianKernel::Scalar;
+    // Auto follows the process-wide kernel backend selection
+    // (--kernels / LAZYDP_KERNELS / cpuid), so one knob switches the
+    // noise path together with the rest of the hot loops.
+    return kernels().gaussian;
 }
 
 namespace gaussian_detail {
-
-namespace {
-
-constexpr float kTwoPi = 6.28318530717958647692f;
-
-/** u32 -> uniform float in (0, 1): 24 mantissa bits + half-ulp offset. */
-inline float
-toUniform(std::uint32_t x)
-{
-    return (static_cast<float>(x >> 8) + 0.5f) * (1.0f / 16777216.0f);
-}
-
-/** Scalar Box-Muller over one Philox block -> 4 samples. */
-inline void
-blockToGaussians(const Philox4x32::Block &blk, float sigma, float out[4])
-{
-    const float u0 = toUniform(blk[0]);
-    const float u1 = toUniform(blk[1]);
-    const float u2 = toUniform(blk[2]);
-    const float u3 = toUniform(blk[3]);
-    const float r0 = sigma * std::sqrt(-2.0f * std::log(u0));
-    const float r1 = sigma * std::sqrt(-2.0f * std::log(u2));
-    out[0] = r0 * std::cos(kTwoPi * u1);
-    out[1] = r0 * std::sin(kTwoPi * u1);
-    out[2] = r1 * std::cos(kTwoPi * u3);
-    out[3] = r1 * std::sin(kTwoPi * u3);
-}
-
-void
-fillKeyedScalar(const Philox4x32 &philox, std::uint64_t ctr_hi,
-                std::uint64_t lo_base, float *dst, std::size_t dim,
-                float sigma, float scale, bool accumulate)
-{
-    const std::size_t blocks = (dim + 3) / 4;
-    for (std::size_t b = 0; b < blocks; ++b) {
-        float z[4];
-        blockToGaussians(philox.block(ctr_hi, lo_base + b), sigma, z);
-        const std::size_t base = 4 * b;
-        const std::size_t lim = std::min<std::size_t>(4, dim - base);
-        for (std::size_t j = 0; j < lim; ++j) {
-            const float v = scale * z[j];
-            dst[base + j] = accumulate ? dst[base + j] + v : v;
-        }
-    }
-}
-
-#if defined(__AVX2__)
-
-/**
- * 8-wide Philox4x32-10: computes blocks (ctr_hi, lo_base + lane) for
- * lanes 0..7 in SoA form (x0..x3 each hold one output word of all
- * 8 blocks).
- */
-inline void
-philoxAvx2(std::uint32_t key0, std::uint32_t key1, std::uint64_t ctr_hi,
-           std::uint64_t lo_base, __m256i &x0, __m256i &x1, __m256i &x2,
-           __m256i &x3)
-{
-    alignas(32) std::uint32_t c0v[8], c1v[8];
-    for (int lane = 0; lane < 8; ++lane) {
-        const std::uint64_t lo = lo_base + static_cast<std::uint64_t>(lane);
-        c0v[lane] = static_cast<std::uint32_t>(lo);
-        c1v[lane] = static_cast<std::uint32_t>(lo >> 32);
-    }
-    __m256i c0 = _mm256_load_si256(reinterpret_cast<const __m256i *>(c0v));
-    __m256i c1 = _mm256_load_si256(reinterpret_cast<const __m256i *>(c1v));
-    __m256i c2 = _mm256_set1_epi32(static_cast<int>(
-        static_cast<std::uint32_t>(ctr_hi)));
-    __m256i c3 = _mm256_set1_epi32(static_cast<int>(
-        static_cast<std::uint32_t>(ctr_hi >> 32)));
-    __m256i k0 = _mm256_set1_epi32(static_cast<int>(key0));
-    __m256i k1 = _mm256_set1_epi32(static_cast<int>(key1));
-
-    const __m256i m0 = _mm256_set1_epi32(static_cast<int>(0xD2511F53u));
-    const __m256i m1 = _mm256_set1_epi32(static_cast<int>(0xCD9E8D57u));
-    const __m256i w0 = _mm256_set1_epi32(static_cast<int>(0x9E3779B9u));
-    const __m256i w1 = _mm256_set1_epi32(static_cast<int>(0xBB67AE85u));
-
-    auto mulhilo = [](__m256i a, __m256i m, __m256i &hi, __m256i &lo) {
-        // 32x32->64 products for even and odd lanes, then re-blend.
-        const __m256i prod_e = _mm256_mul_epu32(a, m);
-        const __m256i prod_o =
-            _mm256_mul_epu32(_mm256_srli_epi64(a, 32), m);
-        lo = _mm256_blend_epi32(prod_e, _mm256_slli_epi64(prod_o, 32),
-                                0b10101010);
-        hi = _mm256_blend_epi32(_mm256_srli_epi64(prod_e, 32), prod_o,
-                                0b10101010);
-    };
-
-    for (int round = 0; round < 10; ++round) {
-        __m256i hi0, lo0, hi1, lo1;
-        mulhilo(c0, m0, hi0, lo0);
-        mulhilo(c2, m1, hi1, lo1);
-        const __m256i n0 =
-            _mm256_xor_si256(_mm256_xor_si256(hi1, c1), k0);
-        const __m256i n2 =
-            _mm256_xor_si256(_mm256_xor_si256(hi0, c3), k1);
-        c1 = lo1;
-        c3 = lo0;
-        c0 = n0;
-        c2 = n2;
-        k0 = _mm256_add_epi32(k0, w0);
-        k1 = _mm256_add_epi32(k1, w1);
-    }
-    x0 = c0;
-    x1 = c1;
-    x2 = c2;
-    x3 = c3;
-}
-
-/** u32 vector -> uniform (0,1) floats. */
-inline __m256
-toUniformPs(__m256i x)
-{
-    const __m256 f = _mm256_cvtepi32_ps(_mm256_srli_epi32(x, 8));
-    return _mm256_mul_ps(_mm256_add_ps(f, _mm256_set1_ps(0.5f)),
-                         _mm256_set1_ps(1.0f / 16777216.0f));
-}
-
-void
-fillKeyedAvx2(const Philox4x32 &philox, std::uint64_t ctr_hi,
-              std::uint64_t lo_base, float *dst, std::size_t dim,
-              float sigma, float scale, bool accumulate)
-{
-    const std::uint32_t key0 =
-        static_cast<std::uint32_t>(philox.seed());
-    const std::uint32_t key1 =
-        static_cast<std::uint32_t>(philox.seed() >> 32);
-    const __m256 vsigma = _mm256_set1_ps(sigma);
-
-    std::size_t b = 0;
-    const std::size_t blocks = (dim + 3) / 4;
-    // Full groups of 8 blocks -> 32 contiguous output samples.
-    for (; b + 8 <= blocks && (dim - 4 * b) >= 32; b += 8) {
-        __m256i x0, x1, x2, x3;
-        philoxAvx2(key0, key1, ctr_hi, lo_base + b, x0, x1, x2, x3);
-
-        const __m256 u0 = toUniformPs(x0);
-        const __m256 u1 = toUniformPs(x1);
-        const __m256 u2 = toUniformPs(x2);
-        const __m256 u3 = toUniformPs(x3);
-
-        // radius = sigma * sqrt(-2 ln u)
-        const __m256 neg2 = _mm256_set1_ps(-2.0f);
-        const __m256 r0 = _mm256_mul_ps(
-            vsigma,
-            _mm256_sqrt_ps(_mm256_mul_ps(neg2, avxm::logPs(u0))));
-        const __m256 r1 = _mm256_mul_ps(
-            vsigma,
-            _mm256_sqrt_ps(_mm256_mul_ps(neg2, avxm::logPs(u2))));
-
-        __m256 s0, c0p, s1, c1p;
-        avxm::sinCos2PiPs(u1, s0, c0p);
-        avxm::sinCos2PiPs(u3, s1, c1p);
-
-        // lane l of zj corresponds to output element 4*(b+l) + j
-        const __m256 z0 = _mm256_mul_ps(r0, c0p);
-        const __m256 z1 = _mm256_mul_ps(r0, s0);
-        const __m256 z2 = _mm256_mul_ps(r1, c1p);
-        const __m256 z3 = _mm256_mul_ps(r1, s1);
-
-        alignas(32) float t0[8], t1[8], t2[8], t3[8];
-        _mm256_store_ps(t0, z0);
-        _mm256_store_ps(t1, z1);
-        _mm256_store_ps(t2, z2);
-        _mm256_store_ps(t3, z3);
-
-        float *out = dst + 4 * b;
-        if (accumulate) {
-            for (int lane = 0; lane < 8; ++lane) {
-                out[4 * lane + 0] += scale * t0[lane];
-                out[4 * lane + 1] += scale * t1[lane];
-                out[4 * lane + 2] += scale * t2[lane];
-                out[4 * lane + 3] += scale * t3[lane];
-            }
-        } else {
-            for (int lane = 0; lane < 8; ++lane) {
-                out[4 * lane + 0] = scale * t0[lane];
-                out[4 * lane + 1] = scale * t1[lane];
-                out[4 * lane + 2] = scale * t2[lane];
-                out[4 * lane + 3] = scale * t3[lane];
-            }
-        }
-    }
-    // Remainder via the scalar kernel (identical counter mapping).
-    if (4 * b < dim) {
-        fillKeyedScalar(philox, ctr_hi, lo_base + b, dst + 4 * b,
-                        dim - 4 * b, sigma, scale, accumulate);
-    }
-}
-
-#endif // __AVX2__
-
-} // namespace
 
 void
 fillKeyed(const Philox4x32 &philox, std::uint64_t ctr_hi,
           std::uint64_t lo_base, float *dst, std::size_t dim, float sigma,
           float scale, bool accumulate, GaussianKernel kernel)
 {
-    switch (resolveGaussianKernel(kernel)) {
-#if defined(__AVX2__)
-      case GaussianKernel::Avx2:
-        fillKeyedAvx2(philox, ctr_hi, lo_base, dst, dim, sigma, scale,
-                      accumulate);
-        return;
-#endif
-      default:
-        fillKeyedScalar(philox, ctr_hi, lo_base, dst, dim, sigma, scale,
-                        accumulate);
-        return;
+    if (resolveGaussianKernel(kernel) == GaussianKernel::Avx2) {
+        if (const KernelTable *avx2 = kernelTable(KernelBackend::Avx2)) {
+            avx2->gaussianFillKeyed(philox, ctr_hi, lo_base, dst, dim,
+                                    sigma, scale, accumulate);
+            return;
+        }
+        // Explicit Avx2 request on a host without it: the scalar fill
+        // is distributionally identical (same counters).
     }
+    kernels_detail::gaussianFillKeyedScalar(philox, ctr_hi, lo_base, dst,
+                                            dim, sigma, scale, accumulate);
 }
 
 void

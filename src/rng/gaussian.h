@@ -20,20 +20,10 @@
 #include <cstdint>
 
 #include "common/thread_pool.h"
+#include "rng/gaussian_kernel.h"
 #include "rng/philox.h"
 
 namespace lazydp {
-
-/** Which Box-Muller implementation to run. */
-enum class GaussianKernel
-{
-    Auto,   //!< Avx2 when available, else Scalar
-    Scalar, //!< libm log/sin/cos per sample
-    Avx2    //!< 8-wide vectorized philox + polynomial transcendentals
-};
-
-/** @return the concrete kernel Auto resolves to on this host. */
-GaussianKernel resolveGaussianKernel(GaussianKernel k);
 
 namespace gaussian_detail {
 

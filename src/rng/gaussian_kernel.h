@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Box-Muller implementation selector, split from rng/gaussian.h so the
+ * kernel registry (and its AVX2 translation unit, which must keep its
+ * include set free of nontrivial inline functions) can name the enum
+ * without pulling in the sampler/thread-pool headers.
+ */
+
+#ifndef LAZYDP_RNG_GAUSSIAN_KERNEL_H
+#define LAZYDP_RNG_GAUSSIAN_KERNEL_H
+
+namespace lazydp {
+
+/** Which Box-Muller implementation to run. */
+enum class GaussianKernel
+{
+    Auto,   //!< follow the active kernel-registry backend
+    Scalar, //!< libm log/sin/cos per sample
+    Avx2    //!< 8-wide vectorized philox + polynomial transcendentals
+};
+
+/** @return the concrete kernel Auto resolves to on this host. */
+GaussianKernel resolveGaussianKernel(GaussianKernel k);
+
+} // namespace lazydp
+
+#endif // LAZYDP_RNG_GAUSSIAN_KERNEL_H

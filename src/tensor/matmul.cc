@@ -1,6 +1,7 @@
 #include "tensor/matmul.h"
 
 #include "common/macros.h"
+#include "kernels/kernel_registry.h"
 #include "tensor/simd_kernels.h"
 
 // The DLRM GEMMs are embarrassingly parallel across output rows; each
@@ -19,15 +20,11 @@ matmulABt(const Tensor &a, const Tensor &b, Tensor &c, bool accumulate,
     LAZYDP_ASSERT(b.cols() == k, "matmulABt inner-dim mismatch");
     LAZYDP_ASSERT(c.rows() == m && c.cols() == n, "matmulABt out shape");
 
+    const KernelTable &kt = kernels();
     parallelFor(exec, m, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const float *arow = a.data() + i * k;
-            float *crow = c.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j) {
-                const double v = simd::dot(arow, b.data() + j * k, k);
-                const float fv = static_cast<float>(v);
-                crow[j] = accumulate ? crow[j] + fv : fv;
-            }
+            kt.gemvDotRow(a.data() + i * k, b.data(), c.data() + i * n,
+                          n, k, accumulate);
         }
     });
 }

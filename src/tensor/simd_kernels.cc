@@ -1,13 +1,11 @@
 #include "tensor/simd_kernels.h"
 
-#include <algorithm>
-#include <cmath>
+#include "kernels/kernel_registry.h"
 
-#include "common/cpu_features.h"
-
-#if defined(__AVX2__)
-#include <immintrin.h>
-#endif
+// Thin forwarding layer: the historical lazydp::simd:: entry points now
+// dispatch through the runtime kernel registry (src/kernels/), so every
+// existing call site follows the --kernels / LAZYDP_KERNELS selection
+// without changes. New code may call lazydp::kernels() directly.
 
 namespace lazydp {
 namespace simd {
@@ -15,207 +13,67 @@ namespace simd {
 bool
 avx2Enabled()
 {
-#if defined(__AVX2__)
-    return cpuFeatures().avx2;
-#else
-    return false;
-#endif
+    return kernels().backend == KernelBackend::Avx2;
 }
 
 void
 fill(float *dst, std::size_t n, float v)
 {
-    std::fill(dst, dst + n, v);
+    kernels().fill(dst, n, v);
 }
 
 void
 axpy(float *y, const float *x, std::size_t n, float a)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 va = _mm256_set1_ps(a);
-    for (; i + 8 <= n; i += 8) {
-        __m256 vy = _mm256_loadu_ps(y + i);
-        __m256 vx = _mm256_loadu_ps(x + i);
-        vy = _mm256_fmadd_ps(va, vx, vy);
-        _mm256_storeu_ps(y + i, vy);
-    }
-#endif
-    for (; i < n; ++i)
-        y[i] += a * x[i];
+    kernels().axpy(y, x, n, a);
 }
 
 void
 axpby(float *y, const float *x, std::size_t n, float a, float b)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 va = _mm256_set1_ps(a);
-    const __m256 vb = _mm256_set1_ps(b);
-    for (; i + 8 <= n; i += 8) {
-        __m256 vy = _mm256_loadu_ps(y + i);
-        __m256 vx = _mm256_loadu_ps(x + i);
-        vy = _mm256_fmadd_ps(va, vx, _mm256_mul_ps(vb, vy));
-        _mm256_storeu_ps(y + i, vy);
-    }
-#endif
-    for (; i < n; ++i)
-        y[i] = a * x[i] + b * y[i];
+    kernels().axpby(y, x, n, a, b);
 }
 
 void
 add(float *dst, const float *a, const float *b, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    for (; i + 8 <= n; i += 8) {
-        __m256 va = _mm256_loadu_ps(a + i);
-        __m256 vb = _mm256_loadu_ps(b + i);
-        _mm256_storeu_ps(dst + i, _mm256_add_ps(va, vb));
-    }
-#endif
-    for (; i < n; ++i)
-        dst[i] = a[i] + b[i];
+    kernels().add(dst, a, b, n);
 }
 
 void
 scale(float *dst, std::size_t n, float a)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 va = _mm256_set1_ps(a);
-    for (; i + 8 <= n; i += 8) {
-        __m256 v = _mm256_loadu_ps(dst + i);
-        _mm256_storeu_ps(dst + i, _mm256_mul_ps(v, va));
-    }
-#endif
-    for (; i < n; ++i)
-        dst[i] *= a;
+    kernels().scale(dst, n, a);
 }
 
 double
 dot(const float *a, const float *b, std::size_t n)
 {
-    // Accumulate in double to keep the reduction stable for the large
-    // vectors used in per-example norm computations.
-    double acc = 0.0;
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    __m256d acc0 = _mm256_setzero_pd();
-    __m256d acc1 = _mm256_setzero_pd();
-    for (; i + 8 <= n; i += 8) {
-        __m256 va = _mm256_loadu_ps(a + i);
-        __m256 vb = _mm256_loadu_ps(b + i);
-        __m256 prod = _mm256_mul_ps(va, vb);
-        acc0 = _mm256_add_pd(acc0,
-                             _mm256_cvtps_pd(_mm256_castps256_ps128(prod)));
-        acc1 = _mm256_add_pd(acc1,
-                             _mm256_cvtps_pd(_mm256_extractf128_ps(prod, 1)));
-    }
-    alignas(32) double tmp[4];
-    _mm256_store_pd(tmp, _mm256_add_pd(acc0, acc1));
-    acc = tmp[0] + tmp[1] + tmp[2] + tmp[3];
-#endif
-    for (; i < n; ++i)
-        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    return acc;
+    return kernels().dot(a, b, n);
 }
 
 double
 squaredNorm(const float *x, std::size_t n)
 {
-    return dot(x, x, n);
+    return kernels().squaredNorm(x, n);
 }
 
 void
 reluForward(float *dst, const float *x, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 zero = _mm256_setzero_ps();
-    for (; i + 8 <= n; i += 8) {
-        __m256 v = _mm256_loadu_ps(x + i);
-        _mm256_storeu_ps(dst + i, _mm256_max_ps(v, zero));
-    }
-#endif
-    for (; i < n; ++i)
-        dst[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    kernels().reluForward(dst, x, n);
 }
 
 void
 reluBackward(float *dx, const float *x, const float *dy, std::size_t n)
 {
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 zero = _mm256_setzero_ps();
-    for (; i + 8 <= n; i += 8) {
-        __m256 vx = _mm256_loadu_ps(x + i);
-        __m256 vdy = _mm256_loadu_ps(dy + i);
-        __m256 mask = _mm256_cmp_ps(vx, zero, _CMP_GT_OQ);
-        _mm256_storeu_ps(dx + i, _mm256_and_ps(vdy, mask));
-    }
-#endif
-    for (; i < n; ++i)
-        dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+    kernels().reluBackward(dx, x, dy, n);
 }
 
 std::size_t
 streamWithOps(float *dst, const float *x, std::size_t n, int n_ops)
 {
-    // A dependent chain of alternating mul/add per element. The
-    // multipliers are chosen so the value neither explodes nor
-    // denormalizes over 124 chained ops.
-    const float mul_c = 1.000001f;
-    const float add_c = 1e-7f;
-    std::size_t i = 0;
-#if defined(__AVX2__)
-    const __m256 vm = _mm256_set1_ps(mul_c);
-    const __m256 va = _mm256_set1_ps(add_c);
-    // Four independent vector chains per loop iteration so the core is
-    // throughput-bound (as Box-Muller's polynomial ILP is), not bound
-    // by the latency of one dependent chain.
-    for (; i + 32 <= n; i += 32) {
-        __m256 v0 = _mm256_loadu_ps(x + i);
-        __m256 v1 = _mm256_loadu_ps(x + i + 8);
-        __m256 v2 = _mm256_loadu_ps(x + i + 16);
-        __m256 v3 = _mm256_loadu_ps(x + i + 24);
-        for (int k = 0; k < n_ops; k += 2) {
-            v0 = _mm256_mul_ps(v0, vm);
-            v1 = _mm256_mul_ps(v1, vm);
-            v2 = _mm256_mul_ps(v2, vm);
-            v3 = _mm256_mul_ps(v3, vm);
-            if (k + 1 < n_ops) {
-                v0 = _mm256_add_ps(v0, va);
-                v1 = _mm256_add_ps(v1, va);
-                v2 = _mm256_add_ps(v2, va);
-                v3 = _mm256_add_ps(v3, va);
-            }
-        }
-        _mm256_storeu_ps(dst + i, v0);
-        _mm256_storeu_ps(dst + i + 8, v1);
-        _mm256_storeu_ps(dst + i + 16, v2);
-        _mm256_storeu_ps(dst + i + 24, v3);
-    }
-    for (; i + 8 <= n; i += 8) {
-        __m256 v = _mm256_loadu_ps(x + i);
-        for (int k = 0; k < n_ops; k += 2) {
-            v = _mm256_mul_ps(v, vm);
-            if (k + 1 < n_ops)
-                v = _mm256_add_ps(v, va);
-        }
-        _mm256_storeu_ps(dst + i, v);
-    }
-#endif
-    for (; i < n; ++i) {
-        float v = x[i];
-        for (int k = 0; k < n_ops; k += 2) {
-            v = v * mul_c;
-            if (k + 1 < n_ops)
-                v = v + add_c;
-        }
-        dst[i] = v;
-    }
-    return n * static_cast<std::size_t>(n_ops);
+    return kernels().streamWithOps(dst, x, n, n_ops);
 }
 
 } // namespace simd

@@ -9,9 +9,12 @@
  * (compute bound). `streamWithOps` reproduces the Figure 6 roofline
  * microbenchmark directly.
  *
- * All kernels have scalar fallbacks and AVX2 fast paths selected at
- * runtime; results are element-wise identical across paths except where
- * noted (floating-point reassociation in reductions).
+ * All kernels dispatch through the runtime kernel registry
+ * (kernels/kernel_registry.h): a scalar reference backend and an AVX2
+ * backend selected at startup via --kernels / LAZYDP_KERNELS / cpuid.
+ * Results are bit-stable per backend; across backends element-wise
+ * kernels agree exactly or within a few ULP (FMA contraction), blocked
+ * reductions within ~1e-12 relative — pinned by tests/kernels/.
  */
 
 #ifndef LAZYDP_TENSOR_SIMD_KERNELS_H
@@ -64,7 +67,7 @@ void reluBackward(float *dx, const float *x, const float *dy, std::size_t n);
 std::size_t streamWithOps(float *dst, const float *x, std::size_t n,
                           int n_ops);
 
-/** @return true if the AVX2 fast paths are compiled in and selected. */
+/** @return true if the active registry backend is AVX2. */
 bool avx2Enabled();
 
 } // namespace simd

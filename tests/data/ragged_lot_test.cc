@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Ragged-lot coverage: lots NOT divisible by kLotShards flowing through
+ * MiniBatch::slice and the InputQueue ring. The lot-sharded replica
+ * runtime slices every lot along lotShardBounds; these tests pin the
+ * decomposition (including empty shards and the slice(lo, lo) corner)
+ * and the queue's behavior when consecutive batches change size (the
+ * trace loader's final partial batch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/input_queue.h"
+#include "data/minibatch.h"
+#include "train/replica.h"
+
+namespace lazydp {
+namespace {
+
+/** A lot with recognizable per-field patterns for slice checks. */
+MiniBatch
+patternedLot(std::size_t batch, std::size_t tables, std::size_t pooling,
+             std::size_t dense)
+{
+    MiniBatch mb;
+    mb.resize(batch, tables, pooling, dense);
+    for (std::size_t e = 0; e < batch; ++e) {
+        mb.labels[e] = static_cast<float>(e);
+        for (std::size_t d = 0; d < dense; ++d)
+            mb.dense.at(e, d) = static_cast<float>(e * 100 + d);
+    }
+    for (std::size_t i = 0; i < mb.indices.size(); ++i)
+        mb.indices[i] = static_cast<std::uint32_t>(i);
+    return mb;
+}
+
+/**
+ * Shard a lot along lotShardBounds and verify the shards reassemble
+ * the lot exactly: every example, label, dense row, and index block
+ * lands in exactly one shard at the position the bounds promise.
+ */
+TEST(RaggedLotTest, ShardSlicesReassembleTheLot)
+{
+    for (const std::size_t batch : {1u, 2u, 3u, 5u, 6u, 7u, 9u, 10u,
+                                    1023u}) {
+        SCOPED_TRACE("batch " + std::to_string(batch));
+        const MiniBatch lot = patternedLot(batch, 2, 3, 2);
+        std::size_t reassembled = 0;
+        for (std::size_t s = 0; s < kLotShards; ++s) {
+            const auto [lo, hi] = lotShardBounds(batch, s);
+            ASSERT_LE(lo, hi);
+            ASSERT_LE(hi, batch);
+            if (lo == hi)
+                continue; // empty shard of a ragged/tiny lot
+            MiniBatch sub;
+            lot.slice(lo, hi, sub);
+            ASSERT_EQ(sub.batchSize, hi - lo);
+            ASSERT_EQ(sub.numTables, lot.numTables);
+            ASSERT_EQ(sub.pooling, lot.pooling);
+            for (std::size_t e = 0; e < sub.batchSize; ++e) {
+                ASSERT_EQ(sub.labels[e], lot.labels[lo + e]);
+                for (std::size_t d = 0; d < lot.dense.cols(); ++d)
+                    ASSERT_EQ(sub.dense.at(e, d),
+                              lot.dense.at(lo + e, d));
+                for (std::size_t t = 0; t < lot.numTables; ++t) {
+                    const auto want = lot.exampleIndices(t, lo + e);
+                    const auto got = sub.exampleIndices(t, e);
+                    ASSERT_EQ(want.size(), got.size());
+                    for (std::size_t k = 0; k < want.size(); ++k)
+                        ASSERT_EQ(got[k], want[k]);
+                }
+            }
+            reassembled += sub.batchSize;
+        }
+        EXPECT_EQ(reassembled, batch)
+            << "shard slices lost or duplicated examples";
+    }
+}
+
+TEST(RaggedLotTest, RaggedBoundsNeverExceedOnePlusFloor)
+{
+    // Balanced split: shard sizes differ by at most one, larger shards
+    // first — the property that keeps replica work balanced on ragged
+    // lots.
+    for (std::size_t batch = 0; batch <= 64; ++batch) {
+        const std::size_t base = batch / kLotShards;
+        const std::size_t rem = batch % kLotShards;
+        for (std::size_t s = 0; s < kLotShards; ++s) {
+            const auto [lo, hi] = lotShardBounds(batch, s);
+            const std::size_t want = base + (s < rem ? 1 : 0);
+            EXPECT_EQ(hi - lo, want)
+                << "batch " << batch << " shard " << s;
+        }
+    }
+}
+
+TEST(RaggedLotTest, EmptySliceIsWellFormed)
+{
+    const MiniBatch lot = patternedLot(5, 2, 2, 3);
+    MiniBatch sub;
+    // lo == hi at the start, middle, and end of the lot (the empty
+    // shards of a lot smaller than kLotShards).
+    for (const std::size_t at : {0u, 3u, 5u}) {
+        lot.slice(at, at, sub);
+        EXPECT_EQ(sub.batchSize, 0u);
+        EXPECT_EQ(sub.numTables, lot.numTables);
+        EXPECT_EQ(sub.pooling, lot.pooling);
+        EXPECT_TRUE(sub.labels.empty());
+        EXPECT_EQ(sub.indices.size(), 0u);
+    }
+}
+
+TEST(RaggedLotTest, SliceAfterShrinkingBatchKeepsLayout)
+{
+    // Trace datasets end with a partial batch: a slice buffer sized by
+    // a FULL lot must re-slice correctly from a SMALLER lot (stale
+    // capacity, fresh shape).
+    const MiniBatch big = patternedLot(8, 2, 2, 3);
+    const MiniBatch small = patternedLot(3, 2, 2, 3);
+    MiniBatch sub;
+    big.slice(0, 8, sub);
+    small.slice(1, 3, sub);
+    ASSERT_EQ(sub.batchSize, 2u);
+    EXPECT_EQ(sub.labels[0], 1.0f);
+    EXPECT_EQ(sub.labels[1], 2.0f);
+    for (std::size_t t = 0; t < 2; ++t) {
+        const auto want = small.exampleIndices(t, 1);
+        const auto got = sub.exampleIndices(t, 0);
+        for (std::size_t k = 0; k < want.size(); ++k)
+            EXPECT_EQ(got[k], want[k]);
+    }
+}
+
+TEST(RaggedLotInputQueueTest, RingCarriesChangingBatchSizes)
+{
+    // Steady push/pop with sizes cycling 7, 3, 8, 1 (never divisible
+    // by kLotShards): slots are reused across pushes of DIFFERENT
+    // shapes, and head()/at() must always reflect the pushed shape.
+    const std::size_t sizes[] = {7, 3, 8, 1};
+    InputQueue q(3);
+    std::size_t pushed = 0;
+    auto make = [&](std::size_t tag) {
+        MiniBatch mb = patternedLot(sizes[tag % 4], 2, 2, 2);
+        mb.indices[0] = static_cast<std::uint32_t>(tag);
+        return mb;
+    };
+    q.push(make(pushed++));
+    q.push(make(pushed++));
+    for (std::size_t it = 0; it < 20; ++it) {
+        q.push(make(pushed++));
+        ASSERT_TRUE(q.full());
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const std::size_t tag = pushed - q.size() + i;
+            ASSERT_EQ(q.at(i).indices[0], tag);
+            ASSERT_EQ(q.at(i).batchSize, sizes[tag % 4])
+                << "slot reuse corrupted the batch shape";
+            ASSERT_EQ(q.at(i).labels.size(), sizes[tag % 4]);
+        }
+        q.pop();
+    }
+}
+
+TEST(RaggedLotInputQueueTest, HeadStableWhileTailShrinksAndGrows)
+{
+    // The pipelined Trainer holds a reference to head() while the
+    // async stage pushes a DIFFERENT-SIZED batch into another slot;
+    // the head's storage must not move or reshape.
+    InputQueue q(3);
+    q.push(patternedLot(8, 1, 1, 2));
+    const MiniBatch &head = q.head();
+    const float *dense_ptr = head.dense.data();
+    q.push(patternedLot(1, 1, 1, 2));
+    q.push(patternedLot(5, 1, 1, 2));
+    EXPECT_EQ(&q.head(), &head);
+    EXPECT_EQ(head.dense.data(), dense_ptr);
+    EXPECT_EQ(head.batchSize, 8u);
+    EXPECT_EQ(q.at(1).batchSize, 1u);
+    EXPECT_EQ(q.tail().batchSize, 5u);
+}
+
+} // namespace
+} // namespace lazydp

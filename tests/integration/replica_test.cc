@@ -228,6 +228,46 @@ TEST(ReplicaScheduleTest, LotSmallerThanShardCountStillWorks)
     expectBitIdentical(ref_model, rep_model, "tiny lot, 4 replicas");
 }
 
+/**
+ * Ragged lots: batch sizes NOT divisible by kLotShards decompose into
+ * shards of size floor and floor+1 (larger shards first). The replica
+ * matrix must stay bit-identical on them — this is where an off-by-one
+ * in the bounds or the lot-wide gather would surface as example loss,
+ * duplication, or a misaligned gather offset.
+ */
+TEST(ReplicaScheduleTest, RaggedLotBitIdenticalAcrossReplicas)
+{
+    const auto mc = testModel();
+    for (const std::size_t batch : {5u, 6u, 7u}) {
+        auto dc = testData(mc);
+        dc.batchSize = batch;
+        TrainHyper hyper;
+        hyper.noiseSeed = 0xBEEF;
+
+        DlrmModel ref_model(mc, 23);
+        SyntheticDataset ds(dc);
+        {
+            SequentialLoader loader(ds);
+            auto algo = makeAlgorithm("lazydp", ref_model, hyper);
+            Trainer(*algo, loader).run(5);
+        }
+        for (const std::size_t replicas : {2u, 4u}) {
+            DlrmModel rep_model(mc, 23);
+            SequentialLoader loader(ds);
+            auto algo = makeAlgorithm("lazydp", rep_model, hyper);
+            ThreadPool pool(2);
+            ExecContext exec(&pool);
+            TrainOptions options;
+            options.replicas = replicas;
+            Trainer(*algo, loader, &exec).run(5, options);
+            expectBitIdentical(ref_model, rep_model,
+                               "ragged batch " + std::to_string(batch) +
+                                   ", " + std::to_string(replicas) +
+                                   " replicas");
+        }
+    }
+}
+
 TEST(ReplicaScheduleTest, InvalidReplicaCountIsFatal)
 {
     setLogThrowMode(true);

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * io/serialize + checkpoint edge cases: empty arrays/tensors, truncated
+ * files, version-mismatch headers, and the cross-kernel resume story
+ * (train under kernels=avx2, resume under kernels=scalar) that the
+ * kernel registry's determinism contract promises stays within
+ * tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "data/synthetic_dataset.h"
+#include "io/checkpoint.h"
+#include "io/serialize.h"
+#include "kernels/kernel_registry.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+// ------------------------------------------------------- serialize edges
+
+TEST(SerializeEdgeTest, EmptyArraysRoundTrip)
+{
+    // Zero-length spans over valid storage (empty-tensor payloads).
+    float f_dummy[1] = {};
+    std::uint32_t u32_dummy[1] = {};
+    std::uint64_t u64_dummy[1] = {};
+
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeF32Array({f_dummy, 0});
+    w.writeU32Array({u32_dummy, 0});
+    w.writeU64Array({u64_dummy, 0});
+    w.writeString("");
+    w.writeU32(0xE0F);
+
+    io::BinaryReader r(ss);
+    r.readF32Array({f_dummy, 0});
+    r.readU32Array({u32_dummy, 0});
+    EXPECT_EQ(r.readLength(), 0u); // the U64 array's length prefix
+    EXPECT_EQ(r.readString(), "");
+    // Stream position must be exact after the zero-length payloads.
+    EXPECT_EQ(r.readU32(), 0xE0Fu);
+}
+
+TEST(SerializeEdgeTest, EmptyTensorPayloadKeepsFramingAligned)
+{
+    // An empty array between two sentinels: a reader that mishandles
+    // the zero-length payload would desynchronize and corrupt the
+    // trailing value.
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeU64(0xAAAAAAAAAAAAAAAAull);
+    const std::vector<float> empty;
+    w.writeF32Array({empty.data(), empty.size()});
+    w.writeU64(0xBBBBBBBBBBBBBBBBull);
+
+    io::BinaryReader r(ss);
+    EXPECT_EQ(r.readU64(), 0xAAAAAAAAAAAAAAAAull);
+    std::vector<float> out;
+    r.readF32Array({out.data(), out.size()});
+    EXPECT_EQ(r.readU64(), 0xBBBBBBBBBBBBBBBBull);
+}
+
+TEST(SerializeEdgeTest, LengthPrefixMismatchOnEmptyExpectation)
+{
+    setLogThrowMode(true);
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    const float f[] = {1.0f};
+    w.writeF32Array({f, 1});
+    io::BinaryReader r(ss);
+    // Expecting empty but the stream holds one element: must fail, not
+    // silently skip.
+    float dummy[1] = {};
+    EXPECT_THROW(r.readF32Array({dummy, 0}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST(SerializeEdgeTest, OversizedStringLengthIsRejected)
+{
+    setLogThrowMode(true);
+    std::stringstream ss;
+    io::BinaryWriter w(ss);
+    w.writeU64(std::uint64_t{1} << 40); // absurd length prefix
+    io::BinaryReader r(ss);
+    EXPECT_THROW(r.readString(), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+// ------------------------------------------------------ checkpoint edges
+
+class CheckpointEdgeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "lazydp_edge_ckpt_" +
+                std::to_string(::getpid()) + ".bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static ModelConfig
+    modelConfig()
+    {
+        auto mc = ModelConfig::tiny();
+        mc.rowsPerTable = 64;
+        return mc;
+    }
+
+    static DatasetConfig
+    dataConfig()
+    {
+        const auto mc = modelConfig();
+        DatasetConfig dc;
+        dc.numDense = mc.numDense;
+        dc.numTables = mc.numTables;
+        dc.rowsPerTable = mc.rowsPerTable;
+        dc.pooling = mc.pooling;
+        dc.batchSize = 8;
+        dc.seed = 99;
+        return dc;
+    }
+
+    static TrainHyper
+    hyper()
+    {
+        TrainHyper h;
+        h.noiseSeed = 0xED6E;
+        return h;
+    }
+
+    std::string path_;
+};
+
+TEST_F(CheckpointEdgeTest, TruncatedFileIsRejected)
+{
+    setLogThrowMode(true);
+    DlrmModel a(modelConfig(), 3);
+    io::saveModel(path_, a);
+
+    // Truncate to 60% of its size: header parses, a weight array read
+    // must hit the short-read guard.
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 16u);
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() * 3 / 5));
+    }
+    DlrmModel b(modelConfig(), 3);
+    EXPECT_THROW(io::loadModel(path_, b), std::runtime_error);
+
+    // Degenerate truncation: empty file.
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    }
+    EXPECT_THROW(io::loadModel(path_, b), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(CheckpointEdgeTest, VersionMismatchHeaderIsRejected)
+{
+    setLogThrowMode(true);
+    // Correct magic, future version: must be refused up front rather
+    // than misparsed.
+    {
+        std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+        io::BinaryWriter w(os);
+        w.writeU32(0x4C445031); // "LDP1" model magic (checkpoint.cc)
+        w.writeU32(999);        // unsupported version
+        w.writeString("tiny");
+    }
+    DlrmModel b(modelConfig(), 3);
+    EXPECT_THROW(io::loadModel(path_, b), std::runtime_error);
+
+    // Same for the training-state format.
+    {
+        std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+        io::BinaryWriter w(os);
+        w.writeU32(0x4C445432); // "LDT2" training magic
+        w.writeU32(999);
+    }
+    LazyDpAlgorithm lazy(b, hyper(), true);
+    EXPECT_THROW(io::loadTraining(path_, b, lazy), std::runtime_error);
+    setLogThrowMode(false);
+}
+
+/**
+ * Cross-kernel resume: a training run checkpointed under the AVX2
+ * backend and resumed under the scalar backend must land within the
+ * cross-backend tolerance of an all-scalar run. Per the registry's
+ * determinism contract the two backends agree to a few ULP per
+ * operation (Box-Muller to ~1e-5 per sample), so a short run stays
+ * within a loose aggregate bound — while the checkpointed WEIGHTS
+ * round-trip bit-exactly.
+ */
+TEST_F(CheckpointEdgeTest, Avx2CheckpointResumesIntoScalarWithinTolerance)
+{
+    if (!kernelBackendAvailable(KernelBackend::Avx2))
+        GTEST_SKIP() << "AVX2 backend unavailable on this host/build";
+
+    const KernelBackend before = activeKernelBackend();
+    const std::uint64_t total_iters = 10;
+    const std::uint64_t split = 4;
+
+    // Reference: all-scalar straight-through run.
+    setKernelBackend(KernelBackend::Scalar);
+    DlrmModel ref_model(modelConfig(), 5);
+    {
+        SyntheticDataset ds(dataConfig());
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(ref_model, hyper(), /*use_ans=*/false);
+        Trainer(lazy, loader).run(total_iters);
+    }
+
+    // Phase 1 under AVX2, checkpoint at `split` (no finalize).
+    setKernelBackend(KernelBackend::Avx2);
+    DlrmModel part_model(modelConfig(), 5);
+    {
+        SyntheticDataset ds(dataConfig());
+        SequentialLoader loader(ds);
+        LazyDpAlgorithm lazy(part_model, hyper(), false);
+        StageTimer timer;
+        InputQueue q;
+        q.push(loader.next());
+        for (std::uint64_t it = 1; it <= split; ++it) {
+            q.push(loader.next());
+            lazy.step(it, q.head(), &q.tail(), ExecContext::serial(),
+                      timer);
+            q.pop();
+        }
+        io::saveTraining(path_, part_model, lazy, split + 1);
+    }
+
+    // Phase 2 under scalar, resumed from the AVX2 checkpoint.
+    setKernelBackend(KernelBackend::Scalar);
+    DlrmModel resumed_model(modelConfig(), 5);
+    {
+        LazyDpAlgorithm lazy(resumed_model, hyper(), false);
+        const io::ResumeInfo info =
+            io::loadTraining(path_, resumed_model, lazy);
+        ASSERT_EQ(info.nextIter, split + 1);
+
+        // The weights themselves round-trip bit-exactly regardless of
+        // which backend produced them.
+        for (std::size_t t = 0; t < part_model.tables().size(); ++t) {
+            const Tensor &wp = part_model.tables()[t].weights();
+            const Tensor &wr = resumed_model.tables()[t].weights();
+            for (std::size_t i = 0; i < wp.size(); ++i)
+                ASSERT_EQ(wp.data()[i], wr.data()[i])
+                    << "weight round-trip t=" << t << " i=" << i;
+        }
+
+        SyntheticDataset ds(dataConfig());
+        StageTimer timer;
+        InputQueue q;
+        q.push(ds.batch(info.nextIter - 1));
+        for (std::uint64_t it = info.nextIter; it <= total_iters; ++it) {
+            const bool has_next = it < total_iters;
+            if (has_next)
+                q.push(ds.batch(it));
+            lazy.step(it, q.head(), has_next ? &q.tail() : nullptr,
+                      ExecContext::serial(), timer);
+            q.pop();
+        }
+        lazy.finalize(total_iters, ExecContext::serial(), timer);
+    }
+    setKernelBackend(before);
+
+    double max_diff = 0.0;
+    for (std::size_t t = 0; t < ref_model.tables().size(); ++t) {
+        const Tensor &wr = ref_model.tables()[t].weights();
+        const Tensor &ws = resumed_model.tables()[t].weights();
+        for (std::size_t i = 0; i < wr.size(); ++i) {
+            max_diff = std::max(
+                max_diff, std::abs(static_cast<double>(wr.data()[i]) -
+                                   static_cast<double>(ws.data()[i])));
+        }
+    }
+    // Cross-backend drift over `split` AVX2 iterations: dominated by
+    // the Box-Muller |diff| <~ 1e-5 per sample times lr-scale, far
+    // below this bound; a dispatch or resume bug lands orders of
+    // magnitude above it.
+    EXPECT_LT(max_diff, 1e-3);
+    EXPECT_GT(max_diff, 0.0)
+        << "backends unexpectedly bit-identical: the AVX2 leg "
+           "probably did not dispatch";
+}
+
+} // namespace
+} // namespace lazydp

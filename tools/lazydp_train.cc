@@ -78,7 +78,7 @@ main(int argc, char **argv)
                         "pooling", "lr", "sigma", "clip", "weight-decay",
                         "skew", "seed", "population", "delta", "save",
                         "csv", "threads", "pipeline", "replicas",
-                        "help"});
+                        "kernels", "help"});
     if (args.has("help")) {
         std::printf(
             "lazydp_train --algo=<%s>\n"
@@ -94,6 +94,8 @@ main(int argc, char **argv)
             "               with compute; bit-identical model)\n"
             "  --replicas=1|2|4 (lot-sharded data-parallel workers;\n"
             "               bit-identical model at every count)\n"
+            "  --kernels=scalar|avx2|auto (SIMD kernel backend; scalar\n"
+            "               is the bit-exact golden reference)\n"
             "  --save=PATH (LazyDP training checkpoint)  --csv\n",
             "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
         return 0;
@@ -137,6 +139,7 @@ main(int argc, char **argv)
     const std::size_t threads = args.getThreads(1);
     const bool pipeline = args.getBool("pipeline", false);
     const std::size_t replicas = args.getU64("replicas", 1);
+    const std::string kernels_name = args.applyKernels();
     ThreadPool pool(threads);
     ExecContext exec(&pool);
 
@@ -144,7 +147,8 @@ main(int argc, char **argv)
     inform("training ", algo->name(), " on ", model_cfg.name, " (",
            humanBytes(model.tableBytes()), " tables, batch ", batch,
            ", ", iters, " iters, ", threads, " threads, pipeline ",
-           pipeline ? "on" : "off", ", replicas ", replicas, ")");
+           pipeline ? "on" : "off", ", replicas ", replicas,
+           ", kernels ", kernels_name, ")");
 
     Trainer trainer(*algo, loader, &exec);
     TrainOptions options;
