@@ -80,8 +80,9 @@ runMeasured(const RunSpec &spec)
     options.startIter = start_iter;
     options.warmupIters = spec.warmup;
     options.previewFinal = true; // benches always preview a batch
+    options.recordIterSeconds = true;
     Trainer trainer(*algo, loader, &exec);
-    const TrainResult result =
+    TrainResult result =
         trainer.run(spec.warmup + spec.iters, options);
 
     RunStats stats;
@@ -89,6 +90,7 @@ runMeasured(const RunSpec &spec)
     stats.iters = spec.iters;
     stats.wallSeconds = result.wallSeconds;
     stats.finalizeSeconds = result.finalizeSeconds;
+    stats.iterSeconds = std::move(result.iterSeconds);
     return stats;
 }
 

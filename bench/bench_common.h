@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/stats.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -72,6 +74,20 @@ struct RunStats
     std::uint64_t iters = 0;
     double wallSeconds = 0.0;     //!< wall time of measured iterations
     double finalizeSeconds = 0.0; //!< one-time LazyDP flush (excluded)
+
+    /** Per-measured-iteration wall seconds (percentile source). */
+    std::vector<double> iterSeconds;
+
+    /**
+     * Nearest-rank percentiles of the per-iteration wall times: the
+     * tail (p95/p99) next to the mean secondsPerIter() -- a run whose
+     * p99 diverges from its mean has jitter the mean hides.
+     */
+    stats::Percentiles
+    iterPercentiles() const
+    {
+        return stats::computePercentiles(iterSeconds);
+    }
 
     /**
      * Mean END-TO-END wall seconds per measured iteration (includes

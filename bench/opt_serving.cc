@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Serving-tier benchmark: throughput + tail latency vs. batching
+ * policy, serve-only vs. serve-while-train.
+ *
+ * Sweeps three micro-batching policies over the ServeEngine:
+ *
+ *   nobatch    max_batch=1             latency-optimal, no coalescing
+ *   balanced   max_batch=8,  200 us    small batches under a tight
+ *                                      deadline
+ *   throughput max_batch=32, 1000 us   deep coalescing, deadline an
+ *                                      order of magnitude looser
+ *
+ * Each policy is measured twice: against a frozen snapshot
+ * (serve-only) and while a LazyDP trainer concurrently retrains and
+ * republishes the model (serve-while-train) -- the paper's train-side
+ * claim meets the ROADMAP's serve-side north star in one table.
+ * Emits BENCH_serving.json.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "core/factory.h"
+#include "data/data_loader.h"
+#include "serve/load_generator.h"
+#include "serve/serve_engine.h"
+#include "serve/snapshot_store.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+namespace {
+
+struct PolicyResult
+{
+    std::string name;
+    BatchPolicy policy;
+    LoadReport serveOnly;
+    double serveOnlyMeanBatch = 0.0;
+    LoadReport whileTrain;
+    double whileTrainMeanBatch = 0.0;
+    double trainSecPerIter = 0.0;     //!< training speed under load
+    std::uint64_t versionsPublished = 0;
+};
+
+struct BenchSetup
+{
+    ModelConfig model;
+    std::uint64_t requests;
+    std::size_t serveThreads;
+    std::size_t concurrency;
+    std::uint64_t trainIters;
+    std::size_t trainBatch;
+    std::size_t trainThreads;
+    std::uint64_t seed;
+};
+
+/** One (policy, mode) measurement. */
+LoadReport
+measure(const BenchSetup &setup, const BatchPolicy &policy,
+        bool train_concurrently, double &mean_batch,
+        double &train_sec_per_iter, std::uint64_t &versions)
+{
+    DlrmModel model(setup.model, setup.seed);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+
+    ThreadPool pool(setup.trainThreads);
+    ExecContext exec(&pool);
+    ServeOptions serve_opts;
+    serve_opts.threads = setup.serveThreads;
+    serve_opts.batch = policy;
+    ServeEngine engine(store, setup.model, pool, serve_opts);
+
+    LoadOptions load_opts;
+    load_opts.requests = setup.requests;
+    load_opts.concurrency = setup.concurrency;
+    load_opts.seed = setup.seed + 0x10AD;
+    LoadGenerator generator(engine, setup.model, load_opts);
+
+    LoadReport report;
+    std::thread load_thread(
+        [&generator, &report] { report = generator.run(); });
+
+    if (train_concurrently) {
+        SyntheticDataset dataset(bench::datasetFor(
+            setup.model, AccessConfig::uniform(), setup.trainBatch,
+            setup.seed + 0xDA7A));
+        SequentialLoader loader(dataset);
+        TrainHyper hyper;
+        hyper.noiseSeed = setup.seed * 31 + 7;
+        auto algo = makeAlgorithm("lazydp", model, hyper);
+        Trainer trainer(*algo, loader, &exec);
+        TrainOptions options;
+        options.publishEveryIters = 5;
+        options.snapshotStore = &store;
+        options.recordLosses = false;
+        const TrainResult result =
+            trainer.run(setup.trainIters, options);
+        train_sec_per_iter = result.secondsPerIteration();
+    }
+    load_thread.join();
+    engine.stop();
+    mean_batch = engine.stats().meanBatch();
+    versions = store.version();
+    return report;
+}
+
+void
+emitJson(const std::string &path, const BenchSetup &setup,
+         const std::vector<PolicyResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    auto mode = [&os](const char *key, const LoadReport &r,
+                      double mean_batch) {
+        os << "      \"" << key << "\": { \"qps\": " << r.qps()
+           << ", \"p50_ms\": " << r.latency.p50 * 1e3
+           << ", \"p95_ms\": " << r.latency.p95 * 1e3
+           << ", \"p99_ms\": " << r.latency.p99 * 1e3
+           << ", \"p999_ms\": " << r.latency.p999 * 1e3
+           << ", \"mean_batch\": " << mean_batch << " }";
+    };
+    os << "{\n  \"bench\": \"opt_serving\",\n";
+    os << "  \"model\": \"" << setup.model.name << "\",\n";
+    os << "  \"requests\": " << setup.requests << ",\n";
+    os << "  \"serve_threads\": " << setup.serveThreads << ",\n";
+    os << "  \"concurrency\": " << setup.concurrency << ",\n";
+    os << "  \"train_iters\": " << setup.trainIters << ",\n";
+    os << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "    { \"name\": \"" << r.name << "\", \"max_batch\": "
+           << r.policy.maxBatch << ", \"max_delay_us\": "
+           << r.policy.maxDelayUs << ",\n";
+        mode("serve_only", r.serveOnly, r.serveOnlyMeanBatch);
+        os << ",\n";
+        mode("serve_while_train", r.whileTrain, r.whileTrainMeanBatch);
+        os << ",\n      \"train_sec_per_iter\": " << r.trainSecPerIter
+           << ", \"versions_published\": " << r.versionsPublished
+           << " }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"comment\": \"closed-loop load; latency percentiles are "
+          "nearest-rank over per-request enqueue-to-completion; "
+          "serve_while_train retrains LazyDP and republishes every 5 "
+          "iterations while serving\"\n";
+    os << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"requests", "table-mb", "serve-threads",
+                        "concurrency", "train-iters", "train-batch",
+                        "threads", "seed", "kernels", "out", "help"});
+    if (args.has("help")) {
+        std::printf(
+            "opt_serving [--requests=N] [--table-mb=N] "
+            "[--serve-threads=N] [--concurrency=N] [--train-iters=N] "
+            "[--train-batch=N] [--threads=N] [--seed=N] "
+            "[--kernels=scalar|avx2|auto] [--out=BENCH_serving.json]\n");
+        return 0;
+    }
+    args.applyKernels();
+
+    BenchSetup setup;
+    setup.model = ModelConfig::mlperfBench(
+        args.getU64("table-mb", 32) << 20);
+    setup.requests = args.getU64("requests", 2000);
+    setup.serveThreads = args.getU64("serve-threads", 2);
+    setup.concurrency = args.getU64("concurrency", 8);
+    setup.trainIters = args.getU64("train-iters", 20);
+    setup.trainBatch = args.getU64("train-batch", 256);
+    setup.trainThreads = args.getThreads(2);
+    setup.seed = args.getU64("seed", 1);
+    const std::string out_path =
+        args.getString("out", "BENCH_serving.json");
+
+    bench::printPreamble(
+        "opt_serving",
+        "throughput + tail latency vs. batching policy, serve-only "
+        "vs. serve-while-train");
+
+    const std::vector<std::pair<std::string, BatchPolicy>> policies = {
+        {"nobatch", {1, 0}},
+        {"balanced", {8, 200}},
+        {"throughput", {32, 1000}},
+    };
+
+    std::vector<PolicyResult> results;
+    for (const auto &[name, policy] : policies) {
+        PolicyResult r;
+        r.name = name;
+        r.policy = policy;
+        double unused_train = 0.0;
+        std::uint64_t unused_versions = 0;
+        r.serveOnly =
+            measure(setup, policy, /*train=*/false,
+                    r.serveOnlyMeanBatch, unused_train,
+                    unused_versions);
+        r.whileTrain =
+            measure(setup, policy, /*train=*/true,
+                    r.whileTrainMeanBatch, r.trainSecPerIter,
+                    r.versionsPublished);
+        results.push_back(std::move(r));
+    }
+
+    TablePrinter table("Serving: batching policy sweep (" +
+                       setup.model.name + ")");
+    table.setHeader({"policy", "mode", "qps", "p50 ms", "p95 ms",
+                     "p99 ms", "mean batch"});
+    for (const auto &r : results) {
+        table.addRow({r.name, "serve-only",
+                      TablePrinter::num(r.serveOnly.qps(), 1),
+                      TablePrinter::num(r.serveOnly.latency.p50 * 1e3, 3),
+                      TablePrinter::num(r.serveOnly.latency.p95 * 1e3, 3),
+                      TablePrinter::num(r.serveOnly.latency.p99 * 1e3, 3),
+                      TablePrinter::num(r.serveOnlyMeanBatch, 2)});
+        table.addRow(
+            {r.name, "serve+train",
+             TablePrinter::num(r.whileTrain.qps(), 1),
+             TablePrinter::num(r.whileTrain.latency.p50 * 1e3, 3),
+             TablePrinter::num(r.whileTrain.latency.p95 * 1e3, 3),
+             TablePrinter::num(r.whileTrain.latency.p99 * 1e3, 3),
+             TablePrinter::num(r.whileTrainMeanBatch, 2)});
+    }
+    table.print(std::cout);
+
+    emitJson(out_path, setup, results);
+    return 0;
+}

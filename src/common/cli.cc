@@ -9,11 +9,29 @@
 
 namespace lazydp {
 
+namespace {
+
+std::vector<FlagSpec>
+withEmptyHelp(const std::vector<std::string> &known)
+{
+    std::vector<FlagSpec> flags;
+    flags.reserve(known.size());
+    for (const auto &name : known)
+        flags.push_back({name, ""});
+    return flags;
+}
+
+} // namespace
+
 CliArgs::CliArgs(int argc, const char *const *argv,
-                 const std::vector<std::string> &known)
+                 const std::vector<FlagSpec> &flags)
+    : flags_(flags)
 {
     auto is_known = [&](const std::string &key) {
-        return std::find(known.begin(), known.end(), key) != known.end();
+        return std::find_if(flags_.begin(), flags_.end(),
+                            [&](const FlagSpec &f) {
+                                return f.name == key;
+                            }) != flags_.end();
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -34,12 +52,36 @@ CliArgs::CliArgs(int argc, const char *const *argv,
         }
         if (!is_known(key)) {
             std::string hint;
-            for (const auto &k : known)
-                hint += " --" + k;
+            for (const auto &f : flags_)
+                hint += " --" + f.name;
             fatal("unknown flag '--", key, "'; accepted flags:", hint);
         }
         values_[key] = value;
     }
+}
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+    : CliArgs(argc, argv, withEmptyHelp(known))
+{
+}
+
+std::string
+CliArgs::helpText(const std::string &tool,
+                  const std::string &summary) const
+{
+    std::size_t width = 0;
+    for (const auto &f : flags_)
+        width = std::max(width, f.name.size());
+
+    std::string out = "usage: " + tool + " [--flag[=value] ...]\n  " +
+                      summary + "\n\nflags:\n";
+    for (const auto &f : flags_) {
+        out += "  --" + f.name;
+        out.append(width - f.name.size() + 2, ' ');
+        out += f.help + "\n";
+    }
+    return out;
 }
 
 bool

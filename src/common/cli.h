@@ -18,16 +18,52 @@
 
 namespace lazydp {
 
+/**
+ * One accepted flag: name plus the help line the generated --help
+ * listing prints for it.
+ */
+struct FlagSpec
+{
+    std::string name; //!< flag name without the leading "--"
+    std::string help; //!< one-line description (may name values/units)
+};
+
 /** Parsed command line with typed, defaulted accessors. */
 class CliArgs
 {
   public:
     /**
+     * Primary constructor: accepted flags WITH help text, enabling the
+     * generated helpText() listing. Unknown flags are fatal with the
+     * accepted-flag list in the message (typos must not silently pick
+     * defaults in an experiment driver).
+     *
+     * @param argc / @p argv main()'s arguments
+     * @param flags the accepted flags and their help lines
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<FlagSpec> &flags);
+
+    /**
+     * Convenience constructor for callers without help text (benches,
+     * tests): every flag gets an empty help line.
+     *
      * @param argc / @p argv main()'s arguments
      * @param known the set of accepted flag names (without "--")
      */
     CliArgs(int argc, const char *const *argv,
             const std::vector<std::string> &known);
+
+    /**
+     * Generated --help listing: usage line, @p summary, then one
+     * aligned "--name  help" row per accepted flag in declaration
+     * order.
+     *
+     * @param tool program name for the usage line
+     * @param summary one-line description of the tool
+     */
+    std::string helpText(const std::string &tool,
+                         const std::string &summary) const;
 
     /** @return true if the flag was given (with or without a value). */
     bool has(const std::string &key) const;
@@ -69,6 +105,7 @@ class CliArgs
     }
 
   private:
+    std::vector<FlagSpec> flags_;
     std::map<std::string, std::string> values_;
     std::vector<std::string> positional_;
 };

@@ -143,6 +143,45 @@ quantile(std::vector<double> v, double q)
     return v[idx] * (1.0 - frac) + v[idx + 1] * frac;
 }
 
+namespace stats {
+
+double
+percentileNearestRank(const std::vector<double> &sorted, double q)
+{
+    LAZYDP_ASSERT(!sorted.empty(), "percentile of empty vector");
+    LAZYDP_ASSERT(q > 0.0 && q <= 1.0, "quantile out of (0, 1]");
+    const double n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+Percentiles
+computePercentiles(std::vector<double> samples)
+{
+    Percentiles p;
+    if (samples.empty())
+        return p;
+    std::sort(samples.begin(), samples.end());
+    p.count = samples.size();
+    p.min = samples.front();
+    p.max = samples.back();
+    double sum = 0.0;
+    for (const double s : samples)
+        sum += s;
+    p.mean = sum / static_cast<double>(samples.size());
+    p.p50 = percentileNearestRank(samples, 0.50);
+    p.p95 = percentileNearestRank(samples, 0.95);
+    p.p99 = percentileNearestRank(samples, 0.99);
+    p.p999 = percentileNearestRank(samples, 0.999);
+    return p;
+}
+
+} // namespace stats
+
 double
 normalCdf(double x)
 {

@@ -125,6 +125,49 @@ class Histogram
 /** @return the @p q quantile (0..1) of @p v; @p v is copied and sorted. */
 double quantile(std::vector<double> v, double q);
 
+namespace stats {
+
+/**
+ * Tail-latency percentile summary of a sample vector -- the serving
+ * harness's measurement primitive (ISSUE: throughput and p50/p95/p99
+ * claims need first-class percentile machinery, not ad-hoc timers).
+ *
+ * Definition: NEAREST-RANK. For quantile q over n ascending samples,
+ * the reported value is sorted[ceil(q * n) - 1] (1-based rank, clamped
+ * to [1, n]). This always returns an actual sample (no interpolation,
+ * unlike lazydp::quantile), which is the convention latency SLOs use.
+ *
+ * Tie-breaking: equal samples are indistinguishable after the sort, so
+ * ties need no rule; for ranks that fall exactly between two distinct
+ * order statistics (q * n integral), nearest-rank picks the LOWER one
+ * -- e.g. p50 of {1, 2, 3, 4} is 2, not 2.5.
+ */
+struct Percentiles
+{
+    std::size_t count = 0; //!< number of samples summarized
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+};
+
+/**
+ * Nearest-rank quantile of an ASCENDING-sorted sample vector; see the
+ * Percentiles comment for the exact rank rule. @p q must be in (0, 1].
+ */
+double percentileNearestRank(const std::vector<double> &sorted, double q);
+
+/**
+ * Summarize @p samples (copied and sorted internally; empty input
+ * yields an all-zero summary with count 0).
+ */
+Percentiles computePercentiles(std::vector<double> samples);
+
+} // namespace stats
+
 /** Standard normal CDF. */
 double normalCdf(double x);
 

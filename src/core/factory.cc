@@ -41,4 +41,45 @@ algorithmNames()
     return names;
 }
 
+ModelConfig
+modelPreset(const std::string &name, std::uint64_t table_bytes)
+{
+    if (name == "mlperf")
+        return ModelConfig::mlperfBench(table_bytes);
+    if (name == "mlperf-full")
+        return ModelConfig::mlperfDlrm(table_bytes);
+    if (name == "mlperf-hetero")
+        return ModelConfig::mlperfHetero(table_bytes);
+    if (name == "rmc1")
+        return ModelConfig::rmc1(table_bytes);
+    if (name == "rmc2")
+        return ModelConfig::rmc2(table_bytes);
+    if (name == "rmc3")
+        return ModelConfig::rmc3(table_bytes);
+    if (name == "tiny")
+        return ModelConfig::tiny();
+    fatal("unknown model '", name,
+          "' (mlperf, mlperf-full, mlperf-hetero, rmc1-3, tiny)");
+}
+
+AccessConfig
+accessPreset(const std::string &name)
+{
+    if (name == "uniform")
+        return AccessConfig::uniform();
+    if (name == "low")
+        return AccessConfig::criteoLow();
+    if (name == "medium")
+        return AccessConfig::criteoMedium();
+    if (name == "high")
+        return AccessConfig::criteoHigh();
+    if (name == "zipf") {
+        AccessConfig config;
+        config.pattern = AccessPattern::Zipf;
+        return config;
+    }
+    fatal("unknown skew '", name,
+          "' (uniform, low, medium, high, zipf)");
+}
+
 } // namespace lazydp

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "data/access_generator.h"
 #include "nn/dlrm.h"
 #include "train/algorithm.h"
 
@@ -27,6 +28,27 @@ std::unique_ptr<Algorithm> makeAlgorithm(const std::string &name,
 
 /** @return all recognized algorithm names. */
 const std::vector<std::string> &algorithmNames();
+
+/**
+ * Name-keyed model preset shared by every tool (lazydp_train and
+ * lazydp_serve must agree on what "--model=rmc2" means).
+ *
+ * Recognized names: "mlperf", "mlperf-full", "mlperf-hetero",
+ * "rmc1".."rmc3", "tiny". fatal() on unknown names.
+ *
+ * @param table_bytes total embedding-table budget (ignored by "tiny")
+ */
+ModelConfig modelPreset(const std::string &name,
+                        std::uint64_t table_bytes);
+
+/**
+ * Name-keyed access-skew preset shared by every tool.
+ *
+ * Recognized names: "uniform", "low", "medium", "high" (the paper's
+ * Criteo skew CDFs) and "zipf" (the power-law family the serving load
+ * generator also draws from). fatal() on unknown names.
+ */
+AccessConfig accessPreset(const std::string &name);
 
 } // namespace lazydp
 

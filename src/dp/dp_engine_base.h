@@ -58,6 +58,8 @@ class DpEngineBase : public Algorithm
     /** @return the keyed noise source (tests inspect determinism). */
     const NoiseProvider &noiseProvider() const { return noise_; }
 
+    const DlrmModel *model() const override { return &model_; }
+
   protected:
     /**
      * Gradient-production state of ONE microbatch shard of the current

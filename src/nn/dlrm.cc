@@ -21,6 +21,18 @@ DlrmModel::DlrmModel(const ModelConfig &config, std::uint64_t seed)
     }
 }
 
+DlrmModel::DlrmModel(const ModelConfig &config, UninitializedTables)
+    : config_(config),
+      bottom_(config.bottomDims, 0),
+      interaction_(config.numTables + 1, config.embedDim),
+      top_(config.fullTopDims(), 0x709ull)
+{
+    config_.validate();
+    tables_.reserve(config_.numTables);
+    for (std::size_t t = 0; t < config_.numTables; ++t)
+        tables_.emplace_back(config_.rowsForTable(t), config_.embedDim);
+}
+
 void
 DlrmModel::prepareWorkspace(DlrmWorkspace &ws, std::size_t batch) const
 {
@@ -300,6 +312,21 @@ DlrmModel::applyMlps(float lr)
 {
     bottom_.apply(lr);
     top_.apply(lr);
+}
+
+void
+DlrmModel::copyWeightsFrom(const DlrmModel &other)
+{
+    LAZYDP_ASSERT(tables_.size() == other.tables_.size(),
+                  "copyWeightsFrom across different table counts");
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        LAZYDP_ASSERT(tables_[t].rows() == other.tables_[t].rows() &&
+                          tables_[t].dim() == other.tables_[t].dim(),
+                      "copyWeightsFrom across different table shapes");
+        tables_[t].weights().copyFrom(other.tables_[t].weights());
+    }
+    bottom_.copyWeightsFrom(other.bottom_);
+    top_.copyWeightsFrom(other.top_);
 }
 
 std::size_t

@@ -69,6 +69,21 @@ class DlrmModel
     DlrmModel(const ModelConfig &config, std::uint64_t seed);
 
     /**
+     * Tag selecting the snapshot-buffer constructor: embedding tables
+     * are allocated (zeroed) but their per-row RNG initialization is
+     * skipped, because the caller overwrites every weight immediately
+     * (ModelSnapshotStore::publish). At paper-scale tables the skipped
+     * fill is the dominant cost of constructing a snapshot buffer; the
+     * MLPs still initialize (kilobytes, not gigabytes).
+     */
+    struct UninitializedTables
+    {
+    };
+
+    /** Snapshot-buffer constructor; see UninitializedTables. */
+    DlrmModel(const ModelConfig &config, UninitializedTables);
+
+    /**
      * Forward pass over a mini-batch.
      *
      * @param mb input batch (must match the config's shape)
@@ -186,6 +201,16 @@ class DlrmModel
 
     /** SGD step on both MLPs with the stored batch gradients. */
     void applyMlps(float lr);
+
+    /**
+     * Overwrite all parameters (embedding tables + both MLPs' weights
+     * and biases) with @p other 's. Configurations must be identical
+     * (panics otherwise). Gradients, caches and workspaces are not
+     * touched -- copying exactly the state a const forward() reads is
+     * what lets ModelSnapshotStore publish consistent serving replicas
+     * while training keeps mutating the source model.
+     */
+    void copyWeightsFrom(const DlrmModel &other);
 
     /** @return the embedding tables. */
     std::vector<EmbeddingTable> &tables() { return tables_; }

@@ -402,6 +402,17 @@ Mlp::apply(float lr, float decay)
         layer.apply(lr, decay);
 }
 
+void
+Mlp::copyWeightsFrom(const Mlp &other)
+{
+    LAZYDP_ASSERT(layers_.size() == other.layers_.size(),
+                  "copyWeightsFrom across different MLP stacks");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        layers_[l].weight().copyFrom(other.layers_[l].weight());
+        layers_[l].bias().copyFrom(other.layers_[l].bias());
+    }
+}
+
 std::size_t
 Mlp::paramCount() const
 {

@@ -283,6 +283,14 @@ class Mlp
     /** SGD step on all layers (optional multiplicative decay). */
     void apply(float lr, float decay = 1.0f);
 
+    /**
+     * Overwrite every layer's weights and biases with @p other 's
+     * (shapes must match). Gradients and caches are NOT copied -- this
+     * is the snapshot-publication primitive, which only needs the
+     * parameters a reader's forward pass consumes.
+     */
+    void copyWeightsFrom(const Mlp &other);
+
     /** @return the layers (DP engines iterate them). */
     std::vector<LinearLayer> &layers() { return layers_; }
     const std::vector<LinearLayer> &layers() const { return layers_; }

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Open/closed-loop load generation + tail-latency measurement for the
+ * serving tier.
+ *
+ * Two canonical load models (the SPEC/TailBench distinction the HPC
+ * serving-characterization literature insists on):
+ *
+ *  - CLOSED loop (qps = 0): `concurrency` client threads each keep
+ *    exactly one request in flight (issue, wait, repeat). Throughput
+ *    is demand-limited by the service rate; latency excludes queueing
+ *    that an overloaded open system would see. Latency per request is
+ *    completion - enqueue.
+ *  - OPEN loop (qps > 0): one dispatcher issues requests on a fixed
+ *    schedule (request k at start + k/qps) regardless of completions,
+ *    like independent users arriving. Latency is measured from the
+ *    SCHEDULED time, not the actual enqueue -- the standard guard
+ *    against coordinated omission: if the system falls behind, the
+ *    backlog correctly counts against tail latency.
+ *
+ * Queries are deterministic functions of (seed, request id): dense
+ * features uniform in [-1, 1), table rows drawn through the same
+ * AccessGenerator families training data uses (uniform / hot-cold /
+ * Zipf), so a skewed serving workload hammers the same hot rows the
+ * paper's skewed training datasets do.
+ */
+
+#ifndef LAZYDP_SERVE_LOAD_GENERATOR_H
+#define LAZYDP_SERVE_LOAD_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "data/access_generator.h"
+#include "nn/model_config.h"
+#include "serve/serve_engine.h"
+
+namespace lazydp {
+
+/** Load-generation knobs. */
+struct LoadOptions
+{
+    /** Total requests to issue. */
+    std::uint64_t requests = 1000;
+
+    /**
+     * Open-loop aggregate arrival rate in queries/second; 0 selects
+     * the closed loop.
+     */
+    double qps = 0.0;
+
+    /** Closed loop: number of one-in-flight client threads. */
+    std::size_t concurrency = 4;
+
+    /** Query-generation seed (queries are pure in (seed, id)). */
+    std::uint64_t seed = 1;
+
+    /** Table-access skew of the generated queries. */
+    AccessConfig access;
+};
+
+/** Measured outcome of one LoadGenerator::run. */
+struct LoadReport
+{
+    std::uint64_t completed = 0;  //!< requests scored
+    double wallSeconds = 0.0;     //!< first issue to last completion
+
+    /**
+     * Latency percentiles in SECONDS (closed loop: completion -
+     * enqueue; open loop: completion - scheduled arrival).
+     */
+    stats::Percentiles latency;
+
+    std::uint64_t minVersion = 0; //!< oldest snapshot version observed
+    std::uint64_t maxVersion = 0; //!< newest snapshot version observed
+    double meanBatch = 0.0;       //!< mean micro-batch size observed
+
+    /** @return achieved throughput in queries/second. */
+    double
+    qps() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(completed) / wallSeconds;
+    }
+};
+
+/** Drives a ServeEngine with synthetic single-user queries. */
+class LoadGenerator
+{
+  public:
+    /**
+     * @param engine serving engine under load (not owned)
+     * @param config model shape (query dimensions)
+     * @param options load model + skew
+     */
+    LoadGenerator(ServeEngine &engine, const ModelConfig &config,
+                  const LoadOptions &options);
+
+    /**
+     * Issue options.requests queries, wait for all completions, and
+     * summarize. Blocking; spawns its own client threads (clients
+     * simulate external users, so they deliberately do NOT run on the
+     * serving pool's lanes).
+     */
+    LoadReport run();
+
+    /** @return the deterministic query for @p id (tests replay these). */
+    ServeQuery makeQuery(std::uint64_t id) const;
+
+  private:
+    LoadReport runClosed();
+    LoadReport runOpen();
+
+    ServeEngine &engine_;
+    ModelConfig config_;
+    LoadOptions options_;
+    std::vector<AccessGenerator> generators_; // one per table
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SERVE_LOAD_GENERATOR_H

@@ -1,0 +1,94 @@
+#include "serve/request_batcher.h"
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+RequestBatcher::RequestBatcher(const BatchPolicy &policy)
+    : policy_(policy)
+{
+    LAZYDP_ASSERT(policy_.maxBatch >= 1, "maxBatch must be >= 1");
+}
+
+bool
+RequestBatcher::push(PendingRequestPtr request)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_)
+            return false;
+        request->enqueuedAt = PendingRequest::Clock::now();
+        queue_.push_back(std::move(request));
+    }
+    // Wake one consumer; a batch-forming consumer re-checks fullness.
+    cv_.notify_one();
+    return true;
+}
+
+std::size_t
+RequestBatcher::pop(std::vector<PendingRequestPtr> &out)
+{
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        // Phase 1: wait for the first request (or shutdown).
+        cv_.wait(lock, [this] { return !queue_.empty() || stopped_; });
+        if (queue_.empty())
+            return 0; // stopped and drained: the only 0 return
+
+        // Phase 2: the batch forms around the OLDEST queued request;
+        // hold at most maxDelayUs past its enqueue before dispatching.
+        // The deadline is recomputed from the CURRENT front on every
+        // wake: a concurrent consumer may have dispatched the request
+        // the wait began on, and a stale deadline would let fresh
+        // requests time out instantly (premature under-sized batches).
+        while (queue_.size() < policy_.maxBatch && !stopped_) {
+            const auto deadline =
+                queue_.front()->enqueuedAt +
+                std::chrono::microseconds(policy_.maxDelayUs);
+            if (cv_.wait_until(lock, deadline) ==
+                std::cv_status::timeout)
+                break; // the oldest queued request is ripe
+            // A concurrent consumer may have drained the queue while
+            // this one slept past the phase-1 predicate.
+            if (queue_.empty())
+                break;
+        }
+        // Lost the race for this batch entirely: go back to phase 1
+        // rather than handing a live consumer the 0 exit signal.
+        if (queue_.empty())
+            continue;
+
+        const std::size_t n =
+            queue_.size() < policy_.maxBatch ? queue_.size()
+                                             : policy_.maxBatch;
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        // Leftover requests may already form a ripe batch for another
+        // consumer blocked in phase 1.
+        if (!queue_.empty())
+            cv_.notify_one();
+        return n;
+    }
+}
+
+void
+RequestBatcher::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopped_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+RequestBatcher::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+} // namespace lazydp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deadline-batched request coalescing for online DLRM inference.
+ *
+ * Recommendation queries arrive one user at a time, but the DLRM
+ * forward pass is far more efficient over a micro-batch (the MLP GEMMs
+ * amortize, the embedding gathers pipeline). The classic serving
+ * trade-off is latency vs. throughput, governed by two knobs:
+ *
+ *   max_batch     coalesce at most this many queries per micro-batch;
+ *   max_delay_us  never hold the FIRST query of a forming batch longer
+ *                 than this before dispatching whatever has arrived.
+ *
+ * pop() blocks until it can hand a worker a batch that is either full
+ * (max_batch queries) or ripe (oldest query has waited max_delay_us).
+ * max_batch = 1 degenerates to no batching: every query dispatches
+ * immediately -- the latency-optimal, throughput-worst policy.
+ *
+ * The batcher is a plain mutex + condvar MPMC queue: producers are the
+ * load-generator / client threads, consumers the serve lanes. stop()
+ * wakes everyone; queued requests are still drained (pop keeps
+ * returning batches until the queue empties, then returns 0).
+ */
+
+#ifndef LAZYDP_SERVE_REQUEST_BATCHER_H
+#define LAZYDP_SERVE_REQUEST_BATCHER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve_types.h"
+
+namespace lazydp {
+
+/** Micro-batching policy (see file comment). */
+struct BatchPolicy
+{
+    std::size_t maxBatch = 32;      //!< queries per micro-batch cap
+    std::uint64_t maxDelayUs = 200; //!< deadline from first enqueue
+};
+
+/** Deadline-batching MPMC queue of pending requests. */
+class RequestBatcher
+{
+  public:
+    explicit RequestBatcher(const BatchPolicy &policy);
+
+    /**
+     * Enqueue @p request and stamp its enqueue time.
+     *
+     * @return false (request not accepted) once stop() has been called
+     */
+    bool push(PendingRequestPtr request);
+
+    /**
+     * Block until a batch is ready, then move up to maxBatch requests
+     * into @p out (cleared first), in arrival order.
+     *
+     * A batch is ready when the queue holds maxBatch requests, when the
+     * oldest queued request has waited maxDelayUs, or when stop() was
+     * called (remaining requests drain in maxBatch-sized chunks).
+     *
+     * @return number of requests handed out; 0 only after stop() with
+     *         an empty queue (the consumer's exit signal)
+     */
+    std::size_t pop(std::vector<PendingRequestPtr> &out);
+
+    /** Stop accepting pushes and wake every blocked consumer. */
+    void stop();
+
+    /** @return current queue depth (monitoring only, racy by nature). */
+    std::size_t depth() const;
+
+    const BatchPolicy &policy() const { return policy_; }
+
+  private:
+    BatchPolicy policy_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<PendingRequestPtr> queue_;
+    bool stopped_ = false;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SERVE_REQUEST_BATCHER_H

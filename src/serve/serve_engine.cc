@@ -1,0 +1,151 @@
+#include "serve/serve_engine.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+ServeEngine::ServeEngine(const ModelSnapshotStore &store,
+                         const ModelConfig &config, ThreadPool &pool,
+                         const ServeOptions &options)
+    : store_(store), config_(config), options_(options),
+      batcher_(options.batch)
+{
+    LAZYDP_ASSERT(options_.threads >= 1, "need at least one serve lane");
+    LAZYDP_ASSERT(options_.firstLane + options_.threads <=
+                      ThreadPool::kMaxLanes,
+                  "serve lanes exceed ThreadPool::kMaxLanes");
+    workers_.reserve(options_.threads);
+    for (std::size_t w = 0; w < options_.threads; ++w) {
+        workers_.push_back(pool.submitLane(options_.firstLane + w,
+                                           [this] { workerLoop(); }));
+    }
+}
+
+ServeEngine::~ServeEngine() { stop(); }
+
+PendingRequestPtr
+ServeEngine::submit(ServeQuery query)
+{
+    LAZYDP_ASSERT(query.dense.size() == config_.numDense,
+                  "query dense width != model");
+    LAZYDP_ASSERT(query.indices.size() ==
+                      config_.numTables * config_.pooling,
+                  "query index count != numTables * pooling");
+    auto request = std::make_shared<PendingRequest>();
+    request->query = std::move(query);
+    if (!batcher_.push(request))
+        return nullptr;
+    return request;
+}
+
+void
+ServeEngine::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    batcher_.stop();
+    for (auto &w : workers_)
+        w.wait();
+}
+
+ServeStats
+ServeEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return stats_;
+}
+
+void
+ServeEngine::workerLoop()
+{
+    // Lane-private scoring state: workspace, logits, batch assembly.
+    // Buffers never shrink, so steady-state serving allocates nothing
+    // once sizes stabilize at the batching cap.
+    DlrmWorkspace ws;
+    Tensor logits;
+    MiniBatch mb;
+    std::vector<PendingRequestPtr> batch;
+
+    while (batcher_.pop(batch) > 0) {
+        // One snapshot per micro-batch: every query in it is scored by
+        // the same fully-published version (consistency contract).
+        auto snap = store_.current();
+        while (snap == nullptr &&
+               !stopping_.load(std::memory_order_relaxed)) {
+            // Requests arrived before the first publish; briefly yield
+            // until the trainer (or serve-only driver) publishes v1.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            snap = store_.current();
+        }
+        if (snap == nullptr) {
+            // Shutting down before anything was ever published: these
+            // requests can never be scored. Complete them with the
+            // version-0 marker so no client blocks forever. They still
+            // count as served/batched (completion accounting must
+            // reconcile with submissions); min/maxVersion track only
+            // SCORED requests, so they stay untouched.
+            for (auto &request : batch)
+                request->complete(ServeResult{});
+            std::lock_guard<std::mutex> lock(statsMu_);
+            stats_.served += batch.size();
+            stats_.batches += 1;
+            continue;
+        }
+
+        // Assemble the micro-batch in the standard MiniBatch layout
+        // ([table][example][slot]) from the per-query [table][slot]
+        // rows, reusing buffers across batches (cf. MiniBatch::slice).
+        const std::size_t n = batch.size();
+        const std::size_t pooling = config_.pooling;
+        mb.batchSize = n;
+        mb.numTables = config_.numTables;
+        mb.pooling = pooling;
+        mb.dense.resizeNoShrink(n, config_.numDense);
+        mb.labels.resize(n);
+        mb.indices.resize(config_.numTables * n * pooling);
+        for (std::size_t e = 0; e < n; ++e) {
+            const ServeQuery &q = batch[e]->query;
+            std::memcpy(mb.dense.row(e).data(), q.dense.data(),
+                        config_.numDense * sizeof(float));
+            for (std::size_t t = 0; t < config_.numTables; ++t) {
+                std::memcpy(mb.indices.data() +
+                                (t * n + e) * pooling,
+                            q.indices.data() + t * pooling,
+                            pooling * sizeof(std::uint32_t));
+            }
+        }
+
+        // Lanes flatten nested dispatch anyway; serial is the honest
+        // execution context for a latency-bound micro-batch.
+        snap->model.forward(mb, logits, ws, ExecContext::serial());
+
+        ServeResult result;
+        result.version = snap->version;
+        result.iteration = snap->iteration;
+        result.batchSize = static_cast<std::uint32_t>(n);
+        for (std::size_t e = 0; e < n; ++e) {
+            const float z = logits.at(e, 0);
+            result.score = 1.0f / (1.0f + std::exp(-z));
+            batch[e]->complete(result);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(statsMu_);
+            stats_.served += n;
+            stats_.batches += 1;
+            if (stats_.minVersion == 0 ||
+                snap->version < stats_.minVersion)
+                stats_.minVersion = snap->version;
+            if (snap->version > stats_.maxVersion)
+                stats_.maxVersion = snap->version;
+        }
+    }
+}
+
+} // namespace lazydp

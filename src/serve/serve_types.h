@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Request/response types shared by the batcher, the serve engine and
+ * the load generator.
+ *
+ * One ServeQuery is one user's recommendation request: a dense feature
+ * vector plus `pooling` embedding-row ids per table -- exactly one
+ * DLRM example. The serving tier coalesces many of these into
+ * micro-batches (serve/request_batcher.h) and scores them against an
+ * immutable model snapshot (serve/snapshot_store.h).
+ */
+
+#ifndef LAZYDP_SERVE_SERVE_TYPES_H
+#define LAZYDP_SERVE_SERVE_TYPES_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lazydp {
+
+/** One single-user inference query (one DLRM example). */
+struct ServeQuery
+{
+    /** Dense features, length numDense. */
+    std::vector<float> dense;
+
+    /**
+     * Sparse row ids, length numTables * pooling, layout
+     * [table][slot]: the ids of table t occupy
+     * indices[t * pooling .. (t + 1) * pooling).
+     */
+    std::vector<std::uint32_t> indices;
+};
+
+/** Completed scoring result. */
+struct ServeResult
+{
+    float score = 0.0f;          //!< sigmoid(logit): predicted CTR
+
+    /**
+     * Snapshot version that scored it (>= 1), or 0 when the engine
+     * shut down before any snapshot was ever published -- the request
+     * completed unscored so its client does not block forever.
+     */
+    std::uint64_t version = 0;
+    std::uint64_t iteration = 0; //!< training iteration of that version
+    std::uint32_t batchSize = 0; //!< micro-batch size it rode in
+};
+
+/**
+ * In-flight request: query + completion rendezvous + timing. Shared
+ * (via shared_ptr) between the issuing client thread and the serve
+ * lane that completes it.
+ */
+class PendingRequest
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    ServeQuery query;
+
+    /** Set by the issuer (RequestBatcher::push stamps it). */
+    Clock::time_point enqueuedAt{};
+
+    /** Complete with @p r and wake the waiter (serve-lane side). */
+    void
+    complete(const ServeResult &r)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            result_ = r;
+            completedAt_ = Clock::now();
+            done_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Block until complete() ran; @return the result (client side). */
+    const ServeResult &
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return done_; });
+        return result_;
+    }
+
+    /** @return true once complete() ran (non-blocking). */
+    bool
+    done() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return done_;
+    }
+
+    /**
+     * End-to-end seconds from enqueue to completion. Valid only after
+     * wait() / done() observed completion.
+     */
+    double
+    latencySeconds() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return std::chrono::duration<double>(completedAt_ - enqueuedAt)
+            .count();
+    }
+
+    /** @return completion timestamp (valid after completion). */
+    Clock::time_point
+    completedAt() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return completedAt_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    ServeResult result_;
+    Clock::time_point completedAt_{};
+};
+
+using PendingRequestPtr = std::shared_ptr<PendingRequest>;
+
+} // namespace lazydp
+
+#endif // LAZYDP_SERVE_SERVE_TYPES_H

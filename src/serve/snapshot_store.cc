@@ -1,0 +1,31 @@
+#include "serve/snapshot_store.h"
+
+#include <utility>
+
+namespace lazydp {
+
+void
+ModelSnapshotStore::publish(const DlrmModel &src, std::uint64_t iteration)
+{
+    // Always a fresh buffer. A use_count()==1 recycling scheme was
+    // tried and is SUBTLY WRONG: use_count() is a relaxed read, so
+    // observing 1 does not happen-after the last reader's final loads
+    // from the buffer -- the writer could overwrite memory a reader is
+    // still reading (caught by TSan). Retired snapshots are instead
+    // reclaimed by the last reader's shared_ptr release, the classic
+    // RCU grace period; publish happens once per N training
+    // iterations, so the allocation is off every hot path.
+    auto snap = std::make_shared<ModelSnapshot>(src.config());
+
+    snap->model.copyWeightsFrom(src);
+    snap->iteration = iteration;
+    snap->version = version_.load(std::memory_order_relaxed) + 1;
+
+    // The copy above completed before this swap, so every snapshot
+    // reachable through current() is fully published -- readers can
+    // never observe a torn state.
+    current_.store(snap);
+    version_.store(snap->version, std::memory_order_release);
+}
+
+} // namespace lazydp

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Versioned model snapshots: the read side of train-and-serve.
+ *
+ * The Trainer mutates one DlrmModel in place every iteration; serving
+ * needs a CONSISTENT model for the whole lifetime of an inference
+ * micro-batch. ModelSnapshotStore bridges the two with RCU-style
+ * publication:
+ *
+ *  - publish() (single writer: the training thread) deep-copies the
+ *    current weights into a fresh (or recycled) ModelSnapshot and swaps
+ *    it into an std::atomic<std::shared_ptr<const ModelSnapshot>>.
+ *    Copy-on-publish means the training step never waits for readers.
+ *  - current() (any number of readers: the serve lanes) atomically
+ *    loads the shared_ptr. A reader holds its snapshot for as long as
+ *    it wants; the weights it sees can never change underneath it, and
+ *    a snapshot's memory is reclaimed only after the last reader drops
+ *    it (shared_ptr refcount = the RCU grace period).
+ *
+ * Consistency contract: every snapshot a reader can obtain was
+ * published by a completed publish() call -- there are no torn or
+ * partially-copied states reachable through current(), because the
+ * copy finishes before the atomic swap. Version numbers are dense
+ * (1, 2, 3, ...) and strictly increasing; a reader comparing versions
+ * can therefore detect both staleness and update frequency.
+ *
+ * Privacy note (paper Section 3 threat model): mid-training LazyDP
+ * weights carry *pending* noise, exactly like a saveModel() checkpoint
+ * taken at the same iteration. A snapshot is a faithful copy of the
+ * training state -- consumers inside the trust boundary (the serving
+ * tier of the training system) may read it, but it is NOT a releasable
+ * private artifact until finalize() has flushed pending noise.
+ */
+
+#ifndef LAZYDP_SERVE_SNAPSHOT_STORE_H
+#define LAZYDP_SERVE_SNAPSHOT_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "nn/dlrm.h"
+
+// TSan-awareness: see SnapshotSlot below.
+#if defined(__SANITIZE_THREAD__)
+#define LAZYDP_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LAZYDP_TSAN_ACTIVE 1
+#endif
+#endif
+
+namespace lazydp {
+
+/** One published, immutable-by-contract model version. */
+struct ModelSnapshot
+{
+    /** @param config shape of the model this snapshot will replicate. */
+    explicit ModelSnapshot(const ModelConfig &config)
+        : model(config, DlrmModel::UninitializedTables{})
+    {
+    }
+
+    std::uint64_t version = 0;   //!< dense 1-based publication ordinal
+    std::uint64_t iteration = 0; //!< global training iteration copied
+    /**
+     * Deep copy of the training model's parameters. Readers must use
+     * only the const entry points (workspace forward). Mutable only
+     * during publish(), before the snapshot becomes reachable.
+     */
+    DlrmModel model;
+};
+
+/**
+ * The store's atomic shared_ptr slot.
+ *
+ * Production builds use std::atomic<std::shared_ptr> -- libstdc++
+ * implements it as a tagged-pointer spinlock, so readers never touch
+ * an OS lock. Under ThreadSanitizer that implementation is a known
+ * FALSE positive: _Sp_atomic guards its internal pointer handoff with
+ * an atomic lock bit whose wait loop TSan cannot model as a
+ * happens-before edge, so even a minimal store()/load() pair reports
+ * a race (GCC 12, reproduced in isolation). TSan builds therefore
+ * substitute a mutex around a plain shared_ptr -- identical
+ * semantics and API, critical sections of a pointer copy only -- so
+ * the REST of the serving path stays fully race-checked instead of
+ * drowning in one library false positive.
+ */
+class SnapshotSlot
+{
+  public:
+#if defined(LAZYDP_TSAN_ACTIVE)
+    std::shared_ptr<const ModelSnapshot>
+    load() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return ptr_;
+    }
+
+    void
+    store(std::shared_ptr<const ModelSnapshot> next)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ptr_ = std::move(next);
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const ModelSnapshot> ptr_;
+#else
+    std::shared_ptr<const ModelSnapshot>
+    load() const
+    {
+        return ptr_.load();
+    }
+
+    void
+    store(std::shared_ptr<const ModelSnapshot> next)
+    {
+        ptr_.store(std::move(next));
+    }
+
+  private:
+    std::atomic<std::shared_ptr<const ModelSnapshot>> ptr_{nullptr};
+#endif
+};
+
+/**
+ * Single-writer / multi-reader snapshot exchange (see file comment).
+ *
+ * Writer API (publish) must be called from one thread at a time -- in
+ * this repository, the thread driving Trainer::run. Reader API
+ * (current / version) is wait-free for the writer and safe from any
+ * thread.
+ */
+class ModelSnapshotStore
+{
+  public:
+    ModelSnapshotStore() = default;
+
+    ModelSnapshotStore(const ModelSnapshotStore &) = delete;
+    ModelSnapshotStore &operator=(const ModelSnapshotStore &) = delete;
+
+    /**
+     * Deep-copy @p src 's parameters into a fresh buffer and publish
+     * it as the next version. Readers never block this call; this call
+     * never blocks on readers. Retired snapshots are freed when their
+     * last reader drops them (the shared_ptr release IS the RCU grace
+     * period).
+     *
+     * @param src model to copy (training model, between iterations)
+     * @param iteration global training iteration the weights belong to
+     */
+    void publish(const DlrmModel &src, std::uint64_t iteration);
+
+    /**
+     * @return the latest published snapshot (nullptr before the first
+     * publish). The returned shared_ptr keeps the snapshot alive for
+     * as long as the caller holds it.
+     */
+    std::shared_ptr<const ModelSnapshot>
+    current() const
+    {
+        return current_.load();
+    }
+
+    /** @return version of the latest completed publish (0 = none). */
+    std::uint64_t
+    version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+  private:
+    SnapshotSlot current_;
+    std::atomic<std::uint64_t> version_{0};
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_SERVE_SNAPSHOT_STORE_H

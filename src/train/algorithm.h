@@ -39,6 +39,8 @@
 
 namespace lazydp {
 
+class DlrmModel;
+
 /** Hyperparameters shared by all training algorithms. */
 struct TrainHyper
 {
@@ -93,6 +95,14 @@ class Algorithm
 
     /** @return short display name, e.g. "DP-SGD(F)". */
     virtual std::string name() const = 0;
+
+    /**
+     * The model this algorithm trains, or nullptr for algorithms not
+     * bound to a DlrmModel. The Trainer reads it to publish versioned
+     * serving snapshots (TrainOptions::snapshotStore); every engine in
+     * the repository overrides it.
+     */
+    virtual const DlrmModel *model() const { return nullptr; }
 
     /**
      * Allocate a prepared-state buffer matching this engine's

@@ -38,6 +38,8 @@ class SgdAlgorithm : public Algorithm
 
     std::string name() const override { return "SGD"; }
 
+    const DlrmModel *model() const override { return &model_; }
+
     /** No lookahead work: the default (empty) prepare applies. */
     double apply(std::uint64_t iter, const MiniBatch &cur,
                  PreparedStep &prepared, ExecContext &exec,

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "serve/snapshot_store.h"
 #include "train/replica.h"
 
 namespace lazydp {
@@ -24,8 +25,17 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
                   "warmup would consume every iteration");
     LAZYDP_ASSERT(validReplicas(options.replicas),
                   "TrainOptions::replicas must be 1, 2 or 4");
+    if (options.publishEveryIters != 0) {
+        LAZYDP_ASSERT(options.snapshotStore != nullptr,
+                      "publishEveryIters needs a snapshotStore");
+        LAZYDP_ASSERT(algorithm_.model() != nullptr,
+                      "snapshot publishing needs a model-bound "
+                      "algorithm");
+    }
     if (options.recordLosses)
         result.losses.reserve(iterations);
+    if (options.recordIterSeconds)
+        result.iterSeconds.reserve(iterations - options.warmupIters);
 
     // The worker-replica count travels to every step through a per-run
     // copy of the execution context (replicas are a schedule knob, not
@@ -59,6 +69,7 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
     queue.push(loader_.next());
 
     WallTimer wall;
+    double iter_mark = 0.0; // wall offset of the last recorded iter end
     for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
         // One new batch per iteration (line 7); on the final iteration
         // there is no next batch to preview unless previewFinal asks
@@ -67,8 +78,10 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
             iter < iterations || options.previewFinal;
         if (has_next)
             queue.push(loader_.next());
-        if (iter == options.warmupIters + 1)
+        if (iter == options.warmupIters + 1) {
             wall.reset();
+            iter_mark = 0.0;
+        }
         StageTimer &timer = iter <= options.warmupIters
                                 ? result.warmupTimer
                                 : result.timer;
@@ -78,6 +91,12 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
             has_next ? &queue.at(1) : nullptr, runExec_, timer);
         if (options.recordLosses)
             result.losses.push_back(loss);
+        maybePublish(iter, options);
+        if (options.recordIterSeconds && iter > options.warmupIters) {
+            const double now = wall.seconds();
+            result.iterSeconds.push_back(now - iter_mark);
+            iter_mark = now;
+        }
 
         queue.pop();
     }
@@ -120,9 +139,12 @@ Trainer::runPipelined(std::uint64_t iterations,
     }
 
     WallTimer wall;
+    double iter_mark = 0.0; // wall offset of the last recorded iter end
     for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
-        if (iter == options.warmupIters + 1)
+        if (iter == options.warmupIters + 1) {
             wall.reset();
+            iter_mark = 0.0;
+        }
         StageTimer &timer = iter <= options.warmupIters
                                 ? result.warmupTimer
                                 : result.timer;
@@ -168,6 +190,10 @@ Trainer::runPipelined(std::uint64_t iterations,
         }
         if (options.recordLosses)
             result.losses.push_back(loss);
+        // Safe while prepare(i+1) is still in flight: prepare never
+        // reads or writes model weights (the pipeline's own contract),
+        // so the snapshot copy cannot race it.
+        maybePublish(iter, options);
 
         if (pending.valid()) {
             pending.wait();
@@ -177,9 +203,28 @@ Trainer::runPipelined(std::uint64_t iterations,
             consumer.merge(prep_timer);
             std::swap(cur_prep, next_prep);
         }
+        // The iteration truly ends once the overlapped stage joined --
+        // the next apply cannot start earlier, so the per-iteration
+        // wall samples tile the measured wall time exactly.
+        if (options.recordIterSeconds && iter > options.warmupIters) {
+            const double now = wall.seconds();
+            result.iterSeconds.push_back(now - iter_mark);
+            iter_mark = now;
+        }
         queue.pop();
     }
     result.wallSeconds = wall.seconds();
+}
+
+void
+Trainer::maybePublish(std::uint64_t iter, const TrainOptions &options)
+{
+    if (options.snapshotStore == nullptr ||
+        options.publishEveryIters == 0 ||
+        iter % options.publishEveryIters != 0)
+        return;
+    options.snapshotStore->publish(*algorithm_.model(),
+                                   options.startIter + iter);
 }
 
 } // namespace lazydp

@@ -37,6 +37,8 @@
 
 namespace lazydp {
 
+class ModelSnapshotStore;
+
 /** Knobs of one Trainer::run invocation. */
 struct TrainOptions
 {
@@ -90,6 +92,26 @@ struct TrainOptions
      * (benches measure steady-state lookahead work on every iteration).
      */
     bool previewFinal = false;
+
+    /**
+     * Record each measured (post-warmup) iteration's end-to-end wall
+     * seconds into TrainResult::iterSeconds, so benches can report
+     * per-iteration tail percentiles (p95/p99) next to the mean.
+     */
+    bool recordIterSeconds = false;
+
+    /**
+     * Publish a versioned model snapshot into snapshotStore after
+     * every publishEveryIters-th iteration of this run (0 = never).
+     * The publish happens after apply() completes -- under the
+     * pipelined schedule the only concurrent work is prepare(i+1),
+     * which never touches weights, so the copy is race-free. Requires
+     * snapshotStore and an algorithm bound to a model.
+     */
+    std::uint64_t publishEveryIters = 0;
+
+    /** Snapshot exchange serving reads from (not owned; may be null). */
+    ModelSnapshotStore *snapshotStore = nullptr;
 };
 
 /** Result of a training run. */
@@ -99,6 +121,13 @@ struct TrainResult
     StageTimer warmupTimer;      //!< stage time of the warmup iterations
     StageTimer finalizeTimer;    //!< stage time of Algorithm::finalize
     std::vector<double> losses;  //!< per-iteration training loss
+
+    /**
+     * Wall seconds of each measured iteration (only with
+     * TrainOptions::recordIterSeconds): the percentile source for
+     * per-iteration p95/p99 reporting.
+     */
+    std::vector<double> iterSeconds;
     double wallSeconds = 0.0;    //!< wall time of the measured iterations
     double finalizeSeconds = 0.0;//!< wall time of Algorithm::finalize
     std::uint64_t iterations = 0;//!< measured (post-warmup) iterations
@@ -151,6 +180,12 @@ class Trainer
     /** Pipelined schedule: see the file comment. */
     void runPipelined(std::uint64_t iterations,
                       const TrainOptions &options, TrainResult &result);
+
+    /**
+     * Publish a snapshot after run-local iteration @p iter when the
+     * options ask for one (stamped with the global iteration id).
+     */
+    void maybePublish(std::uint64_t iter, const TrainOptions &options);
 
     Algorithm &algorithm_;
     DataLoader &loader_;

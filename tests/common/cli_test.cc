@@ -66,6 +66,58 @@ TEST(CliTest, UnknownFlagIsFatal)
     setLogThrowMode(false);
 }
 
+const std::vector<FlagSpec> kSpecs = {
+    {"algo", "training engine name"},
+    {"iters", "iteration count"},
+    {"max-delay-us", "batching deadline in microseconds"},
+};
+
+CliArgs
+parseSpecs(std::initializer_list<const char *> argv_tail)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), argv_tail);
+    return CliArgs(static_cast<int>(argv.size()), argv.data(), kSpecs);
+}
+
+TEST(CliTest, SpecCtorParsesAndRejectsUnknownFlags)
+{
+    const auto args = parseSpecs({"--algo=lazydp", "--iters", "3"});
+    EXPECT_EQ(args.getString("algo", ""), "lazydp");
+    EXPECT_EQ(args.getU64("iters", 0), 3u);
+
+    setLogThrowMode(true);
+    EXPECT_THROW(parseSpecs({"--tyop=1"}), std::runtime_error);
+    // The error names the accepted flags so the user sees the typo.
+    try {
+        parseSpecs({"--algoo=x"});
+        FAIL() << "unknown flag was accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("--algo"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("--max-delay-us"),
+                  std::string::npos);
+    }
+    setLogThrowMode(false);
+}
+
+TEST(CliTest, GeneratedHelpListsEveryFlagWithItsDescription)
+{
+    const auto args = parseSpecs({});
+    const std::string help =
+        args.helpText("prog", "does prog things");
+    EXPECT_NE(help.find("usage: prog"), std::string::npos);
+    EXPECT_NE(help.find("does prog things"), std::string::npos);
+    for (const auto &spec : kSpecs) {
+        EXPECT_NE(help.find("--" + spec.name), std::string::npos)
+            << spec.name;
+        EXPECT_NE(help.find(spec.help), std::string::npos)
+            << spec.name;
+    }
+    // Declaration order is preserved (algo before max-delay-us).
+    EXPECT_LT(help.find("--algo"), help.find("--max-delay-us"));
+}
+
 TEST(CliTest, PositionalArgsCollected)
 {
     const auto args = parse({"file1.txt", "--algo=sgd", "file2.txt"});

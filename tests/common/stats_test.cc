@@ -111,6 +111,62 @@ TEST(QuantileTest, InterpolatesBetweenValues)
     EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
 }
 
+TEST(PercentilesTest, NearestRankRule)
+{
+    // Nearest-rank over n=4: rank = ceil(q*4), 1-based, lower pick on
+    // integral q*n -- p50 of {1,2,3,4} is 2 (NOT the interpolated 2.5).
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::percentileNearestRank(sorted, 0.50), 2.0);
+    EXPECT_DOUBLE_EQ(stats::percentileNearestRank(sorted, 0.25), 1.0);
+    EXPECT_DOUBLE_EQ(stats::percentileNearestRank(sorted, 0.51), 3.0);
+    EXPECT_DOUBLE_EQ(stats::percentileNearestRank(sorted, 1.0), 4.0);
+    // q small enough that ceil(q*n) == 1.
+    EXPECT_DOUBLE_EQ(stats::percentileNearestRank(sorted, 0.01), 1.0);
+}
+
+TEST(PercentilesTest, AlwaysReturnsAnActualSample)
+{
+    // 1000 samples 0..999: every percentile must be a member value.
+    std::vector<double> v(1000);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<double>(999 - i); // reversed: compute sorts
+    const auto p = stats::computePercentiles(v);
+    EXPECT_EQ(p.count, 1000u);
+    EXPECT_DOUBLE_EQ(p.p50, 499.0);   // ceil(0.5*1000)=500 -> v[499]
+    EXPECT_DOUBLE_EQ(p.p95, 949.0);   // ceil(0.95*1000)=950
+    EXPECT_DOUBLE_EQ(p.p99, 989.0);   // ceil(0.99*1000)=990
+    EXPECT_DOUBLE_EQ(p.p999, 998.0);  // ceil(0.999*1000)=999
+    EXPECT_DOUBLE_EQ(p.min, 0.0);
+    EXPECT_DOUBLE_EQ(p.max, 999.0);
+    EXPECT_NEAR(p.mean, 499.5, 1e-9);
+}
+
+TEST(PercentilesTest, TiesCollapseToTheTiedValue)
+{
+    // 99 zeros and one spike: p50/p95 sit in the tied mass, p99/p999
+    // hit the spike (rank 100 on ceil(0.999*100) = 100).
+    std::vector<double> v(100, 0.0);
+    v[17] = 50.0;
+    const auto p = stats::computePercentiles(v);
+    EXPECT_DOUBLE_EQ(p.p50, 0.0);
+    EXPECT_DOUBLE_EQ(p.p95, 0.0);
+    EXPECT_DOUBLE_EQ(p.p99, 0.0); // ceil(0.99*100)=99 -> last zero
+    EXPECT_DOUBLE_EQ(p.p999, 50.0);
+}
+
+TEST(PercentilesTest, SingleSampleAndEmpty)
+{
+    const auto one = stats::computePercentiles({7.5});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.p50, 7.5);
+    EXPECT_DOUBLE_EQ(one.p999, 7.5);
+    EXPECT_DOUBLE_EQ(one.mean, 7.5);
+
+    const auto none = stats::computePercentiles({});
+    EXPECT_EQ(none.count, 0u);
+    EXPECT_DOUBLE_EQ(none.p99, 0.0);
+}
+
 TEST(NormalCdfTest, KnownValues)
 {
     EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);

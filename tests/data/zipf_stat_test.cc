@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Statistical validation of the Zipfian access generator.
+ *
+ * The serving load generator (serve/load_generator.h) draws its query
+ * skew through AccessGenerator, so the power law has to actually hold:
+ * under Zipf(s), P(rank r) ~ r^-s, i.e. the rank-frequency plot is a
+ * line of slope -s in log-log space. These tests draw a large
+ * fixed-seed sample and fit that slope by least squares over the head
+ * ranks (where counts are large and the discrete-tail truncation bias
+ * is negligible), asserting it lands within tolerance of -s.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/access_generator.h"
+
+namespace lazydp {
+namespace {
+
+/**
+ * Draw @p draws samples and return per-row counts sorted descending
+ * (empirical rank-frequency).
+ */
+std::vector<std::uint64_t>
+rankFrequency(const AccessGenerator &gen, std::uint64_t rows,
+              std::uint64_t draws, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> counts(rows, 0);
+    Xoshiro256 rng(seed);
+    for (std::uint64_t i = 0; i < draws; ++i)
+        ++counts[gen.draw(rng)];
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint64_t>());
+    return counts;
+}
+
+/**
+ * Least-squares slope of log(count) vs log(rank) over the first
+ * @p head ranks (1-based ranks).
+ */
+double
+logLogSlope(const std::vector<std::uint64_t> &counts, std::size_t head)
+{
+    double sx = 0.0;
+    double sy = 0.0;
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double n = 0.0;
+    for (std::size_t r = 0; r < head; ++r) {
+        if (counts[r] == 0)
+            break; // past the sampled support
+        const double x = std::log(static_cast<double>(r + 1));
+        const double y = std::log(static_cast<double>(counts[r]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        n += 1.0;
+    }
+    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+TEST(ZipfStatTest, RankFrequencySlopeMatchesExponent)
+{
+    // s in the range real RecSys traffic reports; fixed seed, 2M draws
+    // over 4096 rows give smooth head counts.
+    for (const double s : {1.05, 1.3}) {
+        SCOPED_TRACE("s=" + std::to_string(s));
+        AccessConfig cfg;
+        cfg.pattern = AccessPattern::Zipf;
+        cfg.zipfS = s;
+        const std::uint64_t rows = 4096;
+        const AccessGenerator gen(cfg, rows);
+        const auto counts =
+            rankFrequency(gen, rows, 2'000'000, 0x21Bf5EED);
+
+        // Head-only fit (top 64 ranks): the asymptotic power law holds
+        // there; deeper ranks are noise- and truncation-dominated.
+        const double slope = logLogSlope(counts, 64);
+        EXPECT_NEAR(slope, -s, 0.08) << "fitted " << slope;
+    }
+}
+
+TEST(ZipfStatTest, HeadMassConcentratesWithLargerExponent)
+{
+    const std::uint64_t rows = 4096;
+    const std::uint64_t draws = 500'000;
+    auto head_mass = [&](double s) {
+        AccessConfig cfg;
+        cfg.pattern = AccessPattern::Zipf;
+        cfg.zipfS = s;
+        const AccessGenerator gen(cfg, rows);
+        const auto counts = rankFrequency(gen, rows, draws, 99);
+        std::uint64_t head = 0;
+        for (std::size_t r = 0; r < 16; ++r)
+            head += counts[r];
+        return static_cast<double>(head) /
+               static_cast<double>(draws);
+    };
+    const double low = head_mass(1.05);
+    const double high = head_mass(1.6);
+    EXPECT_GT(high, low); // heavier exponent => heavier head
+    EXPECT_GT(high, 0.5); // s=1.6: top-16 rows dominate
+}
+
+TEST(ZipfStatTest, FixedSeedIsReproducible)
+{
+    AccessConfig cfg;
+    cfg.pattern = AccessPattern::Zipf;
+    cfg.zipfS = 1.2;
+    const AccessGenerator gen(cfg, 1024);
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(gen.draw(a), gen.draw(b));
+}
+
+} // namespace
+} // namespace lazydp

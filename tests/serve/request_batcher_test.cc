@@ -1,0 +1,153 @@
+/** @file Unit tests for the deadline-batching request queue. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/request_batcher.h"
+
+namespace lazydp {
+namespace {
+
+PendingRequestPtr
+makeRequest()
+{
+    return std::make_shared<PendingRequest>();
+}
+
+TEST(RequestBatcherTest, FullBatchDispatchesWithoutDeadline)
+{
+    RequestBatcher b({/*maxBatch=*/4, /*maxDelayUs=*/10'000'000});
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(b.push(makeRequest()));
+    std::vector<PendingRequestPtr> out;
+    // A full batch must dispatch immediately; a 10-second deadline
+    // would time the test out if fullness were ignored.
+    EXPECT_EQ(b.pop(out), 4u);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(RequestBatcherTest, MaxBatchCapsAndPreservesArrivalOrder)
+{
+    RequestBatcher b({/*maxBatch=*/4, /*maxDelayUs=*/100});
+    std::vector<PendingRequestPtr> pushed;
+    for (int i = 0; i < 10; ++i) {
+        pushed.push_back(makeRequest());
+        ASSERT_TRUE(b.push(pushed.back()));
+    }
+    std::vector<PendingRequestPtr> out;
+    std::size_t taken = 0;
+    while (taken < 10) {
+        const std::size_t n = b.pop(out);
+        ASSERT_GT(n, 0u);
+        ASSERT_LE(n, 4u);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(out[i].get(), pushed[taken + i].get());
+        taken += n;
+    }
+    EXPECT_EQ(taken, 10u);
+    EXPECT_EQ(b.depth(), 0u);
+}
+
+TEST(RequestBatcherTest, DeadlineFlushesAPartialBatch)
+{
+    RequestBatcher b({/*maxBatch=*/64, /*maxDelayUs=*/20'000});
+    ASSERT_TRUE(b.push(makeRequest()));
+    std::vector<PendingRequestPtr> out;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(b.pop(out), 1u); // far from full: only the deadline fires
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // The single queued request must come back around the 20 ms
+    // deadline -- generous upper bound for slow CI machines.
+    EXPECT_LT(waited, 5.0);
+}
+
+TEST(RequestBatcherTest, NoBatchingPolicyDispatchesImmediately)
+{
+    RequestBatcher b({/*maxBatch=*/1, /*maxDelayUs=*/10'000'000});
+    ASSERT_TRUE(b.push(makeRequest()));
+    std::vector<PendingRequestPtr> out;
+    EXPECT_EQ(b.pop(out), 1u); // maxBatch=1 never waits on the deadline
+}
+
+TEST(RequestBatcherTest, StopDrainsThenSignalsExit)
+{
+    RequestBatcher b({/*maxBatch=*/2, /*maxDelayUs=*/100});
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(b.push(makeRequest()));
+    b.stop();
+    EXPECT_FALSE(b.push(makeRequest())); // rejected after stop
+
+    std::vector<PendingRequestPtr> out;
+    std::size_t taken = 0;
+    std::size_t n;
+    while ((n = b.pop(out)) > 0)
+        taken += n;
+    EXPECT_EQ(taken, 5u); // everything queued before stop still drains
+    EXPECT_EQ(b.pop(out), 0u); // and the exit signal is sticky
+}
+
+TEST(RequestBatcherTest, ConcurrentConsumersNeverSeeAFalseExitSignal)
+{
+    // Regression: with several consumers past the phase-1 wait, one
+    // can drain the queue while another sits in the phase-2 deadline
+    // wait; the loser must go back to waiting, NOT return 0 (the exit
+    // signal) while the batcher is live -- returning 0 would
+    // permanently kill a serve lane.
+    RequestBatcher b({/*maxBatch=*/8, /*maxDelayUs=*/2000});
+    constexpr std::size_t kRequests = 600;
+    std::atomic<std::size_t> taken{0};
+    std::atomic<bool> false_exit{false};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&b, &taken, &false_exit] {
+            std::vector<PendingRequestPtr> out;
+            for (;;) {
+                const std::size_t n = b.pop(out);
+                if (n == 0) {
+                    // Only legitimate after stop() with a dry queue.
+                    if (b.push(makeRequest()))
+                        false_exit.store(true);
+                    return;
+                }
+                taken.fetch_add(n);
+            }
+        });
+    }
+    // Bursty producer: bursts wake all consumers at once, maximizing
+    // drained-queue races in the deadline wait.
+    for (std::size_t i = 0; i < kRequests;) {
+        for (std::size_t j = 0; j < 5 && i < kRequests; ++j, ++i)
+            ASSERT_TRUE(b.push(makeRequest()));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    while (taken.load() < kRequests)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    b.stop();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(taken.load(), kRequests);
+    EXPECT_FALSE(false_exit.load());
+}
+
+TEST(RequestBatcherTest, StopWakesABlockedConsumer)
+{
+    RequestBatcher b({/*maxBatch=*/8, /*maxDelayUs=*/1000});
+    std::vector<PendingRequestPtr> out;
+    std::thread consumer([&b, &out] {
+        std::vector<PendingRequestPtr> local;
+        EXPECT_EQ(b.pop(local), 0u); // empty + stopped -> exit
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    b.stop();
+    consumer.join();
+}
+
+} // namespace
+} // namespace lazydp

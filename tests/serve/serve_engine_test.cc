@@ -1,0 +1,191 @@
+/** @file Unit tests for ServeEngine + LoadGenerator. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "serve/load_generator.h"
+#include "serve/serve_engine.h"
+#include "serve/snapshot_store.h"
+
+namespace lazydp {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    return mc;
+}
+
+TEST(ServeEngineTest, ScoresMatchADirectForwardBitExactly)
+{
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 42);
+    ModelSnapshotStore store;
+    store.publish(model, 3);
+
+    ThreadPool pool(1);
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.batch.maxBatch = 4;
+    opts.batch.maxDelayUs = 100;
+    ServeEngine engine(store, mc, pool, opts);
+
+    LoadOptions lopts;
+    lopts.seed = 9;
+    LoadGenerator generator(engine, mc, lopts);
+
+    for (std::uint64_t id = 0; id < 20; ++id) {
+        const ServeQuery query = generator.makeQuery(id);
+
+        // Reference: the same example as a batch-of-1 const forward.
+        MiniBatch mb;
+        mb.resize(1, mc.numTables, mc.pooling, mc.numDense);
+        std::memcpy(mb.dense.row(0).data(), query.dense.data(),
+                    mc.numDense * sizeof(float));
+        for (std::size_t t = 0; t < mc.numTables; ++t)
+            std::memcpy(mb.indices.data() + t * mc.pooling,
+                        query.indices.data() + t * mc.pooling,
+                        mc.pooling * sizeof(std::uint32_t));
+        DlrmWorkspace ws;
+        Tensor logits;
+        store.current()->model.forward(mb, logits,
+                                       ws, ExecContext::serial());
+        const float expected =
+            1.0f / (1.0f + std::exp(-logits.at(0, 0)));
+
+        auto request = engine.submit(query);
+        ASSERT_NE(request, nullptr);
+        const ServeResult &r = request->wait();
+        // Per-example forward rows are batch-size-invariant (the
+        // replica path's contract), so this holds at any micro-batch.
+        EXPECT_EQ(r.score, expected) << "query " << id;
+        EXPECT_EQ(r.version, 1u);
+        EXPECT_EQ(r.iteration, 3u);
+        EXPECT_GE(r.batchSize, 1u);
+        EXPECT_GT(r.score, 0.0f);
+        EXPECT_LT(r.score, 1.0f);
+    }
+
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.served, 20u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_EQ(stats.minVersion, 1u);
+    EXPECT_EQ(stats.maxVersion, 1u);
+}
+
+TEST(ServeEngineTest, SubmitAfterStopIsRejected)
+{
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 1);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+
+    ThreadPool pool(1);
+    ServeOptions opts;
+    opts.threads = 1;
+    ServeEngine engine(store, mc, pool, opts);
+    LoadOptions lopts;
+    LoadGenerator generator(engine, mc, lopts);
+
+    engine.stop();
+    EXPECT_EQ(engine.submit(generator.makeQuery(0)), nullptr);
+    engine.stop(); // idempotent
+}
+
+TEST(ServeEngineTest, StopBeforeFirstPublishDoesNotDeadlock)
+{
+    // Regression: a lane waiting for the first publish must observe
+    // stop() -- otherwise ~ServeEngine joins forever -- and the queued
+    // request must complete (version 0 = never scored) so no client
+    // blocks.
+    const ModelConfig mc = tinyConfig();
+    ModelSnapshotStore store; // never published
+    ThreadPool pool(1);
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.batch.maxBatch = 1;
+    ServeEngine engine(store, mc, pool, opts);
+    LoadOptions lopts;
+    LoadGenerator generator(engine, mc, lopts);
+
+    auto request = engine.submit(generator.makeQuery(0));
+    ASSERT_NE(request, nullptr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    engine.stop(); // must return, not deadlock
+    const ServeResult &r = request->wait();
+    EXPECT_EQ(r.version, 0u);
+}
+
+TEST(LoadGeneratorTest, QueriesAreDeterministicAndInRange)
+{
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 1);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+    ThreadPool pool(1);
+    ServeOptions opts;
+    ServeEngine engine(store, mc, pool, opts);
+
+    LoadOptions lopts;
+    lopts.seed = 123;
+    lopts.access = AccessConfig::criteoHigh();
+    LoadGenerator a(engine, mc, lopts);
+    LoadGenerator b(engine, mc, lopts);
+    for (std::uint64_t id : {0ull, 1ull, 57ull}) {
+        const ServeQuery qa = a.makeQuery(id);
+        const ServeQuery qb = b.makeQuery(id);
+        EXPECT_EQ(qa.dense, qb.dense);
+        EXPECT_EQ(qa.indices, qb.indices);
+        EXPECT_EQ(qa.dense.size(), mc.numDense);
+        EXPECT_EQ(qa.indices.size(), mc.numTables * mc.pooling);
+        for (const float d : qa.dense) {
+            EXPECT_GE(d, -1.0f);
+            EXPECT_LT(d, 1.0f);
+        }
+        for (const std::uint32_t idx : qa.indices)
+            EXPECT_LT(idx, mc.rowsPerTable);
+    }
+    // Different seeds decorrelate.
+    lopts.seed = 124;
+    LoadGenerator c(engine, mc, lopts);
+    EXPECT_NE(c.makeQuery(0).dense, a.makeQuery(0).dense);
+}
+
+TEST(LoadGeneratorTest, OpenLoopCompletesAndMeasures)
+{
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 7);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+    ThreadPool pool(1);
+    ServeOptions opts;
+    opts.threads = 1;
+    opts.batch.maxBatch = 8;
+    opts.batch.maxDelayUs = 500;
+    ServeEngine engine(store, mc, pool, opts);
+
+    LoadOptions lopts;
+    lopts.requests = 200;
+    lopts.qps = 5000.0; // open loop
+    lopts.seed = 3;
+    LoadGenerator generator(engine, mc, lopts);
+    const LoadReport report = generator.run();
+
+    EXPECT_EQ(report.completed, 200u);
+    EXPECT_GT(report.qps(), 0.0);
+    EXPECT_EQ(report.latency.count, 200u);
+    EXPECT_GT(report.latency.p50, 0.0);
+    EXPECT_LE(report.latency.p50, report.latency.p999);
+    EXPECT_EQ(report.minVersion, 1u);
+    EXPECT_EQ(report.maxVersion, 1u);
+    EXPECT_GE(report.meanBatch, 1.0);
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,139 @@
+/** @file Unit tests for ModelSnapshotStore (RCU snapshot exchange). */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nn/model_config.h"
+#include "serve/snapshot_store.h"
+
+namespace lazydp {
+namespace {
+
+/** @return true when every parameter tensor is bytewise identical. */
+bool
+weightsEqual(const DlrmModel &a, const DlrmModel &b)
+{
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        if (std::memcmp(wa.data(), wb.data(),
+                        wa.size() * sizeof(float)) != 0)
+            return false;
+    }
+    auto mlp_equal = [](const Mlp &ma, const Mlp &mb) {
+        for (std::size_t l = 0; l < ma.layers().size(); ++l) {
+            const auto &la = ma.layers()[l];
+            const auto &lb = mb.layers()[l];
+            if (std::memcmp(la.weight().data(), lb.weight().data(),
+                            la.weight().size() * sizeof(float)) != 0)
+                return false;
+            if (std::memcmp(la.bias().data(), lb.bias().data(),
+                            la.bias().size() * sizeof(float)) != 0)
+                return false;
+        }
+        return true;
+    };
+    return mlp_equal(a.bottomMlp(), b.bottomMlp()) &&
+           mlp_equal(a.topMlp(), b.topMlp());
+}
+
+/** Set every parameter of @p m to the constant @p v. */
+void
+fillWeights(DlrmModel &m, float v)
+{
+    for (auto &t : m.tables())
+        t.weights().fill(v);
+    for (auto *mlp : {&m.bottomMlp(), &m.topMlp()})
+        for (auto &layer : mlp->layers()) {
+            layer.weight().fill(v);
+            layer.bias().fill(v);
+        }
+}
+
+TEST(SnapshotStoreTest, EmptyStoreHasNoSnapshot)
+{
+    ModelSnapshotStore store;
+    EXPECT_EQ(store.current(), nullptr);
+    EXPECT_EQ(store.version(), 0u);
+}
+
+TEST(SnapshotStoreTest, PublishCopiesWeightsAndStampsVersions)
+{
+    const ModelConfig cfg = ModelConfig::tiny();
+    DlrmModel model(cfg, 42);
+    ModelSnapshotStore store;
+
+    store.publish(model, 7);
+    auto snap = store.current();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, 1u);
+    EXPECT_EQ(snap->iteration, 7u);
+    EXPECT_EQ(store.version(), 1u);
+    EXPECT_TRUE(weightsEqual(snap->model, model));
+
+    // Mutating the source afterwards must not leak into the snapshot.
+    fillWeights(model, 0.25f);
+    EXPECT_FALSE(weightsEqual(snap->model, model));
+
+    store.publish(model, 9);
+    auto snap2 = store.current();
+    EXPECT_EQ(snap2->version, 2u);
+    EXPECT_EQ(snap2->iteration, 9u);
+    EXPECT_TRUE(weightsEqual(snap2->model, model));
+    // The old snapshot a reader still holds is untouched.
+    EXPECT_EQ(snap->version, 1u);
+    EXPECT_FALSE(weightsEqual(snap->model, model));
+}
+
+TEST(SnapshotStoreTest, HeldSnapshotsSurviveLaterPublishes)
+{
+    const ModelConfig cfg = ModelConfig::tiny();
+    DlrmModel model(cfg, 1);
+    ModelSnapshotStore store;
+
+    // v1 held by a reader across three more publishes: its weights
+    // must survive untouched (reclamation waits for the last reader).
+    fillWeights(model, 1.0f);
+    store.publish(model, 1);
+    auto held = store.current();
+
+    fillWeights(model, 2.0f);
+    store.publish(model, 2);
+    fillWeights(model, 3.0f);
+    store.publish(model, 3);
+    fillWeights(model, 4.0f);
+    store.publish(model, 4);
+
+    EXPECT_EQ(held->version, 1u);
+    EXPECT_FLOAT_EQ(held->model.tables()[0].weights().at(0, 0), 1.0f);
+    EXPECT_EQ(store.current()->version, 4u);
+    EXPECT_FLOAT_EQ(
+        store.current()->model.tables()[0].weights().at(0, 0), 4.0f);
+}
+
+TEST(SnapshotStoreTest, VersionsAreDenseAndIncreasing)
+{
+    const ModelConfig cfg = ModelConfig::tiny();
+    DlrmModel model(cfg, 3);
+    ModelSnapshotStore store;
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        store.publish(model, i * 5);
+        EXPECT_EQ(store.version(), i);
+        EXPECT_EQ(store.current()->version, i);
+        EXPECT_EQ(store.current()->iteration, i * 5);
+    }
+}
+
+TEST(CopyWeightsFromTest, RoundTripsEveryParameter)
+{
+    const ModelConfig cfg = ModelConfig::tiny();
+    const DlrmModel src(cfg, 1234);
+    DlrmModel dst(cfg, 999); // different init
+    EXPECT_FALSE(weightsEqual(src, dst));
+    dst.copyWeightsFrom(src);
+    EXPECT_TRUE(weightsEqual(src, dst));
+}
+
+} // namespace
+} // namespace lazydp

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * lazydp_serve — the train-and-serve driver.
+ *
+ * Turns the trainer into an online system: the main thread trains a DP
+ * engine and publishes versioned model snapshots every
+ * --publish-every iterations, while --serve-threads serve lanes score
+ * deadline-batched single-user queries against the latest snapshot and
+ * a load generator measures throughput and tail latency (p50/p95/p99/
+ * p999). With --train-iters=0 it serves the freshly initialized model
+ * only (serve-only baseline).
+ *
+ * Examples:
+ *   lazydp_serve --algo=lazydp --model=mlperf --train-iters=50 \
+ *                --publish-every=10 --serve-threads=2 --requests=2000
+ *   lazydp_serve --train-iters=0 --serve-qps=500 --max-batch=16 \
+ *                --max-delay-us=500 --serve-skew=high
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/factory.h"
+#include "data/data_loader.h"
+#include "serve/load_generator.h"
+#include "serve/serve_engine.h"
+#include "serve/snapshot_store.h"
+#include "train/trainer.h"
+
+using namespace lazydp;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(
+        argc, argv,
+        std::vector<FlagSpec>{
+         {"algo", "training engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|"
+                  "lazydp|lazydp-noans"},
+         {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
+                   "rmc3|tiny"},
+         {"table-mb", "total embedding-table megabytes"},
+         {"batch", "training mini-batch (lot) size"},
+         {"train-iters", "training iterations (0 = serve-only: score "
+                         "the freshly initialized model)"},
+         {"lr", "learning rate"},
+         {"sigma", "DP noise multiplier"},
+         {"clip", "per-example gradient clipping norm C"},
+         {"skew", "TRAINING data skew: uniform|low|medium|high|zipf"},
+         {"seed", "model/data/query seed"},
+         {"threads", "training execution width (0 = all hardware "
+                     "threads)"},
+         {"pipeline", "on|off: training stage pipeline"},
+         {"replicas", "1|2|4 training data-parallel workers"},
+         {"kernels", "SIMD backend: scalar|avx2|auto"},
+         {"publish-every", "publish a model snapshot every N training "
+                           "iterations"},
+         {"serve-threads", "number of serve lanes (dedicated inference "
+                           "workers)"},
+         {"serve-qps", "open-loop arrival rate in queries/s (0 = "
+                       "closed loop)"},
+         {"serve-concurrency", "closed loop: clients with one request "
+                               "in flight each"},
+         {"requests", "total queries the load generator issues"},
+         {"max-batch", "micro-batch coalescing cap (1 = no batching)"},
+         {"max-delay-us", "batching deadline: max microseconds the "
+                          "oldest query waits"},
+         {"serve-skew", "QUERY skew: uniform|low|medium|high|zipf"},
+         {"csv", "print the result table as CSV"},
+         {"help", "print this listing"}});
+    if (args.has("help")) {
+        std::printf("%s",
+                    args.helpText("lazydp_serve",
+                                  "concurrent train-and-serve driver: "
+                                  "versioned snapshots + deadline-"
+                                  "batched DLRM inference under load")
+                        .c_str());
+        return 0;
+    }
+
+    const std::string algo_name = args.getString("algo", "lazydp");
+    const std::uint64_t table_mb = args.getU64("table-mb", 96);
+    const ModelConfig model_cfg =
+        modelPreset(args.getString("model", "mlperf"), table_mb << 20);
+    const std::size_t batch = args.getU64("batch", 1024);
+    const std::uint64_t train_iters = args.getU64("train-iters", 50);
+    const std::uint64_t seed = args.getU64("seed", 1);
+    const std::uint64_t publish_every = args.getU64("publish-every", 10);
+    if (publish_every == 0)
+        fatal("--publish-every must be positive");
+
+    TrainHyper hyper;
+    hyper.lr = static_cast<float>(args.getDouble("lr", 0.05));
+    hyper.noiseMultiplier =
+        static_cast<float>(args.getDouble("sigma", 1.0));
+    hyper.clipNorm = static_cast<float>(args.getDouble("clip", 1.0));
+    hyper.noiseSeed = seed * 0x9E3779B9u + 7;
+
+    DlrmModel model(model_cfg, seed);
+    DatasetConfig data_cfg;
+    data_cfg.numDense = model_cfg.numDense;
+    data_cfg.numTables = model_cfg.numTables;
+    data_cfg.rowsPerTable = model_cfg.rowsPerTable;
+    data_cfg.rowsPerTableVec = model_cfg.rowsPerTableVec;
+    data_cfg.pooling = model_cfg.pooling;
+    data_cfg.batchSize = batch;
+    data_cfg.access = accessPreset(args.getString("skew", "uniform"));
+    data_cfg.seed = seed + 0xDA7A;
+    SyntheticDataset dataset(data_cfg);
+    SequentialLoader loader(dataset);
+
+    const std::size_t threads = args.getThreads(1);
+    const std::string kernels_name = args.applyKernels();
+    ThreadPool pool(threads);
+    ExecContext exec(&pool);
+
+    // --- serving tier -------------------------------------------------
+    ModelSnapshotStore store;
+    // Version 1 is the initial (iteration-0) model so serving has a
+    // snapshot from the first request on, train or no train.
+    store.publish(model, 0);
+
+    ServeOptions serve_opts;
+    serve_opts.threads = args.getU64("serve-threads", 2);
+    serve_opts.batch.maxBatch = args.getU64("max-batch", 32);
+    serve_opts.batch.maxDelayUs = args.getU64("max-delay-us", 200);
+    ServeEngine engine(store, model_cfg, pool, serve_opts);
+
+    LoadOptions load_opts;
+    load_opts.requests = args.getU64("requests", 1000);
+    load_opts.qps = args.getDouble("serve-qps", 0.0);
+    load_opts.concurrency = args.getU64("serve-concurrency", 4);
+    load_opts.seed = seed + 0x5E12;
+    load_opts.access =
+        accessPreset(args.getString("serve-skew", "uniform"));
+    LoadGenerator generator(engine, model_cfg, load_opts);
+
+    inform("serving ", model_cfg.name, " (",
+           humanBytes(model.tableBytes()), " tables) with ",
+           serve_opts.threads, " serve lanes, max-batch ",
+           serve_opts.batch.maxBatch, ", max-delay ",
+           serve_opts.batch.maxDelayUs, " us, ",
+           load_opts.qps > 0.0 ? "open" : "closed", " loop, ",
+           load_opts.requests, " requests; training ", algo_name,
+           " for ", train_iters, " iters (publish every ",
+           publish_every, "), kernels ", kernels_name);
+
+    // --- concurrent load + training ----------------------------------
+    LoadReport report;
+    std::thread load_thread(
+        [&generator, &report] { report = generator.run(); });
+
+    TrainResult train_result;
+    if (train_iters > 0) {
+        auto algo = makeAlgorithm(algo_name, model, hyper);
+        Trainer trainer(*algo, loader, &exec);
+        TrainOptions options;
+        options.pipeline = args.getBool("pipeline", false);
+        options.replicas = args.getU64("replicas", 1);
+        options.publishEveryIters = publish_every;
+        options.snapshotStore = &store;
+        options.recordIterSeconds = true;
+        train_result = trainer.run(train_iters, options);
+    }
+    load_thread.join();
+    engine.stop();
+
+    // --- sanity (the CI smoke leans on these) -------------------------
+    if (report.completed != load_opts.requests)
+        fatal("served ", report.completed, " of ", load_opts.requests,
+              " requests");
+    if (report.qps() <= 0.0)
+        fatal("zero serving throughput");
+    // Startup publishes version 1; training must add exactly one
+    // version per --publish-every iterations (a vacuous "> 0" check
+    // would pass on the startup publish alone and miss a broken
+    // Trainer publish path).
+    const std::uint64_t expected_version =
+        1 + train_iters / publish_every;
+    if (store.version() != expected_version)
+        fatal("expected snapshot version ", expected_version,
+              " after training, got ", store.version());
+
+    // --- report -------------------------------------------------------
+    const ServeStats sstats = engine.stats();
+    TablePrinter table("Serve: " + model_cfg.name + " (" + algo_name +
+                       ")");
+    table.setHeader({"metric", "value"});
+    table.addRow({"requests", TablePrinter::num(report.completed, 0)});
+    table.addRow({"throughput qps", TablePrinter::num(report.qps(), 1)});
+    table.addRow(
+        {"latency p50 ms",
+         TablePrinter::num(report.latency.p50 * 1e3, 3)});
+    table.addRow(
+        {"latency p95 ms",
+         TablePrinter::num(report.latency.p95 * 1e3, 3)});
+    table.addRow(
+        {"latency p99 ms",
+         TablePrinter::num(report.latency.p99 * 1e3, 3)});
+    table.addRow(
+        {"latency p999 ms",
+         TablePrinter::num(report.latency.p999 * 1e3, 3)});
+    table.addRow({"mean micro-batch",
+                  TablePrinter::num(sstats.meanBatch(), 2)});
+    table.addRow({"micro-batches",
+                  TablePrinter::num(
+                      static_cast<double>(sstats.batches), 0)});
+    table.addRow({"snapshot version",
+                  TablePrinter::num(
+                      static_cast<double>(store.version()), 0)});
+    table.addRow({"versions served",
+                  TablePrinter::num(
+                      static_cast<double>(report.minVersion), 0) +
+                      ".." +
+                      TablePrinter::num(
+                          static_cast<double>(report.maxVersion), 0)});
+    if (train_iters > 0) {
+        table.addRow(
+            {"train sec/iter",
+             TablePrinter::num(train_result.secondsPerIteration(), 4)});
+        const auto iter_pct =
+            stats::computePercentiles(train_result.iterSeconds);
+        table.addRow({"train sec/iter p99",
+                      TablePrinter::num(iter_pct.p99, 4)});
+    }
+    if (args.getBool("csv", false))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

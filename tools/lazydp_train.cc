@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/cli.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/table_printer.h"
@@ -31,80 +32,53 @@
 
 using namespace lazydp;
 
-namespace {
-
-ModelConfig
-modelFor(const std::string &name, std::uint64_t table_bytes)
-{
-    if (name == "mlperf")
-        return ModelConfig::mlperfBench(table_bytes);
-    if (name == "mlperf-full")
-        return ModelConfig::mlperfDlrm(table_bytes);
-    if (name == "mlperf-hetero")
-        return ModelConfig::mlperfHetero(table_bytes);
-    if (name == "rmc1")
-        return ModelConfig::rmc1(table_bytes);
-    if (name == "rmc2")
-        return ModelConfig::rmc2(table_bytes);
-    if (name == "rmc3")
-        return ModelConfig::rmc3(table_bytes);
-    if (name == "tiny")
-        return ModelConfig::tiny();
-    fatal("unknown model '", name,
-          "' (mlperf, mlperf-full, mlperf-hetero, rmc1-3, tiny)");
-}
-
-AccessConfig
-accessFor(const std::string &name)
-{
-    if (name == "uniform")
-        return AccessConfig::uniform();
-    if (name == "low")
-        return AccessConfig::criteoLow();
-    if (name == "medium")
-        return AccessConfig::criteoMedium();
-    if (name == "high")
-        return AccessConfig::criteoHigh();
-    fatal("unknown skew '", name, "' (uniform, low, medium, high)");
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv,
-                       {"algo", "model", "table-mb", "batch", "iters",
-                        "pooling", "lr", "sigma", "clip", "weight-decay",
-                        "skew", "seed", "population", "delta", "save",
-                        "csv", "threads", "pipeline", "replicas",
-                        "kernels", "help"});
+    const CliArgs args(
+        argc, argv,
+        std::vector<FlagSpec>{
+         {"algo", "engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|lazydp|"
+                  "lazydp-noans"},
+         {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
+                   "rmc3|tiny"},
+         {"table-mb", "total embedding-table megabytes"},
+         {"batch", "mini-batch (lot) size"},
+         {"iters", "training iterations"},
+         {"pooling", "embedding lookups per table per example"},
+         {"lr", "learning rate"},
+         {"sigma", "DP noise multiplier"},
+         {"clip", "per-example gradient clipping norm C"},
+         {"weight-decay", "L2 weight decay lambda (deferred by LazyDP)"},
+         {"skew", "table-access skew: uniform|low|medium|high|zipf"},
+         {"seed", "model/data seed"},
+         {"population", "privacy accounting: training population N"},
+         {"delta", "privacy accounting: target delta"},
+         {"threads", "execution width (0 = all hardware threads; "
+                     "bit-identical model for every N)"},
+         {"pipeline", "on|off: overlap noise prep + batch prefetch "
+                      "with compute (bit-identical model)"},
+         {"replicas", "1|2|4 lot-sharded data-parallel workers "
+                      "(bit-identical model)"},
+         {"kernels", "SIMD backend: scalar|avx2|auto (scalar is the "
+                     "bit-exact golden reference)"},
+         {"save", "write a checkpoint here (LazyDP: full training "
+                  "state)"},
+         {"csv", "print the result table as CSV"},
+         {"help", "print this listing"}});
     if (args.has("help")) {
-        std::printf(
-            "lazydp_train --algo=<%s>\n"
-            "  --model=mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|rmc3|"
-            "tiny\n"
-            "  --table-mb=N --batch=N --iters=N --pooling=N\n"
-            "  --lr=F --sigma=F --clip=F --weight-decay=F\n"
-            "  --skew=uniform|low|medium|high --seed=N\n"
-            "  --population=N --delta=F (privacy accounting)\n"
-            "  --threads=N (0 = all hardware threads; the final model\n"
-            "               is bit-identical for every N)\n"
-            "  --pipeline[=on|off] (overlap noise prep + batch prefetch\n"
-            "               with compute; bit-identical model)\n"
-            "  --replicas=1|2|4 (lot-sharded data-parallel workers;\n"
-            "               bit-identical model at every count)\n"
-            "  --kernels=scalar|avx2|auto (SIMD kernel backend; scalar\n"
-            "               is the bit-exact golden reference)\n"
-            "  --save=PATH (LazyDP training checkpoint)  --csv\n",
-            "sgd,dpsgd-b,dpsgd-r,dpsgd-f,eana,lazydp,lazydp-noans");
+        std::printf("%s",
+                    args.helpText("lazydp_train",
+                                  "command-line DP training driver "
+                                  "(one binary, any engine/model/skew)")
+                        .c_str());
         return 0;
     }
 
     const std::string algo_name = args.getString("algo", "lazydp");
     const std::uint64_t table_mb = args.getU64("table-mb", 96);
     ModelConfig model_cfg =
-        modelFor(args.getString("model", "mlperf"), table_mb << 20);
+        modelPreset(args.getString("model", "mlperf"), table_mb << 20);
     if (args.has("pooling"))
         model_cfg.pooling = args.getU64("pooling", model_cfg.pooling);
 
@@ -131,7 +105,7 @@ main(int argc, char **argv)
     data_cfg.rowsPerTableVec = model_cfg.rowsPerTableVec;
     data_cfg.pooling = model_cfg.pooling;
     data_cfg.batchSize = batch;
-    data_cfg.access = accessFor(args.getString("skew", "uniform"));
+    data_cfg.access = accessPreset(args.getString("skew", "uniform"));
     data_cfg.seed = seed + 0xDA7A;
     SyntheticDataset dataset(data_cfg);
     SequentialLoader loader(dataset);
@@ -154,6 +128,7 @@ main(int argc, char **argv)
     TrainOptions options;
     options.pipeline = pipeline;
     options.replicas = replicas;
+    options.recordIterSeconds = true;
     const TrainResult result = trainer.run(iters, options);
 
     TablePrinter table("Result: " + algo->name());
@@ -166,6 +141,12 @@ main(int argc, char **argv)
                   TablePrinter::num(result.busySeconds() /
                                         static_cast<double>(iters),
                                     4)});
+    const auto iter_pct =
+        stats::computePercentiles(result.iterSeconds);
+    table.addRow({"sec/iter p95",
+                  TablePrinter::num(iter_pct.p95, 4)});
+    table.addRow({"sec/iter p99",
+                  TablePrinter::num(iter_pct.p99, 4)});
     table.addRow({"total wall s",
                   TablePrinter::num(result.wallSeconds +
                                         result.finalizeSeconds,
