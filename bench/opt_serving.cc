@@ -1,20 +1,24 @@
 /**
  * @file
  * Serving-tier benchmark: throughput + tail latency vs. batching
- * policy, serve-only vs. serve-while-train.
+ * policy, serve-only vs. serve-while-train, full vs. delta snapshots.
  *
- * Sweeps three micro-batching policies over the ServeEngine:
+ * Four measurement groups, one JSON:
  *
- *   nobatch    max_batch=1             latency-optimal, no coalescing
- *   balanced   max_batch=8,  200 us    small batches under a tight
- *                                      deadline
- *   throughput max_batch=32, 1000 us   deep coalescing, deadline an
- *                                      order of magnitude looser
+ *  1. Batching-policy sweep (nobatch / balanced / throughput), each
+ *     measured on a CLOSED loop (one-in-flight clients; demand-limited
+ *     throughput) AND an OPEN loop (fixed arrival schedule; latency
+ *     from the scheduled arrival, the coordinated-omission-safe
+ *     number) against a frozen snapshot.
+ *  2. Serve-while-train: the closed-loop legs repeated while a LazyDP
+ *     trainer concurrently retrains and republishes the model.
+ *  3. Freshness: --publish-every=1 serve-while-train, full vs. delta
+ *     snapshot stores -- what per-iteration serving freshness costs
+ *     the trainer under each publication mode.
+ *  4. Publish-cost scaling: mean publish wall time vs. embedding-table
+ *     size for both modes (no serving) -- full grows with the table,
+ *     delta with the rows the lot actually dirtied.
  *
- * Each policy is measured twice: against a frozen snapshot
- * (serve-only) and while a LazyDP trainer concurrently retrains and
- * republishes the model (serve-while-train) -- the paper's train-side
- * claim meets the ROADMAP's serve-side north star in one table.
  * Emits BENCH_serving.json.
  */
 
@@ -33,23 +37,12 @@
 #include "serve/load_generator.h"
 #include "serve/serve_engine.h"
 #include "serve/snapshot_store.h"
+#include "train/dirty_tracker.h"
 #include "train/trainer.h"
 
 using namespace lazydp;
 
 namespace {
-
-struct PolicyResult
-{
-    std::string name;
-    BatchPolicy policy;
-    LoadReport serveOnly;
-    double serveOnlyMeanBatch = 0.0;
-    LoadReport whileTrain;
-    double whileTrainMeanBatch = 0.0;
-    double trainSecPerIter = 0.0;     //!< training speed under load
-    std::uint64_t versionsPublished = 0;
-};
 
 struct BenchSetup
 {
@@ -57,20 +50,59 @@ struct BenchSetup
     std::uint64_t requests;
     std::size_t serveThreads;
     std::size_t concurrency;
+    double openQps;
     std::uint64_t trainIters;
     std::size_t trainBatch;
     std::size_t trainThreads;
     std::uint64_t seed;
 };
 
-/** One (policy, mode) measurement. */
-LoadReport
+/** Everything one (policy, loop, train, store-mode) run produces. */
+struct Measurement
+{
+    LoadReport report;
+    double meanBatch = 0.0;
+    double trainSecPerIter = 0.0;
+    std::uint64_t versions = 0;
+    PublishTotals publish;
+};
+
+struct PolicyResult
+{
+    std::string name;
+    BatchPolicy policy;
+    Measurement closed;     //!< closed loop, frozen snapshot
+    Measurement open;       //!< open loop, frozen snapshot
+    Measurement whileTrain; //!< closed loop, concurrent training
+};
+
+/** Full-vs-delta at --publish-every=1 (group 3). */
+struct FreshnessResult
+{
+    std::string mode;
+    Measurement m;
+};
+
+/** One table size of the publish-cost sweep (group 4). */
+struct ScalePoint
+{
+    std::uint64_t tableMb = 0;
+    double fullPublishMs = 0.0;
+    double deltaPublishMs = 0.0;
+    std::uint64_t fullRowsPerPublish = 0;
+    std::uint64_t deltaRowsPerPublish = 0;
+};
+
+/** One (policy, loop, train, store-mode) measurement. */
+Measurement
 measure(const BenchSetup &setup, const BatchPolicy &policy,
-        bool train_concurrently, double &mean_batch,
-        double &train_sec_per_iter, std::uint64_t &versions)
+        double open_qps, bool train_concurrently,
+        SnapshotMode snap_mode, std::uint64_t publish_every)
 {
     DlrmModel model(setup.model, setup.seed);
-    ModelSnapshotStore store;
+    SnapshotOptions snap_opts;
+    snap_opts.mode = snap_mode;
+    ModelSnapshotStore store(snap_opts);
     store.publish(model, 0);
 
     ThreadPool pool(setup.trainThreads);
@@ -82,13 +114,14 @@ measure(const BenchSetup &setup, const BatchPolicy &policy,
 
     LoadOptions load_opts;
     load_opts.requests = setup.requests;
+    load_opts.qps = open_qps;
     load_opts.concurrency = setup.concurrency;
     load_opts.seed = setup.seed + 0x10AD;
     LoadGenerator generator(engine, setup.model, load_opts);
 
-    LoadReport report;
+    Measurement out;
     std::thread load_thread(
-        [&generator, &report] { report = generator.run(); });
+        [&generator, &out] { out.report = generator.run(); });
 
     if (train_concurrently) {
         SyntheticDataset dataset(bench::datasetFor(
@@ -100,43 +133,104 @@ measure(const BenchSetup &setup, const BatchPolicy &policy,
         auto algo = makeAlgorithm("lazydp", model, hyper);
         Trainer trainer(*algo, loader, &exec);
         TrainOptions options;
-        options.publishEveryIters = 5;
+        options.publishEveryIters = publish_every;
         options.snapshotStore = &store;
         options.recordLosses = false;
         const TrainResult result =
             trainer.run(setup.trainIters, options);
-        train_sec_per_iter = result.secondsPerIteration();
+        out.trainSecPerIter = result.secondsPerIteration();
     }
     load_thread.join();
     engine.stop();
-    mean_batch = engine.stats().meanBatch();
-    versions = store.version();
-    return report;
+    out.meanBatch = engine.stats().meanBatch();
+    out.versions = store.version();
+    out.publish = store.totals();
+    return out;
+}
+
+/**
+ * Steady-state publish cost at --publish-every=1 for @p table_mb
+ * tables: mean wall milliseconds (and rows copied) per publish, with
+ * the dirty set driven by real lot access patterns.
+ *
+ * Publish cost depends only on the dirty set, not on what the update
+ * wrote, so this drives the store directly -- mark the rows each lot
+ * touches, publish, repeat -- without paying for actual training
+ * (which at the large end of the sweep would dwarf the thing being
+ * measured). The first publish after markAllDirty (the full-copy run
+ * start every Trainer::run performs) is absorbed OUTSIDE the timed
+ * window: this measures the steady state the per-iteration-freshness
+ * claim is about. A small lot (64 examples), skewed access (the
+ * paper's production regime) and fine 32-row pages keep the dirty set
+ * bounded by the LOT while the table grows -- the regime where
+ * full-copy cost follows the table and delta cost does not.
+ */
+void
+scalePoint(const BenchSetup &setup, std::uint64_t table_mb,
+           SnapshotMode snap_mode, double &publish_ms,
+           std::uint64_t &rows_per_publish)
+{
+    const std::size_t kPageRows = 32;
+    const ModelConfig cfg = ModelConfig::mlperfBench(table_mb << 20);
+    DlrmModel model(cfg, setup.seed);
+    SyntheticDataset dataset(
+        bench::datasetFor(cfg, AccessConfig::criteoHigh(),
+                          /*batch=*/64, setup.seed + 0xDA7A));
+    SequentialLoader loader(dataset);
+
+    SnapshotOptions snap_opts;
+    snap_opts.mode = snap_mode;
+    snap_opts.pageRows = kPageRows;
+    ModelSnapshotStore store(snap_opts);
+    std::unique_ptr<DirtyRowTracker> tracker;
+    if (snap_mode == SnapshotMode::Delta) {
+        tracker = DirtyRowTracker::forModel(cfg, kPageRows);
+        tracker->markAllDirty();
+    }
+    store.publish(model, 0, tracker.get()); // absorb the full copy
+
+    double seconds = 0.0;
+    std::uint64_t rows = 0;
+    for (std::uint64_t i = 1; i <= setup.trainIters; ++i) {
+        const MiniBatch lot = loader.next();
+        if (tracker != nullptr)
+            for (std::size_t t = 0; t < cfg.numTables; ++t)
+                tracker->markRows(t, lot.tableIndices(t));
+        const PublishReceipt r =
+            store.publish(model, i, tracker.get());
+        seconds += r.seconds;
+        rows += r.rowsCopied;
+    }
+    publish_ms =
+        seconds * 1e3 / static_cast<double>(setup.trainIters);
+    rows_per_publish = rows / setup.trainIters;
 }
 
 void
 emitJson(const std::string &path, const BenchSetup &setup,
-         const std::vector<PolicyResult> &results)
+         const std::vector<PolicyResult> &results,
+         const std::vector<FreshnessResult> &freshness,
+         const std::vector<ScalePoint> &scaling)
 {
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return;
     }
-    auto mode = [&os](const char *key, const LoadReport &r,
-                      double mean_batch) {
-        os << "      \"" << key << "\": { \"qps\": " << r.qps()
-           << ", \"p50_ms\": " << r.latency.p50 * 1e3
-           << ", \"p95_ms\": " << r.latency.p95 * 1e3
-           << ", \"p99_ms\": " << r.latency.p99 * 1e3
-           << ", \"p999_ms\": " << r.latency.p999 * 1e3
-           << ", \"mean_batch\": " << mean_batch << " }";
+    auto mode = [&os](const char *key, const Measurement &m) {
+        os << "      \"" << key << "\": { \"qps\": " << m.report.qps()
+           << ", \"p50_ms\": " << m.report.latency.p50 * 1e3
+           << ", \"p95_ms\": " << m.report.latency.p95 * 1e3
+           << ", \"p99_ms\": " << m.report.latency.p99 * 1e3
+           << ", \"p999_ms\": " << m.report.latency.p999 * 1e3
+           << ", \"mean_batch\": " << m.meanBatch << " }";
     };
     os << "{\n  \"bench\": \"opt_serving\",\n";
     os << "  \"model\": \"" << setup.model.name << "\",\n";
     os << "  \"requests\": " << setup.requests << ",\n";
     os << "  \"serve_threads\": " << setup.serveThreads << ",\n";
     os << "  \"concurrency\": " << setup.concurrency << ",\n";
+    os << "  \"open_qps\": " << setup.openQps << ",\n";
     os << "  \"train_iters\": " << setup.trainIters << ",\n";
     os << "  \"configs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -144,18 +238,60 @@ emitJson(const std::string &path, const BenchSetup &setup,
         os << "    { \"name\": \"" << r.name << "\", \"max_batch\": "
            << r.policy.maxBatch << ", \"max_delay_us\": "
            << r.policy.maxDelayUs << ",\n";
-        mode("serve_only", r.serveOnly, r.serveOnlyMeanBatch);
+        mode("serve_only_closed", r.closed);
         os << ",\n";
-        mode("serve_while_train", r.whileTrain, r.whileTrainMeanBatch);
-        os << ",\n      \"train_sec_per_iter\": " << r.trainSecPerIter
-           << ", \"versions_published\": " << r.versionsPublished
+        mode("serve_only_open", r.open);
+        os << ",\n";
+        mode("serve_while_train", r.whileTrain);
+        os << ",\n      \"train_sec_per_iter\": "
+           << r.whileTrain.trainSecPerIter
+           << ", \"versions_published\": " << r.whileTrain.versions
            << " }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
-    os << "  \"comment\": \"closed-loop load; latency percentiles are "
-          "nearest-rank over per-request enqueue-to-completion; "
-          "serve_while_train retrains LazyDP and republishes every 5 "
-          "iterations while serving\"\n";
+    os << "  \"freshness_publish_every_1\": [\n";
+    for (std::size_t i = 0; i < freshness.size(); ++i) {
+        const auto &f = freshness[i];
+        const auto &p = f.m.publish;
+        os << "    { \"snapshot\": \"" << f.mode << "\",\n";
+        mode("serve_while_train", f.m);
+        os << ",\n      \"train_sec_per_iter\": "
+           << f.m.trainSecPerIter
+           << ", \"versions_published\": " << f.m.versions
+           << ", \"publish_ms_mean\": "
+           << (p.publishes == 0
+                   ? 0.0
+                   : p.seconds * 1e3 /
+                         static_cast<double>(p.publishes))
+           << ", \"rows_copied\": " << p.rowsCopied
+           << ", \"pages_copied\": " << p.pagesCopied
+           << ", \"pages_shared\": " << p.pagesShared
+           << ", \"buffers_recycled\": "
+           << p.snapshotsRecycled + p.pagesRecycled << " }"
+           << (i + 1 < freshness.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"publish_scaling\": [\n";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        const auto &s = scaling[i];
+        os << "    { \"table_mb\": " << s.tableMb
+           << ", \"full_publish_ms\": " << s.fullPublishMs
+           << ", \"delta_publish_ms\": " << s.deltaPublishMs
+           << ", \"full_rows_per_publish\": " << s.fullRowsPerPublish
+           << ", \"delta_rows_per_publish\": " << s.deltaRowsPerPublish
+           << " }" << (i + 1 < scaling.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"comment\": \"serve_only_closed: demand-limited closed "
+          "loop (latency = enqueue-to-completion); serve_only_open: "
+          "fixed-rate open loop at open_qps (latency from the "
+          "SCHEDULED arrival -- coordinated-omission-safe); "
+          "serve_while_train: closed loop while LazyDP retrains and "
+          "republishes every 5 iterations; freshness_publish_every_1: "
+          "publish after EVERY iteration, full vs delta stores; "
+          "publish_scaling: mean publish ms vs table size at "
+          "publish-every=1 (full copies the table, delta copies the "
+          "rows the lot dirtied)\"\n";
     os << "}\n";
     std::printf("wrote %s\n", path.c_str());
 }
@@ -167,24 +303,27 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
                        {"requests", "table-mb", "serve-threads",
-                        "concurrency", "train-iters", "train-batch",
-                        "threads", "seed", "kernels", "out", "help"});
+                        "concurrency", "open-qps", "train-iters",
+                        "train-batch", "threads", "seed", "kernels",
+                        "out", "help"});
     if (args.has("help")) {
         std::printf(
             "opt_serving [--requests=N] [--table-mb=N] "
-            "[--serve-threads=N] [--concurrency=N] [--train-iters=N] "
-            "[--train-batch=N] [--threads=N] [--seed=N] "
-            "[--kernels=scalar|avx2|auto] [--out=BENCH_serving.json]\n");
+            "[--serve-threads=N] [--concurrency=N] [--open-qps=Q] "
+            "[--train-iters=N] [--train-batch=N] [--threads=N] "
+            "[--seed=N] [--kernels=scalar|avx2|auto] "
+            "[--out=BENCH_serving.json]\n");
         return 0;
     }
     args.applyKernels();
 
     BenchSetup setup;
-    setup.model = ModelConfig::mlperfBench(
-        args.getU64("table-mb", 32) << 20);
+    const std::uint64_t table_mb = args.getU64("table-mb", 32);
+    setup.model = ModelConfig::mlperfBench(table_mb << 20);
     setup.requests = args.getU64("requests", 2000);
     setup.serveThreads = args.getU64("serve-threads", 2);
     setup.concurrency = args.getU64("concurrency", 8);
+    setup.openQps = args.getDouble("open-qps", 2000.0);
     setup.trainIters = args.getU64("train-iters", 20);
     setup.trainBatch = args.getU64("train-batch", 256);
     setup.trainThreads = args.getThreads(2);
@@ -194,8 +333,8 @@ main(int argc, char **argv)
 
     bench::printPreamble(
         "opt_serving",
-        "throughput + tail latency vs. batching policy, serve-only "
-        "vs. serve-while-train");
+        "throughput + tail latency vs. batching policy, closed + open "
+        "loops, serve-while-train, full vs. delta snapshot publishing");
 
     const std::vector<std::pair<std::string, BatchPolicy>> policies = {
         {"nobatch", {1, 0}},
@@ -208,40 +347,106 @@ main(int argc, char **argv)
         PolicyResult r;
         r.name = name;
         r.policy = policy;
-        double unused_train = 0.0;
-        std::uint64_t unused_versions = 0;
-        r.serveOnly =
-            measure(setup, policy, /*train=*/false,
-                    r.serveOnlyMeanBatch, unused_train,
-                    unused_versions);
-        r.whileTrain =
-            measure(setup, policy, /*train=*/true,
-                    r.whileTrainMeanBatch, r.trainSecPerIter,
-                    r.versionsPublished);
+        r.closed = measure(setup, policy, /*open_qps=*/0.0,
+                           /*train=*/false, SnapshotMode::Full, 5);
+        r.open = measure(setup, policy, setup.openQps,
+                         /*train=*/false, SnapshotMode::Full, 5);
+        r.whileTrain = measure(setup, policy, /*open_qps=*/0.0,
+                               /*train=*/true, SnapshotMode::Full, 5);
         results.push_back(std::move(r));
+    }
+
+    // Freshness: publish after EVERY iteration, full vs delta.
+    std::vector<FreshnessResult> freshness;
+    const BatchPolicy fresh_policy{8, 200};
+    for (const auto mode :
+         {SnapshotMode::Full, SnapshotMode::Delta}) {
+        FreshnessResult f;
+        f.mode = mode == SnapshotMode::Delta ? "delta" : "full";
+        f.m = measure(setup, fresh_policy, /*open_qps=*/0.0,
+                      /*train=*/true, mode, /*publish_every=*/1);
+        freshness.push_back(std::move(f));
+    }
+
+    // Publish-cost scaling: same lot size, growing tables. Full
+    // publish cost follows the table; delta follows the lot.
+    std::vector<ScalePoint> scaling;
+    for (const std::uint64_t mb :
+         {table_mb / 4, table_mb, table_mb * 4}) {
+        if (mb == 0)
+            continue;
+        ScalePoint s;
+        s.tableMb = mb;
+        scalePoint(setup, mb, SnapshotMode::Full, s.fullPublishMs,
+                   s.fullRowsPerPublish);
+        scalePoint(setup, mb, SnapshotMode::Delta, s.deltaPublishMs,
+                   s.deltaRowsPerPublish);
+        scaling.push_back(s);
     }
 
     TablePrinter table("Serving: batching policy sweep (" +
                        setup.model.name + ")");
     table.setHeader({"policy", "mode", "qps", "p50 ms", "p95 ms",
                      "p99 ms", "mean batch"});
+    auto addModeRow = [&table](const std::string &policy,
+                               const char *mode_name,
+                               const Measurement &m) {
+        table.addRow({policy, mode_name,
+                      TablePrinter::num(m.report.qps(), 1),
+                      TablePrinter::num(m.report.latency.p50 * 1e3, 3),
+                      TablePrinter::num(m.report.latency.p95 * 1e3, 3),
+                      TablePrinter::num(m.report.latency.p99 * 1e3, 3),
+                      TablePrinter::num(m.meanBatch, 2)});
+    };
     for (const auto &r : results) {
-        table.addRow({r.name, "serve-only",
-                      TablePrinter::num(r.serveOnly.qps(), 1),
-                      TablePrinter::num(r.serveOnly.latency.p50 * 1e3, 3),
-                      TablePrinter::num(r.serveOnly.latency.p95 * 1e3, 3),
-                      TablePrinter::num(r.serveOnly.latency.p99 * 1e3, 3),
-                      TablePrinter::num(r.serveOnlyMeanBatch, 2)});
-        table.addRow(
-            {r.name, "serve+train",
-             TablePrinter::num(r.whileTrain.qps(), 1),
-             TablePrinter::num(r.whileTrain.latency.p50 * 1e3, 3),
-             TablePrinter::num(r.whileTrain.latency.p95 * 1e3, 3),
-             TablePrinter::num(r.whileTrain.latency.p99 * 1e3, 3),
-             TablePrinter::num(r.whileTrainMeanBatch, 2)});
+        addModeRow(r.name, "closed", r.closed);
+        addModeRow(r.name, "open", r.open);
+        addModeRow(r.name, "serve+train", r.whileTrain);
     }
     table.print(std::cout);
 
-    emitJson(out_path, setup, results);
+    TablePrinter fresh_table("Freshness: --publish-every=1 (" +
+                             setup.model.name + ")");
+    fresh_table.setHeader({"snapshot", "qps", "p99 ms",
+                           "train s/iter", "publish ms", "rows/publish",
+                           "pages shared"});
+    for (const auto &f : freshness) {
+        const auto &p = f.m.publish;
+        fresh_table.addRow(
+            {f.mode, TablePrinter::num(f.m.report.qps(), 1),
+             TablePrinter::num(f.m.report.latency.p99 * 1e3, 3),
+             TablePrinter::num(f.m.trainSecPerIter, 4),
+             TablePrinter::num(
+                 p.publishes == 0
+                     ? 0.0
+                     : p.seconds * 1e3 /
+                           static_cast<double>(p.publishes),
+                 3),
+             TablePrinter::num(
+                 p.publishes == 0
+                     ? 0.0
+                     : static_cast<double>(p.rowsCopied) /
+                           static_cast<double>(p.publishes),
+                 0),
+             TablePrinter::num(static_cast<double>(p.pagesShared), 0)});
+    }
+    fresh_table.print(std::cout);
+
+    TablePrinter scale_table("Publish cost vs. table size "
+                             "(publish-every=1)");
+    scale_table.setHeader({"table MB", "full ms", "delta ms",
+                           "full rows", "delta rows"});
+    for (const auto &s : scaling)
+        scale_table.addRow(
+            {TablePrinter::num(static_cast<double>(s.tableMb), 0),
+             TablePrinter::num(s.fullPublishMs, 3),
+             TablePrinter::num(s.deltaPublishMs, 3),
+             TablePrinter::num(
+                 static_cast<double>(s.fullRowsPerPublish), 0),
+             TablePrinter::num(
+                 static_cast<double>(s.deltaRowsPerPublish), 0)});
+    scale_table.print(std::cout);
+
+    emitJson(out_path, setup, results, freshness, scaling);
     return 0;
 }

@@ -271,6 +271,8 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
     // magnitude less memory traffic than the dense eager update.
     // Merged rows are unique, so shards touch disjoint weight rows.
     timer.start(Stage::NoisyGradUpdate);
+    if (dirty_ != nullptr)
+        dirty_->markRows(t, mergedRows_);
     const float step_scale = hyper_.lr / normDenominator(batch);
     if (decayed_ == nullptr) {
         // Merged rows are unique and sorted, so each shard hands its
@@ -323,12 +325,25 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
     timer.stop();
 }
 
+bool
+LazyDpAlgorithm::enableDirtyTracking(std::size_t page_rows)
+{
+    if (dirty_ == nullptr || dirty_->pageRows() != page_rows)
+        dirty_ = DirtyRowTracker::forModel(model_.config(), page_rows);
+    return true;
+}
+
 void
 LazyDpAlgorithm::finalize(std::uint64_t last_iter, ExecContext &exec,
                           StageTimer &timer)
 {
     if (last_iter == 0)
         return;
+    // The dense catch-up sweep below touches every row of every table
+    // -- outside the sparse oracle's vocabulary, so the whole model is
+    // dirty for the next publish.
+    if (dirty_ != nullptr)
+        dirty_->markAllDirty();
     // One dense catch-up sweep: every row receives its pending noise so
     // the released model equals the eager DP-SGD model. Amortized over
     // the whole training run; attributed to Else (not a per-iteration

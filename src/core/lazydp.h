@@ -124,6 +124,14 @@ class LazyDpAlgorithm : public DpEngineBase
     void finalize(std::uint64_t last_iter, ExecContext &exec,
                   StageTimer &timer) override;
 
+    /**
+     * LazyDP's merged sparse update list (gradient rows + next-access
+     * noise rows) is exactly the set of rows each apply() mutates --
+     * the dirty oracle delta snapshot publishing needs. finalize()'s
+     * dense catch-up sweep marks everything dirty.
+     */
+    bool enableDirtyTracking(std::size_t page_rows) override;
+
     /** @return the metadata structure (tests & overhead bench). */
     const HistoryTable &historyTable() const { return history_; }
 

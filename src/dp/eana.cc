@@ -39,6 +39,14 @@ EanaAlgorithm::prepare(std::uint64_t iter, const MiniBatch &cur,
     }
 }
 
+bool
+EanaAlgorithm::enableDirtyTracking(std::size_t page_rows)
+{
+    if (dirty_ == nullptr || dirty_->pageRows() != page_rows)
+        dirty_ = DirtyRowTracker::forModel(model_.config(), page_rows);
+    return true;
+}
+
 double
 EanaAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
                      PreparedStep &prepared, ExecContext &exec,
@@ -83,6 +91,8 @@ EanaAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
 
         timer.start(Stage::NoisyGradUpdate);
         tbl.applySparse(grad, step_scale);
+        if (dirty_ != nullptr)
+            dirty_->markRows(t, grad.rows);
         timer.stop();
     }
     noisyMlpUpdate(iter, batch, exec, timer);

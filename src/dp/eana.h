@@ -70,6 +70,10 @@ class EanaAlgorithm : public DpEngineBase
                  const MiniBatch *next, PreparedStep &out,
                  ExecContext &exec, StageTimer &timer) override;
 
+    /** EANA's table update is sparse: the coalesced gradient rows are
+     * exactly the rows each apply() mutates. */
+    bool enableDirtyTracking(std::size_t page_rows) override;
+
     double apply(std::uint64_t iter, const MiniBatch &cur,
                  PreparedStep &prepared, ExecContext &exec,
                  StageTimer &timer) override;

@@ -33,6 +33,19 @@ DlrmModel::DlrmModel(const ModelConfig &config, UninitializedTables)
         tables_.emplace_back(config_.rowsForTable(t), config_.embedDim);
 }
 
+DlrmModel::DlrmModel(const ModelConfig &config, PagedTables)
+    : config_(config),
+      bottom_(config.bottomDims, 0),
+      interaction_(config.numTables + 1, config.embedDim),
+      top_(config.fullTopDims(), 0x709ull)
+{
+    config_.validate();
+    tables_.reserve(config_.numTables);
+    for (std::size_t t = 0; t < config_.numTables; ++t)
+        tables_.emplace_back(config_.rowsForTable(t), config_.embedDim,
+                             EmbeddingTable::Paged{});
+}
+
 void
 DlrmModel::prepareWorkspace(DlrmWorkspace &ws, std::size_t batch) const
 {
@@ -325,6 +338,13 @@ DlrmModel::copyWeightsFrom(const DlrmModel &other)
                       "copyWeightsFrom across different table shapes");
         tables_[t].weights().copyFrom(other.tables_[t].weights());
     }
+    bottom_.copyWeightsFrom(other.bottom_);
+    top_.copyWeightsFrom(other.top_);
+}
+
+void
+DlrmModel::copyMlpWeightsFrom(const DlrmModel &other)
+{
     bottom_.copyWeightsFrom(other.bottom_);
     top_.copyWeightsFrom(other.top_);
 }

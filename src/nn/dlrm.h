@@ -84,6 +84,21 @@ class DlrmModel
     DlrmModel(const ModelConfig &config, UninitializedTables);
 
     /**
+     * Tag selecting the DELTA-snapshot-buffer constructor: embedding
+     * tables are built in PAGED mode (EmbeddingTable::Paged) with no
+     * dense allocation at all -- ModelSnapshotStore binds refcounted
+     * page handles at publish time, sharing untouched pages with the
+     * previous snapshot. Only the const read path (workspace forward)
+     * is usable on such a model.
+     */
+    struct PagedTables
+    {
+    };
+
+    /** Delta-snapshot-buffer constructor; see PagedTables. */
+    DlrmModel(const ModelConfig &config, PagedTables);
+
+    /**
      * Forward pass over a mini-batch.
      *
      * @param mb input batch (must match the config's shape)
@@ -211,6 +226,15 @@ class DlrmModel
      * while training keeps mutating the source model.
      */
     void copyWeightsFrom(const DlrmModel &other);
+
+    /**
+     * Overwrite only the dense (MLP) parameters with @p other 's. The
+     * delta-publish path: MLPs are kilobytes and fully dirty every
+     * iteration, so they are always copied outright, while the
+     * embedding tables (the gigabytes) go through page-granular
+     * copy-on-write instead.
+     */
+    void copyMlpWeightsFrom(const DlrmModel &other);
 
     /** @return the embedding tables. */
     std::vector<EmbeddingTable> &tables() { return tables_; }

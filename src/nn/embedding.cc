@@ -16,9 +16,41 @@ EmbeddingTable::EmbeddingTable(std::uint64_t rows, std::size_t dim)
     LAZYDP_ASSERT(rows > 0 && dim > 0, "degenerate embedding table");
 }
 
+EmbeddingTable::EmbeddingTable(std::uint64_t rows, std::size_t dim,
+                               Paged)
+    : rows_(rows), dim_(dim), paged_(true)
+{
+    LAZYDP_ASSERT(rows > 0 && dim > 0, "degenerate embedding table");
+}
+
+void
+EmbeddingTable::bindPages(
+    std::size_t page_rows,
+    std::vector<std::shared_ptr<const TablePage>> pages)
+{
+    LAZYDP_ASSERT(paged_, "bindPages on a dense table");
+    LAZYDP_ASSERT(page_rows > 0, "page size must be positive");
+    LAZYDP_ASSERT(pages.size() ==
+                      (rows_ + page_rows - 1) / page_rows,
+                  "page count does not cover the table");
+    for (const auto &p : pages)
+        LAZYDP_ASSERT(p != nullptr && p->floats() >= page_rows * dim_,
+                      "undersized table page");
+    pageRows_ = page_rows;
+    pages_ = std::move(pages);
+}
+
+void
+EmbeddingTable::unbindPages()
+{
+    LAZYDP_ASSERT(paged_, "unbindPages on a dense table");
+    pages_.clear();
+}
+
 void
 EmbeddingTable::initUniform(std::uint64_t seed)
 {
+    LAZYDP_ASSERT(!paged_, "initUniform on a paged table");
     Xoshiro256 rng(seed);
     const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
     float *w = weights_.data();
@@ -39,6 +71,22 @@ EmbeddingTable::forward(std::span<const std::uint32_t> indices,
     for (const std::uint32_t row : indices)
         LAZYDP_ASSERT(row < rows_, "embedding row out of range");
     const KernelTable &kt = kernels();
+    if (paged_) {
+        // Paged gather: zero the destination, then add each gathered
+        // row in slot order. Both poolRows backends do exactly this
+        // (fill + per-slot elementwise add), so a paged snapshot scores
+        // BIT-identically to the dense table it was copied from -- the
+        // delta-vs-full parity contract rests on this.
+        LAZYDP_ASSERT(!pages_.empty(), "forward on an unbound paged table");
+        for (std::size_t e = 0; e < batch; ++e) {
+            float *dst = out.data() + e * dim_;
+            kt.fill(dst, dim_, 0.0f);
+            for (std::size_t s = 0; s < pooling; ++s)
+                kt.add(dst, dst, rowPtr(indices[e * pooling + s]),
+                       dim_);
+        }
+        return;
+    }
     for (std::size_t e = 0; e < batch; ++e) {
         kt.poolRows(out.data() + e * dim_, weights_.data(),
                     indices.data() + e * pooling, pooling, dim_);

@@ -15,9 +15,11 @@
 #define LAZYDP_NN_EMBEDDING_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "nn/table_page.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -52,6 +54,22 @@ class EmbeddingTable
      */
     EmbeddingTable(std::uint64_t rows, std::size_t dim);
 
+    /**
+     * Tag selecting the PAGED (read-only snapshot) storage mode: no
+     * dense weight tensor is allocated; instead the table later binds
+     * a vector of refcount-shared TablePages (bindPages) and serves
+     * const reads (forward / const rowPtr) straight out of them. The
+     * mutable entry points (initUniform, applySparse, weights(),
+     * mutable rowPtr) are off-limits in this mode -- a paged table is
+     * the read side of a delta snapshot, never a training target.
+     */
+    struct Paged
+    {
+    };
+
+    /** Paged-mode constructor; see Paged. */
+    EmbeddingTable(std::uint64_t rows, std::size_t dim, Paged);
+
     /** Initialize weights uniformly in [-1/sqrt(dim), 1/sqrt(dim)]. */
     void initUniform(std::uint64_t seed);
 
@@ -84,6 +102,34 @@ class EmbeddingTable
     std::uint64_t rows() const { return rows_; }
     std::size_t dim() const { return dim_; }
 
+    /** @return true in paged (snapshot read) storage mode. */
+    bool paged() const { return paged_; }
+
+    /** @return rows per bound page (0 until bindPages in paged mode). */
+    std::size_t pageRows() const { return pageRows_; }
+
+    /**
+     * Bind the paged backing store: page p holds rows
+     * [p*page_rows, min((p+1)*page_rows, rows)). Pages may be shared
+     * with other snapshots (that is the point); the table only ever
+     * reads them. Paged mode only.
+     */
+    void bindPages(std::size_t page_rows,
+                   std::vector<std::shared_ptr<const TablePage>> pages);
+
+    /**
+     * Drop all page references (retiring a snapshot shell into the
+     * recycling pool must not pin pages newer snapshots still share).
+     */
+    void unbindPages();
+
+    /** @return the bound pages (paged mode; for sharing + tests). */
+    const std::vector<std::shared_ptr<const TablePage>> &
+    pages() const
+    {
+        return pages_;
+    }
+
     /** @return mutable raw weight row (used by the DP optimizers). */
     float *
     rowPtr(std::uint64_t r)
@@ -91,10 +137,13 @@ class EmbeddingTable
         return weights_.data() + r * dim_;
     }
 
-    /** @return const raw weight row. */
+    /** @return const raw weight row (dense or paged storage). */
     const float *
     rowPtr(std::uint64_t r) const
     {
+        if (paged_)
+            return pages_[r / pageRows_]->data() +
+                   (r % pageRows_) * dim_;
         return weights_.data() + r * dim_;
     }
 
@@ -112,7 +161,11 @@ class EmbeddingTable
   private:
     std::uint64_t rows_;
     std::size_t dim_;
-    Tensor weights_;
+    Tensor weights_; //!< dense storage (empty in paged mode)
+
+    bool paged_ = false;
+    std::size_t pageRows_ = 0;
+    std::vector<std::shared_ptr<const TablePage>> pages_;
 };
 
 /**

@@ -1,0 +1,87 @@
+#include "nn/table_page.h"
+
+#include <new>
+
+#include "common/macros.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define LAZYDP_HAVE_MMAN 1
+#endif
+
+namespace lazydp {
+
+namespace {
+
+constexpr std::size_t kPageAlign = 64; //!< SIMD kernel alignment
+
+#if defined(LAZYDP_HAVE_MMAN)
+std::size_t
+roundToOsPage(std::size_t bytes)
+{
+    const auto os_page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    return (bytes + os_page - 1) / os_page * os_page;
+}
+#endif
+
+} // namespace
+
+TablePage::TablePage(std::size_t floats, bool use_mmap)
+    : floats_(floats)
+{
+    LAZYDP_ASSERT(floats > 0, "degenerate table page");
+#if defined(LAZYDP_HAVE_MMAN)
+    if (use_mmap) {
+        mapBytes_ = roundToOsPage(floats * sizeof(float));
+        void *mem = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                           MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        LAZYDP_ASSERT(mem != MAP_FAILED, "mmap of table page failed");
+        data_ = static_cast<float *>(mem);
+        mmapped_ = true;
+        return;
+    }
+#else
+    (void)use_mmap;
+#endif
+    data_ = static_cast<float *>(::operator new(
+        floats * sizeof(float), std::align_val_t{kPageAlign}));
+}
+
+TablePage::~TablePage()
+{
+#if defined(LAZYDP_HAVE_MMAN)
+    if (mmapped_) {
+        ::munmap(data_, mapBytes_); // works regardless of protection
+        return;
+    }
+#endif
+    ::operator delete(data_, std::align_val_t{kPageAlign});
+}
+
+void
+TablePage::seal()
+{
+#if defined(LAZYDP_HAVE_MMAN)
+    if (!mmapped_ || sealed_)
+        return;
+    const int rc = ::mprotect(data_, mapBytes_, PROT_READ);
+    LAZYDP_ASSERT(rc == 0, "mprotect(PROT_READ) failed");
+    sealed_ = true;
+#endif
+}
+
+void
+TablePage::unseal()
+{
+#if defined(LAZYDP_HAVE_MMAN)
+    if (!mmapped_ || !sealed_)
+        return;
+    const int rc = ::mprotect(data_, mapBytes_, PROT_READ | PROT_WRITE);
+    LAZYDP_ASSERT(rc == 0, "mprotect(PROT_READ|PROT_WRITE) failed");
+    sealed_ = false;
+#endif
+}
+
+} // namespace lazydp

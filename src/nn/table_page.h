@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TablePage: one refcount-shared block of embedding rows -- the unit
+ * of copy-on-write sharing between consecutive model snapshots.
+ *
+ * A delta snapshot's embedding table is a vector of
+ * shared_ptr<const TablePage>; pages whose rows were untouched since
+ * the previous published version are the SAME TablePage object in both
+ * snapshots (pointer-identical, refcount-shared), only dirty pages are
+ * re-materialized. A page is immutable from the moment its snapshot is
+ * published until its last owner releases it.
+ *
+ * Two allocation backends:
+ *  - aligned heap (default): 64-byte aligned for the SIMD kernels.
+ *  - mmap (use_mmap): OS-page-aligned so the page can be SEALED
+ *    read-only via mprotect after filling. With sealing on, any
+ *    torn-write bug (a writer touching a published snapshot) becomes
+ *    an immediate hard fault instead of silent serving corruption --
+ *    the "application read-only memory" hardening mode.
+ */
+
+#ifndef LAZYDP_NN_TABLE_PAGE_H
+#define LAZYDP_NN_TABLE_PAGE_H
+
+#include <cstddef>
+
+namespace lazydp {
+
+/** One shareable, optionally sealable block of floats. */
+class TablePage
+{
+  public:
+    /**
+     * @param floats capacity in floats (fully allocated up front)
+     * @param use_mmap back with mmap so seal()/unseal() work; silently
+     *        falls back to the heap on platforms without mmap
+     */
+    TablePage(std::size_t floats, bool use_mmap);
+    ~TablePage();
+
+    TablePage(const TablePage &) = delete;
+    TablePage &operator=(const TablePage &) = delete;
+
+    float *data() { return data_; }
+    const float *data() const { return data_; }
+    std::size_t floats() const { return floats_; }
+
+    /** @return true when mmap-backed (seal/unseal are effective). */
+    bool mmapped() const { return mmapped_; }
+
+    /** @return true while the page is mprotect'ed read-only. */
+    bool sealed() const { return sealed_; }
+
+    /** mprotect the page read-only. No-op unless mmapped. */
+    void seal();
+
+    /** Make the page writable again (recycling refill). No-op unless
+     * mmapped. */
+    void unseal();
+
+  private:
+    float *data_ = nullptr;
+    std::size_t floats_ = 0;
+    std::size_t mapBytes_ = 0; //!< mmap length (0 = heap allocation)
+    bool mmapped_ = false;
+    bool sealed_ = false;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_TABLE_PAGE_H

@@ -73,12 +73,17 @@ LoadGenerator::runClosed()
     std::atomic<std::uint64_t> next{0};
     std::vector<std::vector<double>> latencies(clients);
     std::vector<std::vector<std::uint64_t>> versions(clients);
+    // Id-indexed so clients can write without coordination: ids are
+    // unique, so each slot has exactly one writer.
+    std::vector<float> scores(
+        options_.collectScores ? options_.requests : 0);
     std::vector<std::thread> threads;
     threads.reserve(clients);
 
     const auto start = Clock::now();
     for (std::size_t c = 0; c < clients; ++c) {
-        threads.emplace_back([this, c, &next, &latencies, &versions] {
+        threads.emplace_back([this, c, &next, &latencies, &versions,
+                              &scores] {
             std::uint64_t id;
             while ((id = next.fetch_add(1)) < options_.requests) {
                 auto request = engine_.submit(makeQuery(id));
@@ -87,6 +92,8 @@ LoadGenerator::runClosed()
                 const ServeResult &r = request->wait();
                 latencies[c].push_back(request->latencySeconds());
                 versions[c].push_back(r.version);
+                if (options_.collectScores)
+                    scores[id] = r.score;
             }
         });
     }
@@ -107,6 +114,7 @@ LoadGenerator::runClosed()
     report.wallSeconds = wall;
     report.latency = stats::computePercentiles(std::move(all));
     report.meanBatch = engine_.stats().meanBatch();
+    report.scores = std::move(scores);
     return report;
 }
 
@@ -138,10 +146,14 @@ LoadGenerator::runOpen()
     }
 
     LoadReport report;
+    if (options_.collectScores)
+        report.scores.resize(options_.requests);
     std::vector<double> latencies;
     latencies.reserve(options_.requests);
     for (std::uint64_t id = 0; id < options_.requests; ++id) {
         const ServeResult &r = inflight[id]->wait();
+        if (options_.collectScores)
+            report.scores[id] = r.score;
         // Coordinated-omission-safe: measure from the intended arrival
         // time, so dispatcher lag counts against the tail.
         latencies.push_back(std::chrono::duration<double>(

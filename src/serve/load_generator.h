@@ -58,6 +58,14 @@ struct LoadOptions
 
     /** Table-access skew of the generated queries. */
     AccessConfig access;
+
+    /**
+     * Keep every request's predicted score in LoadReport::scores
+     * (indexed by request id). With a fixed model version the scores
+     * are a pure function of (seed, id), which is what the bit-identity
+     * smokes compare across snapshot-store modes.
+     */
+    bool collectScores = false;
 };
 
 /** Measured outcome of one LoadGenerator::run. */
@@ -75,6 +83,12 @@ struct LoadReport
     std::uint64_t minVersion = 0; //!< oldest snapshot version observed
     std::uint64_t maxVersion = 0; //!< newest snapshot version observed
     double meanBatch = 0.0;       //!< mean micro-batch size observed
+
+    /**
+     * Per-request scores indexed by request id (empty unless
+     * LoadOptions::collectScores).
+     */
+    std::vector<float> scores;
 
     /** @return achieved throughput in queries/second. */
     double

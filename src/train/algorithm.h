@@ -36,6 +36,7 @@
 #include "common/timer.h"
 #include "data/minibatch.h"
 #include "rng/gaussian.h"
+#include "train/dirty_tracker.h"
 
 namespace lazydp {
 
@@ -185,6 +186,35 @@ class Algorithm
         (void)exec;
         (void)timer;
     }
+
+    /**
+     * Ask the engine to export its dirty-row set (the rows each apply
+     * mutates) into a page-granular DirtyRowTracker, enabling
+     * O(dirty rows) delta snapshot publishing. Engines whose table
+     * update is sparse (SGD, EANA, LazyDP -- the merged sparse update
+     * IS the dirty set) override and return true; engines that update
+     * every row every iteration (DP-SGD B/R/F) keep the default false
+     * and delta stores fall back to copying every page.
+     *
+     * Once enabled, the tracker marks on every subsequent apply();
+     * the publish hook consumes and resets it.
+     *
+     * @param page_rows the consuming store's page size
+     * @return true when this engine tracks dirty rows
+     */
+    virtual bool
+    enableDirtyTracking(std::size_t page_rows)
+    {
+        (void)page_rows;
+        return false;
+    }
+
+    /** @return the dirty tracker, or nullptr when not enabled. */
+    DirtyRowTracker *dirtyTracker() { return dirty_.get(); }
+
+  protected:
+    /** Page bitmap filled by apply()/finalize() once enabled. */
+    std::unique_ptr<DirtyRowTracker> dirty_;
 
   private:
     std::unique_ptr<PreparedStep> stepScratch_; //!< step()'s buffer

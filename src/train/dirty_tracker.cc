@@ -1,0 +1,72 @@
+#include "train/dirty_tracker.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace lazydp {
+
+DirtyRowTracker::DirtyRowTracker(
+    std::vector<std::uint64_t> rows_per_table, std::size_t page_rows)
+    : pageRows_(page_rows), rows_(std::move(rows_per_table))
+{
+    LAZYDP_ASSERT(pageRows_ > 0, "page size must be positive");
+    dirty_.resize(rows_.size());
+    for (std::size_t t = 0; t < rows_.size(); ++t) {
+        LAZYDP_ASSERT(rows_[t] > 0, "degenerate table in dirty tracker");
+        dirty_[t].assign(pageCount(t), 0);
+    }
+}
+
+std::unique_ptr<DirtyRowTracker>
+DirtyRowTracker::forModel(const ModelConfig &config,
+                          std::size_t page_rows)
+{
+    std::vector<std::uint64_t> rows(config.numTables);
+    for (std::size_t t = 0; t < rows.size(); ++t)
+        rows[t] = config.rowsForTable(t);
+    return std::make_unique<DirtyRowTracker>(std::move(rows), page_rows);
+}
+
+void
+DirtyRowTracker::markRows(std::size_t t,
+                          std::span<const std::uint32_t> rows)
+{
+    LAZYDP_ASSERT(t < dirty_.size(), "table index out of range");
+    std::vector<std::uint8_t> &bits = dirty_[t];
+    for (const std::uint32_t row : rows) {
+        LAZYDP_ASSERT(row < rows_[t], "dirty row out of range");
+        bits[row / pageRows_] = 1;
+    }
+}
+
+void
+DirtyRowTracker::markAllDirty()
+{
+    allDirty_ = true;
+}
+
+std::uint64_t
+DirtyRowTracker::dirtyPageCount() const
+{
+    std::uint64_t count = 0;
+    if (allDirty_) {
+        for (std::size_t t = 0; t < rows_.size(); ++t)
+            count += pageCount(t);
+        return count;
+    }
+    for (const auto &bits : dirty_)
+        count += static_cast<std::uint64_t>(
+            std::count(bits.begin(), bits.end(), std::uint8_t{1}));
+    return count;
+}
+
+void
+DirtyRowTracker::reset()
+{
+    allDirty_ = false;
+    for (auto &bits : dirty_)
+        std::fill(bits.begin(), bits.end(), std::uint8_t{0});
+}
+
+} // namespace lazydp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Page-granular dirty-row tracking: the training-side half of delta
+ * snapshot publishing.
+ *
+ * LazyDP's core insight -- per-iteration work proportional to the rows
+ * a batch actually touches -- applies to serving-snapshot publication
+ * just as much as to noise addition: the sparse engines know EXACTLY
+ * which embedding rows each iteration mutated (LazyDP's merged sparse
+ * update list, EANA's/SGD's coalesced gradient rows), so a snapshot of
+ * iteration i+1 only differs from iteration i's in those rows. The
+ * DirtyRowTracker accumulates that knowledge between publishes at page
+ * granularity (fixed row blocks, the unit ModelSnapshotStore shares
+ * between consecutive snapshots): engines mark rows as they update
+ * them, publish consumes the bitmap and resets it.
+ *
+ * Threading: all writers (Algorithm::apply, Algorithm::finalize) and
+ * the consumer (Trainer's publish hook) run on the training thread --
+ * under the pipelined schedule the only concurrent work is prepare(),
+ * which never touches model weights and therefore never marks. The
+ * tracker is deliberately unsynchronized.
+ */
+
+#ifndef LAZYDP_TRAIN_DIRTY_TRACKER_H
+#define LAZYDP_TRAIN_DIRTY_TRACKER_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/model_config.h"
+
+namespace lazydp {
+
+/** Default page size: rows shared between snapshots as one unit. */
+constexpr std::size_t kSnapshotPageRows = 256;
+
+/** Per-table page bitmap of rows mutated since the last publish. */
+class DirtyRowTracker
+{
+  public:
+    /**
+     * @param rows_per_table row count of each embedding table
+     * @param page_rows rows per page (must match the consuming
+     *        ModelSnapshotStore's SnapshotOptions::pageRows)
+     */
+    DirtyRowTracker(std::vector<std::uint64_t> rows_per_table,
+                    std::size_t page_rows);
+
+    /** Tracker sized for every table of @p config . */
+    static std::unique_ptr<DirtyRowTracker>
+    forModel(const ModelConfig &config, std::size_t page_rows);
+
+    std::size_t pageRows() const { return pageRows_; }
+    std::size_t numTables() const { return rows_.size(); }
+    std::uint64_t tableRows(std::size_t t) const { return rows_[t]; }
+
+    /** @return number of pages covering table @p t . */
+    std::size_t
+    pageCount(std::size_t t) const
+    {
+        return static_cast<std::size_t>(
+            (rows_[t] + pageRows_ - 1) / pageRows_);
+    }
+
+    /** Mark each of @p rows of table @p t dirty. O(|rows|). */
+    void markRows(std::size_t t, std::span<const std::uint32_t> rows);
+
+    /**
+     * Mark every page of every table dirty: the full-copy escape hatch
+     * for mutations the sparse oracle cannot see (finalize's dense
+     * noise sweep, checkpoint restores, pre-run history warm starts).
+     */
+    void markAllDirty();
+
+    /** @return true when page @p p of table @p t was marked. */
+    bool
+    pageDirty(std::size_t t, std::size_t p) const
+    {
+        return allDirty_ || dirty_[t][p] != 0;
+    }
+
+    /** @return true after markAllDirty (until the next reset). */
+    bool allDirty() const { return allDirty_; }
+
+    /** @return total marked pages across tables (test observability). */
+    std::uint64_t dirtyPageCount() const;
+
+    /** Clear every mark; called by publish after consuming the set. */
+    void reset();
+
+  private:
+    std::size_t pageRows_;
+    std::vector<std::uint64_t> rows_;
+    std::vector<std::vector<std::uint8_t>> dirty_; //!< byte per page
+    bool allDirty_ = false;
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_TRAIN_DIRTY_TRACKER_H

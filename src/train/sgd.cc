@@ -13,6 +13,14 @@ SgdAlgorithm::SgdAlgorithm(DlrmModel &model, const TrainHyper &hyper)
     sparseGrads_.resize(model.config().numTables);
 }
 
+bool
+SgdAlgorithm::enableDirtyTracking(std::size_t page_rows)
+{
+    if (dirty_ == nullptr || dirty_->pageRows() != page_rows)
+        dirty_ = DirtyRowTracker::forModel(model_.config(), page_rows);
+    return true;
+}
+
 double
 SgdAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
                     PreparedStep &prepared, ExecContext &exec,
@@ -68,8 +76,11 @@ SgdAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
     // training -- touch only gathered rows.
     timer.start(Stage::NoisyGradUpdate);
     model_.applyMlps(hyper_.lr);
-    for (std::size_t t = 0; t < num_tables; ++t)
+    for (std::size_t t = 0; t < num_tables; ++t) {
         model_.tables()[t].applySparse(sparseGrads_[t], hyper_.lr);
+        if (dirty_ != nullptr)
+            dirty_->markRows(t, sparseGrads_[t].rows);
+    }
     timer.stop();
 
     return loss;

@@ -45,6 +45,10 @@ class SgdAlgorithm : public Algorithm
                  PreparedStep &prepared, ExecContext &exec,
                  StageTimer &timer) override;
 
+    /** SGD's table update is sparse: the coalesced gradient rows are
+     * exactly the rows each apply() mutates. */
+    bool enableDirtyTracking(std::size_t page_rows) override;
+
   private:
     /** Per-microbatch-shard state (no clipping: plain backward). */
     struct Shard : LotShardState

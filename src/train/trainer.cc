@@ -31,6 +31,17 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
         LAZYDP_ASSERT(algorithm_.model() != nullptr,
                       "snapshot publishing needs a model-bound "
                       "algorithm");
+        // Delta stores want the engine's dirty-row oracle. Mutations
+        // BEFORE this run (checkpoint restores, a previous run's
+        // finalize, manual edits) predate any tracking, so the first
+        // publish of the run must copy everything; engines without a
+        // sparse oracle simply leave the tracker null (full-copy
+        // fallback on every publish).
+        const SnapshotOptions &sopts =
+            options.snapshotStore->options();
+        if (sopts.mode == SnapshotMode::Delta &&
+            algorithm_.enableDirtyTracking(sopts.pageRows))
+            algorithm_.dirtyTracker()->markAllDirty();
     }
     if (options.recordLosses)
         result.losses.reserve(iterations);
@@ -91,7 +102,7 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
             has_next ? &queue.at(1) : nullptr, runExec_, timer);
         if (options.recordLosses)
             result.losses.push_back(loss);
-        maybePublish(iter, options);
+        maybePublish(iter, options, result);
         if (options.recordIterSeconds && iter > options.warmupIters) {
             const double now = wall.seconds();
             result.iterSeconds.push_back(now - iter_mark);
@@ -192,8 +203,9 @@ Trainer::runPipelined(std::uint64_t iterations,
             result.losses.push_back(loss);
         // Safe while prepare(i+1) is still in flight: prepare never
         // reads or writes model weights (the pipeline's own contract),
-        // so the snapshot copy cannot race it.
-        maybePublish(iter, options);
+        // so the snapshot copy cannot race it -- and the dirty tracker
+        // is only ever marked by apply() on this thread.
+        maybePublish(iter, options, result);
 
         if (pending.valid()) {
             pending.wait();
@@ -217,14 +229,20 @@ Trainer::runPipelined(std::uint64_t iterations,
 }
 
 void
-Trainer::maybePublish(std::uint64_t iter, const TrainOptions &options)
+Trainer::maybePublish(std::uint64_t iter, const TrainOptions &options,
+                      TrainResult &result)
 {
     if (options.snapshotStore == nullptr ||
         options.publishEveryIters == 0 ||
         iter % options.publishEveryIters != 0)
         return;
-    options.snapshotStore->publish(*algorithm_.model(),
-                                   options.startIter + iter);
+    const PublishReceipt receipt = options.snapshotStore->publish(
+        *algorithm_.model(), options.startIter + iter,
+        algorithm_.dirtyTracker());
+    result.publishSeconds += receipt.seconds;
+    ++result.publishes;
+    result.rowsCopied += receipt.rowsCopied;
+    result.pagesShared += receipt.pagesShared;
 }
 
 } // namespace lazydp

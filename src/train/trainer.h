@@ -132,6 +132,14 @@ struct TrainResult
     double finalizeSeconds = 0.0;//!< wall time of Algorithm::finalize
     std::uint64_t iterations = 0;//!< measured (post-warmup) iterations
 
+    // Publish-side costs (zero unless TrainOptions::publishEveryIters),
+    // summed over every publish of the run: how much the serving
+    // freshness actually cost the training loop.
+    double publishSeconds = 0.0;  //!< wall time inside publish()
+    std::uint64_t publishes = 0;  //!< snapshots published by this run
+    std::uint64_t rowsCopied = 0; //!< embedding rows memcpy'd
+    std::uint64_t pagesShared = 0;//!< COW pages shared across versions
+
     /**
      * Sum of all measured stage times: total CPU-side work. Equals
      * wallSeconds (minus untimed data loading) under the serial
@@ -183,9 +191,11 @@ class Trainer
 
     /**
      * Publish a snapshot after run-local iteration @p iter when the
-     * options ask for one (stamped with the global iteration id).
+     * options ask for one (stamped with the global iteration id),
+     * accumulating publish costs into @p result .
      */
-    void maybePublish(std::uint64_t iter, const TrainOptions &options);
+    void maybePublish(std::uint64_t iter, const TrainOptions &options,
+                      TrainResult &result);
 
     Algorithm &algorithm_;
     DataLoader &loader_;

@@ -62,6 +62,13 @@ main(int argc, char **argv)
          {"kernels", "SIMD backend: scalar|avx2|auto"},
          {"publish-every", "publish a model snapshot every N training "
                            "iterations"},
+         {"snapshot", "snapshot store mode: full (dense O(model) "
+                      "copies) | delta (O(dirty rows) copy-on-write "
+                      "pages)"},
+         {"seal-pages", "on|off: delta mode only -- mprotect published "
+                        "pages read-only (torn writes fault)"},
+         {"dump-scores", "write every request's score to this file "
+                         "(hex floats, one per line; bit-exact)"},
          {"serve-threads", "number of serve lanes (dedicated inference "
                            "workers)"},
          {"serve-qps", "open-loop arrival rate in queries/s (0 = "
@@ -122,7 +129,15 @@ main(int argc, char **argv)
     ExecContext exec(&pool);
 
     // --- serving tier -------------------------------------------------
-    ModelSnapshotStore store;
+    const std::string snapshot_mode =
+        args.getString("snapshot", "full");
+    if (snapshot_mode != "full" && snapshot_mode != "delta")
+        fatal("--snapshot must be full or delta, got ", snapshot_mode);
+    SnapshotOptions snap_opts;
+    snap_opts.mode = snapshot_mode == "delta" ? SnapshotMode::Delta
+                                              : SnapshotMode::Full;
+    snap_opts.sealPages = args.getBool("seal-pages", false);
+    ModelSnapshotStore store(snap_opts);
     // Version 1 is the initial (iteration-0) model so serving has a
     // snapshot from the first request on, train or no train.
     store.publish(model, 0);
@@ -140,6 +155,8 @@ main(int argc, char **argv)
     load_opts.seed = seed + 0x5E12;
     load_opts.access =
         accessPreset(args.getString("serve-skew", "uniform"));
+    const std::string dump_scores = args.getString("dump-scores", "");
+    load_opts.collectScores = !dump_scores.empty();
     LoadGenerator generator(engine, model_cfg, load_opts);
 
     inform("serving ", model_cfg.name, " (",
@@ -150,7 +167,9 @@ main(int argc, char **argv)
            load_opts.qps > 0.0 ? "open" : "closed", " loop, ",
            load_opts.requests, " requests; training ", algo_name,
            " for ", train_iters, " iters (publish every ",
-           publish_every, "), kernels ", kernels_name);
+           publish_every, ", ", snapshot_mode, " snapshots",
+           snap_opts.sealPages ? ", sealed" : "", "), kernels ",
+           kernels_name);
 
     // --- concurrent load + training ----------------------------------
     LoadReport report;
@@ -230,9 +249,47 @@ main(int argc, char **argv)
         table.addRow({"train sec/iter p99",
                       TablePrinter::num(iter_pct.p99, 4)});
     }
+    // Publish-side costs over the store's lifetime (startup publish +
+    // every training publish): what serving freshness cost the writer.
+    const PublishTotals ptotals = store.totals();
+    table.addRow({"snapshot mode", snapshot_mode});
+    table.addRow({"publishes",
+                  TablePrinter::num(
+                      static_cast<double>(ptotals.publishes), 0)});
+    table.addRow({"publish ms mean",
+                  TablePrinter::num(
+                      ptotals.publishes == 0
+                          ? 0.0
+                          : ptotals.seconds * 1e3 /
+                                static_cast<double>(ptotals.publishes),
+                      3)});
+    table.addRow({"publish rows copied",
+                  TablePrinter::num(
+                      static_cast<double>(ptotals.rowsCopied), 0)});
+    table.addRow({"publish pages shared",
+                  TablePrinter::num(
+                      static_cast<double>(ptotals.pagesShared), 0)});
+    table.addRow({"buffers recycled",
+                  TablePrinter::num(
+                      static_cast<double>(ptotals.snapshotsRecycled +
+                                          ptotals.pagesRecycled),
+                      0)});
     if (args.getBool("csv", false))
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+
+    if (!dump_scores.empty()) {
+        std::FILE *f = std::fopen(dump_scores.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot open ", dump_scores, " for writing");
+        // %a is an exact binary representation: two dumps compare
+        // bit-identical iff every served score did.
+        for (const float s : report.scores)
+            std::fprintf(f, "%a\n", static_cast<double>(s));
+        std::fclose(f);
+        inform("wrote ", report.scores.size(), " scores to ",
+               dump_scores);
+    }
     return 0;
 }

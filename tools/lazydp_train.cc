@@ -28,6 +28,7 @@
 #include "data/data_loader.h"
 #include "dp/accountant.h"
 #include "io/checkpoint.h"
+#include "serve/snapshot_store.h"
 #include "train/trainer.h"
 
 using namespace lazydp;
@@ -62,6 +63,11 @@ main(int argc, char **argv)
                       "(bit-identical model)"},
          {"kernels", "SIMD backend: scalar|avx2|auto (scalar is the "
                      "bit-exact golden reference)"},
+         {"publish-every", "publish a serving snapshot every N "
+                           "iterations (0 = off): measures the publish "
+                           "cost a live serving tier would add"},
+         {"snapshot", "snapshot store mode: full|delta (with "
+                      "--publish-every)"},
          {"save", "write a checkpoint here (LazyDP: full training "
                   "state)"},
          {"csv", "print the result table as CSV"},
@@ -129,6 +135,24 @@ main(int argc, char **argv)
     options.pipeline = pipeline;
     options.replicas = replicas;
     options.recordIterSeconds = true;
+
+    // Optional snapshot publishing: no serving tier here, but the
+    // publish cost lands on the training loop either way -- this is
+    // how a user measures what --publish-every would cost them.
+    const std::uint64_t publish_every = args.getU64("publish-every", 0);
+    const std::string snapshot_mode =
+        args.getString("snapshot", "full");
+    if (snapshot_mode != "full" && snapshot_mode != "delta")
+        fatal("--snapshot must be full or delta, got ", snapshot_mode);
+    std::unique_ptr<ModelSnapshotStore> store;
+    if (publish_every > 0) {
+        SnapshotOptions snap_opts;
+        snap_opts.mode = snapshot_mode == "delta" ? SnapshotMode::Delta
+                                                  : SnapshotMode::Full;
+        store = std::make_unique<ModelSnapshotStore>(snap_opts);
+        options.publishEveryIters = publish_every;
+        options.snapshotStore = store.get();
+    }
     const TrainResult result = trainer.run(iters, options);
 
     TablePrinter table("Result: " + algo->name());
@@ -163,6 +187,23 @@ main(int argc, char **argv)
         table.addRow(
             {"stage: " + stage,
              TablePrinter::num(secs / static_cast<double>(iters), 4)});
+    }
+    if (result.publishes > 0) {
+        table.addRow({"snapshot mode", snapshot_mode});
+        table.addRow({"publishes",
+                      TablePrinter::num(
+                          static_cast<double>(result.publishes), 0)});
+        table.addRow(
+            {"publish ms mean",
+             TablePrinter::num(result.publishSeconds * 1e3 /
+                                   static_cast<double>(result.publishes),
+                               3)});
+        table.addRow({"publish rows copied",
+                      TablePrinter::num(
+                          static_cast<double>(result.rowsCopied), 0)});
+        table.addRow({"publish pages shared",
+                      TablePrinter::num(
+                          static_cast<double>(result.pagesShared), 0)});
     }
     if (args.getBool("csv", false))
         table.printCsv(std::cout);
