@@ -51,7 +51,19 @@ expectedDelay(const ModelConfig &model, std::size_t batch)
 RunStats
 runMeasured(const RunSpec &spec)
 {
-    DlrmModel model(spec.model, spec.modelSeed);
+    std::unique_ptr<DlrmModel> model_holder;
+    if (!spec.coldDir.empty()) {
+        DlrmModel::TieredModelOptions tier;
+        tier.hotBytes = spec.hotBytes;
+        tier.coldDir = spec.coldDir;
+        tier.prefetch = spec.tierPrefetch;
+        model_holder = std::make_unique<DlrmModel>(spec.model,
+                                                   spec.modelSeed, tier);
+    } else {
+        model_holder =
+            std::make_unique<DlrmModel>(spec.model, spec.modelSeed);
+    }
+    DlrmModel &model = *model_holder;
     SyntheticDataset dataset(
         datasetFor(spec.model, spec.access, spec.batch, spec.dataSeed));
     auto algo = makeAlgorithm(spec.algo, model, spec.hyper);
@@ -91,6 +103,7 @@ runMeasured(const RunSpec &spec)
     stats.wallSeconds = result.wallSeconds;
     stats.finalizeSeconds = result.finalizeSeconds;
     stats.iterSeconds = std::move(result.iterSeconds);
+    stats.tierStats = result.tierStats;
     return stats;
 }
 

@@ -25,6 +25,7 @@
 #include "core/factory.h"
 #include "data/synthetic_dataset.h"
 #include "nn/model_config.h"
+#include "nn/tiered_store.h"
 #include "sim/cost_model.h"
 #include "sim/energy_model.h"
 #include "train/algorithm.h"
@@ -65,6 +66,21 @@ struct RunSpec
      * wall time only, never the trained model.
      */
     std::size_t replicas = 1;
+
+    /**
+     * Out-of-core mode: nonempty = back the embedding tables with the
+     * tiered DRAM-hot / file-cold store, cold files under this
+     * directory. Bit-identical model; only residency traffic and wall
+     * time change.
+     */
+    std::string coldDir;
+
+    /** Tiered only: DRAM hot-tier budget in bytes. */
+    std::uint64_t hotBytes = 64ull << 20;
+
+    /** Tiered only: lookahead warming on the prefetch lane (off =
+     * every promotion faults synchronously -- the worst-case leg). */
+    bool tierPrefetch = true;
 };
 
 /** Measured outcome of a RunSpec. */
@@ -74,6 +90,10 @@ struct RunStats
     std::uint64_t iters = 0;
     double wallSeconds = 0.0;     //!< wall time of measured iterations
     double finalizeSeconds = 0.0; //!< one-time LazyDP flush (excluded)
+
+    /** Out-of-core residency counters (all zero unless RunSpec::coldDir
+     * was set); covers warmup AND measured iterations. */
+    TierStats tierStats;
 
     /** Per-measured-iteration wall seconds (percentile source). */
     std::vector<double> iterSeconds;

@@ -149,4 +149,21 @@ CliArgs::applyKernels() const
     return kernelBackendName(activeKernelBackend());
 }
 
+std::vector<FlagSpec>
+withTierFlags(std::vector<FlagSpec> flags)
+{
+    flags.push_back(
+        {"hot-mb", "out-of-core: DRAM hot-tier budget in megabytes "
+                   "for the embedding tables (with --cold-path)"});
+    flags.push_back(
+        {"cold-path", "out-of-core: directory for the file-backed "
+                      "cold tier; presence enables tiered tables "
+                      "(bit-identical model to all-DRAM)"});
+    flags.push_back(
+        {"prefetch", "on|off: lookahead-driven async warming of the "
+                     "next iteration's rows (tiered tables only; "
+                     "never changes the model)"});
+    return flags;
+}
+
 } // namespace lazydp

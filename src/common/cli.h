@@ -28,6 +28,14 @@ struct FlagSpec
     std::string help; //!< one-line description (may name values/units)
 };
 
+/**
+ * Append the shared out-of-core flag triplet (--hot-mb, --cold-path,
+ * --prefetch) to a tool's flag list, so every driver documents the
+ * tiered-table knobs with identical wording. Parsing stays with the
+ * caller (the values feed nn/dlrm.h's TieredModelOptions).
+ */
+std::vector<FlagSpec> withTierFlags(std::vector<FlagSpec> flags);
+
 /** Parsed command line with typed, defaulted accessors. */
 class CliArgs
 {

@@ -131,6 +131,21 @@ class ThreadPool
     /** Maximum number of asynchronous lanes. */
     static constexpr std::size_t kMaxLanes = 32;
 
+    // Repository-wide lane allocation. Lanes are dedicated FIFO
+    // threads, so subsystems that must overlap get distinct lanes:
+    //  - kPipelineLane: the Trainer's software pipeline (next-iteration
+    //    prepare + batch prefetch overlapping dense compute).
+    //  - kReplicaLaneBase..+N-2: data-parallel worker replicas
+    //    (train/replica.h runs replica r on lane kReplicaLaneBase+r-1).
+    //  - kTierPrefetchLane: the out-of-core warm task (tiered_store.h)
+    //    read-touching next-iteration cold pages into the page cache.
+    //  - kServeLaneBase..: online-serving scoring workers
+    //    (serve/serve_engine.h claims lanes upward from here).
+    static constexpr std::size_t kPipelineLane = 0;
+    static constexpr std::size_t kReplicaLaneBase = 1;
+    static constexpr std::size_t kTierPrefetchLane = 7;
+    static constexpr std::size_t kServeLaneBase = 8;
+
     /**
      * Enqueue @p fn on asynchronous lane @p lane (< kMaxLanes) and
      * return immediately. Each lane is ONE dedicated thread (spawned

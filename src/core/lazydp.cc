@@ -274,18 +274,39 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
     if (dirty_ != nullptr)
         dirty_->markRows(t, mergedRows_);
     const float step_scale = hyper_.lr / normDenominator(batch);
+    // Out-of-core tables: promote the whole merged row set before the
+    // row-parallel update (residency mutations are training-thread
+    // only). Steady state finds the pages already hot -- warmed by the
+    // lookahead warm task fed from prepare()'s nextUnique.
+    if (tbl.tiered())
+        tbl.ensureResident(mergedRows_);
     if (decayed_ == nullptr) {
-        // Merged rows are unique and sorted, so each shard hands its
-        // sub-range straight to the no-alias scatter kernel.
         const KernelTable &kt = kernels();
-        parallelForShards(
-            exec, mergedRows_.size(), kRowGrain,
-            [&](std::size_t, std::size_t mlo, std::size_t mhi) {
-                kt.scatterAxpyRows(tbl.weights().data(),
-                                   mergedRows_.data() + mlo,
-                                   mergedVals_.data() + mlo * dim,
-                                   mhi - mlo, dim, -step_scale);
-            });
+        if (tbl.tiered()) {
+            // Per-row axpy through the page table: both scatter
+            // backends are exactly this per-row loop, so the update is
+            // bit-identical to the dense scatter branch below.
+            parallelForShards(
+                exec, mergedRows_.size(), kRowGrain,
+                [&](std::size_t, std::size_t mlo, std::size_t mhi) {
+                    for (std::size_t m = mlo; m < mhi; ++m) {
+                        kt.axpy(tbl.rowPtr(mergedRows_[m]),
+                                mergedVals_.data() + m * dim, dim,
+                                -step_scale);
+                    }
+                });
+        } else {
+            // Merged rows are unique and sorted, so each shard hands
+            // its sub-range straight to the no-alias scatter kernel.
+            parallelForShards(
+                exec, mergedRows_.size(), kRowGrain,
+                [&](std::size_t, std::size_t mlo, std::size_t mhi) {
+                    kt.scatterAxpyRows(tbl.weights().data(),
+                                       mergedRows_.data() + mlo,
+                                       mergedVals_.data() + mlo * dim,
+                                       mhi - mlo, dim, -step_scale);
+                });
+        }
     } else {
         // With deferred decay: each merged row is first scaled by
         // alpha^(pending decay steps), then receives its (already
@@ -323,6 +344,24 @@ LazyDpAlgorithm::applyTableUpdate(std::uint64_t iter, std::size_t t,
             });
     }
     timer.stop();
+}
+
+void
+LazyDpAlgorithm::warmTier(const MiniBatch &next, const PreparedStep *prep,
+                          ThreadPool *pool)
+{
+    if (!model_.tiered() || pool == nullptr)
+        return;
+    const auto *lp = static_cast<const LazyDpPrepared *>(prep);
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        const auto idx = next.tableIndices(t);
+        std::vector<std::uint32_t> rows(idx.begin(), idx.end());
+        if (lp != nullptr && t < lp->tables.size()) {
+            const auto &nu = lp->tables[t].nextUnique;
+            rows.insert(rows.end(), nu.begin(), nu.end());
+        }
+        model_.tables()[t].warmRowsAsync(pool, std::move(rows));
+    }
 }
 
 bool

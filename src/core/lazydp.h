@@ -132,6 +132,17 @@ class LazyDpAlgorithm : public DpEngineBase
      */
     bool enableDirtyTracking(std::size_t page_rows) override;
 
+    /**
+     * Warm the next apply's merged update set: the next batch's rows
+     * (its gradient) plus the prepared nextUnique row lists (the rows
+     * the iteration AFTER it will access, whose pending noise the next
+     * apply flushes). prepare() is the perfect prefetch oracle here --
+     * the warm set covers the merged row list exactly. Tiered tables
+     * only; otherwise a no-op.
+     */
+    void warmTier(const MiniBatch &next, const PreparedStep *prep,
+                  ThreadPool *pool) override;
+
     /** @return the metadata structure (tests & overhead bench). */
     const HistoryTable &historyTable() const { return history_; }
 

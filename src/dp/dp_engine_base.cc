@@ -134,7 +134,7 @@ DpEngineBase::denseNoisyTableUpdate(std::uint64_t iter, std::uint32_t table,
 
     // (3) memory-bound: stream the whole table through the optimizer
     timer.start(Stage::NoisyGradUpdate);
-    streamingTableUpdate(tbl.weights(), denseScratch_,
+    streamingTableUpdate(tbl, denseScratch_,
                          hyper_.lr / normDenominator(batch),
                          decayAlpha(), exec);
     timer.stop();

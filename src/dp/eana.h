@@ -74,6 +74,11 @@ class EanaAlgorithm : public DpEngineBase
      * exactly the rows each apply() mutates. */
     bool enableDirtyTracking(std::size_t page_rows) override;
 
+    /** Warm the next batch's rows -- exactly the sparse update set of
+     * its apply(). Tiered tables only; otherwise a no-op. */
+    void warmTier(const MiniBatch &next, const PreparedStep *prep,
+                  ThreadPool *pool) override;
+
     double apply(std::uint64_t iter, const MiniBatch &cur,
                  PreparedStep &prepared, ExecContext &exec,
                  StageTimer &timer) override;

@@ -63,6 +63,46 @@ streamingTableUpdate(Tensor &weights, const Tensor &update, float scale,
 }
 
 void
+streamingTableUpdate(EmbeddingTable &table, const Tensor &update,
+                     float scale, float decay, ExecContext &exec)
+{
+    if (!table.tiered()) {
+        streamingTableUpdate(table.weights(), update, scale, decay,
+                             exec);
+        return;
+    }
+    TieredStore &store = table.tier();
+    const std::size_t dim = table.dim();
+    const std::size_t page_floats = store.pageRows() * dim;
+    const std::size_t n =
+        static_cast<std::size_t>(table.rows()) * dim;
+    LAZYDP_ASSERT(update.size() == n, "update tensor shape mismatch");
+    // Same 64K shards as the dense overload, each walked page by page.
+    // Both cut points (64K shard starts, page boundaries) are multiples
+    // of 8 floats, so sub-range starts keep the kernels' 8-wide group
+    // alignment and the arithmetic matches the dense sweep bit for bit.
+    parallelForShards(
+        exec, n, 1u << 16,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+            std::size_t pos = lo;
+            while (pos < hi) {
+                const std::size_t p = pos / page_floats;
+                const std::size_t in_page = pos % page_floats;
+                const std::size_t len =
+                    std::min(hi - pos, page_floats - in_page);
+                float *w = store.pagePtrMut(p) + in_page;
+                if (decay == 1.0f) {
+                    simd::axpy(w, update.data() + pos, len, -scale);
+                } else {
+                    simd::axpby(w, update.data() + pos, len, -scale,
+                                decay);
+                }
+                pos += len;
+            }
+        });
+}
+
+void
 addDenseParamNoise(const NoiseProvider &np, std::uint64_t iter,
                    std::uint32_t pseudo_table, float sigma, float scale,
                    float *dst, std::size_t n, std::uint64_t row_offset,

@@ -49,6 +49,21 @@ void streamingTableUpdate(Tensor &weights, const Tensor &update,
                           ExecContext &exec = ExecContext::serial());
 
 /**
+ * Storage-mode-aware variant: dense tables delegate to the Tensor
+ * overload above; TIERED tables stream the same fixed 64K-element
+ * shards but split each shard at hot-page boundaries, writing through
+ * the page table (resident pages in place + dirty-marked, cold pages
+ * straight into the file mapping -- a dense sweep must not thrash the
+ * hot tier). Page boundaries are multiples of 8 floats (pageRows is a
+ * multiple of 8), as are the 64K shard starts, so every sub-range
+ * keeps the SIMD kernels' 8-wide group alignment and the result is
+ * bit-identical to the dense overload.
+ */
+void streamingTableUpdate(EmbeddingTable &table, const Tensor &update,
+                          float scale, float decay = 1.0f,
+                          ExecContext &exec = ExecContext::serial());
+
+/**
  * Accumulate keyed noise over an arbitrary flat parameter array
  * (MLP weights/biases), chunking into pseudo-rows of the provider.
  *

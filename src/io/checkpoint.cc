@@ -1,6 +1,8 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <fstream>
+#include <vector>
 
 #include "common/logging.h"
 #include "io/serialize.h"
@@ -14,6 +16,13 @@ constexpr std::uint32_t kModelMagic = 0x4C445031;    // "LDP1"
 constexpr std::uint32_t kTrainingMagic = 0x4C445432; // "LDT2"
 constexpr std::uint32_t kVersion = 1;
 
+/** Rows per scratch chunk when streaming a tiered table (~16 MB). */
+std::uint64_t
+tableChunkRows(std::size_t dim)
+{
+    return std::max<std::uint64_t>(1, (1u << 22) / dim);
+}
+
 void
 writeModelBody(BinaryWriter &w, const DlrmModel &model)
 {
@@ -25,8 +34,27 @@ writeModelBody(BinaryWriter &w, const DlrmModel &model)
         w.writeU64(cfg.rowsForTable(t));
 
     for (const auto &table : model.tables()) {
-        w.writeF32Array(
-            {table.weights().data(), table.weights().size()});
+        if (!table.tiered()) {
+            w.writeF32Array(
+                {table.weights().data(), table.weights().size()});
+            continue;
+        }
+        // Tiered tables have no contiguous buffer: stream through a
+        // bounded scratch chunk. copyRowsOut reads resident pages from
+        // the hot tier and everything else from the cold file, so the
+        // byte stream is identical to an all-DRAM checkpoint.
+        const std::size_t dim = table.dim();
+        const std::uint64_t rows = table.rows();
+        const std::uint64_t chunk = tableChunkRows(dim);
+        std::vector<float> scratch(
+            static_cast<std::size_t>(std::min(chunk, rows)) * dim);
+        w.writeF32ArrayHeader(rows * dim);
+        for (std::uint64_t lo = 0; lo < rows; lo += chunk) {
+            const std::uint64_t n = std::min(chunk, rows - lo);
+            table.copyRowsOut(lo, n, scratch.data());
+            w.writeF32Raw({scratch.data(),
+                           static_cast<std::size_t>(n) * dim});
+        }
     }
     auto write_mlp = [&](const Mlp &mlp) {
         w.writeU64(mlp.layers().size());
@@ -56,8 +84,27 @@ readModelBody(BinaryReader &r, DlrmModel &model)
     }
 
     for (auto &table : model.tables()) {
-        r.readF32Array(
-            {table.weights().data(), table.weights().size()});
+        if (!table.tiered()) {
+            r.readF32Array(
+                {table.weights().data(), table.weights().size()});
+            continue;
+        }
+        const std::size_t dim = table.dim();
+        const std::uint64_t rows = table.rows();
+        const std::uint64_t want = rows * dim;
+        const std::uint64_t got = r.readLength();
+        if (got != want)
+            fatal("checkpoint '", name, "': table array length ", got,
+                  " != expected ", want);
+        const std::uint64_t chunk = tableChunkRows(dim);
+        std::vector<float> scratch(
+            static_cast<std::size_t>(std::min(chunk, rows)) * dim);
+        for (std::uint64_t lo = 0; lo < rows; lo += chunk) {
+            const std::uint64_t n = std::min(chunk, rows - lo);
+            r.readF32Raw({scratch.data(),
+                          static_cast<std::size_t>(n) * dim});
+            table.copyRowsIn(lo, n, scratch.data());
+        }
     }
     auto read_mlp = [&](Mlp &mlp) {
         if (r.readU64() != mlp.layers().size())

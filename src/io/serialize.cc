@@ -56,6 +56,18 @@ BinaryWriter::writeF32Array(std::span<const float> data)
 }
 
 void
+BinaryWriter::writeF32ArrayHeader(std::uint64_t n)
+{
+    writeU64(n);
+}
+
+void
+BinaryWriter::writeF32Raw(std::span<const float> data)
+{
+    writeRaw(data.data(), data.size() * sizeof(float));
+}
+
+void
 BinaryWriter::writeU32Array(std::span<const std::uint32_t> data)
 {
     writeU64(data.size());
@@ -120,6 +132,12 @@ BinaryReader::readF32Array(std::span<float> data)
     if (n != data.size())
         fatal("checkpoint array length ", n, " != expected ",
               data.size());
+    readRaw(data.data(), data.size() * sizeof(float));
+}
+
+void
+BinaryReader::readF32Raw(std::span<float> data)
+{
     readRaw(data.data(), data.size() * sizeof(float));
 }
 

@@ -29,6 +29,16 @@ class BinaryWriter
     void writeF32(float v);
     void writeString(const std::string &s);
     void writeF32Array(std::span<const float> data);
+
+    /**
+     * Split variant of writeF32Array for sources without a contiguous
+     * buffer (tiered tables): writeF32ArrayHeader(n) followed by
+     * writeF32Raw chunks totalling n floats produces a byte stream
+     * identical to one writeF32Array call.
+     */
+    void writeF32ArrayHeader(std::uint64_t n);
+    void writeF32Raw(std::span<const float> data);
+
     void writeU32Array(std::span<const std::uint32_t> data);
     void writeU64Array(std::span<const std::uint64_t> data);
 
@@ -50,6 +60,14 @@ class BinaryReader
 
     /** Reads exactly data.size() floats into @p data. */
     void readF32Array(std::span<float> data);
+
+    /**
+     * Reads data.size() raw floats with NO length prefix -- the
+     * chunked counterpart of writeF32Raw. Pair with readLength() to
+     * consume a writeF32ArrayHeader'd array incrementally.
+     */
+    void readF32Raw(std::span<float> data);
+
     void readU32Array(std::span<std::uint32_t> data);
 
     /** @return length prefix of the next array without consuming data. */

@@ -1,6 +1,9 @@
 #include "nn/dlrm.h"
 
+#include <algorithm>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/macros.h"
 #include "tensor/simd_kernels.h"
@@ -31,6 +34,85 @@ DlrmModel::DlrmModel(const ModelConfig &config, UninitializedTables)
     tables_.reserve(config_.numTables);
     for (std::size_t t = 0; t < config_.numTables; ++t)
         tables_.emplace_back(config_.rowsForTable(t), config_.embedDim);
+}
+
+std::string
+DlrmModel::tieredColdPath(const std::string &dir, std::size_t t)
+{
+    return dir + "/lazydp_table" + std::to_string(t) + ".cold";
+}
+
+DlrmModel::DlrmModel(const ModelConfig &config, std::uint64_t seed,
+                     const TieredModelOptions &tier)
+    : config_(config),
+      bottom_(config.bottomDims, seed),
+      interaction_(config.numTables + 1, config.embedDim),
+      top_(config.fullTopDims(), seed + 0x709ull)
+{
+    config_.validate();
+    LAZYDP_ASSERT(!tier.coldDir.empty(),
+                  "tiered model needs a cold directory");
+    std::uint64_t total_bytes = 0;
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        total_bytes += config_.rowsForTable(t) *
+                       static_cast<std::uint64_t>(config_.embedDim) *
+                       sizeof(float);
+    }
+    tables_.reserve(config_.numTables);
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        const std::uint64_t tbl_bytes =
+            config_.rowsForTable(t) *
+            static_cast<std::uint64_t>(config_.embedDim) * sizeof(float);
+        TieredOptions opts;
+        // Hot budget split proportionally to table size so every table
+        // sees the same hot fraction regardless of the size mix.
+        opts.hotBytes = total_bytes == 0
+                            ? 0
+                            : static_cast<std::uint64_t>(
+                                  static_cast<double>(tier.hotBytes) *
+                                  static_cast<double>(tbl_bytes) /
+                                  static_cast<double>(total_bytes));
+        opts.coldPath = tieredColdPath(tier.coldDir, t);
+        opts.pageRows = tier.pageRows;
+        opts.prefetch = tier.prefetch;
+        opts.reuseFile = tier.reuseFiles;
+        opts.keepFile = tier.keepFiles;
+        tables_.emplace_back(config_.rowsForTable(t), config_.embedDim,
+                             opts);
+        // Identical init stream to the dense ctor; on reuse the cold
+        // files already hold the (flushed) weights.
+        if (!tier.reuseFiles)
+            tables_.back().initUniform(seed + 0xE000 + t);
+    }
+}
+
+void
+DlrmModel::drainTierWarm() const
+{
+    for (const auto &t : tables_) {
+        if (t.tiered())
+            t.tier().joinWarm();
+    }
+}
+
+void
+DlrmModel::flushTiers()
+{
+    for (auto &t : tables_) {
+        if (t.tiered())
+            t.tier().flush();
+    }
+}
+
+TierStats
+DlrmModel::tierStats() const
+{
+    TierStats total;
+    for (const auto &t : tables_) {
+        if (t.tiered())
+            total += t.tier().stats();
+    }
+    return total;
 }
 
 DlrmModel::DlrmModel(const ModelConfig &config, PagedTables)
@@ -336,7 +418,26 @@ DlrmModel::copyWeightsFrom(const DlrmModel &other)
         LAZYDP_ASSERT(tables_[t].rows() == other.tables_[t].rows() &&
                           tables_[t].dim() == other.tables_[t].dim(),
                       "copyWeightsFrom across different table shapes");
-        tables_[t].weights().copyFrom(other.tables_[t].weights());
+        if (!tables_[t].tiered() && !other.tables_[t].tiered()) {
+            tables_[t].weights().copyFrom(other.tables_[t].weights());
+            continue;
+        }
+        // A tiered table on either side: stream through a bounded
+        // scratch chunk instead of materializing either table densely.
+        const std::uint64_t rows = tables_[t].rows();
+        const std::size_t dim = tables_[t].dim();
+        const std::uint64_t chunk_rows =
+            std::max<std::uint64_t>(1, (1u << 22) / dim); // ~16 MB
+        std::vector<float> scratch(
+            static_cast<std::size_t>(
+                std::min<std::uint64_t>(rows, chunk_rows)) *
+            dim);
+        for (std::uint64_t lo = 0; lo < rows; lo += chunk_rows) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(chunk_rows, rows - lo);
+            other.tables_[t].copyRowsOut(lo, n, scratch.data());
+            tables_[t].copyRowsIn(lo, n, scratch.data());
+        }
     }
     bottom_.copyWeightsFrom(other.bottom_);
     top_.copyWeightsFrom(other.top_);

@@ -99,6 +99,55 @@ class DlrmModel
     DlrmModel(const ModelConfig &config, PagedTables);
 
     /**
+     * Out-of-core model configuration: every embedding table is built
+     * in TIERED mode (see nn/tiered_store.h), with the DRAM hot budget
+     * divided across tables proportionally to their size and one cold
+     * data file per table under coldDir. MLPs stay dense (kilobytes).
+     */
+    struct TieredModelOptions
+    {
+        std::uint64_t hotBytes = 0;  //!< total hot budget, all tables
+        std::string coldDir;         //!< directory for the cold files
+        std::size_t pageRows = 256;  //!< rows per page (multiple of 8)
+        bool prefetch = true;        //!< lookahead warm tasks on/off
+        bool reuseFiles = false;     //!< re-open existing cold files
+        bool keepFiles = false;      //!< keep cold files on destruction
+    };
+
+    /**
+     * Tiered constructor: same weights as DlrmModel(config, seed) --
+     * the per-table init RNG streams are identical -- but the tables
+     * live out of core. When @p tier .reuseFiles is set the RNG init is
+     * skipped and weights come from the existing cold files instead
+     * (crash recovery).
+     */
+    DlrmModel(const ModelConfig &config, std::uint64_t seed,
+              const TieredModelOptions &tier);
+
+    /** @return true when the embedding tables are tiered. */
+    bool
+    tiered() const
+    {
+        return !tables_.empty() && tables_.front().tiered();
+    }
+
+    /** @return cold-file path of table @p t under @p dir (the naming
+     * contract shared by the tiered ctor and crash recovery). */
+    static std::string tieredColdPath(const std::string &dir,
+                                      std::size_t t);
+
+    /** Join every table's in-flight warm task (no-op unless tiered). */
+    void drainTierWarm() const;
+
+    /** Write all dirty hot pages back to the cold files and msync
+     * them (no-op unless tiered). */
+    void flushTiers();
+
+    /** @return summed TierStats over all tables (zeros unless
+     * tiered). */
+    TierStats tierStats() const;
+
+    /**
      * Forward pass over a mini-batch.
      *
      * @param mb input batch (must match the config's shape)

@@ -19,7 +19,9 @@
 #include <span>
 #include <vector>
 
+#include "common/macros.h"
 #include "nn/table_page.h"
+#include "nn/tiered_store.h"
 #include "tensor/tensor.h"
 
 namespace lazydp {
@@ -70,6 +72,19 @@ class EmbeddingTable
     /** Paged-mode constructor; see Paged. */
     EmbeddingTable(std::uint64_t rows, std::size_t dim, Paged);
 
+    /**
+     * TIERED (out-of-core) storage mode: no dense weight tensor;
+     * instead a TieredStore keeps hot pages in DRAM frames over a
+     * file-backed cold tier (see nn/tiered_store.h). Every mutable
+     * entry point works and produces a model bit-identical to the
+     * dense mode -- sparse updates promote their rows first and run
+     * the same per-row kernels; dense sweeps write through to the cold
+     * tier. Only weights() is off-limits (there is no contiguous
+     * buffer); bulk access goes through copyRowsOut / copyRowsIn.
+     */
+    EmbeddingTable(std::uint64_t rows, std::size_t dim,
+                   const TieredOptions &tier_options);
+
     /** Initialize weights uniformly in [-1/sqrt(dim), 1/sqrt(dim)]. */
     void initUniform(std::uint64_t seed);
 
@@ -105,6 +120,23 @@ class EmbeddingTable
     /** @return true in paged (snapshot read) storage mode. */
     bool paged() const { return paged_; }
 
+    /** @return true in tiered (out-of-core) storage mode. */
+    bool tiered() const { return tiered_ != nullptr; }
+
+    /** @return the tiered backing store (tiered mode only). */
+    TieredStore &
+    tier()
+    {
+        LAZYDP_ASSERT(tiered_ != nullptr, "tier() on a non-tiered table");
+        return *tiered_;
+    }
+    const TieredStore &
+    tier() const
+    {
+        LAZYDP_ASSERT(tiered_ != nullptr, "tier() on a non-tiered table");
+        return *tiered_;
+    }
+
     /** @return rows per bound page (0 until bindPages in paged mode). */
     std::size_t pageRows() const { return pageRows_; }
 
@@ -130,26 +162,79 @@ class EmbeddingTable
         return pages_;
     }
 
-    /** @return mutable raw weight row (used by the DP optimizers). */
+    /**
+     * @return mutable raw weight row (used by the DP optimizers).
+     * Tiered mode: writes land in the hot frame when the row's page is
+     * resident (marking it dirty) and go straight to the cold tier
+     * otherwise -- never promotes. Sparse update paths that want the
+     * row hot must ensureResident first.
+     */
     float *
     rowPtr(std::uint64_t r)
     {
+        if (tiered_ != nullptr)
+            return tiered_->rowPtrMut(r);
         return weights_.data() + r * dim_;
     }
 
-    /** @return const raw weight row (dense or paged storage). */
+    /** @return const raw weight row (dense, paged or tiered storage). */
     const float *
     rowPtr(std::uint64_t r) const
     {
+        if (tiered_ != nullptr)
+            return tiered_->rowPtr(r);
         if (paged_)
             return pages_[r / pageRows_]->data() +
                    (r % pageRows_) * dim_;
         return weights_.data() + r * dim_;
     }
 
-    /** @return the full weight matrix (rows x dim). */
-    Tensor &weights() { return weights_; }
-    const Tensor &weights() const { return weights_; }
+    /** @return the full weight matrix (rows x dim; dense mode only --
+     * a tiered table has no contiguous buffer, use copyRowsOut/In). */
+    Tensor &
+    weights()
+    {
+        LAZYDP_ASSERT(tiered_ == nullptr,
+                      "weights() on a tiered table (use copyRows*)");
+        return weights_;
+    }
+    const Tensor &
+    weights() const
+    {
+        LAZYDP_ASSERT(tiered_ == nullptr,
+                      "weights() on a tiered table (use copyRows*)");
+        return weights_;
+    }
+
+    /**
+     * Copy rows [row, row+n) into @p dst, whatever the storage mode
+     * (dense memcpy / tiered page walk). Bulk read for checkpointing
+     * and snapshot publishing.
+     */
+    void copyRowsOut(std::uint64_t row, std::uint64_t n,
+                     float *dst) const;
+
+    /** Overwrite rows [row, row+n) from @p src (dense or tiered). */
+    void copyRowsIn(std::uint64_t row, std::uint64_t n,
+                    const float *src);
+
+    /** Promote the pages covering @p rows into the hot tier (no-op
+     * unless tiered). Training-thread only; see TieredStore. */
+    void
+    ensureResident(std::span<const std::uint32_t> rows)
+    {
+        if (tiered_ != nullptr)
+            tiered_->ensureResident(rows);
+    }
+
+    /** Async-warm the cold pages covering @p rows (no-op unless
+     * tiered; see TieredStore::warmAsync). */
+    void
+    warmRowsAsync(ThreadPool *pool, std::vector<std::uint32_t> rows)
+    {
+        if (tiered_ != nullptr)
+            tiered_->warmAsync(pool, std::move(rows));
+    }
 
     /** @return table size in bytes (the paper's "model size" metric). */
     std::uint64_t
@@ -161,11 +246,13 @@ class EmbeddingTable
   private:
     std::uint64_t rows_;
     std::size_t dim_;
-    Tensor weights_; //!< dense storage (empty in paged mode)
+    Tensor weights_; //!< dense storage (empty in paged/tiered mode)
 
     bool paged_ = false;
     std::size_t pageRows_ = 0;
     std::vector<std::shared_ptr<const TablePage>> pages_;
+
+    std::unique_ptr<TieredStore> tiered_; //!< out-of-core mode only
 };
 
 /**

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * TieredStore implementation. See tiered_store.h for the design and
+ * the concurrency contract; the short version is that every structural
+ * mutation (page<->frame binding, clock state) happens on the training
+ * thread inside ensureResident, the warm task only reads the cold
+ * mapping and sets relaxed atomic flags, and coldWriteMu_ is the single
+ * point of exclusion between warm reads and cold write-back.
+ */
+
+#include "nn/tiered_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace lazydp {
+
+TierStats &
+TierStats::operator+=(const TierStats &o)
+{
+    hits += o.hits;
+    promotions += o.promotions;
+    warmedPromotions += o.warmedPromotions;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    warmSubmits += o.warmSubmits;
+    warmedPages += o.warmedPages;
+    overcommits += o.overcommits;
+    return *this;
+}
+
+double
+TierStats::hitRate() const
+{
+    const std::uint64_t total = hits + promotions;
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+TieredStore::TieredStore(std::uint64_t rows, std::size_t dim,
+                         const TieredOptions &options)
+    : rows_(rows), dim_(dim), pageRows_(options.pageRows),
+      pageFloats_(options.pageRows * dim), options_(options)
+{
+    if (rows_ == 0 || dim_ == 0)
+        fatal("tiered table must have rows > 0 and dim > 0");
+    if (pageRows_ == 0 || pageRows_ % 8 != 0)
+        fatal("tiered pageRows must be a positive multiple of 8, got ",
+              pageRows_);
+    if (options_.coldPath.empty())
+        fatal("tiered table needs a cold-tier file path (--cold-path)");
+
+    numPages_ = static_cast<std::size_t>(
+        (rows_ + pageRows_ - 1) / pageRows_);
+    // The mapping is padded to whole pages so every in-page row access
+    // (including the last, partial page) stays in bounds.
+    mapBytes_ = numPages_ * pageFloats_ * sizeof(float);
+
+    if (options_.reuseFile) {
+        fd_ = ::open(options_.coldPath.c_str(), O_RDWR);
+        if (fd_ < 0)
+            fatal("cannot re-open cold-tier file ", options_.coldPath,
+                  ": ", std::strerror(errno));
+        struct stat st;
+        if (::fstat(fd_, &st) != 0)
+            fatal("fstat(", options_.coldPath,
+                  "): ", std::strerror(errno));
+        if (static_cast<std::uint64_t>(st.st_size) !=
+            static_cast<std::uint64_t>(mapBytes_))
+            fatal("cold-tier file ", options_.coldPath, " holds ",
+                  st.st_size, " bytes but this table needs ", mapBytes_,
+                  " (rows/dim/pageRows mismatch)");
+    } else {
+        fd_ = ::open(options_.coldPath.c_str(),
+                     O_RDWR | O_CREAT | O_TRUNC, 0644);
+        if (fd_ < 0)
+            fatal("cannot create cold-tier file ", options_.coldPath,
+                  ": ", std::strerror(errno));
+        if (::ftruncate(fd_, static_cast<off_t>(mapBytes_)) != 0)
+            fatal("ftruncate(", options_.coldPath, ", ", mapBytes_,
+                  "): ", std::strerror(errno));
+    }
+
+    void *map = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED)
+        fatal("mmap of cold-tier file ", options_.coldPath, " (",
+              mapBytes_, " bytes) failed: ", std::strerror(errno));
+    cold_ = static_cast<float *>(map);
+
+    const std::size_t pageBytes = pageFloats_ * sizeof(float);
+    maxFrames_ = static_cast<std::size_t>(options_.hotBytes / pageBytes);
+    maxFrames_ = std::max<std::size_t>(1, maxFrames_);
+    maxFrames_ = std::min(maxFrames_, numPages_);
+
+    frameOf_.assign(numPages_, kNoFrame);
+    pagePtr_.resize(numPages_);
+    for (std::size_t p = 0; p < numPages_; ++p)
+        pagePtr_[p] = cold_ + p * pageFloats_;
+    dirty_ = std::make_unique<std::atomic<std::uint8_t>[]>(numPages_);
+    warmed_ = std::make_unique<std::atomic<std::uint8_t>[]>(numPages_);
+    for (std::size_t p = 0; p < numPages_; ++p) {
+        dirty_[p].store(0, std::memory_order_relaxed);
+        warmed_[p].store(0, std::memory_order_relaxed);
+    }
+    refBit_.assign(numPages_, 0);
+    pinEpoch_.assign(numPages_, 0);
+}
+
+TieredStore::~TieredStore()
+{
+    // The warm closure captures `this`; it must be done before we die.
+    joinWarm();
+    if (cold_ != nullptr)
+        ::munmap(cold_, mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (!options_.keepFile)
+        ::unlink(options_.coldPath.c_str());
+}
+
+void
+TieredStore::writeBack(std::size_t p)
+{
+    const std::uint32_t f = frameOf_[p];
+    float *coldPage = cold_ + p * pageFloats_;
+    {
+        // Exclude the warm task's reads of this region for the copy.
+        std::lock_guard<std::mutex> lock(coldWriteMu_);
+        std::memcpy(coldPage, frames_[f]->data(),
+                    pageFloats_ * sizeof(float));
+    }
+    dirty_[p].store(0, std::memory_order_relaxed);
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+TieredStore::acquireFrame(std::uint64_t epoch)
+{
+    if (!freeFrames_.empty()) {
+        const std::size_t f = freeFrames_.back();
+        freeFrames_.pop_back();
+        return f;
+    }
+    if (frames_.size() < maxFrames_) {
+        frames_.push_back(
+            std::make_unique<TablePage>(pageFloats_, false));
+        framePage_.push_back(kNoPage);
+        return frames_.size() - 1;
+    }
+
+    // CLOCK with second chance. Lap 1 prefers CLEAN victims (an
+    // eviction without write-back); lap 2 accepts dirty ones. Both
+    // laps clear reference bits as they pass and skip pages pinned in
+    // the current ensureResident call.
+    const std::size_t n = frames_.size();
+    for (int allowDirty = 0; allowDirty < 2; ++allowDirty) {
+        for (std::size_t step = 0; step < 2 * n; ++step) {
+            const std::size_t f = clockHand_;
+            clockHand_ = (clockHand_ + 1) % n;
+            const std::size_t q = framePage_[f];
+            if (q == kNoPage)
+                return f;
+            if (pinEpoch_[q] == epoch)
+                continue;
+            if (refBit_[q]) {
+                refBit_[q] = 0;
+                continue;
+            }
+            const bool isDirty =
+                dirty_[q].load(std::memory_order_relaxed) != 0;
+            if (isDirty && allowDirty == 0)
+                continue;
+            if (isDirty)
+                writeBack(q);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            pagePtr_[q] = cold_ + q * pageFloats_;
+            frameOf_[q] = kNoFrame;
+            framePage_[f] = kNoPage;
+            return f;
+        }
+    }
+
+    // Every frame is pinned by the current working set: the hot budget
+    // is smaller than one call's footprint. Grow past the budget
+    // rather than deadlock; the counter makes the overcommit visible.
+    overcommits_.fetch_add(1, std::memory_order_relaxed);
+    frames_.push_back(std::make_unique<TablePage>(pageFloats_, false));
+    framePage_.push_back(kNoPage);
+    return frames_.size() - 1;
+}
+
+void
+TieredStore::ensureResident(std::span<const std::uint32_t> rows)
+{
+    if (rows.empty())
+        return;
+    ++epoch_;
+    for (const std::uint32_t r : rows) {
+        const std::size_t p =
+            static_cast<std::size_t>(r) / pageRows_;
+        if (pinEpoch_[p] == epoch_)
+            continue; // already handled in this call
+        pinEpoch_[p] = epoch_;
+        refBit_[p] = 1;
+        if (frameOf_[p] != kNoFrame) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        const std::size_t f = acquireFrame(epoch_);
+        std::memcpy(frames_[f]->data(), cold_ + p * pageFloats_,
+                    pageFloats_ * sizeof(float));
+        frameOf_[p] = static_cast<std::uint32_t>(f);
+        framePage_[f] = p;
+        pagePtr_[p] = frames_[f]->data();
+        dirty_[p].store(0, std::memory_order_relaxed);
+        promotions_.fetch_add(1, std::memory_order_relaxed);
+        if (warmed_[p].exchange(0, std::memory_order_relaxed) != 0)
+            warmedPromotions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+TieredStore::warmRowsBody(const std::vector<std::uint32_t> &rows)
+{
+    const std::size_t touchStride = 4096 / sizeof(float);
+    std::size_t lastPage = kNoPage;
+    for (const std::uint32_t r : rows) {
+        const std::size_t p =
+            static_cast<std::size_t>(r) / pageRows_;
+        if (p == lastPage)
+            continue;
+        lastPage = p;
+        if (warmed_[p].load(std::memory_order_relaxed) != 0)
+            continue;
+        const float *base = cold_ + p * pageFloats_;
+        {
+            // Mutual exclusion against eviction write-back / flush
+            // writing these same bytes (see coldWriteMu_ contract).
+            std::lock_guard<std::mutex> lock(coldWriteMu_);
+            volatile float sink = 0.0f;
+            for (std::size_t i = 0; i < pageFloats_; i += touchStride)
+                sink = sink + base[i];
+            sink = sink + base[pageFloats_ - 1];
+            (void)sink;
+        }
+        warmed_[p].store(1, std::memory_order_relaxed);
+        warmedPages_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+TieredStore::warmAsync(ThreadPool *pool, std::vector<std::uint32_t> rows)
+{
+    if (!options_.prefetch || pool == nullptr || rows.empty())
+        return;
+    warmSubmits_.fetch_add(1, std::memory_order_relaxed);
+    TaskHandle handle = pool->submitLane(
+        ThreadPool::kTierPrefetchLane,
+        [this, moved = std::move(rows)]() { warmRowsBody(moved); });
+    std::lock_guard<std::mutex> lock(warmMu_);
+    warmHandle_ = handle;
+}
+
+void
+TieredStore::joinWarm() const
+{
+    TaskHandle handle;
+    {
+        std::lock_guard<std::mutex> lock(warmMu_);
+        handle = warmHandle_;
+    }
+    // The prefetch lane is FIFO, so waiting on the most recent
+    // submission waits on every earlier one too.
+    if (handle.valid())
+        handle.wait();
+}
+
+void
+TieredStore::flush()
+{
+    joinWarm();
+    for (std::size_t p = 0; p < numPages_; ++p) {
+        if (frameOf_[p] != kNoFrame &&
+            dirty_[p].load(std::memory_order_relaxed) != 0) {
+            writeBack(p);
+        }
+    }
+    if (::msync(cold_, mapBytes_, MS_SYNC) != 0)
+        warn("msync(", options_.coldPath,
+             ") failed: ", std::strerror(errno),
+             " -- cold tier may not be durable");
+}
+
+void
+TieredStore::copyRowsOut(std::uint64_t row, std::uint64_t n,
+                         float *dst) const
+{
+    std::uint64_t r = row;
+    const std::uint64_t end = row + n;
+    while (r < end) {
+        const std::size_t p = static_cast<std::size_t>(r / pageRows_);
+        const std::uint64_t inPage = r % pageRows_;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(end - r, pageRows_ - inPage);
+        std::memcpy(dst, pagePtr_[p] + inPage * dim_,
+                    take * dim_ * sizeof(float));
+        dst += take * dim_;
+        r += take;
+    }
+}
+
+void
+TieredStore::copyRowsIn(std::uint64_t row, std::uint64_t n,
+                        const float *src)
+{
+    std::uint64_t r = row;
+    const std::uint64_t end = row + n;
+    while (r < end) {
+        const std::size_t p = static_cast<std::size_t>(r / pageRows_);
+        const std::uint64_t inPage = r % pageRows_;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(end - r, pageRows_ - inPage);
+        std::memcpy(pagePtrMut(p) + inPage * dim_, src,
+                    take * dim_ * sizeof(float));
+        src += take * dim_;
+        r += take;
+    }
+}
+
+TierStats
+TieredStore::stats() const
+{
+    TierStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.promotions = promotions_.load(std::memory_order_relaxed);
+    s.warmedPromotions =
+        warmedPromotions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.writebacks = writebacks_.load(std::memory_order_relaxed);
+    s.warmSubmits = warmSubmits_.load(std::memory_order_relaxed);
+    s.warmedPages = warmedPages_.load(std::memory_order_relaxed);
+    s.overcommits = overcommits_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace lazydp

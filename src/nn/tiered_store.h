@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Out-of-core backing store for one embedding table: a DRAM hot tier of
+ * page frames over a file-backed cold tier.
+ *
+ * Production DLRM tables run to hundreds of GB; the paper's headline
+ * claim is that LazyDP's per-iteration work is proportional to the rows
+ * a batch touches, NOT to table capacity. This store makes that claim
+ * demonstrable past the DRAM budget: the full table lives in a
+ * per-table data file (mmap'ed MAP_SHARED -- the COLD tier and the
+ * durable authority for every non-resident page), while a bounded set
+ * of heap TablePage frames (the HOT tier) holds the pages training is
+ * actively touching.
+ *
+ * Residency is managed in user space at page granularity (pageRows
+ * rows per page, the same unit the delta-snapshot machinery shares):
+ *
+ *  - ensureResident(rows): training-thread-only. Promotes every page
+ *    covering @p rows into a frame (memcpy cold->frame), pinning it for
+ *    the current call; frames are reclaimed with a CLOCK sweep that
+ *    prefers clean victims and writes dirty victims back to the cold
+ *    mapping first. This is the ONLY place page<->frame bindings
+ *    change, so the page table needs no locking against the compute
+ *    pool: engines call it between parallel phases.
+ *  - warmAsync(rows): the lookahead prefetcher. Submits a task to a
+ *    dedicated ThreadPool lane that READ-touches the cold bytes of the
+ *    covered pages, faulting them into the OS page cache, so the
+ *    promotion memcpy that follows on the training thread runs at DRAM
+ *    speed instead of device speed. The warm task never mutates store
+ *    state (it only sets per-page "warmed" flags, relaxed atomics);
+ *    cold-region writes (eviction write-back, flush) exclude it through
+ *    a small mutex, keeping the overlap race-free.
+ *
+ * Bit-identity contract: promotion and eviction are byte copies and
+ * every update kernel runs the exact per-row/per-range arithmetic of
+ * the all-DRAM path (see embedding.cc / dp/noise_ops.cc), so the
+ * trained model is bit-identical to an all-DRAM run regardless of the
+ * hot budget, eviction order, or prefetch setting. pageRows must be a
+ * multiple of 8 so page boundaries land on the SIMD kernels' 8-wide
+ * group boundaries (pageRows * dim % 8 == 0 for any dim).
+ */
+
+#ifndef LAZYDP_NN_TIERED_STORE_H
+#define LAZYDP_NN_TIERED_STORE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/table_page.h"
+
+namespace lazydp {
+
+/** Configuration of one TieredStore. */
+struct TieredOptions
+{
+    /** DRAM budget for hot frames, in bytes (rounded down to whole
+     * frames; at least one frame is always allocated). */
+    std::uint64_t hotBytes = 0;
+
+    /** Cold-tier data file backing the table. */
+    std::string coldPath;
+
+    /** Rows per page; must be a multiple of 8 (SIMD group tiling). */
+    std::size_t pageRows = 256;
+
+    /** Submit lookahead warm tasks (warmAsync); off = every promotion
+     * faults synchronously on the training thread (worst case). */
+    bool prefetch = true;
+
+    /**
+     * Re-open an existing cold file instead of creating a fresh one:
+     * resident state starts empty and reads see the file's contents --
+     * the crash-recovery path (the file is the durable authority for
+     * everything flush()ed before the crash).
+     */
+    bool reuseFile = false;
+
+    /** Keep the cold file on destruction (recovery / inspection). */
+    bool keepFile = false;
+};
+
+/** Residency / traffic counters of one store (test + tool surface). */
+struct TierStats
+{
+    std::uint64_t hits = 0;        //!< ensureResident: page already hot
+    std::uint64_t promotions = 0;  //!< pages copied cold -> frame
+    std::uint64_t warmedPromotions = 0; //!< promotions the prefetcher warmed
+    std::uint64_t evictions = 0;   //!< frames reclaimed
+    std::uint64_t writebacks = 0;  //!< dirty evictions (frame -> cold copy)
+    std::uint64_t warmSubmits = 0; //!< warm tasks submitted
+    std::uint64_t warmedPages = 0; //!< pages the warm tasks touched
+    std::uint64_t overcommits = 0; //!< frames allocated past the budget
+
+    TierStats &operator+=(const TierStats &o);
+
+    /** hit fraction of ensureResident page requests (1.0 when idle). */
+    double hitRate() const;
+};
+
+/** File-backed tiered page store; see file comment. */
+class TieredStore
+{
+  public:
+    TieredStore(std::uint64_t rows, std::size_t dim,
+                const TieredOptions &options);
+    ~TieredStore();
+
+    TieredStore(const TieredStore &) = delete;
+    TieredStore &operator=(const TieredStore &) = delete;
+
+    std::uint64_t rows() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t pageRows() const { return pageRows_; }
+    std::size_t numPages() const { return numPages_; }
+    std::size_t frameCount() const { return frames_.size(); }
+    const std::string &coldPath() const { return options_.coldPath; }
+    bool prefetchEnabled() const { return options_.prefetch; }
+
+    /** @return current authority pointer of page @p p (frame if
+     * resident, else the cold mapping). */
+    const float *
+    pagePtr(std::size_t p) const
+    {
+        return pagePtr_[p];
+    }
+
+    /** Const row access: never promotes, never marks. */
+    const float *
+    rowPtr(std::uint64_t r) const
+    {
+        const std::size_t p = static_cast<std::size_t>(r / pageRows_);
+        return pagePtr_[p] + (r % pageRows_) * dim_;
+    }
+
+    /**
+     * Mutable row access: marks the covering page dirty when resident
+     * (a cold write lands in the authority directly and needs no mark).
+     * Never promotes -- dense sweeps (finalize, eager streaming
+     * updates) intentionally write THROUGH to the cold tier instead of
+     * thrashing the hot tier.
+     */
+    float *
+    rowPtrMut(std::uint64_t r)
+    {
+        const std::size_t p = static_cast<std::size_t>(r / pageRows_);
+        if (frameOf_[p] != kNoFrame)
+            dirty_[p].store(1, std::memory_order_relaxed);
+        return pagePtr_[p] + (r % pageRows_) * dim_;
+    }
+
+    /** Mutable page access with the same dirty-marking contract. */
+    float *
+    pagePtrMut(std::size_t p)
+    {
+        if (frameOf_[p] != kNoFrame)
+            dirty_[p].store(1, std::memory_order_relaxed);
+        return pagePtr_[p];
+    }
+
+    /** @return true when page @p p is bound to a hot frame. */
+    bool
+    resident(std::size_t p) const
+    {
+        return frameOf_[p] != kNoFrame;
+    }
+
+    /**
+     * Promote every page covering @p rows into the hot tier (training
+     * thread only; must not run concurrently with pool work that
+     * touches this store). Rows may repeat and need not be sorted.
+     */
+    void ensureResident(std::span<const std::uint32_t> rows);
+
+    /**
+     * Submit a lookahead warm task for @p rows on the dedicated
+     * prefetch lane (no-op when prefetch is off or @p pool is null).
+     * Safe to call from the pipeline lane; the row list is copied.
+     */
+    void warmAsync(ThreadPool *pool, std::vector<std::uint32_t> rows);
+
+    /** Block until the most recently submitted warm task finished. */
+    void joinWarm() const;
+
+    /**
+     * Write every dirty resident page back to the cold mapping and
+     * msync it: after flush() returns, the cold FILE holds the complete
+     * current table (the crash-recovery guarantee checkpoint saves rely
+     * on). Pages stay resident; joins any in-flight warm task first.
+     */
+    void flush();
+
+    /** Copy rows [row, row+n) into @p dst (no promotion, no marks). */
+    void copyRowsOut(std::uint64_t row, std::uint64_t n,
+                     float *dst) const;
+
+    /** Overwrite rows [row, row+n) from @p src (write-through; marks
+     * resident pages dirty). */
+    void copyRowsIn(std::uint64_t row, std::uint64_t n, const float *src);
+
+    TierStats stats() const;
+
+  private:
+    static constexpr std::uint32_t kNoFrame = 0xFFFFFFFFu;
+    static constexpr std::size_t kNoPage =
+        static_cast<std::size_t>(-1);
+
+    /** Reclaim (or allocate) a frame for promotion; CLOCK sweep. */
+    std::size_t acquireFrame(std::uint64_t epoch);
+
+    /** Copy frame contents of resident page @p p back to the cold
+     * mapping (caller holds no lock; takes coldWriteMu_). */
+    void writeBack(std::size_t p);
+
+    /** Warm-task body: read-touch the cold bytes of @p rows' pages. */
+    void warmRowsBody(const std::vector<std::uint32_t> &rows);
+
+    std::uint64_t rows_;
+    std::size_t dim_;
+    std::size_t pageRows_;
+    std::size_t pageFloats_; //!< pageRows_ * dim_
+    std::size_t numPages_;
+    TieredOptions options_;
+
+    int fd_ = -1;
+    float *cold_ = nullptr;   //!< MAP_SHARED mapping of the data file
+    std::size_t mapBytes_ = 0;
+
+    std::vector<std::unique_ptr<TablePage>> frames_; //!< hot tier
+    std::vector<std::size_t> framePage_; //!< frame -> page (kNoPage=free)
+    std::vector<std::size_t> freeFrames_;
+    std::size_t maxFrames_ = 0; //!< budgeted frame count
+
+    std::vector<std::uint32_t> frameOf_; //!< page -> frame (kNoFrame)
+    std::vector<float *> pagePtr_;       //!< page -> authority pointer
+    std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;  //!< per page
+    std::unique_ptr<std::atomic<std::uint8_t>[]> warmed_; //!< per page
+    std::vector<std::uint8_t> refBit_;      //!< CLOCK reference bits
+    std::vector<std::uint64_t> pinEpoch_;   //!< per-page pin stamp
+    std::uint64_t epoch_ = 0;
+    std::size_t clockHand_ = 0;
+
+    /** Excludes the warm task's cold reads from eviction/flush writes
+     * to the cold mapping (the only writer/reader overlap possible). */
+    mutable std::mutex coldWriteMu_;
+
+    /** Guards warmHandle_ (written from the pipeline lane). */
+    mutable std::mutex warmMu_;
+    TaskHandle warmHandle_;
+
+    // Counters. Atomics because warm tasks (prefetch lane) and warm
+    // submissions (pipeline lane) bump theirs concurrently with the
+    // training thread's; all relaxed, read via stats() after joins.
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> promotions_{0};
+    mutable std::atomic<std::uint64_t> warmedPromotions_{0};
+    mutable std::atomic<std::uint64_t> evictions_{0};
+    mutable std::atomic<std::uint64_t> writebacks_{0};
+    mutable std::atomic<std::uint64_t> warmSubmits_{0};
+    mutable std::atomic<std::uint64_t> warmedPages_{0};
+    mutable std::atomic<std::uint64_t> overcommits_{0};
+};
+
+} // namespace lazydp
+
+#endif // LAZYDP_NN_TIERED_STORE_H

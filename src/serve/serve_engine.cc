@@ -90,11 +90,17 @@ ServeEngine::workerLoop()
             // count as served/batched (completion accounting must
             // reconcile with submissions); min/maxVersion track only
             // SCORED requests, so they stay untouched.
+            // Stats BEFORE complete(): complete() wakes the client,
+            // and a client that observed its own completion must see
+            // itself counted (stats() would otherwise transiently
+            // under-report served).
+            {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                stats_.served += batch.size();
+                stats_.batches += 1;
+            }
             for (auto &request : batch)
                 request->complete(ServeResult{});
-            std::lock_guard<std::mutex> lock(statsMu_);
-            stats_.served += batch.size();
-            stats_.batches += 1;
             continue;
         }
 
@@ -125,16 +131,10 @@ ServeEngine::workerLoop()
         // execution context for a latency-bound micro-batch.
         snap->model.forward(mb, logits, ws, ExecContext::serial());
 
-        ServeResult result;
-        result.version = snap->version;
-        result.iteration = snap->iteration;
-        result.batchSize = static_cast<std::uint32_t>(n);
-        for (std::size_t e = 0; e < n; ++e) {
-            const float z = logits.at(e, 0);
-            result.score = 1.0f / (1.0f + std::exp(-z));
-            batch[e]->complete(result);
-        }
-
+        // Stats BEFORE complete(): complete() is the client's wakeup,
+        // so any observer that saw its own result must also see it
+        // counted -- updating after the wakeup let stats().served
+        // transiently read N-1 after the N-th client returned.
         {
             std::lock_guard<std::mutex> lock(statsMu_);
             stats_.served += n;
@@ -144,6 +144,16 @@ ServeEngine::workerLoop()
                 stats_.minVersion = snap->version;
             if (snap->version > stats_.maxVersion)
                 stats_.maxVersion = snap->version;
+        }
+
+        ServeResult result;
+        result.version = snap->version;
+        result.iteration = snap->iteration;
+        result.batchSize = static_cast<std::uint32_t>(n);
+        for (std::size_t e = 0; e < n; ++e) {
+            const float z = logits.at(e, 0);
+            result.score = 1.0f / (1.0f + std::exp(-z));
+            batch[e]->complete(result);
         }
     }
 }

@@ -55,10 +55,11 @@ struct ServeOptions
     /**
      * First ThreadPool lane used for serving; lanes
      * [firstLane, firstLane + threads) must not collide with the
-     * trainer's lanes (0 = pipeline prepare, 1..replicas-1 = replica
-     * workers). 8 leaves headroom for both.
+     * trainer's lanes (kPipelineLane, the replica lanes, and the
+     * out-of-core warm lane kTierPrefetchLane). The shared lane map
+     * lives in common/thread_pool.h.
      */
-    std::size_t firstLane = 8;
+    std::size_t firstLane = ThreadPool::kServeLaneBase;
 };
 
 /** Cumulative serving counters (one engine lifetime). */

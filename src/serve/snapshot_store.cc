@@ -194,9 +194,11 @@ ModelSnapshotStore::buildDeltaTables(const DlrmModel &src,
             if (page == nullptr)
                 page = std::make_unique<TablePage>(page_rows * dim,
                                                    options_.sealPages);
-            std::memcpy(page->data(),
-                        st.weights().data() + lo * dim,
-                        span * dim * sizeof(float));
+            // copyRowsOut instead of a weights() memcpy: tiered source
+            // tables have no contiguous buffer (rows come from the hot
+            // frame or the cold mapping page by page); for dense
+            // sources it degenerates to the same single memcpy.
+            st.copyRowsOut(lo, span, page->data());
             if (options_.sealPages)
                 page->seal();
             ++receipt.pagesCopied;

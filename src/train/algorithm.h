@@ -188,6 +188,36 @@ class Algorithm
     }
 
     /**
+     * Lookahead hook for out-of-core (tiered) tables: submit async
+     * warm tasks for the embedding rows iteration @p prep (or, engines
+     * without prepared lookahead state, batch @p next) will touch, so
+     * their cold pages are OS-page-cache-hot before apply() promotes
+     * them. Called by the Trainer right after prepare(i+1) -- from the
+     * pipeline lane under --pipeline, from the training thread in the
+     * serial schedule -- and must therefore only submit work (via
+     * EmbeddingTable::warmRowsAsync), never touch model weights or
+     * residency state.
+     *
+     * Default: no-op. Engines whose table update is sparse (SGD, EANA,
+     * LazyDP) override; the dense engines (DP-SGD B/R/F) keep the
+     * no-op -- their update streams every row with write-through, so
+     * warming would only pollute the page cache.
+     *
+     * @param next the batch the NEXT apply will consume
+     * @param prep that apply's prepared state (nullptr in the serial
+     *        schedule before prepare has run; engines must cope)
+     * @param pool lane provider for the warm tasks (may be null)
+     */
+    virtual void
+    warmTier(const MiniBatch &next, const PreparedStep *prep,
+             ThreadPool *pool)
+    {
+        (void)next;
+        (void)prep;
+        (void)pool;
+    }
+
+    /**
      * Ask the engine to export its dirty-row set (the rows each apply
      * mutates) into a page-granular DirtyRowTracker, enabling
      * O(dirty rows) delta snapshot publishing. Engines whose table

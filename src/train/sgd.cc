@@ -21,6 +21,20 @@ SgdAlgorithm::enableDirtyTracking(std::size_t page_rows)
     return true;
 }
 
+void
+SgdAlgorithm::warmTier(const MiniBatch &next, const PreparedStep *prep,
+                       ThreadPool *pool)
+{
+    (void)prep; // SGD has no prepared lookahead state
+    if (!model_.tiered() || pool == nullptr)
+        return;
+    for (std::size_t t = 0; t < model_.config().numTables; ++t) {
+        const auto idx = next.tableIndices(t);
+        model_.tables()[t].warmRowsAsync(
+            pool, std::vector<std::uint32_t>(idx.begin(), idx.end()));
+    }
+}
+
 double
 SgdAlgorithm::apply(std::uint64_t iter, const MiniBatch &cur,
                     PreparedStep &prepared, ExecContext &exec,

@@ -49,6 +49,11 @@ class SgdAlgorithm : public Algorithm
      * exactly the rows each apply() mutates. */
     bool enableDirtyTracking(std::size_t page_rows) override;
 
+    /** Warm the next batch's rows (exactly the rows its apply will
+     * gather and update). Tiered tables only; otherwise a no-op. */
+    void warmTier(const MiniBatch &next, const PreparedStep *prep,
+                  ThreadPool *pool) override;
+
   private:
     /** Per-microbatch-shard state (no clipping: plain backward). */
     struct Shard : LotShardState

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "nn/dlrm.h"
 #include "serve/snapshot_store.h"
 #include "train/replica.h"
 
@@ -61,6 +62,13 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
     else
         runSerial(iterations, options, result);
 
+    // Join the out-of-core warm lane before finalize: the dense
+    // catch-up sweep writes through to cold pages, which must not
+    // overlap the warm task's cold reads (and the caller may
+    // checkpoint or read stats right after run()).
+    if (algorithm_.model() != nullptr)
+        algorithm_.model()->drainTierWarm();
+
     if (options.runFinalize) {
         WallTimer fin;
         algorithm_.finalize(options.startIter + iterations, runExec_,
@@ -68,6 +76,8 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
         result.finalizeSeconds = fin.seconds();
     }
     result.iterations = iterations - options.warmupIters;
+    if (algorithm_.model() != nullptr)
+        result.tierStats = algorithm_.model()->tierStats();
     return result;
 }
 
@@ -87,8 +97,14 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
         // for steady-state lookahead on every step.
         const bool has_next =
             iter < iterations || options.previewFinal;
-        if (has_next)
+        if (has_next) {
             queue.push(loader_.next());
+            // Out-of-core lookahead: warm the next batch's rows while
+            // this iteration computes. For LazyDP those rows are also
+            // exactly THIS apply's pending-noise row set (nextUnique),
+            // so one warm serves both sides of the merged update.
+            algorithm_.warmTier(queue.at(1), nullptr, exec_->pool);
+        }
         if (iter == options.warmupIters + 1) {
             wall.reset();
             iter_mark = 0.0;
@@ -147,6 +163,9 @@ Trainer::runPipelined(std::uint64_t iterations,
         algorithm_.prepare(options.startIter + 1, queue.head(),
                            first_has_next ? &queue.at(1) : nullptr,
                            *cur_prep, runExec_, t1);
+        // Warm the first apply's full row set (batch 1 plus the
+        // prepared lookahead rows) while nothing else is running.
+        algorithm_.warmTier(queue.head(), cur_prep, exec_->pool);
     }
 
     WallTimer wall;
@@ -181,6 +200,12 @@ Trainer::runPipelined(std::uint64_t iterations,
                                                  : nullptr,
                                    *next_prep, ExecContext::serial(),
                                    prep_timer);
+                // Warm the NEXT apply's row set (its batch + the rows
+                // this prepare just deduped) so the warm I/O overlaps
+                // the remainder of the current apply. Submission only
+                // -- the warm task runs on its own dedicated lane.
+                algorithm_.warmTier(queue.at(1), next_prep,
+                                    exec_->pool);
             });
         }
 

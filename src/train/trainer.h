@@ -33,6 +33,7 @@
 #include "common/timer.h"
 #include "data/data_loader.h"
 #include "data/input_queue.h"
+#include "nn/tiered_store.h"
 #include "train/algorithm.h"
 
 namespace lazydp {
@@ -139,6 +140,14 @@ struct TrainResult
     std::uint64_t publishes = 0;  //!< snapshots published by this run
     std::uint64_t rowsCopied = 0; //!< embedding rows memcpy'd
     std::uint64_t pagesShared = 0;//!< COW pages shared across versions
+
+    /**
+     * Out-of-core residency traffic summed over the model's tiered
+     * tables (all zeros for an all-DRAM model): hit rate, promotions,
+     * evictions, write-backs and warm coverage of the run. Collected
+     * once at the end of run(), after the warm lane drained.
+     */
+    TierStats tierStats;
 
     /**
      * Sum of all measured stage times: total CPU-side work. Equals

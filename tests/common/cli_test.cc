@@ -101,6 +101,33 @@ TEST(CliTest, SpecCtorParsesAndRejectsUnknownFlags)
     setLogThrowMode(false);
 }
 
+TEST(CliTest, TierFlagsAppendAndStayUnknownElsewhere)
+{
+    // withTierFlags appends the shared out-of-core triplet...
+    const std::vector<FlagSpec> specs = withTierFlags(kSpecs);
+    std::vector<const char *> argv = {"prog", "--hot-mb=32",
+                                      "--cold-path=/tmp/x",
+                                      "--prefetch=off"};
+    const CliArgs args(static_cast<int>(argv.size()), argv.data(),
+                       specs);
+    EXPECT_EQ(args.getU64("hot-mb", 0), 32u);
+    EXPECT_EQ(args.getString("cold-path", ""), "/tmp/x");
+    EXPECT_FALSE(args.getBool("prefetch", true));
+    const std::string help = args.helpText("prog", "x");
+    EXPECT_NE(help.find("--hot-mb"), std::string::npos);
+    EXPECT_NE(help.find("--cold-path"), std::string::npos);
+    EXPECT_NE(help.find("--prefetch"), std::string::npos);
+
+    // ...and a tool that did NOT opt in still rejects them (unknown
+    // flags must stay fatal, tier flags included).
+    setLogThrowMode(true);
+    EXPECT_THROW(parseSpecs({"--hot-mb=32"}), std::runtime_error);
+    EXPECT_THROW(parseSpecs({"--cold-path=/tmp/x"}),
+                 std::runtime_error);
+    EXPECT_THROW(parseSpecs({"--prefetch=off"}), std::runtime_error);
+    setLogThrowMode(false);
+}
+
 TEST(CliTest, GeneratedHelpListsEveryFlagWithItsDescription)
 {
     const auto args = parseSpecs({});

@@ -1,0 +1,245 @@
+/**
+ * @file Out-of-core TieredStore unit tests: promotion/eviction
+ * round-trips, dirty write-back ordering vs checkpointing (flush),
+ * crash-safe cold-file re-open, init parity with the dense path, and
+ * the prefetch-off worst case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/embedding.h"
+#include "nn/tiered_store.h"
+
+namespace lazydp {
+namespace {
+
+class TieredStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "lazydp_tier_" +
+                std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".cold";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /** Tiny geometry: 8-row pages so a few rows span many pages. */
+    TieredOptions
+    options(std::uint64_t hot_bytes) const
+    {
+        TieredOptions o;
+        o.hotBytes = hot_bytes;
+        o.coldPath = path_;
+        o.pageRows = 8;
+        return o;
+    }
+
+    std::string path_;
+};
+
+constexpr std::uint64_t kRows = 100; // 13 pages of 8, last partial
+constexpr std::size_t kDim = 16;
+
+/** One page frame's worth of bytes for the tiny geometry. */
+constexpr std::uint64_t
+frameBytes(std::size_t frames)
+{
+    return static_cast<std::uint64_t>(frames) * 8 * kDim *
+           sizeof(float);
+}
+
+TEST_F(TieredStoreTest, InitParityWithDense)
+{
+    EmbeddingTable dense(kRows, kDim);
+    dense.initUniform(0xABCD);
+
+    EmbeddingTable tiered(kRows, kDim, options(frameBytes(2)));
+    tiered.initUniform(0xABCD);
+
+    std::vector<float> got(kRows * kDim);
+    tiered.copyRowsOut(0, kRows, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), dense.weights().data(),
+                          got.size() * sizeof(float)),
+              0)
+        << "tiered initUniform must produce the dense RNG stream";
+}
+
+TEST_F(TieredStoreTest, EvictThenTouchReloadsBitExact)
+{
+    // One frame: every new page promotion evicts the previous page.
+    TieredStore store(kRows, kDim, options(frameBytes(1)));
+    ASSERT_EQ(store.numPages(), 13u);
+
+    // Dirty page 0 with a distinctive pattern through the hot frame.
+    const std::uint32_t row0 = 3;
+    store.ensureResident(std::span<const std::uint32_t>(&row0, 1));
+    ASSERT_TRUE(store.resident(0));
+    float *w = store.rowPtrMut(row0);
+    for (std::size_t i = 0; i < kDim; ++i)
+        w[i] = 1000.0f + static_cast<float>(i);
+
+    // Touch enough other pages to force page 0 out (dirty eviction =>
+    // write-back), then bring it home again.
+    for (std::uint32_t r = 16; r < 80; r += 8) {
+        store.ensureResident(std::span<const std::uint32_t>(&r, 1));
+        EXPECT_TRUE(store.resident(r / 8));
+    }
+    EXPECT_FALSE(store.resident(0));
+    EXPECT_GT(store.stats().evictions, 0u);
+    EXPECT_GT(store.stats().writebacks, 0u);
+
+    store.ensureResident(std::span<const std::uint32_t>(&row0, 1));
+    ASSERT_TRUE(store.resident(0));
+    const float *back = store.rowPtr(row0);
+    for (std::size_t i = 0; i < kDim; ++i)
+        EXPECT_EQ(back[i], 1000.0f + static_cast<float>(i)) << i;
+}
+
+TEST_F(TieredStoreTest, FlushWritesDirtyPagesBeforeCheckpointRead)
+{
+    // The write-back ordering contract checkpoint saves rely on: after
+    // flush(), reading the cold FILE (not the mapping) sees every
+    // dirty hot page -- i.e. a checkpoint taken from the file after
+    // flush can never observe pre-write-back bytes.
+    std::vector<float> expect(kRows * kDim);
+    {
+        TieredOptions opts = options(frameBytes(4));
+        opts.keepFile = true;
+        TieredStore store(kRows, kDim, opts);
+        for (std::uint32_t r = 0; r < kRows; ++r) {
+            store.ensureResident(
+                std::span<const std::uint32_t>(&r, 1));
+            float *w = store.rowPtrMut(r);
+            for (std::size_t i = 0; i < kDim; ++i)
+                w[i] = static_cast<float>(r * kDim + i);
+        }
+        store.flush();
+        store.copyRowsOut(0, kRows, expect.data());
+
+        // Independent read of the data file while the store still
+        // holds its resident (post-flush clean) pages.
+        std::ifstream f(path_, std::ios::binary);
+        ASSERT_TRUE(f.good());
+        std::vector<float> file(kRows * kDim);
+        f.read(reinterpret_cast<char *>(file.data()),
+               static_cast<std::streamsize>(file.size() *
+                                            sizeof(float)));
+        ASSERT_EQ(static_cast<std::size_t>(f.gcount()),
+                  file.size() * sizeof(float));
+        EXPECT_EQ(std::memcmp(file.data(), expect.data(),
+                              file.size() * sizeof(float)),
+                  0);
+    }
+    std::remove(path_.c_str());
+}
+
+TEST_F(TieredStoreTest, CrashSafeReopenRestoresFlushedWeights)
+{
+    std::vector<float> expect(kRows * kDim);
+    {
+        TieredOptions opts = options(frameBytes(2));
+        opts.keepFile = true; // survive "crash" (destruction)
+        EmbeddingTable table(kRows, kDim, opts);
+        table.initUniform(0x7E57);
+        // Mutate some rows through the sparse path, then flush so the
+        // cold file is the complete durable state.
+        std::vector<std::uint32_t> rows = {1, 9, 42, 99};
+        table.ensureResident(rows);
+        for (const std::uint32_t r : rows) {
+            float *w = table.rowPtr(r);
+            for (std::size_t i = 0; i < kDim; ++i)
+                w[i] += 0.5f;
+        }
+        table.tier().flush();
+        table.copyRowsOut(0, kRows, expect.data());
+    }
+
+    TieredOptions reopen = options(frameBytes(2));
+    reopen.reuseFile = true;
+    EmbeddingTable table(kRows, kDim, reopen);
+    // No initUniform: the file IS the weight state.
+    std::vector<float> got(kRows * kDim);
+    table.copyRowsOut(0, kRows, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), expect.data(),
+                          got.size() * sizeof(float)),
+              0);
+    // Fresh store: nothing resident until touched.
+    EXPECT_EQ(table.tier().stats().promotions, 0u);
+}
+
+TEST_F(TieredStoreTest, CopyRowsRoundTripAcrossPageBoundaries)
+{
+    TieredStore store(kRows, kDim, options(frameBytes(2)));
+    std::vector<float> in(37 * kDim); // spans pages 0..5 unaligned
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(i) * 0.25f;
+    store.copyRowsIn(5, 37, in.data());
+    std::vector<float> out(37 * kDim);
+    store.copyRowsOut(5, 37, out.data());
+    EXPECT_EQ(
+        std::memcmp(in.data(), out.data(), in.size() * sizeof(float)),
+        0);
+}
+
+TEST_F(TieredStoreTest, WarmAsyncMarksPromotionsWarmed)
+{
+    ThreadPool pool(2);
+    TieredStore store(kRows, kDim, options(frameBytes(2)));
+    std::vector<std::uint32_t> rows = {0, 17, 33, 65};
+    store.warmAsync(&pool, rows);
+    store.joinWarm();
+    EXPECT_EQ(store.stats().warmSubmits, 1u);
+    EXPECT_GT(store.stats().warmedPages, 0u);
+
+    store.ensureResident(rows);
+    EXPECT_GT(store.stats().warmedPromotions, 0u);
+}
+
+TEST_F(TieredStoreTest, PrefetchOffMakesWarmANoOp)
+{
+    ThreadPool pool(2);
+    TieredOptions opts = options(frameBytes(2));
+    opts.prefetch = false;
+    TieredStore store(kRows, kDim, opts);
+    std::vector<std::uint32_t> rows = {0, 17, 33};
+    store.warmAsync(&pool, rows); // must be ignored, not crash
+    store.joinWarm();
+    EXPECT_EQ(store.stats().warmSubmits, 0u);
+    EXPECT_EQ(store.stats().warmedPages, 0u);
+
+    // The worst-case leg still trains correctly: promotion works
+    // without any warming.
+    store.ensureResident(rows);
+    EXPECT_EQ(store.stats().warmedPromotions, 0u);
+    EXPECT_GT(store.stats().promotions, 0u);
+}
+
+TEST_F(TieredStoreTest, HitRateCountsResidentPages)
+{
+    TieredStore store(kRows, kDim, options(frameBytes(4)));
+    std::vector<std::uint32_t> rows = {0, 1, 2, 9};
+    store.ensureResident(rows); // pages 0,1: two promotions
+    EXPECT_EQ(store.stats().promotions, 2u);
+    store.ensureResident(rows); // same pages: two hits
+    EXPECT_EQ(store.stats().hits, 2u);
+    EXPECT_DOUBLE_EQ(store.stats().hitRate(), 0.5);
+}
+
+} // namespace
+} // namespace lazydp

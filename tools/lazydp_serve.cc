@@ -41,7 +41,7 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        std::vector<FlagSpec>{
+        withTierFlags(std::vector<FlagSpec>{
          {"algo", "training engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|"
                   "lazydp|lazydp-noans"},
          {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
@@ -81,7 +81,7 @@ main(int argc, char **argv)
                           "oldest query waits"},
          {"serve-skew", "QUERY skew: uniform|low|medium|high|zipf"},
          {"csv", "print the result table as CSV"},
-         {"help", "print this listing"}});
+         {"help", "print this listing"}}));
     if (args.has("help")) {
         std::printf("%s",
                     args.helpText("lazydp_serve",
@@ -110,7 +110,25 @@ main(int argc, char **argv)
     hyper.clipNorm = static_cast<float>(args.getDouble("clip", 1.0));
     hyper.noiseSeed = seed * 0x9E3779B9u + 7;
 
-    DlrmModel model(model_cfg, seed);
+    // Out-of-core training tables (--cold-path): snapshots still copy
+    // rows out page by page, so serving is unaffected beyond the copy
+    // source; the trained bits match all-DRAM exactly.
+    const std::string cold_path = args.getString("cold-path", "");
+    if (args.has("hot-mb") && cold_path.empty())
+        fatal("--hot-mb needs --cold-path (it sizes the tiered "
+              "tables' DRAM budget)");
+    std::unique_ptr<DlrmModel> model_holder;
+    if (!cold_path.empty()) {
+        DlrmModel::TieredModelOptions tier;
+        tier.hotBytes = args.getU64("hot-mb", 64) << 20;
+        tier.coldDir = cold_path;
+        tier.prefetch = args.getBool("prefetch", true);
+        model_holder =
+            std::make_unique<DlrmModel>(model_cfg, seed, tier);
+    } else {
+        model_holder = std::make_unique<DlrmModel>(model_cfg, seed);
+    }
+    DlrmModel &model = *model_holder;
     DatasetConfig data_cfg;
     data_cfg.numDense = model_cfg.numDense;
     data_cfg.numTables = model_cfg.numTables;
@@ -248,6 +266,18 @@ main(int argc, char **argv)
             stats::computePercentiles(train_result.iterSeconds);
         table.addRow({"train sec/iter p99",
                       TablePrinter::num(iter_pct.p99, 4)});
+        if (model.tiered()) {
+            table.addRow(
+                {"tier hit rate",
+                 TablePrinter::num(train_result.tierStats.hitRate(),
+                                   4)});
+            table.addRow(
+                {"tier write-backs",
+                 TablePrinter::num(
+                     static_cast<double>(
+                         train_result.tierStats.writebacks),
+                     0)});
+        }
     }
     // Publish-side costs over the store's lifetime (startup publish +
     // every training publish): what serving freshness cost the writer.
@@ -274,6 +304,39 @@ main(int argc, char **argv)
                       static_cast<double>(ptotals.snapshotsRecycled +
                                           ptotals.pagesRecycled),
                       0)});
+    if (snap_opts.sealPages) {
+        // --seal-pages hardening is only real on mmap-backed pages;
+        // TablePage silently falls back to the heap where mmap is
+        // unavailable, so count what the CURRENT snapshot actually
+        // got -- a nonzero fallback means published pages are NOT
+        // fault-on-write protected despite the flag.
+        std::uint64_t sealed_pages = 0;
+        std::uint64_t heap_fallback = 0;
+        if (const auto snap = store.current()) {
+            for (const auto &t : snap->model.tables()) {
+                if (!t.paged())
+                    continue;
+                for (const auto &pg : t.pages()) {
+                    if (pg == nullptr)
+                        continue;
+                    if (pg->mmapped())
+                        ++sealed_pages;
+                    else
+                        ++heap_fallback;
+                }
+            }
+        }
+        table.addRow({"sealed pages",
+                      TablePrinter::num(
+                          static_cast<double>(sealed_pages), 0)});
+        table.addRow({"seal fallbacks (heap)",
+                      TablePrinter::num(
+                          static_cast<double>(heap_fallback), 0)});
+        if (heap_fallback > 0)
+            warn("--seal-pages: ", heap_fallback, " published pages "
+                 "fell back to heap allocation and are NOT mprotect-"
+                 "sealed (mmap unavailable?)");
+    }
     if (args.getBool("csv", false))
         table.printCsv(std::cout);
     else

@@ -38,7 +38,7 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        std::vector<FlagSpec>{
+        withTierFlags(std::vector<FlagSpec>{
          {"algo", "engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|lazydp|"
                   "lazydp-noans"},
          {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
@@ -71,7 +71,7 @@ main(int argc, char **argv)
          {"save", "write a checkpoint here (LazyDP: full training "
                   "state)"},
          {"csv", "print the result table as CSV"},
-         {"help", "print this listing"}});
+         {"help", "print this listing"}}));
     if (args.has("help")) {
         std::printf("%s",
                     args.helpText("lazydp_train",
@@ -103,7 +103,25 @@ main(int argc, char **argv)
         static_cast<float>(args.getDouble("weight-decay", 0.0));
     hyper.noiseSeed = seed * 0x9E3779B9u + 7;
 
-    DlrmModel model(model_cfg, seed);
+    // Out-of-core mode: --cold-path switches the embedding tables to
+    // the DRAM-hot / file-cold tiered backend. Same trained model bits
+    // as all-DRAM; only residency traffic and wall time change.
+    const std::string cold_path = args.getString("cold-path", "");
+    if (args.has("hot-mb") && cold_path.empty())
+        fatal("--hot-mb needs --cold-path (it sizes the tiered "
+              "tables' DRAM budget)");
+    std::unique_ptr<DlrmModel> model_holder;
+    if (!cold_path.empty()) {
+        DlrmModel::TieredModelOptions tier;
+        tier.hotBytes = args.getU64("hot-mb", 64) << 20;
+        tier.coldDir = cold_path;
+        tier.prefetch = args.getBool("prefetch", true);
+        model_holder =
+            std::make_unique<DlrmModel>(model_cfg, seed, tier);
+    } else {
+        model_holder = std::make_unique<DlrmModel>(model_cfg, seed);
+    }
+    DlrmModel &model = *model_holder;
     DatasetConfig data_cfg;
     data_cfg.numDense = model_cfg.numDense;
     data_cfg.numTables = model_cfg.numTables;
@@ -129,6 +147,11 @@ main(int argc, char **argv)
            ", ", iters, " iters, ", threads, " threads, pipeline ",
            pipeline ? "on" : "off", ", replicas ", replicas,
            ", kernels ", kernels_name, ")");
+    if (model.tiered())
+        inform("out-of-core tables: hot tier ",
+               humanBytes(args.getU64("hot-mb", 64) << 20),
+               ", cold tier under ", cold_path, ", prefetch ",
+               args.getBool("prefetch", true) ? "on" : "off");
 
     Trainer trainer(*algo, loader, &exec);
     TrainOptions options;
@@ -204,6 +227,26 @@ main(int argc, char **argv)
         table.addRow({"publish pages shared",
                       TablePrinter::num(
                           static_cast<double>(result.pagesShared), 0)});
+    }
+    if (model.tiered()) {
+        const TierStats &ts = result.tierStats;
+        table.addRow({"tier hit rate",
+                      TablePrinter::num(ts.hitRate(), 4)});
+        table.addRow({"tier promotions",
+                      TablePrinter::num(
+                          static_cast<double>(ts.promotions), 0)});
+        table.addRow({"tier promotions warmed",
+                      TablePrinter::num(
+                          static_cast<double>(ts.warmedPromotions), 0)});
+        table.addRow({"tier evictions",
+                      TablePrinter::num(
+                          static_cast<double>(ts.evictions), 0)});
+        table.addRow({"tier write-backs",
+                      TablePrinter::num(
+                          static_cast<double>(ts.writebacks), 0)});
+        table.addRow({"tier overcommits",
+                      TablePrinter::num(
+                          static_cast<double>(ts.overcommits), 0)});
     }
     if (args.getBool("csv", false))
         table.printCsv(std::cout);
