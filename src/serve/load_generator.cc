@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/macros.h"
 
 namespace lazydp {
@@ -18,13 +20,89 @@ using Clock = PendingRequest::Clock;
 void
 foldVersion(LoadReport &report, std::uint64_t version)
 {
+    if (version == 0)
+        return; // never scored: no version observed
     if (report.minVersion == 0 || version < report.minVersion)
         report.minVersion = version;
     if (version > report.maxVersion)
         report.maxVersion = version;
 }
 
+/** SplitMix64 finalizer: the id -> class-assignment hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Instantaneous arrival rate at run fraction @p f in [0, 1) -- the
+ * scenario's rate profile around the base qps.
+ */
+double
+rateAt(const LoadOptions &o, double f)
+{
+    switch (o.scenario) {
+    case Scenario::Diurnal: {
+        // Day curve: trough 0.25x at the run edges, peak 1x mid-run.
+        const double s = std::sin(M_PI * f);
+        return o.qps * (0.25 + 0.75 * s * s);
+    }
+    case Scenario::FlashCrowd:
+        // Burst window over the middle fifth of the run.
+        return (f >= 0.4 && f < 0.6) ? o.qps * o.flashMultiplier
+                                     : o.qps;
+    case Scenario::Steady:
+    case Scenario::SkewDrift:
+    case Scenario::MixedClass:
+        return o.qps;
+    }
+    return o.qps;
+}
+
+/** One request's measured outcome (folded into the report). */
+struct Sample
+{
+    ServeResult::Status status = ServeResult::Status::Ok;
+    double latency = 0.0; //!< seconds; valid for every status
+    std::uint64_t version = 0;
+    bool low = false; //!< low-priority class member
+};
+
 } // namespace
+
+Scenario
+scenarioFromString(const std::string &name)
+{
+    if (name == "steady")
+        return Scenario::Steady;
+    if (name == "diurnal")
+        return Scenario::Diurnal;
+    if (name == "flash")
+        return Scenario::FlashCrowd;
+    if (name == "drift")
+        return Scenario::SkewDrift;
+    if (name == "mixed")
+        return Scenario::MixedClass;
+    fatal("unknown scenario '", name,
+          "' (want steady|diurnal|flash|drift|mixed)");
+}
+
+const char *
+scenarioName(Scenario s)
+{
+    switch (s) {
+    case Scenario::Steady: return "steady";
+    case Scenario::Diurnal: return "diurnal";
+    case Scenario::FlashCrowd: return "flash";
+    case Scenario::SkewDrift: return "drift";
+    case Scenario::MixedClass: return "mixed";
+    }
+    return "?";
+}
 
 LoadGenerator::LoadGenerator(ServeEngine &engine,
                              const ModelConfig &config,
@@ -34,10 +112,32 @@ LoadGenerator::LoadGenerator(ServeEngine &engine,
     LAZYDP_ASSERT(options_.requests > 0, "no requests to issue");
     LAZYDP_ASSERT(options_.qps > 0.0 || options_.concurrency >= 1,
                   "closed loop needs at least one client");
+    LAZYDP_ASSERT(options_.lowFraction >= 0.0 &&
+                      options_.lowFraction <= 1.0,
+                  "lowFraction must be in [0, 1]");
+    lowFraction_ = options_.lowFraction;
+    if (options_.scenario == Scenario::MixedClass &&
+        lowFraction_ == 0.0)
+        lowFraction_ = 0.5;
     generators_.reserve(config_.numTables);
     for (std::size_t t = 0; t < config_.numTables; ++t)
         generators_.emplace_back(options_.access,
                                  config_.rowsForTable(t));
+}
+
+bool
+LoadGenerator::isLow(std::uint64_t id) const
+{
+    return lowFraction_ > 0.0 &&
+           static_cast<double>(mix64(id ^ options_.seed) >> 11) *
+                   0x1.0p-53 <
+               lowFraction_;
+}
+
+SloClass
+LoadGenerator::sloFor(std::uint64_t id) const
+{
+    return isLow(id) ? options_.lowSlo : options_.slo;
 }
 
 ServeQuery
@@ -51,11 +151,53 @@ LoadGenerator::makeQuery(std::uint64_t id) const
     for (auto &d : q.dense)
         d = static_cast<float>(rng.nextDouble() * 2.0 - 1.0);
     q.indices.resize(config_.numTables * config_.pooling);
-    for (std::size_t t = 0; t < config_.numTables; ++t)
-        for (std::size_t s = 0; s < config_.pooling; ++s)
+    for (std::size_t t = 0; t < config_.numTables; ++t) {
+        const std::uint64_t rows = config_.rowsForTable(t);
+        // SkewDrift: the hot set rotates through half the id space
+        // over the run, so row popularity is non-stationary while the
+        // marginal skew (Zipf slope etc.) is preserved.
+        const std::uint64_t rot =
+            options_.scenario == Scenario::SkewDrift
+                ? (id * (rows / 2)) / options_.requests
+                : 0;
+        for (std::size_t s = 0; s < config_.pooling; ++s) {
+            const std::uint64_t draw = generators_[t].draw(rng);
             q.indices[t * config_.pooling + s] =
-                generators_[t].draw(rng);
+                static_cast<std::uint32_t>((draw + rot) % rows);
+        }
+    }
     return q;
+}
+
+std::vector<double>
+LoadGenerator::arrivalOffsets(const LoadOptions &options)
+{
+    LAZYDP_ASSERT(options.qps > 0.0,
+                  "arrival offsets need an open-loop rate");
+    std::vector<double> offsets(options.requests);
+    if (options.scenario == Scenario::Steady ||
+        options.scenario == Scenario::SkewDrift ||
+        options.scenario == Scenario::MixedClass) {
+        // Constant rate: each offset is computed directly from the
+        // absolute request id -- zero accumulated error by
+        // construction (the drift regression test pins this).
+        for (std::uint64_t id = 0; id < options.requests; ++id)
+            offsets[id] =
+                static_cast<double>(id) / options.qps;
+        return offsets;
+    }
+    // Rate-modulated profiles: integrate 1/rate over the PLANNED
+    // schedule (pure arithmetic, done before the clock starts -- the
+    // sum carries only double rounding, about 1e-16 relative per
+    // term, not sleep wake-up jitter).
+    double t = 0.0;
+    for (std::uint64_t id = 0; id < options.requests; ++id) {
+        offsets[id] = t;
+        const double f = static_cast<double>(id) /
+                         static_cast<double>(options.requests);
+        t += 1.0 / rateAt(options, f);
+    }
+    return offsets;
 }
 
 LoadReport
@@ -64,6 +206,66 @@ LoadGenerator::run()
     return options_.qps > 0.0 ? runOpen() : runClosed();
 }
 
+namespace {
+
+/** Fold id-indexed samples into the final report. */
+LoadReport
+summarize(const std::vector<Sample> &samples, double wall,
+          const LoadOptions &options, const SloClass &lowSlo)
+{
+    LoadReport report;
+    report.completed = samples.size();
+    report.wallSeconds = wall;
+
+    LoadReport::ClassStats main;
+    main.priority = options.slo.priority;
+    main.deadlineUs = options.slo.deadlineUs;
+    LoadReport::ClassStats low;
+    low.priority = lowSlo.priority;
+    low.deadlineUs = lowSlo.deadlineUs;
+
+    std::vector<double> okLatencies;
+    okLatencies.reserve(samples.size());
+    for (const Sample &s : samples) {
+        LoadReport::ClassStats &cls = s.low ? low : main;
+        ++cls.issued;
+        const std::uint64_t deadlineUs =
+            s.low ? lowSlo.deadlineUs : options.slo.deadlineUs;
+        switch (s.status) {
+        case ServeResult::Status::Ok:
+            ++report.ok;
+            ++cls.ok;
+            okLatencies.push_back(s.latency);
+            if (deadlineUs == 0 ||
+                s.latency <= static_cast<double>(deadlineUs) * 1e-6) {
+                ++report.attained;
+                ++cls.attained;
+            }
+            break;
+        case ServeResult::Status::Shed:
+            ++report.shed;
+            ++cls.shed;
+            break;
+        case ServeResult::Status::Expired:
+            ++report.expired;
+            ++cls.expired;
+            break;
+        case ServeResult::Status::Shutdown:
+            ++report.shutdown;
+            ++cls.shutdown;
+            break;
+        }
+        foldVersion(report, s.version);
+    }
+    report.latency = stats::computePercentiles(std::move(okLatencies));
+    report.classes.push_back(main);
+    if (low.issued > 0)
+        report.classes.push_back(low);
+    return report;
+}
+
+} // namespace
+
 LoadReport
 LoadGenerator::runClosed()
 {
@@ -71,10 +273,9 @@ LoadGenerator::runClosed()
         static_cast<std::size_t>(std::min<std::uint64_t>(
             options_.concurrency, options_.requests));
     std::atomic<std::uint64_t> next{0};
-    std::vector<std::vector<double>> latencies(clients);
-    std::vector<std::vector<std::uint64_t>> versions(clients);
     // Id-indexed so clients can write without coordination: ids are
     // unique, so each slot has exactly one writer.
+    std::vector<Sample> samples(options_.requests);
     std::vector<float> scores(
         options_.collectScores ? options_.requests : 0);
     std::vector<std::thread> threads;
@@ -82,16 +283,16 @@ LoadGenerator::runClosed()
 
     const auto start = Clock::now();
     for (std::size_t c = 0; c < clients; ++c) {
-        threads.emplace_back([this, c, &next, &latencies, &versions,
-                              &scores] {
+        threads.emplace_back([this, &next, &samples, &scores] {
             std::uint64_t id;
             while ((id = next.fetch_add(1)) < options_.requests) {
-                auto request = engine_.submit(makeQuery(id));
-                LAZYDP_ASSERT(request != nullptr,
-                              "engine stopped under load");
+                auto request = engine_.submit(makeQuery(id), sloFor(id));
                 const ServeResult &r = request->wait();
-                latencies[c].push_back(request->latencySeconds());
-                versions[c].push_back(r.version);
+                Sample &s = samples[id];
+                s.status = r.status;
+                s.latency = request->latencySeconds();
+                s.version = r.version;
+                s.low = isLow(id);
                 if (options_.collectScores)
                     scores[id] = r.score;
             }
@@ -102,17 +303,8 @@ LoadGenerator::runClosed()
     const double wall =
         std::chrono::duration<double>(Clock::now() - start).count();
 
-    LoadReport report;
-    std::vector<double> all;
-    all.reserve(options_.requests);
-    for (std::size_t c = 0; c < clients; ++c) {
-        all.insert(all.end(), latencies[c].begin(), latencies[c].end());
-        for (const std::uint64_t v : versions[c])
-            foldVersion(report, v);
-    }
-    report.completed = all.size();
-    report.wallSeconds = wall;
-    report.latency = stats::computePercentiles(std::move(all));
+    LoadReport report =
+        summarize(samples, wall, options_, options_.lowSlo);
     report.meanBatch = engine_.stats().meanBatch();
     report.scores = std::move(scores);
     return report;
@@ -121,8 +313,7 @@ LoadGenerator::runClosed()
 LoadReport
 LoadGenerator::runOpen()
 {
-    const auto interval = std::chrono::duration_cast<Clock::duration>(
-        std::chrono::duration<double>(1.0 / options_.qps));
+    const std::vector<double> offsets = arrivalOffsets(options_);
     std::vector<PendingRequestPtr> inflight(options_.requests);
     std::vector<Clock::time_point> scheduled(options_.requests);
 
@@ -136,39 +327,44 @@ LoadGenerator::runOpen()
         queries.push_back(makeQuery(id));
 
     // Dispatcher: fixed arrival schedule, independent of completions.
+    // Each scheduled instant is start + the PRECOMPUTED absolute
+    // offset -- never last-wakeup + interval, which accumulates both
+    // duration truncation and sleep overshoot into phantom spare
+    // capacity (quietly under-reporting coordinated-omission tails).
     const auto start = Clock::now();
     for (std::uint64_t id = 0; id < options_.requests; ++id) {
-        scheduled[id] = start + interval * id;
+        scheduled[id] =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(offsets[id]));
         std::this_thread::sleep_until(scheduled[id]);
-        inflight[id] = engine_.submit(std::move(queries[id]));
-        LAZYDP_ASSERT(inflight[id] != nullptr,
-                      "engine stopped under load");
+        inflight[id] =
+            engine_.submit(std::move(queries[id]), sloFor(id));
     }
 
-    LoadReport report;
-    if (options_.collectScores)
-        report.scores.resize(options_.requests);
-    std::vector<double> latencies;
-    latencies.reserve(options_.requests);
+    std::vector<Sample> samples(options_.requests);
+    std::vector<float> scores(
+        options_.collectScores ? options_.requests : 0);
     for (std::uint64_t id = 0; id < options_.requests; ++id) {
         const ServeResult &r = inflight[id]->wait();
-        if (options_.collectScores)
-            report.scores[id] = r.score;
+        Sample &s = samples[id];
+        s.status = r.status;
         // Coordinated-omission-safe: measure from the intended arrival
         // time, so dispatcher lag counts against the tail.
-        latencies.push_back(std::chrono::duration<double>(
-                                inflight[id]->completedAt() -
-                                scheduled[id])
-                                .count());
-        foldVersion(report, r.version);
+        s.latency = std::chrono::duration<double>(
+                        inflight[id]->completedAt() - scheduled[id])
+                        .count();
+        s.version = r.version;
+        s.low = isLow(id);
+        if (options_.collectScores)
+            scores[id] = r.score;
     }
     const double wall =
         std::chrono::duration<double>(Clock::now() - start).count();
 
-    report.completed = options_.requests;
-    report.wallSeconds = wall;
-    report.latency = stats::computePercentiles(std::move(latencies));
+    LoadReport report =
+        summarize(samples, wall, options_, options_.lowSlo);
     report.meanBatch = engine_.stats().meanBatch();
+    report.scores = std::move(scores);
     return report;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * Open/closed-loop load generation + tail-latency measurement for the
- * serving tier.
+ * Open/closed-loop load generation + tail-latency / SLO-attainment
+ * measurement for the serving tier, with scripted traffic scenarios.
  *
  * Two canonical load models (the SPEC/TailBench distinction the HPC
  * serving-characterization literature insists on):
@@ -12,11 +12,33 @@
  *    that an overloaded open system would see. Latency per request is
  *    completion - enqueue.
  *  - OPEN loop (qps > 0): one dispatcher issues requests on a fixed
- *    schedule (request k at start + k/qps) regardless of completions,
- *    like independent users arriving. Latency is measured from the
- *    SCHEDULED time, not the actual enqueue -- the standard guard
- *    against coordinated omission: if the system falls behind, the
- *    backlog correctly counts against tail latency.
+ *    schedule regardless of completions, like independent users
+ *    arriving. Every request's scheduled arrival is computed from the
+ *    ABSOLUTE start time (arrivalOffsets(); never from accumulated
+ *    sleep wake-ups, which drift under load), and latency is measured
+ *    from that scheduled time -- the standard guard against
+ *    coordinated omission: if the system falls behind, the backlog
+ *    correctly counts against tail latency AND against attainment.
+ *
+ * ## Scenarios
+ *
+ * Production traffic is not a constant rate. The open-loop schedule
+ * can follow scripted profiles:
+ *
+ *  - Steady:     constant qps (the baseline);
+ *  - Diurnal:    a day-curve ramp, rate swinging 0.25x..1x qps over
+ *                the run (sin^2 profile);
+ *  - FlashCrowd: steady qps with a burst window (middle fifth of the
+ *                run) at flashMultiplier x qps -- the overload regime
+ *                admission control exists for;
+ *  - SkewDrift:  steady rate, but the HOT ROWS drift: query row ids
+ *                rotate through half the table over the run, so a
+ *                cache/hot-tier tuned to minute-0 traffic decays;
+ *  - MixedClass: steady rate, two SLO classes interleaved (see
+ *                lowFraction / lowSlo) -- priority shedding's regime.
+ *
+ * Class mixing (lowFraction) and skew drift compose with any arrival
+ * profile; the scenario enum just names the canonical bundles.
  *
  * Queries are deterministic functions of (seed, request id): dense
  * features uniform in [-1, 1), table rows drawn through the same
@@ -29,6 +51,7 @@
 #define LAZYDP_SERVE_LOAD_GENERATOR_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -38,6 +61,22 @@
 
 namespace lazydp {
 
+/** Scripted open-loop traffic profile (see file comment). */
+enum class Scenario : std::uint8_t
+{
+    Steady = 0,
+    Diurnal,
+    FlashCrowd,
+    SkewDrift,
+    MixedClass,
+};
+
+/** Parse "steady|diurnal|flash|drift|mixed" (fatal on junk). */
+Scenario scenarioFromString(const std::string &name);
+
+/** Inverse of scenarioFromString. */
+const char *scenarioName(Scenario s);
+
 /** Load-generation knobs. */
 struct LoadOptions
 {
@@ -46,7 +85,7 @@ struct LoadOptions
 
     /**
      * Open-loop aggregate arrival rate in queries/second; 0 selects
-     * the closed loop.
+     * the closed loop. Scenario profiles modulate around this rate.
      */
     double qps = 0.0;
 
@@ -58,6 +97,24 @@ struct LoadOptions
 
     /** Table-access skew of the generated queries. */
     AccessConfig access;
+
+    /** Traffic profile (open loop; Mixed/Drift also shape closed). */
+    Scenario scenario = Scenario::Steady;
+
+    /** SLO class of every request (deadlineUs 0 = no deadline). */
+    SloClass slo{};
+
+    /**
+     * Low-priority class for two-class traffic; lowFraction of the
+     * requests (deterministically hashed per id) carry it. 0 disables
+     * mixing -- except under Scenario::MixedClass, which defaults it
+     * to 0.5.
+     */
+    SloClass lowSlo{0, 0};
+    double lowFraction = 0.0;
+
+    /** FlashCrowd: burst rate = flashMultiplier * qps. */
+    double flashMultiplier = 8.0;
 
     /**
      * Keep every request's predicted score in LoadReport::scores
@@ -71,12 +128,65 @@ struct LoadOptions
 /** Measured outcome of one LoadGenerator::run. */
 struct LoadReport
 {
-    std::uint64_t completed = 0;  //!< requests scored
-    double wallSeconds = 0.0;     //!< first issue to last completion
+    /** Per-SLO-class outcome breakdown. */
+    struct ClassStats
+    {
+        std::uint32_t priority = 0;
+        std::uint64_t deadlineUs = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t ok = 0;       //!< completed with a score
+        std::uint64_t shed = 0;     //!< rejected by admission control
+        std::uint64_t expired = 0;  //!< past deadline before scoring
+        std::uint64_t shutdown = 0; //!< engine stopped first
+        std::uint64_t attained = 0; //!< ok AND under the class deadline
+
+        /** @return SLO attainment in [0, 1] over everything issued. */
+        double
+        attainment() const
+        {
+            return issued == 0 ? 0.0
+                               : static_cast<double>(attained) /
+                                     static_cast<double>(issued);
+        }
+    };
+
+    std::uint64_t completed = 0; //!< requests that completed (ANY status)
+    double wallSeconds = 0.0;    //!< first issue to last completion
+
+    // Status breakdown; ok + shed + expired + shutdown == completed.
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shutdown = 0;
 
     /**
-     * Latency percentiles in SECONDS (closed loop: completion -
-     * enqueue; open loop: completion - scheduled arrival).
+     * Requests that completed Ok WITHIN their class deadline
+     * (coordinated-omission-safe: open-loop latency counts from the
+     * scheduled arrival; a class without a deadline attains on Ok).
+     * Shed/expired requests count against attainment by construction
+     * -- the denominator is everything issued.
+     */
+    std::uint64_t attained = 0;
+
+    /** @return overall SLO attainment in [0, 1]. */
+    double
+    attainment() const
+    {
+        return completed == 0 ? 0.0
+                              : static_cast<double>(attained) /
+                                    static_cast<double>(completed);
+    }
+
+    /** Per-class breakdown (one entry per distinct priority issued). */
+    std::vector<ClassStats> classes;
+
+    /**
+     * Latency percentiles in SECONDS over the Ok requests only
+     * (closed loop: completion - enqueue; open loop: completion -
+     * scheduled arrival). Shed/expired requests complete in
+     * microseconds and would fraudulently DEFLATE the tail if
+     * included; they are reported through the counts + attainment
+     * instead.
      */
     stats::Percentiles latency;
 
@@ -90,7 +200,7 @@ struct LoadReport
      */
     std::vector<float> scores;
 
-    /** @return achieved throughput in queries/second. */
+    /** @return achieved throughput in queries/second (ANY status). */
     double
     qps() const
     {
@@ -107,7 +217,7 @@ class LoadGenerator
     /**
      * @param engine serving engine under load (not owned)
      * @param config model shape (query dimensions)
-     * @param options load model + skew
+     * @param options load model + scenario + skew
      */
     LoadGenerator(ServeEngine &engine, const ModelConfig &config,
                   const LoadOptions &options);
@@ -123,13 +233,31 @@ class LoadGenerator
     /** @return the deterministic query for @p id (tests replay these). */
     ServeQuery makeQuery(std::uint64_t id) const;
 
+    /** @return the SLO class request @p id is issued with. */
+    SloClass sloFor(std::uint64_t id) const;
+
+    /**
+     * Scheduled arrival offsets in seconds from the run start, one
+     * per request id, following the scenario's rate profile. Every
+     * offset is an absolute position on the timeline (Steady: exactly
+     * id / qps) -- the dispatcher sleeps until start + offset[id], so
+     * truncation or sleep-overshoot on one arrival never leaks into
+     * the next (no cumulative drift, the coordinated-omission
+     * contract's precondition). Pure in options; exposed for tests.
+     */
+    static std::vector<double> arrivalOffsets(const LoadOptions &options);
+
   private:
     LoadReport runClosed();
     LoadReport runOpen();
 
+    /** Deterministic low-class membership of request @p id. */
+    bool isLow(std::uint64_t id) const;
+
     ServeEngine &engine_;
     ModelConfig config_;
     LoadOptions options_;
+    double lowFraction_ = 0.0; //!< effective (scenario-defaulted)
     std::vector<AccessGenerator> generators_; // one per table
 };
 

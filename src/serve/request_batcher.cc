@@ -1,40 +1,238 @@
 #include "serve/request_batcher.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace lazydp {
 
-RequestBatcher::RequestBatcher(const BatchPolicy &policy)
+namespace {
+
+using Clock = PendingRequest::Clock;
+
+/** Complete @p request with just a status (never scored). */
+void
+completeWithStatus(const PendingRequestPtr &request,
+                   ServeResult::Status status)
+{
+    ServeResult r;
+    r.status = status;
+    request->complete(r);
+}
+
+/**
+ * Iterator to the shed victim among @p queue and the incoming
+ * @p request (end() means the incoming request itself is the victim).
+ * Caller holds the shard lock; the queue is at cap and non-empty.
+ */
+std::deque<PendingRequestPtr>::iterator
+chooseVictim(std::deque<PendingRequestPtr> &queue,
+             const PendingRequestPtr &request, ShedPolicy policy)
+{
+    // Oldest request of the lowest queued priority: front-to-back scan
+    // with a strict < keeps the FIRST (oldest) one per priority level.
+    auto lowest = queue.begin();
+    for (auto it = std::next(queue.begin()); it != queue.end(); ++it)
+        if ((*it)->slo.priority < (*lowest)->slo.priority)
+            lowest = it;
+
+    switch (policy) {
+    case ShedPolicy::RejectNewest:
+        // The arrival is the victim unless it outranks queued work.
+        return (*lowest)->slo.priority < request->slo.priority
+                   ? lowest
+                   : queue.end();
+    case ShedPolicy::DropOldest:
+        // Queued work is the victim unless the arrival ranks lower
+        // still -- a low-priority arrival never displaces
+        // higher-priority queued requests.
+        return request->slo.priority < (*lowest)->slo.priority
+                   ? queue.end()
+                   : lowest;
+    }
+    return queue.end();
+}
+
+} // namespace
+
+RequestBatcher::RequestBatcher(const BatchPolicy &policy,
+                               std::size_t lanes)
     : policy_(policy)
 {
     LAZYDP_ASSERT(policy_.maxBatch >= 1, "maxBatch must be >= 1");
+    LAZYDP_ASSERT(lanes >= 1, "need at least one shard");
+    shards_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+        shards_.push_back(std::make_unique<Shard>());
 }
 
 bool
 RequestBatcher::push(PendingRequestPtr request)
 {
+    const std::size_t lane =
+        routeFor(seq_.fetch_add(1, std::memory_order_relaxed),
+                 shards_.size());
+    Shard &s = *shards_[lane];
+
+    // Completions happen OUTSIDE the shard lock: complete() takes the
+    // request's own mutex and wakes a client thread -- no reason to
+    // serialize that against producers.
+    PendingRequestPtr victim;
+    ServeResult::Status victimStatus = ServeResult::Status::Shed;
+    bool admitted = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopped_)
-            return false;
-        request->enqueuedAt = PendingRequest::Clock::now();
-        queue_.push_back(std::move(request));
+        std::lock_guard<std::mutex> lock(s.mu);
+        const auto now = Clock::now();
+        request->enqueuedAt = now;
+        request->deadlineAt =
+            request->slo.deadlineUs == 0
+                ? Clock::time_point::max()
+                : now + std::chrono::microseconds(
+                            request->slo.deadlineUs);
+        if (stopped_.load(std::memory_order_relaxed)) {
+            victim = std::move(request);
+            victimStatus = ServeResult::Status::Shutdown;
+        } else if (policy_.queueCap > 0 &&
+                   s.queue.size() >= policy_.queueCap) {
+            const auto it =
+                chooseVictim(s.queue, request, policy_.shedPolicy);
+            if (it == s.queue.end()) {
+                victim = std::move(request);
+            } else {
+                victim = std::move(*it);
+                s.queue.erase(it);
+                s.queue.push_back(std::move(request));
+                admitted = true;
+            }
+        } else {
+            s.queue.push_back(std::move(request));
+            admitted = true;
+        }
     }
-    // Wake one consumer; a batch-forming consumer re-checks fullness.
-    cv_.notify_one();
-    return true;
+    if (admitted) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        // Wake one consumer; a batch-forming consumer re-checks
+        // fullness.
+        s.cv.notify_one();
+    }
+    if (victim != nullptr) {
+        (victimStatus == ServeResult::Status::Shutdown ? shutdown_
+                                                       : shed_)
+            .fetch_add(1, std::memory_order_relaxed);
+        completeWithStatus(victim, victimStatus);
+    }
+    return admitted;
+}
+
+void
+RequestBatcher::takeFrom(std::deque<PendingRequestPtr> &queue,
+                         std::vector<PendingRequestPtr> &out,
+                         std::vector<PendingRequestPtr> &expired)
+{
+    const auto now = Clock::now();
+    // Expired requests never reach the forward pass and do not count
+    // against the batch: keep taking until maxBatch LIVE requests.
+    while (!queue.empty() && out.size() < policy_.maxBatch) {
+        PendingRequestPtr r = std::move(queue.front());
+        queue.pop_front();
+        if (r->deadlineAt <= now)
+            expired.push_back(std::move(r));
+        else
+            out.push_back(std::move(r));
+    }
+}
+
+void
+RequestBatcher::completeExpired(
+    std::vector<PendingRequestPtr> &expired)
+{
+    for (auto &r : expired) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        completeWithStatus(r, ServeResult::Status::Expired);
+    }
+    expired.clear();
+}
+
+bool
+RequestBatcher::steal(std::size_t lane,
+                      std::vector<PendingRequestPtr> &out,
+                      bool drainAll)
+{
+    const std::size_t n = shards_.size();
+    std::vector<PendingRequestPtr> expired;
+    for (std::size_t k = 1; k < n; ++k) {
+        Shard &s = *shards_[(lane + k) % n];
+        {
+            std::lock_guard<std::mutex> lock(s.mu);
+            if (s.queue.empty())
+                continue;
+            if (!drainAll) {
+                // Only steal READY work: a full batch, or one whose
+                // oldest request is ripe. Grabbing an immature batch
+                // would defeat deadline batching (premature
+                // under-sized dispatches).
+                const bool ready =
+                    s.queue.size() >= policy_.maxBatch ||
+                    Clock::now() >=
+                        s.queue.front()->enqueuedAt +
+                            std::chrono::microseconds(
+                                policy_.maxDelayUs);
+                if (!ready)
+                    continue;
+            }
+            takeFrom(s.queue, out, expired);
+            if (!s.queue.empty())
+                s.cv.notify_one();
+        }
+        completeExpired(expired);
+        if (!out.empty()) {
+            stolen_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        // Everything taken was expired: keep scanning.
+    }
+    return false;
 }
 
 std::size_t
-RequestBatcher::pop(std::vector<PendingRequestPtr> &out)
+RequestBatcher::pop(std::size_t lane,
+                    std::vector<PendingRequestPtr> &out)
 {
     out.clear();
-    std::unique_lock<std::mutex> lock(mu_);
+    LAZYDP_ASSERT(lane < shards_.size(), "pop lane out of range");
+    Shard &own = *shards_[lane];
+    // Bounded waits on the own-shard condvar so a dry consumer
+    // periodically checks siblings for stealable work (a sibling push
+    // only notifies the sibling's condvar).
+    const auto stealPoll = std::chrono::microseconds(std::clamp<
+        std::uint64_t>(policy_.maxDelayUs, 50, 1000));
+    std::vector<PendingRequestPtr> expired;
     for (;;) {
-        // Phase 1: wait for the first request (or shutdown).
-        cv_.wait(lock, [this] { return !queue_.empty() || stopped_; });
-        if (queue_.empty())
+        std::unique_lock<std::mutex> lock(own.mu);
+        // Phase 1: wait for the first request on the own shard,
+        // stealing from siblings between polls (or shutdown).
+        while (own.queue.empty() &&
+               !stopped_.load(std::memory_order_relaxed)) {
+            own.cv.wait_for(lock, stealPoll);
+            if (!own.queue.empty() ||
+                stopped_.load(std::memory_order_relaxed))
+                break;
+            lock.unlock();
+            if (shards_.size() > 1 &&
+                steal(lane, out, /*drainAll=*/false))
+                return out.size();
+            lock.lock();
+        }
+        if (own.queue.empty()) {
+            // Stopped and the own shard is dry: sweep the siblings
+            // (drain-on-stop covers ALL shards -- a lane that exited
+            // early must not strand queued requests), then exit.
+            lock.unlock();
+            if (shards_.size() > 1 &&
+                steal(lane, out, /*drainAll=*/true))
+                return out.size();
             return 0; // stopped and drained: the only 0 return
+        }
 
         // Phase 2: the batch forms around the OLDEST queued request;
         // hold at most maxDelayUs past its enqueue before dispatching.
@@ -42,53 +240,78 @@ RequestBatcher::pop(std::vector<PendingRequestPtr> &out)
         // wake: a concurrent consumer may have dispatched the request
         // the wait began on, and a stale deadline would let fresh
         // requests time out instantly (premature under-sized batches).
-        while (queue_.size() < policy_.maxBatch && !stopped_) {
+        while (own.queue.size() < policy_.maxBatch &&
+               !stopped_.load(std::memory_order_relaxed)) {
             const auto deadline =
-                queue_.front()->enqueuedAt +
+                own.queue.front()->enqueuedAt +
                 std::chrono::microseconds(policy_.maxDelayUs);
-            if (cv_.wait_until(lock, deadline) ==
+            if (own.cv.wait_until(lock, deadline) ==
                 std::cv_status::timeout)
                 break; // the oldest queued request is ripe
             // A concurrent consumer may have drained the queue while
             // this one slept past the phase-1 predicate.
-            if (queue_.empty())
+            if (own.queue.empty())
                 break;
         }
         // Lost the race for this batch entirely: go back to phase 1
         // rather than handing a live consumer the 0 exit signal.
-        if (queue_.empty())
+        if (own.queue.empty())
             continue;
 
-        const std::size_t n =
-            queue_.size() < policy_.maxBatch ? queue_.size()
-                                             : policy_.maxBatch;
-        for (std::size_t i = 0; i < n; ++i) {
-            out.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-        }
+        takeFrom(own.queue, out, expired);
         // Leftover requests may already form a ripe batch for another
         // consumer blocked in phase 1.
-        if (!queue_.empty())
-            cv_.notify_one();
-        return n;
+        const bool leftover = !own.queue.empty();
+        lock.unlock();
+        if (leftover)
+            own.cv.notify_one();
+        completeExpired(expired);
+        if (!out.empty())
+            return out.size();
+        // The whole batch had expired: go round again.
     }
 }
 
 void
 RequestBatcher::stop()
 {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stopped_ = true;
+    stopped_.store(true, std::memory_order_relaxed);
+    for (auto &s : shards_) {
+        // Empty critical section: pairs the flag store with every
+        // consumer's predicate check under the shard mutex, so no
+        // consumer can re-sleep after missing the notify.
+        { std::lock_guard<std::mutex> lock(s->mu); }
+        s->cv.notify_all();
     }
-    cv_.notify_all();
 }
 
 std::size_t
 RequestBatcher::depth() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        total += depth(i);
+    return total;
+}
+
+std::size_t
+RequestBatcher::depth(std::size_t lane) const
+{
+    const Shard &s = *shards_[lane];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.queue.size();
+}
+
+BatcherStats
+RequestBatcher::stats() const
+{
+    BatcherStats out;
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.shed = shed_.load(std::memory_order_relaxed);
+    out.expired = expired_.load(std::memory_order_relaxed);
+    out.shutdown = shutdown_.load(std::memory_order_relaxed);
+    out.stolenBatches = stolen_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace lazydp

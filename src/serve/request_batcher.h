@@ -1,6 +1,8 @@
 /**
  * @file
- * Deadline-batched request coalescing for online DLRM inference.
+ * Deadline-batched, SLO-aware request queuing for online DLRM
+ * inference: per-lane sharded queues + admission control + priority
+ * shedding + deadline expiry.
  *
  * Recommendation queries arrive one user at a time, but the DLRM
  * forward pass is far more efficient over a micro-batch (the MLP GEMMs
@@ -11,20 +13,60 @@
  *   max_delay_us  never hold the FIRST query of a forming batch longer
  *                 than this before dispatching whatever has arrived.
  *
- * pop() blocks until it can hand a worker a batch that is either full
- * (max_batch queries) or ripe (oldest query has waited max_delay_us).
- * max_batch = 1 degenerates to no batching: every query dispatches
- * immediately -- the latency-optimal, throughput-worst policy.
+ * pop(lane) blocks until it can hand a worker a batch that is either
+ * full (maxBatch queries) or ripe (oldest query has waited
+ * maxDelayUs). maxBatch = 1 degenerates to no batching: every query
+ * dispatches immediately -- the latency-optimal, throughput-worst
+ * policy.
  *
- * The batcher is a plain mutex + condvar MPMC queue: producers are the
- * load-generator / client threads, consumers the serve lanes. stop()
- * wakes everyone; queued requests are still drained (pop keeps
- * returning batches until the queue empties, then returns 0).
+ * ## Sharding + work stealing
+ *
+ * One queue (mutex + condvar + deque) per serve lane. Producers route
+ * each push to a shard with a cheap multiplicative hash of an arrival
+ * sequence number -- so under N lanes the single-queue lock is split N
+ * ways and producers on different shards never contend. Each consumer
+ * pops its OWN shard; when that shard is dry it steals a READY batch
+ * (full or ripe -- never an immature one, which would defeat deadline
+ * batching) from a sibling, so one slow forward pass cannot strand
+ * queued work behind an idle lane.
+ *
+ * ## Admission control + shedding (queueCap > 0)
+ *
+ * An unbounded queue turns overload into unbounded memory growth and
+ * unbounded latency. With queueCap set, a push to a full shard sheds
+ * exactly one request, chosen by policy:
+ *
+ *   RejectNewest  shed the incoming request -- unless a STRICTLY
+ *                 lower-priority request is queued, in which case that
+ *                 one (oldest such) is shed and the newcomer admitted;
+ *   DropOldest    shed the oldest request of the lowest queued
+ *                 priority class -- unless the incoming request's
+ *                 priority is lower still, in which case it is shed
+ *                 itself (a low-priority arrival never displaces
+ *                 higher-priority queued work).
+ *
+ * Either way low-priority requests shed first, and the shed request is
+ * completed immediately with ServeResult::Status::Shed -- never
+ * silently dropped (a closed-loop client blocked in wait() must always
+ * wake).
+ *
+ * ## Deadline expiry
+ *
+ * A request whose SloClass deadline passed while it queued is wasted
+ * work: pop() completes it with Status::Expired instead of handing it
+ * to the forward pass (expired requests do not count against the
+ * batch it was forming).
+ *
+ * stop() wakes everyone; queued requests still drain (consumers keep
+ * returning batches -- stealing across ALL shards -- until every
+ * shard empties, then return 0). push() after stop() completes the
+ * request with Status::Shutdown and returns false.
  */
 
 #ifndef LAZYDP_SERVE_REQUEST_BATCHER_H
 #define LAZYDP_SERVE_REQUEST_BATCHER_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -37,53 +79,150 @@
 
 namespace lazydp {
 
-/** Micro-batching policy (see file comment). */
+/** What to shed when a push finds its shard at queueCap. */
+enum class ShedPolicy : std::uint8_t
+{
+    RejectNewest, //!< shed the arrival (unless a lower-prio victim queues)
+    DropOldest,   //!< shed the oldest lowest-priority queued request
+};
+
+/** Micro-batching + admission policy (see file comment). */
 struct BatchPolicy
 {
     std::size_t maxBatch = 32;      //!< queries per micro-batch cap
     std::uint64_t maxDelayUs = 200; //!< deadline from first enqueue
+
+    /** Per-shard queue-depth cap; 0 = unbounded (no admission control). */
+    std::size_t queueCap = 0;
+
+    /** Victim selection when a shard is at queueCap. */
+    ShedPolicy shedPolicy = ShedPolicy::RejectNewest;
 };
 
-/** Deadline-batching MPMC queue of pending requests. */
+/** Cumulative batcher counters (monitoring; each is monotone). */
+struct BatcherStats
+{
+    std::uint64_t accepted = 0; //!< pushes admitted into a queue
+    std::uint64_t shed = 0;     //!< requests completed Shed (admission)
+    std::uint64_t expired = 0;  //!< requests completed Expired (pop)
+    std::uint64_t shutdown = 0; //!< pushes completed Shutdown (post-stop)
+    std::uint64_t stolenBatches = 0; //!< batches popped off a sibling shard
+};
+
+/** Sharded, bounded, deadline-batching request queue set. */
 class RequestBatcher
 {
   public:
-    explicit RequestBatcher(const BatchPolicy &policy);
+    /**
+     * @param policy batching + admission policy
+     * @param lanes number of shards == number of consumers (>= 1)
+     */
+    explicit RequestBatcher(const BatchPolicy &policy,
+                            std::size_t lanes = 1);
 
     /**
-     * Enqueue @p request and stamp its enqueue time.
+     * Enqueue @p request on its hash-routed shard and stamp its
+     * enqueue time + expiry instant (from request->slo, which the
+     * caller sets beforehand).
      *
-     * @return false (request not accepted) once stop() has been called
+     * @return true if admitted; false if the request itself was shed
+     *         (admission control) or rejected (after stop()). A false
+     *         return ALWAYS means the request was already completed
+     *         with Status::Shed / Status::Shutdown -- the caller never
+     *         needs to complete it. A true return can still shed a
+     *         DIFFERENT (queued, lower-priority or older) request.
      */
     bool push(PendingRequestPtr request);
 
     /**
-     * Block until a batch is ready, then move up to maxBatch requests
-     * into @p out (cleared first), in arrival order.
-     *
-     * A batch is ready when the queue holds maxBatch requests, when the
-     * oldest queued request has waited maxDelayUs, or when stop() was
-     * called (remaining requests drain in maxBatch-sized chunks).
+     * Block until a batch is ready on @p lane's shard (or stolen from
+     * a sibling), then move up to maxBatch live requests into @p out
+     * (cleared first), in arrival order. Requests past their deadline
+     * are completed Expired on the way and never returned.
      *
      * @return number of requests handed out; 0 only after stop() with
-     *         an empty queue (the consumer's exit signal)
+     *         EVERY shard empty (the consumer's exit signal)
      */
-    std::size_t pop(std::vector<PendingRequestPtr> &out);
+    std::size_t pop(std::size_t lane,
+                    std::vector<PendingRequestPtr> &out);
+
+    /** Single-shard convenience overload (lane 0). */
+    std::size_t
+    pop(std::vector<PendingRequestPtr> &out)
+    {
+        return pop(0, out);
+    }
 
     /** Stop accepting pushes and wake every blocked consumer. */
     void stop();
 
-    /** @return current queue depth (monitoring only, racy by nature). */
+    /** @return total queue depth (monitoring only, racy by nature). */
     std::size_t depth() const;
+
+    /** @return queue depth of one shard (monitoring only). */
+    std::size_t depth(std::size_t lane) const;
+
+    /** @return number of shards (== consumer lanes). */
+    std::size_t lanes() const { return shards_.size(); }
+
+    /** @return a snapshot of the cumulative counters. */
+    BatcherStats stats() const;
+
+    /**
+     * Shard the @p seq-th push routes to under @p lanes shards --
+     * exposed so tests can pin routing determinism. Fibonacci
+     * multiplicative hash: cheap, and decorrelates the low bits of a
+     * sequential counter so bursts spread across shards.
+     */
+    static std::size_t
+    routeFor(std::uint64_t seq, std::size_t lanes)
+    {
+        return static_cast<std::size_t>(
+                   (seq * 0x9E3779B97F4A7C15ull) >> 33) %
+               lanes;
+    }
 
     const BatchPolicy &policy() const { return policy_; }
 
   private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::condition_variable cv;
+        std::deque<PendingRequestPtr> queue;
+    };
+
+    /**
+     * Move up to maxBatch live requests from @p queue into @p out,
+     * diverting expired ones into @p expired (completed by the caller
+     * OUTSIDE the shard lock). Caller holds the shard mutex.
+     */
+    void takeFrom(std::deque<PendingRequestPtr> &queue,
+                  std::vector<PendingRequestPtr> &out,
+                  std::vector<PendingRequestPtr> &expired);
+
+    /**
+     * Scan sibling shards of @p lane for work: with @p drainAll only
+     * READY batches are taken (see file comment); with it, anything
+     * queued (the stop()-drain sweep). Expired requests found on the
+     * way are completed. @return true iff @p out gained requests.
+     */
+    bool steal(std::size_t lane, std::vector<PendingRequestPtr> &out,
+               bool drainAll);
+
+    /** Complete @p expired with Status::Expired and count them. */
+    void completeExpired(std::vector<PendingRequestPtr> &expired);
+
     BatchPolicy policy_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<PendingRequestPtr> queue_;
-    bool stopped_ = false;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> seq_{0}; //!< arrival counter (routing)
+    std::atomic<bool> stopped_{false};
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> shutdown_{0};
+    std::atomic<std::uint64_t> stolen_{0};
 };
 
 } // namespace lazydp

@@ -14,7 +14,7 @@ ServeEngine::ServeEngine(const ModelSnapshotStore &store,
                          const ModelConfig &config, ThreadPool &pool,
                          const ServeOptions &options)
     : store_(store), config_(config), options_(options),
-      batcher_(options.batch)
+      batcher_(options.batch, options.threads)
 {
     LAZYDP_ASSERT(options_.threads >= 1, "need at least one serve lane");
     LAZYDP_ASSERT(options_.firstLane + options_.threads <=
@@ -22,15 +22,15 @@ ServeEngine::ServeEngine(const ModelSnapshotStore &store,
                   "serve lanes exceed ThreadPool::kMaxLanes");
     workers_.reserve(options_.threads);
     for (std::size_t w = 0; w < options_.threads; ++w) {
-        workers_.push_back(pool.submitLane(options_.firstLane + w,
-                                           [this] { workerLoop(); }));
+        workers_.push_back(pool.submitLane(
+            options_.firstLane + w, [this, w] { workerLoop(w); }));
     }
 }
 
 ServeEngine::~ServeEngine() { stop(); }
 
 PendingRequestPtr
-ServeEngine::submit(ServeQuery query)
+ServeEngine::submit(ServeQuery query, SloClass slo)
 {
     LAZYDP_ASSERT(query.dense.size() == config_.numDense,
                   "query dense width != model");
@@ -39,8 +39,11 @@ ServeEngine::submit(ServeQuery query)
                   "query index count != numTables * pooling");
     auto request = std::make_shared<PendingRequest>();
     request->query = std::move(query);
-    if (!batcher_.push(request))
-        return nullptr;
+    request->slo = slo;
+    // A rejected push (shed / post-stop) already completed the request
+    // with its status; the caller gets the handle either way and
+    // wait() never hangs.
+    batcher_.push(request);
     return request;
 }
 
@@ -57,12 +60,21 @@ ServeEngine::stop()
 ServeStats
 ServeEngine::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMu_);
-    return stats_;
+    ServeStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        out = stats_;
+    }
+    const BatcherStats b = batcher_.stats();
+    out.shed = b.shed;
+    out.expired = b.expired;
+    out.shutdown = b.shutdown;
+    out.stolenBatches = b.stolenBatches;
+    return out;
 }
 
 void
-ServeEngine::workerLoop()
+ServeEngine::workerLoop(std::size_t lane)
 {
     // Lane-private scoring state: workspace, logits, batch assembly.
     // Buffers never shrink, so steady-state serving allocates nothing
@@ -72,7 +84,7 @@ ServeEngine::workerLoop()
     MiniBatch mb;
     std::vector<PendingRequestPtr> batch;
 
-    while (batcher_.pop(batch) > 0) {
+    while (batcher_.pop(lane, batch) > 0) {
         // One snapshot per micro-batch: every query in it is scored by
         // the same fully-published version (consistency contract).
         auto snap = store_.current();
@@ -99,8 +111,10 @@ ServeEngine::workerLoop()
                 stats_.served += batch.size();
                 stats_.batches += 1;
             }
+            ServeResult unscored;
+            unscored.status = ServeResult::Status::Shutdown;
             for (auto &request : batch)
-                request->complete(ServeResult{});
+                request->complete(unscored);
             continue;
         }
 

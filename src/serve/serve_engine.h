@@ -49,7 +49,11 @@ struct ServeOptions
     /** Number of serve lanes (dedicated worker threads). */
     std::size_t threads = 1;
 
-    /** Micro-batching policy (coalescing cap + deadline). */
+    /**
+     * Micro-batching + admission policy (coalescing cap, batching
+     * deadline, per-lane queue cap, shed policy). The batcher shards
+     * one queue per serve lane (hash-routed push, work-stealing pop).
+     */
     BatchPolicy batch;
 
     /**
@@ -65,10 +69,18 @@ struct ServeOptions
 /** Cumulative serving counters (one engine lifetime). */
 struct ServeStats
 {
-    std::uint64_t served = 0;     //!< requests completed
+    std::uint64_t served = 0;     //!< requests completed by serve lanes
     std::uint64_t batches = 0;    //!< micro-batches executed
     std::uint64_t minVersion = 0; //!< oldest snapshot version served (0 = none)
     std::uint64_t maxVersion = 0; //!< newest snapshot version served
+
+    // Admission-control outcomes (from the batcher; these requests
+    // completed WITHOUT reaching a forward pass and are not in
+    // `served`).
+    std::uint64_t shed = 0;     //!< rejected by admission control
+    std::uint64_t expired = 0;  //!< past their SLO deadline before scoring
+    std::uint64_t shutdown = 0; //!< rejected after stop()
+    std::uint64_t stolenBatches = 0; //!< batches work-stolen across lanes
 
     /** @return mean micro-batch size (the batching policy's yield). */
     double
@@ -91,8 +103,8 @@ class ServeEngine
      * arrives OR until stop(), so a train-and-serve startup has no
      * ordering requirement between the first publish and the first
      * request, and shutdown never deadlocks on a store that never
-     * published (such requests complete with ServeResult::version 0,
-     * the "never scored" marker).
+     * published (such requests complete with Status::Shutdown and
+     * ServeResult::version 0, the "never scored" marker).
      *
      * @param store snapshot exchange (not owned; written by trainer)
      * @param config model shape queries must match
@@ -111,11 +123,18 @@ class ServeEngine
     /**
      * Enqueue one query for scoring.
      *
+     * ALWAYS returns a request handle whose wait() returns: if the
+     * query is shed by admission control or rejected because the
+     * engine stopped, the handle is already completed with
+     * Status::Shed / Status::Shutdown -- there is no silent-drop path
+     * for a client to block on.
+     *
      * @param query one example; dense.size() must equal numDense and
      *        indices.size() must equal numTables * pooling
-     * @return handle to wait on, or nullptr after stop()
+     * @param slo deadline + shed priority class of this request
+     * @return handle to wait on (never nullptr)
      */
-    PendingRequestPtr submit(ServeQuery query);
+    PendingRequestPtr submit(ServeQuery query, SloClass slo = {});
 
     /**
      * Stop accepting new queries, drain everything already queued,
@@ -130,8 +149,8 @@ class ServeEngine
     const ModelConfig &config() const { return config_; }
 
   private:
-    /** One serve lane: pop -> snapshot -> forward -> complete. */
-    void workerLoop();
+    /** One serve lane: pop own shard -> snapshot -> forward -> complete. */
+    void workerLoop(std::size_t lane);
 
     const ModelSnapshotStore &store_;
     ModelConfig config_;

@@ -36,20 +36,63 @@ struct ServeQuery
     std::vector<std::uint32_t> indices;
 };
 
+/**
+ * Service-level objective class of a request. The deadline is the
+ * latency budget the client considers useful (a response later than
+ * this is wasted work -- the serving tier EXPIRES such requests
+ * instead of scoring them); the priority orders shedding under
+ * admission-control pressure: lower-priority requests are shed first.
+ */
+struct SloClass
+{
+    /** Latency budget in microseconds; 0 = no deadline (never expires). */
+    std::uint64_t deadlineUs = 0;
+
+    /** Shed order under pressure: LOWER sheds first. */
+    std::uint32_t priority = 1;
+};
+
 /** Completed scoring result. */
 struct ServeResult
 {
+    /**
+     * How the request's life ended. Every accepted request completes
+     * with EXACTLY one of these -- there is no silent-drop path, so a
+     * blocked client's wait() always returns.
+     */
+    enum class Status : std::uint8_t
+    {
+        Ok = 0,   //!< scored against a snapshot; `score` is valid
+        Shed,     //!< rejected by admission control (queue over cap)
+        Expired,  //!< past its SloClass deadline before scoring
+        Shutdown, //!< engine stopped before it could be accepted/scored
+    };
+
     float score = 0.0f;          //!< sigmoid(logit): predicted CTR
 
     /**
-     * Snapshot version that scored it (>= 1), or 0 when the engine
-     * shut down before any snapshot was ever published -- the request
-     * completed unscored so its client does not block forever.
+     * Snapshot version that scored it (>= 1), or 0 when the request
+     * never reached a forward pass (status != Ok, or the engine shut
+     * down before any snapshot was ever published).
      */
     std::uint64_t version = 0;
     std::uint64_t iteration = 0; //!< training iteration of that version
     std::uint32_t batchSize = 0; //!< micro-batch size it rode in
+    Status status = Status::Ok;  //!< lifecycle outcome (see above)
 };
+
+/** Short lowercase name of @p s ("ok" / "shed" / ...). */
+inline const char *
+serveStatusName(ServeResult::Status s)
+{
+    switch (s) {
+    case ServeResult::Status::Ok: return "ok";
+    case ServeResult::Status::Shed: return "shed";
+    case ServeResult::Status::Expired: return "expired";
+    case ServeResult::Status::Shutdown: return "shutdown";
+    }
+    return "?";
+}
 
 /**
  * In-flight request: query + completion rendezvous + timing. Shared
@@ -63,8 +106,19 @@ class PendingRequest
 
     ServeQuery query;
 
+    /** SLO class (set by the issuer BEFORE push; push reads it). */
+    SloClass slo;
+
     /** Set by the issuer (RequestBatcher::push stamps it). */
     Clock::time_point enqueuedAt{};
+
+    /**
+     * Absolute expiry instant (RequestBatcher::push stamps it from
+     * slo.deadlineUs; time_point::max() when the class has no
+     * deadline). A request past this is completed Expired instead of
+     * scored.
+     */
+    Clock::time_point deadlineAt = Clock::time_point::max();
 
     /** Complete with @p r and wake the waiter (serve-lane side). */
     void

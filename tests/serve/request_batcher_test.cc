@@ -81,7 +81,11 @@ TEST(RequestBatcherTest, StopDrainsThenSignalsExit)
     for (int i = 0; i < 5; ++i)
         ASSERT_TRUE(b.push(makeRequest()));
     b.stop();
-    EXPECT_FALSE(b.push(makeRequest())); // rejected after stop
+    auto rejected = makeRequest();
+    EXPECT_FALSE(b.push(rejected)); // rejected after stop...
+    // ...but never silently dropped: the batcher completed it, so a
+    // client blocked in wait() wakes with an explicit status.
+    EXPECT_EQ(rejected->wait().status, ServeResult::Status::Shutdown);
 
     std::vector<PendingRequestPtr> out;
     std::size_t taken = 0;

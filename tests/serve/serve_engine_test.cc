@@ -79,8 +79,12 @@ TEST(ServeEngineTest, ScoresMatchADirectForwardBitExactly)
     EXPECT_EQ(stats.maxVersion, 1u);
 }
 
-TEST(ServeEngineTest, SubmitAfterStopIsRejected)
+TEST(ServeEngineTest, SubmitAfterStopCompletesWithShutdownStatus)
 {
+    // Regression: submit() after stop() used to return nullptr -- a
+    // silent drop every caller had to special-case (and the load
+    // generator once crashed on). Now the handle always comes back,
+    // already completed with an explicit status.
     const ModelConfig mc = tinyConfig();
     DlrmModel model(mc, 1);
     ModelSnapshotStore store;
@@ -94,7 +98,13 @@ TEST(ServeEngineTest, SubmitAfterStopIsRejected)
     LoadGenerator generator(engine, mc, lopts);
 
     engine.stop();
-    EXPECT_EQ(engine.submit(generator.makeQuery(0)), nullptr);
+    auto request = engine.submit(generator.makeQuery(0));
+    ASSERT_NE(request, nullptr);
+    EXPECT_TRUE(request->done()); // completed before submit returned
+    const ServeResult &r = request->wait();
+    EXPECT_EQ(r.status, ServeResult::Status::Shutdown);
+    EXPECT_EQ(r.version, 0u); // never scored
+    EXPECT_EQ(engine.stats().shutdown, 1u);
     engine.stop(); // idempotent
 }
 

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * SLO-awareness tests: admission control + priority shedding order,
+ * deadline expiry, per-lane routing determinism, work stealing,
+ * drain-on-stop status conservation, and open-loop arrival-schedule
+ * drift (the coordinated-omission precondition).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "serve/load_generator.h"
+#include "serve/request_batcher.h"
+#include "serve/serve_engine.h"
+#include "serve/snapshot_store.h"
+
+namespace lazydp {
+namespace {
+
+PendingRequestPtr
+request(std::uint32_t priority, std::uint64_t deadline_us = 0)
+{
+    auto r = std::make_shared<PendingRequest>();
+    r->slo = SloClass{deadline_us, priority};
+    return r;
+}
+
+ModelConfig
+tinyConfig()
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    return mc;
+}
+
+/** All-zeros query of the right shape for @p mc. */
+ServeQuery
+zeroQuery(const ModelConfig &mc)
+{
+    ServeQuery q;
+    q.dense.assign(mc.numDense, 0.0f);
+    q.indices.assign(mc.numTables * mc.pooling, 0);
+    return q;
+}
+
+TEST(SloShedTest, RejectNewestShedsArrivalAtUniformPriority)
+{
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    p.queueCap = 2;
+    p.shedPolicy = ShedPolicy::RejectNewest;
+    RequestBatcher b(p); // one lane, no consumer
+
+    ASSERT_TRUE(b.push(request(1)));
+    ASSERT_TRUE(b.push(request(1)));
+    auto arrival = request(1);
+    // Everything queued ranks equal: the arrival itself is shed.
+    EXPECT_FALSE(b.push(arrival));
+    EXPECT_EQ(arrival->wait().status, ServeResult::Status::Shed);
+    EXPECT_EQ(b.depth(), 2u);
+    EXPECT_EQ(b.stats().shed, 1u);
+}
+
+TEST(SloShedTest, RejectNewestPrefersAQueuedLowerPriorityVictim)
+{
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    p.queueCap = 2;
+    p.shedPolicy = ShedPolicy::RejectNewest;
+    RequestBatcher b(p);
+
+    auto low = request(0);
+    ASSERT_TRUE(b.push(low));
+    ASSERT_TRUE(b.push(request(1)));
+    // A STRICTLY lower-priority request queues: it is the victim, the
+    // (higher-priority) newcomer is admitted.
+    EXPECT_TRUE(b.push(request(1)));
+    EXPECT_EQ(low->wait().status, ServeResult::Status::Shed);
+    EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(SloShedTest, DropOldestShedsOldestOfTheLowestPriority)
+{
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    p.queueCap = 2;
+    p.shedPolicy = ShedPolicy::DropOldest;
+    RequestBatcher b(p);
+
+    auto oldest = request(1);
+    ASSERT_TRUE(b.push(oldest));
+    ASSERT_TRUE(b.push(request(1)));
+    // Uniform priority: the oldest queued request is the victim.
+    EXPECT_TRUE(b.push(request(1)));
+    EXPECT_EQ(oldest->wait().status, ServeResult::Status::Shed);
+    EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(SloShedTest, DropOldestNeverLetsALowArrivalDisplaceHigherWork)
+{
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    p.queueCap = 2;
+    p.shedPolicy = ShedPolicy::DropOldest;
+    RequestBatcher b(p);
+
+    ASSERT_TRUE(b.push(request(1)));
+    ASSERT_TRUE(b.push(request(1)));
+    auto low = request(0);
+    // The arrival ranks BELOW everything queued: shedding a queued
+    // request for it would invert the priority order, so it is shed
+    // itself even under DropOldest.
+    EXPECT_FALSE(b.push(low));
+    EXPECT_EQ(low->wait().status, ServeResult::Status::Shed);
+    EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(SloShedTest, QueueDepthStaysBoundedAtTenTimesCapacity)
+{
+    // Regression: the queue used to be unbounded -- a stalled consumer
+    // meant depth() (and memory, and queueing delay) grew without
+    // limit. Push 10x the cap with no consumer: depth must cap and
+    // every excess request must complete as Shed (not vanish).
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    p.queueCap = 8;
+    p.shedPolicy = ShedPolicy::RejectNewest;
+    RequestBatcher b(p);
+
+    std::vector<PendingRequestPtr> all;
+    std::size_t rejected = 0;
+    for (int i = 0; i < 80; ++i) {
+        all.push_back(request(1));
+        if (!b.push(all.back()))
+            ++rejected;
+        EXPECT_LE(b.depth(), 8u);
+    }
+    EXPECT_EQ(b.depth(), 8u);
+    EXPECT_EQ(rejected, 72u);
+    std::size_t shed = 0;
+    for (const auto &r : all)
+        if (r->done() && r->wait().status == ServeResult::Status::Shed)
+            ++shed;
+    EXPECT_EQ(shed, 72u); // every excess request completed, none lost
+    EXPECT_EQ(b.stats().accepted, 8u);
+    EXPECT_EQ(b.stats().shed, 72u);
+}
+
+TEST(SloDeadlineTest, ExpiredRequestsNeverReachTheConsumer)
+{
+    RequestBatcher b({/*maxBatch=*/2, /*maxDelayUs=*/10'000'000});
+    auto doomed = request(1, /*deadline_us=*/1);
+    ASSERT_TRUE(b.push(doomed));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    auto live = request(1); // no deadline: never expires
+    ASSERT_TRUE(b.push(live));
+
+    // Two queued = a full batch, but the expired one is completed on
+    // the way out instead of being handed over.
+    std::vector<PendingRequestPtr> out;
+    EXPECT_EQ(b.pop(out), 1u);
+    EXPECT_EQ(out[0].get(), live.get());
+    EXPECT_EQ(doomed->wait().status, ServeResult::Status::Expired);
+    EXPECT_EQ(b.stats().expired, 1u);
+}
+
+TEST(SloDeadlineTest, EngineExpiresPastDeadlineRequestsUnscored)
+{
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 5);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+    ThreadPool pool(1);
+    ServeOptions opts;
+    opts.threads = 1;
+    // Batch ripens long after the 1 us deadlines have passed, so every
+    // request is expired by the time a lane first looks at it.
+    opts.batch.maxBatch = 64;
+    opts.batch.maxDelayUs = 50'000;
+    ServeEngine engine(store, mc, pool, opts);
+
+    std::vector<PendingRequestPtr> handles;
+    for (int i = 0; i < 4; ++i)
+        handles.push_back(
+            engine.submit(zeroQuery(mc), SloClass{1, 1}));
+    for (auto &h : handles) {
+        const ServeResult &r = h->wait();
+        EXPECT_EQ(r.status, ServeResult::Status::Expired);
+        EXPECT_EQ(r.version, 0u); // never scored
+    }
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.expired, 4u);
+    EXPECT_EQ(stats.served, 0u); // no wasted forward pass
+    engine.stop();
+}
+
+TEST(SloShardTest, PushRoutingIsDeterministic)
+{
+    BatchPolicy p{/*maxBatch=*/64, /*maxDelayUs=*/10'000'000};
+    RequestBatcher b(p, /*lanes=*/4);
+    ASSERT_EQ(b.lanes(), 4u);
+
+    // With no consumer, per-shard depths must reproduce exactly the
+    // counts routeFor predicts for arrival sequence 0..63.
+    constexpr std::uint64_t kPushes = 64;
+    std::size_t expected[4] = {0, 0, 0, 0};
+    for (std::uint64_t seq = 0; seq < kPushes; ++seq)
+        ++expected[RequestBatcher::routeFor(seq, 4)];
+    for (std::uint64_t seq = 0; seq < kPushes; ++seq)
+        ASSERT_TRUE(b.push(request(1)));
+    for (std::size_t lane = 0; lane < 4; ++lane)
+        EXPECT_EQ(b.depth(lane), expected[lane]) << "lane " << lane;
+    EXPECT_EQ(b.depth(), kPushes);
+    // The hash must actually spread a sequential burst, not pile it
+    // onto one shard (the point of decorrelating the low bits).
+    for (std::size_t lane = 0; lane < 4; ++lane)
+        EXPECT_GT(expected[lane], 0u);
+}
+
+TEST(SloShardTest, ConsumerStealsReadyBatchesFromSiblingShards)
+{
+    BatchPolicy p{/*maxBatch=*/4, /*maxDelayUs=*/1000};
+    RequestBatcher b(p, /*lanes=*/2);
+    constexpr std::size_t kRequests = 200;
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(b.push(request(1)));
+    // Let every partial batch ripen so all queued work is stealable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+
+    // A single consumer on lane 0 must still drain BOTH shards: the
+    // hash spreads the pushes, so everything on shard 1 can only reach
+    // it by stealing.
+    std::vector<PendingRequestPtr> out;
+    std::size_t taken = 0;
+    while (taken < kRequests) {
+        const std::size_t n = b.pop(0, out);
+        ASSERT_GT(n, 0u);
+        taken += n;
+    }
+    EXPECT_EQ(taken, kRequests);
+    EXPECT_EQ(b.depth(), 0u);
+    EXPECT_GT(b.stats().stolenBatches, 0u);
+    b.stop();
+}
+
+TEST(SloShutdownTest, EveryRequestCompletesWithExactlyOneStatus)
+{
+    // Clients race engine.stop(): no handle may hang (the old code
+    // returned nullptr after stop -- a silent drop), and the status
+    // counts must conserve: ok + shed + expired + shutdown == issued.
+    const ModelConfig mc = tinyConfig();
+    DlrmModel model(mc, 11);
+    ModelSnapshotStore store;
+    store.publish(model, 0);
+    ThreadPool pool(2);
+    ServeOptions opts;
+    opts.threads = 2;
+    opts.batch.maxBatch = 8;
+    opts.batch.maxDelayUs = 200;
+    opts.batch.queueCap = 4; // small: admission control stays busy
+    opts.batch.shedPolicy = ShedPolicy::DropOldest;
+    ServeEngine engine(store, mc, pool, opts);
+
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kPerClient = 100;
+    std::vector<std::vector<PendingRequestPtr>> handles(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&engine, &mc, &handles, c] {
+            for (std::size_t i = 0; i < kPerClient; ++i)
+                handles[c].push_back(engine.submit(
+                    zeroQuery(mc), SloClass{/*deadlineUs=*/0, 1}));
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    engine.stop(); // races the submitting clients
+    for (auto &t : clients)
+        t.join();
+
+    std::size_t ok = 0, shed = 0, expired = 0, shutdown = 0;
+    for (const auto &perClient : handles) {
+        ASSERT_EQ(perClient.size(), kPerClient);
+        for (const auto &h : perClient) {
+            ASSERT_NE(h, nullptr);
+            switch (h->wait().status) { // must return, not hang
+            case ServeResult::Status::Ok: ++ok; break;
+            case ServeResult::Status::Shed: ++shed; break;
+            case ServeResult::Status::Expired: ++expired; break;
+            case ServeResult::Status::Shutdown: ++shutdown; break;
+            }
+        }
+    }
+    EXPECT_EQ(ok + shed + expired + shutdown, kClients * kPerClient);
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.served, ok);
+    EXPECT_EQ(stats.shed, shed);
+    EXPECT_EQ(stats.expired, expired);
+    EXPECT_EQ(stats.shutdown, shutdown);
+}
+
+TEST(SloArrivalTest, SteadyOffsetsComputeFromTheAbsoluteStart)
+{
+    // Regression: the dispatcher used to schedule arrival i at
+    // start + i * duration_cast<Clock::duration>(1/qps) -- the cast
+    // truncates once, then the error is MULTIPLIED by the request id
+    // (e.g. at 3000 qps, ~333 ns/arrival ~= 0.1% rate error; worse at
+    // rates that divide the tick poorly). Offsets must instead be
+    // exact per id: off[i] == i / qps to double precision.
+    LoadOptions o;
+    o.qps = 1e6;
+    o.requests = 1'000'000;
+    const auto off = LoadGenerator::arrivalOffsets(o);
+    ASSERT_EQ(off.size(), o.requests);
+    for (const std::uint64_t id :
+         {0ull, 1ull, 999ull, 10'000ull, 123'456ull, 999'999ull})
+        EXPECT_NEAR(off[id], static_cast<double>(id) * 1e-6, 1e-9)
+            << "id " << id;
+}
+
+TEST(SloArrivalTest, ScenarioOffsetsAreMonotoneAndStartAtZero)
+{
+    for (const Scenario sc : {Scenario::Diurnal, Scenario::FlashCrowd,
+                              Scenario::Steady}) {
+        LoadOptions o;
+        o.qps = 5000.0;
+        o.requests = 10'000;
+        o.scenario = sc;
+        const auto off = LoadGenerator::arrivalOffsets(o);
+        ASSERT_EQ(off.size(), o.requests);
+        EXPECT_EQ(off[0], 0.0);
+        for (std::size_t i = 1; i < off.size(); ++i)
+            ASSERT_LT(off[i - 1], off[i]) << scenarioName(sc);
+    }
+    // FlashCrowd compresses the middle fifth: the whole run must take
+    // LESS wall time than steady at the same base rate.
+    LoadOptions steady;
+    steady.qps = 5000.0;
+    steady.requests = 10'000;
+    LoadOptions flash = steady;
+    flash.scenario = Scenario::FlashCrowd;
+    EXPECT_LT(LoadGenerator::arrivalOffsets(flash).back(),
+              LoadGenerator::arrivalOffsets(steady).back());
+}
+
+} // namespace
+} // namespace lazydp

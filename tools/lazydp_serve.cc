@@ -6,15 +6,21 @@
  * engine and publishes versioned model snapshots every
  * --publish-every iterations, while --serve-threads serve lanes score
  * deadline-batched single-user queries against the latest snapshot and
- * a load generator measures throughput and tail latency (p50/p95/p99/
- * p999). With --train-iters=0 it serves the freshly initialized model
- * only (serve-only baseline).
+ * a load generator measures throughput, tail latency (p50/p95/p99/
+ * p999) and SLO attainment. Admission control (--queue-cap,
+ * --shed-policy) bounds the per-lane queues and sheds low-priority
+ * work under overload; --slo-us expires stale requests unscored;
+ * --scenario scripts the arrival profile (flash crowds, diurnal
+ * ramps, skew drift, mixed two-class traffic). With --train-iters=0
+ * it serves the freshly initialized model only (serve-only baseline).
  *
  * Examples:
  *   lazydp_serve --algo=lazydp --model=mlperf --train-iters=50 \
  *                --publish-every=10 --serve-threads=2 --requests=2000
  *   lazydp_serve --train-iters=0 --serve-qps=500 --max-batch=16 \
  *                --max-delay-us=500 --serve-skew=high
+ *   lazydp_serve --train-iters=0 --serve-qps=3000 --scenario=flash \
+ *                --queue-cap=16 --shed-policy=drop-oldest --slo-us=5000
  */
 
 #include <cstdio>
@@ -79,6 +85,19 @@ main(int argc, char **argv)
          {"max-batch", "micro-batch coalescing cap (1 = no batching)"},
          {"max-delay-us", "batching deadline: max microseconds the "
                           "oldest query waits"},
+         {"queue-cap", "admission control: per-lane queue-depth cap "
+                       "(0 = unbounded, shedding off)"},
+         {"shed-policy", "victim at a full queue: reject (newest) | "
+                         "drop-oldest (lowest priority first either "
+                         "way)"},
+         {"slo-us", "SLO class deadline in microseconds (0 = none); "
+                    "queued requests past it expire unscored"},
+         {"scenario", "traffic profile: steady|diurnal|flash|drift|"
+                      "mixed (rate-modulated ones need --serve-qps)"},
+         {"flash-x", "flash scenario: burst rate multiplier"},
+         {"low-frac", "fraction of requests in the low-priority class "
+                      "(mixed scenario defaults to 0.5)"},
+         {"low-slo-us", "low-priority class deadline in microseconds"},
          {"serve-skew", "QUERY skew: uniform|low|medium|high|zipf"},
          {"csv", "print the result table as CSV"},
          {"help", "print this listing"}}));
@@ -164,6 +183,16 @@ main(int argc, char **argv)
     serve_opts.threads = args.getU64("serve-threads", 2);
     serve_opts.batch.maxBatch = args.getU64("max-batch", 32);
     serve_opts.batch.maxDelayUs = args.getU64("max-delay-us", 200);
+    serve_opts.batch.queueCap = args.getU64("queue-cap", 0);
+    const std::string shed_policy =
+        args.getString("shed-policy", "reject");
+    if (shed_policy == "reject")
+        serve_opts.batch.shedPolicy = ShedPolicy::RejectNewest;
+    else if (shed_policy == "drop-oldest")
+        serve_opts.batch.shedPolicy = ShedPolicy::DropOldest;
+    else
+        fatal("--shed-policy must be reject or drop-oldest, got ",
+              shed_policy);
     ServeEngine engine(store, model_cfg, pool, serve_opts);
 
     LoadOptions load_opts;
@@ -173,6 +202,21 @@ main(int argc, char **argv)
     load_opts.seed = seed + 0x5E12;
     load_opts.access =
         accessPreset(args.getString("serve-skew", "uniform"));
+    load_opts.scenario =
+        scenarioFromString(args.getString("scenario", "steady"));
+    if (load_opts.qps <= 0.0 &&
+        (load_opts.scenario == Scenario::Diurnal ||
+         load_opts.scenario == Scenario::FlashCrowd))
+        fatal("--scenario=", scenarioName(load_opts.scenario),
+              " modulates the arrival rate; it needs an open loop "
+              "(--serve-qps > 0)");
+    load_opts.slo.deadlineUs = args.getU64("slo-us", 0);
+    load_opts.slo.priority = 1;
+    load_opts.lowSlo.deadlineUs =
+        args.getU64("low-slo-us", load_opts.slo.deadlineUs);
+    load_opts.lowSlo.priority = 0;
+    load_opts.lowFraction = args.getDouble("low-frac", 0.0);
+    load_opts.flashMultiplier = args.getDouble("flash-x", 8.0);
     const std::string dump_scores = args.getString("dump-scores", "");
     load_opts.collectScores = !dump_scores.empty();
     LoadGenerator generator(engine, model_cfg, load_opts);
@@ -181,8 +225,11 @@ main(int argc, char **argv)
            humanBytes(model.tableBytes()), " tables) with ",
            serve_opts.threads, " serve lanes, max-batch ",
            serve_opts.batch.maxBatch, ", max-delay ",
-           serve_opts.batch.maxDelayUs, " us, ",
-           load_opts.qps > 0.0 ? "open" : "closed", " loop, ",
+           serve_opts.batch.maxDelayUs, " us, queue-cap ",
+           serve_opts.batch.queueCap, " (", shed_policy, "), slo ",
+           load_opts.slo.deadlineUs, " us, ",
+           load_opts.qps > 0.0 ? "open" : "closed", " loop, scenario ",
+           scenarioName(load_opts.scenario), ", ",
            load_opts.requests, " requests; training ", algo_name,
            " for ", train_iters, " iters (publish every ",
            publish_every, ", ", snapshot_mode, " snapshots",
@@ -211,8 +258,21 @@ main(int argc, char **argv)
 
     // --- sanity (the CI smoke leans on these) -------------------------
     if (report.completed != load_opts.requests)
-        fatal("served ", report.completed, " of ", load_opts.requests,
-              " requests");
+        fatal("completed ", report.completed, " of ",
+              load_opts.requests, " requests (a request was silently "
+              "dropped or left hanging)");
+    // Status conservation: every completed request carries exactly one
+    // outcome -- a mismatch means a drop path invented or lost one.
+    if (report.ok + report.shed + report.expired + report.shutdown !=
+        report.completed)
+        fatal("status counts (", report.ok, " ok + ", report.shed,
+              " shed + ", report.expired, " expired + ",
+              report.shutdown, " shutdown) != ", report.completed,
+              " completed");
+    if (serve_opts.batch.queueCap == 0 &&
+        load_opts.slo.deadlineUs == 0 && report.ok != report.completed)
+        fatal("shedding and deadlines are OFF yet only ", report.ok,
+              " of ", report.completed, " requests were scored");
     if (report.qps() <= 0.0)
         fatal("zero serving throughput");
     // Startup publishes version 1; training must add exactly one
@@ -231,7 +291,41 @@ main(int argc, char **argv)
                        ")");
     table.setHeader({"metric", "value"});
     table.addRow({"requests", TablePrinter::num(report.completed, 0)});
+    table.addRow({"scenario", scenarioName(load_opts.scenario)});
     table.addRow({"throughput qps", TablePrinter::num(report.qps(), 1)});
+    table.addRow({"slo attainment %",
+                  TablePrinter::num(report.attainment() * 100.0, 2)});
+    table.addRow({"requests ok",
+                  TablePrinter::num(static_cast<double>(report.ok), 0)});
+    table.addRow({"requests shed",
+                  TablePrinter::num(static_cast<double>(report.shed),
+                                    0)});
+    table.addRow({"requests expired",
+                  TablePrinter::num(
+                      static_cast<double>(report.expired), 0)});
+    if (report.shutdown > 0)
+        table.addRow({"requests shutdown",
+                      TablePrinter::num(
+                          static_cast<double>(report.shutdown), 0)});
+    if (report.classes.size() > 1) {
+        for (const auto &cls : report.classes) {
+            const std::string tag =
+                "class p" + TablePrinter::num(
+                                static_cast<double>(cls.priority), 0);
+            table.addRow(
+                {tag + " attainment %",
+                 TablePrinter::num(cls.attainment() * 100.0, 2)});
+            table.addRow({tag + " issued/ok/shed",
+                          TablePrinter::num(
+                              static_cast<double>(cls.issued), 0) +
+                              "/" +
+                              TablePrinter::num(
+                                  static_cast<double>(cls.ok), 0) +
+                              "/" +
+                              TablePrinter::num(
+                                  static_cast<double>(cls.shed), 0)});
+        }
+    }
     table.addRow(
         {"latency p50 ms",
          TablePrinter::num(report.latency.p50 * 1e3, 3)});
@@ -249,6 +343,9 @@ main(int argc, char **argv)
     table.addRow({"micro-batches",
                   TablePrinter::num(
                       static_cast<double>(sstats.batches), 0)});
+    table.addRow({"batches stolen",
+                  TablePrinter::num(
+                      static_cast<double>(sstats.stolenBatches), 0)});
     table.addRow({"snapshot version",
                   TablePrinter::num(
                       static_cast<double>(store.version()), 0)});
