@@ -1,0 +1,183 @@
+#include "common/cpu_set.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lazydp {
+
+bool
+CpuSet::parse(const std::string &list, CpuSet *out)
+{
+    LAZYDP_ASSERT(out != nullptr, "CpuSet::parse needs an output");
+    *out = CpuSet();
+    if (list.empty())
+        return true;
+
+    CpuSet parsed;
+    std::size_t pos = 0;
+    const auto read_number = [&](std::size_t *value) -> bool {
+        if (pos >= list.size() ||
+            !std::isdigit(static_cast<unsigned char>(list[pos])))
+            return false;
+        std::size_t v = 0;
+        while (pos < list.size() &&
+               std::isdigit(static_cast<unsigned char>(list[pos]))) {
+            v = v * 10 + static_cast<std::size_t>(list[pos] - '0');
+            if (v >= kMaxCpus)
+                return false;
+            ++pos;
+        }
+        *value = v;
+        return true;
+    };
+
+    for (;;) {
+        std::size_t lo = 0;
+        if (!read_number(&lo))
+            return false;
+        std::size_t hi = lo;
+        if (pos < list.size() && list[pos] == '-') {
+            ++pos;
+            if (!read_number(&hi) || hi < lo)
+                return false;
+        }
+        for (std::size_t cpu = lo; cpu <= hi; ++cpu)
+            parsed.add(cpu);
+        if (pos == list.size())
+            break;
+        if (list[pos] != ',')
+            return false;
+        ++pos; // a trailing comma falls through to read_number -> false
+    }
+    *out = parsed;
+    return true;
+}
+
+void
+CpuSet::add(std::size_t cpu)
+{
+    LAZYDP_ASSERT(cpu < kMaxCpus, "cpu id out of range");
+    bits_[cpu / 64] |= std::uint64_t{1} << (cpu % 64);
+}
+
+bool
+CpuSet::contains(std::size_t cpu) const
+{
+    if (cpu >= kMaxCpus)
+        return false;
+    return (bits_[cpu / 64] >> (cpu % 64)) & 1;
+}
+
+std::size_t
+CpuSet::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t word : bits_)
+        for (; word != 0; word &= word - 1)
+            ++n;
+    return n;
+}
+
+std::vector<std::size_t>
+CpuSet::cpus() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t cpu = 0; cpu < kMaxCpus; ++cpu)
+        if (contains(cpu))
+            out.push_back(cpu);
+    return out;
+}
+
+std::string
+CpuSet::toString() const
+{
+    std::string out;
+    const auto ids = cpus();
+    std::size_t i = 0;
+    while (i < ids.size()) {
+        std::size_t j = i;
+        while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1)
+            ++j;
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(ids[i]);
+        if (j > i) {
+            out += j == i + 1 ? "," : "-";
+            out += std::to_string(ids[j]);
+        }
+        i = j + 1;
+    }
+    return out;
+}
+
+bool
+cpuPinningSupported()
+{
+#if defined(__linux__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+#if defined(__linux__)
+
+namespace {
+
+bool
+pinHandle(pthread_t handle, const CpuSet &set)
+{
+    if (set.empty())
+        return true;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    bool any = false;
+    for (std::size_t cpu : set.cpus()) {
+        if (cpu >= CPU_SETSIZE)
+            continue;
+        CPU_SET(cpu, &mask);
+        any = true;
+    }
+    if (!any)
+        return false;
+    return pthread_setaffinity_np(handle, sizeof(mask), &mask) == 0;
+}
+
+} // namespace
+
+bool
+pinThread(std::thread &thread, const CpuSet &set)
+{
+    return pinHandle(thread.native_handle(), set);
+}
+
+bool
+pinCurrentThread(const CpuSet &set)
+{
+    return pinHandle(pthread_self(), set);
+}
+
+#else // !defined(__linux__)
+
+bool
+pinThread(std::thread &, const CpuSet &)
+{
+    return true;
+}
+
+bool
+pinCurrentThread(const CpuSet &)
+{
+    return true;
+}
+
+#endif
+
+} // namespace lazydp

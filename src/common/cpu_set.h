@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CPU-affinity abstraction for train-vs-serve isolation.
+ *
+ * A CpuSet is a small value type naming a set of logical CPUs. The
+ * pinning entry points wrap pthread_setaffinity_np on Linux and are
+ * deliberate no-ops everywhere else (and on empty sets), so callers can
+ * express placement unconditionally: "pin serve lanes to --serve-cores"
+ * compiles and runs on any host, and only constrains scheduling where
+ * the OS supports it. pinThread operates on a std::thread's
+ * native_handle, which works on already-running threads -- the
+ * ThreadPool uses this to retro-pin lazily spawned lane threads.
+ *
+ * Parsing accepts the taskset-style list syntax ("0-3,6,9") so the
+ * CLI flags read like the cpuset tooling operators already know.
+ */
+
+#ifndef LAZYDP_COMMON_CPU_SET_H
+#define LAZYDP_COMMON_CPU_SET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lazydp {
+
+/**
+ * Value-type set of logical CPU ids (0-based). Bounded at kMaxCpus so
+ * the representation is a fixed bitmap -- copyable, comparable, and
+ * trivially hashable into pthread's cpu_set_t.
+ */
+class CpuSet
+{
+  public:
+    /** Highest representable CPU id + 1. */
+    static constexpr std::size_t kMaxCpus = 1024;
+
+    CpuSet() = default;
+
+    /**
+     * Parse a taskset-style list ("0-3,6") into a set. Whitespace is
+     * not accepted; an empty string parses to the empty set.
+     *
+     * @return false (leaving @p out empty) on malformed input: bad
+     *   characters, reversed ranges, or ids >= kMaxCpus.
+     */
+    static bool parse(const std::string &list, CpuSet *out);
+
+    /** Add one CPU id (asserts id < kMaxCpus). */
+    void add(std::size_t cpu);
+
+    /** @return true when @p cpu is in the set. */
+    bool contains(std::size_t cpu) const;
+
+    /** @return number of CPUs in the set. */
+    std::size_t count() const;
+
+    /** @return true when no CPU is in the set. */
+    bool empty() const { return count() == 0; }
+
+    /** @return the member CPU ids in increasing order. */
+    std::vector<std::size_t> cpus() const;
+
+    /** @return taskset-style list form ("0-3,6"); "" for empty. */
+    std::string toString() const;
+
+    bool operator==(const CpuSet &o) const { return bits_ == o.bits_; }
+    bool operator!=(const CpuSet &o) const { return !(*this == o); }
+
+  private:
+    std::vector<std::uint64_t> bits_ =
+        std::vector<std::uint64_t>(kMaxCpus / 64, 0);
+};
+
+/**
+ * @return true when this build can actually pin threads (Linux with
+ *   pthread affinity). When false every pin call is a successful no-op.
+ */
+bool cpuPinningSupported();
+
+/**
+ * Restrict @p thread to the CPUs in @p set. Empty set or unsupported
+ * platform: no-op returning true.
+ *
+ * @return false when the kernel rejected the mask (e.g. every id in
+ *   the set is outside the machine's online CPUs).
+ */
+bool pinThread(std::thread &thread, const CpuSet &set);
+
+/** pinThread for the calling thread. */
+bool pinCurrentThread(const CpuSet &set);
+
+} // namespace lazydp
+
+#endif // LAZYDP_COMMON_CPU_SET_H

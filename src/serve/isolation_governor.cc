@@ -1,0 +1,284 @@
+#include "serve/isolation_governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace lazydp {
+
+IsolationPolicy
+parseIsolationPolicy(const std::string &name)
+{
+    if (name == "none")
+        return IsolationPolicy::None;
+    if (name == "pin")
+        return IsolationPolicy::Pin;
+    if (name == "throttle")
+        return IsolationPolicy::Throttle;
+    if (name == "pin+throttle")
+        return IsolationPolicy::PinThrottle;
+    fatal("unknown isolation policy '", name,
+          "' (expected none|pin|throttle|pin+throttle)");
+}
+
+const char *
+isolationPolicyName(IsolationPolicy policy)
+{
+    switch (policy) {
+    case IsolationPolicy::None: return "none";
+    case IsolationPolicy::Pin: return "pin";
+    case IsolationPolicy::Throttle: return "throttle";
+    case IsolationPolicy::PinThrottle: return "pin+throttle";
+    }
+    return "?";
+}
+
+AttainmentSample
+windowAttainment(const ServeStats &prev, const ServeStats &cur)
+{
+    AttainmentSample out;
+    // Cumulative counters are monotone; guard against a sampler handing
+    // back stale/reset stats rather than underflowing.
+    const std::uint64_t served =
+        cur.served >= prev.served ? cur.served - prev.served : 0;
+    const std::uint64_t expired =
+        cur.expired >= prev.expired ? cur.expired - prev.expired : 0;
+    const std::uint64_t attained =
+        cur.okDeadline >= prev.okDeadline
+            ? cur.okDeadline - prev.okDeadline
+            : 0;
+    out.accepted = served + expired;
+    out.attained = std::min(attained, out.accepted);
+    if (out.accepted == 0) {
+        // Total overload (everything shed) or an idle tier: there is no
+        // deadline evidence either way. 0 + noTraffic, never NaN -- a
+        // NaN here poisons every downstream comparison (controller
+        // thresholds, CI gates) because NaN > x is false for all x.
+        out.noTraffic = true;
+        out.attainment = 0.0;
+        return out;
+    }
+    out.attainment = static_cast<double>(out.attained) /
+                     static_cast<double>(out.accepted);
+    return out;
+}
+
+HysteresisController::HysteresisController(double engage_below,
+                                           double release_above)
+    : engageBelow_(engage_below), releaseAbove_(release_above)
+{
+    LAZYDP_ASSERT(engage_below <= release_above,
+                  "hysteresis band is inverted");
+}
+
+bool
+HysteresisController::update(const AttainmentSample &sample)
+{
+    if (sample.noTraffic) {
+        // No completed-accepted traffic: nothing to protect. Holding
+        // the throttle through an idle spell would starve training for
+        // no serve-side benefit.
+        engaged_ = false;
+        return engaged_;
+    }
+    if (engaged_) {
+        if (sample.attainment >= releaseAbove_)
+            engaged_ = false;
+    } else {
+        if (sample.attainment < engageBelow_)
+            engaged_ = true;
+    }
+    return engaged_;
+}
+
+TokenBucket::TokenBucket(double rate, double capacity)
+    : rate_(rate), capacity_(std::max(capacity, 1.0)),
+      tokens_(std::max(capacity, 1.0))
+{
+    LAZYDP_ASSERT(rate > 0.0, "token rate must be positive");
+}
+
+double
+TokenBucket::acquireDelaySeconds(double now_seconds)
+{
+    if (!primed_) {
+        primed_ = true;
+        last_ = now_seconds;
+    }
+    const double elapsed = std::max(0.0, now_seconds - last_);
+    last_ = now_seconds;
+    tokens_ = std::min(capacity_, tokens_ + elapsed * rate_);
+    tokens_ -= 1.0;
+    if (tokens_ >= 0.0)
+        return 0.0;
+    // The debt IS the pause: after sleeping -tokens_/rate_ seconds the
+    // bucket is exactly empty again, so a steady caller settles at
+    // `rate_` acquisitions per second.
+    return -tokens_ / rate_;
+}
+
+void
+TokenBucket::reset()
+{
+    tokens_ = capacity_;
+    primed_ = false;
+}
+
+void
+TokenBucket::drain()
+{
+    tokens_ = 0.0;
+    primed_ = false;
+}
+
+IsolationGovernor::IsolationGovernor(std::function<ServeStats()> sampler,
+                                     const GovernorOptions &options)
+    : sampler_(std::move(sampler)), options_(options),
+      controller_(options.engageBelow, options.releaseAbove),
+      bucket_(options.throttledItersPerSec, options.burstIters)
+{
+    LAZYDP_ASSERT(sampler_ != nullptr, "governor needs a stats source");
+    LAZYDP_ASSERT(options_.windowUs > 0, "window must be positive");
+    prev_ = sampler_();
+    if (options_.startSampler)
+        thread_ = std::thread([this] { samplerLoop(); });
+}
+
+IsolationGovernor::~IsolationGovernor() { stop(); }
+
+void
+IsolationGovernor::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Release the trainer first: a gate sleeping on an engaged
+    // throttle should not serve out a pause for a governor that is
+    // going away.
+    engaged_.store(false, std::memory_order_relaxed);
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+IsolationGovernor::samplerLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        {
+            std::unique_lock<std::mutex> lock(wakeMu_);
+            wake_.wait_for(lock,
+                           std::chrono::microseconds(options_.windowUs),
+                           [this] {
+                               return stopping_.load(
+                                   std::memory_order_relaxed);
+                           });
+        }
+        if (stopping_.load(std::memory_order_relaxed))
+            return;
+        sampleOnce();
+    }
+}
+
+void
+IsolationGovernor::sampleOnce()
+{
+    const ServeStats cur = sampler_();
+    std::lock_guard<std::mutex> lock(mu_);
+    const AttainmentSample sample = windowAttainment(prev_, cur);
+    prev_ = cur;
+    const bool was_engaged = controller_.engaged();
+    const bool now_engaged = controller_.update(sample);
+    ++stats_.windows;
+    if (sample.noTraffic)
+        ++stats_.noTrafficWindows;
+    stats_.lastAttainment = sample.attainment;
+    stats_.engaged = now_engaged;
+    if (!was_engaged && now_engaged) {
+        ++stats_.engagements;
+        // Engagement == attainment is already suffering: start with an
+        // EMPTY bucket so the very next gated iteration pays a pause.
+        // A full burst here would hand every engagement one free
+        // iteration -- and an engagement shorter than one training
+        // iteration (flash spikes vs. ~100ms iterations) would then
+        // never throttle anything. Credit left from a previous
+        // engagement is deliberately discarded too.
+        bucket_.drain();
+    }
+    engaged_.store(now_engaged, std::memory_order_relaxed);
+}
+
+std::function<void()>
+IsolationGovernor::gate()
+{
+    return [this] { runGate(); };
+}
+
+void
+IsolationGovernor::runGate()
+{
+    // Fast path: disengaged throttle costs one relaxed load per
+    // training iteration.
+    if (!engaged_.load(std::memory_order_relaxed))
+        return;
+    double delay;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const double now =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        delay = bucket_.acquireDelaySeconds(now);
+        if (delay > 0.0) {
+            ++stats_.gatePauses;
+            stats_.pausedSeconds += delay;
+        }
+    }
+    if (delay > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+GovernorStats
+IsolationGovernor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+applyCorePinning(ThreadPool &pool, const CpuSet &train_cores,
+                 const CpuSet &serve_cores)
+{
+    // Train side: the loop-dispatch workers, every train-owned lane
+    // (pipeline 0, replicas 1..3, spares, tier prefetch 7), and the
+    // calling thread, which participates in every parallelFor dispatch
+    // and runs apply() itself.
+    pool.setWorkerAffinity(train_cores);
+    pool.reserveLanes(0, ThreadPool::kServeLaneBase, train_cores);
+    pinCurrentThread(train_cores);
+    // Serve side: every current and future serve lane.
+    pool.reserveLanes(ThreadPool::kServeLaneBase, ThreadPool::kMaxLanes,
+                      serve_cores);
+}
+
+CoreSplit
+defaultCoreSplit(std::size_t serve_threads)
+{
+    CoreSplit split;
+    const std::size_t n = hardwareThreads();
+    if (n < 2) {
+        warn("cpu pinning requested on a single-CPU host: nothing to "
+             "split, isolation falls back to throttling only");
+        return split;
+    }
+    const std::size_t serve =
+        std::max<std::size_t>(1, std::min(serve_threads, n / 2));
+    for (std::size_t cpu = 0; cpu < n - serve; ++cpu)
+        split.train.add(cpu);
+    for (std::size_t cpu = n - serve; cpu < n; ++cpu)
+        split.serve.add(cpu);
+    return split;
+}
+
+} // namespace lazydp

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Train-vs-serve isolation: CPU placement policies plus an
+ * attainment-driven trainer throttle.
+ *
+ * The serving tier shares one process (and one ThreadPool) with the
+ * trainer, and the serve+train bench legs show the trainer stealing
+ * tail latency from the serve lanes. This module closes the loop in
+ * two composable ways, selected by IsolationPolicy:
+ *
+ *  - **pin**: static CPU placement. The loop-dispatch workers, the
+ *    train-side lanes (pipeline, replicas, tier prefetch) and the
+ *    calling train thread are pinned to one core set; the serve lanes
+ *    are reserved onto a disjoint set (ThreadPool::reserveLanes), so
+ *    a training burst can no longer preempt a scoring worker.
+ *
+ *  - **throttle**: dynamic feedback. An IsolationGovernor samples the
+ *    engine's cumulative ServeStats on a fixed cadence, forms a
+ *    sliding-window SLO attainment signal (per-window deltas, see
+ *    windowAttainment), and runs it through a hysteresis controller:
+ *    attainment below `engageBelow` engages the throttle, recovery
+ *    above `releaseAbove` releases it. While engaged, the trainer's
+ *    between-iterations hook (TrainOptions::iterationGate) is paced by
+ *    a token bucket to at most `throttledItersPerSec` iterations per
+ *    second -- the pause happens with no training state in flight, so
+ *    the trained model stays bit-identical to an unthrottled run
+ *    (asserted by tests/serve/isolation_governor_test.cc).
+ *
+ * The pure pieces (windowAttainment, HysteresisController, TokenBucket)
+ * are exposed for unit testing with fake stats and fake clocks.
+ */
+
+#ifndef LAZYDP_SERVE_ISOLATION_GOVERNOR_H
+#define LAZYDP_SERVE_ISOLATION_GOVERNOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/cpu_set.h"
+#include "common/thread_pool.h"
+#include "serve/serve_engine.h"
+
+namespace lazydp {
+
+/** How the trainer and the serve lanes are kept out of each other's
+ *  way. Pin and throttle compose (see file comment). */
+enum class IsolationPolicy : std::uint8_t
+{
+    None = 0,    //!< shared cores, unthrottled trainer (the baseline)
+    Pin,         //!< disjoint train/serve core sets, no feedback
+    Throttle,    //!< attainment-driven trainer throttle, shared cores
+    PinThrottle, //!< both
+};
+
+/** Parse "none" / "pin" / "throttle" / "pin+throttle" (fatal on
+ *  anything else). */
+IsolationPolicy parseIsolationPolicy(const std::string &name);
+
+/** @return the canonical CLI name of @p policy . */
+const char *isolationPolicyName(IsolationPolicy policy);
+
+/** @return true when @p policy pins cores. */
+inline bool
+policyPins(IsolationPolicy policy)
+{
+    return policy == IsolationPolicy::Pin ||
+           policy == IsolationPolicy::PinThrottle;
+}
+
+/** @return true when @p policy throttles the trainer. */
+inline bool
+policyThrottles(IsolationPolicy policy)
+{
+    return policy == IsolationPolicy::Throttle ||
+           policy == IsolationPolicy::PinThrottle;
+}
+
+/**
+ * One sliding-window attainment observation, formed from two cumulative
+ * ServeStats samples (window = the delta between them).
+ *
+ * Attainment is defined over **completed-accepted** requests: those the
+ * admission controller let in AND that reached a terminal completion in
+ * the window -- scored (served) or expired. Shed and shutdown requests
+ * were never accepted for scoring and say nothing about how well the
+ * serve lanes met deadlines. A window with no completed-accepted
+ * traffic reports attainment 0 with `noTraffic` set -- NEVER NaN -- so
+ * the signal can be consumed blindly by controllers and CI gates
+ * (`NaN > x` is false for every x, which would defeat both).
+ */
+struct AttainmentSample
+{
+    double attainment = 0.0;     //!< attained / accepted; 0 if no traffic
+    bool noTraffic = false;      //!< window had no completed-accepted reqs
+    std::uint64_t accepted = 0;  //!< completed-accepted reqs in the window
+    std::uint64_t attained = 0;  //!< of those, scored within deadline
+};
+
+/** Windowed attainment between cumulative samples @p prev and @p cur
+ *  (see AttainmentSample for the definition). */
+AttainmentSample windowAttainment(const ServeStats &prev,
+                                  const ServeStats &cur);
+
+/**
+ * Two-threshold hysteresis: engaged when the signal drops below
+ * `engageBelow`, released only once it recovers to `releaseAbove` --
+ * the dead band keeps the throttle from chattering when attainment
+ * hovers at the threshold. No-traffic windows release (an idle serve
+ * tier needs no protection).
+ */
+class HysteresisController
+{
+  public:
+    /** @param engage_below engage when signal < this
+     *  @param release_above release when signal >= this (>= engage) */
+    HysteresisController(double engage_below, double release_above);
+
+    /** Feed one window; @return the new engaged state. */
+    bool update(const AttainmentSample &sample);
+
+    bool engaged() const { return engaged_; }
+
+  private:
+    double engageBelow_;
+    double releaseAbove_;
+    bool engaged_ = false;
+};
+
+/**
+ * Token-bucket pacer with an injected clock: one token per admitted
+ * event, refilled at `rate` tokens/second up to `capacity`. Tokens may
+ * go negative -- the debt converts to the wait the caller must serve
+ * before proceeding, which paces a loop to `rate` events/second while
+ * allowing a `capacity`-deep burst after idle periods.
+ */
+class TokenBucket
+{
+  public:
+    /** @param rate tokens per second (> 0)
+     *  @param capacity burst depth (>= 1 token) */
+    TokenBucket(double rate, double capacity);
+
+    /**
+     * Consume one token at time @p now_seconds (monotonic, any epoch).
+     * @return seconds the caller must pause to honor the rate (0 when
+     *   a token was available).
+     */
+    double acquireDelaySeconds(double now_seconds);
+
+    /** Refill to a full burst (a fresh, unengaged bucket). */
+    void reset();
+
+    /**
+     * Empty the bucket and forget the refill epoch. Used on throttle
+     * engagement: engaging means attainment is ALREADY suffering, so
+     * the very next gated iteration pays a full pause instead of
+     * spending a burst token -- an engagement shorter than one
+     * training iteration would otherwise never throttle anything.
+     */
+    void drain();
+
+  private:
+    double rate_;
+    double capacity_;
+    double tokens_;
+    double last_ = 0.0;
+    bool primed_ = false; //!< first acquire sets the refill epoch
+};
+
+/** IsolationGovernor knobs. */
+struct GovernorOptions
+{
+    /** Attainment sampling window in microseconds. */
+    std::uint64_t windowUs = 5000;
+
+    /** Engage the throttle when window attainment < this. */
+    double engageBelow = 0.90;
+
+    /** Release it once window attainment >= this. */
+    double releaseAbove = 0.97;
+
+    /** Trainer pace while engaged (iterations per second). */
+    double throttledItersPerSec = 200.0;
+
+    /** Token-bucket burst depth (iterations). */
+    double burstIters = 1.0;
+
+    /**
+     * Spawn the sampling thread in the constructor (default). Unit
+     * tests pass false and drive sampleOnce() by hand.
+     */
+    bool startSampler = true;
+};
+
+/** Governor decision counters (lazydp_serve reports these). */
+struct GovernorStats
+{
+    std::uint64_t windows = 0;          //!< attainment windows sampled
+    std::uint64_t noTrafficWindows = 0; //!< of those, empty (flagged, not NaN)
+    std::uint64_t engagements = 0;      //!< off->on throttle transitions
+    std::uint64_t gatePauses = 0;       //!< gate calls that actually slept
+    double pausedSeconds = 0.0;         //!< total trainer pause injected
+    double lastAttainment = 0.0;        //!< most recent window's attainment
+    bool engaged = false;               //!< throttle currently engaged
+};
+
+/**
+ * The feedback controller: samples a ServeStats source on its own
+ * thread, maintains the hysteresis state, and exposes a gate() closure
+ * for TrainOptions::iterationGate that pauses the trainer while
+ * engaged. Thread-safe: the sampler thread, the training thread (gate)
+ * and stats() readers may all run concurrently.
+ */
+class IsolationGovernor
+{
+  public:
+    /**
+     * @param sampler returns the engine's CUMULATIVE ServeStats; called
+     *   once per window from the sampling thread (typically
+     *   `[&engine] { return engine.stats(); }`)
+     * @param options thresholds / pacing / window length
+     */
+    IsolationGovernor(std::function<ServeStats()> sampler,
+                      const GovernorOptions &options);
+
+    /** Stops the sampling thread (see stop()). */
+    ~IsolationGovernor();
+
+    IsolationGovernor(const IsolationGovernor &) = delete;
+    IsolationGovernor &operator=(const IsolationGovernor &) = delete;
+
+    /**
+     * The between-iterations hook to install as
+     * TrainOptions::iterationGate. Near-free while the throttle is
+     * disengaged (one relaxed atomic load); while engaged, sleeps per
+     * the token bucket. The closure must not outlive the governor.
+     */
+    std::function<void()> gate();
+
+    /** Stop sampling and release the trainer. Idempotent; the dtor
+     *  calls it. A gate stuck in a pause finishes that pause. */
+    void stop();
+
+    /** Pull one sample and update the controller (the sampler thread's
+     *  body; public so unit tests can drive windows by hand). */
+    void sampleOnce();
+
+    /** @return a consistent copy of the decision counters. */
+    GovernorStats stats() const;
+
+  private:
+    void samplerLoop();
+    void runGate();
+
+    std::function<ServeStats()> sampler_;
+    GovernorOptions options_;
+
+    /** Fast-path flag the gate reads without taking mu_. */
+    std::atomic<bool> engaged_{false};
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex mu_;
+    HysteresisController controller_;
+    TokenBucket bucket_;
+    ServeStats prev_;
+    GovernorStats stats_;
+
+    std::mutex wakeMu_;
+    std::condition_variable wake_;
+    std::thread thread_;
+};
+
+/**
+ * Apply the pinning half of a policy: loop workers, train-side lanes
+ * (0 .. kServeLaneBase-1) and the CALLING thread (assumed to be the
+ * one that will run the Trainer) onto @p train_cores; every current
+ * and future serve lane (kServeLaneBase ..) onto @p serve_cores.
+ * Either set may be empty (that side is left to the OS scheduler).
+ */
+void applyCorePinning(ThreadPool &pool, const CpuSet &train_cores,
+                      const CpuSet &serve_cores);
+
+/**
+ * Default disjoint split of the host's CPUs [0, hardwareThreads()):
+ * the LAST min(serve_threads, nproc/2) CPUs go to serving, the rest to
+ * training. On a single-CPU host there is nothing to split -- both
+ * sets come back empty and pinning degrades to a no-op (the throttle
+ * still works; it is the only lever such a host has).
+ */
+struct CoreSplit
+{
+    CpuSet train;
+    CpuSet serve;
+};
+CoreSplit defaultCoreSplit(std::size_t serve_threads);
+
+} // namespace lazydp
+
+#endif // LAZYDP_SERVE_ISOLATION_GOVERNOR_H

@@ -140,13 +140,22 @@ struct LoadReport
         std::uint64_t shutdown = 0; //!< engine stopped first
         std::uint64_t attained = 0; //!< ok AND under the class deadline
 
-        /** @return SLO attainment in [0, 1] over everything issued. */
+        /** @return completed-accepted requests of this class (the
+         *  attainment denominator -- see LoadReport::attainment). */
+        std::uint64_t accepted() const { return ok + expired; }
+
+        /**
+         * @return SLO attainment in [0, 1] over the class's
+         *   completed-accepted requests; 0 when it had none (see
+         *   LoadReport::noTraffic -- never NaN).
+         */
         double
         attainment() const
         {
-            return issued == 0 ? 0.0
-                               : static_cast<double>(attained) /
-                                     static_cast<double>(issued);
+            return accepted() == 0
+                       ? 0.0
+                       : static_cast<double>(attained) /
+                             static_cast<double>(accepted());
         }
     };
 
@@ -163,18 +172,35 @@ struct LoadReport
      * Requests that completed Ok WITHIN their class deadline
      * (coordinated-omission-safe: open-loop latency counts from the
      * scheduled arrival; a class without a deadline attains on Ok).
-     * Shed/expired requests count against attainment by construction
-     * -- the denominator is everything issued.
      */
     std::uint64_t attained = 0;
 
-    /** @return overall SLO attainment in [0, 1]. */
+    /**
+     * Requests the admission controller accepted AND that reached a
+     * terminal completion: scored (ok) or deadline-expired. This is
+     * the attainment denominator -- shed and shutdown requests never
+     * competed for a deadline, so they are reported through their own
+     * counts (and the shed rate), not folded into attainment.
+     */
+    std::uint64_t accepted() const { return ok + expired; }
+
+    /**
+     * @return true when NO request was completed-accepted (total
+     *   overload: everything shed, or the engine stopped first).
+     *   attainment() reports 0 for such a window -- never NaN, which
+     *   would silently defeat numeric gates (`NaN > x` is false for
+     *   every x) and poison the isolation governor's feedback signal.
+     */
+    bool noTraffic() const { return accepted() == 0; }
+
+    /** @return SLO attainment in [0, 1] over completed-accepted
+     *  requests (0 when noTraffic()). */
     double
     attainment() const
     {
-        return completed == 0 ? 0.0
-                              : static_cast<double>(attained) /
-                                    static_cast<double>(completed);
+        return noTraffic() ? 0.0
+                           : static_cast<double>(attained) /
+                                 static_cast<double>(accepted());
     }
 
     /** Per-class breakdown (one entry per distinct priority issued). */

@@ -145,6 +145,18 @@ ServeEngine::workerLoop(std::size_t lane)
         // execution context for a latency-bound micro-batch.
         snap->model.forward(mb, logits, ws, ExecContext::serial());
 
+        // Deadline check for the attainment signal: one timestamp for
+        // the whole micro-batch, taken before any completion is
+        // delivered (the same instant the stats are counted at, so a
+        // window sampler can never see a completion that beat its own
+        // attainment accounting). deadlineAt is time_point::max() for
+        // no-deadline requests -- they always attain.
+        const auto scored_at = PendingRequest::Clock::now();
+        std::uint64_t in_deadline = 0;
+        for (std::size_t e = 0; e < n; ++e)
+            if (scored_at <= batch[e]->deadlineAt)
+                ++in_deadline;
+
         // Stats BEFORE complete(): complete() is the client's wakeup,
         // so any observer that saw its own result must also see it
         // counted -- updating after the wakeup let stats().served
@@ -152,6 +164,7 @@ ServeEngine::workerLoop(std::size_t lane)
         {
             std::lock_guard<std::mutex> lock(statsMu_);
             stats_.served += n;
+            stats_.okDeadline += in_deadline;
             stats_.batches += 1;
             if (stats_.minVersion == 0 ||
                 snap->version < stats_.minVersion)

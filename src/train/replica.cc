@@ -6,6 +6,22 @@
 
 namespace lazydp {
 
+std::size_t
+replicaLane(std::size_t r)
+{
+    LAZYDP_ASSERT(r >= 1, "replica 0 runs on the calling thread");
+    const std::size_t lane = kReplicaLaneBase + r - 1;
+    if (lane >= ThreadPool::kTierPrefetchLane)
+        fatal("replica ", r, " would run on lane ", lane,
+              ", which is reserved (tier prefetch = ",
+              ThreadPool::kTierPrefetchLane,
+              ", serve lanes >= ", ThreadPool::kServeLaneBase,
+              "): use at most ",
+              ThreadPool::kTierPrefetchLane - kReplicaLaneBase + 1,
+              " replicas");
+    return lane;
+}
+
 void
 runReplicated(ExecContext &exec,
               const std::function<void(std::size_t, ExecContext &)> &body)
@@ -25,7 +41,7 @@ runReplicated(ExecContext &exec,
     pending.reserve(replicas - 1);
     for (std::size_t r = 1; r < replicas; ++r) {
         pending.push_back(exec.pool->submitLane(
-            kReplicaLaneBase + r - 1, [&body, r, per] {
+            replicaLane(r), [&body, r, per] {
                 for (std::size_t s = r * per; s < (r + 1) * per; ++s)
                     body(s, ExecContext::serial());
             }));

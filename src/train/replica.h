@@ -50,12 +50,33 @@ constexpr std::size_t kLotShards = 4;
  *  the Trainer's pipelined prepare stage). */
 constexpr std::size_t kReplicaLaneBase = 1;
 
+// Replica dispatch must stay strictly below the reserved lanes: the
+// out-of-core warm task owns kTierPrefetchLane (7) and serving claims
+// kServeLaneBase (8) upward. A replica landing there would serialize
+// behind cold-page warming or contend with scoring workers -- and under
+// CPU isolation it would silently run on the SERVE core set. The
+// static check ties the replica lane range to the lane map so a future
+// kLotShards bump cannot re-open the hole.
+static_assert(kReplicaLaneBase + kLotShards - 2 <
+                  ThreadPool::kTierPrefetchLane,
+              "replica lanes overlap the tier-prefetch/serve lane "
+              "reservation -- shrink kLotShards or move the bases");
+
 /** @return true when @p n replicas evenly own kLotShards subtrees. */
 constexpr bool
 validReplicas(std::size_t n)
 {
     return n == 1 || n == 2 || n == 4;
 }
+
+/**
+ * The dedicated pool lane replica @p r (>= 1; replica 0 is the calling
+ * thread) runs on. Fails loudly (fatal) if the lane would collide with
+ * a reserved lane -- the guard every dispatch and Trainer setup goes
+ * through, so an out-of-range replica count can never silently land on
+ * the warm or serve lanes.
+ */
+std::size_t replicaLane(std::size_t r);
 
 /** Boundaries of microbatch shard @p shard of a @p batch -example lot
  *  (balanced split; depends on the lot size and kLotShards only). */

@@ -26,6 +26,10 @@ Trainer::run(std::uint64_t iterations, const TrainOptions &options)
                   "warmup would consume every iteration");
     LAZYDP_ASSERT(validReplicas(options.replicas),
                   "TrainOptions::replicas must be 1, 2 or 4");
+    // Fail loudly up front if any replica would land on a reserved
+    // (tier-prefetch / serve) lane, rather than deep inside dispatch.
+    for (std::size_t r = 1; r < options.replicas; ++r)
+        replicaLane(r);
     if (options.publishEveryIters != 0) {
         LAZYDP_ASSERT(options.snapshotStore != nullptr,
                       "publishEveryIters needs a snapshotStore");
@@ -126,6 +130,8 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
         }
 
         queue.pop();
+        if (options.iterationGate && iter < iterations)
+            options.iterationGate();
     }
     result.wallSeconds = wall.seconds();
 }
@@ -249,6 +255,11 @@ Trainer::runPipelined(std::uint64_t iterations,
             iter_mark = now;
         }
         queue.pop();
+        // Gate with the pipeline drained: the overlapped prepare has
+        // joined, so the pause stalls the whole training side -- the
+        // serve lanes get the cores for the full pause.
+        if (options.iterationGate && iter < iterations)
+            options.iterationGate();
     }
     result.wallSeconds = wall.seconds();
 }

@@ -28,6 +28,7 @@
 #define LAZYDP_TRAIN_TRAINER_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/timer.h"
@@ -113,6 +114,19 @@ struct TrainOptions
 
     /** Snapshot exchange serving reads from (not owned; may be null). */
     ModelSnapshotStore *snapshotStore = nullptr;
+
+    /**
+     * Optional between-iterations hook, called after iteration i fully
+     * completes (apply done, overlapped prepare joined, snapshot
+     * published) and before iteration i+1 starts -- never after the
+     * final iteration. The isolation governor
+     * (serve/isolation_governor.h) injects its token-bucket throttle
+     * pause here when serve-side SLO attainment drops. The hook runs
+     * with no training state in flight and can only delay WHEN the
+     * next iteration starts, so it never changes the trained model --
+     * the DP bit-identity matrix holds with any gate installed.
+     */
+    std::function<void()> iterationGate;
 };
 
 /** Result of a training run. */

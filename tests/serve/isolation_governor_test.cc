@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Isolation-governor tests: CpuSet parsing, the windowed attainment
+ * signal (incl. the empty-window 0-not-NaN fix), hysteresis
+ * engage/release, token-bucket pacing with a fake clock, governor
+ * decision accounting, and the contract that matters most -- throttling
+ * the trainer between iterations never perturbs the trained model's
+ * bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cpu_set.h"
+#include "core/factory.h"
+#include "data/synthetic_dataset.h"
+#include "serve/isolation_governor.h"
+#include "train/trainer.h"
+
+namespace lazydp {
+namespace {
+
+// ---------------------------------------------------------------- CpuSet
+
+TEST(CpuSetTest, ParseListAndRangesRoundTrips)
+{
+    CpuSet set;
+    ASSERT_TRUE(CpuSet::parse("0-3,6", &set));
+    EXPECT_EQ(set.count(), 5u);
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_FALSE(set.contains(4));
+    EXPECT_TRUE(set.contains(6));
+    EXPECT_EQ(set.toString(), "0-3,6");
+
+    CpuSet pair;
+    ASSERT_TRUE(CpuSet::parse("1,2", &pair));
+    EXPECT_EQ(pair.toString(), "1,2"); // adjacent pair is not a range
+    CpuSet run;
+    ASSERT_TRUE(CpuSet::parse("1,2,3", &run));
+    EXPECT_EQ(run.toString(), "1-3");
+}
+
+TEST(CpuSetTest, EmptyStringIsTheEmptySet)
+{
+    CpuSet set;
+    set.add(5);
+    ASSERT_TRUE(CpuSet::parse("", &set));
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.toString(), "");
+}
+
+TEST(CpuSetTest, MalformedListsAreRejected)
+{
+    CpuSet set;
+    for (const char *bad : {"a", "3-1", "1,,2", "1-", ",1", "1,",
+                            "1 2", "-2", "0-99999"}) {
+        EXPECT_FALSE(CpuSet::parse(bad, &set)) << "input: " << bad;
+        EXPECT_TRUE(set.empty()) << "input: " << bad;
+    }
+}
+
+TEST(CpuSetTest, PinningEmptySetIsANoOp)
+{
+    // Contract for unsupported platforms / unset flags: empty set pins
+    // nothing and reports success.
+    EXPECT_TRUE(pinCurrentThread(CpuSet()));
+}
+
+// --------------------------------------------------- attainment window
+
+ServeStats
+stats(std::uint64_t served, std::uint64_t ok_deadline,
+      std::uint64_t expired, std::uint64_t shed = 0)
+{
+    ServeStats s;
+    s.served = served;
+    s.okDeadline = ok_deadline;
+    s.expired = expired;
+    s.shed = shed;
+    return s;
+}
+
+TEST(AttainmentWindowTest, DeltasOverCompletedAccepted)
+{
+    const auto sample =
+        windowAttainment(stats(100, 90, 10), stats(190, 170, 30));
+    // Window: 90 served (80 in deadline) + 20 expired.
+    EXPECT_EQ(sample.accepted, 110u);
+    EXPECT_EQ(sample.attained, 80u);
+    EXPECT_FALSE(sample.noTraffic);
+    EXPECT_NEAR(sample.attainment, 80.0 / 110.0, 1e-12);
+}
+
+TEST(AttainmentWindowTest, EmptyWindowIsZeroFlaggedNotNaN)
+{
+    // The bug class this guards: an empty window must NOT divide 0/0.
+    const auto idle = windowAttainment(stats(50, 50, 0), stats(50, 50, 0));
+    EXPECT_TRUE(idle.noTraffic);
+    EXPECT_EQ(idle.attainment, 0.0);
+    EXPECT_FALSE(std::isnan(idle.attainment));
+}
+
+TEST(AttainmentWindowTest, TotalOverloadAllShedIsNoTraffic)
+{
+    // Everything shed by admission control: no completed-accepted
+    // traffic, so there is no deadline evidence -- flagged, not 0/0.
+    const auto sample = windowAttainment(stats(10, 10, 0, 100),
+                                         stats(10, 10, 0, 900));
+    EXPECT_TRUE(sample.noTraffic);
+    EXPECT_EQ(sample.attainment, 0.0);
+}
+
+TEST(AttainmentWindowTest, StaleSampleDoesNotUnderflow)
+{
+    // A sampler handing back reset/stale cumulative counters must not
+    // wrap the unsigned deltas into absurd attainment.
+    const auto sample = windowAttainment(stats(100, 90, 5), stats(40, 20, 1));
+    EXPECT_TRUE(sample.noTraffic);
+    EXPECT_EQ(sample.attainment, 0.0);
+}
+
+// --------------------------------------------------------- hysteresis
+
+TEST(HysteresisTest, EngagesBelowAndReleasesOnlyAboveTheBand)
+{
+    HysteresisController ctrl(0.90, 0.97);
+    auto at = [](double a) {
+        AttainmentSample s;
+        s.attainment = a;
+        s.accepted = 100;
+        return s;
+    };
+    EXPECT_FALSE(ctrl.update(at(0.95))); // inside band, stays off
+    EXPECT_TRUE(ctrl.update(at(0.85)));  // below engage -> on
+    EXPECT_TRUE(ctrl.update(at(0.93)));  // dead band: recovering but on
+    EXPECT_TRUE(ctrl.update(at(0.9699)));
+    EXPECT_FALSE(ctrl.update(at(0.97))); // reached release -> off
+    EXPECT_FALSE(ctrl.update(at(0.95))); // band again, stays off
+    EXPECT_TRUE(ctrl.update(at(0.80)));  // re-engages
+}
+
+TEST(HysteresisTest, NoTrafficWindowReleases)
+{
+    HysteresisController ctrl(0.90, 0.97);
+    AttainmentSample bad;
+    bad.attainment = 0.1;
+    bad.accepted = 10;
+    EXPECT_TRUE(ctrl.update(bad));
+    AttainmentSample idle;
+    idle.noTraffic = true;
+    EXPECT_FALSE(ctrl.update(idle)); // idle tier: release the trainer
+}
+
+// -------------------------------------------------------- token bucket
+
+TEST(TokenBucketTest, BurstThenSettlesAtTheRate)
+{
+    TokenBucket bucket(100.0, 2.0); // 100/s, burst of 2
+    EXPECT_EQ(bucket.acquireDelaySeconds(0.0), 0.0);
+    EXPECT_EQ(bucket.acquireDelaySeconds(0.0), 0.0);
+    // Burst spent: each further immediate acquire owes one period.
+    EXPECT_NEAR(bucket.acquireDelaySeconds(0.0), 0.01, 1e-9);
+    // Caller slept its debt; the next acquire owes exactly one more.
+    EXPECT_NEAR(bucket.acquireDelaySeconds(0.01), 0.01, 1e-9);
+    EXPECT_NEAR(bucket.acquireDelaySeconds(0.02), 0.01, 1e-9);
+}
+
+TEST(TokenBucketTest, IdleRefillIsCappedAtTheBurst)
+{
+    TokenBucket bucket(100.0, 2.0);
+    for (int i = 0; i < 4; ++i)
+        bucket.acquireDelaySeconds(0.0);
+    // A long idle spell refills to the cap, not beyond: exactly two
+    // free acquires, then pacing again.
+    EXPECT_EQ(bucket.acquireDelaySeconds(100.0), 0.0);
+    EXPECT_EQ(bucket.acquireDelaySeconds(100.0), 0.0);
+    EXPECT_NEAR(bucket.acquireDelaySeconds(100.0), 0.01, 1e-9);
+}
+
+TEST(TokenBucketTest, ResetRestoresAFullBurst)
+{
+    TokenBucket bucket(100.0, 1.0);
+    EXPECT_EQ(bucket.acquireDelaySeconds(0.0), 0.0);
+    EXPECT_GT(bucket.acquireDelaySeconds(0.0), 0.0);
+    bucket.reset();
+    EXPECT_EQ(bucket.acquireDelaySeconds(0.0), 0.0);
+}
+
+TEST(TokenBucketTest, DrainChargesTheVeryNextAcquire)
+{
+    TokenBucket bucket(100.0, 2.0);
+    EXPECT_EQ(bucket.acquireDelaySeconds(0.0), 0.0); // burst token
+    bucket.drain();
+    // Empty bucket, epoch forgotten: the next acquire owes one full
+    // token regardless of how long the bucket sat idle before drain.
+    EXPECT_DOUBLE_EQ(bucket.acquireDelaySeconds(5.0), 1.0 / 100.0);
+}
+
+// ------------------------------------------------------------ governor
+
+TEST(IsolationGovernorTest, EngagesOnBadWindowsAndPausesTheGate)
+{
+    // Scripted stats source: every window completes 100 accepted
+    // requests, none in deadline -- attainment 0.
+    auto counter = std::make_shared<std::uint64_t>(0);
+    GovernorOptions opts;
+    opts.startSampler = false; // windows driven by hand
+    opts.throttledItersPerSec = 1000.0;
+    opts.burstIters = 1.0;
+    IsolationGovernor gov(
+        [counter] {
+            ServeStats s;
+            s.served = *counter * 100;
+            s.okDeadline = 0;
+            ++*counter;
+            return s;
+        },
+        opts);
+
+    EXPECT_FALSE(gov.stats().engaged);
+    gov.sampleOnce(); // window of 100 accepted, 0 attained
+    const GovernorStats after = gov.stats();
+    EXPECT_TRUE(after.engaged);
+    EXPECT_EQ(after.engagements, 1u);
+    EXPECT_EQ(after.windows, 1u);
+    EXPECT_EQ(after.lastAttainment, 0.0);
+
+    // Engagement drains the bucket: the VERY FIRST gated iteration
+    // already pauses (an engagement shorter than one training
+    // iteration must still throttle something), and so does the next.
+    auto gate = gov.gate();
+    gate();
+    gate();
+    const GovernorStats paused = gov.stats();
+    EXPECT_GE(paused.gatePauses, 2u);
+    EXPECT_GT(paused.pausedSeconds, 0.0);
+}
+
+TEST(IsolationGovernorTest, RecoveryReleasesAndGateGoesFree)
+{
+    // Windows alternate: first bad (engage), then perfect (release).
+    auto phase = std::make_shared<int>(0);
+    GovernorOptions opts;
+    opts.startSampler = false;
+    IsolationGovernor gov(
+        [phase] {
+            ServeStats s;
+            const int p = (*phase)++;
+            s.served = static_cast<std::uint64_t>(p) * 100;
+            // Phase 0/1 windows attain nothing; later windows attain
+            // everything (cumulative counters stay monotone).
+            s.okDeadline = p <= 1 ? 0 : (static_cast<std::uint64_t>(p) - 1) * 100;
+            return s;
+        },
+        opts);
+    gov.sampleOnce(); // attainment 0 -> engaged
+    ASSERT_TRUE(gov.stats().engaged);
+    gov.sampleOnce(); // attainment 1.0 -> released
+    const GovernorStats released = gov.stats();
+    EXPECT_FALSE(released.engaged);
+    EXPECT_EQ(released.engagements, 1u);
+    EXPECT_EQ(released.lastAttainment, 1.0);
+
+    // Disengaged gate is the fast path: no pause accounting moves.
+    auto gate = gov.gate();
+    gate();
+    gate();
+    EXPECT_EQ(gov.stats().pausedSeconds, released.pausedSeconds);
+}
+
+TEST(IsolationGovernorTest, NoTrafficWindowsAreCountedAndRelease)
+{
+    auto phase = std::make_shared<int>(0);
+    GovernorOptions opts;
+    opts.startSampler = false;
+    IsolationGovernor gov(
+        [phase] {
+            ServeStats s;
+            // One bad window (phase 1), then the counters freeze: every
+            // later window is empty.
+            s.served = *phase >= 1 ? 100 : 0;
+            s.okDeadline = 0;
+            ++*phase;
+            return s;
+        },
+        opts);
+    gov.sampleOnce();
+    ASSERT_TRUE(gov.stats().engaged);
+    gov.sampleOnce(); // empty window
+    const GovernorStats g = gov.stats();
+    EXPECT_EQ(g.windows, 2u);
+    EXPECT_EQ(g.noTrafficWindows, 1u);
+    EXPECT_FALSE(g.engaged); // idle tier released the trainer
+}
+
+// ------------------------------------------- bit-identity integration
+
+struct TrainedModel
+{
+    std::unique_ptr<DlrmModel> model;
+    std::vector<double> losses;
+};
+
+/** Train 12 iterations of lazydp, optionally under an engaged
+ *  governor's throttle gate. */
+TrainedModel
+train(bool throttled, bool pipeline)
+{
+    auto mc = ModelConfig::tiny();
+    mc.rowsPerTable = 64;
+    mc.pooling = 2;
+    TrainHyper hyper;
+    hyper.lr = 0.05f;
+    hyper.clipNorm = 0.8f;
+    hyper.noiseMultiplier = 1.0f;
+    hyper.noiseSeed = 0xBEEF;
+
+    TrainedModel out;
+    out.model = std::make_unique<DlrmModel>(mc, 23);
+    DatasetConfig dc;
+    dc.numDense = mc.numDense;
+    dc.numTables = mc.numTables;
+    dc.rowsPerTable = mc.rowsPerTable;
+    dc.pooling = mc.pooling;
+    dc.batchSize = 8;
+    dc.seed = 31337;
+    dc.access = AccessConfig::criteoHigh();
+    SyntheticDataset ds(dc);
+    SequentialLoader loader(ds);
+    auto algorithm = makeAlgorithm("lazydp", *out.model, hyper);
+
+    ThreadPool pool(2);
+    ExecContext exec(&pool);
+    TrainOptions options;
+    options.pipeline = pipeline;
+
+    // A permanently-engaged governor pacing at 2000 iters/s: every
+    // iteration boundary actually sleeps, which is exactly the
+    // perturbation the determinism contract must shrug off.
+    std::unique_ptr<IsolationGovernor> gov;
+    if (throttled) {
+        auto counter = std::make_shared<std::uint64_t>(0);
+        GovernorOptions gopts;
+        gopts.startSampler = false;
+        gopts.throttledItersPerSec = 2000.0;
+        gopts.burstIters = 1.0;
+        gov = std::make_unique<IsolationGovernor>(
+            [counter] {
+                ServeStats s;
+                s.served = ++*counter * 10;
+                s.okDeadline = 0;
+                return s;
+            },
+            gopts);
+        gov->sampleOnce();
+        EXPECT_TRUE(gov->stats().engaged);
+        options.iterationGate = gov->gate();
+    }
+
+    out.losses = Trainer(*algorithm, loader, &exec)
+                     .run(12, options)
+                     .losses;
+    if (gov != nullptr) {
+        // The throttle really fired: 11 gated boundaries at 2000/s
+        // with burst 1 must have slept at least once.
+        EXPECT_GT(gov->stats().pausedSeconds, 0.0);
+    }
+    return out;
+}
+
+void
+expectSameBits(const DlrmModel &a, const DlrmModel &b, const char *what)
+{
+    for (std::size_t t = 0; t < a.tables().size(); ++t) {
+        const Tensor &wa = a.tables()[t].weights();
+        const Tensor &wb = b.tables()[t].weights();
+        ASSERT_EQ(wa.size(), wb.size());
+        EXPECT_EQ(std::memcmp(wa.data(), wb.data(),
+                              wa.size() * sizeof(float)),
+                  0)
+            << "table " << t << " differs: " << what;
+    }
+}
+
+TEST(ThrottleBitIdentityTest, ThrottledTrainingMatchesUnthrottled)
+{
+    for (const bool pipeline : {false, true}) {
+        const TrainedModel off = train(/*throttled=*/false, pipeline);
+        const TrainedModel on = train(/*throttled=*/true, pipeline);
+        expectSameBits(*off.model, *on.model,
+                       pipeline ? "pipeline on" : "pipeline off");
+        EXPECT_EQ(off.losses, on.losses);
+    }
+}
+
+} // namespace
+} // namespace lazydp

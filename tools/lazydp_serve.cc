@@ -29,12 +29,14 @@
 #include <thread>
 
 #include "common/cli.h"
+#include "common/cpu_set.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "core/factory.h"
 #include "data/data_loader.h"
+#include "serve/isolation_governor.h"
 #include "serve/load_generator.h"
 #include "serve/serve_engine.h"
 #include "serve/snapshot_store.h"
@@ -99,6 +101,22 @@ main(int argc, char **argv)
                       "(mixed scenario defaults to 0.5)"},
          {"low-slo-us", "low-priority class deadline in microseconds"},
          {"serve-skew", "QUERY skew: uniform|low|medium|high|zipf"},
+         {"isolation", "train-vs-serve policy: none|pin|throttle|"
+                       "pin+throttle (pin: disjoint core sets; "
+                       "throttle: attainment-driven trainer pacing)"},
+         {"serve-cores", "CPU list the serve lanes are pinned to "
+                         "(taskset syntax, e.g. 6-7); pin policies "
+                         "default to a split of the host's CPUs"},
+         {"train-cores", "CPU list the trainer is pinned to (loop "
+                         "workers, train lanes and the main thread)"},
+         {"gov-window-us", "governor: attainment sampling window in "
+                           "microseconds"},
+         {"gov-engage", "governor: engage the throttle when window "
+                        "attainment drops below this fraction"},
+         {"gov-release", "governor: release it once attainment "
+                         "recovers to this fraction"},
+         {"gov-iters-per-sec", "governor: trainer iteration pace while "
+                               "throttled"},
          {"csv", "print the result table as CSV"},
          {"help", "print this listing"}}));
     if (args.has("help")) {
@@ -165,6 +183,18 @@ main(int argc, char **argv)
     ThreadPool pool(threads);
     ExecContext exec(&pool);
 
+    // --- isolation policy --------------------------------------------
+    const IsolationPolicy isolation =
+        parseIsolationPolicy(args.getString("isolation", "none"));
+    const std::string serve_cores_arg =
+        args.getString("serve-cores", "");
+    const std::string train_cores_arg =
+        args.getString("train-cores", "");
+    if (!policyPins(isolation) &&
+        (!serve_cores_arg.empty() || !train_cores_arg.empty()))
+        fatal("--serve-cores/--train-cores only apply with "
+              "--isolation=pin or pin+throttle");
+
     // --- serving tier -------------------------------------------------
     const std::string snapshot_mode =
         args.getString("snapshot", "full");
@@ -184,6 +214,14 @@ main(int argc, char **argv)
     serve_opts.batch.maxBatch = args.getU64("max-batch", 32);
     serve_opts.batch.maxDelayUs = args.getU64("max-delay-us", 200);
     serve_opts.batch.queueCap = args.getU64("queue-cap", 0);
+    // An EXPLICIT zero cap is degenerate: read literally, a zero-depth
+    // queue admits nothing -- every request (including any probe that
+    // measures capacity) would shed. The internal 0-means-unbounded
+    // encoding is not a CLI contract, so reject the ambiguity loudly.
+    if (args.has("queue-cap") && serve_opts.batch.queueCap == 0)
+        fatal("--queue-cap=0 is degenerate (a zero-depth queue admits "
+              "nothing); omit the flag for an unbounded queue or pass "
+              "a positive cap");
     const std::string shed_policy =
         args.getString("shed-policy", "reject");
     if (shed_policy == "reject")
@@ -193,6 +231,24 @@ main(int argc, char **argv)
     else
         fatal("--shed-policy must be reject or drop-oldest, got ",
               shed_policy);
+
+    // Pin BEFORE the serve lanes spawn (reservations would retro-pin
+    // running lanes anyway, but placing threads at birth is cleaner).
+    CpuSet train_cores, serve_cores;
+    if (policyPins(isolation)) {
+        if (!CpuSet::parse(serve_cores_arg, &serve_cores))
+            fatal("--serve-cores: cannot parse '", serve_cores_arg,
+                  "' (want a taskset-style list, e.g. 0-3,6)");
+        if (!CpuSet::parse(train_cores_arg, &train_cores))
+            fatal("--train-cores: cannot parse '", train_cores_arg,
+                  "' (want a taskset-style list, e.g. 0-3,6)");
+        if (serve_cores.empty() && train_cores.empty()) {
+            const CoreSplit split = defaultCoreSplit(serve_opts.threads);
+            train_cores = split.train;
+            serve_cores = split.serve;
+        }
+        applyCorePinning(pool, train_cores, serve_cores);
+    }
     ServeEngine engine(store, model_cfg, pool, serve_opts);
 
     LoadOptions load_opts;
@@ -216,10 +272,32 @@ main(int argc, char **argv)
         args.getU64("low-slo-us", load_opts.slo.deadlineUs);
     load_opts.lowSlo.priority = 0;
     load_opts.lowFraction = args.getDouble("low-frac", 0.0);
+    if (load_opts.lowFraction < 0.0 || load_opts.lowFraction > 1.0)
+        fatal("--low-frac is a fraction and must lie in [0, 1], got ",
+              load_opts.lowFraction);
     load_opts.flashMultiplier = args.getDouble("flash-x", 8.0);
     const std::string dump_scores = args.getString("dump-scores", "");
     load_opts.collectScores = !dump_scores.empty();
     LoadGenerator generator(engine, model_cfg, load_opts);
+
+    // Attainment-driven trainer throttle: samples the engine's
+    // cumulative stats on its own thread and paces the trainer through
+    // TrainOptions::iterationGate while engaged.
+    std::unique_ptr<IsolationGovernor> governor;
+    if (policyThrottles(isolation)) {
+        GovernorOptions gov;
+        gov.windowUs = args.getU64("gov-window-us", 5000);
+        gov.engageBelow = args.getDouble("gov-engage", 0.90);
+        gov.releaseAbove = args.getDouble("gov-release", 0.97);
+        gov.throttledItersPerSec =
+            args.getDouble("gov-iters-per-sec", 200.0);
+        if (gov.engageBelow > gov.releaseAbove)
+            fatal("--gov-engage (", gov.engageBelow,
+                  ") must not exceed --gov-release (",
+                  gov.releaseAbove, ")");
+        governor = std::make_unique<IsolationGovernor>(
+            [&engine] { return engine.stats(); }, gov);
+    }
 
     inform("serving ", model_cfg.name, " (",
            humanBytes(model.tableBytes()), " tables) with ",
@@ -234,7 +312,13 @@ main(int argc, char **argv)
            " for ", train_iters, " iters (publish every ",
            publish_every, ", ", snapshot_mode, " snapshots",
            snap_opts.sealPages ? ", sealed" : "", "), kernels ",
-           kernels_name);
+           kernels_name, ", isolation ",
+           isolationPolicyName(isolation));
+    if (policyPins(isolation))
+        inform("pinning: train cores [", train_cores.toString(),
+               "], serve cores [", serve_cores.toString(), "]",
+               cpuPinningSupported() ? "" :
+               " (unsupported on this platform: no-op)");
 
     // --- concurrent load + training ----------------------------------
     LoadReport report;
@@ -251,9 +335,13 @@ main(int argc, char **argv)
         options.publishEveryIters = publish_every;
         options.snapshotStore = &store;
         options.recordIterSeconds = true;
+        if (governor != nullptr)
+            options.iterationGate = governor->gate();
         train_result = trainer.run(train_iters, options);
     }
     load_thread.join();
+    if (governor != nullptr)
+        governor->stop();
     engine.stop();
 
     // --- sanity (the CI smoke leans on these) -------------------------
@@ -346,6 +434,27 @@ main(int argc, char **argv)
     table.addRow({"batches stolen",
                   TablePrinter::num(
                       static_cast<double>(sstats.stolenBatches), 0)});
+    table.addRow({"isolation", isolationPolicyName(isolation)});
+    if (governor != nullptr) {
+        const GovernorStats gstats = governor->stats();
+        table.addRow({"gov windows",
+                      TablePrinter::num(
+                          static_cast<double>(gstats.windows), 0) +
+                          " (" +
+                          TablePrinter::num(
+                              static_cast<double>(
+                                  gstats.noTrafficWindows), 0) +
+                          " no-traffic)"});
+        table.addRow({"gov engagements",
+                      TablePrinter::num(
+                          static_cast<double>(gstats.engagements), 0)});
+        table.addRow({"gov pause ms",
+                      TablePrinter::num(gstats.pausedSeconds * 1e3,
+                                        3)});
+        table.addRow({"gov window attainment %",
+                      TablePrinter::num(gstats.lastAttainment * 100.0,
+                                        2)});
+    }
     table.addRow({"snapshot version",
                   TablePrinter::num(
                       static_cast<double>(store.version()), 0)});
