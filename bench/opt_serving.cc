@@ -27,6 +27,13 @@
  *     overloads; the headline numbers are SLO attainment and the
  *     Ok-request p99 -- bounded queues trade shed requests for a
  *     bounded tail.
+ *  6a. Telemetry overhead: the balanced closed-loop serve-only leg
+ *     measured with the metrics registry off (the default) and on
+ *     (what --stats-out / the governor's shared scrape pay),
+ *     interleaved and best-of-N per mode (closed-loop throughput on a
+ *     shared host is noisier than the effect). The headline delta_pct
+ *     is the registry's hot-path cost; the budget is <= 2%.
+ *
  *  6. Isolation: every scenario re-run OPEN-LOOP at the same 0.65x
  *     operating point while the trainer concurrently retrains, once
  *     per IsolationPolicy (none / pin / throttle / pin+throttle).
@@ -55,6 +62,7 @@
 #include "common/table_printer.h"
 #include "core/factory.h"
 #include "data/data_loader.h"
+#include "obs/metrics.h"
 #include "serve/isolation_governor.h"
 #include "serve/load_generator.h"
 #include "serve/serve_engine.h"
@@ -134,6 +142,19 @@ struct IsolationResult
     Scenario scenario = Scenario::Steady;
     double baseQps = 0.0;
     std::vector<IsolationLeg> legs;
+};
+
+/** Registry on-vs-off serving throughput (group 6a). */
+struct TelemetryOverhead
+{
+    double qpsOff = 0.0; //!< metrics registry disabled (default)
+    double qpsOn = 0.0;  //!< registry enabled, every counter mirrored
+
+    double
+    deltaPct() const
+    {
+        return qpsOff > 0.0 ? (qpsOff - qpsOn) / qpsOff * 100.0 : 0.0;
+    }
 };
 
 /** One table size of the publish-cost sweep (group 4). */
@@ -335,6 +356,36 @@ measureIsolation(const BenchSetup &setup, Scenario scenario, double qps,
 }
 
 /**
+ * Group 6a: what the metrics registry costs the serving hot path.
+ * The balanced closed-loop serve-only leg is the most counter-dense
+ * path in the system (every request mirrors served / deadline /
+ * latency, every batch the forward + batch-size histograms), measured
+ * with obs::setMetricsEnabled off vs on. Best of @p reps repetitions
+ * per mode damps closed-loop run-to-run noise, which on a shared host
+ * easily exceeds the effect being measured.
+ */
+TelemetryOverhead
+measureTelemetryOverhead(const BenchSetup &setup, int reps)
+{
+    const BatchPolicy policy{8, 200};
+    TelemetryOverhead out;
+    for (int r = 0; r < reps; ++r) {
+        obs::setMetricsEnabled(false);
+        const Measurement off =
+            measure(setup, policy, /*open_qps=*/0.0, /*train=*/false,
+                    SnapshotMode::Full, 5);
+        out.qpsOff = std::max(out.qpsOff, off.report.qps());
+        obs::setMetricsEnabled(true);
+        const Measurement on =
+            measure(setup, policy, /*open_qps=*/0.0, /*train=*/false,
+                    SnapshotMode::Full, 5);
+        out.qpsOn = std::max(out.qpsOn, on.report.qps());
+    }
+    obs::setMetricsEnabled(false);
+    return out;
+}
+
+/**
  * Steady-state publish cost at --publish-every=1 for @p table_mb
  * tables: mean wall milliseconds (and rows copied) per publish, with
  * the dirty set driven by real lot access patterns.
@@ -399,7 +450,8 @@ emitJson(const std::string &path, const BenchSetup &setup,
          const std::vector<ScalePoint> &scaling,
          const std::vector<ScenarioResult> &scenarios,
          const std::vector<IsolationResult> &isolation,
-         double throttled_iters_per_sec)
+         double throttled_iters_per_sec,
+         const TelemetryOverhead &telemetry)
 {
     std::ofstream os(path);
     if (!os) {
@@ -521,6 +573,10 @@ emitJson(const std::string &path, const BenchSetup &setup,
            << "\n";
     }
     os << "  ],\n";
+    os << "  \"telemetry_overhead\": { \"qps_off\": "
+       << telemetry.qpsOff << ", \"qps_on\": " << telemetry.qpsOn
+       << ", \"delta_pct\": " << telemetry.deltaPct()
+       << ", \"budget_pct\": 2.0 },\n";
     os << "  \"comment\": \"serve_only_closed: demand-limited closed "
           "loop (latency = enqueue-to-completion); serve_only_open: "
           "fixed-rate open loop at open_qps (latency from the "
@@ -541,6 +597,10 @@ emitJson(const std::string &path, const BenchSetup &setup,
           "pin = disjoint train/serve core sets / throttle = "
           "attainment-feedback trainer pacing via the iteration gate "
           "/ pin+throttle), gov_* = governor decision counters; "
+          "telemetry_overhead: balanced closed loop with the metrics "
+          "registry off vs on (interleaved, best of 4 reps each), "
+          "delta_pct is the registry's serving hot-path cost against "
+          "a 2% budget; "
           "attainment = fraction of completed-accepted requests "
           "(scored or expired; shed requests report through their own "
           "counts) scored within their deadline "
@@ -673,6 +733,12 @@ main(int argc, char **argv)
         isolation.push_back(std::move(ir));
     }
 
+    // Telemetry overhead: the registry's serving hot-path cost,
+    // measured before the registry is enabled for good by any later
+    // tooling (group 6a; budget <= 2%).
+    const TelemetryOverhead telemetry =
+        measureTelemetryOverhead(setup, /*reps=*/4);
+
     // Publish-cost scaling: same lot size, growing tables. Full
     // publish cost follows the table; delta follows the lot.
     std::vector<ScalePoint> scaling;
@@ -783,6 +849,15 @@ main(int argc, char **argv)
                  TablePrinter::num(leg.m.gov.pausedSeconds * 1e3, 1)});
     iso_table.print(std::cout);
 
+    TablePrinter tel_table("Telemetry overhead: metrics registry off "
+                           "vs on (balanced closed loop)");
+    tel_table.setHeader({"metric", "value"});
+    tel_table.addRow({"qps off", TablePrinter::num(telemetry.qpsOff, 1)});
+    tel_table.addRow({"qps on", TablePrinter::num(telemetry.qpsOn, 1)});
+    tel_table.addRow(
+        {"delta %", TablePrinter::num(telemetry.deltaPct(), 2)});
+    tel_table.print(std::cout);
+
     TablePrinter scale_table("Publish cost vs. table size "
                              "(publish-every=1)");
     scale_table.setHeader({"table MB", "full ms", "delta ms",
@@ -799,6 +874,6 @@ main(int argc, char **argv)
     scale_table.print(std::cout);
 
     emitJson(out_path, setup, results, freshness, scaling, scenarios,
-             isolation, throttled_rate);
+             isolation, throttled_rate, telemetry);
     return 0;
 }

@@ -80,6 +80,29 @@ void setLogThrowMode(bool throw_instead_of_abort);
 /** @return true if throw mode is active (see setLogThrowMode). */
 bool logThrowMode();
 
+/**
+ * Severity threshold: the minimum level that gets emitted. panic()
+ * and fatal() always print (they terminate the process); inform() is
+ * suppressed above Inform, warn() above Warn. The initial value comes
+ * from the LAZYDP_LOG_LEVEL environment variable ("inform" / "warn" /
+ * "error", default inform); tools override it with --log-level.
+ */
+enum class LogLevel : int
+{
+    Inform = 0, //!< everything (the default)
+    Warn = 1,   //!< warnings and errors only
+    Error = 2,  //!< fatal/panic output only
+};
+
+/** Override the threshold (trumps LAZYDP_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
+
+/** @return the active threshold (env-resolved on first use). */
+LogLevel logLevel();
+
+/** Parse "inform"/"info" / "warn" / "error" (fatal on anything else). */
+LogLevel parseLogLevel(const std::string &name);
+
 } // namespace lazydp
 
 #endif // LAZYDP_COMMON_LOGGING_H

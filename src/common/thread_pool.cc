@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace lazydp {
 
@@ -20,6 +21,44 @@ struct InPoolScope
     ~InPoolScope() { tls_in_pool = false; }
 };
 
+/** Trace display name of lane @p lane (literals: the trace recorder
+ *  keeps the pointer). The known reserved lanes get semantic names so
+ *  a Perfetto timeline reads as the system's lane map. */
+const char *
+laneTraceName(std::size_t lane)
+{
+    switch (lane) {
+      case ThreadPool::kPipelineLane: return "lane-pipeline";
+      case 1: return "lane-replica-1";
+      case 2: return "lane-replica-2";
+      case 3: return "lane-replica-3";
+      case ThreadPool::kTierPrefetchLane: return "lane-tier-warm";
+      case ThreadPool::kServeLaneBase + 0: return "serve-0";
+      case ThreadPool::kServeLaneBase + 1: return "serve-1";
+      case ThreadPool::kServeLaneBase + 2: return "serve-2";
+      case ThreadPool::kServeLaneBase + 3: return "serve-3";
+      case ThreadPool::kServeLaneBase + 4: return "serve-4";
+      case ThreadPool::kServeLaneBase + 5: return "serve-5";
+      case ThreadPool::kServeLaneBase + 6: return "serve-6";
+      case ThreadPool::kServeLaneBase + 7: return "serve-7";
+      default: break;
+    }
+    return "lane";
+}
+
+/** Trace display name of loop worker @p i. */
+const char *
+workerTraceName(std::size_t i)
+{
+    static const char *const names[] = {
+        "worker-0", "worker-1", "worker-2",  "worker-3",
+        "worker-4", "worker-5", "worker-6",  "worker-7",
+        "worker-8", "worker-9", "worker-10", "worker-11",
+    };
+    constexpr std::size_t n = sizeof(names) / sizeof(names[0]);
+    return i < n ? names[i] : "worker";
+}
+
 } // namespace
 
 std::size_t
@@ -34,7 +73,10 @@ ThreadPool::ThreadPool(std::size_t threads)
     const std::size_t n = threads == 0 ? 1 : threads;
     workers_.reserve(n - 1);
     for (std::size_t i = 0; i + 1 < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            obs::traceSetThreadName(workerTraceName(i));
+            workerLoop();
+        });
 }
 
 struct ThreadPool::Lane
@@ -100,7 +142,10 @@ ThreadPool::submitLane(std::size_t lane_id, std::function<void()> fn)
         if (lanes_[lane_id] == nullptr) {
             lanes_[lane_id] = std::make_unique<Lane>();
             Lane *fresh = lanes_[lane_id].get();
-            fresh->worker = std::thread([this, fresh] { laneLoop(*fresh); });
+            fresh->worker = std::thread([this, fresh, lane_id] {
+                obs::traceSetThreadName(laneTraceName(lane_id));
+                laneLoop(*fresh);
+            });
             // Honor a reservation recorded before the lazy spawn.
             if (lane_id < laneAffinity_.size())
                 pinThread(fresh->worker, laneAffinity_[lane_id]);

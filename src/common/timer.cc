@@ -1,8 +1,47 @@
 #include "common/timer.h"
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace lazydp {
+
+namespace {
+
+/** Registry counters backing the StageTimer slots, interned once per
+ *  process: slot i of every StageTimer mirrors into stageMetricIds[i]
+ *  (the telemetry view of the paper's stage breakdown). */
+const std::array<obs::MetricId,
+                 static_cast<std::size_t>(Stage::NumStages)> &
+stageMetricIds()
+{
+    static const auto ids = [] {
+        std::array<obs::MetricId,
+                   static_cast<std::size_t>(Stage::NumStages)>
+            out{};
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Stage::NumStages); ++i) {
+            const std::string name =
+                std::string("train.stage.") +
+                stageSlug(static_cast<Stage>(i)) + "_ns";
+            out[i] = obs::internMetric(name.c_str(),
+                                       obs::MetricKind::Counter);
+        }
+        return out;
+    }();
+    return ids;
+}
+
+/** Mirror @p seconds of stage @p s into its registry counter. */
+void
+mirrorStage(Stage s, double seconds)
+{
+    if (!obs::metricsEnabled())
+        return;
+    obs::counterAdd(stageMetricIds()[static_cast<std::size_t>(s)],
+                    static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+} // namespace
 
 const char *
 stageName(Stage s)
@@ -22,17 +61,33 @@ stageName(Stage s)
     LAZYDP_UNREACHABLE("bad Stage value");
 }
 
-StageTimer::StageTimer()
-    : acc_(static_cast<std::size_t>(Stage::NumStages), 0.0),
-      running_(Stage::Else),
-      active_(false)
+const char *
+stageSlug(Stage s)
 {
+    switch (s) {
+      case Stage::Forward:            return "fwd";
+      case Stage::BackwardPerExample: return "bwd_ex";
+      case Stage::BackwardPerBatch:   return "bwd_batch";
+      case Stage::GradCoalesce:       return "coalesce";
+      case Stage::NoiseSampling:      return "noise";
+      case Stage::NoisyGradGen:       return "noisy_gen";
+      case Stage::NoisyGradUpdate:    return "noisy_update";
+      case Stage::LazyOverhead:       return "lazy";
+      case Stage::Else:               return "else";
+      default: break;
+    }
+    LAZYDP_UNREACHABLE("bad Stage value");
+}
+
+StageTimer::StageTimer() : running_(Stage::Else), active_(false)
+{
+    acc_.fill(0.0);
 }
 
 void
 StageTimer::reset()
 {
-    acc_.assign(static_cast<std::size_t>(Stage::NumStages), 0.0);
+    acc_.fill(0.0);
     active_ = false;
 }
 
@@ -49,14 +104,17 @@ void
 StageTimer::stop()
 {
     LAZYDP_ASSERT(active_, "StageTimer::stop without start");
-    acc_[static_cast<std::size_t>(running_)] += clock_.seconds();
+    const double seconds = clock_.seconds();
+    acc_[static_cast<std::size_t>(running_)] += seconds;
     active_ = false;
+    mirrorStage(running_, seconds);
 }
 
 void
 StageTimer::add(Stage s, double seconds)
 {
     acc_[static_cast<std::size_t>(s)] += seconds;
+    mirrorStage(s, seconds);
 }
 
 double
@@ -86,6 +144,8 @@ StageTimer::breakdown() const
 void
 StageTimer::merge(const StageTimer &other)
 {
+    // Slot-wise only: the other timer already mirrored its times into
+    // the shared registry counters when it accumulated them.
     for (std::size_t i = 0; i < acc_.size(); ++i)
         acc_[i] += other.acc_[i];
 }

@@ -7,11 +7,11 @@
 #ifndef LAZYDP_COMMON_TIMER_H
 #define LAZYDP_COMMON_TIMER_H
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
-#include <vector>
 
 namespace lazydp {
 
@@ -67,11 +67,22 @@ enum class Stage : std::uint8_t
 /** @return a short human-readable stage name. */
 const char *stageName(Stage s);
 
+/** @return a lowercase metric-name slug of @p s ("fwd", "bwd_ex", ...),
+ *  used for the `train.stage.<slug>_ns` registry counters. */
+const char *stageSlug(Stage s);
+
 /**
  * Accumulates wall time per Stage across many training iterations.
  *
  * The trainer brackets each region with start()/stop(); benches read
  * totals to print the paper's breakdown figures.
+ *
+ * The per-iteration hot path is a fixed array of slots indexed by the
+ * stage id -- no map, no strings. Each slot shares its identity with
+ * an interned metrics-registry counter (`train.stage.<slug>_ns`), so
+ * every stop()/add() also feeds the telemetry scrape when metrics are
+ * enabled; the string-keyed breakdown() map is built only at
+ * reporting time.
  */
 class StageTimer
 {
@@ -103,7 +114,8 @@ class StageTimer
     void merge(const StageTimer &other);
 
   private:
-    std::vector<double> acc_;
+    /** Interned-id slots: index == stage id == registry-counter slot. */
+    std::array<double, static_cast<std::size_t>(Stage::NumStages)> acc_;
     WallTimer clock_;
     Stage running_;
     bool active_;

@@ -20,8 +20,45 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lazydp {
+
+namespace {
+
+/** Registry mirrors of the per-table TierStats counters (global and
+ *  additive across tables, like tierStats() itself). */
+struct TierMetrics
+{
+    obs::MetricId hits;
+    obs::MetricId promotions;
+    obs::MetricId evictions;
+    obs::MetricId writebacks;
+    obs::MetricId warmedPages;
+    obs::MetricId warmSubmits;
+};
+
+const TierMetrics &
+tierMetrics()
+{
+    static const TierMetrics ids = {
+        obs::internMetric("tier.hits", obs::MetricKind::Counter),
+        obs::internMetric("tier.promotions",
+                          obs::MetricKind::Counter),
+        obs::internMetric("tier.evictions",
+                          obs::MetricKind::Counter),
+        obs::internMetric("tier.writebacks",
+                          obs::MetricKind::Counter),
+        obs::internMetric("tier.warmed_pages",
+                          obs::MetricKind::Counter),
+        obs::internMetric("tier.warm_submits",
+                          obs::MetricKind::Counter),
+    };
+    return ids;
+}
+
+} // namespace
 
 TierStats &
 TierStats::operator+=(const TierStats &o)
@@ -131,6 +168,7 @@ TieredStore::~TieredStore()
 void
 TieredStore::writeBack(std::size_t p)
 {
+    LAZYDP_TRACE_SPAN1(obs::TraceCat::Tier, "writeback", "page", p);
     const std::uint32_t f = frameOf_[p];
     float *coldPage = cold_ + p * pageFloats_;
     {
@@ -141,6 +179,7 @@ TieredStore::writeBack(std::size_t p)
     }
     dirty_[p].store(0, std::memory_order_relaxed);
     writebacks_.fetch_add(1, std::memory_order_relaxed);
+    obs::counterAdd(tierMetrics().writebacks);
 }
 
 std::size_t
@@ -183,6 +222,7 @@ TieredStore::acquireFrame(std::uint64_t epoch)
             if (isDirty)
                 writeBack(q);
             evictions_.fetch_add(1, std::memory_order_relaxed);
+            obs::counterAdd(tierMetrics().evictions);
             pagePtr_[q] = cold_ + q * pageFloats_;
             frameOf_[q] = kNoFrame;
             framePage_[f] = kNoPage;
@@ -204,7 +244,11 @@ TieredStore::ensureResident(std::span<const std::uint32_t> rows)
 {
     if (rows.empty())
         return;
+    obs::TraceSpan span(obs::TraceCat::Tier, "ensure_resident",
+                        {"rows", rows.size()});
     ++epoch_;
+    std::uint64_t hitDelta = 0;
+    std::uint64_t promoDelta = 0;
     for (const std::uint32_t r : rows) {
         const std::size_t p =
             static_cast<std::size_t>(r) / pageRows_;
@@ -213,7 +257,7 @@ TieredStore::ensureResident(std::span<const std::uint32_t> rows)
         pinEpoch_[p] = epoch_;
         refBit_[p] = 1;
         if (frameOf_[p] != kNoFrame) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            ++hitDelta;
             continue;
         }
         const std::size_t f = acquireFrame(epoch_);
@@ -223,15 +267,27 @@ TieredStore::ensureResident(std::span<const std::uint32_t> rows)
         framePage_[f] = p;
         pagePtr_[p] = frames_[f]->data();
         dirty_[p].store(0, std::memory_order_relaxed);
-        promotions_.fetch_add(1, std::memory_order_relaxed);
+        ++promoDelta;
         if (warmed_[p].exchange(0, std::memory_order_relaxed) != 0)
             warmedPromotions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // One batched update per call, not one per row: ensureResident is
+    // on every training iteration's critical path.
+    hits_.fetch_add(hitDelta, std::memory_order_relaxed);
+    promotions_.fetch_add(promoDelta, std::memory_order_relaxed);
+    span.setArg("promoted", promoDelta);
+    if (obs::metricsEnabled()) {
+        obs::counterAdd(tierMetrics().hits, hitDelta);
+        obs::counterAdd(tierMetrics().promotions, promoDelta);
     }
 }
 
 void
 TieredStore::warmRowsBody(const std::vector<std::uint32_t> &rows)
 {
+    obs::TraceSpan span(obs::TraceCat::Tier, "warm",
+                        {"rows", rows.size()});
+    std::uint64_t warmedDelta = 0;
     const std::size_t touchStride = 4096 / sizeof(float);
     std::size_t lastPage = kNoPage;
     for (const std::uint32_t r : rows) {
@@ -255,7 +311,10 @@ TieredStore::warmRowsBody(const std::vector<std::uint32_t> &rows)
         }
         warmed_[p].store(1, std::memory_order_relaxed);
         warmedPages_.fetch_add(1, std::memory_order_relaxed);
+        ++warmedDelta;
     }
+    span.setArg("warmed", warmedDelta);
+    obs::counterAdd(tierMetrics().warmedPages, warmedDelta);
 }
 
 void
@@ -264,6 +323,7 @@ TieredStore::warmAsync(ThreadPool *pool, std::vector<std::uint32_t> rows)
     if (!options_.prefetch || pool == nullptr || rows.empty())
         return;
     warmSubmits_.fetch_add(1, std::memory_order_relaxed);
+    obs::counterAdd(tierMetrics().warmSubmits);
     TaskHandle handle = pool->submitLane(
         ThreadPool::kTierPrefetchLane,
         [this, moved = std::move(rows)]() { warmRowsBody(moved); });

@@ -1,0 +1,346 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lazydp {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> metrics_enabled{false};
+
+/** Immutable-after-intern metadata of one metric. */
+struct MetricMeta
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint32_t histSlot = 0; //!< dense histogram index (Histogram only)
+};
+
+/**
+ * One thread's slice of every counter and histogram. Slot arrays are
+ * sized for the registry caps at construction, so a later intern never
+ * reallocates under a concurrent scraper; slots are relaxed atomics so
+ * the scraper reads torn-free mid-flight values.
+ */
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kMaxMetrics> counters{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> histCount{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> histSum{};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> histBuckets;
+
+    Shard()
+        : histBuckets(std::make_unique<std::atomic<std::uint64_t>[]>(
+              kMaxHistograms * kHistogramBuckets))
+    {
+        for (std::size_t i = 0; i < kMaxHistograms * kHistogramBuckets;
+             ++i)
+            histBuckets[i].store(0, std::memory_order_relaxed);
+    }
+
+    std::atomic<std::uint64_t> &
+    bucket(std::uint32_t slot, std::size_t b)
+    {
+        return histBuckets[slot * kHistogramBuckets + b];
+    }
+};
+
+/** Plain (non-atomic) accumulator the scraper sums into and exited
+ *  threads retire into. Only touched under Registry::mu. */
+struct Totals
+{
+    std::array<std::uint64_t, kMaxMetrics> counters{};
+    std::array<std::uint64_t, kMaxHistograms> histCount{};
+    std::array<std::uint64_t, kMaxHistograms> histSum{};
+    std::vector<std::uint64_t> histBuckets =
+        std::vector<std::uint64_t>(kMaxHistograms * kHistogramBuckets,
+                                   0);
+
+    void
+    addShard(Shard &s)
+    {
+        for (std::size_t i = 0; i < kMaxMetrics; ++i)
+            counters[i] +=
+                s.counters[i].load(std::memory_order_relaxed);
+        for (std::size_t h = 0; h < kMaxHistograms; ++h) {
+            histCount[h] +=
+                s.histCount[h].load(std::memory_order_relaxed);
+            histSum[h] += s.histSum[h].load(std::memory_order_relaxed);
+            for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+                histBuckets[h * kHistogramBuckets + b] +=
+                    s.bucket(h, b).load(std::memory_order_relaxed);
+        }
+    }
+};
+
+/** Process-global registry; a LEAKY singleton so thread-exit hooks
+ *  (which retire shards) never race static destruction. */
+struct Registry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, MetricId> byName;
+    std::vector<MetricMeta> metas;
+    std::uint32_t histCount = 0;
+    std::vector<Shard *> liveShards;
+    Totals retired;
+    std::array<std::atomic<std::int64_t>, kMaxMetrics> gauges{};
+
+    /** id -> dense histogram slot, written once at intern time and
+     *  read lock-free by histogramRecord (the metas vector itself may
+     *  reallocate under later interns, this fixed array never does). */
+    std::array<std::atomic<std::uint32_t>, kMaxMetrics> histSlotOf{};
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry();
+    return *r;
+}
+
+/**
+ * Thread-exit hook: ~ShardHandle folds the shard into the retired
+ * totals so counts outlive their writer thread, then frees it.
+ */
+struct ShardHandle
+{
+    Shard *shard = nullptr;
+
+    ~ShardHandle()
+    {
+        if (shard == nullptr)
+            return;
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.retired.addShard(*shard);
+        for (auto it = r.liveShards.begin(); it != r.liveShards.end();
+             ++it) {
+            if (*it == shard) {
+                r.liveShards.erase(it);
+                break;
+            }
+        }
+        delete shard;
+    }
+};
+
+Shard &
+localShard()
+{
+    thread_local ShardHandle handle;
+    if (handle.shard == nullptr) {
+        handle.shard = new Shard();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.liveShards.push_back(handle.shard);
+    }
+    return *handle.shard;
+}
+
+} // namespace
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+MetricId
+internMetric(const char *name, MetricKind kind)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.byName.find(name);
+    if (it != r.byName.end()) {
+        const MetricMeta &meta = r.metas[it->second];
+        if (meta.kind != kind)
+            panic("metric '", name, "' interned as ",
+                  metricKindName(meta.kind), " and again as ",
+                  metricKindName(kind));
+        return it->second;
+    }
+    if (r.metas.size() >= kMaxMetrics)
+        panic("metric registry full (", kMaxMetrics,
+              " metrics); raise obs::kMaxMetrics");
+    MetricMeta meta;
+    meta.name = name;
+    meta.kind = kind;
+    const MetricId id = static_cast<MetricId>(r.metas.size());
+    if (kind == MetricKind::Histogram) {
+        if (r.histCount >= kMaxHistograms)
+            panic("histogram registry full (", kMaxHistograms,
+                  " histograms); raise obs::kMaxHistograms");
+        meta.histSlot = r.histCount++;
+        r.histSlotOf[id].store(meta.histSlot,
+                               std::memory_order_relaxed);
+    }
+    r.metas.push_back(std::move(meta));
+    r.byName.emplace(name, id);
+    return id;
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+metricsEnabled()
+{
+    return metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void
+counterAdd(MetricId id, std::uint64_t delta)
+{
+    if (!metricsEnabled())
+        return;
+    localShard().counters[id].fetch_add(delta,
+                                        std::memory_order_relaxed);
+}
+
+void
+gaugeSet(MetricId id, std::int64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    registry().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void
+histogramRecord(MetricId id, std::uint64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    const std::uint32_t slot =
+        registry().histSlotOf[id].load(std::memory_order_relaxed);
+    Shard &s = localShard();
+    s.histCount[slot].fetch_add(1, std::memory_order_relaxed);
+    s.histSum[slot].fetch_add(value, std::memory_order_relaxed);
+    s.bucket(slot, histogramBucketIndex(value))
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+histogramBucketIndex(std::uint64_t v)
+{
+    if (v < 4)
+        return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const std::uint64_t sub = (v >> (msb - 2)) & 3u;
+    return (static_cast<std::size_t>(msb) - 1) * 4 +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+histogramBucketLowerBound(std::size_t bucket)
+{
+    if (bucket < 4)
+        return bucket;
+    const unsigned msb = static_cast<unsigned>(bucket / 4 + 1);
+    const std::uint64_t sub = bucket % 4;
+    return (std::uint64_t{1} << msb) | (sub << (msb - 2));
+}
+
+std::uint64_t
+histogramBucketUpperBound(std::size_t bucket)
+{
+    if (bucket + 1 >= kHistogramBuckets)
+        return ~std::uint64_t{0};
+    return histogramBucketLowerBound(bucket + 1) - 1;
+}
+
+std::uint64_t
+MetricValue::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    // Nearest rank, matching stats::Percentiles: rank ceil(q * n),
+    // clamped to [1, n].
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return histogramBucketUpperBound(b);
+    }
+    return histogramBucketUpperBound(kHistogramBuckets - 1);
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const MetricValue *m = find(name);
+    return m == nullptr ? 0 : m->counter;
+}
+
+MetricsSnapshot
+scrapeMetrics()
+{
+    Registry &r = registry();
+    MetricsSnapshot out;
+    std::lock_guard<std::mutex> lock(r.mu);
+    Totals totals = r.retired;
+    for (Shard *s : r.liveShards)
+        totals.addShard(*s);
+    out.metrics.reserve(r.metas.size());
+    for (std::size_t id = 0; id < r.metas.size(); ++id) {
+        const MetricMeta &meta = r.metas[id];
+        MetricValue v;
+        v.name = meta.name;
+        v.kind = meta.kind;
+        switch (meta.kind) {
+        case MetricKind::Counter:
+            v.counter = totals.counters[id];
+            break;
+        case MetricKind::Gauge:
+            v.gauge = r.gauges[id].load(std::memory_order_relaxed);
+            break;
+        case MetricKind::Histogram: {
+            const std::uint32_t h = meta.histSlot;
+            v.count = totals.histCount[h];
+            v.sum = totals.histSum[h];
+            v.buckets.assign(
+                totals.histBuckets.begin() +
+                    static_cast<std::ptrdiff_t>(h * kHistogramBuckets),
+                totals.histBuckets.begin() +
+                    static_cast<std::ptrdiff_t>((h + 1) *
+                                                kHistogramBuckets));
+            break;
+        }
+        }
+        out.metrics.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace lazydp

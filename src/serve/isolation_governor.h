@@ -47,6 +47,11 @@
 
 namespace lazydp {
 
+namespace obs {
+struct MetricsSnapshot;
+class StatsSampler;
+} // namespace obs
+
 /** How the trainer and the serve lanes are kept out of each other's
  *  way. Pin and throttle compose (see file comment). */
 enum class IsolationPolicy : std::uint8_t
@@ -105,6 +110,16 @@ struct AttainmentSample
  *  (see AttainmentSample for the definition). */
 AttainmentSample windowAttainment(const ServeStats &prev,
                                   const ServeStats &cur);
+
+/**
+ * Derive the cumulative completion counters the attainment window
+ * needs from a metrics-registry scrape (serve.requests_served /
+ * serve.deadline_ok / serve.requests_expired, which the serve engine
+ * and batcher mirror at the same instants they count locally). This is
+ * how an attached governor consumes the shared StatsSampler feed
+ * instead of polling ServeEngine::stats() on a private thread.
+ */
+ServeStats serveStatsFromSnapshot(const obs::MetricsSnapshot &snap);
 
 /**
  * Two-threshold hysteresis: engaged when the signal drops below
@@ -249,6 +264,22 @@ class IsolationGovernor
     /** Pull one sample and update the controller (the sampler thread's
      *  body; public so unit tests can drive windows by hand). */
     void sampleOnce();
+
+    /** Feed one CUMULATIVE sample directly: forms the next attainment
+     *  window against the previous sample and updates the hysteresis
+     *  state. sampleOnce() and the attached-observer path both land
+     *  here. */
+    void updateWith(const ServeStats &cur);
+
+    /**
+     * Subscribe this governor to @p sampler 's scrape feed: every
+     * scrape becomes one attainment window (via
+     * serveStatsFromSnapshot), replacing the private sampling thread
+     * -- construct with GovernorOptions::startSampler = false when
+     * attaching. The governor must be stop()ped (or outlive) the
+     * sampler, since scrapes call back into it.
+     */
+    void attachTo(obs::StatsSampler &sampler);
 
     /** @return a consistent copy of the decision counters. */
     GovernorStats stats() const;

@@ -3,12 +3,42 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lazydp {
 
 namespace {
 
 using Clock = PendingRequest::Clock;
+
+/** Registry mirrors of the batcher's admission-side counters. */
+struct BatcherMetrics
+{
+    obs::MetricId enqueued;
+    obs::MetricId shed;
+    obs::MetricId expired;
+    obs::MetricId shutdown;
+    obs::MetricId stolen;
+};
+
+const BatcherMetrics &
+batcherMetrics()
+{
+    static const BatcherMetrics ids = {
+        obs::internMetric("serve.requests_enqueued",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.requests_shed",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.requests_expired",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.requests_shutdown",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.batches_stolen",
+                          obs::MetricKind::Counter),
+    };
+    return ids;
+}
 
 /** Complete @p request with just a status (never scored). */
 void
@@ -73,6 +103,7 @@ RequestBatcher::push(PendingRequestPtr request)
         routeFor(seq_.fetch_add(1, std::memory_order_relaxed),
                  shards_.size());
     Shard &s = *shards_[lane];
+    const auto prio = request->slo.priority;
 
     // Completions happen OUTSIDE the shard lock: complete() takes the
     // request's own mutex and wakes a client thread -- no reason to
@@ -111,14 +142,23 @@ RequestBatcher::push(PendingRequestPtr request)
     }
     if (admitted) {
         accepted_.fetch_add(1, std::memory_order_relaxed);
+        obs::counterAdd(batcherMetrics().enqueued);
+        obs::traceInstant(obs::TraceCat::Serve, "enqueue",
+                          {"prio", prio});
         // Wake one consumer; a batch-forming consumer re-checks
         // fullness.
         s.cv.notify_one();
     }
     if (victim != nullptr) {
-        (victimStatus == ServeResult::Status::Shutdown ? shutdown_
-                                                       : shed_)
+        const bool isShutdown =
+            victimStatus == ServeResult::Status::Shutdown;
+        (isShutdown ? shutdown_ : shed_)
             .fetch_add(1, std::memory_order_relaxed);
+        obs::counterAdd(isShutdown ? batcherMetrics().shutdown
+                                   : batcherMetrics().shed);
+        obs::traceInstant(obs::TraceCat::Serve,
+                          isShutdown ? "reject_shutdown" : "shed",
+                          {"prio", victim->slo.priority});
         completeWithStatus(victim, victimStatus);
     }
     return admitted;
@@ -148,6 +188,9 @@ RequestBatcher::completeExpired(
 {
     for (auto &r : expired) {
         expired_.fetch_add(1, std::memory_order_relaxed);
+        obs::counterAdd(batcherMetrics().expired);
+        obs::traceInstant(obs::TraceCat::Serve, "expired",
+                          {"prio", r->slo.priority});
         completeWithStatus(r, ServeResult::Status::Expired);
     }
     expired.clear();
@@ -187,6 +230,7 @@ RequestBatcher::steal(std::size_t lane,
         completeExpired(expired);
         if (!out.empty()) {
             stolen_.fetch_add(1, std::memory_order_relaxed);
+            obs::counterAdd(batcherMetrics().stolen);
             return true;
         }
         // Everything taken was expired: keep scanning.

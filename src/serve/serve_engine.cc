@@ -7,8 +7,46 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lazydp {
+
+namespace {
+
+/** Registry mirrors of the per-engine ServeStats completion counters.
+ *  Global and additive: with several engines in one process they sum,
+ *  while each engine's stats() keeps its own exact view. */
+struct ServeMetrics
+{
+    obs::MetricId served;
+    obs::MetricId deadlineOk;
+    obs::MetricId batches;
+    obs::MetricId forwardNs;
+    obs::MetricId latencyNs;
+    obs::MetricId batchSize;
+};
+
+const ServeMetrics &
+serveMetrics()
+{
+    static const ServeMetrics ids = {
+        obs::internMetric("serve.requests_served",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.deadline_ok",
+                          obs::MetricKind::Counter),
+        obs::internMetric("serve.batches", obs::MetricKind::Counter),
+        obs::internMetric("serve.forward_ns",
+                          obs::MetricKind::Histogram),
+        obs::internMetric("serve.latency_ns",
+                          obs::MetricKind::Histogram),
+        obs::internMetric("serve.batch_size",
+                          obs::MetricKind::Histogram),
+    };
+    return ids;
+}
+
+} // namespace
 
 ServeEngine::ServeEngine(const ModelSnapshotStore &store,
                          const ModelConfig &config, ThreadPool &pool,
@@ -111,6 +149,11 @@ ServeEngine::workerLoop(std::size_t lane)
                 stats_.served += batch.size();
                 stats_.batches += 1;
             }
+            if (obs::metricsEnabled()) {
+                const ServeMetrics &ids = serveMetrics();
+                obs::counterAdd(ids.served, batch.size());
+                obs::counterAdd(ids.batches);
+            }
             ServeResult unscored;
             unscored.status = ServeResult::Status::Shutdown;
             for (auto &request : batch)
@@ -122,6 +165,9 @@ ServeEngine::workerLoop(std::size_t lane)
         // ([table][example][slot]) from the per-query [table][slot]
         // rows, reusing buffers across batches (cf. MiniBatch::slice).
         const std::size_t n = batch.size();
+        obs::TraceSpan batchSpan(obs::TraceCat::Serve, "batch",
+                                 {"batch", n},
+                                 {"version", snap->version});
         const std::size_t pooling = config_.pooling;
         mb.batchSize = n;
         mb.numTables = config_.numTables;
@@ -143,7 +189,13 @@ ServeEngine::workerLoop(std::size_t lane)
 
         // Lanes flatten nested dispatch anyway; serial is the honest
         // execution context for a latency-bound micro-batch.
-        snap->model.forward(mb, logits, ws, ExecContext::serial());
+        const auto fwd_begin = PendingRequest::Clock::now();
+        {
+            LAZYDP_TRACE_SPAN1(obs::TraceCat::Serve, "forward", "batch",
+                               n);
+            snap->model.forward(mb, logits, ws, ExecContext::serial());
+        }
+        const auto fwd_end = PendingRequest::Clock::now();
 
         // Deadline check for the attainment signal: one timestamp for
         // the whole micro-batch, taken before any completion is
@@ -172,6 +224,31 @@ ServeEngine::workerLoop(std::size_t lane)
             if (snap->version > stats_.maxVersion)
                 stats_.maxVersion = snap->version;
         }
+        // Registry mirror at the same instant (still before any
+        // complete()), so scrape-derived attainment obeys the same
+        // counted-before-woken contract the local stats do.
+        if (obs::metricsEnabled()) {
+            const ServeMetrics &ids = serveMetrics();
+            obs::counterAdd(ids.served, n);
+            obs::counterAdd(ids.deadlineOk, in_deadline);
+            obs::counterAdd(ids.batches);
+            obs::histogramRecord(
+                ids.forwardNs,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(fwd_end - fwd_begin)
+                        .count()));
+            obs::histogramRecord(ids.batchSize, n);
+            for (std::size_t e = 0; e < n; ++e) {
+                const auto wait = scored_at - batch[e]->enqueuedAt;
+                obs::histogramRecord(
+                    ids.latencyNs,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(wait)
+                            .count()));
+            }
+        }
 
         ServeResult result;
         result.version = snap->version;
@@ -181,6 +258,11 @@ ServeEngine::workerLoop(std::size_t lane)
             const float z = logits.at(e, 0);
             result.score = 1.0f / (1.0f + std::exp(-z));
             batch[e]->complete(result);
+            obs::traceInstant(
+                obs::TraceCat::Serve, "complete",
+                {"in_deadline",
+                 scored_at <= batch[e]->deadlineAt ? 1u : 0u},
+                {"version", snap->version});
         }
     }
 }

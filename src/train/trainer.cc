@@ -4,10 +4,40 @@
 
 #include "common/macros.h"
 #include "nn/dlrm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/snapshot_store.h"
 #include "train/replica.h"
 
 namespace lazydp {
+
+namespace {
+
+/** Registry mirrors of the TrainResult publish counters. */
+struct PublishMetrics
+{
+    obs::MetricId publishes;
+    obs::MetricId rowsCopied;
+    obs::MetricId pagesShared;
+    obs::MetricId publishNs;
+};
+
+const PublishMetrics &
+publishMetrics()
+{
+    static const PublishMetrics ids = {
+        obs::internMetric("train.publishes", obs::MetricKind::Counter),
+        obs::internMetric("train.rows_copied",
+                          obs::MetricKind::Counter),
+        obs::internMetric("train.pages_shared",
+                          obs::MetricKind::Counter),
+        obs::internMetric("train.publish_ns",
+                          obs::MetricKind::Histogram),
+    };
+    return ids;
+}
+
+} // namespace
 
 Trainer::Trainer(Algorithm &algorithm, DataLoader &loader,
                  ExecContext *exec)
@@ -117,9 +147,14 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
                                 ? result.warmupTimer
                                 : result.timer;
 
-        const double loss = algorithm_.step(
-            options.startIter + iter, queue.head(),
-            has_next ? &queue.at(1) : nullptr, runExec_, timer);
+        double loss = 0.0;
+        {
+            LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "step", "iter",
+                               options.startIter + iter);
+            loss = algorithm_.step(
+                options.startIter + iter, queue.head(),
+                has_next ? &queue.at(1) : nullptr, runExec_, timer);
+        }
         if (options.recordLosses)
             result.losses.push_back(loss);
         maybePublish(iter, options, result);
@@ -130,8 +165,11 @@ Trainer::runSerial(std::uint64_t iterations, const TrainOptions &options,
         }
 
         queue.pop();
-        if (options.iterationGate && iter < iterations)
+        if (options.iterationGate && iter < iterations) {
+            LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "iteration_gate",
+                               "iter", options.startIter + iter);
             options.iterationGate();
+        }
     }
     result.wallSeconds = wall.seconds();
 }
@@ -166,6 +204,8 @@ Trainer::runPipelined(std::uint64_t iterations,
         // Nothing to overlap the first prepare with: run it inline.
         StageTimer &t1 = options.warmupIters >= 1 ? result.warmupTimer
                                                   : result.timer;
+        LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "prepare", "iter",
+                           options.startIter + 1);
         algorithm_.prepare(options.startIter + 1, queue.head(),
                            first_has_next ? &queue.at(1) : nullptr,
                            *cur_prep, runExec_, t1);
@@ -199,6 +239,8 @@ Trainer::runPipelined(std::uint64_t iterations,
             pending = exec_->pool->submit([this, &queue, next_has_next,
                                            prep_iter, next_prep,
                                            &prep_timer] {
+                LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "prepare",
+                                   "iter", prep_iter);
                 if (next_has_next)
                     queue.push(loader_.next());
                 algorithm_.prepare(prep_iter, queue.at(1),
@@ -217,6 +259,8 @@ Trainer::runPipelined(std::uint64_t iterations,
 
         double loss = 0.0;
         try {
+            LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "apply", "iter",
+                               options.startIter + iter);
             loss = algorithm_.apply(options.startIter + iter, cur,
                                     *cur_prep, runExec_, timer);
         } catch (...) {
@@ -258,8 +302,11 @@ Trainer::runPipelined(std::uint64_t iterations,
         // Gate with the pipeline drained: the overlapped prepare has
         // joined, so the pause stalls the whole training side -- the
         // serve lanes get the cores for the full pause.
-        if (options.iterationGate && iter < iterations)
+        if (options.iterationGate && iter < iterations) {
+            LAZYDP_TRACE_SPAN1(obs::TraceCat::Trainer, "iteration_gate",
+                               "iter", options.startIter + iter);
             options.iterationGate();
+        }
     }
     result.wallSeconds = wall.seconds();
 }
@@ -272,13 +319,25 @@ Trainer::maybePublish(std::uint64_t iter, const TrainOptions &options,
         options.publishEveryIters == 0 ||
         iter % options.publishEveryIters != 0)
         return;
+    obs::TraceSpan span(obs::TraceCat::Trainer, "publish",
+                        {"iter", options.startIter + iter});
     const PublishReceipt receipt = options.snapshotStore->publish(
         *algorithm_.model(), options.startIter + iter,
         algorithm_.dirtyTracker());
+    span.setArg("rows_copied", receipt.rowsCopied);
     result.publishSeconds += receipt.seconds;
     ++result.publishes;
     result.rowsCopied += receipt.rowsCopied;
     result.pagesShared += receipt.pagesShared;
+    if (obs::metricsEnabled()) {
+        const PublishMetrics &ids = publishMetrics();
+        obs::counterAdd(ids.publishes);
+        obs::counterAdd(ids.rowsCopied, receipt.rowsCopied);
+        obs::counterAdd(ids.pagesShared, receipt.pagesShared);
+        obs::histogramRecord(
+            ids.publishNs,
+            static_cast<std::uint64_t>(receipt.seconds * 1e9));
+    }
 }
 
 } // namespace lazydp

@@ -76,5 +76,68 @@ TEST_F(LoggingTest, ThrowModeQueryReflectsState)
     setLogThrowMode(true);
 }
 
+/** Severity-threshold tests; restores the chatty default on exit. */
+class LogLevelTest : public LoggingTest
+{
+  protected:
+    void TearDown() override
+    {
+        setLogLevel(LogLevel::Inform);
+        LoggingTest::TearDown();
+    }
+};
+
+TEST_F(LogLevelTest, ParseAcceptsCanonicalNames)
+{
+    EXPECT_EQ(parseLogLevel("inform"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+    EXPECT_THROW(parseLogLevel("loud"), std::runtime_error);
+}
+
+TEST_F(LogLevelTest, SetLevelRoundTrips)
+{
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(LogLevel::Inform);
+    EXPECT_EQ(logLevel(), LogLevel::Inform);
+}
+
+TEST_F(LogLevelTest, WarnThresholdSuppressesInform)
+{
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStdout();
+    inform("should be suppressed");
+    EXPECT_TRUE(::testing::internal::GetCapturedStdout().empty());
+
+    setLogLevel(LogLevel::Inform);
+    ::testing::internal::CaptureStdout();
+    inform("should appear");
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("info: should appear"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, ErrorThresholdSuppressesWarn)
+{
+    setLogLevel(LogLevel::Error);
+    ::testing::internal::CaptureStderr();
+    warn("should be suppressed");
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    warn("should appear");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: should appear"), std::string::npos);
+}
+
+TEST_F(LogLevelTest, PanicIgnoresThreshold)
+{
+    setLogLevel(LogLevel::Error);
+    // Throw mode is on (fixture): the message still carries through.
+    EXPECT_THROW(panic("invariant broke"), std::runtime_error);
+}
+
 } // namespace
 } // namespace lazydp

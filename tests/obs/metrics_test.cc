@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the lock-free metrics registry: intern identity and
+ * kind checking, exact counter totals under thread contention (the
+ * TSan CI job runs this suite), histogram bucket geometry, and the
+ * quantile-vs-exact-percentile error bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace lazydp {
+namespace {
+
+/** Registry state is process-global: every test enables metrics for
+ *  its own uniquely-named ids and restores the disabled default. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::setMetricsEnabled(true); }
+    void TearDown() override { obs::setMetricsEnabled(false); }
+};
+
+TEST_F(MetricsTest, InternSameNameReturnsSameId)
+{
+    const obs::MetricId a =
+        obs::internMetric("test.intern.same", obs::MetricKind::Counter);
+    const obs::MetricId b =
+        obs::internMetric("test.intern.same", obs::MetricKind::Counter);
+    EXPECT_EQ(a, b);
+    const obs::MetricId c =
+        obs::internMetric("test.intern.other", obs::MetricKind::Counter);
+    EXPECT_NE(a, c);
+}
+
+TEST_F(MetricsTest, KindMismatchPanics)
+{
+    obs::internMetric("test.intern.kind", obs::MetricKind::Counter);
+    setLogThrowMode(true);
+    EXPECT_THROW(
+        obs::internMetric("test.intern.kind", obs::MetricKind::Gauge),
+        std::runtime_error);
+    setLogThrowMode(false);
+}
+
+TEST_F(MetricsTest, DisabledRecordsNothing)
+{
+    const obs::MetricId id =
+        obs::internMetric("test.disabled.ctr", obs::MetricKind::Counter);
+    obs::setMetricsEnabled(false);
+    obs::counterAdd(id, 17);
+    obs::setMetricsEnabled(true);
+    EXPECT_EQ(obs::scrapeMetrics().counter("test.disabled.ctr"), 0u);
+    obs::counterAdd(id, 3);
+    EXPECT_EQ(obs::scrapeMetrics().counter("test.disabled.ctr"), 3u);
+}
+
+TEST_F(MetricsTest, GaugeLastSetWins)
+{
+    const obs::MetricId id =
+        obs::internMetric("test.gauge.g", obs::MetricKind::Gauge);
+    obs::gaugeSet(id, 41);
+    obs::gaugeSet(id, -7);
+    const obs::MetricsSnapshot snap = obs::scrapeMetrics();
+    const obs::MetricValue *v = snap.find("test.gauge.g");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind, obs::MetricKind::Gauge);
+    EXPECT_EQ(v->gauge, -7);
+}
+
+/**
+ * The headline concurrency contract: N writer threads hammer one
+ * counter while a scraper reads mid-flight (torn-free, possibly
+ * partial), and after every writer has JOINED (shards retired into
+ * the registry's accumulator) the total is EXACT. TSan runs this.
+ */
+TEST_F(MetricsTest, ContendedCounterTotalsAreExactAfterJoin)
+{
+    const obs::MetricId id = obs::internMetric(
+        "test.contended.ctr", obs::MetricKind::Counter);
+    const obs::MetricId hist = obs::internMetric(
+        "test.contended.hist", obs::MetricKind::Histogram);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> scrapesSeen{0};
+    std::thread scraper([&] {
+        std::uint64_t last = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t now =
+                obs::scrapeMetrics().counter("test.contended.ctr");
+            // Cumulative counters observed by one scraper are monotone.
+            EXPECT_GE(now, last);
+            last = now;
+            scrapesSeen.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        writers.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                obs::counterAdd(id);
+                obs::histogramRecord(hist, t * kPerThread + i);
+            }
+        });
+    for (auto &w : writers)
+        w.join(); // exiting threads retire their shards
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+
+    const obs::MetricsSnapshot snap = obs::scrapeMetrics();
+    EXPECT_EQ(snap.counter("test.contended.ctr"),
+              kThreads * kPerThread);
+    const obs::MetricValue *h = snap.find("test.contended.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, kThreads * kPerThread);
+    EXPECT_GE(scrapesSeen.load(), 1u);
+}
+
+TEST_F(MetricsTest, BucketBoundsTileTheDomain)
+{
+    EXPECT_EQ(obs::histogramBucketLowerBound(0), 0u);
+    for (std::size_t b = 0; b + 1 < obs::kHistogramBuckets; ++b) {
+        const std::uint64_t hi = obs::histogramBucketUpperBound(b);
+        EXPECT_EQ(hi + 1, obs::histogramBucketLowerBound(b + 1))
+            << "gap/overlap after bucket " << b;
+        EXPECT_EQ(obs::histogramBucketIndex(
+                      obs::histogramBucketLowerBound(b)),
+                  b);
+        EXPECT_EQ(obs::histogramBucketIndex(hi), b);
+    }
+    EXPECT_EQ(obs::histogramBucketIndex(~0ull),
+              obs::kHistogramBuckets - 1);
+}
+
+/**
+ * quantile() must land in the same log-linear bucket as the exact
+ * nearest-rank sample -- i.e. within one bucket width (<= 25%
+ * relative error) of what stats::computePercentiles reports.
+ */
+TEST_F(MetricsTest, QuantilesMatchExactPercentilesWithinOneBucket)
+{
+    const obs::MetricId id = obs::internMetric(
+        "test.quantile.hist", obs::MetricKind::Histogram);
+    // Deterministic skewed samples spanning several powers of two.
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    std::vector<double> exactSamples;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t v = 100 + (state >> 40) % 1000000;
+        obs::histogramRecord(id, v);
+        exactSamples.push_back(static_cast<double>(v));
+    }
+    const stats::Percentiles exact =
+        stats::computePercentiles(exactSamples);
+    const obs::MetricsSnapshot snap = obs::scrapeMetrics();
+    const obs::MetricValue *h = snap.find("test.quantile.hist");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->count, 5000u);
+
+    const std::pair<double, double> checks[] = {
+        {0.50, exact.p50}, {0.95, exact.p95}, {0.99, exact.p99}};
+    for (const auto &[q, want] : checks) {
+        const std::uint64_t est = h->quantile(q);
+        const std::size_t bucket = obs::histogramBucketIndex(
+            static_cast<std::uint64_t>(want));
+        EXPECT_EQ(obs::histogramBucketIndex(est), bucket)
+            << "q=" << q << " est=" << est << " exact=" << want;
+        EXPECT_EQ(est, obs::histogramBucketUpperBound(bucket));
+    }
+}
+
+TEST_F(MetricsTest, HistogramSumAndEmptyQuantile)
+{
+    const obs::MetricId id =
+        obs::internMetric("test.sum.hist", obs::MetricKind::Histogram);
+    const obs::MetricsSnapshot before = obs::scrapeMetrics();
+    const obs::MetricValue *empty = before.find("test.sum.hist");
+    ASSERT_NE(empty, nullptr);
+    EXPECT_EQ(empty->quantile(0.99), 0u);
+
+    obs::histogramRecord(id, 10);
+    obs::histogramRecord(id, 30);
+    const obs::MetricsSnapshot after = obs::scrapeMetrics();
+    const obs::MetricValue *h = after.find("test.sum.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+    EXPECT_EQ(h->sum, 40u);
+}
+
+} // namespace
+} // namespace lazydp

@@ -23,12 +23,14 @@
  *                --queue-cap=16 --shed-policy=drop-oldest --slo-us=5000
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <thread>
 
 #include "common/cli.h"
+#include "obs/obs_cli.h"
 #include "common/cpu_set.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -49,7 +51,7 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        withTierFlags(std::vector<FlagSpec>{
+        obs::withObsFlags(withTierFlags(std::vector<FlagSpec>{
          {"algo", "training engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|"
                   "lazydp|lazydp-noans"},
          {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
@@ -118,7 +120,7 @@ main(int argc, char **argv)
          {"gov-iters-per-sec", "governor: trainer iteration pace while "
                                "throttled"},
          {"csv", "print the result table as CSV"},
-         {"help", "print this listing"}}));
+         {"help", "print this listing"}})));
     if (args.has("help")) {
         std::printf("%s",
                     args.helpText("lazydp_serve",
@@ -194,6 +196,26 @@ main(int argc, char **argv)
         (!serve_cores_arg.empty() || !train_cores_arg.empty()))
         fatal("--serve-cores/--train-cores only apply with "
               "--isolation=pin or pin+throttle");
+
+    // --- telemetry ----------------------------------------------------
+    // The registry is always on in this driver: the serve/train mirrors
+    // are the governor's shared scrape feed and cost a relaxed add per
+    // completion. A throttling policy forces the sampler lane into
+    // existence (the governor attaches to it below) and clamps the
+    // cadence to the governor window so attainment windows stay fine-
+    // grained even when --stats-interval-us asks for a slower series.
+    obs::ObsOptions obs_opts = obs::obsOptionsFromCli(args);
+    obs_opts.enableMetrics = true;
+    if (policyThrottles(isolation)) {
+        obs_opts.forceSampler = true;
+        const std::uint64_t gov_window =
+            args.getU64("gov-window-us", 5000);
+        const std::uint64_t base = obs_opts.statsIntervalUs == 0
+                                       ? 100000
+                                       : obs_opts.statsIntervalUs;
+        obs_opts.statsIntervalUs = std::min(base, gov_window);
+    }
+    obs::ObsSession obs(obs_opts);
 
     // --- serving tier -------------------------------------------------
     const std::string snapshot_mode =
@@ -280,9 +302,10 @@ main(int argc, char **argv)
     load_opts.collectScores = !dump_scores.empty();
     LoadGenerator generator(engine, model_cfg, load_opts);
 
-    // Attainment-driven trainer throttle: samples the engine's
-    // cumulative stats on its own thread and paces the trainer through
-    // TrainOptions::iterationGate while engaged.
+    // Attainment-driven trainer throttle: rides the shared StatsSampler
+    // scrape lane (one cadence for the JSONL series AND the feedback
+    // windows) instead of a private sampling thread, and paces the
+    // trainer through TrainOptions::iterationGate while engaged.
     std::unique_ptr<IsolationGovernor> governor;
     if (policyThrottles(isolation)) {
         GovernorOptions gov;
@@ -291,12 +314,14 @@ main(int argc, char **argv)
         gov.releaseAbove = args.getDouble("gov-release", 0.97);
         gov.throttledItersPerSec =
             args.getDouble("gov-iters-per-sec", 200.0);
+        gov.startSampler = false; // the shared sampler drives it
         if (gov.engageBelow > gov.releaseAbove)
             fatal("--gov-engage (", gov.engageBelow,
                   ") must not exceed --gov-release (",
                   gov.releaseAbove, ")");
         governor = std::make_unique<IsolationGovernor>(
             [&engine] { return engine.stats(); }, gov);
+        governor->attachTo(*obs.sampler());
     }
 
     inform("serving ", model_cfg.name, " (",
@@ -343,6 +368,10 @@ main(int argc, char **argv)
     if (governor != nullptr)
         governor->stop();
     engine.stop();
+    // Telemetry teardown BEFORE the governor leaves scope: the sampler
+    // thread fans scrapes into the attached governor, so it must join
+    // first (finish() also flushes the trace and the stats file).
+    obs.finish();
 
     // --- sanity (the CI smoke leans on these) -------------------------
     if (report.completed != load_opts.requests)
@@ -455,6 +484,11 @@ main(int argc, char **argv)
                       TablePrinter::num(gstats.lastAttainment * 100.0,
                                         2)});
     }
+    if (obs.sampler() != nullptr)
+        table.addRow({"stats scrapes",
+                      TablePrinter::num(
+                          static_cast<double>(obs.sampler()->scrapes()),
+                          0)});
     table.addRow({"snapshot version",
                   TablePrinter::num(
                       static_cast<double>(store.version()), 0)});

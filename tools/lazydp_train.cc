@@ -28,6 +28,7 @@
 #include "data/data_loader.h"
 #include "dp/accountant.h"
 #include "io/checkpoint.h"
+#include "obs/obs_cli.h"
 #include "serve/snapshot_store.h"
 #include "train/trainer.h"
 
@@ -38,7 +39,7 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        withTierFlags(std::vector<FlagSpec>{
+        obs::withObsFlags(withTierFlags(std::vector<FlagSpec>{
          {"algo", "engine: sgd|dpsgd-b|dpsgd-r|dpsgd-f|eana|lazydp|"
                   "lazydp-noans"},
          {"model", "preset: mlperf|mlperf-full|mlperf-hetero|rmc1|rmc2|"
@@ -71,7 +72,7 @@ main(int argc, char **argv)
          {"save", "write a checkpoint here (LazyDP: full training "
                   "state)"},
          {"csv", "print the result table as CSV"},
-         {"help", "print this listing"}}));
+         {"help", "print this listing"}})));
     if (args.has("help")) {
         std::printf("%s",
                     args.helpText("lazydp_train",
@@ -134,6 +135,10 @@ main(int argc, char **argv)
     SyntheticDataset dataset(data_cfg);
     SequentialLoader loader(dataset);
 
+    // Telemetry: --trace / --stats-out turn on the metrics registry and
+    // (for stats) the background sampler for the duration of the run.
+    obs::ObsSession obs(obs::obsOptionsFromCli(args));
+
     const std::size_t threads = args.getThreads(1);
     const bool pipeline = args.getBool("pipeline", false);
     const std::size_t replicas = args.getU64("replicas", 1);
@@ -177,6 +182,10 @@ main(int argc, char **argv)
         options.snapshotStore = store.get();
     }
     const TrainResult result = trainer.run(iters, options);
+
+    // All traced work is done (lanes are idle once run() returns):
+    // flush the trace + final stats scrape before reporting.
+    obs.finish();
 
     TablePrinter table("Result: " + algo->name());
     table.setHeader({"metric", "value"});
